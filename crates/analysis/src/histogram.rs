@@ -1,0 +1,184 @@
+//! Log₂ histograms for recurrence distributions.
+//!
+//! The paper reports *means* (recurrences per tag, per sequence, …), but
+//! the distributions behind them are heavy-tailed — a handful of hot tags
+//! recur millions of times while most appear once. A log-bucketed
+//! histogram exposes that shape, and is what the `inspect` experiment
+//! binary prints alongside the Section 3 means.
+
+/// A histogram with power-of-two buckets: bucket `i` counts values in
+/// `[2^i, 2^(i+1))` (bucket 0 additionally holds value 0).
+///
+/// # Examples
+///
+/// ```
+/// use tcp_analysis::HistogramLog2;
+///
+/// let mut h = HistogramLog2::new();
+/// for v in [1u64, 1, 2, 3, 100] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 5);
+/// assert_eq!(h.bucket_count(0), 2); // the two 1s
+/// assert_eq!(h.bucket_count(1), 2); // 2 and 3
+/// assert_eq!(h.bucket_count(6), 1); // 100 ∈ [64, 128)
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramLog2 {
+    buckets: [u64; 64],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for HistogramLog2 {
+    fn default() -> Self {
+        HistogramLog2 { buckets: [0; 64], count: 0, sum: 0, max: 0 }
+    }
+}
+
+impl HistogramLog2 {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        HistogramLog2::default()
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, value: u64) {
+        let b = if value <= 1 { 0 } else { 63 - value.leading_zeros() as usize };
+        self.buckets[b] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Total values recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of the recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Largest recorded value.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Count in bucket `i` (`[2^i, 2^(i+1))`).
+    pub fn bucket_count(&self, i: usize) -> u64 {
+        self.buckets.get(i).copied().unwrap_or(0)
+    }
+
+    /// The value below which `q` of the mass lies, resolved to a bucket
+    /// lower bound (a coarse quantile; exact enough for shape reporting).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 < q <= 1.0`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        assert!(q > 0.0 && q <= 1.0, "quantile must be in (0, 1]");
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q * self.count as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return 1u64 << i;
+            }
+        }
+        self.max
+    }
+
+    /// Iterates over occupied buckets as `(lower_bound, count)`.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (1u64 << i, c))
+    }
+
+    /// Renders a compact text sketch: one line per occupied bucket.
+    pub fn render(&self, width: usize) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let peak = self.buckets.iter().copied().max().unwrap_or(0);
+        for (lo, c) in self.iter() {
+            let n = if peak == 0 { 0 } else { (c as usize * width).div_ceil(peak as usize) };
+            let _ = writeln!(out, "{lo:>12} │{} {c}", "█".repeat(n));
+        }
+        out
+    }
+}
+
+impl Extend<u64> for HistogramLog2 {
+    fn extend<T: IntoIterator<Item = u64>>(&mut self, iter: T) {
+        for v in iter {
+            self.record(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        let mut h = HistogramLog2::new();
+        for v in [0u64, 1, 2, 3, 4, 7, 8, 1 << 20] {
+            h.record(v);
+        }
+        assert_eq!(h.bucket_count(0), 2); // 0, 1
+        assert_eq!(h.bucket_count(1), 2); // 2, 3
+        assert_eq!(h.bucket_count(2), 2); // 4, 7
+        assert_eq!(h.bucket_count(3), 1); // 8
+        assert_eq!(h.bucket_count(20), 1);
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.max(), 1 << 20);
+    }
+
+    #[test]
+    fn mean_and_quantiles() {
+        let mut h = HistogramLog2::new();
+        h.extend([1u64; 90]);
+        h.extend([1024u64; 10]);
+        assert!((h.mean() - (90.0 + 10.0 * 1024.0) / 100.0).abs() < 1e-9);
+        assert_eq!(h.quantile(0.5), 1);
+        assert_eq!(h.quantile(0.99), 1024);
+    }
+
+    #[test]
+    fn empty_histogram_is_calm() {
+        let h = HistogramLog2::new();
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.iter().count(), 0);
+        assert!(h.render(20).is_empty());
+    }
+
+    #[test]
+    fn render_scales_to_peak() {
+        let mut h = HistogramLog2::new();
+        h.extend([1u64; 40]);
+        h.extend([16u64; 10]);
+        let r = h.render(20);
+        let first = r.lines().next().unwrap();
+        assert_eq!(first.matches('█').count(), 20, "peak bucket fills the width");
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn bad_quantile_panics() {
+        HistogramLog2::new().quantile(0.0);
+    }
+}

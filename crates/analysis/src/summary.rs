@@ -1,0 +1,72 @@
+//! Suite-level aggregation helpers.
+
+/// Geometric mean of a sequence of positive values — the aggregation the
+/// paper uses for suite-wide IPC comparisons and for the "576 unique
+/// tags, 609 sets, 94 recurrences" summary of Section 3.
+///
+/// Returns 0.0 for an empty input.
+///
+/// # Panics
+///
+/// Panics if any value is not strictly positive.
+///
+/// # Examples
+///
+/// ```
+/// use tcp_analysis::geometric_mean;
+/// assert_eq!(geometric_mean(&[2.0, 8.0]), 4.0);
+/// ```
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    assert!(values.iter().all(|&v| v > 0.0), "geometric mean requires positive values");
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Arithmetic mean; 0.0 for an empty input.
+///
+/// # Examples
+///
+/// ```
+/// use tcp_analysis::mean;
+/// assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+/// ```
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometric_mean_basics() {
+        assert_eq!(geometric_mean(&[]), 0.0);
+        assert!((geometric_mean(&[3.0]) - 3.0).abs() < 1e-12);
+        assert!((geometric_mean(&[1.0, 100.0]) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn geometric_mean_is_below_arithmetic_for_spread_values() {
+        let v = [1.0, 2.0, 50.0];
+        assert!(geometric_mean(&v) < mean(&v));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geometric_mean_rejects_zero() {
+        let _ = geometric_mean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn mean_basics() {
+        assert_eq!(mean(&[]), 0.0);
+        assert!((mean(&[2.0, 4.0]) - 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,164 @@
+//! Compact binary serialisation of miss traces.
+//!
+//! Profiling a workload takes minutes; analysing its miss stream is
+//! cheap. Persisting the stream lets downstream tools (or repeated
+//! analysis runs) skip regeneration. The format is deliberately simple
+//! and self-describing:
+//!
+//! ```text
+//! magic "TCPT" | version u8 | record count u64-LE
+//! per record: pc u64-LE | addr u64-LE
+//! ```
+//!
+//! Tags, sets, and line addresses are derived from the address at read
+//! time for whatever geometry the reader cares about, so one trace file
+//! serves any cache shape.
+
+use std::io::{self, Read, Write};
+
+use crate::MissRecord;
+use tcp_mem::{Addr, CacheGeometry};
+
+const MAGIC: &[u8; 4] = b"TCPT";
+const VERSION: u8 = 1;
+
+/// Writes `records` to `w` in the trace format.
+///
+/// # Errors
+///
+/// Propagates any I/O error from the writer.
+///
+/// # Examples
+///
+/// ```
+/// use tcp_analysis::{read_trace, write_trace, miss_stream};
+/// use tcp_mem::{Addr, CacheGeometry, MemAccess};
+///
+/// # fn main() -> std::io::Result<()> {
+/// let l1 = CacheGeometry::new(32 * 1024, 32, 1);
+/// let accesses = (0..100u64).map(|i| MemAccess::load(Addr::new(4), Addr::new(i * 64)));
+/// let misses: Vec<_> = miss_stream(l1, accesses).collect();
+///
+/// let mut buf = Vec::new();
+/// write_trace(&mut buf, &misses)?;
+/// let back = read_trace(&mut buf.as_slice(), l1)?;
+/// assert_eq!(back, misses);
+/// # Ok(())
+/// # }
+/// ```
+pub fn write_trace<W: Write>(mut w: W, records: &[MissRecord]) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&[VERSION])?;
+    w.write_all(&(records.len() as u64).to_le_bytes())?;
+    for r in records {
+        w.write_all(&r.pc.raw().to_le_bytes())?;
+        w.write_all(&r.addr.raw().to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Reads a trace written by [`write_trace`], re-deriving line/tag/set
+/// fields under `geom`.
+///
+/// # Errors
+///
+/// Returns `InvalidData` for a bad magic, version, or truncated payload,
+/// and propagates reader I/O errors.
+pub fn read_trace<R: Read>(mut r: R, geom: CacheGeometry) -> io::Result<Vec<MissRecord>> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "not a TCP trace file"));
+    }
+    let mut version = [0u8; 1];
+    r.read_exact(&mut version)?;
+    if version[0] != VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported trace version {}", version[0]),
+        ));
+    }
+    let mut count_bytes = [0u8; 8];
+    r.read_exact(&mut count_bytes)?;
+    let count = u64::from_le_bytes(count_bytes);
+    let mut out = Vec::with_capacity(usize::try_from(count).unwrap_or(0).min(1 << 24));
+    let mut rec = [0u8; 16];
+    for _ in 0..count {
+        r.read_exact(&mut rec)?;
+        let pc = Addr::new(u64::from_le_bytes(rec[0..8].try_into().expect("8 bytes")));
+        let addr = Addr::new(u64::from_le_bytes(rec[8..16].try_into().expect("8 bytes")));
+        let (tag, set) = geom.split(addr);
+        out.push(MissRecord { addr, line: geom.line_addr(addr), tag, set, pc });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::miss_stream;
+    use tcp_mem::MemAccess;
+
+    fn l1() -> CacheGeometry {
+        CacheGeometry::new(32 * 1024, 32, 1)
+    }
+
+    fn sample(n: u64) -> Vec<MissRecord> {
+        let accs = (0..n).map(|i| MemAccess::load(Addr::new(0x400 + i), Addr::new(i * 96 % (1 << 22))));
+        miss_stream(l1(), accs).collect()
+    }
+
+    #[test]
+    fn roundtrip_preserves_every_record() {
+        let misses = sample(5_000);
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &misses).unwrap();
+        let back = read_trace(&mut buf.as_slice(), l1()).unwrap();
+        assert_eq!(back, misses);
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &[]).unwrap();
+        assert!(read_trace(&mut buf.as_slice(), l1()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn rereading_under_other_geometry_rederives_fields() {
+        let misses = sample(500);
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &misses).unwrap();
+        let l2 = CacheGeometry::new(1024 * 1024, 64, 4);
+        let back = read_trace(&mut buf.as_slice(), l2).unwrap();
+        for (orig, re) in misses.iter().zip(&back) {
+            assert_eq!(orig.addr, re.addr);
+            assert_eq!(l2.split(orig.addr), (re.tag, re.set));
+        }
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = read_trace(&mut b"NOPE\x01\0\0\0\0\0\0\0\0".as_slice(), l1()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"TCPT");
+        buf.push(99);
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        let err = read_trace(&mut buf.as_slice(), l1()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_payload_rejected() {
+        let misses = sample(10);
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &misses).unwrap();
+        buf.truncate(buf.len() - 5);
+        assert!(read_trace(&mut buf.as_slice(), l1()).is_err());
+    }
+}

@@ -1,0 +1,204 @@
+//! The Markov prefetcher of Joseph & Grunwald (ISCA 1997).
+//!
+//! The global miss stream is treated as a first-order Markov chain over
+//! line addresses: a correlation table maps each miss address to the
+//! addresses that followed it in the past (several targets, LRU-ordered).
+//! On a miss, all remembered successors are prefetched. Address-level
+//! correlation is the approach whose table-size appetite (megabytes —
+//! Section 1 cites 1–2 MB) motivates TCP's tag-level alternative.
+
+use std::collections::HashMap;
+
+use tcp_cache::{L1MissInfo, PrefetchRequest, Prefetcher};
+use tcp_mem::LineAddr;
+
+/// Configuration of the Markov prefetcher.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MarkovConfig {
+    /// Total table budget in bytes.
+    pub table_bytes: usize,
+    /// Successor slots per entry (Joseph & Grunwald use up to 4).
+    pub targets_per_entry: usize,
+}
+
+impl Default for MarkovConfig {
+    fn default() -> Self {
+        MarkovConfig { table_bytes: 1024 * 1024, targets_per_entry: 2 }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct MarkovEntry {
+    // Most recent successor first.
+    targets: Vec<LineAddr>,
+    last_use: u64,
+}
+
+/// Address-correlating Markov prefetcher.
+///
+/// # Examples
+///
+/// ```
+/// use tcp_baselines::{MarkovConfig, MarkovPrefetcher};
+/// use tcp_cache::Prefetcher;
+///
+/// let p = MarkovPrefetcher::new(MarkovConfig::default());
+/// assert_eq!(p.name(), "markov-1M");
+/// ```
+#[derive(Clone, Debug)]
+pub struct MarkovPrefetcher {
+    cfg: MarkovConfig,
+    name: String,
+    capacity: usize,
+    table: HashMap<LineAddr, MarkovEntry>,
+    prev_miss: Option<LineAddr>,
+    clock: u64,
+}
+
+impl MarkovPrefetcher {
+    /// Creates an empty Markov table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the byte budget is too small for one entry or
+    /// `targets_per_entry` is zero.
+    pub fn new(cfg: MarkovConfig) -> Self {
+        assert!(cfg.targets_per_entry > 0, "need at least one target per entry");
+        // Entry cost: 4-byte key + 4 bytes per target.
+        let entry_bytes = 4 + 4 * cfg.targets_per_entry;
+        let capacity = cfg.table_bytes / entry_bytes;
+        assert!(capacity > 0, "table budget too small for a single entry");
+        let name = if cfg.table_bytes >= 1024 * 1024 {
+            format!("markov-{}M", cfg.table_bytes / (1024 * 1024))
+        } else {
+            format!("markov-{}K", cfg.table_bytes / 1024)
+        };
+        MarkovPrefetcher { cfg, name, capacity, table: HashMap::new(), prev_miss: None, clock: 0 }
+    }
+
+    /// Number of entries the byte budget allows.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn evict_if_full(&mut self) {
+        if self.table.len() < self.capacity {
+            return;
+        }
+        // Approximate LRU: evict the least recently used entry.
+        if let Some(&victim) = self.table.iter().min_by_key(|(_, e)| e.last_use).map(|(k, _)| k) {
+            self.table.remove(&victim);
+        }
+    }
+}
+
+impl Prefetcher for MarkovPrefetcher {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn storage_bytes(&self) -> usize {
+        self.cfg.table_bytes
+    }
+
+    fn on_miss(&mut self, info: &L1MissInfo, out: &mut Vec<PrefetchRequest>) {
+        self.clock += 1;
+        let clock = self.clock;
+        // Train: previous miss is followed by this one.
+        if let Some(prev) = self.prev_miss {
+            if prev != info.line {
+                let targets_per_entry = self.cfg.targets_per_entry;
+                if !self.table.contains_key(&prev) {
+                    self.evict_if_full();
+                }
+                let e = self
+                    .table
+                    .entry(prev)
+                    .or_insert_with(|| MarkovEntry { targets: Vec::new(), last_use: clock });
+                e.last_use = clock;
+                if let Some(pos) = e.targets.iter().position(|&t| t == info.line) {
+                    e.targets.remove(pos);
+                } else if e.targets.len() == targets_per_entry {
+                    e.targets.pop();
+                }
+                e.targets.insert(0, info.line);
+            }
+        }
+        self.prev_miss = Some(info.line);
+
+        // Predict: prefetch every remembered successor of this miss.
+        if let Some(e) = self.table.get_mut(&info.line) {
+            e.last_use = clock;
+            for &t in &e.targets {
+                out.push(PrefetchRequest::to_l2(t));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcp_mem::{Addr, CacheGeometry, MemAccess};
+
+    fn miss(line: u64) -> L1MissInfo {
+        let g = CacheGeometry::new(32 * 1024, 32, 1);
+        let l = LineAddr::from_line_number(line);
+        let a = g.first_byte(l);
+        let (tag, set) = g.split(a);
+        L1MissInfo { access: MemAccess::load(Addr::new(0x400), a), line: l, tag, set, cycle: 0 }
+    }
+
+    fn drive(p: &mut MarkovPrefetcher, lines: &[u64]) -> Vec<u64> {
+        let mut out = Vec::new();
+        for &l in lines {
+            out.clear();
+            p.on_miss(&miss(l), &mut out);
+        }
+        out.iter().map(|r| r.line.line_number()).collect()
+    }
+
+    #[test]
+    fn learns_pairwise_transitions() {
+        let mut p = MarkovPrefetcher::new(MarkovConfig::default());
+        let last = drive(&mut p, &[1, 2, 3, 1, 2, 3, 1]);
+        // After training 1→2, the final miss on 1 predicts 2.
+        assert_eq!(last, vec![2]);
+    }
+
+    #[test]
+    fn remembers_multiple_targets_most_recent_first() {
+        let mut p = MarkovPrefetcher::new(MarkovConfig::default());
+        // 1 is followed by 2, later by 9.
+        let last = drive(&mut p, &[1, 2, 5, 1, 9, 5, 1]);
+        assert_eq!(last, vec![9, 2]);
+    }
+
+    #[test]
+    fn capacity_is_budget_bound() {
+        let p = MarkovPrefetcher::new(MarkovConfig { table_bytes: 1200, targets_per_entry: 2 });
+        assert_eq!(p.capacity(), 100);
+    }
+
+    #[test]
+    fn eviction_keeps_table_within_capacity() {
+        let mut p = MarkovPrefetcher::new(MarkovConfig { table_bytes: 120, targets_per_entry: 2 });
+        let cap = p.capacity();
+        let lines: Vec<u64> = (0..200).collect();
+        drive(&mut p, &lines);
+        assert!(p.table.len() <= cap);
+    }
+
+    #[test]
+    fn cold_stream_predicts_nothing() {
+        let mut p = MarkovPrefetcher::new(MarkovConfig::default());
+        let last = drive(&mut p, &[10, 20, 30, 40]);
+        assert!(last.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "budget")]
+    fn tiny_budget_rejected() {
+        let _ = MarkovPrefetcher::new(MarkovConfig { table_bytes: 4, targets_per_entry: 2 });
+    }
+}

@@ -1,0 +1,78 @@
+//! The simplest possible prefetcher: always fetch the next line.
+
+use tcp_cache::{L1MissInfo, PrefetchRequest, Prefetcher};
+
+/// One-line-ahead sequential prefetcher.
+///
+/// Zero storage; useful as a floor for comparisons and as a sanity check
+/// that the prefetch plumbing works.
+///
+/// # Examples
+///
+/// ```
+/// use tcp_baselines::NextLinePrefetcher;
+/// use tcp_cache::Prefetcher;
+///
+/// let p = NextLinePrefetcher::new(1);
+/// assert_eq!(p.storage_bytes(), 0);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NextLinePrefetcher {
+    degree: usize,
+}
+
+impl NextLinePrefetcher {
+    /// Creates a next-line prefetcher fetching `degree` lines ahead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `degree` is zero.
+    pub fn new(degree: usize) -> Self {
+        assert!(degree > 0, "degree must be nonzero");
+        NextLinePrefetcher { degree }
+    }
+}
+
+impl Prefetcher for NextLinePrefetcher {
+    fn name(&self) -> &str {
+        "next-line"
+    }
+
+    fn storage_bytes(&self) -> usize {
+        0
+    }
+
+    fn on_miss(&mut self, info: &L1MissInfo, out: &mut Vec<PrefetchRequest>) {
+        for d in 1..=self.degree {
+            out.push(PrefetchRequest::to_l2(info.line.offset(d as i64)));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcp_mem::{Addr, LineAddr, MemAccess, SetIndex, Tag};
+
+    #[test]
+    fn emits_degree_sequential_lines() {
+        let mut p = NextLinePrefetcher::new(3);
+        let mut out = Vec::new();
+        let info = L1MissInfo {
+            access: MemAccess::load(Addr::new(0), Addr::new(0x1000)),
+            line: LineAddr::from_line_number(0x80),
+            tag: Tag::new(0),
+            set: SetIndex::new(0x80),
+            cycle: 0,
+        };
+        p.on_miss(&info, &mut out);
+        let lines: Vec<u64> = out.iter().map(|r| r.line.line_number()).collect();
+        assert_eq!(lines, vec![0x81, 0x82, 0x83]);
+    }
+
+    #[test]
+    #[should_panic(expected = "degree")]
+    fn zero_degree_rejected() {
+        let _ = NextLinePrefetcher::new(0);
+    }
+}

@@ -1,0 +1,201 @@
+//! Sequential stream buffers after Jouppi (ISCA 1990).
+//!
+//! Jouppi's stream buffers sit beside the cache and hold prefetched
+//! sequential lines; a miss that matches a buffer head is serviced from
+//! the buffer. Our hierarchy keeps prefetched data in the L2 instead, so
+//! the approximation here is: each buffer tracks an expected next line;
+//! a miss matching a buffer advances it and tops up its lookahead with
+//! L2 prefetches; a miss matching nothing (re)allocates the LRU buffer.
+//! This preserves the behaviour that matters for the comparison — what
+//! gets prefetched and when — while the storage cost stays Jouppi-sized.
+
+use tcp_cache::{L1MissInfo, PrefetchRequest, Prefetcher};
+use tcp_mem::LineAddr;
+
+/// Configuration of the stream-buffer prefetcher.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StreamBufferConfig {
+    /// Number of concurrent stream buffers.
+    pub buffers: usize,
+    /// Lines of lookahead per buffer (buffer depth).
+    pub depth: usize,
+    /// L1 line size in bytes (storage accounting).
+    pub line_bytes: usize,
+}
+
+impl Default for StreamBufferConfig {
+    fn default() -> Self {
+        StreamBufferConfig { buffers: 4, depth: 4, line_bytes: 32 }
+    }
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Stream {
+    next_expected: u64, // line number the stream predicts next
+    prefetched_to: u64, // exclusive upper bound of issued prefetches
+    last_use: u64,
+    valid: bool,
+}
+
+/// Multi-way sequential stream-buffer prefetcher.
+///
+/// # Examples
+///
+/// ```
+/// use tcp_baselines::{StreamBufferConfig, StreamBufferPrefetcher};
+/// use tcp_cache::Prefetcher;
+///
+/// let p = StreamBufferPrefetcher::new(StreamBufferConfig::default());
+/// assert_eq!(p.name(), "stream");
+/// ```
+#[derive(Clone, Debug)]
+pub struct StreamBufferPrefetcher {
+    cfg: StreamBufferConfig,
+    streams: Vec<Stream>,
+    clock: u64,
+    allocations: u64,
+    stream_hits: u64,
+}
+
+impl StreamBufferPrefetcher {
+    /// Creates the prefetcher with all buffers free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buffers` or `depth` is zero.
+    pub fn new(cfg: StreamBufferConfig) -> Self {
+        assert!(cfg.buffers > 0, "need at least one stream buffer");
+        assert!(cfg.depth > 0, "buffer depth must be nonzero");
+        StreamBufferPrefetcher {
+            cfg,
+            streams: vec![Stream::default(); cfg.buffers],
+            clock: 0,
+            allocations: 0,
+            stream_hits: 0,
+        }
+    }
+
+    /// `(buffer allocations, misses matching an active stream)`.
+    pub fn counters(&self) -> (u64, u64) {
+        (self.allocations, self.stream_hits)
+    }
+}
+
+impl Prefetcher for StreamBufferPrefetcher {
+    fn name(&self) -> &str {
+        "stream"
+    }
+
+    fn storage_bytes(&self) -> usize {
+        // Each buffer holds `depth` lines of data plus address registers.
+        self.cfg.buffers * (self.cfg.depth * self.cfg.line_bytes + 8)
+    }
+
+    fn on_miss(&mut self, info: &L1MissInfo, out: &mut Vec<PrefetchRequest>) {
+        self.clock += 1;
+        let miss = info.line.line_number();
+
+        // Does the miss continue an active stream?
+        if let Some(s) = self.streams.iter_mut().filter(|s| s.valid).find(|s| s.next_expected == miss) {
+            self.stream_hits += 1;
+            s.last_use = self.clock;
+            s.next_expected = miss + 1;
+            let target = miss + 1 + self.cfg.depth as u64;
+            let from = s.prefetched_to.max(miss + 1);
+            for line in from..target {
+                out.push(PrefetchRequest::to_l2(LineAddr::from_line_number(line)));
+            }
+            s.prefetched_to = target.max(s.prefetched_to);
+            return;
+        }
+
+        // Allocate (or steal) the LRU buffer and prime its lookahead.
+        self.allocations += 1;
+        let clock = self.clock;
+        let depth = self.cfg.depth as u64;
+        let s = self
+            .streams
+            .iter_mut()
+            .min_by_key(|s| if s.valid { s.last_use } else { 0 })
+            .expect("at least one buffer");
+        s.valid = true;
+        s.last_use = clock;
+        s.next_expected = miss + 1;
+        s.prefetched_to = miss + 1 + depth;
+        for line in miss + 1..miss + 1 + depth {
+            out.push(PrefetchRequest::to_l2(LineAddr::from_line_number(line)));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcp_mem::{Addr, CacheGeometry, MemAccess};
+
+    fn miss(line: u64) -> L1MissInfo {
+        let g = CacheGeometry::new(32 * 1024, 32, 1);
+        let l = LineAddr::from_line_number(line);
+        let a = g.first_byte(l);
+        let (tag, set) = g.split(a);
+        L1MissInfo { access: MemAccess::load(Addr::new(0x400), a), line: l, tag, set, cycle: 0 }
+    }
+
+    #[test]
+    fn allocation_primes_lookahead() {
+        let mut p = StreamBufferPrefetcher::new(StreamBufferConfig::default());
+        let mut out = Vec::new();
+        p.on_miss(&miss(100), &mut out);
+        let lines: Vec<u64> = out.iter().map(|r| r.line.line_number()).collect();
+        assert_eq!(lines, vec![101, 102, 103, 104]);
+    }
+
+    #[test]
+    fn sequential_misses_ride_one_stream() {
+        let mut p = StreamBufferPrefetcher::new(StreamBufferConfig::default());
+        let mut out = Vec::new();
+        for l in 100..120 {
+            p.on_miss(&miss(l), &mut out);
+        }
+        let (allocs, hits) = p.counters();
+        assert_eq!(allocs, 1, "one stream should capture a pure sequence");
+        assert_eq!(hits, 19);
+    }
+
+    #[test]
+    fn interleaved_sequences_use_separate_buffers() {
+        let mut p = StreamBufferPrefetcher::new(StreamBufferConfig::default());
+        let mut out = Vec::new();
+        for i in 0..10 {
+            p.on_miss(&miss(1000 + i), &mut out);
+            p.on_miss(&miss(9000 + i), &mut out);
+        }
+        let (allocs, hits) = p.counters();
+        assert_eq!(allocs, 2, "two interleaved streams, two buffers");
+        assert_eq!(hits, 18);
+    }
+
+    #[test]
+    fn random_misses_thrash_buffers() {
+        let mut p = StreamBufferPrefetcher::new(StreamBufferConfig::default());
+        let mut out = Vec::new();
+        for &l in &[5u64, 900, 33, 12000, 7, 4400, 61, 880] {
+            p.on_miss(&miss(l), &mut out);
+        }
+        let (allocs, hits) = p.counters();
+        assert_eq!(allocs, 8);
+        assert_eq!(hits, 0);
+    }
+
+    #[test]
+    fn steady_stream_tops_up_not_reissues() {
+        let mut p = StreamBufferPrefetcher::new(StreamBufferConfig::default());
+        let mut out = Vec::new();
+        p.on_miss(&miss(100), &mut out);
+        out.clear();
+        p.on_miss(&miss(101), &mut out);
+        // Only the newly uncovered line (105) is prefetched.
+        let lines: Vec<u64> = out.iter().map(|r| r.line.line_number()).collect();
+        assert_eq!(lines, vec![105]);
+    }
+}

@@ -1,0 +1,189 @@
+//! A PC-indexed stride prefetcher (reference prediction table) after
+//! Baer & Chen.
+//!
+//! Each table entry tracks, per load PC, the last miss address, the last
+//! observed stride, and a two-bit confidence state. Once the same stride
+//! repeats, the entry enters steady state and subsequent misses prefetch
+//! `addr + stride × distance`. Correlating workloads (pointer chases,
+//! non-unit-repeating patterns) defeat it — exactly the gap TCP fills.
+
+use tcp_cache::{L1MissInfo, PrefetchRequest, Prefetcher};
+use tcp_mem::Addr;
+
+/// Configuration of the stride prefetcher.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StrideConfig {
+    /// Number of reference-prediction-table entries (power of two).
+    pub entries: u32,
+    /// Lines of lookahead once in steady state.
+    pub degree: usize,
+    /// L1 line size in bytes (to convert addresses to lines).
+    pub line_bytes: u64,
+}
+
+impl Default for StrideConfig {
+    fn default() -> Self {
+        StrideConfig { entries: 512, degree: 2, line_bytes: 32 }
+    }
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct RptEntry {
+    pc: u64,
+    last_addr: u64,
+    stride: i64,
+    // 0 = initial, 1 = transient, 2+ = steady.
+    confidence: u8,
+    valid: bool,
+}
+
+/// PC-indexed stride prefetcher.
+///
+/// # Examples
+///
+/// ```
+/// use tcp_baselines::{StrideConfig, StridePrefetcher};
+/// use tcp_cache::Prefetcher;
+///
+/// let p = StridePrefetcher::new(StrideConfig::default());
+/// assert_eq!(p.name(), "stride");
+/// ```
+#[derive(Clone, Debug)]
+pub struct StridePrefetcher {
+    cfg: StrideConfig,
+    table: Vec<RptEntry>,
+}
+
+impl StridePrefetcher {
+    /// Creates an empty reference prediction table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a nonzero power of two or `degree` is 0.
+    pub fn new(cfg: StrideConfig) -> Self {
+        assert!(cfg.entries > 0 && cfg.entries.is_power_of_two(), "entries must be a nonzero power of two");
+        assert!(cfg.degree > 0, "degree must be nonzero");
+        assert!(cfg.line_bytes.is_power_of_two(), "line size must be a power of two");
+        StridePrefetcher { cfg, table: vec![RptEntry::default(); cfg.entries as usize] }
+    }
+
+    fn slot(&self, pc: Addr) -> usize {
+        // PCs step by 4; drop the low bits before masking.
+        ((pc.raw() >> 2) & u64::from(self.cfg.entries - 1)) as usize
+    }
+}
+
+impl Prefetcher for StridePrefetcher {
+    fn name(&self) -> &str {
+        "stride"
+    }
+
+    fn storage_bytes(&self) -> usize {
+        // pc tag (4) + last address (4) + stride (2) + state: ~10 bytes.
+        self.cfg.entries as usize * 10
+    }
+
+    fn on_miss(&mut self, info: &L1MissInfo, out: &mut Vec<PrefetchRequest>) {
+        let idx = self.slot(info.access.pc);
+        let addr = info.access.addr.raw();
+        let pc = info.access.pc.raw();
+        let e = &mut self.table[idx];
+
+        if !e.valid || e.pc != pc {
+            *e = RptEntry { pc, last_addr: addr, stride: 0, confidence: 0, valid: true };
+            return;
+        }
+        let new_stride = addr as i64 - e.last_addr as i64;
+        if new_stride == e.stride && new_stride != 0 {
+            e.confidence = e.confidence.saturating_add(1);
+        } else {
+            e.confidence = if e.confidence > 0 { e.confidence - 1 } else { 0 };
+            if e.confidence == 0 {
+                e.stride = new_stride;
+            }
+        }
+        e.last_addr = addr;
+        if e.confidence >= 2 && e.stride != 0 {
+            let line_shift = self.cfg.line_bytes.trailing_zeros();
+            let miss_line = info.line.line_number();
+            for d in 1..=self.cfg.degree {
+                let target = addr.wrapping_add((e.stride * d as i64) as u64);
+                let line = tcp_mem::LineAddr::from_line_number(target >> line_shift);
+                if line.line_number() != miss_line {
+                    out.push(PrefetchRequest::to_l2(line));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcp_mem::{CacheGeometry, MemAccess};
+
+    fn miss(pc: u64, addr: u64, cycle: u64) -> L1MissInfo {
+        let g = CacheGeometry::new(32 * 1024, 32, 1);
+        let a = Addr::new(addr);
+        let (tag, set) = g.split(a);
+        L1MissInfo { access: MemAccess::load(Addr::new(pc), a), line: g.line_addr(a), tag, set, cycle }
+    }
+
+    #[test]
+    fn constant_stride_reaches_steady_state() {
+        let mut p = StridePrefetcher::new(StrideConfig::default());
+        let mut out = Vec::new();
+        for i in 0..6u64 {
+            out.clear();
+            p.on_miss(&miss(0x400, 0x10000 + i * 256, i), &mut out);
+        }
+        assert!(!out.is_empty(), "steady stride must prefetch");
+        // Last miss at 0x10000 + 5*256; prefetches at +256 and +512.
+        let lines: Vec<u64> = out.iter().map(|r| r.line.line_number()).collect();
+        assert_eq!(lines, vec![(0x10000 + 6 * 256) >> 5, (0x10000 + 7 * 256) >> 5]);
+    }
+
+    #[test]
+    fn random_addresses_stay_quiet() {
+        let mut p = StridePrefetcher::new(StrideConfig::default());
+        let mut out = Vec::new();
+        let addrs = [0x1000u64, 0x84000, 0x2340, 0x99880, 0x12000, 0x7740];
+        for (i, &a) in addrs.iter().enumerate() {
+            p.on_miss(&miss(0x400, a, i as u64), &mut out);
+        }
+        assert!(out.is_empty(), "no repeating stride, no prefetches");
+    }
+
+    #[test]
+    fn pc_change_resets_entry() {
+        let mut p = StridePrefetcher::new(StrideConfig::default());
+        let mut out = Vec::new();
+        for i in 0..5u64 {
+            p.on_miss(&miss(0x400, 0x10000 + i * 128, i), &mut out);
+        }
+        out.clear();
+        // A different PC aliasing to the same slot (entries * 4 apart).
+        let alias_pc = 0x400 + u64::from(StrideConfig::default().entries) * 4;
+        p.on_miss(&miss(alias_pc, 0x50000, 10), &mut out);
+        assert!(out.is_empty());
+        // Original PC must retrain from scratch.
+        p.on_miss(&miss(0x400, 0x10000, 11), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn zero_stride_never_prefetches() {
+        let mut p = StridePrefetcher::new(StrideConfig::default());
+        let mut out = Vec::new();
+        for i in 0..8u64 {
+            p.on_miss(&miss(0x400, 0x30000, i), &mut out);
+        }
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_entries_rejected() {
+        let _ = StridePrefetcher::new(StrideConfig { entries: 300, ..StrideConfig::default() });
+    }
+}

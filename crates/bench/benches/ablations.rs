@@ -1,0 +1,96 @@
+//! Ablation benches for the design choices DESIGN.md calls out: THT
+//! history depth, prefetch degree, PHT indexing policy, and per-engine
+//! miss-processing throughput (the "can this run at L2-controller speed"
+//! question the paper's hardware budget implies).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tcp_baselines::{Dbcp, DbcpConfig, MarkovConfig, MarkovPrefetcher, StrideConfig, StridePrefetcher};
+use tcp_bench::synthetic_miss_stream;
+use tcp_cache::{PrefetchRequest, Prefetcher};
+use tcp_core::{Tcp, TcpConfig};
+
+const STREAM: usize = 50_000;
+
+fn drive(engine: &mut dyn Prefetcher, stream: &[tcp_cache::L1MissInfo]) -> usize {
+    let mut out: Vec<PrefetchRequest> = Vec::new();
+    let mut total = 0;
+    for info in stream {
+        out.clear();
+        engine.on_miss(info, &mut out);
+        total += out.len();
+    }
+    total
+}
+
+fn bench_engine_throughput(c: &mut Criterion) {
+    let stream = synthetic_miss_stream(STREAM);
+    let mut g = c.benchmark_group("engine_throughput");
+    g.throughput(Throughput::Elements(STREAM as u64));
+
+    g.bench_function("tcp_8k", |b| {
+        b.iter(|| {
+            let mut e = Tcp::new(TcpConfig::tcp_8k());
+            black_box(drive(&mut e, &stream))
+        });
+    });
+    g.bench_function("tcp_8m", |b| {
+        b.iter(|| {
+            let mut e = Tcp::new(TcpConfig::tcp_8m());
+            black_box(drive(&mut e, &stream))
+        });
+    });
+    g.bench_function("dbcp_2m", |b| {
+        b.iter(|| {
+            let mut e = Dbcp::new(DbcpConfig::dbcp_2m());
+            black_box(drive(&mut e, &stream))
+        });
+    });
+    g.bench_function("stride", |b| {
+        b.iter(|| {
+            let mut e = StridePrefetcher::new(StrideConfig::default());
+            black_box(drive(&mut e, &stream))
+        });
+    });
+    g.bench_function("markov_1m", |b| {
+        b.iter(|| {
+            let mut e = MarkovPrefetcher::new(MarkovConfig::default());
+            black_box(drive(&mut e, &stream))
+        });
+    });
+    g.finish();
+}
+
+fn bench_tcp_design_points(c: &mut Criterion) {
+    let stream = synthetic_miss_stream(STREAM);
+    let mut g = c.benchmark_group("tcp_design_points");
+    g.throughput(Throughput::Elements(STREAM as u64));
+
+    for k in [1usize, 2, 3, 4] {
+        g.bench_with_input(BenchmarkId::new("history_len", k), &k, |b, &k| {
+            b.iter(|| {
+                let mut e = Tcp::new(TcpConfig { history_len: k, ..TcpConfig::tcp_8k() });
+                black_box(drive(&mut e, &stream))
+            });
+        });
+    }
+    for degree in [1usize, 2, 4] {
+        g.bench_with_input(BenchmarkId::new("degree", degree), &degree, |b, &degree| {
+            b.iter(|| {
+                let mut e = Tcp::new(TcpConfig { degree, ..TcpConfig::tcp_8k() });
+                black_box(drive(&mut e, &stream))
+            });
+        });
+    }
+    for bits in [0u32, 2, 10] {
+        g.bench_with_input(BenchmarkId::new("miss_index_bits", bits), &bits, |b, &bits| {
+            b.iter(|| {
+                let mut e = Tcp::new(TcpConfig::with_pht_bytes(8 * 1024 * 1024, bits));
+                black_box(drive(&mut e, &stream))
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine_throughput, bench_tcp_design_points);
+criterion_main!(benches);

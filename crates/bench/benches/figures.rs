@@ -1,0 +1,115 @@
+//! One bench per paper table/figure: measures the cost of regenerating
+//! each artefact at a reduced scale and, as a side effect, asserts the
+//! pipeline still produces data for every figure. Full-scale regeneration
+//! lives in the `tcp-experiments` binaries (`cargo run -p tcp-experiments
+//! --bin fig11`, etc.).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tcp_experiments::{characterize, fig01, fig09, fig11, fig12, fig13, fig14, table1};
+use tcp_mem::{SetIndex, Tag};
+use tcp_sim::SystemConfig;
+use tcp_workloads::{suite, Benchmark};
+
+const OPS: u64 = 60_000;
+
+fn subset() -> Vec<Benchmark> {
+    suite().into_iter().filter(|b| ["fma3d", "art", "ammp"].contains(&b.name)).collect()
+}
+
+fn bench_table1(c: &mut Criterion) {
+    c.bench_function("table1/render", |b| {
+        let cfg = SystemConfig::table1();
+        b.iter(|| black_box(table1::render(&cfg).render().len()));
+    });
+}
+
+fn bench_fig01(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig01");
+    g.sample_size(10);
+    g.bench_function("ideal_l2_subset", |b| {
+        let benches = subset();
+        b.iter(|| black_box(fig01::run(&benches, OPS).len()));
+    });
+    g.finish();
+}
+
+fn bench_characterisation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig02_to_07_and_15");
+    g.sample_size(10);
+    g.bench_function("characterize_subset", |b| {
+        let benches = subset();
+        b.iter(|| {
+            let profiles = characterize::characterize_suite(&benches, OPS);
+            black_box(profiles.iter().map(|p| p.unique_sequences).sum::<u64>())
+        });
+    });
+    g.finish();
+}
+
+fn bench_fig09(c: &mut Criterion) {
+    c.bench_function("fig09/index_walkthrough", |b| {
+        let cfg = tcp_core::PhtConfig::pht_8k();
+        let seq = [Tag::new(0xF3), Tag::new(0xA41)];
+        b.iter(|| black_box(fig09::walkthrough(&cfg, &seq, SetIndex::new(0x2A7)).len()));
+    });
+}
+
+fn bench_fig11(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11");
+    g.sample_size(10);
+    g.bench_function("tcp_vs_dbcp_subset", |b| {
+        let benches = subset();
+        b.iter(|| {
+            let fig = fig11::run(&benches, OPS);
+            black_box(fig.rows.len())
+        });
+    });
+    g.finish();
+}
+
+fn bench_fig12(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig12");
+    g.sample_size(10);
+    g.bench_function("l2_breakdown_subset", |b| {
+        let benches = subset();
+        b.iter(|| black_box(fig12::run(&benches, OPS).tcp_8k.len()));
+    });
+    g.finish();
+}
+
+fn bench_fig13(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig13");
+    g.sample_size(10);
+    g.bench_function("pht_sweep_one_point", |b| {
+        // One size point rather than the whole 18-configuration sweep.
+        let benches = subset();
+        b.iter(|| {
+            let fig = fig13::run(&benches, OPS / 2);
+            black_box(fig.sizes.len() + fig.index_bits.len())
+        });
+    });
+    g.finish();
+}
+
+fn bench_fig14(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig14");
+    g.sample_size(10);
+    g.bench_function("hybrid_subset", |b| {
+        let benches = subset();
+        b.iter(|| black_box(fig14::run(&benches, OPS).len()));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_table1,
+    bench_fig01,
+    bench_characterisation,
+    bench_fig09,
+    bench_fig11,
+    bench_fig12,
+    bench_fig13,
+    bench_fig14
+);
+criterion_main!(benches);

@@ -1,0 +1,113 @@
+//! Microbenchmarks of the hardware-model primitives.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use tcp_analysis::miss_stream;
+use tcp_cache::{Bus, Cache, HierarchyConfig, MemoryHierarchy, NullPrefetcher, Replacement};
+use tcp_core::{truncated_sum, PatternHistoryTable, PhtConfig, TagHistoryTable};
+use tcp_mem::{Addr, CacheGeometry, MemAccess, SetIndex, Tag};
+use tcp_workloads::suite;
+
+fn bench_primitives(c: &mut Criterion) {
+    let mut g = c.benchmark_group("primitives");
+
+    g.bench_function("truncated_sum/k2", |b| {
+        let seq = [Tag::new(0x1234), Tag::new(0x5678)];
+        b.iter(|| truncated_sum(black_box(&seq), 8));
+    });
+
+    g.bench_function("tht/push_and_read", |b| {
+        let mut tht = TagHistoryTable::new(1024, 2);
+        let mut i = 0u64;
+        b.iter(|| {
+            let set = SetIndex::new((i % 1024) as u32);
+            tht.push(set, Tag::new(i % 97));
+            i += 1;
+            black_box(tht.sequence(set).is_some())
+        });
+    });
+
+    g.bench_function("pht_8k/train_lookup", |b| {
+        let mut pht = PatternHistoryTable::new(PhtConfig::pht_8k());
+        let mut i = 0u64;
+        b.iter(|| {
+            let seq = [Tag::new(i % 61), Tag::new((i + 1) % 61)];
+            let set = SetIndex::new((i % 1024) as u32);
+            pht.train(&seq, Tag::new((i + 2) % 61), set);
+            i += 1;
+            black_box(pht.lookup(&seq, set))
+        });
+    });
+
+    g.bench_function("pht_8m/train_lookup", |b| {
+        let mut pht = PatternHistoryTable::new(PhtConfig::pht_8m());
+        let mut i = 0u64;
+        b.iter(|| {
+            let seq = [Tag::new(i % 61), Tag::new((i + 1) % 61)];
+            let set = SetIndex::new((i % 1024) as u32);
+            pht.train(&seq, Tag::new((i + 2) % 61), set);
+            i += 1;
+            black_box(pht.lookup(&seq, set))
+        });
+    });
+
+    g.bench_function("cache/l1_access_mixed", |b| {
+        let geom = CacheGeometry::new(32 * 1024, 32, 1);
+        let mut cache = Cache::new(geom, Replacement::Lru);
+        let mut i = 0u64;
+        b.iter(|| {
+            let line = geom.line_addr(Addr::new((i * 40) % (1 << 22)));
+            if let tcp_cache::AccessOutcome::Miss = cache.access(line, false, i) {
+                cache.fill(line, i, false);
+            }
+            i += 1;
+        });
+    });
+
+    g.bench_function("bus/schedule", |b| {
+        let mut bus = Bus::new(4);
+        let mut t = 0u64;
+        b.iter(|| {
+            let (_, done) = bus.schedule(t);
+            t = done.saturating_sub(2);
+            black_box(done)
+        });
+    });
+
+    g.finish();
+}
+
+fn bench_pipelines(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipelines");
+    g.sample_size(10);
+
+    const N: u64 = 200_000;
+    g.throughput(Throughput::Elements(N));
+
+    g.bench_function("workload_generation/swim", |b| {
+        let bench = suite().into_iter().find(|x| x.name == "swim").unwrap();
+        b.iter(|| bench.generator(N).count());
+    });
+
+    g.bench_function("miss_stream_extraction/gzip", |b| {
+        let bench = suite().into_iter().find(|x| x.name == "gzip").unwrap();
+        let l1 = CacheGeometry::new(32 * 1024, 32, 1);
+        b.iter(|| miss_stream(l1, bench.generator(N).filter_map(|op| op.mem_access())).count());
+    });
+
+    g.bench_function("hierarchy/demand_stream", |b| {
+        b.iter(|| {
+            let mut h = MemoryHierarchy::new(HierarchyConfig::default(), Box::new(NullPrefetcher));
+            let mut t = 0;
+            for i in 0..N {
+                let r = h.access(MemAccess::load(Addr::new(0x400), Addr::new((i * 48) % (1 << 24))), t);
+                t = r.completes_at.min(t + 4);
+            }
+            black_box(h.finalize().l1_misses)
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_primitives, bench_pipelines);
+criterion_main!(benches);

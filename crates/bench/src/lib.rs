@@ -1,0 +1,58 @@
+//! Criterion benchmark support for the TCP reproduction.
+//!
+//! The real content lives in `benches/`:
+//!
+//! * `microbench` — throughput of the hardware-model primitives (THT,
+//!   PHT, caches, buses, workload generation, miss-stream extraction);
+//! * `figures` — end-to-end regeneration cost of each paper figure at a
+//!   reduced scale (the full-scale runs live in `tcp-experiments`);
+//! * `ablations` — per-engine miss-processing throughput and TCP design
+//!   points (history length, degree, indexing policy).
+//!
+//! This library only exposes small helpers shared by those benches.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use tcp_cache::L1MissInfo;
+use tcp_mem::{Addr, CacheGeometry, MemAccess, SplitMix64};
+
+/// Builds a deterministic synthetic miss stream of `n` records with a
+/// mixture of repeating per-set cycles (prefetchable) and noise, used to
+/// exercise prefetch engines without running the full simulator.
+pub fn synthetic_miss_stream(n: usize) -> Vec<L1MissInfo> {
+    let g = CacheGeometry::new(32 * 1024, 32, 1);
+    let mut rng = SplitMix64::new(0xBEEF);
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let set = (i % 1024) as u32;
+        let tag = if rng.chance(3, 4) {
+            // Repeating 3-tag cycle per set.
+            100 + ((i / 1024) % 3) as u64
+        } else {
+            rng.next_below(512)
+        };
+        let line = g.compose(tcp_mem::Tag::new(tag), tcp_mem::SetIndex::new(set));
+        out.push(L1MissInfo {
+            access: MemAccess::load(Addr::new(0x400), g.first_byte(line)),
+            line,
+            tag: tcp_mem::Tag::new(tag),
+            set: tcp_mem::SetIndex::new(set),
+            cycle: i as u64,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_has_requested_length_and_is_deterministic() {
+        let a = synthetic_miss_stream(1000);
+        let b = synthetic_miss_stream(1000);
+        assert_eq!(a.len(), 1000);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,344 @@
+//! A functional set-associative cache with per-line prefetch metadata.
+//!
+//! Timing is owned by [`crate::MemoryHierarchy`]; this type answers the
+//! purely structural questions — is the line present, which line gets
+//! evicted, which lines were prefetched but never demanded.
+
+use crate::Replacement;
+use tcp_mem::{CacheGeometry, LineAddr, SetIndex, Tag};
+
+/// Metadata kept for each resident cache line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LineMeta {
+    /// Tag of the resident line.
+    pub tag: Tag,
+    /// Line has been written and must be written back on eviction.
+    pub dirty: bool,
+    /// Line was brought in by a prefetch rather than a demand fetch.
+    pub prefetched: bool,
+    /// Line has serviced at least one demand access since fill.
+    pub demanded: bool,
+    /// Monotonic order stamp of the fill (for FIFO).
+    pub fill_order: u64,
+    /// Monotonic order stamp of the last access (for LRU).
+    pub last_access_order: u64,
+    /// Cycle at which the line was filled.
+    pub fill_cycle: u64,
+    /// Cycle of the most recent access.
+    pub last_access_cycle: u64,
+}
+
+/// A line pushed out of the cache by a fill.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Evicted {
+    /// Line address of the victim.
+    pub line: LineAddr,
+    /// Victim metadata at eviction time.
+    pub meta: LineMeta,
+}
+
+/// Outcome of a demand access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessOutcome {
+    /// The line was resident. `first_demand_of_prefetch` is `true` when
+    /// this is the first demand touch of a line a prefetcher brought in —
+    /// the event counted as "prefetched original" in Figure 12.
+    Hit {
+        /// First demand use of a prefetched line.
+        first_demand_of_prefetch: bool,
+    },
+    /// The line was not resident.
+    Miss,
+}
+
+/// A set-associative cache.
+///
+/// # Examples
+///
+/// ```
+/// use tcp_cache::{Cache, Replacement};
+/// use tcp_mem::{Addr, CacheGeometry};
+///
+/// let geom = CacheGeometry::new(32 * 1024, 32, 1);
+/// let mut c = Cache::new(geom, Replacement::Lru);
+/// let line = geom.line_addr(Addr::new(0x1000));
+/// assert!(!c.contains(line));
+/// c.fill(line, 0, false);
+/// assert!(c.contains(line));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Cache {
+    geom: CacheGeometry,
+    policy: Replacement,
+    ways: Vec<Option<LineMeta>>, // num_sets * associativity, row-major by set
+    order: u64,
+    occupied: u64,
+}
+
+impl Cache {
+    /// Creates an empty cache with the given geometry and policy.
+    pub fn new(geom: CacheGeometry, policy: Replacement) -> Self {
+        let n = geom.num_sets() as usize * geom.associativity() as usize;
+        Cache { geom, policy, ways: vec![None; n], order: 0, occupied: 0 }
+    }
+
+    /// The cache's geometry.
+    pub fn geometry(&self) -> &CacheGeometry {
+        &self.geom
+    }
+
+    /// Number of resident lines.
+    pub fn occupied_lines(&self) -> u64 {
+        self.occupied
+    }
+
+    fn set_range(&self, set: SetIndex) -> std::ops::Range<usize> {
+        let assoc = self.geom.associativity() as usize;
+        let base = set.as_usize() * assoc;
+        base..base + assoc
+    }
+
+    fn find(&self, tag: Tag, set: SetIndex) -> Option<usize> {
+        self.set_range(set).find(|&i| self.ways[i].map(|m| m.tag) == Some(tag))
+    }
+
+    /// Returns `true` if the line is resident.
+    pub fn contains(&self, line: LineAddr) -> bool {
+        let (tag, set) = self.geom.split_line(line);
+        self.find(tag, set).is_some()
+    }
+
+    /// Returns the metadata of a resident line, if present.
+    pub fn peek(&self, line: LineAddr) -> Option<&LineMeta> {
+        let (tag, set) = self.geom.split_line(line);
+        self.find(tag, set).and_then(|i| self.ways[i].as_ref())
+    }
+
+    /// Performs a demand access (load or store) to the line.
+    ///
+    /// On a hit, the line's recency and dirty state are updated and the
+    /// prefetch-credit event is reported. On a miss nothing changes: the
+    /// caller decides when the fill lands (after the memory round trip).
+    pub fn access(&mut self, line: LineAddr, write: bool, cycle: u64) -> AccessOutcome {
+        let (tag, set) = self.geom.split_line(line);
+        match self.find(tag, set) {
+            Some(i) => {
+                self.order += 1;
+                let m = self.ways[i].as_mut().expect("found way is occupied");
+                let first = m.prefetched && !m.demanded;
+                m.demanded = true;
+                m.dirty |= write;
+                m.last_access_order = self.order;
+                m.last_access_cycle = cycle;
+                AccessOutcome::Hit { first_demand_of_prefetch: first }
+            }
+            None => AccessOutcome::Miss,
+        }
+    }
+
+    /// Installs a line, evicting a victim if the set is full.
+    ///
+    /// `prefetched` marks prefetcher-initiated fills for the Figure 12
+    /// accounting. Filling a line that is already resident refreshes its
+    /// recency and returns `None`.
+    pub fn fill(&mut self, line: LineAddr, cycle: u64, prefetched: bool) -> Option<Evicted> {
+        let (tag, set) = self.geom.split_line(line);
+        self.order += 1;
+        if let Some(i) = self.find(tag, set) {
+            let m = self.ways[i].as_mut().expect("found way is occupied");
+            m.last_access_order = self.order;
+            m.last_access_cycle = cycle;
+            return None;
+        }
+        let meta = LineMeta {
+            tag,
+            dirty: false,
+            prefetched,
+            demanded: false,
+            fill_order: self.order,
+            last_access_order: self.order,
+            fill_cycle: cycle,
+            last_access_cycle: cycle,
+        };
+        // Empty way first.
+        if let Some(i) = self.set_range(set).find(|&i| self.ways[i].is_none()) {
+            self.ways[i] = Some(meta);
+            self.occupied += 1;
+            return None;
+        }
+        // Choose a victim among occupied ways.
+        let range = self.set_range(set);
+        let stamps: Vec<(u64, u64)> = range
+            .clone()
+            .map(|i| {
+                let m = self.ways[i].expect("set is full");
+                (m.fill_order, m.last_access_order)
+            })
+            .collect();
+        let victim_way = self.policy.choose_victim(&stamps);
+        let idx = range.start + victim_way;
+        let old = self.ways[idx].replace(meta).expect("victim way was occupied");
+        Some(Evicted { line: self.geom.compose(old.tag, set), meta: old })
+    }
+
+    /// Marks a resident line as having serviced a demand access, without
+    /// updating recency. Returns `false` if the line is not resident.
+    ///
+    /// Used by the hierarchy to keep prefetch-credit accounting consistent
+    /// when the credit was granted elsewhere (e.g. a demand miss merged
+    /// into an in-flight prefetch).
+    pub fn mark_demanded(&mut self, line: LineAddr) -> bool {
+        let (tag, set) = self.geom.split_line(line);
+        if let Some(i) = self.find(tag, set) {
+            self.ways[i].as_mut().expect("found way is occupied").demanded = true;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Marks a resident line dirty without updating recency. Returns
+    /// `false` if the line is not resident.
+    pub fn mark_dirty(&mut self, line: LineAddr) -> bool {
+        let (tag, set) = self.geom.split_line(line);
+        if let Some(i) = self.find(tag, set) {
+            self.ways[i].as_mut().expect("found way is occupied").dirty = true;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes a line if resident, returning its metadata.
+    pub fn invalidate(&mut self, line: LineAddr) -> Option<LineMeta> {
+        let (tag, set) = self.geom.split_line(line);
+        if let Some(i) = self.find(tag, set) {
+            self.occupied -= 1;
+            self.ways[i].take()
+        } else {
+            None
+        }
+    }
+
+    /// Iterates over all resident lines as `(line address, metadata)`.
+    pub fn iter(&self) -> impl Iterator<Item = (LineAddr, &LineMeta)> + '_ {
+        let assoc = self.geom.associativity() as usize;
+        self.ways.iter().enumerate().filter_map(move |(i, w)| {
+            w.as_ref().map(|m| {
+                let set = SetIndex::new((i / assoc) as u32);
+                (self.geom.compose(m.tag, set), m)
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcp_mem::Addr;
+
+    fn dm_l1() -> Cache {
+        Cache::new(CacheGeometry::new(32 * 1024, 32, 1), Replacement::Lru)
+    }
+
+    fn small_4way() -> Cache {
+        // 8 lines of 32 B, 4-way: 2 sets.
+        Cache::new(CacheGeometry::new(256, 32, 4), Replacement::Lru)
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut c = dm_l1();
+        let line = c.geometry().line_addr(Addr::new(0x1000));
+        assert_eq!(c.access(line, false, 0), AccessOutcome::Miss);
+        assert!(c.fill(line, 1, false).is_none());
+        assert!(matches!(c.access(line, false, 2), AccessOutcome::Hit { .. }));
+        assert_eq!(c.occupied_lines(), 1);
+    }
+
+    #[test]
+    fn direct_mapped_conflict_evicts() {
+        let mut c = dm_l1();
+        let a = c.geometry().line_addr(Addr::new(0x1000));
+        let b = c.geometry().line_addr(Addr::new(0x1000 + 32 * 1024)); // same set
+        c.fill(a, 0, false);
+        let ev = c.fill(b, 1, false).expect("conflict must evict");
+        assert_eq!(ev.line, a);
+        assert!(!c.contains(a));
+        assert!(c.contains(b));
+        assert_eq!(c.occupied_lines(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent_way() {
+        let mut c = small_4way();
+        let g = *c.geometry();
+        // Four lines in set 0 (stride = num_sets * line = 64 B).
+        let lines: Vec<_> = (0..5).map(|i| g.line_addr(Addr::new(i * 64))).collect();
+        for l in &lines[..4] {
+            c.fill(*l, 0, false);
+        }
+        // Touch 0,2,3 so line 1 is LRU.
+        c.access(lines[0], false, 1);
+        c.access(lines[2], false, 2);
+        c.access(lines[3], false, 3);
+        let ev = c.fill(lines[4], 4, false).expect("full set evicts");
+        assert_eq!(ev.line, lines[1]);
+    }
+
+    #[test]
+    fn dirty_propagates_to_eviction() {
+        let mut c = dm_l1();
+        let g = *c.geometry();
+        let a = g.line_addr(Addr::new(0x2000));
+        let b = g.line_addr(Addr::new(0x2000 + 32 * 1024));
+        c.fill(a, 0, false);
+        c.access(a, true, 1);
+        let ev = c.fill(b, 2, false).expect("evicts");
+        assert!(ev.meta.dirty);
+    }
+
+    #[test]
+    fn prefetch_credit_reported_once() {
+        let mut c = dm_l1();
+        let line = c.geometry().line_addr(Addr::new(0x3000));
+        c.fill(line, 0, true);
+        assert_eq!(c.access(line, false, 1), AccessOutcome::Hit { first_demand_of_prefetch: true });
+        assert_eq!(c.access(line, false, 2), AccessOutcome::Hit { first_demand_of_prefetch: false });
+    }
+
+    #[test]
+    fn refill_of_resident_line_does_not_evict_or_duplicate() {
+        let mut c = small_4way();
+        let line = c.geometry().line_addr(Addr::new(0));
+        c.fill(line, 0, false);
+        assert!(c.fill(line, 1, true).is_none());
+        assert_eq!(c.occupied_lines(), 1);
+        // Refill must not clear the demand/prefetch state into a prefetch credit.
+        assert_eq!(c.access(line, false, 2), AccessOutcome::Hit { first_demand_of_prefetch: false });
+    }
+
+    #[test]
+    fn invalidate_removes_line() {
+        let mut c = dm_l1();
+        let line = c.geometry().line_addr(Addr::new(0x4000));
+        c.fill(line, 0, false);
+        assert!(c.invalidate(line).is_some());
+        assert!(!c.contains(line));
+        assert!(c.invalidate(line).is_none());
+        assert_eq!(c.occupied_lines(), 0);
+    }
+
+    #[test]
+    fn iter_reports_resident_lines() {
+        let mut c = small_4way();
+        let g = *c.geometry();
+        let a = g.line_addr(Addr::new(0));
+        let b = g.line_addr(Addr::new(32)); // other set
+        c.fill(a, 0, false);
+        c.fill(b, 0, true);
+        let mut lines: Vec<_> = c.iter().map(|(l, m)| (l, m.prefetched)).collect();
+        lines.sort();
+        assert_eq!(lines, vec![(a, false), (b, true)]);
+    }
+}

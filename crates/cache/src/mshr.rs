@@ -1,0 +1,215 @@
+//! Miss status holding registers: the bound on outstanding misses.
+//!
+//! The simulated machine (Table 1) gives the L1 data cache 64 MSHRs. An
+//! MSHR tracks one in-flight line fill; a second miss to the same line
+//! merges into the existing entry instead of issuing a duplicate fetch,
+//! and when all registers are busy new misses must wait for the earliest
+//! completion — the mechanism that caps memory-level parallelism.
+
+use std::collections::HashMap;
+use tcp_mem::LineAddr;
+
+/// An in-flight fill tracked by an MSHR.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InflightFill {
+    /// Cycle at which the fill data arrives.
+    pub ready_at: u64,
+    /// The fill was initiated by a prefetch.
+    pub is_prefetch: bool,
+    /// A demand access has merged into this fill while it was in flight.
+    pub demanded: bool,
+    /// A store has merged into this fill; the line must fill dirty.
+    pub dirty: bool,
+}
+
+/// A file of miss status holding registers keyed by line address.
+///
+/// # Examples
+///
+/// ```
+/// use tcp_cache::MshrFile;
+/// use tcp_mem::LineAddr;
+///
+/// let mut m = MshrFile::new(2);
+/// let l = LineAddr::from_line_number(7);
+/// m.allocate(l, 100, false);
+/// assert_eq!(m.lookup(l).unwrap().ready_at, 100);
+/// ```
+#[derive(Clone, Debug)]
+pub struct MshrFile {
+    capacity: usize,
+    inflight: HashMap<LineAddr, InflightFill>,
+}
+
+impl MshrFile {
+    /// Creates a file with `capacity` registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "MSHR capacity must be nonzero");
+        MshrFile { capacity, inflight: HashMap::new() }
+    }
+
+    /// Number of registers.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of fills currently in flight.
+    pub fn in_use(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// `true` when no register is free.
+    pub fn is_full(&self) -> bool {
+        self.inflight.len() >= self.capacity
+    }
+
+    /// Looks up an in-flight fill for `line`.
+    pub fn lookup(&self, line: LineAddr) -> Option<&InflightFill> {
+        self.inflight.get(&line)
+    }
+
+    /// Marks an in-flight fill as demanded (a demand miss merged into it).
+    ///
+    /// Returns `false` if no fill for `line` is in flight.
+    pub fn mark_demanded(&mut self, line: LineAddr) -> bool {
+        if let Some(f) = self.inflight.get_mut(&line) {
+            f.demanded = true;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Allocates a register for a new fill.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file is full or a fill for `line` already exists —
+    /// callers must check [`MshrFile::is_full`] and merge via
+    /// [`MshrFile::lookup`] first.
+    pub fn allocate(&mut self, line: LineAddr, ready_at: u64, is_prefetch: bool) {
+        assert!(!self.is_full(), "MSHR file is full");
+        let prev = self
+            .inflight
+            .insert(line, InflightFill { ready_at, is_prefetch, demanded: !is_prefetch, dirty: false });
+        assert!(prev.is_none(), "duplicate MSHR allocation for {line}");
+    }
+
+    /// Marks an in-flight fill dirty (a store merged into it).
+    ///
+    /// Returns `false` if no fill for `line` is in flight.
+    pub fn mark_dirty(&mut self, line: LineAddr) -> bool {
+        if let Some(f) = self.inflight.get_mut(&line) {
+            f.dirty = true;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Earliest completion cycle among in-flight fills, if any.
+    pub fn earliest_ready(&self) -> Option<u64> {
+        self.inflight.values().map(|f| f.ready_at).min()
+    }
+
+    /// Removes and returns every fill with `ready_at <= now`.
+    pub fn drain_ready(&mut self, now: u64) -> Vec<(LineAddr, InflightFill)> {
+        let ready: Vec<LineAddr> =
+            self.inflight.iter().filter(|(_, f)| f.ready_at <= now).map(|(l, _)| *l).collect();
+        let mut out = Vec::with_capacity(ready.len());
+        for l in ready {
+            let f = self.inflight.remove(&l).expect("key listed above");
+            out.push((l, f));
+        }
+        // Deterministic order for reproducibility.
+        out.sort_by_key(|(l, f)| (f.ready_at, l.line_number()));
+        out
+    }
+
+    /// Removes every in-flight fill, returning them (end-of-run cleanup).
+    pub fn drain_all(&mut self) -> Vec<(LineAddr, InflightFill)> {
+        let mut out: Vec<_> = self.inflight.drain().collect();
+        out.sort_by_key(|(l, f)| (f.ready_at, l.line_number()));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(n: u64) -> LineAddr {
+        LineAddr::from_line_number(n)
+    }
+
+    #[test]
+    fn allocate_and_lookup() {
+        let mut m = MshrFile::new(4);
+        m.allocate(l(1), 10, false);
+        m.allocate(l(2), 20, true);
+        assert_eq!(m.in_use(), 2);
+        assert!(m.lookup(l(1)).unwrap().demanded);
+        assert!(!m.lookup(l(2)).unwrap().demanded);
+        assert!(m.lookup(l(3)).is_none());
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut m = MshrFile::new(2);
+        m.allocate(l(1), 1, false);
+        assert!(!m.is_full());
+        m.allocate(l(2), 2, false);
+        assert!(m.is_full());
+    }
+
+    #[test]
+    #[should_panic(expected = "full")]
+    fn overflow_panics() {
+        let mut m = MshrFile::new(1);
+        m.allocate(l(1), 1, false);
+        m.allocate(l(2), 2, false);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_allocation_panics() {
+        let mut m = MshrFile::new(2);
+        m.allocate(l(1), 1, false);
+        m.allocate(l(1), 2, false);
+    }
+
+    #[test]
+    fn merge_marks_demanded() {
+        let mut m = MshrFile::new(2);
+        m.allocate(l(5), 50, true);
+        assert!(m.mark_demanded(l(5)));
+        assert!(m.lookup(l(5)).unwrap().demanded);
+        assert!(!m.mark_demanded(l(6)));
+    }
+
+    #[test]
+    fn drain_ready_is_ordered_and_partial() {
+        let mut m = MshrFile::new(8);
+        m.allocate(l(1), 30, false);
+        m.allocate(l(2), 10, false);
+        m.allocate(l(3), 20, true);
+        let drained = m.drain_ready(25);
+        assert_eq!(drained.iter().map(|(a, _)| a.line_number()).collect::<Vec<_>>(), vec![2, 3]);
+        assert_eq!(m.in_use(), 1);
+        assert_eq!(m.earliest_ready(), Some(30));
+    }
+
+    #[test]
+    fn drain_all_empties() {
+        let mut m = MshrFile::new(4);
+        m.allocate(l(1), 5, false);
+        m.allocate(l(2), 6, false);
+        assert_eq!(m.drain_all().len(), 2);
+        assert_eq!(m.in_use(), 0);
+        assert_eq!(m.earliest_ready(), None);
+    }
+}

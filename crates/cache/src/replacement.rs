@@ -1,0 +1,144 @@
+//! Replacement policies for set-associative caches.
+
+use tcp_mem::SplitMix64;
+
+/// Victim-selection policy within a cache set.
+///
+/// The paper's caches are LRU (Table 1); FIFO, Random, and tree-PLRU are
+/// provided for ablation studies and for stress-testing prefetcher
+/// robustness against different eviction orders.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Replacement {
+    /// Evict the least-recently-used way (the paper's configuration).
+    Lru,
+    /// Evict the oldest-filled way regardless of use.
+    Fifo,
+    /// Evict a pseudo-random way (deterministic, seeded).
+    Random(SplitMix64),
+    /// Tree pseudo-LRU: the one-bit-per-node approximation real caches
+    /// implement. Approximated here from access recency: follow the
+    /// less-recent half of the ways at each tree level.
+    TreePlru,
+}
+
+impl Replacement {
+    /// Creates the deterministic random policy from a seed.
+    pub fn random(seed: u64) -> Self {
+        Replacement::Random(SplitMix64::new(seed))
+    }
+
+    /// Chooses a victim way among `ways`, where each element is
+    /// `(fill_order, last_access_order)` for an occupied way.
+    ///
+    /// Invalid (empty) ways are handled by the cache before this is called;
+    /// this method only picks among occupied ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ways` is empty.
+    pub fn choose_victim(&mut self, ways: &[(u64, u64)]) -> usize {
+        assert!(!ways.is_empty(), "cannot choose a victim among zero ways");
+        match self {
+            Replacement::Lru => {
+                ways.iter().enumerate().min_by_key(|(_, &(_, last))| last).map(|(i, _)| i).expect("nonempty")
+            }
+            Replacement::Fifo => {
+                ways.iter().enumerate().min_by_key(|(_, &(fill, _))| fill).map(|(i, _)| i).expect("nonempty")
+            }
+            Replacement::Random(rng) => rng.next_below(ways.len() as u64) as usize,
+            Replacement::TreePlru => {
+                // Binary descent: at each level keep the half whose most
+                // recent access is older (the half the PLRU bits would
+                // point away from).
+                let mut lo = 0usize;
+                let mut hi = ways.len();
+                while hi - lo > 1 {
+                    let mid = lo + (hi - lo) / 2;
+                    let newest_left =
+                        ways[lo..mid].iter().map(|&(_, last)| last).max().unwrap_or(0);
+                    let newest_right =
+                        ways[mid..hi].iter().map(|&(_, last)| last).max().unwrap_or(0);
+                    if newest_left <= newest_right {
+                        hi = mid;
+                    } else {
+                        lo = mid;
+                    }
+                }
+                lo
+            }
+        }
+    }
+}
+
+impl Default for Replacement {
+    fn default() -> Self {
+        Replacement::Lru
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_picks_least_recent() {
+        let mut p = Replacement::Lru;
+        // (fill, last_access)
+        let ways = [(0, 5), (1, 2), (2, 9)];
+        assert_eq!(p.choose_victim(&ways), 1);
+    }
+
+    #[test]
+    fn fifo_picks_oldest_fill() {
+        let mut p = Replacement::Fifo;
+        let ways = [(7, 1), (3, 100), (9, 2)];
+        assert_eq!(p.choose_victim(&ways), 1);
+    }
+
+    #[test]
+    fn random_is_deterministic_and_in_range() {
+        let mut a = Replacement::random(42);
+        let mut b = Replacement::random(42);
+        let ways = [(0, 0), (1, 1), (2, 2), (3, 3)];
+        for _ in 0..32 {
+            let va = a.choose_victim(&ways);
+            assert_eq!(va, b.choose_victim(&ways));
+            assert!(va < 4);
+        }
+    }
+
+    #[test]
+    fn tree_plru_picks_from_the_older_half() {
+        let mut p = Replacement::TreePlru;
+        // Ways 0..3 with recency (5, 9, 1, 2): right half (1, 2) is older,
+        // and within it way 2 (recency 1) is chosen.
+        assert_eq!(p.choose_victim(&[(0, 5), (0, 9), (0, 1), (0, 2)]), 2);
+        // All-left-recent: victim comes from the right.
+        assert!(p.choose_victim(&[(0, 10), (0, 11), (0, 1), (0, 3)]) >= 2);
+    }
+
+    #[test]
+    fn tree_plru_matches_lru_for_two_ways() {
+        let mut plru = Replacement::TreePlru;
+        let mut lru = Replacement::Lru;
+        for ways in [[(0u64, 3u64), (0, 7)], [(0, 9), (0, 2)], [(0, 1), (0, 1)]] {
+            assert_eq!(plru.choose_victim(&ways), lru.choose_victim(&ways));
+        }
+    }
+
+    #[test]
+    fn tree_plru_never_evicts_the_most_recent_way() {
+        let mut p = Replacement::TreePlru;
+        for newest in 0..8usize {
+            let ways: Vec<(u64, u64)> =
+                (0..8).map(|i| (0, if i == newest { 100 } else { i as u64 })).collect();
+            assert_ne!(p.choose_victim(&ways), newest, "MRU way must survive");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero ways")]
+    fn empty_ways_panics() {
+        Replacement::Lru.choose_victim(&[]);
+    }
+}

@@ -1,0 +1,180 @@
+//! Hierarchy statistics, including the Figure 12 L2-access decomposition.
+
+/// The three-way decomposition of L2 accesses from Figure 12 of the paper.
+///
+/// "Original" L2 accesses are demand accesses — the accesses that would
+/// reach L2 even without a prefetcher. With a prefetcher some of them are
+/// *pre-issued* (they find their data already prefetched, or merge into an
+/// in-flight prefetch); the rest are *non-prefetched*. Prefetches that
+/// fetch lines from memory which are never demanded before leaving the L2
+/// are *extra* accesses: pure overhead traffic.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct L2AccessBreakdown {
+    /// Demand L2 accesses whose data was brought (or being brought) by a
+    /// prefetch: the prefetcher captured these.
+    pub prefetched_original: u64,
+    /// Demand L2 accesses the prefetcher did not capture.
+    pub non_prefetched_original: u64,
+    /// Prefetch-initiated memory fetches whose lines were never demanded.
+    pub prefetched_extra: u64,
+}
+
+impl L2AccessBreakdown {
+    /// Total original (demand) L2 accesses.
+    pub fn original(&self) -> u64 {
+        self.prefetched_original + self.non_prefetched_original
+    }
+
+    /// The three bars of Figure 12, normalised to original L2 accesses:
+    /// `(prefetched original, non-prefetched original, prefetched extra)`.
+    pub fn normalized(&self) -> (f64, f64, f64) {
+        let base = self.original();
+        if base == 0 {
+            return (0.0, 0.0, 0.0);
+        }
+        let b = base as f64;
+        (
+            self.prefetched_original as f64 / b,
+            self.non_prefetched_original as f64 / b,
+            self.prefetched_extra as f64 / b,
+        )
+    }
+
+    /// Coverage: fraction of original accesses captured by the prefetcher.
+    pub fn coverage(&self) -> f64 {
+        self.normalized().0
+    }
+}
+
+/// Counters accumulated by [`crate::MemoryHierarchy`] during a run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HierarchyStats {
+    /// Demand loads observed.
+    pub loads: u64,
+    /// Demand stores observed.
+    pub stores: u64,
+    /// L1 data-cache hits.
+    pub l1_hits: u64,
+    /// Primary L1 data-cache misses (one per line fetch).
+    pub l1_misses: u64,
+    /// Secondary misses merged into an in-flight fill.
+    pub l1_mshr_merges: u64,
+    /// Cycles an access had to wait because every MSHR was busy.
+    pub mshr_stall_cycles: u64,
+    /// Demand accesses reaching the L2.
+    pub l2_demand_accesses: u64,
+    /// Demand accesses hitting in the L2 (or merging into a fill).
+    pub l2_demand_hits: u64,
+    /// Demand accesses missing in the L2 and going to memory.
+    pub l2_demand_misses: u64,
+    /// Prefetch requests handed to the hierarchy by the engine.
+    pub prefetches_issued: u64,
+    /// Prefetch requests that found their line already in L2 (completed
+    /// on the spot, no traffic).
+    pub prefetches_already_resident: u64,
+    /// Prefetch requests dropped because the in-flight prefetch buffer was
+    /// full.
+    pub prefetches_dropped: u64,
+    /// Prefetch requests that went to main memory.
+    pub prefetches_to_memory: u64,
+    /// Prefetched lines promoted into the L1 (hybrid design).
+    pub l1_prefetch_fills: u64,
+    /// Dirty lines written back from L1 to L2.
+    pub l1_writebacks: u64,
+    /// Dirty lines written back from L2 to memory.
+    pub l2_writebacks: u64,
+    /// Misses serviced by the optional victim cache (swap hits).
+    pub victim_hits: u64,
+    /// Data-TLB misses (optional model).
+    pub dtlb_misses: u64,
+    /// Cycles stores stalled because the store buffer was full.
+    pub store_buffer_stall_cycles: u64,
+    /// Figure 12 decomposition.
+    pub l2_breakdown: L2AccessBreakdown,
+}
+
+impl HierarchyStats {
+    /// Total demand accesses.
+    pub fn accesses(&self) -> u64 {
+        self.loads + self.stores
+    }
+
+    /// L1 miss rate over demand accesses (primary + merged misses).
+    pub fn l1_miss_rate(&self) -> f64 {
+        let total = self.accesses();
+        if total == 0 {
+            0.0
+        } else {
+            (self.l1_misses + self.l1_mshr_merges) as f64 / total as f64
+        }
+    }
+
+    /// L2 local hit rate over demand L2 accesses.
+    pub fn l2_hit_rate(&self) -> f64 {
+        if self.l2_demand_accesses == 0 {
+            0.0
+        } else {
+            self.l2_demand_hits as f64 / self.l2_demand_accesses as f64
+        }
+    }
+
+    /// Prefetch accuracy: useful prefetches / memory-fetching prefetches.
+    pub fn prefetch_accuracy(&self) -> f64 {
+        if self.prefetches_to_memory == 0 {
+            0.0
+        } else {
+            let useful = self.prefetches_to_memory.saturating_sub(self.l2_breakdown.prefetched_extra);
+            useful as f64 / self.prefetches_to_memory as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_normalization() {
+        let b = L2AccessBreakdown {
+            prefetched_original: 60,
+            non_prefetched_original: 40,
+            prefetched_extra: 25,
+        };
+        assert_eq!(b.original(), 100);
+        let (p, n, e) = b.normalized();
+        assert!((p - 0.60).abs() < 1e-12);
+        assert!((n - 0.40).abs() < 1e-12);
+        assert!((e - 0.25).abs() < 1e-12);
+        assert!((b.coverage() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn breakdown_zero_base_is_zero() {
+        let b = L2AccessBreakdown::default();
+        assert_eq!(b.normalized(), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn rates_handle_empty_runs() {
+        let s = HierarchyStats::default();
+        assert_eq!(s.l1_miss_rate(), 0.0);
+        assert_eq!(s.l2_hit_rate(), 0.0);
+        assert_eq!(s.prefetch_accuracy(), 0.0);
+    }
+
+    #[test]
+    fn miss_rate_counts_merges() {
+        let s = HierarchyStats { loads: 8, stores: 2, l1_misses: 2, l1_mshr_merges: 1, ..Default::default() };
+        assert!((s.l1_miss_rate() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prefetch_accuracy_uses_extra() {
+        let s = HierarchyStats {
+            prefetches_to_memory: 10,
+            l2_breakdown: L2AccessBreakdown { prefetched_extra: 4, ..Default::default() },
+            ..Default::default()
+        };
+        assert!((s.prefetch_accuracy() - 0.6).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,152 @@
+//! A victim cache after Jouppi (ISCA 1990) — the same paper that
+//! introduced stream buffers, cited by TCP's related work.
+//!
+//! A small fully-associative buffer beside a direct-mapped L1 holds the
+//! last few evicted lines; a miss that hits the buffer swaps the line
+//! back in a couple of cycles instead of paying the L2 round trip. It is
+//! the classic fix for the conflict misses a direct-mapped 32 KB L1
+//! suffers — and an interesting interaction study for TCP, whose raw
+//! material *is* the conflict-miss stream. Off by default; enabled via
+//! [`crate::HierarchyConfig::victim_cache_entries`].
+
+use std::collections::VecDeque;
+use tcp_mem::LineAddr;
+
+/// A small fully-associative FIFO victim buffer.
+///
+/// # Examples
+///
+/// ```
+/// use tcp_cache::VictimCache;
+/// use tcp_mem::LineAddr;
+///
+/// let mut vc = VictimCache::new(4);
+/// let l = LineAddr::from_line_number(9);
+/// vc.insert(l, false);
+/// assert_eq!(vc.take(l), Some(false)); // hit: removed with dirty state
+/// assert_eq!(vc.take(l), None);
+/// ```
+#[derive(Clone, Debug)]
+pub struct VictimCache {
+    capacity: usize,
+    entries: VecDeque<(LineAddr, bool)>, // (line, dirty), oldest first
+    hits: u64,
+    misses: u64,
+}
+
+impl VictimCache {
+    /// Creates an empty victim cache with `capacity` line slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "victim cache needs at least one entry");
+        VictimCache { capacity, entries: VecDeque::with_capacity(capacity), hits: 0, misses: 0 }
+    }
+
+    /// Number of line slots.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Lines currently buffered.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no victims are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// `(hits, misses)` observed by [`VictimCache::take`].
+    pub fn counters(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Buffers an evicted line; returns the overflowing oldest victim
+    /// `(line, dirty)` if the buffer was full (it continues down the
+    /// hierarchy).
+    pub fn insert(&mut self, line: LineAddr, dirty: bool) -> Option<(LineAddr, bool)> {
+        // Replace an existing copy of the same line.
+        if let Some(pos) = self.entries.iter().position(|&(l, _)| l == line) {
+            let (_, old_dirty) = self.entries.remove(pos).expect("position valid");
+            self.entries.push_back((line, dirty || old_dirty));
+            return None;
+        }
+        let overflow =
+            if self.entries.len() == self.capacity { self.entries.pop_front() } else { None };
+        self.entries.push_back((line, dirty));
+        overflow
+    }
+
+    /// Removes `line` if buffered, returning its dirty state — the swap
+    /// path of a victim-cache hit.
+    pub fn take(&mut self, line: LineAddr) -> Option<bool> {
+        match self.entries.iter().position(|&(l, _)| l == line) {
+            Some(pos) => {
+                self.hits += 1;
+                self.entries.remove(pos).map(|(_, d)| d)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(n: u64) -> LineAddr {
+        LineAddr::from_line_number(n)
+    }
+
+    #[test]
+    fn fifo_overflow_returns_oldest() {
+        let mut vc = VictimCache::new(2);
+        assert!(vc.insert(l(1), false).is_none());
+        assert!(vc.insert(l(2), true).is_none());
+        let overflow = vc.insert(l(3), false);
+        assert_eq!(overflow, Some((l(1), false)));
+        assert_eq!(vc.len(), 2);
+    }
+
+    #[test]
+    fn take_removes_and_counts() {
+        let mut vc = VictimCache::new(4);
+        vc.insert(l(7), true);
+        assert_eq!(vc.take(l(7)), Some(true));
+        assert_eq!(vc.take(l(7)), None);
+        assert_eq!(vc.counters(), (1, 1));
+        assert!(vc.is_empty());
+    }
+
+    #[test]
+    fn reinsert_merges_dirty_state() {
+        let mut vc = VictimCache::new(4);
+        vc.insert(l(5), true);
+        vc.insert(l(5), false);
+        assert_eq!(vc.len(), 1);
+        assert_eq!(vc.take(l(5)), Some(true), "dirty bit must not be lost");
+    }
+
+    #[test]
+    fn reinsert_refreshes_fifo_position() {
+        let mut vc = VictimCache::new(2);
+        vc.insert(l(1), false);
+        vc.insert(l(2), false);
+        vc.insert(l(1), false); // refresh: 1 is now newest
+        let overflow = vc.insert(l(3), false);
+        assert_eq!(overflow, Some((l(2), false)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_capacity_rejected() {
+        let _ = VictimCache::new(0);
+    }
+}

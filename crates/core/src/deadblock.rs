@@ -1,0 +1,215 @@
+//! The timekeeping dead-block predictor of Hu, Kaxiras & Martonosi
+//! (ISCA 2002), as used by the paper's hybrid prefetcher (Section 5.2.2).
+//!
+//! The predictor tracks, per L1 frame, how long the resident line stayed
+//! *live* (fill to last access) in previous generations. A line is
+//! predicted dead once the time since its last access exceeds a multiple
+//! of that learned live time — at which point replacing it early (with a
+//! prefetched line) costs nothing.
+
+/// Configuration of the timekeeping dead-block predictor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DbpConfig {
+    /// Number of L1 frames tracked (1024 for the paper's direct-mapped
+    /// 32 KB L1: one frame per set).
+    pub frames: u32,
+    /// Dead threshold as a multiple of the learned live time.
+    pub live_time_multiple: u64,
+    /// Floor on the dead threshold, in cycles, so brand-new frames are
+    /// not declared dead instantly.
+    pub min_dead_cycles: u64,
+}
+
+impl Default for DbpConfig {
+    fn default() -> Self {
+        DbpConfig { frames: 1024, live_time_multiple: 2, min_dead_cycles: 1024 }
+    }
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct FrameState {
+    fill: u64,
+    last_access: u64,
+    live_estimate: u64,
+    valid: bool,
+}
+
+/// Per-frame timekeeping dead-block predictor.
+///
+/// # Examples
+///
+/// ```
+/// use tcp_core::{DbpConfig, TimekeepingDbp};
+///
+/// let mut dbp = TimekeepingDbp::new(DbpConfig::default());
+/// dbp.on_fill(3, 0);
+/// dbp.on_access(3, 100); // live time so far: 100 cycles
+/// assert!(!dbp.predict_dead(3, 150));
+/// assert!(dbp.predict_dead(3, 100_000));
+/// ```
+#[derive(Clone, Debug)]
+pub struct TimekeepingDbp {
+    cfg: DbpConfig,
+    frames: Vec<FrameState>,
+    deaths_learned: u64,
+}
+
+impl TimekeepingDbp {
+    /// Creates a predictor with all frames untracked.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frames` or `live_time_multiple` is zero.
+    pub fn new(cfg: DbpConfig) -> Self {
+        assert!(cfg.frames > 0, "need at least one frame");
+        assert!(cfg.live_time_multiple > 0, "live-time multiple must be nonzero");
+        TimekeepingDbp { cfg, frames: vec![FrameState::default(); cfg.frames as usize], deaths_learned: 0 }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &DbpConfig {
+        &self.cfg
+    }
+
+    /// Hardware cost: per frame, two coarse time stamps and a live-time
+    /// estimate (the ISCA 2002 design uses a handful of bytes per frame;
+    /// we charge 6).
+    pub fn storage_bytes(&self) -> usize {
+        self.cfg.frames as usize * 6
+    }
+
+    /// Number of evictions the predictor has learned from.
+    pub fn deaths_learned(&self) -> u64 {
+        self.deaths_learned
+    }
+
+    fn frame_mut(&mut self, frame: u32) -> &mut FrameState {
+        let n = self.cfg.frames as usize;
+        &mut self.frames[frame as usize % n]
+    }
+
+    /// A new line was filled into `frame` at `now`.
+    pub fn on_fill(&mut self, frame: u32, now: u64) {
+        let f = self.frame_mut(frame);
+        f.fill = now;
+        f.last_access = now;
+        f.valid = true;
+    }
+
+    /// The resident line of `frame` was accessed at `now`.
+    pub fn on_access(&mut self, frame: u32, now: u64) {
+        let f = self.frame_mut(frame);
+        f.last_access = now.max(f.last_access);
+        f.valid = true;
+    }
+
+    /// The resident line of `frame` was evicted at `now`: learn its live
+    /// time (exponentially averaged with previous generations).
+    pub fn on_evict(&mut self, frame: u32, _now: u64) {
+        self.deaths_learned += 1;
+        let f = self.frame_mut(frame);
+        if f.valid {
+            let observed = f.last_access.saturating_sub(f.fill);
+            f.live_estimate = if f.live_estimate == 0 { observed } else { (f.live_estimate + observed) / 2 };
+            f.valid = false;
+        }
+    }
+
+    /// Is the line currently resident in `frame` predicted dead at `now`?
+    ///
+    /// Untracked frames are conservatively reported live.
+    pub fn predict_dead(&self, frame: u32, now: u64) -> bool {
+        let f = &self.frames[frame as usize % self.cfg.frames as usize];
+        if !f.valid {
+            return false;
+        }
+        let idle = now.saturating_sub(f.last_access);
+        let threshold = (f.live_estimate * self.cfg.live_time_multiple).max(self.cfg.min_dead_cycles);
+        idle > threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dbp() -> TimekeepingDbp {
+        TimekeepingDbp::new(DbpConfig { frames: 8, live_time_multiple: 2, min_dead_cycles: 100 })
+    }
+
+    #[test]
+    fn untracked_frame_is_live() {
+        let d = dbp();
+        assert!(!d.predict_dead(0, 1_000_000));
+    }
+
+    #[test]
+    fn recently_touched_frame_is_live() {
+        let mut d = dbp();
+        d.on_fill(1, 0);
+        d.on_access(1, 50);
+        assert!(!d.predict_dead(1, 60));
+    }
+
+    #[test]
+    fn long_idle_frame_is_dead() {
+        let mut d = dbp();
+        d.on_fill(1, 0);
+        d.on_access(1, 50);
+        assert!(d.predict_dead(1, 10_000));
+    }
+
+    #[test]
+    fn threshold_scales_with_learned_live_time() {
+        let mut d = dbp();
+        // Generation 1: live for 1000 cycles, then evicted.
+        d.on_fill(2, 0);
+        d.on_access(2, 1000);
+        d.on_evict(2, 1100);
+        assert_eq!(d.deaths_learned(), 1);
+        // Generation 2: idle 1500 < 2×1000 → still live; idle 2500 → dead.
+        d.on_fill(2, 2000);
+        d.on_access(2, 2100);
+        assert!(!d.predict_dead(2, 2100 + 1500));
+        assert!(d.predict_dead(2, 2100 + 2500));
+    }
+
+    #[test]
+    fn eviction_invalidates_until_next_fill() {
+        let mut d = dbp();
+        d.on_fill(3, 0);
+        d.on_access(3, 10);
+        d.on_evict(3, 20);
+        assert!(!d.predict_dead(3, 1_000_000), "empty frame is not 'dead'");
+        d.on_fill(3, 30);
+        assert!(d.predict_dead(3, 1_000_000));
+    }
+
+    #[test]
+    fn live_estimate_averages_generations() {
+        let mut d = dbp();
+        d.on_fill(4, 0);
+        d.on_access(4, 4000);
+        d.on_evict(4, 4000);
+        d.on_fill(4, 5000);
+        d.on_access(4, 5000); // live time 0
+        d.on_evict(4, 5000);
+        // Estimate ≈ (4000 + 0) / 2 = 2000; threshold 4000.
+        d.on_fill(4, 10_000);
+        assert!(!d.predict_dead(4, 13_000));
+        assert!(d.predict_dead(4, 15_000));
+    }
+
+    #[test]
+    fn frame_indices_wrap() {
+        let mut d = dbp();
+        d.on_fill(8, 0); // wraps to frame 0
+        assert!(d.predict_dead(0, 1_000_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple")]
+    fn zero_multiple_rejected() {
+        let _ = TimekeepingDbp::new(DbpConfig { frames: 4, live_time_multiple: 0, min_dead_cycles: 1 });
+    }
+}

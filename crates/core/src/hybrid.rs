@@ -1,0 +1,182 @@
+//! The hybrid prefetcher of Section 5.2.2: TCP into L2 immediately, into
+//! L1 only when the resident line of the target frame is predicted dead.
+//!
+//! Prefetching into the small L1 risks displacing live data; the paper's
+//! answer is to gate L1 promotion behind the timekeeping dead-block
+//! predictor and give promotions their own L1/L2 bus (set
+//! [`tcp_cache::HierarchyConfig::separate_prefetch_bus`] when running
+//! this prefetcher, as the paper does).
+
+use crate::{DbpConfig, Tcp, TcpConfig, TimekeepingDbp};
+use tcp_cache::{L1MissInfo, PrefetchRequest, PrefetchTarget, Prefetcher};
+use tcp_mem::{LineAddr, MemAccess};
+
+/// TCP + timekeeping dead-block predictor: prefetch into L1 when safe.
+///
+/// # Examples
+///
+/// ```
+/// use tcp_core::{HybridTcp, TcpConfig};
+/// use tcp_cache::Prefetcher;
+///
+/// let h = HybridTcp::new(TcpConfig::tcp_8k(), Default::default());
+/// assert_eq!(h.name(), "Hybrid-8K");
+/// ```
+#[derive(Clone, Debug)]
+pub struct HybridTcp {
+    tcp: Tcp,
+    dbp: TimekeepingDbp,
+    name: String,
+}
+
+impl HybridTcp {
+    /// Builds the hybrid from a TCP configuration and a dead-block
+    /// predictor configuration.
+    pub fn new(tcp_cfg: TcpConfig, dbp_cfg: DbpConfig) -> Self {
+        let tcp = Tcp::new(tcp_cfg);
+        let name = tcp.name().replace("TCP-", "Hybrid-");
+        let mut dbp_cfg = dbp_cfg;
+        // One frame per L1 set of the observed cache (direct-mapped L1).
+        dbp_cfg.frames = tcp_cfg.l1.num_sets();
+        HybridTcp { tcp, dbp: TimekeepingDbp::new(dbp_cfg), name }
+    }
+
+    /// The wrapped TCP.
+    pub fn tcp(&self) -> &Tcp {
+        &self.tcp
+    }
+
+    /// The wrapped dead-block predictor.
+    pub fn dead_block_predictor(&self) -> &TimekeepingDbp {
+        &self.dbp
+    }
+
+    fn frame_of(&self, line: LineAddr) -> u32 {
+        self.tcp.config().l1.split_line(line).1.raw()
+    }
+}
+
+impl Prefetcher for HybridTcp {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn storage_bytes(&self) -> usize {
+        self.tcp.storage_bytes() + self.dbp.storage_bytes()
+    }
+
+    fn on_miss(&mut self, info: &L1MissInfo, out: &mut Vec<PrefetchRequest>) {
+        let start = out.len();
+        self.tcp.on_miss(info, out);
+        // TCP predicts tags for the missing set, so every request targets
+        // the frame the miss itself will refill; the dead-block question
+        // is about that frame's (future) resident line. Promote only when
+        // the predictor says the frame's line will be dead.
+        for req in &mut out[start..] {
+            let frame = self.tcp.config().l1.split_line(req.line).1.raw();
+            if self.dbp.predict_dead(frame, info.cycle) {
+                req.target = PrefetchTarget::L1;
+            }
+        }
+    }
+
+    fn on_hit(&mut self, _access: &MemAccess, line: LineAddr, cycle: u64, _out: &mut Vec<PrefetchRequest>) {
+        let frame = self.frame_of(line);
+        self.dbp.on_access(frame, cycle);
+    }
+
+    fn on_promoted_first_use(&mut self, info: &L1MissInfo, out: &mut Vec<PrefetchRequest>) {
+        // The promotion hid a miss from the L1 miss stream; replay it to
+        // the inner TCP so the per-set history and the prediction cascade
+        // stay identical to the unpromoted machine, then re-apply the
+        // dead-frame promotion policy to the new requests.
+        let start = out.len();
+        self.tcp.on_miss(info, out);
+        for req in &mut out[start..] {
+            let frame = self.tcp.config().l1.split_line(req.line).1.raw();
+            if self.dbp.predict_dead(frame, info.cycle) {
+                req.target = PrefetchTarget::L1;
+            }
+        }
+    }
+
+    fn on_l1_fill(&mut self, line: LineAddr, cycle: u64) {
+        let frame = self.frame_of(line);
+        self.dbp.on_fill(frame, cycle);
+    }
+
+    fn on_l1_evict(&mut self, line: LineAddr, cycle: u64) {
+        let frame = self.frame_of(line);
+        self.dbp.on_evict(frame, cycle);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcp_mem::{Addr, SetIndex, Tag};
+
+    fn info(tag: u64, set: u32, cycle: u64) -> L1MissInfo {
+        let g = TcpConfig::tcp_8k().l1;
+        let line = g.compose(Tag::new(tag), SetIndex::new(set));
+        L1MissInfo {
+            access: MemAccess::load(Addr::new(0x400000), g.first_byte(line)),
+            line,
+            tag: Tag::new(tag),
+            set: SetIndex::new(set),
+            cycle,
+        }
+    }
+
+    fn trained_hybrid(set: u32) -> HybridTcp {
+        let mut h = HybridTcp::new(TcpConfig::tcp_8k(), DbpConfig::default());
+        let mut out = Vec::new();
+        for (i, t) in [1u64, 2, 3, 1, 2, 3, 1].into_iter().enumerate() {
+            h.on_miss(&info(t, set, i as u64), &mut out);
+        }
+        h
+    }
+
+    #[test]
+    fn name_and_storage() {
+        let h = HybridTcp::new(TcpConfig::tcp_8k(), DbpConfig::default());
+        assert_eq!(h.name(), "Hybrid-8K");
+        assert!(h.storage_bytes() > Tcp::new(TcpConfig::tcp_8k()).storage_bytes());
+    }
+
+    #[test]
+    fn live_frame_keeps_prefetches_in_l2() {
+        let mut h = trained_hybrid(7);
+        let g = TcpConfig::tcp_8k().l1;
+        // Touch the frame now: definitely live.
+        h.on_l1_fill(g.compose(Tag::new(9), SetIndex::new(7)), 100);
+        h.on_hit(&MemAccess::load(Addr::new(0), Addr::new(0)), g.compose(Tag::new(9), SetIndex::new(7)), 101, &mut Vec::new());
+        let mut out = Vec::new();
+        h.on_miss(&info(2, 7, 102), &mut out);
+        assert!(!out.is_empty());
+        assert!(out.iter().all(|r| r.target == PrefetchTarget::L2));
+    }
+
+    #[test]
+    fn dead_frame_promotes_to_l1() {
+        let mut h = trained_hybrid(7);
+        let g = TcpConfig::tcp_8k().l1;
+        // Fill the frame, then let it idle far beyond the dead threshold.
+        h.on_l1_fill(g.compose(Tag::new(9), SetIndex::new(7)), 100);
+        let mut out = Vec::new();
+        h.on_miss(&info(2, 7, 10_000_000), &mut out);
+        assert!(!out.is_empty());
+        assert!(out.iter().all(|r| r.target == PrefetchTarget::L1), "dead frame should promote");
+    }
+
+    #[test]
+    fn eviction_learns_live_time() {
+        let mut h = HybridTcp::new(TcpConfig::tcp_8k(), DbpConfig::default());
+        let g = TcpConfig::tcp_8k().l1;
+        let line = g.compose(Tag::new(5), SetIndex::new(3));
+        h.on_l1_fill(line, 0);
+        h.on_hit(&MemAccess::load(Addr::new(0), Addr::new(0)), line, 500, &mut Vec::new());
+        h.on_l1_evict(line, 600);
+        assert_eq!(h.dead_block_predictor().deaths_learned(), 1);
+    }
+}

@@ -1,0 +1,59 @@
+//! The Tag Correlating Prefetcher (TCP) — the primary contribution of
+//! "TCP: Tag Correlating Prefetchers" (Hu, Kaxiras, Martonosi; HPCA 2003).
+//!
+//! TCP is a two-level correlating predictor over per-cache-set *tag*
+//! sequences, structurally analogous to a two-level branch predictor:
+//!
+//! * the first level, the [`TagHistoryTable`] (THT), has one row per L1
+//!   set and records the last `k` tags seen in that set's miss stream;
+//! * the second level, the [`PatternHistoryTable`] (PHT), maps a hashed
+//!   tag sequence — a truncated addition of the `k` tags, optionally
+//!   concatenated with low bits of the miss index (Figure 9) — to the tag
+//!   that followed it last time.
+//!
+//! On each L1 data-cache miss `(miss_tag, miss_index)`, [`Tcp`]
+//! *trains* the PHT (the sequence that preceded this miss now has a known
+//! successor), *shifts* the THT row, and *looks up* the new sequence; a
+//! hit predicts the next tag for this set, and `predicted_tag ⧺
+//! miss_index` is prefetched into the L2. Because one tag sequence covers
+//! every set in which it recurs, an 8 KB PHT shared by all sets (TCP-8K)
+//! rivals megabyte-scale address-correlating tables.
+//!
+//! For prefetching all the way into the L1 (Section 5.2.2), [`HybridTcp`]
+//! adds the timekeeping dead-block predictor of Hu et al. (ISCA 2002)
+//! ([`TimekeepingDbp`]): a prefetched line is promoted into the L1 only
+//! once the line currently occupying its frame is predicted dead.
+//!
+//! # Examples
+//!
+//! ```
+//! use tcp_core::{Tcp, TcpConfig};
+//! use tcp_cache::{HierarchyConfig, MemoryHierarchy};
+//! use tcp_mem::{Addr, MemAccess};
+//!
+//! // The paper's headline configuration: 8 KB pattern history table.
+//! let tcp = Tcp::new(TcpConfig::tcp_8k());
+//! assert_eq!(tcp.config().pht.size_bytes(), 8 * 1024);
+//!
+//! let mut h = MemoryHierarchy::new(HierarchyConfig::default(), Box::new(tcp));
+//! h.access(MemAccess::load(Addr::new(0x400000), Addr::new(0x100000)), 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod deadblock;
+mod hybrid;
+mod pht;
+mod strided;
+mod tcp;
+mod tht;
+mod truncadd;
+
+pub use deadblock::{DbpConfig, TimekeepingDbp};
+pub use hybrid::HybridTcp;
+pub use pht::{PatternHistoryTable, PhtConfig};
+pub use strided::StrideAugmentedTcp;
+pub use tcp::{Tcp, TcpConfig};
+pub use tht::TagHistoryTable;
+pub use truncadd::truncated_sum;

@@ -1,0 +1,363 @@
+//! The Pattern History Table (PHT): TCP's second level.
+//!
+//! The PHT is a set-associative table of `(tag, tag′)` pairs. Its index
+//! (Figure 9) takes its high bits from a truncated addition of the tags
+//! in the sequence and its low `n` bits from the miss index:
+//!
+//! ```text
+//!   PHT index = (tag1 + … + tagk)[1:m]  ∥  miss_index[1:n]
+//! ```
+//!
+//! `n` trades sharing against isolation: `n = 0` shares every entry among
+//! all cache sets (TCP-8K), `n = 10` gives each L1 set private rows
+//! (TCP-8M). Within the indexed PHT set, the entry whose `tag` field
+//! matches the most recent tag of the sequence supplies `tag′`, the
+//! predicted successor.
+
+use crate::truncated_sum;
+use tcp_mem::{SetIndex, Tag};
+
+/// Geometry and indexing policy of a pattern history table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PhtConfig {
+    /// Number of PHT sets (power of two).
+    pub sets: u32,
+    /// Ways per PHT set (the paper uses 8).
+    pub assoc: u32,
+    /// Low bits of the L1 miss index mixed into the PHT index (`n` in
+    /// Figure 9): 0 = fully shared, 10 = fully per-set for a 1024-set L1.
+    pub miss_index_bits: u32,
+    /// Width of the stored tag fields in bits (16 in the paper's 4-byte
+    /// entries; predictions are reconstructed from these truncated tags).
+    pub tag_bits: u32,
+    /// Successor tags stored per entry, most recent first. The paper uses
+    /// 1; Section 6 proposes storing multiple targets as Joseph &
+    /// Grunwald's Markov prefetcher does, trading traffic for accuracy.
+    pub targets: u32,
+}
+
+impl PhtConfig {
+    /// The paper's 8 KB PHT: 256 sets × 8 ways × 4-byte entries, no miss
+    /// index bits (fully shared).
+    pub const fn pht_8k() -> Self {
+        PhtConfig { sets: 256, assoc: 8, miss_index_bits: 0, tag_bits: 16, targets: 1 }
+    }
+
+    /// The paper's idealised 8 MB PHT: 262144 sets × 8 ways, full 10-bit
+    /// miss index (fully per-set).
+    pub const fn pht_8m() -> Self {
+        PhtConfig { sets: 262_144, assoc: 8, miss_index_bits: 10, tag_bits: 16, targets: 1 }
+    }
+
+    /// A PHT of approximately `bytes` total storage with the given miss
+    /// index bits, keeping 8-way associativity and 4-byte entries (the
+    /// Figure 13 sweep axis).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is too small for one 8-way set.
+    pub fn with_bytes(bytes: usize, miss_index_bits: u32) -> Self {
+        let entry_bytes = 4;
+        let assoc = 8;
+        let sets = (bytes / (entry_bytes * assoc)).next_power_of_two() as u32;
+        assert!(bytes >= entry_bytes * assoc, "PHT must hold at least one set");
+        let sets = if (sets as usize) * entry_bytes * assoc > bytes { sets / 2 } else { sets };
+        assert!(sets >= 1, "PHT must hold at least one set");
+        PhtConfig { sets, assoc: assoc as u32, miss_index_bits, tag_bits: 16, targets: 1 }
+    }
+
+    /// Total storage in bytes: `sets × assoc × (1 + targets) × tag_bits / 8`
+    /// (one entry tag plus `targets` successor tags).
+    pub fn size_bytes(&self) -> usize {
+        self.sets as usize
+            * self.assoc as usize
+            * (1 + self.targets as usize)
+            * self.tag_bits as usize
+            / 8
+    }
+
+    /// Index bits available above the miss-index part.
+    fn sum_bits(&self) -> u32 {
+        let total = self.sets.trailing_zeros();
+        total.saturating_sub(self.miss_index_bits).max(1)
+    }
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct PhtEntry {
+    tag: Tag,             // truncated: disambiguates within the set
+    targets: Vec<Tag>,    // truncated successors, most recent first
+    last_use: u64,        // LRU stamp
+}
+
+/// A set-associative pattern history table.
+///
+/// # Examples
+///
+/// ```
+/// use tcp_core::{PatternHistoryTable, PhtConfig};
+/// use tcp_mem::{SetIndex, Tag};
+///
+/// let mut pht = PatternHistoryTable::new(PhtConfig::pht_8k());
+/// let seq = [Tag::new(3), Tag::new(4)];
+/// let set = SetIndex::new(17);
+/// pht.train(&seq, Tag::new(5), set);
+/// assert_eq!(pht.lookup(&seq, set), Some(Tag::new(5)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct PatternHistoryTable {
+    cfg: PhtConfig,
+    entries: Vec<Option<PhtEntry>>,
+    order: u64,
+    trains: u64,
+    lookups: u64,
+    hits: u64,
+}
+
+impl PatternHistoryTable {
+    /// Creates an empty PHT.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is not a power of two, `assoc` is zero, or
+    /// `miss_index_bits` exceeds the index width.
+    pub fn new(cfg: PhtConfig) -> Self {
+        assert!(cfg.sets.is_power_of_two(), "PHT sets must be a power of two");
+        assert!(cfg.assoc >= 1, "PHT associativity must be nonzero");
+        assert!(
+            cfg.miss_index_bits <= cfg.sets.trailing_zeros(),
+            "miss index bits exceed the PHT index width"
+        );
+        assert!(cfg.tag_bits >= 1 && cfg.tag_bits <= 64, "tag width out of range");
+        assert!(cfg.targets >= 1, "entries must store at least one target");
+        PatternHistoryTable {
+            cfg,
+            entries: vec![None; cfg.sets as usize * cfg.assoc as usize],
+            order: 0,
+            trains: 0,
+            lookups: 0,
+            hits: 0,
+        }
+    }
+
+    /// The table configuration.
+    pub fn config(&self) -> &PhtConfig {
+        &self.cfg
+    }
+
+    /// Total storage in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.cfg.size_bytes()
+    }
+
+    /// `(trains, lookups, lookup hits)` since construction.
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (self.trains, self.lookups, self.hits)
+    }
+
+    /// The Figure 9 index function.
+    fn index(&self, seq: &[Tag], miss_index: SetIndex) -> usize {
+        let n = self.cfg.miss_index_bits;
+        let m = self.cfg.sum_bits();
+        let high = truncated_sum(seq, m);
+        let low = if n == 0 { 0 } else { u64::from(miss_index.raw()) & ((1 << n) - 1) };
+        let idx = ((high << n) | low) & u64::from(self.cfg.sets - 1);
+        idx as usize
+    }
+
+    fn entry_tag(&self, seq: &[Tag]) -> Tag {
+        seq.last().copied().unwrap_or_default().truncate(self.cfg.tag_bits)
+    }
+
+    /// Records that sequence `seq` (oldest first, most recent last) at L1
+    /// set `miss_index` was followed by `next`.
+    pub fn train(&mut self, seq: &[Tag], next: Tag, miss_index: SetIndex) {
+        self.trains += 1;
+        self.order += 1;
+        let set = self.index(seq, miss_index);
+        let etag = self.entry_tag(seq);
+        let next = next.truncate(self.cfg.tag_bits);
+        let base = set * self.cfg.assoc as usize;
+        let ways = &mut self.entries[base..base + self.cfg.assoc as usize];
+        let max_targets = self.cfg.targets as usize;
+        // Existing entry for this sequence tag?
+        if let Some(e) = ways.iter_mut().flatten().find(|e| e.tag == etag) {
+            if let Some(pos) = e.targets.iter().position(|&t| t == next) {
+                e.targets.remove(pos);
+            } else if e.targets.len() == max_targets {
+                e.targets.pop();
+            }
+            e.targets.insert(0, next);
+            e.last_use = self.order;
+            return;
+        }
+        let fresh = PhtEntry { tag: etag, targets: vec![next], last_use: self.order };
+        // Empty way?
+        if let Some(slot) = ways.iter_mut().find(|w| w.is_none()) {
+            *slot = Some(fresh);
+            return;
+        }
+        // LRU replacement within the PHT set.
+        let victim = ways
+            .iter_mut()
+            .min_by_key(|w| w.as_ref().map(|e| e.last_use).unwrap_or(0))
+            .expect("associativity is nonzero");
+        *victim = Some(fresh);
+    }
+
+    /// Predicts the most recent tag observed after sequence `seq` at L1
+    /// set `miss_index`.
+    pub fn lookup(&mut self, seq: &[Tag], miss_index: SetIndex) -> Option<Tag> {
+        let mut out = Vec::with_capacity(1);
+        self.lookup_targets(seq, miss_index, &mut out);
+        out.first().copied()
+    }
+
+    /// Appends every stored successor for the sequence (most recent
+    /// first) to `out` — the Section 6 multi-target mode.
+    pub fn lookup_targets(&mut self, seq: &[Tag], miss_index: SetIndex, out: &mut Vec<Tag>) {
+        self.lookups += 1;
+        self.order += 1;
+        let set = self.index(seq, miss_index);
+        let etag = self.entry_tag(seq);
+        let base = set * self.cfg.assoc as usize;
+        let order = self.order;
+        if let Some(e) = self.entries[base..base + self.cfg.assoc as usize]
+            .iter_mut()
+            .flatten()
+            .find(|e| e.tag == etag)
+        {
+            e.last_use = order;
+            self.hits += 1;
+            out.extend_from_slice(&e.targets);
+        }
+    }
+
+    /// Fraction of occupied entries (table utilisation).
+    pub fn occupancy(&self) -> f64 {
+        let used = self.entries.iter().filter(|e| e.is_some()).count();
+        used as f64 / self.entries.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(x: u64) -> Tag {
+        Tag::new(x)
+    }
+
+    fn s(x: u32) -> SetIndex {
+        SetIndex::new(x)
+    }
+
+    #[test]
+    fn paper_sizes() {
+        assert_eq!(PhtConfig::pht_8k().size_bytes(), 8 * 1024);
+        assert_eq!(PhtConfig::pht_8m().size_bytes(), 8 * 1024 * 1024);
+    }
+
+    #[test]
+    fn with_bytes_hits_requested_size() {
+        for bytes in [2048usize, 8192, 32 * 1024, 128 * 1024, 512 * 1024, 2 << 20, 8 << 20] {
+            let cfg = PhtConfig::with_bytes(bytes, 0);
+            assert_eq!(cfg.size_bytes(), bytes, "requested {bytes}");
+        }
+    }
+
+    #[test]
+    fn train_then_lookup_roundtrip() {
+        let mut pht = PatternHistoryTable::new(PhtConfig::pht_8k());
+        let seq = [t(100), t(200)];
+        pht.train(&seq, t(300), s(7));
+        assert_eq!(pht.lookup(&seq, s(7)), Some(t(300)));
+        let (tr, lu, hits) = pht.counters();
+        assert_eq!((tr, lu, hits), (1, 1, 1));
+    }
+
+    #[test]
+    fn retraining_overwrites_prediction() {
+        let mut pht = PatternHistoryTable::new(PhtConfig::pht_8k());
+        let seq = [t(1), t(2)];
+        pht.train(&seq, t(3), s(0));
+        pht.train(&seq, t(9), s(0));
+        assert_eq!(pht.lookup(&seq, s(0)), Some(t(9)));
+    }
+
+    #[test]
+    fn shared_pht_ignores_miss_index() {
+        // n = 0: the same sequence trained in set 3 predicts in set 800.
+        let mut pht = PatternHistoryTable::new(PhtConfig::pht_8k());
+        let seq = [t(5), t(6)];
+        pht.train(&seq, t(7), s(3));
+        assert_eq!(pht.lookup(&seq, s(800)), Some(t(7)));
+    }
+
+    #[test]
+    fn private_pht_separates_sets() {
+        // n = 10: history from one set must not leak into another.
+        let mut pht = PatternHistoryTable::new(PhtConfig::pht_8m());
+        let seq = [t(5), t(6)];
+        pht.train(&seq, t(7), s(3));
+        assert_eq!(pht.lookup(&seq, s(3)), Some(t(7)));
+        assert_eq!(pht.lookup(&seq, s(800)), None);
+    }
+
+    #[test]
+    fn entry_tag_disambiguates_sum_collisions() {
+        // (1, 4) and (2, 3) share a truncated sum of 5 but differ in their
+        // most recent tag, so both fit in one PHT set without conflict.
+        let mut pht = PatternHistoryTable::new(PhtConfig::pht_8k());
+        pht.train(&[t(1), t(4)], t(100), s(0));
+        pht.train(&[t(2), t(3)], t(200), s(0));
+        assert_eq!(pht.lookup(&[t(1), t(4)], s(0)), Some(t(100)));
+        assert_eq!(pht.lookup(&[t(2), t(3)], s(0)), Some(t(200)));
+    }
+
+    #[test]
+    fn lru_evicts_oldest_pattern() {
+        // A 1-set, 2-way PHT: the third distinct pattern evicts the LRU.
+        let cfg = PhtConfig { sets: 1, assoc: 2, miss_index_bits: 0, tag_bits: 16, targets: 1 };
+        let mut pht = PatternHistoryTable::new(cfg);
+        pht.train(&[t(1)], t(10), s(0));
+        pht.train(&[t(2)], t(20), s(0));
+        assert_eq!(pht.lookup(&[t(1)], s(0)), Some(t(10))); // touch 1
+        pht.train(&[t(3)], t(30), s(0)); // evicts pattern 2
+        assert_eq!(pht.lookup(&[t(2)], s(0)), None);
+        assert_eq!(pht.lookup(&[t(1)], s(0)), Some(t(10)));
+        assert_eq!(pht.lookup(&[t(3)], s(0)), Some(t(30)));
+    }
+
+    #[test]
+    fn tag_truncation_models_narrow_fields() {
+        // Tags equal mod 2^16 alias in a 16-bit PHT: the paper's cost
+        // model, made observable.
+        let mut pht = PatternHistoryTable::new(PhtConfig::pht_8k());
+        pht.train(&[t(0x10001), t(2)], t(3), s(0));
+        assert_eq!(pht.lookup(&[t(0x1), t(0x10002)], s(0)), Some(t(3)));
+    }
+
+    #[test]
+    fn occupancy_grows_with_training() {
+        let mut pht = PatternHistoryTable::new(PhtConfig::pht_8k());
+        assert_eq!(pht.occupancy(), 0.0);
+        for i in 0..500u64 {
+            pht.train(&[t(i), t(i + 1)], t(i + 2), s(0));
+        }
+        assert!(pht.occupancy() > 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_sets_rejected() {
+        let _ = PatternHistoryTable::new(PhtConfig { sets: 3, assoc: 8, miss_index_bits: 0, tag_bits: 16, targets: 1 });
+    }
+
+    #[test]
+    #[should_panic(expected = "miss index bits")]
+    fn too_many_miss_index_bits_rejected() {
+        let _ =
+            PatternHistoryTable::new(PhtConfig { sets: 16, assoc: 8, miss_index_bits: 5, tag_bits: 16, targets: 1 });
+    }
+}

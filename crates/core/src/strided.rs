@@ -1,0 +1,200 @@
+//! Stride-augmented TCP: the Section 6 space-efficiency extension.
+//!
+//! The paper observes (Figure 15) that a fraction of per-set tag
+//! sequences are *strided* — constant tag deltas, `swim` reaching 12% —
+//! and suggests exploiting them "to improve the performance or
+//! hardware-efficiency of tag correlating prefetchers". This module
+//! implements that idea: a tiny per-set stride detector handles strided
+//! sequences with three small fields per set, and only non-strided
+//! sequences consume pattern-history-table entries. A stride-augmented
+//! TCP with a 2 KB PHT can then match a plain TCP with a much larger PHT
+//! on stride-heavy workloads.
+
+use crate::{Tcp, TcpConfig};
+use tcp_cache::{L1MissInfo, PrefetchRequest, Prefetcher};
+use tcp_mem::{LineAddr, MemAccess};
+
+#[derive(Clone, Copy, Debug, Default)]
+struct SetStride {
+    last_tag: u64,
+    delta: i64,
+    confidence: u8,
+    valid: bool,
+}
+
+/// TCP with a per-set strided-tag-sequence fast path.
+///
+/// Per L1 set the detector keeps `(last tag, delta, 2-bit confidence)`.
+/// When the same nonzero delta repeats, the set is in *stride mode*: the
+/// next tag is `tag + delta`, predicted without touching the PHT — and,
+/// crucially, without training the PHT either, so strided traffic stops
+/// evicting correlation patterns from the small table.
+///
+/// # Examples
+///
+/// ```
+/// use tcp_core::{StrideAugmentedTcp, TcpConfig};
+/// use tcp_cache::Prefetcher;
+///
+/// let p = StrideAugmentedTcp::new(TcpConfig::tcp_8k());
+/// assert_eq!(p.name(), "TCP-8K+stride");
+/// ```
+#[derive(Clone, Debug)]
+pub struct StrideAugmentedTcp {
+    tcp: Tcp,
+    name: String,
+    sets: Vec<SetStride>,
+    stride_predictions: u64,
+}
+
+impl StrideAugmentedTcp {
+    /// Builds the hybrid around the given TCP configuration.
+    pub fn new(cfg: TcpConfig) -> Self {
+        let tcp = Tcp::new(cfg);
+        let name = format!("{}+stride", tcp.name());
+        StrideAugmentedTcp {
+            tcp,
+            name,
+            sets: vec![SetStride::default(); cfg.tht_sets as usize],
+            stride_predictions: 0,
+        }
+    }
+
+    /// The wrapped TCP.
+    pub fn tcp(&self) -> &Tcp {
+        &self.tcp
+    }
+
+    /// Predictions served by the stride fast path (vs the PHT).
+    pub fn stride_predictions(&self) -> u64 {
+        self.stride_predictions
+    }
+}
+
+impl Prefetcher for StrideAugmentedTcp {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn storage_bytes(&self) -> usize {
+        // Per set: 16-bit last tag + 16-bit delta + confidence ≈ 5 bytes.
+        self.tcp.storage_bytes() + self.sets.len() * 5
+    }
+
+    fn on_miss(&mut self, info: &L1MissInfo, out: &mut Vec<PrefetchRequest>) {
+        let slot = info.set.as_usize() % self.sets.len();
+        let s = &mut self.sets[slot];
+        let tag = info.tag.raw();
+        let in_stride_mode = if s.valid {
+            let delta = tag as i64 - s.last_tag as i64;
+            if delta == s.delta && delta != 0 {
+                s.confidence = (s.confidence + 1).min(3);
+            } else {
+                s.confidence = s.confidence.saturating_sub(1);
+                if s.confidence == 0 {
+                    s.delta = delta;
+                }
+            }
+            s.last_tag = tag;
+            s.confidence >= 2 && s.delta != 0
+        } else {
+            *s = SetStride { last_tag: tag, delta: 0, confidence: 0, valid: true };
+            false
+        };
+
+        if in_stride_mode {
+            // Strided sequence: predict tag + delta without PHT storage.
+            let delta = self.sets[slot].delta;
+            let predicted = (tag as i64 + delta) as u64;
+            if predicted < (1 << 16) {
+                self.stride_predictions += 1;
+                out.push(PrefetchRequest::to_l2(
+                    self.tcp.config().l1.compose(tcp_mem::Tag::new(predicted), info.set),
+                ));
+                // Keep the THT current but spare the PHT: strided
+                // sequences would otherwise flood the small table.
+                return;
+            }
+        }
+        self.tcp.on_miss(info, out);
+    }
+
+    fn on_hit(&mut self, access: &MemAccess, line: LineAddr, cycle: u64, out: &mut Vec<PrefetchRequest>) {
+        self.tcp.on_hit(access, line, cycle, out);
+    }
+
+    fn on_l1_evict(&mut self, line: LineAddr, cycle: u64) {
+        self.tcp.on_l1_evict(line, cycle);
+    }
+
+    fn on_l1_fill(&mut self, line: LineAddr, cycle: u64) {
+        self.tcp.on_l1_fill(line, cycle);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcp_mem::{Addr, CacheGeometry, SetIndex, Tag};
+
+    fn info(tag: u64, set: u32, cycle: u64) -> L1MissInfo {
+        let g = CacheGeometry::new(32 * 1024, 32, 1);
+        let line = g.compose(Tag::new(tag), SetIndex::new(set));
+        L1MissInfo {
+            access: MemAccess::load(Addr::new(0x400), g.first_byte(line)),
+            line,
+            tag: Tag::new(tag),
+            set: SetIndex::new(set),
+            cycle,
+        }
+    }
+
+    fn drive(p: &mut StrideAugmentedTcp, tags: &[u64], set: u32) -> Vec<PrefetchRequest> {
+        let mut out = Vec::new();
+        for (i, &t) in tags.iter().enumerate() {
+            out.clear();
+            p.on_miss(&info(t, set, i as u64), &mut out);
+        }
+        out
+    }
+
+    #[test]
+    fn strided_sequence_predicts_without_pht() {
+        let mut p = StrideAugmentedTcp::new(TcpConfig::tcp_8k());
+        let out = drive(&mut p, &[10, 12, 14, 16, 18], 7);
+        assert_eq!(out.len(), 1);
+        let g = CacheGeometry::new(32 * 1024, 32, 1);
+        assert_eq!(out[0].line, g.compose(Tag::new(20), SetIndex::new(7)));
+        assert!(p.stride_predictions() > 0);
+        // The PHT was never trained while in stride mode.
+        let (trains, _, _) = p.tcp().pht().counters();
+        assert!(trains <= 2, "stride mode must spare the PHT, saw {trains} trains");
+    }
+
+    #[test]
+    fn non_strided_sequences_fall_back_to_tcp() {
+        let mut p = StrideAugmentedTcp::new(TcpConfig::tcp_8k());
+        let out = drive(&mut p, &[5, 9, 2, 5, 9, 2, 5, 9], 3);
+        assert!(!out.is_empty(), "repeating non-strided cycle must use the PHT path");
+        assert_eq!(p.stride_predictions(), 0);
+    }
+
+    #[test]
+    fn stride_breaks_are_detected() {
+        let mut p = StrideAugmentedTcp::new(TcpConfig::tcp_8k());
+        // Strided, then break the stride: confidence decays and the PHT
+        // path resumes (no wrong stride prediction after the break).
+        drive(&mut p, &[10, 12, 14, 16], 1);
+        let out = drive(&mut p, &[100, 7, 90, 3], 1);
+        let g = CacheGeometry::new(32 * 1024, 32, 1);
+        let wrong = g.compose(Tag::new(5), SetIndex::new(1)); // 3 + (-87)?
+        assert!(out.iter().all(|r| r.line != wrong));
+    }
+
+    #[test]
+    fn storage_accounts_for_detector() {
+        let p = StrideAugmentedTcp::new(TcpConfig::tcp_8k());
+        let plain = Tcp::new(TcpConfig::tcp_8k());
+        assert_eq!(p.storage_bytes(), plain.storage_bytes() + 1024 * 5);
+    }
+}

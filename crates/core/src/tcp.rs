@@ -1,0 +1,306 @@
+//! The Tag Correlating Prefetcher: THT + PHT behind the
+//! [`tcp_cache::Prefetcher`] interface.
+
+use crate::{PatternHistoryTable, PhtConfig, TagHistoryTable};
+use tcp_cache::{L1MissInfo, PrefetchRequest, Prefetcher};
+use tcp_mem::{CacheGeometry, Tag};
+
+/// Complete configuration of a TCP instance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TcpConfig {
+    /// THT rows — one per L1 set (1024 for the paper's 32 KB L1).
+    pub tht_sets: u32,
+    /// Tags of history per row (`k`; the paper uses 2, making the
+    /// correlated unit a three-tag sequence).
+    pub history_len: usize,
+    /// The pattern history table.
+    pub pht: PhtConfig,
+    /// Prefetch degree: number of predicted tags followed per miss. The
+    /// paper uses 1; higher degrees chase the predicted sequence
+    /// speculatively (a Section 6 extension).
+    pub degree: usize,
+    /// Geometry of the L1 cache whose miss stream is observed (needed to
+    /// recompose `(tag, index)` into prefetch addresses).
+    pub l1: CacheGeometry,
+}
+
+impl TcpConfig {
+    /// TCP-8K: the paper's headline design — 8 KB PHT shared by all sets.
+    pub fn tcp_8k() -> Self {
+        TcpConfig {
+            tht_sets: 1024,
+            history_len: 2,
+            pht: PhtConfig::pht_8k(),
+            degree: 1,
+            l1: CacheGeometry::new(32 * 1024, 32, 1),
+        }
+    }
+
+    /// TCP-8M: the paper's idealised no-sharing design — 8 MB PHT with
+    /// the full miss index in the PHT index.
+    pub fn tcp_8m() -> Self {
+        TcpConfig { pht: PhtConfig::pht_8m(), ..TcpConfig::tcp_8k() }
+    }
+
+    /// A TCP with a PHT of roughly `bytes` and `n` miss-index bits (the
+    /// Figure 13 sweep).
+    pub fn with_pht_bytes(bytes: usize, miss_index_bits: u32) -> Self {
+        TcpConfig { pht: PhtConfig::with_bytes(bytes, miss_index_bits), ..TcpConfig::tcp_8k() }
+    }
+
+    /// Display name in the paper's style, e.g. `TCP-8K`.
+    pub fn display_name(&self) -> String {
+        let bytes = self.pht.size_bytes();
+        if bytes >= 1024 * 1024 {
+            format!("TCP-{}M", bytes / (1024 * 1024))
+        } else {
+            format!("TCP-{}K", bytes / 1024)
+        }
+    }
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        TcpConfig::tcp_8k()
+    }
+}
+
+/// The Tag Correlating Prefetcher.
+///
+/// On every primary L1 miss `(tag, index)`:
+///
+/// 1. **Train** — the THT row for `index` holds the sequence that
+///    preceded this miss; the PHT entry for that sequence learns `tag`
+///    as its successor.
+/// 2. **Shift** — `tag` becomes the most recent entry of the THT row.
+/// 3. **Look up** — the shifted sequence indexes the PHT; on a match the
+///    predicted tag `tag′` is combined with `index` into a full line
+///    address and prefetched into the L2.
+///
+/// # Examples
+///
+/// ```
+/// use tcp_core::{Tcp, TcpConfig};
+/// use tcp_cache::Prefetcher;
+///
+/// let tcp = Tcp::new(TcpConfig::tcp_8k());
+/// assert_eq!(tcp.name(), "TCP-8K");
+/// // 8 KB PHT + 4 KB THT.
+/// assert_eq!(tcp.storage_bytes(), 8 * 1024 + 4 * 1024);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Tcp {
+    cfg: TcpConfig,
+    name: String,
+    tht: TagHistoryTable,
+    pht: PatternHistoryTable,
+    seq_scratch: Vec<Tag>,
+    target_scratch: Vec<Tag>,
+    predictions: u64,
+}
+
+impl Tcp {
+    /// Builds a TCP from its configuration.
+    pub fn new(cfg: TcpConfig) -> Self {
+        let tht = TagHistoryTable::new(cfg.tht_sets, cfg.history_len);
+        let pht = PatternHistoryTable::new(cfg.pht);
+        let name = cfg.display_name();
+        Tcp { cfg, name, tht, pht, seq_scratch: Vec::new(), target_scratch: Vec::new(), predictions: 0 }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &TcpConfig {
+        &self.cfg
+    }
+
+    /// The pattern history table (for occupancy/counter inspection).
+    pub fn pht(&self) -> &PatternHistoryTable {
+        &self.pht
+    }
+
+    /// Number of predictions issued so far.
+    pub fn predictions(&self) -> u64 {
+        self.predictions
+    }
+}
+
+impl Prefetcher for Tcp {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn storage_bytes(&self) -> usize {
+        self.pht.size_bytes() + self.tht.size_bytes()
+    }
+
+    fn on_miss(&mut self, info: &L1MissInfo, out: &mut Vec<PrefetchRequest>) {
+        let set = info.set;
+        let miss_tag = info.tag;
+
+        // 1. Train: the sequence that led here is now known to be
+        //    followed by miss_tag.
+        if let Some(seq) = self.tht.sequence(set) {
+            self.seq_scratch.clear();
+            self.seq_scratch.extend_from_slice(seq);
+            self.pht.train(&self.seq_scratch, miss_tag, set);
+        }
+
+        // 2. Shift the new tag into the history.
+        self.tht.push(set, miss_tag);
+
+        // 3. Look up the new sequence and chase up to `degree` predictions.
+        let Some(seq) = self.tht.sequence(set) else { return };
+        self.seq_scratch.clear();
+        self.seq_scratch.extend_from_slice(seq);
+        if self.cfg.pht.targets > 1 {
+            // Section 6 multi-target mode: issue every remembered
+            // successor of this sequence (Markov-style).
+            let mut targets = std::mem::take(&mut self.target_scratch);
+            targets.clear();
+            self.pht.lookup_targets(&self.seq_scratch, set, &mut targets);
+            for &pred in &targets {
+                if pred == miss_tag.truncate(self.cfg.pht.tag_bits) {
+                    continue;
+                }
+                self.predictions += 1;
+                out.push(PrefetchRequest::to_l2(self.cfg.l1.compose(pred, set)));
+            }
+            self.target_scratch = targets;
+            return;
+        }
+        for _ in 0..self.cfg.degree {
+            let Some(pred) = self.pht.lookup(&self.seq_scratch, set) else { break };
+            // Never prefetch the line that just missed.
+            if pred == miss_tag.truncate(self.cfg.pht.tag_bits) && self.seq_scratch.last() == Some(&miss_tag)
+            {
+                break;
+            }
+            self.predictions += 1;
+            out.push(PrefetchRequest::to_l2(self.cfg.l1.compose(pred, set)));
+            // Speculatively extend the sequence for degree > 1.
+            self.seq_scratch.rotate_left(1);
+            let k = self.seq_scratch.len();
+            self.seq_scratch[k - 1] = pred;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcp_mem::{Addr, MemAccess, SetIndex};
+
+    fn miss(tcp: &Tcp, tag: u64, set: u32, cycle: u64) -> L1MissInfo {
+        let g = tcp.cfg.l1;
+        let line = g.compose(Tag::new(tag), SetIndex::new(set));
+        L1MissInfo {
+            access: MemAccess::load(Addr::new(0x400000), g.first_byte(line)),
+            line,
+            tag: Tag::new(tag),
+            set: SetIndex::new(set),
+            cycle,
+        }
+    }
+
+    fn drive(tcp: &mut Tcp, tags: &[u64], set: u32) -> Vec<PrefetchRequest> {
+        let mut out = Vec::new();
+        for (i, &t) in tags.iter().enumerate() {
+            let info = miss(tcp, t, set, i as u64);
+            tcp.on_miss(&info, &mut out);
+        }
+        out
+    }
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(Tcp::new(TcpConfig::tcp_8k()).name(), "TCP-8K");
+        assert_eq!(Tcp::new(TcpConfig::tcp_8m()).name(), "TCP-8M");
+    }
+
+    #[test]
+    fn storage_includes_tht_and_pht() {
+        let t8m = Tcp::new(TcpConfig::tcp_8m());
+        assert_eq!(t8m.storage_bytes(), 8 * 1024 * 1024 + 4 * 1024);
+    }
+
+    #[test]
+    fn learns_a_repeating_sequence() {
+        let mut tcp = Tcp::new(TcpConfig::tcp_8k());
+        // Sequence 1,2,3 repeated: after training, seeing (2,3) → predict
+        // the successor 1 (the cycle wraps), etc.
+        let out = drive(&mut tcp, &[1, 2, 3, 1, 2, 3, 1, 2], 5);
+        assert!(!out.is_empty(), "a repeating sequence must produce predictions");
+        // The final miss (tag 2 after history [1,2]) should predict 3.
+        let g = tcp.cfg.l1;
+        let expected = g.compose(Tag::new(3), SetIndex::new(5));
+        assert_eq!(out.last().unwrap().line, expected);
+    }
+
+    #[test]
+    fn cold_stream_makes_no_predictions() {
+        let mut tcp = Tcp::new(TcpConfig::tcp_8k());
+        let out = drive(&mut tcp, &[10, 20, 30, 40, 50], 3);
+        assert!(out.is_empty(), "never-seen sequences must not predict");
+        assert_eq!(tcp.predictions(), 0);
+    }
+
+    #[test]
+    fn shared_pht_transfers_patterns_across_sets() {
+        // Train the sequence in set 0, then replay it in set 999: with
+        // n = 0 the shared entry predicts immediately (the paper's core
+        // space-saving claim).
+        let mut tcp = Tcp::new(TcpConfig::tcp_8k());
+        drive(&mut tcp, &[7, 8, 9, 7, 8, 9], 0);
+        let out = drive(&mut tcp, &[7, 8], 999);
+        assert_eq!(out.len(), 1);
+        let g = tcp.cfg.l1;
+        assert_eq!(out[0].line, g.compose(Tag::new(9), SetIndex::new(999)));
+    }
+
+    #[test]
+    fn private_pht_does_not_transfer_across_sets() {
+        let mut tcp = Tcp::new(TcpConfig::tcp_8m());
+        drive(&mut tcp, &[7, 8, 9, 7, 8, 9], 0);
+        let out = drive(&mut tcp, &[7, 8], 999);
+        assert!(out.is_empty(), "full miss-index PHT must keep sets private");
+    }
+
+    #[test]
+    fn prefetch_lands_in_the_missing_set() {
+        let mut tcp = Tcp::new(TcpConfig::tcp_8k());
+        let out = drive(&mut tcp, &[4, 5, 6, 4, 5, 6, 4, 5], 123);
+        let g = tcp.cfg.l1;
+        for r in &out {
+            assert_eq!(g.split_line(r.line).1, SetIndex::new(123), "TCP predicts tags, the index is implied");
+        }
+    }
+
+    #[test]
+    fn degree_two_chases_the_predicted_sequence() {
+        let mut cfg = TcpConfig::tcp_8k();
+        cfg.degree = 2;
+        let mut tcp = Tcp::new(cfg);
+        // Strided tags: 1,2,3,4,... twice so (t-1, t) → t+1 is trained.
+        let tags: Vec<u64> = (1..=20).chain(1..=20).collect();
+        let mut out = Vec::new();
+        for (i, &t) in tags.iter().enumerate() {
+            out.clear();
+            let info = miss(&tcp, t, 9, i as u64);
+            tcp.on_miss(&info, &mut out);
+        }
+        // Final miss: history [19, 20]. The second pass started by
+        // training [19, 20] → 1 and [20, 1] → 2, so a degree-2 chase
+        // predicts the wrap: tags 1 then 2.
+        assert_eq!(out.len(), 2, "degree-2 should emit two chained prefetches");
+        let g = tcp.cfg.l1;
+        assert_eq!(out[0].line, g.compose(Tag::new(1), SetIndex::new(9)));
+        assert_eq!(out[1].line, g.compose(Tag::new(2), SetIndex::new(9)));
+    }
+
+    #[test]
+    fn all_requests_target_l2() {
+        let mut tcp = Tcp::new(TcpConfig::tcp_8k());
+        let out = drive(&mut tcp, &[1, 2, 3, 1, 2, 3, 1, 2, 3], 0);
+        assert!(out.iter().all(|r| r.target == tcp_cache::PrefetchTarget::L2));
+    }
+}

@@ -1,0 +1,168 @@
+//! The Tag History Table (THT): TCP's first level.
+//!
+//! One row per L1 cache set; each row holds the last `k` tags observed in
+//! that set's miss stream, oldest first. Rows are read and shifted on
+//! every L1 miss; because the THT is indexed by the miss index it can be
+//! probed in parallel with the L1 lookup itself (Section 4).
+
+use tcp_mem::{SetIndex, Tag};
+
+/// The per-set tag history table.
+///
+/// # Examples
+///
+/// ```
+/// use tcp_core::TagHistoryTable;
+/// use tcp_mem::{SetIndex, Tag};
+///
+/// let mut tht = TagHistoryTable::new(1024, 2);
+/// let s = SetIndex::new(5);
+/// assert!(tht.sequence(s).is_none()); // not warm yet
+/// tht.push(s, Tag::new(10));
+/// tht.push(s, Tag::new(11));
+/// assert_eq!(tht.sequence(s).unwrap(), &[Tag::new(10), Tag::new(11)]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct TagHistoryTable {
+    sets: u32,
+    k: usize,
+    // Row-major: sets × k tags, oldest first.
+    tags: Vec<Tag>,
+    // Number of valid entries per row (saturates at k).
+    valid: Vec<u8>,
+}
+
+impl TagHistoryTable {
+    /// Creates a THT with `sets` rows of `k` tags each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is zero, `k` is zero, or `k > 255`.
+    pub fn new(sets: u32, k: usize) -> Self {
+        assert!(sets > 0, "THT needs at least one set");
+        assert!(k >= 1 && k <= 255, "history length must be in 1..=255");
+        TagHistoryTable {
+            sets,
+            k,
+            tags: vec![Tag::default(); sets as usize * k],
+            valid: vec![0; sets as usize],
+        }
+    }
+
+    /// Number of rows (L1 sets tracked).
+    pub fn sets(&self) -> u32 {
+        self.sets
+    }
+
+    /// History depth `k` per row.
+    pub fn history_len(&self) -> usize {
+        self.k
+    }
+
+    /// Hardware cost: `sets × k` 16-bit tag fields.
+    pub fn size_bytes(&self) -> usize {
+        self.sets as usize * self.k * 2
+    }
+
+    fn row(&self, set: SetIndex) -> usize {
+        (set.as_usize() % self.sets as usize) * self.k
+    }
+
+    /// Returns the full `k`-tag sequence at `set` (oldest first), or
+    /// `None` while the row is still warming up.
+    pub fn sequence(&self, set: SetIndex) -> Option<&[Tag]> {
+        let r = self.row(set);
+        (self.valid[set.as_usize() % self.sets as usize] as usize == self.k)
+            .then(|| &self.tags[r..r + self.k])
+    }
+
+    /// Shifts `tag` into the row for `set` as the most recent entry.
+    pub fn push(&mut self, set: SetIndex, tag: Tag) {
+        let r = self.row(set);
+        self.tags.copy_within(r + 1..r + self.k, r);
+        self.tags[r + self.k - 1] = tag;
+        let v = &mut self.valid[set.as_usize() % self.sets as usize];
+        if (*v as usize) < self.k {
+            *v += 1;
+        }
+    }
+
+    /// Clears all history.
+    pub fn reset(&mut self) {
+        self.valid.fill(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(x: u64) -> Tag {
+        Tag::new(x)
+    }
+
+    #[test]
+    fn warms_up_before_reporting() {
+        let mut tht = TagHistoryTable::new(16, 3);
+        let s = SetIndex::new(2);
+        tht.push(s, t(1));
+        assert!(tht.sequence(s).is_none());
+        tht.push(s, t(2));
+        assert!(tht.sequence(s).is_none());
+        tht.push(s, t(3));
+        assert_eq!(tht.sequence(s).unwrap(), &[t(1), t(2), t(3)]);
+    }
+
+    #[test]
+    fn shift_keeps_most_recent_k() {
+        let mut tht = TagHistoryTable::new(4, 2);
+        let s = SetIndex::new(0);
+        for x in 1..=5 {
+            tht.push(s, t(x));
+        }
+        assert_eq!(tht.sequence(s).unwrap(), &[t(4), t(5)]);
+    }
+
+    #[test]
+    fn rows_are_independent() {
+        let mut tht = TagHistoryTable::new(8, 2);
+        tht.push(SetIndex::new(0), t(1));
+        tht.push(SetIndex::new(0), t(2));
+        tht.push(SetIndex::new(1), t(9));
+        assert_eq!(tht.sequence(SetIndex::new(0)).unwrap(), &[t(1), t(2)]);
+        assert!(tht.sequence(SetIndex::new(1)).is_none());
+    }
+
+    #[test]
+    fn k_equals_one_works() {
+        let mut tht = TagHistoryTable::new(2, 1);
+        let s = SetIndex::new(1);
+        tht.push(s, t(42));
+        assert_eq!(tht.sequence(s).unwrap(), &[t(42)]);
+        tht.push(s, t(43));
+        assert_eq!(tht.sequence(s).unwrap(), &[t(43)]);
+    }
+
+    #[test]
+    fn size_matches_paper_configuration() {
+        // 1024 sets × 2 tags × 2 bytes = 4 KB of history.
+        let tht = TagHistoryTable::new(1024, 2);
+        assert_eq!(tht.size_bytes(), 4096);
+    }
+
+    #[test]
+    fn reset_clears_history() {
+        let mut tht = TagHistoryTable::new(4, 2);
+        let s = SetIndex::new(3);
+        tht.push(s, t(1));
+        tht.push(s, t(2));
+        tht.reset();
+        assert!(tht.sequence(s).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "history length")]
+    fn zero_k_rejected() {
+        let _ = TagHistoryTable::new(4, 0);
+    }
+}

@@ -1,0 +1,85 @@
+//! Truncated addition: the sequence-hashing primitive of Figure 9.
+//!
+//! The PHT index's high bits are "taken from (the lower bits of) a
+//! truncated addition (as in [Lai et al.]) of all tags in the tag
+//! sequence". Truncated addition folds a variable-length tag sequence
+//! into a fixed-width value with cheap hardware (an adder per tag), at
+//! the cost of being order-insensitive — an aliasing source the paper
+//! accepts and the PHT's per-entry tag partially disambiguates.
+
+use tcp_mem::Tag;
+
+/// Adds all tags and keeps the low `bits` bits of the sum.
+///
+/// # Panics
+///
+/// Panics if `bits` is 0 or greater than 64.
+///
+/// # Examples
+///
+/// ```
+/// use tcp_core::truncated_sum;
+/// use tcp_mem::Tag;
+///
+/// let seq = [Tag::new(0x12), Tag::new(0x34)];
+/// assert_eq!(truncated_sum(&seq, 8), 0x46);
+/// // Truncation wraps: only the low bits survive.
+/// let big = [Tag::new(0xFF), Tag::new(0x01)];
+/// assert_eq!(truncated_sum(&big, 8), 0x00);
+/// ```
+pub fn truncated_sum(tags: &[Tag], bits: u32) -> u64 {
+    assert!(bits >= 1 && bits <= 64, "truncation width must be in 1..=64");
+    let sum = tags.iter().fold(0u64, |acc, t| acc.wrapping_add(t.raw()));
+    if bits == 64 {
+        sum
+    } else {
+        sum & ((1u64 << bits) - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tags(raw: &[u64]) -> Vec<Tag> {
+        raw.iter().copied().map(Tag::new).collect()
+    }
+
+    #[test]
+    fn empty_sequence_sums_to_zero() {
+        assert_eq!(truncated_sum(&[], 16), 0);
+    }
+
+    #[test]
+    fn single_tag_is_truncated_identity() {
+        assert_eq!(truncated_sum(&tags(&[0x1_2345]), 16), 0x2345);
+        assert_eq!(truncated_sum(&tags(&[7]), 64), 7);
+    }
+
+    #[test]
+    fn addition_is_order_insensitive() {
+        let a = truncated_sum(&tags(&[1, 2, 3]), 16);
+        let b = truncated_sum(&tags(&[3, 1, 2]), 16);
+        assert_eq!(a, b, "truncated addition cannot distinguish permutations");
+    }
+
+    #[test]
+    fn truncation_wraps_like_hardware_adder() {
+        assert_eq!(truncated_sum(&tags(&[0xFFFF, 0x0001]), 16), 0);
+        assert_eq!(truncated_sum(&tags(&[0xFFFF, 0x0002]), 16), 1);
+    }
+
+    #[test]
+    fn result_fits_width() {
+        for bits in [1u32, 4, 8, 13, 16, 32] {
+            let s = truncated_sum(&tags(&[u64::MAX, 12345, 678]), bits);
+            assert!(s < (1u64 << bits));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "truncation width")]
+    fn zero_width_rejected() {
+        let _ = truncated_sum(&[], 0);
+    }
+}

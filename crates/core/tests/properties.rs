@@ -1,0 +1,132 @@
+//! Property-based tests for the TCP predictor structures.
+
+use proptest::prelude::*;
+use tcp_cache::{L1MissInfo, PrefetchRequest, Prefetcher};
+use tcp_core::{truncated_sum, PatternHistoryTable, PhtConfig, TagHistoryTable, Tcp, TcpConfig};
+use tcp_mem::{Addr, CacheGeometry, MemAccess, SetIndex, Tag};
+
+proptest! {
+    #[test]
+    fn truncated_sum_is_bounded_and_additive_mod_2k(
+        tags in prop::collection::vec(0u64..(1 << 20), 0..6),
+        bits in 1u32..32,
+    ) {
+        let seq: Vec<Tag> = tags.iter().copied().map(Tag::new).collect();
+        let s = truncated_sum(&seq, bits);
+        prop_assert!(s < (1u64 << bits));
+        let direct: u64 = tags.iter().fold(0u64, |a, &t| a.wrapping_add(t)) & ((1 << bits) - 1);
+        prop_assert_eq!(s, direct);
+    }
+
+    #[test]
+    fn tht_always_reports_the_last_k_tags(
+        pushes in prop::collection::vec((0u32..64, 0u64..1000), 1..200),
+        k in 1usize..5,
+    ) {
+        let mut tht = TagHistoryTable::new(64, k);
+        let mut shadow: Vec<Vec<u64>> = vec![Vec::new(); 64];
+        for &(set, tag) in &pushes {
+            tht.push(SetIndex::new(set), Tag::new(tag));
+            shadow[set as usize].push(tag);
+        }
+        for set in 0..64u32 {
+            let hist = &shadow[set as usize];
+            match tht.sequence(SetIndex::new(set)) {
+                Some(seq) => {
+                    prop_assert!(hist.len() >= k);
+                    let expect: Vec<u64> = hist[hist.len() - k..].to_vec();
+                    let got: Vec<u64> = seq.iter().map(|t| t.raw()).collect();
+                    prop_assert_eq!(got, expect);
+                }
+                None => prop_assert!(hist.len() < k),
+            }
+        }
+    }
+
+    #[test]
+    fn pht_lookup_returns_last_trained_value_when_no_eviction(
+        seq_tags in prop::collection::vec(0u64..(1 << 16), 2..4),
+        first in 0u64..(1 << 16),
+        second in 0u64..(1 << 16),
+        set in 0u32..1024,
+    ) {
+        // A single pattern cannot be evicted from an empty table; training
+        // twice must yield the second value.
+        let mut pht = PatternHistoryTable::new(PhtConfig::pht_8k());
+        let seq: Vec<Tag> = seq_tags.iter().copied().map(Tag::new).collect();
+        pht.train(&seq, Tag::new(first), SetIndex::new(set));
+        pht.train(&seq, Tag::new(second), SetIndex::new(set));
+        prop_assert_eq!(pht.lookup(&seq, SetIndex::new(set)), Some(Tag::new(second).truncate(16)));
+    }
+
+    #[test]
+    fn pht_shared_index_is_set_invariant(
+        seq_tags in prop::collection::vec(0u64..(1 << 16), 2..4),
+        next in 0u64..(1 << 16),
+        train_set in 0u32..1024,
+        probe_set in 0u32..1024,
+    ) {
+        let mut pht = PatternHistoryTable::new(PhtConfig::pht_8k());
+        let seq: Vec<Tag> = seq_tags.iter().copied().map(Tag::new).collect();
+        pht.train(&seq, Tag::new(next), SetIndex::new(train_set));
+        prop_assert_eq!(
+            pht.lookup(&seq, SetIndex::new(probe_set)),
+            Some(Tag::new(next).truncate(16))
+        );
+    }
+
+    #[test]
+    fn tcp_prefetches_stay_in_the_missing_set_and_never_repeat_the_miss(
+        tags in prop::collection::vec(0u64..256, 8..120),
+        set in 0u32..1024,
+    ) {
+        let g = CacheGeometry::new(32 * 1024, 32, 1);
+        let mut tcp = Tcp::new(TcpConfig::tcp_8k());
+        let mut out: Vec<PrefetchRequest> = Vec::new();
+        for (i, &t) in tags.iter().enumerate() {
+            out.clear();
+            let line = g.compose(Tag::new(t), SetIndex::new(set));
+            let info = L1MissInfo {
+                access: MemAccess::load(Addr::new(0x400), g.first_byte(line)),
+                line,
+                tag: Tag::new(t),
+                set: SetIndex::new(set),
+                cycle: i as u64,
+            };
+            tcp.on_miss(&info, &mut out);
+            for r in &out {
+                let (ptag, pset) = g.split_line(r.line);
+                prop_assert_eq!(pset.raw(), set, "prediction must target the missing set");
+                prop_assert!(r.line != line || ptag != Tag::new(t), "never prefetch the missing line");
+            }
+        }
+    }
+
+    #[test]
+    fn tcp_is_deterministic_over_any_miss_sequence(
+        tags in prop::collection::vec(0u64..64, 1..80),
+    ) {
+        let g = CacheGeometry::new(32 * 1024, 32, 1);
+        let run = || {
+            let mut tcp = Tcp::new(TcpConfig::tcp_8k());
+            let mut all = Vec::new();
+            let mut out = Vec::new();
+            for (i, &t) in tags.iter().enumerate() {
+                out.clear();
+                let set = SetIndex::new((t % 16) as u32);
+                let line = g.compose(Tag::new(t), set);
+                let info = L1MissInfo {
+                    access: MemAccess::load(Addr::new(0x400), g.first_byte(line)),
+                    line,
+                    tag: Tag::new(t),
+                    set,
+                    cycle: i as u64,
+                };
+                tcp.on_miss(&info, &mut out);
+                all.extend(out.iter().map(|r| r.line));
+            }
+            all
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

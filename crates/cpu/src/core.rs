@@ -1,0 +1,577 @@
+//! The out-of-order core scheduling model.
+//!
+//! The model processes micro-ops in program order and computes, for each,
+//! the cycle it is fetched (bounded by fetch width and window occupancy),
+//! becomes ready (data dependences), issues (issue width and
+//! functional-unit pools), completes (FU latency, or the memory hierarchy
+//! for loads/stores), and commits (in order, bounded by commit width).
+//! This is the classic "interval" formulation of an out-of-order pipeline:
+//! it captures exactly the behaviour the paper's results hinge on — an
+//! L2 hit (12 cycles) hides inside the 128-entry window, while a
+//! main-memory miss (~90 cycles plus bus queuing) fills the window with
+//! dependants and stalls commit.
+
+use std::collections::HashMap;
+
+use crate::{MicroOp, OpClass};
+use tcp_cache::MemoryHierarchy;
+
+/// Configuration of the out-of-order core (Table 1 defaults).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CoreConfig {
+    /// Instruction window (RUU) size.
+    pub window: usize,
+    /// Ops fetched per cycle.
+    pub fetch_width: u32,
+    /// Ops issued per cycle.
+    pub issue_width: u32,
+    /// Ops committed per cycle.
+    pub commit_width: u32,
+    /// Functional-unit pool sizes: `[int_alu, int_mult, fp_alu, fp_mult,
+    /// load_store]`. Branches execute on the integer ALUs.
+    pub fu_counts: [u32; 5],
+    /// Non-memory execution latencies indexed by [`OpClass::index`]
+    /// (`Load`/`Store` entries are ignored — the hierarchy decides).
+    pub latencies: [u64; 7],
+    /// Percentage (0–100) of branches that mispredict. A mispredicted
+    /// branch stalls fetch until the branch resolves, plus the redirect
+    /// penalty — the front-end serialisation that keeps real machines
+    /// from hiding arbitrary memory latency behind a 128-entry window.
+    pub branch_mispredict_pct: u8,
+    /// Front-end redirect penalty in cycles after a mispredict resolves.
+    pub mispredict_penalty: u64,
+    /// L1 instruction cache (Table 1: 32 KB, 4-way, 32 B blocks), or
+    /// `None` for an ideal front end. Modelled functionally: an I-cache
+    /// miss stalls fetch for `icache_miss_penalty` cycles (an L2 hit;
+    /// instruction footprints here always fit the L2).
+    pub icache: Option<tcp_mem::CacheGeometry>,
+    /// Fetch stall on an I-cache miss, in cycles.
+    pub icache_miss_penalty: u64,
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        CoreConfig {
+            window: 128,
+            fetch_width: 8,
+            issue_width: 8,
+            commit_width: 8,
+            // 8 IntALU, 3 IntMult/Div, 6 FPALU, 2 FPMult/Div, 4 Load/Store.
+            fu_counts: [8, 3, 6, 2, 4],
+            // IntAlu, IntMult, FpAlu, FpMult, Load, Store, Branch.
+            latencies: [1, 3, 2, 4, 0, 0, 1],
+            branch_mispredict_pct: 5,
+            mispredict_penalty: 6,
+            icache: Some(tcp_mem::CacheGeometry::new(32 * 1024, 32, 4)),
+            icache_miss_penalty: 12,
+        }
+    }
+}
+
+impl CoreConfig {
+    fn pool_of(class: OpClass) -> usize {
+        match class {
+            OpClass::IntAlu | OpClass::Branch => 0,
+            OpClass::IntMult => 1,
+            OpClass::FpAlu => 2,
+            OpClass::FpMult => 3,
+            OpClass::Load | OpClass::Store => 4,
+        }
+    }
+}
+
+/// The result of one simulated run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CoreRun {
+    /// Micro-ops committed.
+    pub ops: u64,
+    /// Total cycles from first fetch to last commit.
+    pub cycles: u64,
+    /// Loads executed.
+    pub loads: u64,
+    /// Stores executed.
+    pub stores: u64,
+}
+
+impl CoreRun {
+    /// Committed instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.ops as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// Per-cycle resource buckets with lazy pruning.
+#[derive(Debug, Default)]
+struct CycleBuckets {
+    used: HashMap<u64, u32>,
+}
+
+impl CycleBuckets {
+    fn used_at(&self, cycle: u64) -> u32 {
+        self.used.get(&cycle).copied().unwrap_or(0)
+    }
+
+    fn take(&mut self, cycle: u64) {
+        *self.used.entry(cycle).or_insert(0) += 1;
+    }
+
+    fn prune_below(&mut self, horizon: u64) {
+        if self.used.len() > 8192 {
+            self.used.retain(|&c, _| c >= horizon);
+        }
+    }
+}
+
+
+/// Persistent scheduling state of one simulated instruction stream: the
+/// rings, per-cycle resource buckets, and front-end status that the
+/// interval model threads from op to op. Extracted from the run loop so
+/// [`OooCore::run`] and incremental drivers (`tcp-sim`'s stepping
+/// `Simulation`) share one implementation.
+#[derive(Debug)]
+pub(crate) struct CoreState {
+    commit_ring: Vec<u64>,
+    complete_ring: Vec<u64>,
+    fetch_cycle: u64,
+    fetched_this_cycle: u32,
+    commit_cycle: u64,
+    committed_this_cycle: u32,
+    pub(crate) last_commit: u64,
+    issue_slots: CycleBuckets,
+    pools: [CycleBuckets; 5],
+    mispredict_rng: tcp_mem::SplitMix64,
+    fetch_blocked_until: u64,
+    icache: Option<tcp_cache::Cache>,
+    last_iline: Option<tcp_mem::LineAddr>,
+}
+
+impl CoreState {
+    pub(crate) fn new(cfg: &CoreConfig) -> Self {
+        CoreState {
+            commit_ring: vec![0; cfg.window],
+            complete_ring: vec![0; cfg.window],
+            fetch_cycle: 0,
+            fetched_this_cycle: 0,
+            commit_cycle: 0,
+            committed_this_cycle: 0,
+            last_commit: 0,
+            issue_slots: CycleBuckets::default(),
+            pools: Default::default(),
+            mispredict_rng: tcp_mem::SplitMix64::new(0x0DDB_A11_5EED),
+            fetch_blocked_until: 0,
+            icache: cfg.icache.map(|g| tcp_cache::Cache::new(g, tcp_cache::Replacement::Lru)),
+            last_iline: None,
+        }
+    }
+
+    /// Schedules one op (op index `i` in program order) and updates the
+    /// run counters.
+    pub(crate) fn step_op(
+        &mut self,
+        cfg: &CoreConfig,
+        i: u64,
+        op: MicroOp,
+        hierarchy: &mut MemoryHierarchy,
+        run: &mut CoreRun,
+    ) {
+        let w = cfg.window;
+        let slot = (i as usize) % w;
+
+        // --- Instruction fetch: I-cache lookup once per new line.
+        if let Some(ic) = self.icache.as_mut() {
+            let g = cfg.icache.expect("icache geometry present");
+            let iline = g.line_addr(op.pc);
+            if self.last_iline != Some(iline) {
+                self.last_iline = Some(iline);
+                if let tcp_cache::AccessOutcome::Miss = ic.access(iline, false, self.fetch_cycle) {
+                    ic.fill(iline, self.fetch_cycle, false);
+                    self.fetch_blocked_until =
+                        self.fetch_blocked_until.max(self.fetch_cycle + cfg.icache_miss_penalty);
+                }
+            }
+        }
+
+        // --- Fetch: window occupancy, mispredict redirect, bandwidth.
+        let window_free_at = if (i as usize) >= w { self.commit_ring[slot] } else { 0 };
+        let earliest_fetch = window_free_at.max(self.fetch_blocked_until);
+        if earliest_fetch > self.fetch_cycle {
+            self.fetch_cycle = earliest_fetch;
+            self.fetched_this_cycle = 0;
+        }
+        if self.fetched_this_cycle >= cfg.fetch_width {
+            self.fetch_cycle += 1;
+            self.fetched_this_cycle = 0;
+        }
+        self.fetched_this_cycle += 1;
+        let fetch_t = self.fetch_cycle;
+
+        // --- Ready: dispatch plus producer completion.
+        let mut ready = fetch_t + 1;
+        for dep in [op.dep1, op.dep2].into_iter().flatten() {
+            let d = dep as u64;
+            if d >= 1 && d < w as u64 && d <= i {
+                let producer_slot = ((i - d) as usize) % w;
+                ready = ready.max(self.complete_ring[producer_slot]);
+            }
+        }
+
+        // --- Issue: first cycle with a free issue slot and FU.
+        let pool = CoreConfig::pool_of(op.class);
+        let pool_cap = cfg.fu_counts[pool];
+        let mut c = ready;
+        loop {
+            if self.issue_slots.used_at(c) < cfg.issue_width && self.pools[pool].used_at(c) < pool_cap {
+                break;
+            }
+            c += 1;
+        }
+        self.issue_slots.take(c);
+        self.pools[pool].take(c);
+        let issue_t = c;
+
+        // --- Execute / memory access.
+        let complete_t = match op.mem_access() {
+            Some(acc) => {
+                if acc.kind.is_store() {
+                    run.stores += 1;
+                } else {
+                    run.loads += 1;
+                }
+                hierarchy.access(acc, issue_t).completes_at
+            }
+            None => issue_t + cfg.latencies[op.class.index()],
+        };
+        self.complete_ring[slot] = complete_t;
+
+        // --- Branch misprediction: block fetch until resolution.
+        if op.class == OpClass::Branch
+            && cfg.branch_mispredict_pct > 0
+            && self.mispredict_rng.chance(u64::from(cfg.branch_mispredict_pct), 100)
+        {
+            self.fetch_blocked_until =
+                self.fetch_blocked_until.max(complete_t + cfg.mispredict_penalty);
+        }
+
+        // --- Commit: in order, bounded by commit width.
+        let mut target = complete_t.max(self.last_commit);
+        if target > self.commit_cycle {
+            self.commit_cycle = target;
+            self.committed_this_cycle = 0;
+        } else {
+            target = self.commit_cycle;
+        }
+        if self.committed_this_cycle >= cfg.commit_width {
+            self.commit_cycle += 1;
+            self.committed_this_cycle = 0;
+            target = self.commit_cycle;
+        }
+        self.committed_this_cycle += 1;
+        self.last_commit = target;
+        self.commit_ring[slot] = target;
+
+        if (i + 1) % 65536 == 0 {
+            self.issue_slots.prune_below(self.fetch_cycle);
+            for p in &mut self.pools {
+                p.prune_below(self.fetch_cycle);
+            }
+        }
+    }
+}
+
+/// The out-of-order core model.
+///
+/// See the crate-level documentation for an end-to-end example.
+#[derive(Debug)]
+pub struct OooCore {
+    cfg: CoreConfig,
+}
+
+impl OooCore {
+    /// Creates a core with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window or any width is zero.
+    pub fn new(cfg: CoreConfig) -> Self {
+        assert!(cfg.window > 0, "window must be nonzero");
+        assert!(
+            cfg.fetch_width > 0 && cfg.issue_width > 0 && cfg.commit_width > 0,
+            "pipeline widths must be nonzero"
+        );
+        assert!(cfg.fu_counts.iter().all(|&c| c > 0), "FU pools must be nonzero");
+        OooCore { cfg }
+    }
+
+    /// The core configuration.
+    pub fn config(&self) -> &CoreConfig {
+        &self.cfg
+    }
+
+    /// Runs a micro-op stream to completion against `hierarchy` and
+    /// returns timing results. The hierarchy accumulates its own
+    /// statistics; call [`MemoryHierarchy::finalize`] afterwards.
+    pub fn run<I>(&mut self, ops: I, hierarchy: &mut MemoryHierarchy) -> CoreRun
+    where
+        I: IntoIterator<Item = MicroOp>,
+    {
+        self.run_with_warmup(ops, 0, hierarchy)
+    }
+
+    /// Like [`OooCore::run`], but the first `warmup_ops` micro-ops warm
+    /// the caches and predictor tables without being measured: hierarchy
+    /// statistics are reset and the cycle/op counters restart at the
+    /// warm-up boundary, mirroring the paper's methodology of skipping
+    /// the first billion instructions before measuring two billion.
+    pub fn run_with_warmup<I>(&mut self, ops: I, warmup_ops: u64, hierarchy: &mut MemoryHierarchy) -> CoreRun
+    where
+        I: IntoIterator<Item = MicroOp>,
+    {
+        let mut state = CoreState::new(&self.cfg);
+        let mut run = CoreRun::default();
+        let mut i: u64 = 0;
+        let mut measure_start_cycle = 0u64;
+
+        for op in ops {
+            if i == warmup_ops && warmup_ops > 0 {
+                measure_start_cycle = state.last_commit;
+                hierarchy.reset_stats();
+                run.loads = 0;
+                run.stores = 0;
+            }
+            state.step_op(&self.cfg, i, op, hierarchy, &mut run);
+            i += 1;
+        }
+        let last_commit = state.last_commit;
+        run.ops = i.saturating_sub(warmup_ops.min(i));
+        run.cycles = (last_commit + 1).saturating_sub(measure_start_cycle);
+        run
+    }
+}
+
+/// An incrementally-driven core: feed ops one at a time and inspect
+/// progress between steps. [`OooCore::run`] is the batch driver over the
+/// same machinery; this type exists for interactive tooling and for
+/// `tcp-sim`'s chunked `Simulation` driver, which pauses between chunks
+/// to expose mid-run statistics.
+///
+/// # Examples
+///
+/// ```
+/// use tcp_cache::{HierarchyConfig, MemoryHierarchy, NullPrefetcher};
+/// use tcp_cpu::{CoreConfig, MicroOp, SteppedCore};
+/// use tcp_mem::Addr;
+///
+/// let mut h = MemoryHierarchy::new(HierarchyConfig::default(), Box::new(NullPrefetcher));
+/// let mut core = SteppedCore::new(CoreConfig::default());
+/// for i in 0..100u64 {
+///     core.step(MicroOp::load(Addr::new((i * 4) % 256), Addr::new(i * 8)), &mut h);
+/// }
+/// assert_eq!(core.ops_executed(), 100);
+/// assert!(core.cycles() > 0);
+/// ```
+#[derive(Debug)]
+pub struct SteppedCore {
+    cfg: CoreConfig,
+    state: CoreState,
+    i: u64,
+    run: CoreRun,
+}
+
+impl SteppedCore {
+    /// Creates a stepped core with fresh scheduling state.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same configuration constraints as
+    /// [`OooCore::new`].
+    pub fn new(cfg: CoreConfig) -> Self {
+        let core = OooCore::new(cfg); // validates
+        let cfg = core.cfg;
+        let state = CoreState::new(&cfg);
+        SteppedCore { cfg, state, i: 0, run: CoreRun::default() }
+    }
+
+    /// Schedules one micro-op.
+    pub fn step(&mut self, op: MicroOp, hierarchy: &mut MemoryHierarchy) {
+        self.state.step_op(&self.cfg, self.i, op, hierarchy, &mut self.run);
+        self.i += 1;
+    }
+
+    /// Ops executed so far.
+    pub fn ops_executed(&self) -> u64 {
+        self.i
+    }
+
+    /// Cycles elapsed up to the last committed op.
+    pub fn cycles(&self) -> u64 {
+        if self.i == 0 {
+            0
+        } else {
+            self.state.last_commit + 1
+        }
+    }
+
+    /// IPC so far.
+    pub fn ipc(&self) -> f64 {
+        let c = self.cycles();
+        if c == 0 {
+            0.0
+        } else {
+            self.i as f64 / c as f64
+        }
+    }
+
+    /// A [`CoreRun`] snapshot of progress so far.
+    pub fn snapshot(&self) -> CoreRun {
+        CoreRun { ops: self.i, cycles: self.cycles(), loads: self.run.loads, stores: self.run.stores }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcp_cache::{HierarchyConfig, MemoryHierarchy, NullPrefetcher};
+    use tcp_mem::Addr;
+
+    fn hierarchy() -> MemoryHierarchy {
+        MemoryHierarchy::new(HierarchyConfig::default(), Box::new(NullPrefetcher))
+    }
+
+    fn run_ops(ops: Vec<MicroOp>) -> CoreRun {
+        let mut h = hierarchy();
+        OooCore::new(CoreConfig::default()).run(ops, &mut h)
+    }
+
+    /// Pure scheduling tests use an ideal front end so cold I-cache
+    /// misses don't obscure the property under test.
+    fn run_ops_ideal_frontend(ops: Vec<MicroOp>) -> CoreRun {
+        let mut h = hierarchy();
+        let cfg = CoreConfig { icache: None, branch_mispredict_pct: 0, ..CoreConfig::default() };
+        OooCore::new(cfg).run(ops, &mut h)
+    }
+
+    #[test]
+    fn empty_stream_is_zero() {
+        let r = run_ops(vec![]);
+        assert_eq!(r.ops, 0);
+        assert_eq!(r.ipc(), 0.0);
+    }
+
+    #[test]
+    fn independent_alu_ops_reach_issue_width() {
+        let ops: Vec<_> = (0..10_000).map(|i| MicroOp::int_alu(Addr::new((i * 4) % 4096), None, None)).collect();
+        let r = run_ops_ideal_frontend(ops);
+        let ipc = r.ipc();
+        assert!(ipc > 7.0, "independent ALU ops should approach 8 IPC, got {ipc}");
+        assert!(ipc <= 8.0 + 1e-9);
+    }
+
+    #[test]
+    fn serial_dependence_chain_limits_ipc_to_one() {
+        let ops: Vec<_> = (0..5_000).map(|i| MicroOp::int_alu(Addr::new((i * 4) % 4096), Some(1), None)).collect();
+        let r = run_ops(ops);
+        let ipc = r.ipc();
+        assert!(ipc < 1.1, "1-cycle chain must cap IPC at ~1, got {ipc}");
+        assert!(ipc > 0.8);
+    }
+
+    #[test]
+    fn fp_mult_pool_throttles() {
+        // Only 2 FP multipliers: independent FpMult ops cap at 2/cycle.
+        let ops: Vec<_> = (0..4_000)
+            .map(|i| MicroOp { pc: Addr::new((i * 4) % 4096), class: OpClass::FpMult, mem_addr: None, dep1: None, dep2: None })
+            .collect();
+        let r = run_ops_ideal_frontend(ops);
+        let ipc = r.ipc();
+        assert!(ipc < 2.1, "2 FP multipliers cap IPC at 2, got {ipc}");
+        assert!(ipc > 1.5);
+    }
+
+    #[test]
+    fn pointer_chase_misses_serialize() {
+        // Dependent loads that each miss to memory: IPC collapses.
+        let stride = 64 * 1024; // distinct L1 sets and L2 lines
+        let chase: Vec<_> =
+            (0..800u64).map(|i| MicroOp::dependent_load(Addr::new(0x400), Addr::new(i * stride), 1)).collect();
+        let r = run_ops(chase);
+        assert!(r.ipc() < 0.05, "serialized memory misses must crush IPC, got {}", r.ipc());
+    }
+
+    #[test]
+    fn independent_loads_exploit_mlp() {
+        let stride = 64 * 1024;
+        let ops: Vec<_> = (0..800u64).map(|i| MicroOp::load(Addr::new(0x400), Addr::new(i * stride))).collect();
+        let independent = run_ops(ops);
+        let chase: Vec<_> =
+            (0..800u64).map(|i| MicroOp::dependent_load(Addr::new(0x400), Addr::new(i * stride), 1)).collect();
+        let dependent = run_ops(chase);
+        assert!(
+            independent.ipc() > 3.0 * dependent.ipc(),
+            "MLP should beat serial chasing: {} vs {}",
+            independent.ipc(),
+            dependent.ipc()
+        );
+    }
+
+    #[test]
+    fn ideal_l2_speeds_up_memory_bound_code() {
+        let stride = 64 * 1024;
+        let ops: Vec<_> = (0..2_000u64)
+            .flat_map(|i| {
+                [MicroOp::load(Addr::new(0x400), Addr::new((i * stride) % (1 << 28))), MicroOp::int_alu(Addr::new(0x404), Some(1), None)]
+            })
+            .collect();
+        let mut real = hierarchy();
+        let r_real = OooCore::new(CoreConfig::default()).run(ops.clone(), &mut real);
+        let mut ideal = MemoryHierarchy::new(
+            HierarchyConfig { ideal_l2: true, ..HierarchyConfig::default() },
+            Box::new(NullPrefetcher),
+        );
+        let r_ideal = OooCore::new(CoreConfig::default()).run(ops, &mut ideal);
+        assert!(
+            r_ideal.ipc() > 1.5 * r_real.ipc(),
+            "ideal L2 must help memory-bound code: {} vs {}",
+            r_ideal.ipc(),
+            r_real.ipc()
+        );
+    }
+
+    #[test]
+    fn cache_friendly_loads_are_fast() {
+        // Sequential loads within one line mostly hit.
+        let ops: Vec<_> = (0..20_000u64).map(|i| MicroOp::load(Addr::new(0x400), Addr::new((i * 4) % 16384))).collect();
+        let r = run_ops(ops);
+        assert!(r.ipc() > 2.0, "cache-resident loads should be fast, got {}", r.ipc());
+    }
+
+    #[test]
+    fn run_counts_loads_and_stores() {
+        let ops = vec![
+            MicroOp::load(Addr::new(0), Addr::new(64)),
+            MicroOp::store(Addr::new(4), Addr::new(128)),
+            MicroOp::int_alu(Addr::new(8), None, None),
+        ];
+        let r = run_ops(ops);
+        assert_eq!(r.ops, 3);
+        assert_eq!(r.loads, 1);
+        assert_eq!(r.stores, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn zero_window_rejected() {
+        let _ = OooCore::new(CoreConfig { window: 0, ..CoreConfig::default() });
+    }
+
+    #[test]
+    fn deps_beyond_window_are_ignored() {
+        let ops: Vec<_> =
+            (0..1_000).map(|i| MicroOp::int_alu(Addr::new((i * 4) % 4096), Some(5_000), Some(0))).collect();
+        let r = run_ops_ideal_frontend(ops);
+        assert!(r.ipc() > 7.0);
+    }
+}

@@ -1,0 +1,159 @@
+//! The micro-operation vocabulary: what workload generators emit and the
+//! out-of-order core schedules.
+
+use tcp_mem::{Addr, MemAccess};
+
+/// Functional-unit class of a micro-op, mirroring Table 1's FU mix.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    /// Integer ALU operation (1-cycle).
+    IntAlu,
+    /// Integer multiply/divide (longer latency, few units).
+    IntMult,
+    /// Floating-point add/compare (pipelined).
+    FpAlu,
+    /// Floating-point multiply/divide.
+    FpMult,
+    /// Memory load through a load/store port.
+    Load,
+    /// Memory store through a load/store port.
+    Store,
+    /// Control transfer (resolved at execute).
+    Branch,
+}
+
+impl OpClass {
+    /// All classes, in a fixed order used for FU-pool indexing.
+    pub const ALL: [OpClass; 7] = [
+        OpClass::IntAlu,
+        OpClass::IntMult,
+        OpClass::FpAlu,
+        OpClass::FpMult,
+        OpClass::Load,
+        OpClass::Store,
+        OpClass::Branch,
+    ];
+
+    /// Dense index for per-class resource tables.
+    pub const fn index(self) -> usize {
+        match self {
+            OpClass::IntAlu => 0,
+            OpClass::IntMult => 1,
+            OpClass::FpAlu => 2,
+            OpClass::FpMult => 3,
+            OpClass::Load => 4,
+            OpClass::Store => 5,
+            OpClass::Branch => 6,
+        }
+    }
+
+    /// `true` for loads and stores.
+    pub const fn is_memory(self) -> bool {
+        matches!(self, OpClass::Load | OpClass::Store)
+    }
+}
+
+/// One micro-operation with up to two data dependences.
+///
+/// Dependences are expressed as *distances*: `dep1 = Some(3)` means this
+/// op consumes the result of the op three positions earlier in program
+/// order. Distance encoding keeps workload generation streaming (no
+/// register renaming needed) while still expressing the dependence chains
+/// that determine how much latency the window can hide — e.g. a
+/// pointer-chasing load carries `dep1 = Some(k)` pointing at the previous
+/// load, serialising the misses exactly as `mcf` does.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MicroOp {
+    /// Program counter (used by PC-indexed predictors like DBCP).
+    pub pc: Addr,
+    /// Functional-unit class.
+    pub class: OpClass,
+    /// Data address for loads/stores; ignored otherwise.
+    pub mem_addr: Option<Addr>,
+    /// Distance to the first producer op, if any.
+    pub dep1: Option<u32>,
+    /// Distance to the second producer op, if any.
+    pub dep2: Option<u32>,
+}
+
+impl MicroOp {
+    /// An integer ALU op with optional dependences.
+    pub const fn int_alu(pc: Addr, dep1: Option<u32>, dep2: Option<u32>) -> Self {
+        MicroOp { pc, class: OpClass::IntAlu, mem_addr: None, dep1, dep2 }
+    }
+
+    /// A floating-point ALU op with optional dependences.
+    pub const fn fp_alu(pc: Addr, dep1: Option<u32>, dep2: Option<u32>) -> Self {
+        MicroOp { pc, class: OpClass::FpAlu, mem_addr: None, dep1, dep2 }
+    }
+
+    /// An independent load.
+    pub const fn load(pc: Addr, addr: Addr) -> Self {
+        MicroOp { pc, class: OpClass::Load, mem_addr: Some(addr), dep1: None, dep2: None }
+    }
+
+    /// A load whose address depends on the op `dep` positions back
+    /// (pointer chasing).
+    pub const fn dependent_load(pc: Addr, addr: Addr, dep: u32) -> Self {
+        MicroOp { pc, class: OpClass::Load, mem_addr: Some(addr), dep1: Some(dep), dep2: None }
+    }
+
+    /// A store.
+    pub const fn store(pc: Addr, addr: Addr) -> Self {
+        MicroOp { pc, class: OpClass::Store, mem_addr: Some(addr), dep1: None, dep2: None }
+    }
+
+    /// A branch, optionally depending on an earlier comparison.
+    pub const fn branch(pc: Addr, dep1: Option<u32>) -> Self {
+        MicroOp { pc, class: OpClass::Branch, mem_addr: None, dep1, dep2: None }
+    }
+
+    /// The memory access this op performs, if it is a load or store.
+    pub fn mem_access(&self) -> Option<MemAccess> {
+        match (self.class, self.mem_addr) {
+            (OpClass::Load, Some(addr)) => Some(MemAccess::load(self.pc, addr)),
+            (OpClass::Store, Some(addr)) => Some(MemAccess::store(self.pc, addr)),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_indices_are_dense_and_unique() {
+        let mut seen = [false; 7];
+        for c in OpClass::ALL {
+            assert!(!seen[c.index()], "duplicate index for {c:?}");
+            seen[c.index()] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn memory_classification() {
+        assert!(OpClass::Load.is_memory());
+        assert!(OpClass::Store.is_memory());
+        assert!(!OpClass::IntAlu.is_memory());
+        assert!(!OpClass::Branch.is_memory());
+    }
+
+    #[test]
+    fn mem_access_only_for_memory_ops() {
+        let pc = Addr::new(0x400);
+        let a = Addr::new(0x1000);
+        assert!(MicroOp::load(pc, a).mem_access().unwrap().kind == tcp_mem::AccessKind::Load);
+        assert!(MicroOp::store(pc, a).mem_access().unwrap().kind == tcp_mem::AccessKind::Store);
+        assert!(MicroOp::int_alu(pc, None, None).mem_access().is_none());
+        assert!(MicroOp::branch(pc, Some(1)).mem_access().is_none());
+    }
+
+    #[test]
+    fn dependent_load_records_distance() {
+        let op = MicroOp::dependent_load(Addr::new(4), Addr::new(8), 2);
+        assert_eq!(op.dep1, Some(2));
+        assert_eq!(op.class, OpClass::Load);
+    }
+}

@@ -1,0 +1,169 @@
+//! System-parameter ablations: how sensitive are the paper's conclusions
+//! to machine parameters Table 1 fixes (or leaves unstated)?
+//!
+//! For each knob the sweep reports the no-prefetch baseline and TCP-8K
+//! geomean IPC over a representative subset, so the *robustness of the
+//! TCP win* — not just raw IPC — is visible per point.
+
+use crate::report::{f, Table};
+use tcp_analysis::geometric_mean;
+use tcp_cache::NullPrefetcher;
+use tcp_core::{Tcp, TcpConfig};
+use tcp_sim::{run_benchmark, SystemConfig};
+use tcp_workloads::Benchmark;
+
+/// One sweep point.
+#[derive(Clone, Debug)]
+pub struct AblatePoint {
+    /// Knob label, e.g. `mshrs=16`.
+    pub label: String,
+    /// Geomean IPC without prefetching.
+    pub base_ipc: f64,
+    /// Geomean IPC with TCP-8K.
+    pub tcp_ipc: f64,
+}
+
+impl AblatePoint {
+    /// TCP-8K improvement at this point, percent.
+    pub fn improvement_pct(&self) -> f64 {
+        (self.tcp_ipc / self.base_ipc - 1.0) * 100.0
+    }
+}
+
+/// A named sweep over one machine parameter.
+#[derive(Clone, Debug)]
+pub struct AblateSweep {
+    /// Parameter name.
+    pub knob: &'static str,
+    /// Sweep points in order.
+    pub points: Vec<AblatePoint>,
+}
+
+fn measure(benches: &[Benchmark], n_ops: u64, cfg: &SystemConfig, label: String) -> AblatePoint {
+    let geo = |runs: Vec<f64>| geometric_mean(&runs);
+    let base = geo(benches
+        .iter()
+        .map(|b| run_benchmark(b, n_ops, cfg, Box::new(NullPrefetcher)).ipc)
+        .collect());
+    let tcp = geo(benches
+        .iter()
+        .map(|b| run_benchmark(b, n_ops, cfg, Box::new(Tcp::new(TcpConfig::tcp_8k()))).ipc)
+        .collect());
+    AblatePoint { label, base_ipc: base, tcp_ipc: tcp }
+}
+
+/// Runs all six sweeps: MSHR count, memory-bus occupancy, prefetch
+/// buffer depth, branch-mispredict rate, victim-cache size, and L2
+/// replacement policy.
+pub fn run(benches: &[Benchmark], n_ops: u64) -> Vec<AblateSweep> {
+    let mut sweeps = Vec::new();
+
+    let mut points = Vec::new();
+    for mshrs in [4usize, 16, 64] {
+        let mut cfg = SystemConfig::table1();
+        cfg.hierarchy.l1_mshrs = mshrs;
+        points.push(measure(benches, n_ops, &cfg, format!("mshrs={mshrs}")));
+    }
+    sweeps.push(AblateSweep { knob: "L1 MSHRs", points });
+
+    let mut points = Vec::new();
+    for cycles in [2u64, 4, 8, 16] {
+        let mut cfg = SystemConfig::table1();
+        cfg.hierarchy.mem_bus_cycles = cycles;
+        points.push(measure(benches, n_ops, &cfg, format!("mem_bus={cycles}cyc")));
+    }
+    sweeps.push(AblateSweep { knob: "memory bus occupancy / line", points });
+
+    let mut points = Vec::new();
+    for buf in [8usize, 32, 64] {
+        let mut cfg = SystemConfig::table1();
+        cfg.hierarchy.prefetch_buffer = buf;
+        points.push(measure(benches, n_ops, &cfg, format!("pf_buffer={buf}")));
+    }
+    sweeps.push(AblateSweep { knob: "in-flight prefetch budget", points });
+
+    let mut points = Vec::new();
+    for pct in [0u8, 5, 10] {
+        let mut cfg = SystemConfig::table1();
+        cfg.core.branch_mispredict_pct = pct;
+        points.push(measure(benches, n_ops, &cfg, format!("mispredict={pct}%")));
+    }
+    sweeps.push(AblateSweep { knob: "branch mispredict rate", points });
+
+    let mut points = Vec::new();
+    for vc in [None, Some(8usize), Some(32)] {
+        let mut cfg = SystemConfig::table1();
+        cfg.hierarchy.victim_cache_entries = vc;
+        let label = match vc {
+            None => "victim=off".to_owned(),
+            Some(n) => format!("victim={n}"),
+        };
+        points.push(measure(benches, n_ops, &cfg, label));
+    }
+    sweeps.push(AblateSweep { knob: "victim cache (Jouppi)", points });
+
+    let mut points = Vec::new();
+    for (name, policy) in [
+        ("lru", tcp_cache::Replacement::Lru),
+        ("tree-plru", tcp_cache::Replacement::TreePlru),
+        ("random", tcp_cache::Replacement::random(7)),
+    ] {
+        let mut cfg = SystemConfig::table1();
+        cfg.hierarchy.l2_replacement = policy;
+        points.push(measure(benches, n_ops, &cfg, format!("l2={name}")));
+    }
+    sweeps.push(AblateSweep { knob: "L2 replacement policy", points });
+
+    sweeps
+}
+
+/// Renders one sweep.
+pub fn render(sweep: &AblateSweep) -> Table {
+    let mut t = Table::new(
+        &format!("Ablation: {}", sweep.knob),
+        &["point", "base IPC", "TCP-8K IPC", "TCP gain"],
+    );
+    for p in &sweep.points {
+        t.row(vec![
+            p.label.clone(),
+            f(p.base_ipc, 4),
+            f(p.tcp_ipc, 4),
+            format!("{:+.1}%", p.improvement_pct()),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcp_workloads::suite;
+
+    #[test]
+    fn sweeps_cover_all_knobs_and_points() {
+        let benches: Vec<Benchmark> = suite().into_iter().filter(|b| b.name == "art").collect();
+        let sweeps = run(&benches, 60_000);
+        assert_eq!(sweeps.len(), 6);
+        assert_eq!(sweeps[0].points.len(), 3);
+        assert_eq!(sweeps[1].points.len(), 4);
+        for s in &sweeps {
+            for p in &s.points {
+                assert!(p.base_ipc > 0.0 && p.tcp_ipc > 0.0, "{}: {:?}", s.knob, p);
+            }
+            assert!(!render(s).render().is_empty());
+        }
+    }
+
+    #[test]
+    fn fewer_mshrs_never_help_the_baseline() {
+        let benches: Vec<Benchmark> = suite().into_iter().filter(|b| b.name == "swim").collect();
+        let sweeps = run(&benches, 120_000);
+        let mshr = &sweeps[0].points;
+        assert!(
+            mshr[0].base_ipc <= mshr[2].base_ipc * 1.02,
+            "4 MSHRs ({:.3}) must not beat 64 ({:.3})",
+            mshr[0].base_ipc,
+            mshr[2].base_ipc
+        );
+    }
+}

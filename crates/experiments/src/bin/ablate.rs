@@ -1,0 +1,18 @@
+//! Sweeps machine parameters (MSHRs, memory bus, prefetch budget,
+//! mispredict rate) to show which conclusions depend on them.
+
+use tcp_experiments::{ablate, scale::Scale};
+use tcp_workloads::{suite, Benchmark};
+
+fn main() {
+    let scale = Scale::from_env();
+    // A representative subset: one streaming, one chase, one random.
+    let benches: Vec<Benchmark> =
+        suite().into_iter().filter(|b| ["swim", "ammp", "twolf"].contains(&b.name)).collect();
+    let ops = (scale.sim_ops / 2).max(100_000);
+    for sweep in ablate::run(&benches, ops) {
+        let t = ablate::render(&sweep);
+        print!("{}\n", t.render());
+        let _ = t.write_csv(&format!("ablate_{}", sweep.knob.replace(' ', "_").replace('/', "_")));
+    }
+}

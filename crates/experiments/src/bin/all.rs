@@ -1,0 +1,97 @@
+//! Runs every experiment in sequence: Table 1 and Figures 1-15.
+//!
+//! Equivalent to running each `tableN`/`figNN` binary in order; useful
+//! for regenerating EXPERIMENTS.md data in one command.
+
+use tcp_experiments::{characterize, fig01, fig11, fig12, fig13, fig14, scale::Scale, table1};
+use tcp_mem::{SetIndex, Tag};
+use tcp_sim::SystemConfig;
+use tcp_workloads::suite;
+
+fn main() {
+    let scale = Scale::from_env();
+    let benches = suite();
+
+    print!("{}\n", table1::render(&SystemConfig::table1()).render());
+
+    let f1 = fig01::run(&benches, scale.sim_ops);
+    let t1 = fig01::render(&f1);
+    print!("{}\n", t1.render());
+    let _ = t1.write_csv("fig01");
+
+    let profiles = characterize::characterize_suite(&benches, scale.trace_ops);
+    {
+        use tcp_experiments::report::{count, f, pct, Table};
+        let mut t = Table::new(
+            "Figures 2-7 & 15: miss-stream characterisation",
+            &[
+                "benchmark",
+                "tags",
+                "rec/tag",
+                "addrs",
+                "rec/addr",
+                "sets/tag",
+                "rec-in-set",
+                "seqs",
+                "rec/seq",
+                "%limit",
+                "sets/seq",
+                "seq-rec-in-set",
+                "%strided",
+            ],
+        );
+        for p in &profiles {
+            t.row(vec![
+                p.benchmark.clone(),
+                count(p.unique_tags),
+                f(p.tag_recurrence, 1),
+                count(p.unique_addresses),
+                f(p.address_recurrence, 1),
+                f(p.sets_per_tag, 1),
+                f(p.tag_recurrence_within_set, 1),
+                count(p.unique_sequences),
+                f(p.sequence_recurrence, 1),
+                pct(100.0 * p.fraction_of_upper_limit),
+                f(p.sets_per_sequence, 1),
+                f(p.sequence_recurrence_within_set, 1),
+                pct(100.0 * p.strided_fraction),
+            ]);
+        }
+        print!("{}\n", t.render());
+        let _ = t.write_csv("characterization");
+    }
+
+    println!("== Figure 9 indexing walkthrough (TCP-8K) ==");
+    for step in tcp_experiments::fig09::walkthrough(
+        &tcp_core::PhtConfig::pht_8k(),
+        &[Tag::new(0x00F3), Tag::new(0x0A41)],
+        SetIndex::new(0x2A7),
+    ) {
+        println!("  {:<28} {}", step.label, step.value);
+    }
+    println!();
+
+    let f11 = fig11::run(&benches, scale.sim_ops);
+    let t11 = fig11::render(&f11);
+    print!("{}\n", t11.render());
+    let _ = t11.write_csv("fig11");
+
+    let f12 = fig12::run(&benches, scale.sim_ops);
+    let t12a = fig12::render("Figure 12 (top): TCP-8K", &f12.tcp_8k);
+    let t12b = fig12::render("Figure 12 (bottom): TCP-8M", &f12.tcp_8m);
+    print!("{}\n{}\n", t12a.render(), t12b.render());
+    let _ = t12a.write_csv("fig12_tcp8k");
+    let _ = t12b.write_csv("fig12_tcp8m");
+
+    let f13 = fig13::run(&benches, (scale.sim_ops / 2).max(100_000));
+    let t13a = fig13::render_sizes(&f13);
+    let t13b = fig13::render_index_bits(&f13);
+    print!("{}\n{}\n", t13a.render(), t13b.render());
+    let _ = t13a.write_csv("fig13_sizes");
+    let _ = t13b.write_csv("fig13_index_bits");
+
+    let f14 = fig14::run(&benches, scale.sim_ops);
+    let t14 = fig14::render(&f14);
+    print!("{}\n", t14.render());
+    let _ = t14.write_csv("fig14");
+}

@@ -1,0 +1,19 @@
+//! Regenerates Figure 1: potential IPC improvement with an ideal L2.
+
+use tcp_experiments::{fig01, scale::Scale};
+use tcp_workloads::suite;
+
+fn main() {
+    let scale = Scale::from_env();
+    let rows = fig01::run(&suite(), scale.sim_ops);
+    let t = fig01::render(&rows);
+    print!("{}", t.render());
+    let mut chart = tcp_experiments::plot::BarChart::new("ideal-L2 IPC improvement (%)", 50);
+    for r in &rows {
+        chart.bar(&r.benchmark, r.improvement_pct);
+    }
+    print!("\n{}", chart.render());
+    if let Ok(p) = t.write_csv("fig01") {
+        eprintln!("csv: {}", p.display());
+    }
+}

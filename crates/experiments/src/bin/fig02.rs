@@ -1,0 +1,19 @@
+//! Regenerates Figure 2: unique tags and tag recurrences in the L1 miss
+//! stream.
+
+use tcp_experiments::{characterize::characterize_suite, report::{count, f, Table}, scale::Scale};
+use tcp_workloads::suite;
+
+fn main() {
+    let scale = Scale::from_env();
+    let profiles = characterize_suite(&suite(), scale.trace_ops);
+    let mut t = Table::new(
+        "Figure 2: unique tags (top) and mean recurrences per tag (bottom)",
+        &["benchmark", "unique tags", "recurrences/tag"],
+    );
+    for p in &profiles {
+        t.row(vec![p.benchmark.clone(), count(p.unique_tags), f(p.tag_recurrence, 1)]);
+    }
+    print!("{}", t.render());
+    let _ = t.write_csv("fig02");
+}

@@ -1,0 +1,18 @@
+//! Regenerates Figure 3: unique addresses and address recurrences.
+
+use tcp_experiments::{characterize::characterize_suite, report::{count, f, Table}, scale::Scale};
+use tcp_workloads::suite;
+
+fn main() {
+    let scale = Scale::from_env();
+    let profiles = characterize_suite(&suite(), scale.trace_ops);
+    let mut t = Table::new(
+        "Figure 3: unique addresses (top) and mean recurrences per address (bottom)",
+        &["benchmark", "unique addresses", "recurrences/address"],
+    );
+    for p in &profiles {
+        t.row(vec![p.benchmark.clone(), count(p.unique_addresses), f(p.address_recurrence, 1)]);
+    }
+    print!("{}", t.render());
+    let _ = t.write_csv("fig03");
+}

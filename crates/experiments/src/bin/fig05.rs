@@ -1,0 +1,19 @@
+//! Regenerates Figure 5: observed three-tag sequences as a percentage of
+//! the random upper limit (unique tags cubed).
+
+use tcp_experiments::{characterize::characterize_suite, report::{pct, Table}, scale::Scale};
+use tcp_workloads::suite;
+
+fn main() {
+    let scale = Scale::from_env();
+    let profiles = characterize_suite(&suite(), scale.trace_ops);
+    let mut t = Table::new(
+        "Figure 5: unique 3-tag sequences / possible 3-tag sequences",
+        &["benchmark", "% of upper limit"],
+    );
+    for p in &profiles {
+        t.row(vec![p.benchmark.clone(), pct(100.0 * p.fraction_of_upper_limit)]);
+    }
+    print!("{}", t.render());
+    let _ = t.write_csv("fig05");
+}

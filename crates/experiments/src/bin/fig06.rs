@@ -1,0 +1,18 @@
+//! Regenerates Figure 6: unique three-tag sequences and their recurrences.
+
+use tcp_experiments::{characterize::characterize_suite, report::{count, f, Table}, scale::Scale};
+use tcp_workloads::suite;
+
+fn main() {
+    let scale = Scale::from_env();
+    let profiles = characterize_suite(&suite(), scale.trace_ops);
+    let mut t = Table::new(
+        "Figure 6: unique 3-tag sequences (top) and mean recurrences (bottom)",
+        &["benchmark", "unique sequences", "recurrences/sequence"],
+    );
+    for p in &profiles {
+        t.row(vec![p.benchmark.clone(), count(p.unique_sequences), f(p.sequence_recurrence, 1)]);
+    }
+    print!("{}", t.render());
+    let _ = t.write_csv("fig06");
+}

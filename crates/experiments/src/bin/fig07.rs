@@ -1,0 +1,23 @@
+//! Regenerates Figure 7: sequence spread across sets vs recurrence within
+//! a set.
+
+use tcp_experiments::{characterize::characterize_suite, report::{f, Table}, scale::Scale};
+use tcp_workloads::suite;
+
+fn main() {
+    let scale = Scale::from_env();
+    let profiles = characterize_suite(&suite(), scale.trace_ops);
+    let mut t = Table::new(
+        "Figure 7: mean sets per 3-tag sequence (top) and recurrences within a set (bottom)",
+        &["benchmark", "sets/sequence", "recurrences within set"],
+    );
+    for p in &profiles {
+        t.row(vec![
+            p.benchmark.clone(),
+            f(p.sets_per_sequence, 1),
+            f(p.sequence_recurrence_within_set, 1),
+        ]);
+    }
+    print!("{}", t.render());
+    let _ = t.write_csv("fig07");
+}

@@ -1,0 +1,16 @@
+//! Prints a Figure 9 indexing walkthrough for TCP-8K and TCP-8M.
+
+use tcp_core::PhtConfig;
+use tcp_experiments::fig09;
+use tcp_mem::{SetIndex, Tag};
+
+fn main() {
+    let seq = [Tag::new(0x00F3), Tag::new(0x0A41)];
+    for (name, cfg) in [("TCP-8K PHT", PhtConfig::pht_8k()), ("TCP-8M PHT", PhtConfig::pht_8m())] {
+        println!("== Figure 9 indexing walkthrough: {name} ==");
+        for step in fig09::walkthrough(&cfg, &seq, SetIndex::new(0x2A7)) {
+            println!("  {:<28} {}", step.label, step.value);
+        }
+        println!();
+    }
+}

@@ -1,0 +1,31 @@
+//! Regenerates Figure 11: TCP-8K / TCP-8M vs DBCP-2M IPC improvement.
+
+use tcp_experiments::{fig11, scale::Scale};
+use tcp_workloads::suite;
+
+fn main() {
+    let scale = Scale::from_env();
+    let fig = fig11::run(&suite(), scale.sim_ops);
+    let t = fig11::render(&fig);
+    print!("{}", t.render());
+    for (name, pick) in [
+        ("DBCP-2M", 0usize),
+        ("TCP-8K", 1),
+        ("TCP-8M", 2),
+    ] {
+        let mut chart =
+            tcp_experiments::plot::BarChart::new(&format!("{name} IPC improvement (%)"), 50);
+        for r in &fig.rows {
+            let v = [r.dbcp_pct, r.tcp8k_pct, r.tcp8m_pct][pick];
+            chart.bar(&r.benchmark, v);
+        }
+        print!("\n{}", chart.render());
+    }
+    println!(
+        "\npaper geomeans: DBCP-2M ~7%, TCP-8K ~14%, TCP-8M ~15%  |  measured: DBCP-2M {:.1}%, TCP-8K {:.1}%, TCP-8M {:.1}%",
+        fig.geomean_dbcp_pct, fig.geomean_tcp8k_pct, fig.geomean_tcp8m_pct
+    );
+    if let Ok(p) = t.write_csv("fig11") {
+        eprintln!("csv: {}", p.display());
+    }
+}

@@ -1,0 +1,17 @@
+//! Regenerates Figure 13: PHT size and indexing sweeps.
+
+use tcp_experiments::{fig13, scale::Scale};
+use tcp_workloads::suite;
+
+fn main() {
+    let scale = Scale::from_env();
+    // The sweep runs 18 whole-suite simulations; use a lighter per-point
+    // budget than single-figure experiments.
+    let ops = (scale.sim_ops / 2).max(100_000);
+    let fig = fig13::run(&suite(), ops);
+    let top = fig13::render_sizes(&fig);
+    let bottom = fig13::render_index_bits(&fig);
+    print!("{}\n{}", top.render(), bottom.render());
+    let _ = top.write_csv("fig13_sizes");
+    let _ = bottom.write_csv("fig13_index_bits");
+}

@@ -1,0 +1,14 @@
+//! Regenerates Figure 14: TCP-8K vs Hybrid-8K (prefetching into L1).
+
+use tcp_experiments::{fig14, scale::Scale};
+use tcp_workloads::suite;
+
+fn main() {
+    let scale = Scale::from_env();
+    let rows = fig14::run(&suite(), scale.sim_ops);
+    let t = fig14::render(&rows);
+    print!("{}", t.render());
+    if let Ok(p) = t.write_csv("fig14") {
+        eprintln!("csv: {}", p.display());
+    }
+}

@@ -1,0 +1,18 @@
+//! Regenerates Figure 15: percentage of strided three-tag sequences.
+
+use tcp_experiments::{characterize::characterize_suite, report::{pct, Table}, scale::Scale};
+use tcp_workloads::suite;
+
+fn main() {
+    let scale = Scale::from_env();
+    let profiles = characterize_suite(&suite(), scale.trace_ops);
+    let mut t = Table::new(
+        "Figure 15: percentage of strided 3-tag sequences",
+        &["benchmark", "% strided sequences"],
+    );
+    for p in &profiles {
+        t.row(vec![p.benchmark.clone(), pct(100.0 * p.strided_fraction)]);
+    }
+    print!("{}", t.render());
+    let _ = t.write_csv("fig15");
+}

@@ -1,0 +1,65 @@
+//! Deep-dive on one benchmark: Section 3 profile, recurrence histograms,
+//! and a full prefetcher comparison.
+
+use tcp_analysis::{miss_stream, HistogramLog2};
+use tcp_baselines::{Dbcp, DbcpConfig, StrideConfig, StridePrefetcher};
+use tcp_cache::{NullPrefetcher, Prefetcher};
+use tcp_core::{StrideAugmentedTcp, Tcp, TcpConfig};
+use tcp_experiments::{characterize::characterize, scale::Scale};
+use tcp_mem::CacheGeometry;
+use tcp_sim::{ipc_improvement, run_benchmark, SystemConfig};
+use tcp_workloads::suite;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "art".to_owned());
+    let scale = Scale::from_env();
+    let Some(bench) = suite().into_iter().find(|b| b.name == name) else {
+        eprintln!("unknown benchmark {name}");
+        std::process::exit(1);
+    };
+
+    println!("== {} ==\n{}\n", bench.name, bench.description);
+
+    let p = characterize(&bench, scale.trace_ops);
+    println!("misses {}  tags {}  addrs {}  seqs {}", p.misses, p.unique_tags, p.unique_addresses, p.unique_sequences);
+    println!(
+        "sets/tag {:.1}  rec-in-set {:.1}  sets/seq {:.1}  %strided {:.1}%\n",
+        p.sets_per_tag,
+        p.tag_recurrence_within_set,
+        p.sets_per_sequence,
+        100.0 * p.strided_fraction
+    );
+
+    // Recurrence histogram: how skewed is tag reuse?
+    let l1 = CacheGeometry::new(32 * 1024, 32, 1);
+    let mut counts = std::collections::HashMap::new();
+    for m in miss_stream(l1, bench.generator(scale.trace_ops).filter_map(|o| o.mem_access())) {
+        *counts.entry(m.tag.raw()).or_insert(0u64) += 1;
+    }
+    let mut hist = HistogramLog2::new();
+    hist.extend(counts.into_values());
+    println!("tag recurrence distribution (log2 buckets):\n{}", hist.render(40));
+
+    let machine = SystemConfig::table1();
+    let ops = scale.sim_ops;
+    let base = run_benchmark(&bench, ops, &machine, Box::new(NullPrefetcher));
+    println!("prefetcher comparison ({ops} ops, base IPC {:.4}):", base.ipc);
+    let engines: Vec<Box<dyn Prefetcher>> = vec![
+        Box::new(StridePrefetcher::new(StrideConfig::default())),
+        Box::new(Dbcp::new(DbcpConfig::dbcp_2m())),
+        Box::new(Tcp::new(TcpConfig::tcp_8k())),
+        Box::new(Tcp::new(TcpConfig::tcp_8m())),
+        Box::new(StrideAugmentedTcp::new(TcpConfig::tcp_8k())),
+    ];
+    for e in engines {
+        let name = e.name().to_owned();
+        let r = run_benchmark(&bench, ops, &machine, e);
+        println!(
+            "  {:<16} {:+7.1}%   coverage {:>4.0}%  extra {:>4.0}%",
+            name,
+            ipc_improvement(&base, &r),
+            100.0 * r.stats.l2_breakdown.coverage(),
+            100.0 * r.stats.l2_breakdown.normalized().2,
+        );
+    }
+}

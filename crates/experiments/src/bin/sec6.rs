@@ -1,0 +1,14 @@
+//! Runs the Section 6 future-work extensions on the full suite.
+
+use tcp_experiments::{scale::Scale, sec6};
+use tcp_workloads::suite;
+
+fn main() {
+    let scale = Scale::from_env();
+    let rows = sec6::run(&suite(), scale.sim_ops);
+    let t = sec6::render(&rows);
+    print!("{}", t.render());
+    if let Ok(p) = t.write_csv("sec6") {
+        eprintln!("csv: {}", p.display());
+    }
+}

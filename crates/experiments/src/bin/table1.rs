@@ -1,0 +1,12 @@
+//! Prints Table 1: the simulated machine configuration.
+
+use tcp_experiments::table1;
+use tcp_sim::SystemConfig;
+
+fn main() {
+    let t = table1::render(&SystemConfig::table1());
+    print!("{}", t.render());
+    if let Ok(p) = t.write_csv("table1") {
+        eprintln!("csv: {}", p.display());
+    }
+}

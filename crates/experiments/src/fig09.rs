@@ -1,0 +1,77 @@
+//! Figure 9: a worked example of the PHT indexing scheme.
+//!
+//! Figures 8–10 of the paper are design diagrams; their executable
+//! counterpart is the code in `tcp-core`. This module prints a concrete
+//! indexing walkthrough — tag sequence in, truncated sum, miss-index
+//! bits, final PHT set — so the implemented index function can be
+//! inspected against the figure.
+
+use tcp_core::{truncated_sum, PhtConfig};
+use tcp_mem::{SetIndex, Tag};
+
+/// One line of the indexing walkthrough.
+#[derive(Clone, Debug)]
+pub struct IndexStep {
+    /// Human-readable description of the step.
+    pub label: String,
+    /// The value at this step.
+    pub value: String,
+}
+
+/// Walks the Figure 9 index computation for a sequence and miss index
+/// under a given PHT configuration.
+pub fn walkthrough(cfg: &PhtConfig, seq: &[Tag], miss_index: SetIndex) -> Vec<IndexStep> {
+    let index_bits = cfg.sets.trailing_zeros();
+    let n = cfg.miss_index_bits;
+    let m = index_bits.saturating_sub(n).max(1);
+    let sum = seq.iter().fold(0u64, |a, t| a.wrapping_add(t.raw()));
+    let truncated = truncated_sum(seq, m);
+    let low = if n == 0 { 0 } else { u64::from(miss_index.raw()) & ((1 << n) - 1) };
+    let final_index = ((truncated << n) | low) & u64::from(cfg.sets - 1);
+    vec![
+        IndexStep {
+            label: "tag sequence".into(),
+            value: format!("{:?}", seq.iter().map(|t| t.raw()).collect::<Vec<_>>()),
+        },
+        IndexStep { label: "full sum".into(), value: format!("{sum:#x}") },
+        IndexStep { label: format!("truncated sum [{m} bits]"), value: format!("{truncated:#x}") },
+        IndexStep { label: format!("miss index bits [{n} bits]"), value: format!("{low:#x}") },
+        IndexStep { label: "PHT set".into(), value: format!("{final_index:#x}") },
+        IndexStep { label: "entry tag (most recent)".into(), value: format!("{:#x}", seq.last().map(|t| t.raw()).unwrap_or(0)) },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_index_ignores_miss_index() {
+        let cfg = PhtConfig::pht_8k();
+        let seq = [Tag::new(0x12), Tag::new(0x34)];
+        let a = walkthrough(&cfg, &seq, SetIndex::new(0));
+        let b = walkthrough(&cfg, &seq, SetIndex::new(1023));
+        assert_eq!(a.last().unwrap().value, b.last().unwrap().value);
+        let set_a = a.iter().find(|s| s.label == "PHT set").unwrap();
+        let set_b = b.iter().find(|s| s.label == "PHT set").unwrap();
+        assert_eq!(set_a.value, set_b.value, "n = 0 shares across sets");
+    }
+
+    #[test]
+    fn private_index_distinguishes_miss_index() {
+        let cfg = PhtConfig::pht_8m();
+        let seq = [Tag::new(0x12), Tag::new(0x34)];
+        let a = walkthrough(&cfg, &seq, SetIndex::new(3));
+        let b = walkthrough(&cfg, &seq, SetIndex::new(4));
+        let set_a = a.iter().find(|s| s.label == "PHT set").unwrap();
+        let set_b = b.iter().find(|s| s.label == "PHT set").unwrap();
+        assert_ne!(set_a.value, set_b.value, "n = 10 separates sets");
+    }
+
+    #[test]
+    fn walkthrough_has_all_steps() {
+        let steps = walkthrough(&PhtConfig::pht_8k(), &[Tag::new(1), Tag::new(2)], SetIndex::new(0));
+        assert_eq!(steps.len(), 6);
+        assert!(steps.iter().any(|s| s.label.contains("truncated sum")));
+    }
+}

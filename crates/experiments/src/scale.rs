@@ -1,0 +1,56 @@
+//! Experiment scale: how many micro-ops to simulate per benchmark.
+//!
+//! The paper simulates 2 billion instructions per benchmark after a
+//! 1-billion-instruction warm-up. This reproduction defaults to a few
+//! million micro-ops per benchmark — enough for every workload to cycle
+//! its working set several times and for the prefetchers to train — and
+//! lets `TCP_REPRO_OPS` scale runs up or down.
+
+/// Ops-per-benchmark settings for the two experiment families.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Scale {
+    /// Micro-ops per benchmark for full-system (IPC) experiments.
+    pub sim_ops: u64,
+    /// Micro-ops per benchmark for trace-characterisation experiments.
+    pub trace_ops: u64,
+}
+
+impl Scale {
+    /// Default scale, honouring the `TCP_REPRO_OPS` environment variable
+    /// when it parses as a positive integer.
+    pub fn from_env() -> Self {
+        let base = std::env::var("TCP_REPRO_OPS").ok().and_then(|s| s.parse::<u64>().ok());
+        match base {
+            Some(ops) if ops > 0 => Scale { sim_ops: ops, trace_ops: ops },
+            _ => Scale::default(),
+        }
+    }
+
+    /// A reduced scale for quick shape checks and integration tests.
+    pub fn quick() -> Self {
+        Scale { sim_ops: 150_000, trace_ops: 300_000 }
+    }
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Scale { sim_ops: 4_000_000, trace_ops: 4_000_000 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scale_is_millions() {
+        let s = Scale::default();
+        assert!(s.sim_ops >= 1_000_000);
+        assert!(s.trace_ops >= s.sim_ops);
+    }
+
+    #[test]
+    fn quick_scale_is_smaller() {
+        assert!(Scale::quick().sim_ops < Scale::default().sim_ops);
+    }
+}

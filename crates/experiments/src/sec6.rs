@@ -1,0 +1,106 @@
+//! Section 6 extensions: the paper's future-work directions, implemented
+//! and measured.
+//!
+//! * **Strided sequences** — a per-set stride fast path
+//!   ([`tcp_core::StrideAugmentedTcp`]) serves strided tag sequences from
+//!   three small fields per set, sparing the PHT; the interesting
+//!   question is how small the PHT can get before losing to plain
+//!   TCP-8K.
+//! * **Multiple prefetch targets** — Markov-style entries holding two
+//!   successors (`PhtConfig::targets = 2`), trading extra traffic for
+//!   accuracy exactly as the paper anticipates.
+
+use crate::report::{pct, Table};
+use tcp_cache::{NullPrefetcher, Prefetcher};
+use tcp_core::{PhtConfig, StrideAugmentedTcp, Tcp, TcpConfig};
+use tcp_sim::{ipc_improvement, run_benchmark, SystemConfig};
+use tcp_workloads::Benchmark;
+
+/// One benchmark's improvements under each extension.
+#[derive(Clone, Debug)]
+pub struct Sec6Row {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Plain TCP-8K (the baseline design).
+    pub tcp8k_pct: f64,
+    /// Plain TCP with only a 2 KB PHT.
+    pub tcp2k_pct: f64,
+    /// Stride-augmented TCP with the 2 KB PHT.
+    pub strided2k_pct: f64,
+    /// TCP-8K with two targets per entry (16 KB of PHT storage).
+    pub multi_target_pct: f64,
+}
+
+/// Runs the Section 6 comparison.
+pub fn run(benchmarks: &[Benchmark], n_ops: u64) -> Vec<Sec6Row> {
+    let machine = SystemConfig::table1();
+    let two_target = TcpConfig {
+        pht: PhtConfig { targets: 2, ..PhtConfig::pht_8k() },
+        ..TcpConfig::tcp_8k()
+    };
+    tcp_sim::map_benchmarks_parallel(benchmarks, |b| {
+            let base = run_benchmark(b, n_ops, &machine, Box::new(NullPrefetcher));
+            let gain = |p: Box<dyn Prefetcher>| {
+                let r = run_benchmark(b, n_ops, &machine, p);
+                ipc_improvement(&base, &r)
+            };
+            Sec6Row {
+                benchmark: b.name.to_owned(),
+                tcp8k_pct: gain(Box::new(Tcp::new(TcpConfig::tcp_8k()))),
+                tcp2k_pct: gain(Box::new(Tcp::new(TcpConfig::with_pht_bytes(2 * 1024, 0)))),
+                strided2k_pct: gain(Box::new(StrideAugmentedTcp::new(TcpConfig::with_pht_bytes(
+                    2 * 1024,
+                    0,
+                )))),
+                multi_target_pct: gain(Box::new(Tcp::new(two_target))),
+            }
+    })
+}
+
+/// Renders the comparison.
+pub fn render(rows: &[Sec6Row]) -> Table {
+    let mut t = Table::new(
+        "Section 6 extensions: stride fast path and multi-target entries",
+        &["benchmark", "TCP-8K", "TCP-2K", "TCP-2K+stride", "TCP-8K x2 targets"],
+    );
+    for r in rows {
+        t.row(vec![
+            r.benchmark.clone(),
+            pct(r.tcp8k_pct),
+            pct(r.tcp2k_pct),
+            pct(r.strided2k_pct),
+            pct(r.multi_target_pct),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcp_workloads::suite;
+
+    #[test]
+    fn stride_fast_path_rescues_a_small_pht_on_strided_workload() {
+        // mgrid's column walk is stride-heavy: with only 2 KB of PHT the
+        // stride path should not lose to the plain 2 KB TCP.
+        let picks: Vec<Benchmark> = suite().into_iter().filter(|b| b.name == "mgrid").collect();
+        let rows = run(&picks, 400_000);
+        let r = &rows[0];
+        assert!(
+            r.strided2k_pct >= r.tcp2k_pct - 2.0,
+            "stride augmentation should not lose: {:.1}% vs {:.1}%",
+            r.strided2k_pct,
+            r.tcp2k_pct
+        );
+    }
+
+    #[test]
+    fn multi_target_runs_and_reports() {
+        let picks: Vec<Benchmark> = suite().into_iter().filter(|b| b.name == "art").collect();
+        let rows = run(&picks, 200_000);
+        assert_eq!(rows.len(), 1);
+        let text = render(&rows).render();
+        assert!(text.contains("art"));
+    }
+}

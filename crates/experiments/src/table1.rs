@@ -1,0 +1,65 @@
+//! Table 1: the simulated processor configuration.
+
+use crate::report::Table;
+use tcp_sim::SystemConfig;
+
+/// Renders Table 1 from the live [`SystemConfig`] so the printed
+/// configuration can never drift from what the simulator actually runs.
+pub fn render(cfg: &SystemConfig) -> Table {
+    let mut t = Table::new("Table 1: Configuration of Simulated Processor", &["parameter", "value"]);
+    let h = &cfg.hierarchy;
+    let c = &cfg.core;
+    let rows: Vec<(&str, String)> = vec![
+        ("Clock rate", format!("{}GHz", cfg.clock_ghz)),
+        ("Instruction window", format!("{}-RUU, {}-LSQ", c.window, c.window)),
+        ("Issue width", format!("{} instructions per cycle", c.issue_width)),
+        (
+            "Functional units",
+            format!(
+                "{} IntALU, {} IntMult/Div, {} FPALU, {} FPMult/Div, {} Load/Store",
+                c.fu_counts[0], c.fu_counts[1], c.fu_counts[2], c.fu_counts[3], c.fu_counts[4]
+            ),
+        ),
+        (
+            "L1 Dcache",
+            format!(
+                "{}KB, {}-way, {}B blocks, {} MSHRs",
+                h.l1d.size_bytes() / 1024,
+                h.l1d.associativity(),
+                h.l1d.line_bytes(),
+                h.l1_mshrs
+            ),
+        ),
+        ("L1/L2 bus", format!("32-byte wide, {}GHz ({} cycle/line)", cfg.clock_ghz, h.l1_bus_cycles)),
+        (
+            "L2",
+            format!(
+                "{}MB, {}-way LRU, {}B blocks, {}-cycle latency",
+                h.l2.size_bytes() / (1024 * 1024),
+                h.l2.associativity(),
+                h.l2.line_bytes(),
+                h.l2_latency
+            ),
+        ),
+        ("Memory latency", format!("{} cycles", h.memory_latency)),
+    ];
+    for (k, v) in rows {
+        t.row(vec![k.to_owned(), v]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_reflects_config() {
+        let r = render(&SystemConfig::table1()).render();
+        assert!(r.contains("2GHz"));
+        assert!(r.contains("128-RUU"));
+        assert!(r.contains("32KB, 1-way, 32B blocks, 64 MSHRs"));
+        assert!(r.contains("1MB, 4-way LRU, 64B blocks, 12-cycle latency"));
+        assert!(r.contains("70 cycles"));
+    }
+}

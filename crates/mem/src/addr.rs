@@ -1,0 +1,261 @@
+//! Newtypes for byte addresses, line addresses, cache tags, and set indices.
+
+use std::fmt;
+
+/// A byte address in the simulated physical address space.
+///
+/// The reproduction confines all generated addresses below 2^31 so that L1
+/// tags (address bits above bit 15 for the paper's 32 KB direct-mapped
+/// cache) fit in 16 bits, matching the 2-byte tag fields the paper's 8 KB
+/// pattern history table implies.
+///
+/// # Examples
+///
+/// ```
+/// use tcp_mem::Addr;
+/// let a = Addr::new(0x1234);
+/// assert_eq!(a.raw(), 0x1234);
+/// assert_eq!(a.line_start(32).raw(), 0x1220);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(u64);
+
+impl Addr {
+    /// Creates an address from its raw byte value.
+    pub const fn new(raw: u64) -> Self {
+        Addr(raw)
+    }
+
+    /// Returns the raw byte value.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the first byte of the cache line containing this address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_bytes` is not a power of two.
+    pub fn line_start(self, line_bytes: u64) -> Addr {
+        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        Addr(self.0 & !(line_bytes - 1))
+    }
+
+    /// Returns the address offset by `delta` bytes (wrapping).
+    pub const fn offset(self, delta: i64) -> Addr {
+        Addr(self.0.wrapping_add(delta as u64))
+    }
+}
+
+impl fmt::Debug for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Addr({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for Addr {
+    fn from(raw: u64) -> Self {
+        Addr(raw)
+    }
+}
+
+/// A cache-line-aligned address, identifying one cache line in memory.
+///
+/// A `LineAddr` is produced by [`crate::CacheGeometry::line_addr`] and is
+/// the unit tracked by caches, MSHRs, and prefetchers.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LineAddr(u64);
+
+impl LineAddr {
+    /// Creates a line address from the line number (byte address divided by
+    /// the line size).
+    pub const fn from_line_number(n: u64) -> Self {
+        LineAddr(n)
+    }
+
+    /// Returns the line number.
+    pub const fn line_number(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the byte address of the first byte of the line, given the
+    /// line size used when the line address was formed.
+    pub const fn first_byte_with(self, line_bytes: u64) -> Addr {
+        Addr(self.0 * line_bytes)
+    }
+
+    /// Returns the next sequential line.
+    pub const fn next(self) -> LineAddr {
+        LineAddr(self.0 + 1)
+    }
+
+    /// Returns the line offset by `delta` lines (wrapping).
+    pub const fn offset(self, delta: i64) -> LineAddr {
+        LineAddr(self.0.wrapping_add(delta as u64))
+    }
+}
+
+impl fmt::Debug for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LineAddr({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{:#x}", self.0)
+    }
+}
+
+/// A cache tag: the address bits above the set-index bits.
+///
+/// Tags are the central object of the paper: the Tag Correlating Prefetcher
+/// records and predicts per-set *tag* sequences rather than full addresses.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Tag(u64);
+
+impl Tag {
+    /// Creates a tag from its raw value.
+    pub const fn new(raw: u64) -> Self {
+        Tag(raw)
+    }
+
+    /// Returns the raw tag value.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Truncates the tag to its low `bits` bits, modelling a narrow
+    /// hardware tag field (e.g. the 16-bit fields of an 8 KB PHT).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is zero or greater than 64.
+    pub fn truncate(self, bits: u32) -> Tag {
+        assert!(bits >= 1 && bits <= 64, "tag width must be in 1..=64");
+        if bits == 64 {
+            self
+        } else {
+            Tag(self.0 & ((1u64 << bits) - 1))
+        }
+    }
+}
+
+impl fmt::Debug for Tag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tag({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for Tag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{:#x}", self.0)
+    }
+}
+
+/// A cache set index.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SetIndex(u32);
+
+impl SetIndex {
+    /// Creates a set index from its raw value.
+    pub const fn new(raw: u32) -> Self {
+        SetIndex(raw)
+    }
+
+    /// Returns the raw set index.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the index as a `usize`, for table addressing.
+    pub const fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for SetIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SetIndex({})", self.0)
+    }
+}
+
+impl fmt::Display for SetIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_line_start_masks_low_bits() {
+        assert_eq!(Addr::new(0x1234).line_start(32), Addr::new(0x1220));
+        assert_eq!(Addr::new(0x1220).line_start(32), Addr::new(0x1220));
+        assert_eq!(Addr::new(0x123F).line_start(64), Addr::new(0x1200));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn addr_line_start_rejects_non_pow2() {
+        let _ = Addr::new(0).line_start(48);
+    }
+
+    #[test]
+    fn addr_offset_wraps() {
+        assert_eq!(Addr::new(10).offset(-4), Addr::new(6));
+        assert_eq!(Addr::new(0).offset(-1).raw(), u64::MAX);
+    }
+
+    #[test]
+    fn line_addr_navigation() {
+        let l = LineAddr::from_line_number(100);
+        assert_eq!(l.next().line_number(), 101);
+        assert_eq!(l.offset(-2).line_number(), 98);
+        assert_eq!(l.first_byte_with(32), Addr::new(3200));
+    }
+
+    #[test]
+    fn tag_truncate() {
+        let t = Tag::new(0x1_FFFF);
+        assert_eq!(t.truncate(16).raw(), 0xFFFF);
+        assert_eq!(t.truncate(64), t);
+        assert_eq!(Tag::new(0xAB).truncate(4).raw(), 0xB);
+    }
+
+    #[test]
+    #[should_panic(expected = "tag width")]
+    fn tag_truncate_rejects_zero_width() {
+        let _ = Tag::new(1).truncate(0);
+    }
+
+    #[test]
+    fn display_forms_are_nonempty() {
+        assert!(!format!("{}", Addr::new(0)).is_empty());
+        assert!(!format!("{}", LineAddr::default()).is_empty());
+        assert!(!format!("{}", Tag::default()).is_empty());
+        assert!(!format!("{}", SetIndex::default()).is_empty());
+        assert!(!format!("{:?}", Addr::new(0)).is_empty());
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(Addr::new(1) < Addr::new(2));
+        assert!(Tag::new(3) > Tag::new(2));
+        assert!(SetIndex::new(0) < SetIndex::new(1));
+    }
+}

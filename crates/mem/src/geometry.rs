@@ -1,0 +1,232 @@
+//! Cache geometry: sizes, line widths, and the address-splitting arithmetic
+//! that turns a byte address into `(tag, set index, offset)`.
+
+use crate::{Addr, LineAddr, SetIndex, Tag};
+
+/// The shape of a cache: total capacity, line size, and associativity.
+///
+/// `CacheGeometry` owns all address arithmetic so the rest of the workspace
+/// never manipulates raw bit offsets. For the paper's L1 data cache
+/// (32 KB, direct-mapped, 32-byte lines) the split is:
+///
+/// ```text
+///  63 ........ 15 | 14 ...... 5 | 4 ... 0
+///       tag       |  set index  | offset
+/// ```
+///
+/// # Examples
+///
+/// ```
+/// use tcp_mem::{Addr, CacheGeometry};
+///
+/// let l1 = CacheGeometry::new(32 * 1024, 32, 1);
+/// assert_eq!(l1.num_sets(), 1024);
+/// assert_eq!(l1.index_bits(), 10);
+/// assert_eq!(l1.offset_bits(), 5);
+///
+/// let (tag, set) = l1.split(Addr::new(0x8000));   // 32 KB: wraps to set 0
+/// assert_eq!(set.raw(), 0);
+/// assert_eq!(tag.raw(), 1);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CacheGeometry {
+    size_bytes: u64,
+    line_bytes: u64,
+    associativity: u32,
+    num_sets: u32,
+    offset_bits: u32,
+    index_bits: u32,
+}
+
+impl CacheGeometry {
+    /// Creates a geometry from total size, line size, and associativity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any argument is zero, if sizes are not powers of two, or
+    /// if the parameters do not yield a power-of-two number of sets.
+    pub fn new(size_bytes: u64, line_bytes: u64, associativity: u32) -> Self {
+        assert!(size_bytes > 0 && line_bytes > 0 && associativity > 0, "geometry parameters must be nonzero");
+        assert!(size_bytes.is_power_of_two(), "cache size must be a power of two");
+        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        let lines = size_bytes / line_bytes;
+        assert!(
+            lines >= u64::from(associativity) && lines % u64::from(associativity) == 0,
+            "size/line/associativity are inconsistent"
+        );
+        let num_sets = lines / u64::from(associativity);
+        assert!(num_sets.is_power_of_two(), "number of sets must be a power of two");
+        CacheGeometry {
+            size_bytes,
+            line_bytes,
+            associativity,
+            num_sets: num_sets as u32,
+            offset_bits: line_bytes.trailing_zeros(),
+            index_bits: num_sets.trailing_zeros(),
+        }
+    }
+
+    /// Total capacity in bytes.
+    pub const fn size_bytes(&self) -> u64 {
+        self.size_bytes
+    }
+
+    /// Cache line size in bytes.
+    pub const fn line_bytes(&self) -> u64 {
+        self.line_bytes
+    }
+
+    /// Number of ways per set.
+    pub const fn associativity(&self) -> u32 {
+        self.associativity
+    }
+
+    /// Number of sets.
+    pub const fn num_sets(&self) -> u32 {
+        self.num_sets
+    }
+
+    /// Number of low address bits selecting the byte within a line.
+    pub const fn offset_bits(&self) -> u32 {
+        self.offset_bits
+    }
+
+    /// Number of address bits selecting the set.
+    pub const fn index_bits(&self) -> u32 {
+        self.index_bits
+    }
+
+    /// Splits a byte address into `(tag, set index)`.
+    pub fn split(&self, addr: Addr) -> (Tag, SetIndex) {
+        let line = addr.raw() >> self.offset_bits;
+        let set = (line & u64::from(self.num_sets - 1)) as u32;
+        (Tag::new(line >> self.index_bits), SetIndex::new(set))
+    }
+
+    /// Returns the line address (line number) containing `addr`.
+    pub fn line_addr(&self, addr: Addr) -> LineAddr {
+        LineAddr::from_line_number(addr.raw() >> self.offset_bits)
+    }
+
+    /// Splits a line address into `(tag, set index)`.
+    pub fn split_line(&self, line: LineAddr) -> (Tag, SetIndex) {
+        let n = line.line_number();
+        let set = (n & u64::from(self.num_sets - 1)) as u32;
+        (Tag::new(n >> self.index_bits), SetIndex::new(set))
+    }
+
+    /// Reconstructs the line address from a `(tag, set index)` pair.
+    ///
+    /// This is exactly the operation the TCP prefetcher performs after
+    /// predicting a next tag: combine it with the miss index to form the
+    /// full prefetch line address.
+    pub fn compose(&self, tag: Tag, set: SetIndex) -> LineAddr {
+        debug_assert!(set.raw() < self.num_sets, "set index out of range");
+        LineAddr::from_line_number((tag.raw() << self.index_bits) | u64::from(set.raw()))
+    }
+
+    /// Returns the byte address of the first byte of a line.
+    pub fn first_byte(&self, line: LineAddr) -> Addr {
+        Addr::new(line.line_number() << self.offset_bits)
+    }
+
+    /// Converts a line address from this geometry into the line address of
+    /// a cache with a different line size (e.g. 32 B L1 lines into 64 B L2
+    /// lines).
+    pub fn rescale_line(&self, line: LineAddr, other: &CacheGeometry) -> LineAddr {
+        other.line_addr(self.first_byte(line))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l1() -> CacheGeometry {
+        CacheGeometry::new(32 * 1024, 32, 1)
+    }
+
+    fn l2() -> CacheGeometry {
+        CacheGeometry::new(1024 * 1024, 64, 4)
+    }
+
+    #[test]
+    fn paper_l1_shape() {
+        let g = l1();
+        assert_eq!(g.num_sets(), 1024);
+        assert_eq!(g.offset_bits(), 5);
+        assert_eq!(g.index_bits(), 10);
+        assert_eq!(g.associativity(), 1);
+    }
+
+    #[test]
+    fn paper_l2_shape() {
+        let g = l2();
+        assert_eq!(g.num_sets(), 4096);
+        assert_eq!(g.offset_bits(), 6);
+        assert_eq!(g.index_bits(), 12);
+        assert_eq!(g.line_bytes(), 64);
+    }
+
+    #[test]
+    fn split_compose_roundtrip() {
+        let g = l1();
+        for raw in [0u64, 31, 32, 0x7FFF, 0x8000, 0x1234_5678, 0x7FFF_FFFF] {
+            let a = Addr::new(raw);
+            let (tag, set) = g.split(a);
+            let line = g.compose(tag, set);
+            assert_eq!(line, g.line_addr(a), "raw={raw:#x}");
+            assert_eq!(g.split_line(line), (tag, set));
+        }
+    }
+
+    #[test]
+    fn same_line_same_split() {
+        let g = l1();
+        let a = Addr::new(0x1000);
+        let b = Addr::new(0x101F);
+        assert_eq!(g.split(a), g.split(b));
+        assert_eq!(g.line_addr(a), g.line_addr(b));
+    }
+
+    #[test]
+    fn adjacent_lines_differ_in_set_not_tag() {
+        let g = l1();
+        let (t0, s0) = g.split(Addr::new(0x1000));
+        let (t1, s1) = g.split(Addr::new(0x1020));
+        assert_eq!(t0, t1);
+        assert_eq!(s1.raw(), s0.raw() + 1);
+    }
+
+    #[test]
+    fn cache_size_apart_same_set_next_tag() {
+        let g = l1();
+        let (t0, s0) = g.split(Addr::new(0x4000));
+        let (t1, s1) = g.split(Addr::new(0x4000 + 32 * 1024));
+        assert_eq!(s0, s1);
+        assert_eq!(t1.raw(), t0.raw() + 1);
+    }
+
+    #[test]
+    fn rescale_line_l1_to_l2() {
+        let g1 = l1();
+        let g2 = l2();
+        // Two adjacent 32 B L1 lines share one 64 B L2 line.
+        let a = g1.line_addr(Addr::new(0x1000));
+        let b = g1.line_addr(Addr::new(0x1020));
+        assert_ne!(a, b);
+        assert_eq!(g1.rescale_line(a, &g2), g1.rescale_line(b, &g2));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_pow2_size() {
+        let _ = CacheGeometry::new(3000, 32, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent")]
+    fn rejects_assoc_larger_than_lines() {
+        let _ = CacheGeometry::new(64, 64, 2);
+    }
+}

@@ -1,0 +1,39 @@
+//! Address arithmetic and trace substrate for the TCP reproduction.
+//!
+//! This crate provides the vocabulary types shared by every other crate in
+//! the workspace: byte [`Addr`]esses, cache-[`LineAddr`]esses, cache
+//! [`Tag`]s and [`SetIndex`]es, the [`CacheGeometry`] that converts between
+//! them, and the [`MemAccess`] records that workload generators emit and
+//! the simulator consumes.
+//!
+//! The paper ("TCP: Tag Correlating Prefetchers", HPCA 2003) works with a
+//! 32 KB direct-mapped L1 data cache with 32-byte lines: the *tag* of an
+//! address is everything above the 15 low bits (5 offset + 10 index). All
+//! of that arithmetic lives in [`CacheGeometry`].
+//!
+//! # Examples
+//!
+//! ```
+//! use tcp_mem::{Addr, CacheGeometry};
+//!
+//! // The paper's L1 data cache: 32 KB, direct-mapped, 32 B lines.
+//! let l1 = CacheGeometry::new(32 * 1024, 32, 1);
+//! assert_eq!(l1.num_sets(), 1024);
+//!
+//! let addr = Addr::new(0x0040_2A80);
+//! let (tag, set) = l1.split(addr);
+//! assert_eq!(l1.first_byte(l1.compose(tag, set)), addr.line_start(32));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod access;
+mod addr;
+mod geometry;
+mod rng;
+
+pub use access::{AccessKind, MemAccess};
+pub use addr::{Addr, LineAddr, SetIndex, Tag};
+pub use geometry::CacheGeometry;
+pub use rng::SplitMix64;

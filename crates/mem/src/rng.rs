@@ -1,0 +1,122 @@
+//! A tiny deterministic pseudo-random generator for components that need
+//! reproducible "randomness" without pulling the `rand` crate into every
+//! dependent (e.g. the random replacement policy in `tcp-cache`).
+
+/// SplitMix64: a fast, well-distributed 64-bit PRNG with a one-word state.
+///
+/// Deterministic across platforms and runs, which the simulator relies on:
+/// every experiment in the reproduction must be exactly repeatable.
+///
+/// # Examples
+///
+/// ```
+/// use tcp_mem::SplitMix64;
+/// let mut a = SplitMix64::new(42);
+/// let mut b = SplitMix64::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub const fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Returns the next 64-bit pseudo-random value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Returns a value uniformly distributed in `0..bound`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be nonzero");
+        // Multiply-shift range reduction; bias is negligible for the
+        // simulator's bounds (all far below 2^48).
+        let x = self.next_u64();
+        ((u128::from(x) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// Returns `true` with probability `num / den`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den` is zero.
+    pub fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.next_below(den) < num
+    }
+}
+
+impl Default for SplitMix64 {
+    fn default() -> Self {
+        SplitMix64::new(0x5EED_5EED_5EED_5EED)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn next_below_respects_bound() {
+        let mut r = SplitMix64::new(9);
+        for bound in [1u64, 2, 3, 10, 1024, 1_000_000] {
+            for _ in 0..50 {
+                assert!(r.next_below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn next_below_covers_range_roughly_uniformly() {
+        let mut r = SplitMix64::new(11);
+        let mut counts = [0u32; 8];
+        for _ in 0..8000 {
+            counts[r.next_below(8) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!(c > 700 && c < 1300, "bucket count {c} far from uniform");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bound")]
+    fn next_below_zero_panics() {
+        SplitMix64::new(0).next_below(0);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SplitMix64::new(3);
+        assert!(!r.chance(0, 10));
+        assert!(r.chance(10, 10));
+    }
+}

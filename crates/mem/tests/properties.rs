@@ -1,0 +1,61 @@
+//! Property-based tests for the address-arithmetic substrate.
+
+use proptest::prelude::*;
+use tcp_mem::{Addr, CacheGeometry, SplitMix64};
+
+fn geometry_strategy() -> impl Strategy<Value = CacheGeometry> {
+    // size 2^10..=2^21, line 2^4..=2^7, assoc in {1,2,4,8}
+    (10u32..=21, 4u32..=7, prop_oneof![Just(1u32), Just(2), Just(4), Just(8)]).prop_filter_map(
+        "assoc must fit",
+        |(size_log, line_log, assoc)| {
+            let size = 1u64 << size_log;
+            let line = 1u64 << line_log;
+            let lines = size / line;
+            (lines >= u64::from(assoc) && (lines / u64::from(assoc)).is_power_of_two())
+                .then(|| CacheGeometry::new(size, line, assoc))
+        },
+    )
+}
+
+proptest! {
+    #[test]
+    fn split_compose_roundtrip(g in geometry_strategy(), raw in 0u64..(1 << 31)) {
+        let a = Addr::new(raw);
+        let (tag, set) = g.split(a);
+        prop_assert!(set.raw() < g.num_sets());
+        let line = g.compose(tag, set);
+        prop_assert_eq!(line, g.line_addr(a));
+        prop_assert_eq!(g.split_line(line), (tag, set));
+        // The composed line's first byte is within one line of the address.
+        let first = g.first_byte(line).raw();
+        prop_assert!(first <= raw && raw - first < g.line_bytes());
+    }
+
+    #[test]
+    fn tag_and_index_partition_the_line_number(g in geometry_strategy(), raw in 0u64..(1 << 31)) {
+        let a = Addr::new(raw);
+        let (tag, set) = g.split(a);
+        let line_no = raw >> g.offset_bits();
+        prop_assert_eq!(tag.raw(), line_no >> g.index_bits());
+        prop_assert_eq!(u64::from(set.raw()), line_no & u64::from(g.num_sets() - 1));
+    }
+
+    #[test]
+    fn addresses_one_cache_size_apart_share_a_set(g in geometry_strategy(), raw in 0u64..(1 << 30)) {
+        // Stepping by (num_sets * line_bytes) preserves the set index and
+        // increments the tag: the spatial-locality identity from Section 3.
+        let step = u64::from(g.num_sets()) * g.line_bytes();
+        let (t0, s0) = g.split(Addr::new(raw));
+        let (t1, s1) = g.split(Addr::new(raw + step));
+        prop_assert_eq!(s0, s1);
+        prop_assert_eq!(t1.raw(), t0.raw() + 1);
+    }
+
+    #[test]
+    fn splitmix_next_below_in_range(seed in any::<u64>(), bound in 1u64..1_000_000) {
+        let mut r = SplitMix64::new(seed);
+        for _ in 0..32 {
+            prop_assert!(r.next_below(bound) < bound);
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! The simulated machine configuration (Table 1 of the paper).
+
+use tcp_cache::HierarchyConfig;
+use tcp_cpu::CoreConfig;
+
+/// Complete machine description: core plus memory hierarchy.
+///
+/// [`SystemConfig::table1`] reproduces the paper's machine:
+///
+/// | Parameter | Value |
+/// |---|---|
+/// | Clock | 2 GHz |
+/// | Instruction window | 128-RUU, 128-LSQ |
+/// | Issue width | 8 |
+/// | FUs | 8 IntALU, 3 IntMult, 6 FPALU, 2 FPMult, 4 Ld/St |
+/// | L1 D-cache | 32 KB, direct-mapped, 32 B lines, 64 MSHRs |
+/// | L1/L2 bus | 32 B wide, 2 GHz |
+/// | L2 | 1 MB, 4-way LRU, 64 B lines, 12-cycle latency |
+/// | Memory | 70 cycles |
+#[derive(Clone, Debug, PartialEq)]
+pub struct SystemConfig {
+    /// Out-of-order core parameters.
+    pub core: CoreConfig,
+    /// Cache hierarchy, bus, and memory parameters.
+    pub hierarchy: HierarchyConfig,
+    /// Core clock in GHz (reporting only; all latencies are in cycles).
+    pub clock_ghz: f64,
+}
+
+impl SystemConfig {
+    /// The paper's simulated processor (Table 1).
+    pub fn table1() -> Self {
+        SystemConfig { core: CoreConfig::default(), hierarchy: HierarchyConfig::default(), clock_ghz: 2.0 }
+    }
+
+    /// Table 1 with an ideal L2 (every L2 access hits): the limit study
+    /// of Figure 1.
+    pub fn table1_ideal_l2() -> Self {
+        let mut cfg = SystemConfig::table1();
+        cfg.hierarchy.ideal_l2 = true;
+        cfg
+    }
+
+    /// Table 1 plus the dedicated prefetch bus the hybrid study adds
+    /// (Section 5.2.2).
+    pub fn table1_with_prefetch_bus() -> Self {
+        let mut cfg = SystemConfig::table1();
+        cfg.hierarchy.separate_prefetch_bus = true;
+        cfg
+    }
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig::table1()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper() {
+        let c = SystemConfig::table1();
+        assert_eq!(c.core.window, 128);
+        assert_eq!(c.core.issue_width, 8);
+        assert_eq!(c.core.fu_counts, [8, 3, 6, 2, 4]);
+        assert_eq!(c.hierarchy.l1d.size_bytes(), 32 * 1024);
+        assert_eq!(c.hierarchy.l1d.associativity(), 1);
+        assert_eq!(c.hierarchy.l1d.line_bytes(), 32);
+        assert_eq!(c.hierarchy.l1_mshrs, 64);
+        assert_eq!(c.hierarchy.l2.size_bytes(), 1024 * 1024);
+        assert_eq!(c.hierarchy.l2.associativity(), 4);
+        assert_eq!(c.hierarchy.l2.line_bytes(), 64);
+        assert_eq!(c.hierarchy.l2_latency, 12);
+        assert_eq!(c.hierarchy.memory_latency, 70);
+        assert!(!c.hierarchy.ideal_l2);
+        assert_eq!(c.clock_ghz, 2.0);
+    }
+
+    #[test]
+    fn variants_flip_expected_flags() {
+        assert!(SystemConfig::table1_ideal_l2().hierarchy.ideal_l2);
+        assert!(SystemConfig::table1_with_prefetch_bus().hierarchy.separate_prefetch_bus);
+    }
+}

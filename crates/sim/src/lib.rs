@@ -1,0 +1,30 @@
+//! Full-system simulation: the Table 1 machine assembled end to end.
+//!
+//! This crate wires the out-of-order core (`tcp-cpu`), the memory
+//! hierarchy (`tcp-cache`), a prefetch engine (TCP from `tcp-core` or a
+//! baseline from `tcp-baselines`), and a workload (`tcp-workloads`) into
+//! one run, and provides the suite-level driver the experiment harness
+//! uses for Figures 1 and 11–14.
+//!
+//! # Examples
+//!
+//! ```
+//! use tcp_sim::{run_benchmark, SystemConfig};
+//! use tcp_cache::NullPrefetcher;
+//! use tcp_workloads::suite;
+//!
+//! let bench = &suite()[0]; // fma3d
+//! let result = run_benchmark(bench, 20_000, &SystemConfig::table1(), Box::new(NullPrefetcher));
+//! assert!(result.ipc > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod runner;
+mod simulation;
+
+pub use config::SystemConfig;
+pub use simulation::{Simulation, StepProgress};
+pub use runner::{ipc_improvement, map_benchmarks_parallel, run_benchmark, run_benchmark_warm, run_suite, run_suite_parallel, RunResult, SuiteResult};

@@ -1,0 +1,281 @@
+//! Run driver: one benchmark × one prefetcher → timing and traffic
+//! results; suite driver for all 26 benchmarks.
+
+use crate::SystemConfig;
+use tcp_cache::{HierarchyStats, MemoryHierarchy, Prefetcher};
+use tcp_cpu::OooCore;
+use tcp_workloads::Benchmark;
+
+/// The outcome of simulating one benchmark with one prefetcher.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Prefetcher name.
+    pub prefetcher: String,
+    /// Prefetcher table storage in bytes.
+    pub prefetcher_bytes: usize,
+    /// Committed instructions per cycle.
+    pub ipc: f64,
+    /// Total cycles.
+    pub cycles: u64,
+    /// Micro-ops committed.
+    pub ops: u64,
+    /// Hierarchy counters (finalized).
+    pub stats: HierarchyStats,
+}
+
+/// Simulates `bench` for `n_ops` micro-ops on the machine `cfg` with the
+/// given prefetch engine.
+///
+/// # Examples
+///
+/// See the crate-level example.
+pub fn run_benchmark(
+    bench: &Benchmark,
+    n_ops: u64,
+    cfg: &SystemConfig,
+    prefetcher: Box<dyn Prefetcher>,
+) -> RunResult {
+    run_benchmark_warm(bench, n_ops / 2, n_ops, cfg, prefetcher)
+}
+
+/// Like [`run_benchmark`] with an explicit warm-up: the first
+/// `warmup_ops` micro-ops prime caches and predictor tables unmeasured,
+/// then `n_ops` are measured — the paper's skip-then-measure methodology.
+pub fn run_benchmark_warm(
+    bench: &Benchmark,
+    warmup_ops: u64,
+    n_ops: u64,
+    cfg: &SystemConfig,
+    prefetcher: Box<dyn Prefetcher>,
+) -> RunResult {
+    let name = prefetcher.name().to_owned();
+    let bytes = prefetcher.storage_bytes();
+    let mut hierarchy = MemoryHierarchy::new(cfg.hierarchy.clone(), prefetcher);
+    let mut core = OooCore::new(cfg.core.clone());
+    let run = core.run_with_warmup(bench.generator(warmup_ops + n_ops), warmup_ops, &mut hierarchy);
+    let stats = hierarchy.finalize();
+    RunResult {
+        benchmark: bench.name.to_owned(),
+        prefetcher: name,
+        prefetcher_bytes: bytes,
+        ipc: run.ipc(),
+        cycles: run.cycles,
+        ops: run.ops,
+        stats,
+    }
+}
+
+/// IPC improvement of `new` over `base`, in percent (the y-axis of
+/// Figures 1, 11, and 14).
+pub fn ipc_improvement(base: &RunResult, new: &RunResult) -> f64 {
+    assert!(base.ipc > 0.0, "baseline IPC must be positive");
+    (new.ipc / base.ipc - 1.0) * 100.0
+}
+
+/// Results for a whole suite under one prefetcher configuration.
+#[derive(Clone, Debug, Default)]
+pub struct SuiteResult {
+    /// Per-benchmark results, in suite order.
+    pub runs: Vec<RunResult>,
+}
+
+impl SuiteResult {
+    /// Geometric mean IPC over the suite.
+    pub fn geomean_ipc(&self) -> f64 {
+        let v: Vec<f64> = self.runs.iter().map(|r| r.ipc).collect();
+        tcp_analysis_geomean(&v)
+    }
+
+    /// Finds the result for a benchmark by name.
+    pub fn get(&self, benchmark: &str) -> Option<&RunResult> {
+        self.runs.iter().find(|r| r.benchmark == benchmark)
+    }
+
+    /// Geometric-mean IPC improvement over `base`, in percent.
+    pub fn geomean_improvement(&self, base: &SuiteResult) -> f64 {
+        (self.geomean_ipc() / base.geomean_ipc() - 1.0) * 100.0
+    }
+}
+
+// Small local geomean to avoid a dependency cycle with tcp-analysis.
+fn tcp_analysis_geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Runs every benchmark in `benchmarks` for `n_ops` micro-ops, building a
+/// fresh prefetcher per benchmark from `factory`.
+pub fn run_suite<F>(benchmarks: &[Benchmark], n_ops: u64, cfg: &SystemConfig, factory: F) -> SuiteResult
+where
+    F: Fn() -> Box<dyn Prefetcher>,
+{
+    let runs = benchmarks.iter().map(|b| run_benchmark(b, n_ops, cfg, factory())).collect();
+    SuiteResult { runs }
+}
+
+/// Applies `f` to every benchmark on worker threads, preserving order.
+/// The building block behind [`run_suite_parallel`] and the experiment
+/// harness's per-figure fan-out: each benchmark's simulations are
+/// independent and deterministic, so parallelism changes only wall-clock
+/// time.
+pub fn map_benchmarks_parallel<T, F>(benchmarks: &[Benchmark], f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&Benchmark) -> T + Sync,
+{
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut slots: Vec<Option<T>> = benchmarks.iter().map(|_| None).collect();
+    let slot_cells: Vec<std::sync::Mutex<&mut Option<T>>> =
+        slots.iter_mut().map(std::sync::Mutex::new).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(benchmarks.len().max(1)) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= benchmarks.len() {
+                    break;
+                }
+                let result = f(&benchmarks[i]);
+                **slot_cells[i].lock().expect("slot lock") = Some(result);
+            });
+        }
+    });
+    drop(slot_cells);
+    slots.into_iter().map(|r| r.expect("every benchmark processed")).collect()
+}
+
+/// Like [`run_suite`] but simulating benchmarks on worker threads.
+/// Results are identical to the sequential runner (each benchmark's
+/// simulation is self-contained and deterministic); only wall-clock time
+/// changes. The prefetcher factory must be callable from any thread and
+/// produce thread-transferable engines — every engine in this workspace
+/// qualifies.
+pub fn run_suite_parallel<F>(
+    benchmarks: &[Benchmark],
+    n_ops: u64,
+    cfg: &SystemConfig,
+    factory: F,
+) -> SuiteResult
+where
+    F: Fn() -> Box<dyn Prefetcher + Send> + Sync,
+{
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut slots: Vec<Option<RunResult>> = benchmarks.iter().map(|_| None).collect();
+    let slot_cells: Vec<std::sync::Mutex<&mut Option<RunResult>>> =
+        slots.iter_mut().map(std::sync::Mutex::new).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(benchmarks.len()) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= benchmarks.len() {
+                    break;
+                }
+                let result = run_benchmark(&benchmarks[i], n_ops, cfg, factory());
+                **slot_cells[i].lock().expect("slot lock") = Some(result);
+            });
+        }
+    });
+    drop(slot_cells);
+    SuiteResult { runs: slots.into_iter().map(|r| r.expect("every benchmark ran")).collect() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcp_cache::NullPrefetcher;
+    use tcp_core::{Tcp, TcpConfig};
+    use tcp_workloads::suite;
+
+    const TEST_OPS: u64 = 60_000;
+
+    #[test]
+    fn run_produces_sane_numbers() {
+        let b = suite().into_iter().find(|b| b.name == "gzip").unwrap();
+        let r = run_benchmark(&b, TEST_OPS, &SystemConfig::table1(), Box::new(NullPrefetcher));
+        assert_eq!(r.ops, TEST_OPS);
+        assert!(r.ipc > 0.05 && r.ipc < 8.0, "ipc {}", r.ipc);
+        assert_eq!(r.stats.accesses(), r.stats.loads + r.stats.stores);
+        assert!(r.stats.l1_misses > 0);
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let b = suite().into_iter().find(|b| b.name == "crafty").unwrap();
+        let r1 = run_benchmark(&b, TEST_OPS, &SystemConfig::table1(), Box::new(NullPrefetcher));
+        let r2 = run_benchmark(&b, TEST_OPS, &SystemConfig::table1(), Box::new(NullPrefetcher));
+        assert_eq!(r1.cycles, r2.cycles);
+        assert_eq!(r1.stats, r2.stats);
+    }
+
+    #[test]
+    fn ideal_l2_beats_real_l2_on_memory_bound_benchmark() {
+        let b = suite().into_iter().find(|b| b.name == "art").unwrap();
+        let real = run_benchmark(&b, TEST_OPS, &SystemConfig::table1(), Box::new(NullPrefetcher));
+        let ideal = run_benchmark(&b, TEST_OPS, &SystemConfig::table1_ideal_l2(), Box::new(NullPrefetcher));
+        assert!(
+            ideal.ipc > 1.5 * real.ipc,
+            "art must be strongly memory bound: ideal {} vs real {}",
+            ideal.ipc,
+            real.ipc
+        );
+    }
+
+    #[test]
+    fn tcp_helps_a_correlated_benchmark() {
+        let b = suite().into_iter().find(|b| b.name == "ammp").unwrap();
+        let base = run_benchmark(&b, 200_000, &SystemConfig::table1(), Box::new(NullPrefetcher));
+        let tcp = run_benchmark(
+            &b,
+            200_000,
+            &SystemConfig::table1(),
+            Box::new(Tcp::new(TcpConfig::tcp_8m())),
+        );
+        assert!(
+            ipc_improvement(&base, &tcp) > 10.0,
+            "TCP-8M should clearly help ammp: base {} tcp {}",
+            base.ipc,
+            tcp.ipc
+        );
+    }
+
+    #[test]
+    fn suite_runner_covers_all_benchmarks() {
+        let benches: Vec<_> = suite().into_iter().take(3).collect();
+        let s = run_suite(&benches, 20_000, &SystemConfig::table1(), || Box::new(NullPrefetcher));
+        assert_eq!(s.runs.len(), 3);
+        assert!(s.geomean_ipc() > 0.0);
+        assert!(s.get("fma3d").is_some());
+        assert!(s.get("nonexistent").is_none());
+    }
+
+    #[test]
+    fn parallel_suite_matches_sequential() {
+        let benches: Vec<_> = suite().into_iter().take(5).collect();
+        let cfg = SystemConfig::table1();
+        let seq = run_suite(&benches, 25_000, &cfg, || Box::new(Tcp::new(TcpConfig::tcp_8k())));
+        let par =
+            run_suite_parallel(&benches, 25_000, &cfg, || Box::new(Tcp::new(TcpConfig::tcp_8k())));
+        assert_eq!(seq.runs.len(), par.runs.len());
+        for (a, b) in seq.runs.iter().zip(&par.runs) {
+            assert_eq!(a.benchmark, b.benchmark, "order preserved");
+            assert_eq!(a.cycles, b.cycles, "{}", a.benchmark);
+            assert_eq!(a.stats, b.stats, "{}", a.benchmark);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "baseline IPC")]
+    fn improvement_rejects_zero_base() {
+        let b = suite().into_iter().next().unwrap();
+        let mut r = run_benchmark(&b, 5_000, &SystemConfig::table1(), Box::new(NullPrefetcher));
+        let good = r.clone();
+        r.ipc = 0.0;
+        let _ = ipc_improvement(&r, &good);
+    }
+}

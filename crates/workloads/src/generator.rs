@@ -1,0 +1,335 @@
+//! The workload generator: mixes kernels into a micro-op stream.
+
+use std::collections::VecDeque;
+
+use crate::kernel::{KernelSpec, KernelState, MemEvent};
+use tcp_cpu::{MicroOp, OpClass};
+use tcp_mem::{Addr, SplitMix64};
+
+/// A weighted mixture of kernels plus compute characteristics.
+///
+/// The generator alternates between kernels in *bursts* (a burst models a
+/// program phase: one loop nest, one routine), inserts
+/// `compute_per_mem` arithmetic ops around every memory access, and
+/// threads data dependences: pointer-chase loads depend on their
+/// predecessor, every load feeds one consumer, and compute ops form short
+/// local chains. Fully deterministic for a given seed.
+///
+/// # Examples
+///
+/// ```
+/// use tcp_workloads::{KernelSpec, WorkloadSpec, WorkloadGen};
+///
+/// let spec = WorkloadSpec::new(
+///     vec![(KernelSpec::StridedSweep { base: 0x10_0000, len: 1 << 20, stride: 32 }, 1)],
+///     42,
+/// );
+/// let ops: Vec<_> = WorkloadGen::new(&spec, 1000).collect();
+/// assert_eq!(ops.len(), 1000);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct WorkloadSpec {
+    /// Kernels and their phase weights.
+    pub phases: Vec<(KernelSpec, u32)>,
+    /// Average arithmetic ops per memory op (≥ 0).
+    pub compute_per_mem: f64,
+    /// Percentage (0–100) of non-chasing loads converted to stores, on
+    /// top of stores the kernels emit themselves.
+    pub store_pct: u8,
+    /// Memory events per phase burst.
+    pub burst: u32,
+    /// Fraction (0–100) of compute ops that are floating-point.
+    pub fp_pct: u8,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// Creates a spec with default compute shape (2 compute ops per memory
+    /// op, 10% stores, bursts of 2048 memory events, 30% FP). Bursts model
+    /// program phases: real loops run for thousands of iterations before
+    /// control moves on, so per-set miss streams see long single-kernel
+    /// runs rather than fine-grained interleaving.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phases` is empty or all weights are zero.
+    pub fn new(phases: Vec<(KernelSpec, u32)>, seed: u64) -> Self {
+        assert!(!phases.is_empty(), "a workload needs at least one kernel");
+        assert!(phases.iter().any(|&(_, w)| w > 0), "at least one phase weight must be nonzero");
+        WorkloadSpec { phases, compute_per_mem: 2.0, store_pct: 10, burst: 2048, fp_pct: 30, seed }
+    }
+
+    /// Sets the compute-to-memory ratio.
+    pub fn with_compute_per_mem(mut self, ratio: f64) -> Self {
+        assert!(ratio >= 0.0, "compute ratio must be non-negative");
+        self.compute_per_mem = ratio;
+        self
+    }
+
+    /// Sets the store conversion percentage.
+    pub fn with_store_pct(mut self, pct: u8) -> Self {
+        assert!(pct <= 100, "store percentage must be 0..=100");
+        self.store_pct = pct;
+        self
+    }
+
+    /// Sets the burst length (memory events per phase).
+    pub fn with_burst(mut self, burst: u32) -> Self {
+        assert!(burst > 0, "burst must be nonzero");
+        self.burst = burst;
+        self
+    }
+}
+
+/// Streaming micro-op generator for a [`WorkloadSpec`].
+#[derive(Clone, Debug)]
+pub struct WorkloadGen {
+    kernels: Vec<KernelState>,
+    weights: Vec<u32>,
+    total_weight: u64,
+    compute_per_mem: f64,
+    store_pct: u8,
+    burst: u32,
+    fp_pct: u8,
+    rng: SplitMix64,
+    buffer: VecDeque<MicroOp>,
+    current_phase: usize,
+    burst_left: u32,
+    compute_debt: f64,
+    idx: u64,
+    last_mem_idx: Vec<Option<u64>>,
+    remaining: u64,
+}
+
+impl WorkloadGen {
+    /// Creates a generator that will emit exactly `n_ops` micro-ops.
+    pub fn new(spec: &WorkloadSpec, n_ops: u64) -> Self {
+        let kernels: Vec<KernelState> = spec
+            .phases
+            .iter()
+            .enumerate()
+            .map(|(i, (k, _))| k.instantiate(0x40_0000 + (i as u64) * 0x1000, spec.seed.wrapping_add(i as u64)))
+            .collect();
+        let weights: Vec<u32> = spec.phases.iter().map(|&(_, w)| w).collect();
+        let total_weight = weights.iter().map(|&w| u64::from(w)).sum();
+        let n = kernels.len();
+        WorkloadGen {
+            kernels,
+            weights,
+            total_weight,
+            compute_per_mem: spec.compute_per_mem,
+            store_pct: spec.store_pct,
+            burst: spec.burst,
+            fp_pct: spec.fp_pct,
+            rng: SplitMix64::new(spec.seed ^ 0xA5A5_5A5A_C3C3_3C3C),
+            buffer: VecDeque::new(),
+            current_phase: 0,
+            burst_left: 0,
+            compute_debt: 0.0,
+            idx: 0,
+            last_mem_idx: vec![None; n],
+            remaining: n_ops,
+        }
+    }
+
+    fn pick_phase(&mut self) {
+        let mut pick = self.rng.next_below(self.total_weight);
+        for (i, &w) in self.weights.iter().enumerate() {
+            let w = u64::from(w);
+            if pick < w {
+                self.current_phase = i;
+                break;
+            }
+            pick -= w;
+        }
+        self.burst_left = self.burst;
+    }
+
+    fn push(&mut self, op: MicroOp) {
+        self.buffer.push_back(op);
+        self.idx += 1;
+    }
+
+    fn compute_op(&mut self, pc: Addr) -> MicroOp {
+        // Dependences always point at real earlier ops, never before the
+        // start of the stream.
+        let d = 1 + self.rng.next_below(4) as u32;
+        let dep = (u64::from(d) <= self.idx).then_some(d);
+        if self.rng.chance(u64::from(self.fp_pct), 100) {
+            if self.rng.chance(1, 8) {
+                MicroOp { pc, class: OpClass::FpMult, mem_addr: None, dep1: dep, dep2: None }
+            } else {
+                MicroOp::fp_alu(pc, dep, None)
+            }
+        } else if self.rng.chance(1, 10) {
+            MicroOp::branch(pc, dep)
+        } else {
+            MicroOp::int_alu(pc, dep, None)
+        }
+    }
+
+    fn refill(&mut self) {
+        if self.burst_left == 0 {
+            self.pick_phase();
+        }
+        self.burst_left -= 1;
+        let phase = self.current_phase;
+        let ev: MemEvent = self.kernels[phase].next_event();
+
+        // Leading compute ops.
+        self.compute_debt += self.compute_per_mem;
+        while self.compute_debt >= 1.0 {
+            self.compute_debt -= 1.0;
+            let op = self.compute_op(ev.pc.offset(0x200));
+            self.push(op);
+        }
+
+        // The memory op itself.
+        let is_store = ev.is_store || (!ev.chases && self.rng.chance(u64::from(self.store_pct), 100));
+        let dep1 = if ev.chases {
+            self.last_mem_idx[phase].map(|last| {
+                let d = self.idx - last;
+                u32::try_from(d).unwrap_or(u32::MAX)
+            })
+        } else {
+            None
+        };
+        let class = if is_store { OpClass::Store } else { OpClass::Load };
+        self.last_mem_idx[phase] = Some(self.idx);
+        self.push(MicroOp { pc: ev.pc, class, mem_addr: Some(ev.addr), dep1, dep2: None });
+
+        // A consumer for loads: load-to-use dependence.
+        if !is_store {
+            self.push(MicroOp::int_alu(ev.pc.offset(4), Some(1), None));
+        }
+    }
+}
+
+impl Iterator for WorkloadGen {
+    type Item = MicroOp;
+
+    fn next(&mut self) -> Option<MicroOp> {
+        if self.remaining == 0 {
+            return None;
+        }
+        while self.buffer.is_empty() {
+            self.refill();
+        }
+        self.remaining -= 1;
+        self.buffer.pop_front()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = usize::try_from(self.remaining).unwrap_or(usize::MAX);
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for WorkloadGen {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sweep_spec() -> WorkloadSpec {
+        WorkloadSpec::new(
+            vec![(KernelSpec::StridedSweep { base: 0x100000, len: 1 << 20, stride: 32 }, 1)],
+            7,
+        )
+    }
+
+    #[test]
+    fn emits_exactly_n_ops() {
+        let gen = WorkloadGen::new(&sweep_spec(), 12_345);
+        assert_eq!(gen.count(), 12_345);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a: Vec<_> = WorkloadGen::new(&sweep_spec(), 5_000).collect();
+        let b: Vec<_> = WorkloadGen::new(&sweep_spec(), 5_000).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seed_differs() {
+        let mut other = sweep_spec();
+        other.seed = 8;
+        let a: Vec<_> = WorkloadGen::new(&sweep_spec(), 5_000).collect();
+        let b: Vec<_> = WorkloadGen::new(&other, 5_000).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn compute_ratio_is_respected() {
+        let spec = sweep_spec().with_compute_per_mem(3.0).with_store_pct(0);
+        let ops: Vec<_> = WorkloadGen::new(&spec, 50_000).collect();
+        let mem = ops.iter().filter(|o| o.class.is_memory()).count() as f64;
+        let non_mem = ops.len() as f64 - mem;
+        // Each memory op brings 3 compute + 1 consumer: ratio ~4.
+        let ratio = non_mem / mem;
+        assert!((3.5..=4.5).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn chase_loads_depend_on_previous_chase() {
+        let spec = WorkloadSpec::new(
+            vec![(
+                KernelSpec::PointerChase { base: 0x100000, nodes: 128, node_bytes: 64, shuffle_seed: 1, noise_pct: 0 },
+                1,
+            )],
+            3,
+        )
+        .with_compute_per_mem(1.0);
+        let ops: Vec<_> = WorkloadGen::new(&spec, 2_000).collect();
+        let loads: Vec<_> = ops.iter().enumerate().filter(|(_, o)| o.class == OpClass::Load).collect();
+        assert!(loads.len() > 100);
+        // All chase loads after the first must carry a dependence that
+        // points exactly at the previous load.
+        let mut checked = 0;
+        for w in loads.windows(2) {
+            let (i_prev, _) = w[0];
+            let (i_cur, op) = w[1];
+            let d = op.dep1.expect("chase load has a dependence") as usize;
+            assert_eq!(i_cur - d, i_prev, "dependence must target the previous chase load");
+            checked += 1;
+        }
+        assert!(checked > 100);
+    }
+
+    #[test]
+    fn store_pct_controls_store_share() {
+        let spec = sweep_spec().with_store_pct(50);
+        let ops: Vec<_> = WorkloadGen::new(&spec, 40_000).collect();
+        let loads = ops.iter().filter(|o| o.class == OpClass::Load).count();
+        let stores = ops.iter().filter(|o| o.class == OpClass::Store).count();
+        let frac = stores as f64 / (loads + stores) as f64;
+        assert!((0.4..=0.6).contains(&frac), "store fraction {frac}");
+    }
+
+    #[test]
+    fn multi_phase_mixes_kernels() {
+        let spec = WorkloadSpec::new(
+            vec![
+                (KernelSpec::StridedSweep { base: 0x100000, len: 1 << 18, stride: 32 }, 1),
+                (KernelSpec::RandomAccess { base: 0x4000000, len: 1 << 18 }, 1),
+            ],
+            5,
+        );
+        let ops: Vec<_> = WorkloadGen::new(&spec, 100_000).collect();
+        let lo = ops
+            .iter()
+            .filter_map(|o| o.mem_addr)
+            .filter(|a| a.raw() < 0x200000)
+            .count();
+        let hi = ops.iter().filter_map(|o| o.mem_addr).filter(|a| a.raw() >= 0x4000000).count();
+        assert!(lo > 0 && hi > 0, "both regions must be touched (lo={lo}, hi={hi})");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one kernel")]
+    fn empty_phases_rejected() {
+        let _ = WorkloadSpec::new(vec![], 0);
+    }
+}

@@ -1,0 +1,502 @@
+//! Access-pattern kernels: the building blocks of synthetic benchmarks.
+//!
+//! Each kernel is a small state machine emitting a stream of memory
+//! events. The seven kernels cover the qualitative behaviours the paper's
+//! characterisation distinguishes:
+//!
+//! | Kernel | SPEC2000 behaviour it stands in for |
+//! |---|---|
+//! | [`KernelSpec::StridedSweep`] | single-array scientific sweeps (`applu`, `lucas`) |
+//! | [`KernelSpec::InterleavedSweep`] | multi-array loop bodies (`swim`, `mgrid`) |
+//! | [`KernelSpec::PointerChase`] | linked structures over a fixed permutation (`mcf`, `ammp`, `art`) |
+//! | [`KernelSpec::RandomAccess`] | hash/table lookups (`crafty`, `twolf`, `vpr`) |
+//! | [`KernelSpec::HotCold`] | skewed dictionaries (`gzip`, `bzip2`, `gap`) |
+//! | [`KernelSpec::ConflictLoop`] | small hot loops with conflict misses (`fma3d`, `eon`) |
+//! | [`KernelSpec::StackChurn`] | call-stack traffic (`perlbmk`, `eon`) |
+
+use tcp_mem::{Addr, SplitMix64};
+
+/// One memory event produced by a kernel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemEvent {
+    /// Byte address referenced.
+    pub addr: Addr,
+    /// Program counter of the referencing instruction.
+    pub pc: Addr,
+    /// The event is a store.
+    pub is_store: bool,
+    /// The address was produced by the kernel's previous memory event
+    /// (pointer chasing): the core must serialise the two accesses.
+    pub chases: bool,
+}
+
+/// Declarative description of a kernel instance.
+///
+/// All fields are byte quantities unless noted. Regions are disjoint by
+/// construction in `profiles.rs`; addresses stay below 2³¹ so L1 tags fit
+/// the 16-bit PHT fields.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum KernelSpec {
+    /// Walk `base..base+len` with a fixed stride, wrapping.
+    StridedSweep {
+        /// Region base address.
+        base: u64,
+        /// Region length in bytes.
+        len: u64,
+        /// Stride in bytes between consecutive accesses.
+        stride: u64,
+    },
+    /// Walk several equal-length arrays in lockstep (one element from
+    /// each per step), as a multi-operand loop body does.
+    InterleavedSweep {
+        /// Base address of each array.
+        bases: Vec<u64>,
+        /// Length of each array in bytes.
+        len: u64,
+        /// Per-array stride in bytes.
+        stride: u64,
+    },
+    /// Traverse a fixed random permutation of `nodes` records repeatedly.
+    /// Every traversal visits the same addresses in the same order, so
+    /// per-set tag sequences recur exactly — the structure correlating
+    /// prefetchers exploit — while defeating stride prediction.
+    /// `noise_pct` detours that fraction of steps to a random node,
+    /// modelling the data-dependent variation between traversals that
+    /// real pointer codes (parsers, compilers, routers) exhibit; 0 gives
+    /// the perfectly repetitive chase of `mcf`-like solvers.
+    PointerChase {
+        /// Region base address.
+        base: u64,
+        /// Number of records in the cycle.
+        nodes: u64,
+        /// Bytes per record (address granularity of the chase).
+        node_bytes: u64,
+        /// Seed for the fixed permutation.
+        shuffle_seed: u64,
+        /// Percentage (0-100) of steps that detour to a random node.
+        noise_pct: u8,
+    },
+    /// Uniformly random loads within a region: the unpredictable tail.
+    RandomAccess {
+        /// Region base address.
+        base: u64,
+        /// Region length in bytes.
+        len: u64,
+    },
+    /// Mostly-hot accesses to a small region with a cold tail. Cold
+    /// excursions come as short sequential runs of lines, as dictionary
+    /// and table lookups do, so cold misses overlap (memory-level
+    /// parallelism) instead of stalling one at a time.
+    HotCold {
+        /// Base of the hot region; the cold region follows it.
+        base: u64,
+        /// Hot region length in bytes.
+        hot_len: u64,
+        /// Cold region length in bytes.
+        cold_len: u64,
+        /// Percentage (0–100) of accesses going to the hot region.
+        hot_pct: u8,
+    },
+    /// Cycle through `tags_in_rotation` conflicting lines in each of
+    /// `sets_spanned` consecutive cache sets of a direct-mapped 32 KB L1:
+    /// a tiny loop whose working set conflicts in a few sets, recurring
+    /// thousands of times (the `fma3d`/`eon` signature of Figure 4).
+    ConflictLoop {
+        /// Region base address.
+        base: u64,
+        /// Distinct tags cycled per set.
+        tags_in_rotation: u64,
+        /// Number of consecutive sets covered.
+        sets_spanned: u64,
+    },
+    /// Push/pop over a small stack-like region (mostly L1 hits).
+    StackChurn {
+        /// Stack base address.
+        base: u64,
+        /// Maximum depth in bytes.
+        depth: u64,
+    },
+    /// Indirect access `A[B[i]]`: a sequential walk of an index array
+    /// interleaved with dependent random accesses into a data region —
+    /// the classic irregular gather of sparse codes.
+    GatherScatter {
+        /// Base of the (sequentially read) index array.
+        index_base: u64,
+        /// Index array length in bytes.
+        index_len: u64,
+        /// Base of the randomly gathered data region.
+        data_base: u64,
+        /// Data region length in bytes.
+        data_len: u64,
+        /// Seed fixing the gather pattern (repeats every index pass).
+        gather_seed: u64,
+    },
+    /// Tiled row-major matrix traversal: high locality within a
+    /// `block × block` tile, tile-sized jumps between tiles.
+    BlockedMatrix {
+        /// Matrix base address.
+        base: u64,
+        /// Matrix dimension (n × n elements).
+        n: u64,
+        /// Tile edge in elements.
+        block: u64,
+        /// Element size in bytes.
+        elem: u64,
+    },
+    /// Zipfian-skewed random accesses: rank-r lines are touched with
+    /// probability ∝ 1/r^s (approximated by a bounded Pareto draw).
+    Zipf {
+        /// Region base address.
+        base: u64,
+        /// Region length in bytes.
+        len: u64,
+        /// Skew × 100 (e.g. 120 ⇒ s = 1.2). Must be > 100.
+        skew_x100: u32,
+    },
+}
+
+impl KernelSpec {
+    /// Instantiates the kernel's runtime state. `pc_base` gives the
+    /// kernel a distinct PC range; `seed` perturbs its private RNG.
+    pub fn instantiate(&self, pc_base: u64, seed: u64) -> KernelState {
+        KernelState::new(self.clone(), pc_base, seed)
+    }
+}
+
+/// L1 geometry constants used by [`KernelSpec::ConflictLoop`]: the paper's
+/// 32 KB direct-mapped cache with 32-byte lines.
+const L1_SIZE: u64 = 32 * 1024;
+const L1_LINE: u64 = 32;
+
+/// Runtime state of one kernel instance.
+#[derive(Clone, Debug)]
+pub struct KernelState {
+    spec: KernelSpec,
+    pc_base: u64,
+    rng: SplitMix64,
+    pos: u64,
+    perm: Vec<u32>,
+    cold_left: u64,
+    cold_cursor: u64,
+}
+
+impl KernelState {
+    fn new(spec: KernelSpec, pc_base: u64, seed: u64) -> Self {
+        let perm = match &spec {
+            KernelSpec::PointerChase { nodes, shuffle_seed, .. } => {
+                assert!(*nodes > 0 && *nodes <= (1 << 26), "pointer chase node count out of range");
+                let mut perm: Vec<u32> = (0..*nodes as u32).collect();
+                let mut r = SplitMix64::new(*shuffle_seed);
+                // Fisher-Yates: a fixed, repeatable traversal order.
+                for i in (1..perm.len()).rev() {
+                    let j = r.next_below(i as u64 + 1) as usize;
+                    perm.swap(i, j);
+                }
+                perm
+            }
+            _ => Vec::new(),
+        };
+        KernelState { spec, pc_base, rng: SplitMix64::new(seed ^ 0xD1F7_3C5A_9B24_E680), pos: 0, perm, cold_left: 0, cold_cursor: 0 }
+    }
+
+    /// The kernel's declarative spec.
+    pub fn spec(&self) -> &KernelSpec {
+        &self.spec
+    }
+
+    /// Emits the next memory event.
+    pub fn next_event(&mut self) -> MemEvent {
+        let pc = |k: &Self, off: u64| Addr::new(k.pc_base + off * 4);
+        match &self.spec {
+            KernelSpec::StridedSweep { base, len, stride } => {
+                let steps = (len / stride).max(1);
+                let addr = base + (self.pos % steps) * stride;
+                self.pos += 1;
+                MemEvent { addr: Addr::new(addr), pc: pc(self, 0), is_store: false, chases: false }
+            }
+            KernelSpec::InterleavedSweep { bases, len, stride } => {
+                let n = bases.len() as u64;
+                let steps = (len / stride).max(1);
+                let which = self.pos % n;
+                let step = (self.pos / n) % steps;
+                // Stagger the arrays by a non-set-aligned offset: real
+                // multi-array loops never have operands exactly 32 KB
+                // apart, so concurrent wavefronts touch *different* L1
+                // sets and per-set miss revisits are a full wavefront
+                // apart — the lead time Section 4 relies on.
+                let stagger = which * 10_912; // 341 lines: not set-aligned
+                let addr = bases[which as usize] + stagger + step * stride;
+                self.pos += 1;
+                // The last array of the loop body is the output: a store.
+                let is_store = which == n - 1 && n > 1;
+                MemEvent { addr: Addr::new(addr), pc: pc(self, which), is_store, chases: false }
+            }
+            KernelSpec::PointerChase { base, node_bytes, noise_pct, .. } => {
+                let n = self.perm.len() as u64;
+                let node = if self.rng.chance(u64::from(*noise_pct), 100) {
+                    // Data-dependent detour: off the learned cycle.
+                    self.rng.next_below(n)
+                } else {
+                    u64::from(self.perm[(self.pos % n) as usize])
+                };
+                let addr = base + node * node_bytes;
+                self.pos += 1;
+                MemEvent { addr: Addr::new(addr), pc: pc(self, 0), is_store: false, chases: true }
+            }
+            KernelSpec::RandomAccess { base, len } => {
+                let lines = (len / L1_LINE).max(1);
+                let addr = base + self.rng.next_below(lines) * L1_LINE;
+                self.pos += 1;
+                MemEvent { addr: Addr::new(addr), pc: pc(self, self.pos % 4), is_store: false, chases: false }
+            }
+            KernelSpec::HotCold { base, hot_len, cold_len, hot_pct } => {
+                const COLD_RUN: u64 = 16; // consecutive cold accesses per excursion
+                if self.cold_left > 0 {
+                    self.cold_left -= 1;
+                    let addr = self.cold_cursor;
+                    self.cold_cursor += 8;
+                    self.pos += 1;
+                    return MemEvent { addr: Addr::new(addr), pc: pc(self, 1), is_store: false, chases: false };
+                }
+                let hot = self.rng.chance(u64::from(*hot_pct), 100);
+                self.pos += 1;
+                if hot {
+                    let lines = (*hot_len / L1_LINE).max(1);
+                    let addr = base + self.rng.next_below(lines) * L1_LINE;
+                    MemEvent { addr: Addr::new(addr), pc: pc(self, 0), is_store: false, chases: false }
+                } else {
+                    let lines = (*cold_len / L1_LINE).max(1);
+                    let start = base + hot_len + self.rng.next_below(lines) * L1_LINE;
+                    self.cold_cursor = start + 8;
+                    self.cold_left = COLD_RUN - 1;
+                    MemEvent { addr: Addr::new(start), pc: pc(self, 1), is_store: false, chases: false }
+                }
+            }
+            KernelSpec::ConflictLoop { base, tags_in_rotation, sets_spanned } => {
+                // Set-major (column-walk) order: sweep all spanned sets at
+                // one tag before advancing the tag, so revisits of a given
+                // set are `sets_spanned` accesses apart — prefetches have
+                // lead time, and each set sees the strided tag sequence
+                // t, t+1, t+2, …
+                let set = self.pos % sets_spanned;
+                let tag = (self.pos / sets_spanned) % tags_in_rotation;
+                let addr = base + tag * L1_SIZE + set * L1_LINE;
+                self.pos += 1;
+                MemEvent { addr: Addr::new(addr), pc: pc(self, tag % 4), is_store: false, chases: false }
+            }
+            KernelSpec::StackChurn { base, depth } => {
+                let words = (depth / 8).max(2);
+                let period = 2 * words;
+                let phase = self.pos % period;
+                let (off, is_store) = if phase < words { (phase, true) } else { (period - 1 - phase, false) };
+                self.pos += 1;
+                MemEvent { addr: Addr::new(base + off * 8), pc: pc(self, u64::from(is_store)), is_store, chases: false }
+            }
+            KernelSpec::GatherScatter { index_base, index_len, data_base, data_len, gather_seed } => {
+                let entries = (index_len / 8).max(1);
+                let i = (self.pos / 2) % entries;
+                let even = self.pos % 2 == 0;
+                self.pos += 1;
+                if even {
+                    // Sequential read of B[i].
+                    MemEvent { addr: Addr::new(index_base + i * 8), pc: pc(self, 0), is_store: false, chases: false }
+                } else {
+                    // Dependent gather A[B[i]]: the target is a fixed
+                    // pseudo-random function of i, so passes repeat.
+                    let lines = (data_len / L1_LINE).max(1);
+                    let mut h = SplitMix64::new(gather_seed ^ i);
+                    let addr = data_base + h.next_below(lines) * L1_LINE;
+                    MemEvent { addr: Addr::new(addr), pc: pc(self, 1), is_store: false, chases: true }
+                }
+            }
+            KernelSpec::BlockedMatrix { base, n, block, elem } => {
+                let b = (*block).max(1);
+                let dim = (*n).max(b);
+                let tiles_per_row = dim / b;
+                let per_tile = b * b;
+                let tile = self.pos / per_tile;
+                let within = self.pos % per_tile;
+                let (ti, tj) = ((tile / tiles_per_row) % tiles_per_row, tile % tiles_per_row);
+                let (i, j) = (within / b, within % b);
+                let row = ti * b + i;
+                let col = tj * b + j;
+                let addr = base + (row * dim + col) * elem;
+                self.pos += 1;
+                MemEvent { addr: Addr::new(addr), pc: pc(self, 0), is_store: false, chases: false }
+            }
+            KernelSpec::Zipf { base, len, skew_x100 } => {
+                let lines = (len / L1_LINE).max(1);
+                // Bounded-Pareto draw: rank ∝ u^(-1/(s-1)), clamped.
+                let s = f64::from(*skew_x100) / 100.0;
+                let u = (self.rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                let u = u.max(1e-12);
+                let rank = u.powf(-1.0 / (s - 1.0)).floor() as u64;
+                let line = rank.min(lines - 1);
+                self.pos += 1;
+                MemEvent { addr: Addr::new(base + line * L1_LINE), pc: pc(self, 0), is_store: false, chases: false }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn strided_sweep_wraps() {
+        let spec = KernelSpec::StridedSweep { base: 0x1000, len: 128, stride: 32 };
+        let mut k = spec.instantiate(0x40_0000, 1);
+        let addrs: Vec<u64> = (0..6).map(|_| k.next_event().addr.raw()).collect();
+        assert_eq!(addrs, vec![0x1000, 0x1020, 0x1040, 0x1060, 0x1000, 0x1020]);
+    }
+
+    #[test]
+    fn interleaved_sweep_round_robins_and_stores_last() {
+        let spec =
+            KernelSpec::InterleavedSweep { bases: vec![0x10000, 0x20000, 0x30000], len: 64, stride: 32 };
+        let mut k = spec.instantiate(0x40_0000, 1);
+        let evs: Vec<_> = (0..6).map(|_| k.next_event()).collect();
+        // Arrays are staggered by 10_912 bytes per operand (not
+        // set-aligned) so concurrent wavefronts land in different sets.
+        assert_eq!(evs[0].addr.raw(), 0x10000);
+        assert_eq!(evs[1].addr.raw(), 0x20000 + 10_912);
+        assert_eq!(evs[2].addr.raw(), 0x30000 + 2 * 10_912);
+        assert!(evs[2].is_store && !evs[0].is_store && !evs[1].is_store);
+        assert_eq!(evs[3].addr.raw(), 0x10020);
+    }
+
+    #[test]
+    fn pointer_chase_repeats_exact_traversal() {
+        let spec = KernelSpec::PointerChase { base: 0x100000, nodes: 64, node_bytes: 64, shuffle_seed: 9, noise_pct: 0 };
+        let mut k = spec.instantiate(0x40_0000, 1);
+        let first: Vec<u64> = (0..64).map(|_| k.next_event().addr.raw()).collect();
+        let second: Vec<u64> = (0..64).map(|_| k.next_event().addr.raw()).collect();
+        assert_eq!(first, second, "traversals must repeat exactly");
+        assert_eq!(first.iter().collect::<HashSet<_>>().len(), 64, "permutation visits every node");
+        assert!(k.next_event().chases);
+    }
+
+    #[test]
+    fn pointer_chase_is_not_sequential() {
+        let spec = KernelSpec::PointerChase { base: 0, nodes: 256, node_bytes: 64, shuffle_seed: 5, noise_pct: 0 };
+        let mut k = spec.instantiate(0x40_0000, 1);
+        let addrs: Vec<u64> = (0..256).map(|_| k.next_event().addr.raw()).collect();
+        let sequential = addrs.windows(2).filter(|w| w[1] == w[0] + 64).count();
+        assert!(sequential < 16, "a shuffled chase must not look like a sweep");
+    }
+
+    #[test]
+    fn random_access_stays_in_region() {
+        let spec = KernelSpec::RandomAccess { base: 0x80000, len: 4096 };
+        let mut k = spec.instantiate(0x40_0000, 7);
+        for _ in 0..200 {
+            let a = k.next_event().addr.raw();
+            assert!((0x80000..0x81000).contains(&a));
+            assert_eq!(a % 32, 0);
+        }
+    }
+
+    #[test]
+    fn hot_cold_obeys_skew() {
+        // hot_pct governs excursion decisions; each cold excursion is a
+        // 16-access sequential run. With 90% hot decisions the expected
+        // hot fraction of accesses is 0.9 / (0.9 + 0.1 × 16) ≈ 36%.
+        let spec = KernelSpec::HotCold { base: 0x100000, hot_len: 4096, cold_len: 1 << 20, hot_pct: 90 };
+        let mut k = spec.instantiate(0x40_0000, 3);
+        let hot = (0..4000).filter(|_| k.next_event().addr.raw() < 0x101000).count();
+        assert!((1000..=1900).contains(&hot), "expected ~36% hot accesses, got {hot}/4000");
+    }
+
+    #[test]
+    fn hot_cold_cold_runs_are_sequential() {
+        let spec = KernelSpec::HotCold { base: 0x100000, hot_len: 4096, cold_len: 1 << 20, hot_pct: 50 };
+        let mut k = spec.instantiate(0x40_0000, 3);
+        let evs: Vec<u64> = (0..4000).map(|_| k.next_event().addr.raw()).collect();
+        // Count adjacent cold pairs advancing by exactly 8 bytes.
+        let sequential = evs.windows(2).filter(|w| w[1] == w[0] + 8).count();
+        assert!(sequential > 1000, "cold excursions must run sequentially, got {sequential}");
+    }
+
+    #[test]
+    fn conflict_loop_cycles_tags_within_few_sets() {
+        let spec = KernelSpec::ConflictLoop { base: 0x40_0000, tags_in_rotation: 4, sets_spanned: 2 };
+        let mut k = spec.instantiate(0x40_0000, 1);
+        let mut sets = HashSet::new();
+        let mut tags = HashSet::new();
+        for _ in 0..64 {
+            let a = k.next_event().addr.raw();
+            sets.insert((a >> 5) & 1023);
+            tags.insert(a >> 15);
+        }
+        assert_eq!(sets.len(), 2);
+        assert_eq!(tags.len(), 4);
+    }
+
+    #[test]
+    fn stack_churn_pushes_then_pops() {
+        let spec = KernelSpec::StackChurn { base: 0x7000, depth: 32 };
+        let mut k = spec.instantiate(0x40_0000, 1);
+        let evs: Vec<_> = (0..8).map(|_| k.next_event()).collect();
+        assert!(evs[..4].iter().all(|e| e.is_store), "push phase stores");
+        assert!(evs[4..].iter().all(|e| !e.is_store), "pop phase loads");
+        // Pops revisit pushed addresses.
+        assert_eq!(evs[7].addr, evs[0].addr);
+    }
+
+    #[test]
+    fn gather_scatter_alternates_and_repeats_per_pass() {
+        let spec = KernelSpec::GatherScatter {
+            index_base: 0x100000,
+            index_len: 1024,
+            data_base: 0x4000000,
+            data_len: 1 << 20,
+            gather_seed: 11,
+        };
+        let mut k = spec.instantiate(0x40_0000, 1);
+        let evs: Vec<_> = (0..256).map(|_| k.next_event()).collect();
+        // Even positions: sequential index reads; odd: dependent gathers.
+        assert!(evs.iter().step_by(2).all(|e| !e.chases && e.addr.raw() < 0x200000));
+        assert!(evs.iter().skip(1).step_by(2).all(|e| e.chases && e.addr.raw() >= 0x4000000));
+        // One full pass of the index array repeats the same gathers.
+        let pass = 2 * (1024 / 8) as usize;
+        let first: Vec<u64> = evs[..pass.min(evs.len())].iter().map(|e| e.addr.raw()).collect();
+        let mut k2 = spec.instantiate(0x40_0000, 1);
+        let again: Vec<u64> = (0..first.len()).map(|_| k2.next_event().addr.raw()).collect();
+        assert_eq!(first, again);
+    }
+
+    #[test]
+    fn blocked_matrix_stays_in_tile() {
+        let spec = KernelSpec::BlockedMatrix { base: 0, n: 64, block: 8, elem: 8 };
+        let mut k = spec.instantiate(0x40_0000, 1);
+        // First tile: rows 0..8, cols 0..8 of a 64-wide matrix.
+        for _ in 0..64 {
+            let a = k.next_event().addr.raw() / 8;
+            let (row, col) = (a / 64, a % 64);
+            assert!(row < 8 && col < 8, "first tile must stay in the 8x8 corner");
+        }
+        // 65th access enters the next tile (cols 8..16).
+        let a = k.next_event().addr.raw() / 8;
+        assert!(a % 64 >= 8);
+    }
+
+    #[test]
+    fn zipf_is_head_heavy() {
+        let spec = KernelSpec::Zipf { base: 0, len: 1 << 20, skew_x100: 130 };
+        let mut k = spec.instantiate(0x40_0000, 5);
+        let head = (0..4000).filter(|_| k.next_event().addr.raw() < 32 * 10).count();
+        assert!(head > 1200, "rank-skewed accesses should pile at the head, got {head}/4000");
+    }
+
+    #[test]
+    fn determinism_across_instances() {
+        let spec = KernelSpec::RandomAccess { base: 0, len: 1 << 20 };
+        let mut a = spec.instantiate(0x40_0000, 11);
+        let mut b = spec.instantiate(0x40_0000, 11);
+        for _ in 0..100 {
+            assert_eq!(a.next_event(), b.next_event());
+        }
+    }
+}

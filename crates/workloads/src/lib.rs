@@ -1,0 +1,48 @@
+//! Synthetic SPEC CPU2000-like workload generators.
+//!
+//! The paper evaluates on the 26 SPEC CPU2000 benchmarks (Alpha binaries,
+//! 2 billion committed instructions each). Those traces are not available
+//! here, so this crate substitutes deterministic synthetic workloads — one
+//! per benchmark, bearing its name — whose *memory behaviour* is tuned to
+//! the characterisation the paper itself publishes:
+//!
+//! * working-set size in unique L1 tags (Figure 2: `art` misses on ~100
+//!   tags, `apsi`/`gap`/`wupwise`/`lucas`/`applu`/`swim` on thousands);
+//! * how far each tag spreads across cache sets (Figure 4: `gzip`/`swim`
+//!   tags appear in nearly all 1024 sets; `fma3d`/`eon` tags stay in few
+//!   sets but recur thousands of times);
+//! * the repetitiveness and set-spread of per-set three-tag sequences
+//!   (Figures 5–7) and the fraction of strided sequences (Figure 15,
+//!   `swim` ≈ 12%);
+//! * the sorted ideal-L2 speedup order of Figure 1 (from `fma3d` ≈ 0% to
+//!   `mcf` ≈ 400%).
+//!
+//! Each workload is a weighted mixture of access-pattern [`kernel`]s
+//! (strided sweeps, pointer chases over fixed permutations, random working
+//! sets, hot/cold regions, stack churn) interleaved with compute ops, and
+//! emits [`tcp_cpu::MicroOp`]s with explicit dependences so the
+//! out-of-order core sees realistic memory-level parallelism.
+//!
+//! # Examples
+//!
+//! ```
+//! use tcp_workloads::suite;
+//!
+//! let benchmarks = suite();
+//! assert_eq!(benchmarks.len(), 26);
+//! let art = benchmarks.iter().find(|b| b.name == "art").unwrap();
+//! let ops: Vec<_> = art.generator(10_000).collect();
+//! assert_eq!(ops.len(), 10_000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod kernel;
+
+mod generator;
+mod profiles;
+
+pub use generator::{WorkloadGen, WorkloadSpec};
+pub use kernel::KernelSpec;
+pub use profiles::{suite, Benchmark};

@@ -1,0 +1,577 @@
+//! The 26 SPEC CPU2000-named benchmark profiles.
+//!
+//! Benchmarks are listed in the paper's Figure 1 order: sorted left to
+//! right by how much an ideal L2 (all L2 accesses hit) would speed them
+//! up, from `fma3d` (compute-bound, ~0%) to `mcf` (pointer-chasing,
+//! ~400%). Each profile's kernel mix is chosen to reproduce the paper's
+//! characterisation of that benchmark's *miss-stream structure* — see the
+//! crate docs and DESIGN.md for the mapping rationale. Working sets are
+//! sized against the same 32 KB L1 / 1 MB L2 as the paper, so cache-fit
+//! relationships (the drivers of every figure) carry over even though we
+//! simulate millions rather than billions of ops.
+
+use crate::kernel::KernelSpec;
+use crate::{WorkloadGen, WorkloadSpec};
+
+/// A named benchmark: its workload spec plus provenance notes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Benchmark {
+    /// SPEC CPU2000 benchmark name this profile stands in for.
+    pub name: &'static str,
+    /// What the profile models and why.
+    pub description: &'static str,
+    /// The generator specification.
+    pub spec: WorkloadSpec,
+}
+
+impl Benchmark {
+    /// Returns a deterministic micro-op generator for `n_ops` operations.
+    pub fn generator(&self, n_ops: u64) -> WorkloadGen {
+        WorkloadGen::new(&self.spec, n_ops)
+    }
+}
+
+const KB: u64 = 1024;
+const MB: u64 = 1024 * 1024;
+
+/// Base address for kernel regions; successive regions step by 32 MB so
+/// kernels never overlap while addresses stay below 2³¹ (16-bit L1 tags).
+const R: [u64; 8] = [
+    0x0400_0000,
+    0x0600_0000,
+    0x0800_0000,
+    0x0A00_0000,
+    0x0C00_0000,
+    0x0E00_0000,
+    0x1000_0000,
+    0x1200_0000,
+];
+
+fn bench(name: &'static str, description: &'static str, spec: WorkloadSpec) -> Benchmark {
+    Benchmark { name, description, spec }
+}
+
+fn seed_of(name: &str) -> u64 {
+    // Stable per-name seed so each benchmark is independently deterministic.
+    name.bytes().fold(0xCBF2_9CE4_8422_2325u64, |h, b| (h ^ u64::from(b)).wrapping_mul(0x100_0000_01B3))
+}
+
+/// Builds the full 26-benchmark suite in Figure 1 order.
+pub fn suite() -> Vec<Benchmark> {
+    vec![
+        bench(
+            "fma3d",
+            "Crash simulation with a hot, conflict-missing inner loop: few tags, few sets, \
+             enormous per-set recurrence; everything hits in L2 so an ideal L2 barely helps.",
+            WorkloadSpec::new(
+                vec![
+                    (KernelSpec::ConflictLoop { base: R[0], tags_in_rotation: 8, sets_spanned: 4 }, 3),
+                    (KernelSpec::StackChurn { base: R[1], depth: 4 * KB }, 2),
+                ],
+                seed_of("fma3d"),
+            )
+            .with_compute_per_mem(6.0)
+            .with_store_pct(5),
+        ),
+        bench(
+            "equake",
+            "Seismic wave propagation: small sparse-matrix sweeps that fit in L2 plus a hot \
+             conflict loop.",
+            WorkloadSpec::new(
+                vec![
+                    (
+                        KernelSpec::InterleavedSweep {
+                            bases: vec![R[0], R[1]],
+                            len: 256 * KB,
+                            stride: 8,
+                        },
+                        3,
+                    ),
+                    (KernelSpec::ConflictLoop { base: R[2], tags_in_rotation: 6, sets_spanned: 8 }, 1),
+                ],
+                seed_of("equake"),
+            )
+            .with_compute_per_mem(4.5),
+        ),
+        bench(
+            "eon",
+            "Ray tracing in C++: stack churn and small-object traffic with high temporal \
+             locality; tags live in few sets and recur thousands of times.",
+            WorkloadSpec::new(
+                vec![
+                    (KernelSpec::StackChurn { base: R[0], depth: 8 * KB }, 2),
+                    (KernelSpec::ConflictLoop { base: R[1], tags_in_rotation: 12, sets_spanned: 8 }, 2),
+                    (KernelSpec::RandomAccess { base: R[2], len: 192 * KB }, 1),
+                ],
+                seed_of("eon"),
+            )
+            .with_compute_per_mem(5.0),
+        ),
+        bench(
+            "crafty",
+            "Chess: hash-table probes over a mostly L2-resident working set. Near-random \
+             per-set tag sequences (the paper singles crafty out as sequence-random).",
+            WorkloadSpec::new(
+                vec![
+                    (KernelSpec::RandomAccess { base: R[0], len: 768 * KB }, 3),
+                    (KernelSpec::HotCold { base: R[1], hot_len: 64 * KB, cold_len: 192 * KB, hot_pct: 80 }, 2),
+                ],
+                seed_of("crafty"),
+            )
+            .with_compute_per_mem(4.0),
+        ),
+        bench(
+            "gzip",
+            "Compression: skewed dictionary (hot window, cold corpus spread over many tags, \
+             so each tag appears in nearly every set).",
+            WorkloadSpec::new(
+                vec![
+                    (KernelSpec::HotCold { base: R[0], hot_len: 256 * KB, cold_len: 8 * MB, hot_pct: 97 }, 3),
+                    (KernelSpec::StridedSweep { base: R[2], len: MB, stride: 8 }, 1),
+                ],
+                seed_of("gzip"),
+            )
+            .with_compute_per_mem(3.0),
+        ),
+        bench(
+            "sixtrack",
+            "Particle tracking: compact strided physics kernels that fit in L2.",
+            WorkloadSpec::new(
+                vec![
+                    (
+                        KernelSpec::InterleavedSweep {
+                            bases: vec![R[0], R[1]],
+                            len: 320 * KB,
+                            stride: 8,
+                        },
+                        3,
+                    ),
+                    (KernelSpec::ConflictLoop { base: R[2], tags_in_rotation: 10, sets_spanned: 16 }, 1),
+                ],
+                seed_of("sixtrack"),
+            )
+            .with_compute_per_mem(5.0),
+        ),
+        bench(
+            "vortex",
+            "Object database: pointer chasing over an L2-scale object heap with random index \
+             lookups.",
+            WorkloadSpec::new(
+                vec![
+                    (
+                        KernelSpec::PointerChase { base: R[0], nodes: 8192, node_bytes: 64, shuffle_seed: 71, noise_pct: 35 },
+                        2,
+                    ),
+                    (KernelSpec::RandomAccess { base: R[2], len: 768 * KB }, 2),
+                ],
+                seed_of("vortex"),
+            )
+            .with_compute_per_mem(4.0),
+        ),
+        bench(
+            "perlbmk",
+            "Perl interpreter: stack traffic plus skewed hash accesses with a multi-megabyte \
+             cold tail.",
+            WorkloadSpec::new(
+                vec![
+                    (KernelSpec::StackChurn { base: R[0], depth: 16 * KB }, 2),
+                    (KernelSpec::HotCold { base: R[1], hot_len: 128 * KB, cold_len: MB, hot_pct: 97 }, 2),
+                    (KernelSpec::RandomAccess { base: R[3], len: 512 * KB }, 1),
+                ],
+                seed_of("perlbmk"),
+            )
+            .with_compute_per_mem(4.0),
+        ),
+        bench(
+            "mesa",
+            "3D rendering: frame-buffer sweeps slightly exceeding the L2.",
+            WorkloadSpec::new(
+                vec![
+                    (
+                        KernelSpec::InterleavedSweep { bases: vec![R[0], R[1]], len: 256 * KB, stride: 8 },
+                        3,
+                    ),
+                    (KernelSpec::RandomAccess { base: R[3], len: 256 * KB }, 1),
+                ],
+                seed_of("mesa"),
+            )
+            .with_compute_per_mem(3.5),
+        ),
+        bench(
+            "galgel",
+            "Fluid dynamics (Galerkin): two-matrix sweeps totalling twice the L2.",
+            WorkloadSpec::new(
+                vec![(
+                    KernelSpec::InterleavedSweep { bases: vec![R[0], R[1]], len: 448 * KB, stride: 8 },
+                    1,
+                )],
+                seed_of("galgel"),
+            )
+            .with_compute_per_mem(4.0),
+        ),
+        bench(
+            "apsi",
+            "Pollutant-transport mesh code: many distinct arrays, one of the largest tag \
+             working sets in the suite.",
+            WorkloadSpec::new(
+                vec![
+                    (
+                        KernelSpec::InterleavedSweep {
+                            bases: vec![R[0], R[1], R[2], R[3]],
+                            len: 224 * KB,
+                            stride: 8,
+                        },
+                        3,
+                    ),
+                    (KernelSpec::StridedSweep { base: R[4], len: 2 * MB, stride: 8 }, 1),
+                ],
+                seed_of("apsi"),
+            )
+            .with_compute_per_mem(7.0),
+        ),
+        bench(
+            "bzip2",
+            "Block-sorting compression: hot working buffer with a wide cold corpus and \
+             sequential block sweeps.",
+            WorkloadSpec::new(
+                vec![
+                    (KernelSpec::HotCold { base: R[0], hot_len: 512 * KB, cold_len: 6 * MB, hot_pct: 96 }, 3),
+                    (KernelSpec::StridedSweep { base: R[3], len: MB, stride: 8 }, 1),
+                ],
+                seed_of("bzip2"),
+            )
+            .with_compute_per_mem(3.5),
+        ),
+        bench(
+            "gap",
+            "Computer algebra: large heap with random lookups, list walks, and sweeps — a \
+             big, mixed tag working set.",
+            WorkloadSpec::new(
+                vec![
+                    (KernelSpec::RandomAccess { base: R[0], len: 768 * KB }, 2),
+                    (
+                        KernelSpec::PointerChase { base: R[2], nodes: 8192, node_bytes: 128, shuffle_seed: 17, noise_pct: 35 },
+                        1,
+                    ),
+                    (KernelSpec::StridedSweep { base: R[4], len: MB, stride: 8 }, 1),
+                ],
+                seed_of("gap"),
+            )
+            .with_compute_per_mem(4.0),
+        ),
+        bench(
+            "wupwise",
+            "Quantum chromodynamics: big lattice sweeps plus a gauge-link chase.",
+            WorkloadSpec::new(
+                vec![
+                    (
+                        KernelSpec::InterleavedSweep { bases: vec![R[0], R[1]], len: 640 * KB, stride: 8 },
+                        3,
+                    ),
+                    (
+                        KernelSpec::PointerChase { base: R[4], nodes: 12288, node_bytes: 64, shuffle_seed: 29, noise_pct: 25 },
+                        1,
+                    ),
+                ],
+                seed_of("wupwise"),
+            )
+            .with_compute_per_mem(5.0),
+        ),
+        bench(
+            "parser",
+            "Link grammar parser: dictionary chases over an L2-busting linked structure.",
+            WorkloadSpec::new(
+                vec![
+                    (
+                        KernelSpec::PointerChase { base: R[0], nodes: 12288, node_bytes: 64, shuffle_seed: 41, noise_pct: 30 },
+                        2,
+                    ),
+                    (KernelSpec::RandomAccess { base: R[2], len: 768 * KB }, 1),
+                ],
+                seed_of("parser"),
+            )
+            .with_compute_per_mem(5.0),
+        ),
+        bench(
+            "facerec",
+            "Face recognition: image-bank sweeps plus a graph-match chase; mixed shared and \
+             set-private sequence structure.",
+            WorkloadSpec::new(
+                vec![
+                    (KernelSpec::StridedSweep { base: R[0], len: 2 * MB, stride: 8 }, 2),
+                    (
+                        KernelSpec::PointerChase { base: R[2], nodes: 24576, node_bytes: 64, shuffle_seed: 53, noise_pct: 30 },
+                        2,
+                    ),
+                ],
+                seed_of("facerec"),
+            )
+            .with_compute_per_mem(3.5),
+        ),
+        bench(
+            "vpr",
+            "FPGA place and route: random netlist probing over several megabytes with a \
+             routing-graph chase.",
+            WorkloadSpec::new(
+                vec![
+                    (KernelSpec::RandomAccess { base: R[0], len: 5 * MB / 4 }, 2),
+                    (
+                        KernelSpec::PointerChase { base: R[2], nodes: 8192, node_bytes: 64, shuffle_seed: 67, noise_pct: 40 },
+                        1,
+                    ),
+                ],
+                seed_of("vpr"),
+            )
+            .with_compute_per_mem(5.0),
+        ),
+        bench(
+            "twolf",
+            "Standard-cell placement: random working set beyond the L2; the other \
+             sequence-random benchmark the paper calls out.",
+            WorkloadSpec::new(
+                vec![
+                    (KernelSpec::RandomAccess { base: R[0], len: 5 * MB / 4 }, 3),
+                    (KernelSpec::HotCold { base: R[2], hot_len: 128 * KB, cold_len: MB, hot_pct: 70 }, 1),
+                ],
+                seed_of("twolf"),
+            )
+            .with_compute_per_mem(3.5),
+        ),
+        bench(
+            "lucas",
+            "Lucas-Lehmer primality: giant FFT-style strided sweeps; tags in nearly every \
+             set.",
+            WorkloadSpec::new(
+                vec![(
+                    KernelSpec::InterleavedSweep { bases: vec![R[0], R[2]], len: 2 * MB, stride: 8 },
+                    1,
+                )],
+                seed_of("lucas"),
+            )
+            .with_compute_per_mem(6.0),
+        ),
+        bench(
+            "gcc",
+            "Compiler: IR pointer chasing, symbol-table randomness, and pass-local sweeps; \
+             per-set-private sequences favour an unshared PHT.",
+            WorkloadSpec::new(
+                vec![
+                    (
+                        KernelSpec::PointerChase { base: R[0], nodes: 16384, node_bytes: 64, shuffle_seed: 83, noise_pct: 25 },
+                        2,
+                    ),
+                    (KernelSpec::RandomAccess { base: R[2], len: MB }, 1),
+                    (KernelSpec::StridedSweep { base: R[4], len: MB, stride: 8 }, 1),
+                ],
+                seed_of("gcc"),
+            )
+            .with_compute_per_mem(1.8),
+        ),
+        bench(
+            "applu",
+            "Parabolic PDE solver: three-array sweeps of six megabytes per iteration; the \
+             same tag sequence appears in every set, so PHT sharing shines.",
+            WorkloadSpec::new(
+                vec![(
+                    KernelSpec::InterleavedSweep { bases: vec![R[0], R[1], R[2]], len: 3 * MB / 2, stride: 8 },
+                    1,
+                )],
+                seed_of("applu"),
+            )
+            .with_compute_per_mem(5.0),
+        ),
+        bench(
+            "art",
+            "Neural-network image recognition: repeated full scans of ~3 MB of weights — \
+             only ~96 distinct tags, each recurring constantly (the paper counts 98).",
+            WorkloadSpec::new(
+                vec![(
+                    KernelSpec::InterleavedSweep { bases: vec![R[0], R[1], R[2]], len: MB, stride: 8 },
+                    1,
+                )],
+                seed_of("art"),
+            )
+            .with_compute_per_mem(2.4)
+            .with_store_pct(4),
+        ),
+        bench(
+            "mgrid",
+            "Multigrid solver: streaming sweeps over three 4 MB grids plus a column walk \
+             that yields per-set strided tag sequences.",
+            WorkloadSpec::new(
+                vec![
+                    (
+                        KernelSpec::InterleavedSweep {
+                            bases: vec![R[0], R[1], R[2]],
+                            len: 2 * MB,
+                            stride: 8,
+                        },
+                        6,
+                    ),
+                    (KernelSpec::ConflictLoop { base: R[4], tags_in_rotation: 48, sets_spanned: 512 }, 1),
+                ],
+                seed_of("mgrid"),
+            )
+            .with_compute_per_mem(1.6)
+            .with_burst(16384),
+        ),
+        bench(
+            "swim",
+            "Shallow-water model: four 3 MB array sweeps per timestep plus a column-major \
+             walk — the suite's strided-tag-sequence champion (~12% in Figure 15).",
+            WorkloadSpec::new(
+                vec![
+                    (
+                        KernelSpec::InterleavedSweep {
+                            bases: vec![R[0], R[1], R[2], R[3]],
+                            len: 3 * MB / 2,
+                            stride: 8,
+                        },
+                        6,
+                    ),
+                    (KernelSpec::ConflictLoop { base: R[5], tags_in_rotation: 64, sets_spanned: 512 }, 1),
+                ],
+                seed_of("swim"),
+            )
+            .with_compute_per_mem(1.3)
+            .with_burst(16384),
+        ),
+        bench(
+            "ammp",
+            "Molecular dynamics: a serialized neighbour-list chase over ~2 MB, retraversed \
+             identically — per-set-private correlations that reward a large PHT.",
+            WorkloadSpec::new(
+                vec![
+                    (
+                        KernelSpec::PointerChase { base: R[0], nodes: 32768, node_bytes: 64, shuffle_seed: 97, noise_pct: 2 },
+                        3,
+                    ),
+                    (KernelSpec::StridedSweep { base: R[4], len: 512 * KB, stride: 8 }, 1),
+                ],
+                seed_of("ammp"),
+            )
+            .with_compute_per_mem(2.2)
+            .with_store_pct(0),
+        ),
+        bench(
+            "mcf",
+            "Network-flow optimisation: the suite's pathological pointer chase — 128 K \
+             nodes over 8 MB, fully serialized, ~7 M unique sequences in the paper.",
+            WorkloadSpec::new(
+                vec![
+                    (
+                        KernelSpec::PointerChase { base: R[0], nodes: 393216, node_bytes: 64, shuffle_seed: 113, noise_pct: 1 },
+                        8,
+                    ),
+                    (KernelSpec::RandomAccess { base: R[4], len: MB }, 1),
+                ],
+                seed_of("mcf"),
+            )
+            .with_compute_per_mem(1.4)
+            .with_store_pct(0),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use tcp_cpu::OpClass;
+    use tcp_mem::CacheGeometry;
+
+    #[test]
+    fn suite_has_26_unique_benchmarks_in_paper_order() {
+        let s = suite();
+        assert_eq!(s.len(), 26);
+        let names: Vec<_> = s.iter().map(|b| b.name).collect();
+        assert_eq!(names.iter().collect::<HashSet<_>>().len(), 26);
+        assert_eq!(names.first(), Some(&"fma3d"));
+        assert_eq!(names.last(), Some(&"mcf"));
+        // Spot-check the paper's ordering.
+        let pos = |n: &str| names.iter().position(|&x| x == n).unwrap();
+        assert!(pos("gzip") < pos("twolf"));
+        assert!(pos("gcc") < pos("applu"));
+        assert!(pos("swim") < pos("ammp"));
+    }
+
+    #[test]
+    fn all_generators_are_deterministic() {
+        for b in suite() {
+            let a: Vec<_> = b.generator(2_000).collect();
+            let c: Vec<_> = b.generator(2_000).collect();
+            assert_eq!(a, c, "{} must be deterministic", b.name);
+            assert_eq!(a.len(), 2_000, "{} must emit exactly n ops", b.name);
+        }
+    }
+
+    #[test]
+    fn addresses_stay_below_2_31() {
+        for b in suite() {
+            for op in b.generator(20_000) {
+                if let Some(a) = op.mem_addr {
+                    assert!(a.raw() < (1 << 31), "{}: address {a} exceeds 2^31", b.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_benchmark_contains_memory_ops() {
+        for b in suite() {
+            let mem = b.generator(10_000).filter(|o| o.class.is_memory()).count();
+            assert!(mem > 500, "{}: too few memory ops ({mem})", b.name);
+        }
+    }
+
+    #[test]
+    fn art_touches_about_a_hundred_tags() {
+        let l1 = CacheGeometry::new(32 * 1024, 32, 1);
+        let art = suite().into_iter().find(|b| b.name == "art").unwrap();
+        let tags: HashSet<u64> = art
+            .generator(3_000_000)
+            .filter_map(|o| o.mem_addr)
+            .map(|a| l1.split(a).0.raw())
+            .collect();
+        assert!(
+            (80..=120).contains(&tags.len()),
+            "art should touch ~96 tags like the paper's 98, got {}",
+            tags.len()
+        );
+    }
+
+    #[test]
+    fn mcf_is_chase_dominated() {
+        let mcf = suite().into_iter().find(|b| b.name == "mcf").unwrap();
+        let ops: Vec<_> = mcf.generator(50_000).collect();
+        let loads = ops.iter().filter(|o| o.class == OpClass::Load).count();
+        let chasing = ops.iter().filter(|o| o.class == OpClass::Load && o.dep1.is_some()).count();
+        assert!(chasing * 2 > loads, "mcf loads should be mostly dependent ({chasing}/{loads})");
+    }
+
+    #[test]
+    fn fma3d_working_set_is_tiny() {
+        let l1 = CacheGeometry::new(32 * 1024, 32, 1);
+        let b = suite().into_iter().find(|b| b.name == "fma3d").unwrap();
+        let lines: HashSet<u64> = b
+            .generator(200_000)
+            .filter_map(|o| o.mem_addr)
+            .map(|a| l1.line_addr(a).line_number())
+            .collect();
+        assert!(lines.len() < 1500, "fma3d working set should be tiny, got {} lines", lines.len());
+    }
+
+    #[test]
+    fn big_benchmarks_have_big_tag_sets() {
+        let l1 = CacheGeometry::new(32 * 1024, 32, 1);
+        for name in ["swim", "mgrid", "lucas"] {
+            let b = suite().into_iter().find(|b| b.name == name).unwrap();
+            let tags: HashSet<u64> = b
+                .generator(5_000_000)
+                .filter_map(|o| o.mem_addr)
+                .map(|a| l1.split(a).0.raw())
+                .collect();
+            assert!(tags.len() > 110, "{name} should touch many tags, got {}", tags.len());
+        }
+    }
+}

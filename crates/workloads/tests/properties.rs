@@ -1,0 +1,72 @@
+//! Property-based tests of workload generation invariants.
+
+use proptest::prelude::*;
+use tcp_cpu::OpClass;
+use tcp_workloads::{suite, KernelSpec, WorkloadGen, WorkloadSpec};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn generator_respects_length_and_determinism(n in 1u64..5000, seed in 0u64..1000) {
+        let spec = WorkloadSpec::new(
+            vec![
+                (KernelSpec::StridedSweep { base: 0x100000, len: 1 << 18, stride: 8 }, 2),
+                (KernelSpec::RandomAccess { base: 0x4000000, len: 1 << 18 }, 1),
+            ],
+            seed,
+        );
+        let a: Vec<_> = WorkloadGen::new(&spec, n).collect();
+        let b: Vec<_> = WorkloadGen::new(&spec, n).collect();
+        prop_assert_eq!(a.len() as u64, n);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn dependence_distances_are_valid(n in 500u64..4000, seed in 0u64..64) {
+        let spec = WorkloadSpec::new(
+            vec![(
+                KernelSpec::PointerChase { base: 0x100000, nodes: 512, node_bytes: 64, shuffle_seed: seed, noise_pct: 10 },
+                1,
+            )],
+            seed,
+        );
+        for (i, op) in WorkloadGen::new(&spec, n).enumerate() {
+            for dep in [op.dep1, op.dep2].into_iter().flatten() {
+                prop_assert!(dep >= 1, "dependences point strictly backwards");
+                prop_assert!((dep as usize) <= i, "op {i} depends {dep} back before stream start");
+            }
+        }
+    }
+
+    #[test]
+    fn memory_ops_always_carry_addresses(n in 200u64..2000, pick in 0usize..26) {
+        let benches = suite();
+        let b = &benches[pick % benches.len()];
+        for op in b.generator(n) {
+            if op.class.is_memory() {
+                prop_assert!(op.mem_addr.is_some(), "{}: memory op without address", b.name);
+            } else {
+                prop_assert!(op.mem_access().is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn store_fraction_is_monotone_in_store_pct(seed in 0u64..32) {
+        let base = WorkloadSpec::new(
+            vec![(KernelSpec::StridedSweep { base: 0x100000, len: 1 << 18, stride: 8 }, 1)],
+            seed,
+        );
+        let frac = |pct: u8| {
+            let spec = base.clone().with_store_pct(pct);
+            let ops: Vec<_> = WorkloadGen::new(&spec, 20_000).collect();
+            let stores = ops.iter().filter(|o| o.class == OpClass::Store).count() as f64;
+            let mems = ops.iter().filter(|o| o.class.is_memory()).count() as f64;
+            stores / mems
+        };
+        let lo = frac(5);
+        let hi = frac(60);
+        prop_assert!(hi > lo, "store fraction must rise with store_pct: {lo} vs {hi}");
+    }
+}

@@ -1,0 +1,54 @@
+//! Design-space exploration: sweep the PHT size and indexing policy.
+//!
+//! ```text
+//! cargo run --release --example design_space [ops]
+//! ```
+//!
+//! Reproduces the Figure 13 experiment on a three-benchmark subset:
+//! geometric-mean IPC as the pattern history table grows from 2 KB to
+//! 8 MB, with a fully shared index (`n = 0`) versus a fully per-set index
+//! (full miss index). Also sweeps the THT history length `k`, the
+//! ablation Section 6 hints at.
+
+use tcp_repro::analysis::geometric_mean;
+use tcp_repro::core::{Tcp, TcpConfig};
+use tcp_repro::sim::{run_benchmark, SystemConfig};
+use tcp_repro::workloads::{suite, Benchmark};
+
+fn geomean_ipc(benches: &[Benchmark], ops: u64, cfg: TcpConfig) -> f64 {
+    let machine = SystemConfig::table1();
+    let ipcs: Vec<f64> = benches
+        .iter()
+        .map(|b| run_benchmark(b, ops, &machine, Box::new(Tcp::new(cfg))).ipc)
+        .collect();
+    geometric_mean(&ipcs)
+}
+
+fn main() {
+    let ops: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1_500_000);
+    let benches: Vec<Benchmark> =
+        suite().into_iter().filter(|b| ["art", "ammp", "swim"].contains(&b.name)).collect();
+    println!("subset: art, ammp, swim — {ops} measured ops each\n");
+
+    println!("{:<10} {:>14} {:>16}", "PHT size", "shared (n=0)", "full miss index");
+    for bytes in [2 * 1024, 8 * 1024, 32 * 1024, 128 * 1024, 512 * 1024, 2 << 20, 8 << 20] {
+        let shared = geomean_ipc(&benches, ops, TcpConfig::with_pht_bytes(bytes, 0));
+        let sets = (bytes / 32) as u32;
+        let full_bits = sets.trailing_zeros().min(10);
+        let private = geomean_ipc(&benches, ops, TcpConfig::with_pht_bytes(bytes, full_bits));
+        let label = if bytes >= 1 << 20 { format!("{}MB", bytes >> 20) } else { format!("{}KB", bytes >> 10) };
+        println!("{label:<10} {shared:>14.4} {private:>16.4}");
+    }
+
+    println!("\n{:<10} {:>14}", "THT k", "geomean IPC (8KB PHT)");
+    for k in 1..=4usize {
+        let cfg = TcpConfig { history_len: k, ..TcpConfig::tcp_8k() };
+        println!("{k:<10} {:>14.4}", geomean_ipc(&benches, ops, cfg));
+    }
+
+    println!("\n{:<10} {:>14}", "degree", "geomean IPC (8KB PHT)");
+    for degree in 1..=3usize {
+        let cfg = TcpConfig { degree, ..TcpConfig::tcp_8k() };
+        println!("{degree:<10} {:>14.4}", geomean_ipc(&benches, ops, cfg));
+    }
+}

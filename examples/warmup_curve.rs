@@ -1,0 +1,53 @@
+//! Watch a prefetcher train: step a simulation in chunks and print the
+//! coverage/IPC curve as the pattern history table warms up.
+//!
+//! ```text
+//! cargo run --release --example warmup_curve [benchmark] [ops]
+//! ```
+//!
+//! This is the paper's warm-up story made visible: TCP-8K's shared PHT
+//! reaches useful coverage within the first sweep of a streaming
+//! benchmark, while TCP-8M must re-learn each pattern in every cache set.
+
+use tcp_repro::cache::Prefetcher;
+use tcp_repro::core::{Tcp, TcpConfig};
+use tcp_repro::sim::{Simulation, SystemConfig};
+use tcp_repro::workloads::suite;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "art".to_owned());
+    let ops: u64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(3_000_000);
+    let Some(bench) = suite().into_iter().find(|b| b.name == name) else {
+        eprintln!("unknown benchmark {name}");
+        std::process::exit(1);
+    };
+    let machine = SystemConfig::table1();
+    let chunk = ops / 12;
+
+    println!("benchmark: {} — training curves over {ops} ops\n", bench.name);
+    for cfg in [TcpConfig::tcp_8k(), TcpConfig::tcp_8m()] {
+        let tcp = Tcp::new(cfg);
+        let label = tcp.name().to_owned();
+        let mut sim = Simulation::new(&bench, ops, &machine, Box::new(tcp));
+        println!("{label}:");
+        println!("  {:>10}  {:>8}  {:>9}  {:>10}", "ops", "IPC", "coverage", "L2 misses");
+        let mut prev_ops = u64::MAX;
+        loop {
+            let p = sim.step(chunk);
+            let s = sim.stats();
+            let window = s.l2_breakdown;
+            println!(
+                "  {:>10}  {:>8.4}  {:>8.1}%  {:>10}",
+                p.ops,
+                sim.ipc(),
+                100.0 * window.coverage(),
+                s.l2_demand_misses
+            );
+            if p.done || p.ops == prev_ops {
+                break;
+            }
+            prev_ops = p.ops;
+        }
+        println!();
+    }
+}

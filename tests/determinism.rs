@@ -1,0 +1,56 @@
+//! Reproducibility: every layer of the stack is deterministic for a given
+//! configuration — the property every experiment in EXPERIMENTS.md
+//! depends on.
+
+use tcp_repro::analysis::{miss_stream, SequenceCensus, TagCensus};
+use tcp_repro::core::{Tcp, TcpConfig};
+use tcp_repro::mem::CacheGeometry;
+use tcp_repro::sim::{run_benchmark, SystemConfig};
+use tcp_repro::workloads::suite;
+
+#[test]
+fn workload_streams_are_bit_identical() {
+    for b in suite().into_iter().take(6) {
+        let a: Vec<_> = b.generator(30_000).collect();
+        let c: Vec<_> = b.generator(30_000).collect();
+        assert_eq!(a, c, "{}", b.name);
+    }
+}
+
+#[test]
+fn full_system_runs_are_bit_identical() {
+    let machine = SystemConfig::table1();
+    for name in ["gzip", "ammp", "swim"] {
+        let b = suite().into_iter().find(|x| x.name == name).unwrap();
+        let r1 = run_benchmark(&b, 80_000, &machine, Box::new(Tcp::new(TcpConfig::tcp_8k())));
+        let r2 = run_benchmark(&b, 80_000, &machine, Box::new(Tcp::new(TcpConfig::tcp_8k())));
+        assert_eq!(r1.cycles, r2.cycles, "{name}");
+        assert_eq!(r1.stats, r2.stats, "{name}");
+    }
+}
+
+#[test]
+fn characterisation_is_deterministic() {
+    let l1 = CacheGeometry::new(32 * 1024, 32, 1);
+    let b = suite().into_iter().find(|x| x.name == "crafty").unwrap();
+    let census = |n: u64| {
+        let mut tags = TagCensus::new();
+        let mut seqs = SequenceCensus::new(l1.num_sets(), 3);
+        for m in miss_stream(l1, b.generator(n).filter_map(|op| op.mem_access())) {
+            tags.observe_tag(m.tag);
+            seqs.observe(m.tag, m.set);
+        }
+        (tags.unique(), tags.total(), seqs.unique_sequences(), seqs.total_occurrences())
+    };
+    assert_eq!(census(120_000), census(120_000));
+}
+
+#[test]
+fn longer_run_extends_shorter_run() {
+    // The generator is a stream: the first N ops of a longer run equal a
+    // shorter run exactly (no length-dependent behaviour).
+    let b = suite().into_iter().find(|x| x.name == "vpr").unwrap();
+    let short: Vec<_> = b.generator(10_000).collect();
+    let long: Vec<_> = b.generator(20_000).take(10_000).collect();
+    assert_eq!(short, long);
+}

@@ -1,0 +1,38 @@
+//! Golden regression tests: exact deterministic values pinned from a
+//! known-good build. Any change to workload generation, cache behaviour,
+//! or core scheduling that alters these numbers is *visible* here —
+//! update them only deliberately, alongside re-validating EXPERIMENTS.md.
+
+use tcp_repro::cache::NullPrefetcher;
+use tcp_repro::experiments::characterize::characterize;
+use tcp_repro::sim::{run_benchmark, SystemConfig};
+use tcp_repro::workloads::suite;
+
+/// (benchmark, misses@200k, tags, addrs, seqs, cycles@100k, l1miss@100k)
+const GOLDEN: &[(&str, u64, u64, u64, u64, u64, u64)] = &[
+    ("art", 12378, 15, 12378, 13, 74252, 6192),
+    ("crafty", 22003, 32, 16210, 12770, 72500, 8280),
+    ("swim", 16802, 21, 16802, 19, 72437, 8403),
+];
+
+#[test]
+fn characterisation_matches_golden_values() {
+    for &(name, misses, tags, addrs, seqs, _, _) in GOLDEN {
+        let b = suite().into_iter().find(|b| b.name == name).unwrap();
+        let p = characterize(&b, 200_000);
+        assert_eq!(p.misses, misses, "{name}: miss count drifted");
+        assert_eq!(p.unique_tags, tags, "{name}: unique tags drifted");
+        assert_eq!(p.unique_addresses, addrs, "{name}: unique addresses drifted");
+        assert_eq!(p.unique_sequences, seqs, "{name}: unique sequences drifted");
+    }
+}
+
+#[test]
+fn timing_matches_golden_values() {
+    for &(name, _, _, _, _, cycles, l1miss) in GOLDEN {
+        let b = suite().into_iter().find(|b| b.name == name).unwrap();
+        let r = run_benchmark(&b, 100_000, &SystemConfig::table1(), Box::new(NullPrefetcher));
+        assert_eq!(r.cycles, cycles, "{name}: cycle count drifted");
+        assert_eq!(r.stats.l1_misses, l1miss, "{name}: L1 miss count drifted");
+    }
+}
