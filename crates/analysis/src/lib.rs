@@ -47,4 +47,4 @@ pub use histogram::HistogramLog2;
 pub use sequences::SequenceCensus;
 pub use stream::{miss_stream, MissRecord, MissStream};
 pub use summary::{geometric_mean, mean};
-pub use trace_io::{read_trace, write_trace};
+pub use trace_io::{read_trace, write_trace, TraceError};

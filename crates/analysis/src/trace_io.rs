@@ -14,6 +14,7 @@
 //! time for whatever geometry the reader cares about, so one trace file
 //! serves any cache shape.
 
+use std::fmt;
 use std::io::{self, Read, Write};
 
 use crate::MissRecord;
@@ -21,6 +22,76 @@ use tcp_mem::{Addr, CacheGeometry};
 
 const MAGIC: &[u8; 4] = b"TCPT";
 const VERSION: u8 = 1;
+
+/// Records preallocated before reading begins. A corrupted header can
+/// declare an absurd record count; growth beyond this cap is paid as the
+/// records actually arrive, so a lying header cannot trigger a huge
+/// allocation up front.
+const PREALLOC_CAP: usize = 1 << 16;
+
+/// Why a trace could not be read.
+///
+/// Every corruption mode a caller can reach — wrong file type, wrong
+/// format version, bytes missing relative to the declared record count —
+/// has its own variant, so tooling can distinguish "not a trace" from
+/// "damaged trace" from "I/O trouble".
+#[derive(Debug)]
+pub enum TraceError {
+    /// The stream does not begin with the `TCPT` magic.
+    BadMagic {
+        /// The four bytes found instead.
+        found: [u8; 4],
+    },
+    /// The stream is a TCP trace but of an unsupported format version.
+    UnsupportedVersion {
+        /// Version byte in the stream.
+        found: u8,
+        /// Version this reader supports.
+        supported: u8,
+    },
+    /// The stream ended before the declared record count was read.
+    Truncated {
+        /// Records the header declared.
+        declared: u64,
+        /// Full records actually read.
+        read: u64,
+    },
+    /// An I/O error from the underlying reader (including a stream too
+    /// short to hold the header).
+    Io(io::Error),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::BadMagic { found } => {
+                write!(f, "not a TCP trace file (magic {found:02X?})")
+            }
+            TraceError::UnsupportedVersion { found, supported } => {
+                write!(f, "unsupported trace version {found} (this reader supports {supported})")
+            }
+            TraceError::Truncated { declared, read } => {
+                write!(f, "truncated trace: header declares {declared} records, stream holds {read}")
+            }
+            TraceError::Io(e) => write!(f, "trace I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceError {
+    fn from(e: io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
 
 /// Writes `records` to `w` in the trace format.
 ///
@@ -34,7 +105,7 @@ const VERSION: u8 = 1;
 /// use tcp_analysis::{read_trace, write_trace, miss_stream};
 /// use tcp_mem::{Addr, CacheGeometry, MemAccess};
 ///
-/// # fn main() -> std::io::Result<()> {
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let l1 = CacheGeometry::new(32 * 1024, 32, 1);
 /// let accesses = (0..100u64).map(|i| MemAccess::load(Addr::new(4), Addr::new(i * 64)));
 /// let misses: Vec<_> = miss_stream(l1, accesses).collect();
@@ -62,29 +133,35 @@ pub fn write_trace<W: Write>(mut w: W, records: &[MissRecord]) -> io::Result<()>
 ///
 /// # Errors
 ///
-/// Returns `InvalidData` for a bad magic, version, or truncated payload,
-/// and propagates reader I/O errors.
-pub fn read_trace<R: Read>(mut r: R, geom: CacheGeometry) -> io::Result<Vec<MissRecord>> {
+/// Returns [`TraceError::BadMagic`] / [`TraceError::UnsupportedVersion`]
+/// when the stream is not a readable TCP trace,
+/// [`TraceError::Truncated`] when it ends before the declared record
+/// count (including a corrupted header declaring more records than the
+/// stream holds), and [`TraceError::Io`] for underlying reader failures.
+pub fn read_trace<R: Read>(mut r: R, geom: CacheGeometry) -> Result<Vec<MissRecord>, TraceError> {
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "not a TCP trace file"));
+        return Err(TraceError::BadMagic { found: magic });
     }
     let mut version = [0u8; 1];
     r.read_exact(&mut version)?;
     if version[0] != VERSION {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("unsupported trace version {}", version[0]),
-        ));
+        return Err(TraceError::UnsupportedVersion { found: version[0], supported: VERSION });
     }
     let mut count_bytes = [0u8; 8];
     r.read_exact(&mut count_bytes)?;
     let count = u64::from_le_bytes(count_bytes);
-    let mut out = Vec::with_capacity(usize::try_from(count).unwrap_or(0).min(1 << 24));
+    let mut out = Vec::with_capacity(usize::try_from(count).unwrap_or(0).min(PREALLOC_CAP));
     let mut rec = [0u8; 16];
-    for _ in 0..count {
-        r.read_exact(&mut rec)?;
+    for read in 0..count {
+        if let Err(e) = r.read_exact(&mut rec) {
+            return Err(if e.kind() == io::ErrorKind::UnexpectedEof {
+                TraceError::Truncated { declared: count, read }
+            } else {
+                TraceError::Io(e)
+            });
+        }
         let pc = Addr::new(u64::from_le_bytes(rec[0..8].try_into().expect("8 bytes")));
         let addr = Addr::new(u64::from_le_bytes(rec[8..16].try_into().expect("8 bytes")));
         let (tag, set) = geom.split(addr);
@@ -140,7 +217,8 @@ mod tests {
     #[test]
     fn bad_magic_rejected() {
         let err = read_trace(&mut b"NOPE\x01\0\0\0\0\0\0\0\0".as_slice(), l1()).unwrap_err();
-        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(matches!(err, TraceError::BadMagic { found } if &found == b"NOPE"), "{err}");
+        assert!(err.to_string().contains("not a TCP trace"));
     }
 
     #[test]
@@ -150,15 +228,80 @@ mod tests {
         buf.push(99);
         buf.extend_from_slice(&0u64.to_le_bytes());
         let err = read_trace(&mut buf.as_slice(), l1()).unwrap_err();
-        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(
+            matches!(err, TraceError::UnsupportedVersion { found: 99, supported: VERSION }),
+            "{err}"
+        );
     }
 
     #[test]
     fn truncated_payload_rejected() {
         let misses = sample(10);
+        let n = misses.len() as u64;
         let mut buf = Vec::new();
         write_trace(&mut buf, &misses).unwrap();
         buf.truncate(buf.len() - 5);
-        assert!(read_trace(&mut buf.as_slice(), l1()).is_err());
+        let err = read_trace(&mut buf.as_slice(), l1()).unwrap_err();
+        // Losing 5 bytes cuts into the final 16-byte record.
+        assert!(
+            matches!(err, TraceError::Truncated { declared, read } if declared == n && read == n - 1),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn truncated_header_is_an_io_error() {
+        // Stream ends inside the magic / version / count fields.
+        for len in 0..13 {
+            let misses = sample(3);
+            let mut buf = Vec::new();
+            write_trace(&mut buf, &misses).unwrap();
+            buf.truncate(len);
+            let err = read_trace(&mut buf.as_slice(), l1()).unwrap_err();
+            assert!(matches!(err, TraceError::Io(_)), "len {len}: {err}");
+        }
+    }
+
+    #[test]
+    fn corrupted_count_far_beyond_payload_fails_fast_without_huge_allocation() {
+        // A lying header declaring u64::MAX records must neither allocate
+        // for them up front nor loop: the first missing record surfaces as
+        // a typed truncation error.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"TCPT");
+        buf.push(VERSION);
+        buf.extend_from_slice(&u64::MAX.to_le_bytes());
+        // Two real records' worth of payload.
+        buf.extend_from_slice(&[0u8; 32]);
+        let err = read_trace(&mut buf.as_slice(), l1()).unwrap_err();
+        assert!(
+            matches!(err, TraceError::Truncated { declared: u64::MAX, read: 2 }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn count_mildly_larger_than_payload_reports_actual_read() {
+        let misses = sample(4);
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &misses).unwrap();
+        // Rewrite the header count to twice the real record count.
+        let n = misses.len() as u64;
+        buf[5..13].copy_from_slice(&(n * 2).to_le_bytes());
+        let err = read_trace(&mut buf.as_slice(), l1()).unwrap_err();
+        assert!(
+            matches!(err, TraceError::Truncated { declared, read } if declared == n * 2 && read == n),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn error_display_and_source_are_usable() {
+        let io_err: TraceError = io::Error::new(io::ErrorKind::BrokenPipe, "pipe").into();
+        assert!(std::error::Error::source(&io_err).is_some());
+        let trunc = TraceError::Truncated { declared: 10, read: 3 };
+        assert!(std::error::Error::source(&trunc).is_none());
+        assert!(trunc.to_string().contains("10"));
+        assert!(trunc.to_string().contains("3"));
     }
 }

@@ -13,8 +13,8 @@
 
 use crate::cache::AccessOutcome;
 use crate::{
-    Bus, Cache, HierarchyStats, L1MissInfo, MshrFile, PrefetchRequest, PrefetchTarget, Prefetcher,
-    Replacement, Tlb, TlbConfig, VictimCache,
+    Bus, Cache, ConfigError, HierarchyStats, L1MissInfo, MshrFile, PrefetchRequest, PrefetchTarget,
+    Prefetcher, Replacement, Tlb, TlbConfig, VictimCache,
 };
 use tcp_mem::{CacheGeometry, LineAddr, MemAccess};
 
@@ -111,6 +111,84 @@ impl Default for HierarchyConfig {
     }
 }
 
+impl HierarchyConfig {
+    /// Checks that the configuration describes a machine the timing model
+    /// can simulate: power-of-two geometries, an L1 line no larger than an
+    /// L2 line (an L1 fill must come from a single L2 line), and nonzero
+    /// latencies, bus widths, and MSHR counts (a zero-entry MSHR file
+    /// would wedge the first miss forever).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] found; the checks are ordered
+    /// from geometry to latencies to optional structures.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tcp_cache::HierarchyConfig;
+    ///
+    /// assert!(HierarchyConfig::default().validate().is_ok());
+    /// let broken = HierarchyConfig { l1_mshrs: 0, ..HierarchyConfig::default() };
+    /// assert!(broken.validate().is_err());
+    /// ```
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        for (field, value) in [
+            ("l1 line size", self.l1d.line_bytes()),
+            ("l1 set count", self.l1d.num_sets() as u64),
+            ("l2 line size", self.l2.line_bytes()),
+            ("l2 set count", self.l2.num_sets() as u64),
+        ] {
+            if !value.is_power_of_two() {
+                return Err(ConfigError::NotPowerOfTwo { field, value });
+            }
+        }
+        if self.l1d.line_bytes() > self.l2.line_bytes() {
+            return Err(ConfigError::LineSizeMismatch {
+                l1_line: self.l1d.line_bytes(),
+                l2_line: self.l2.line_bytes(),
+            });
+        }
+        for (field, value) in [
+            ("l1_hit_latency", self.l1_hit_latency),
+            ("l2_latency", self.l2_latency),
+            ("memory_latency", self.memory_latency),
+            ("l1_bus_cycles", self.l1_bus_cycles),
+            ("mem_bus_cycles", self.mem_bus_cycles),
+            ("l1_mshrs", self.l1_mshrs as u64),
+        ] {
+            if value == 0 {
+                return Err(ConfigError::ZeroField { field });
+            }
+        }
+        if let Some(entries) = self.victim_cache_entries {
+            if entries == 0 {
+                return Err(ConfigError::ZeroField { field: "victim_cache_entries" });
+            }
+            if self.victim_latency == 0 {
+                return Err(ConfigError::ZeroField { field: "victim_latency" });
+            }
+        }
+        if let Some(tlb) = &self.dtlb {
+            if tlb.entries == 0 {
+                return Err(ConfigError::ZeroField { field: "dtlb entries" });
+            }
+            if tlb.page_bits < 1 || tlb.page_bits > 63 {
+                return Err(ConfigError::OutOfRange {
+                    field: "dtlb page_bits",
+                    value: u64::from(tlb.page_bits),
+                    min: 1,
+                    max: 63,
+                });
+            }
+        }
+        if self.store_buffer_entries == Some(0) {
+            return Err(ConfigError::ZeroField { field: "store_buffer_entries" });
+        }
+        Ok(())
+    }
+}
+
 #[derive(Clone, Copy, Debug)]
 struct PendingPromotion {
     ready_at: u64,
@@ -192,6 +270,20 @@ impl MemoryHierarchy {
             stats: HierarchyStats::default(),
             scratch: Vec::new(),
         }
+    }
+
+    /// Like [`MemoryHierarchy::new`], but validates `cfg` first instead of
+    /// risking a panic or a wedged simulation on an impossible machine.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`ConfigError`] from [`HierarchyConfig::validate`].
+    pub fn try_new(
+        cfg: HierarchyConfig,
+        prefetcher: Box<dyn Prefetcher>,
+    ) -> Result<Self, ConfigError> {
+        cfg.validate()?;
+        Ok(MemoryHierarchy::new(cfg, prefetcher))
     }
 
     /// The hierarchy configuration.
@@ -915,6 +1007,87 @@ mod tests {
             h.access(store(0x10_0000 + i * 4096), 0);
         }
         assert!(h.stats().store_buffer_stall_cycles > 0);
+    }
+
+    #[test]
+    fn validate_accepts_table1_and_variants() {
+        assert_eq!(HierarchyConfig::default().validate(), Ok(()));
+        let victim =
+            HierarchyConfig { victim_cache_entries: Some(8), ..HierarchyConfig::default() };
+        assert_eq!(victim.validate(), Ok(()));
+        let tlb = HierarchyConfig { dtlb: Some(TlbConfig::default()), ..HierarchyConfig::default() };
+        assert_eq!(tlb.validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_impossible_geometries() {
+        // L1 lines wider than L2 lines: an L1 fill would span L2 lines.
+        let cfg = HierarchyConfig {
+            l1d: CacheGeometry::new(32 * 1024, 128, 1),
+            ..HierarchyConfig::default()
+        };
+        assert_eq!(
+            cfg.validate(),
+            Err(ConfigError::LineSizeMismatch { l1_line: 128, l2_line: 64 })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_zero_fields() {
+        for (mk, field) in [
+            (
+                Box::new(|| HierarchyConfig { l1_mshrs: 0, ..HierarchyConfig::default() })
+                    as Box<dyn Fn() -> HierarchyConfig>,
+                "l1_mshrs",
+            ),
+            (
+                Box::new(|| HierarchyConfig { memory_latency: 0, ..HierarchyConfig::default() }),
+                "memory_latency",
+            ),
+            (
+                Box::new(|| HierarchyConfig { l1_bus_cycles: 0, ..HierarchyConfig::default() }),
+                "l1_bus_cycles",
+            ),
+            (
+                Box::new(|| HierarchyConfig {
+                    victim_cache_entries: Some(0),
+                    ..HierarchyConfig::default()
+                }),
+                "victim_cache_entries",
+            ),
+            (
+                Box::new(|| HierarchyConfig {
+                    store_buffer_entries: Some(0),
+                    ..HierarchyConfig::default()
+                }),
+                "store_buffer_entries",
+            ),
+        ] {
+            assert_eq!(mk().validate(), Err(ConfigError::ZeroField { field }));
+        }
+    }
+
+    #[test]
+    fn validate_rejects_bad_tlb() {
+        let cfg = HierarchyConfig {
+            dtlb: Some(TlbConfig { entries: 0, ..TlbConfig::default() }),
+            ..HierarchyConfig::default()
+        };
+        assert!(matches!(cfg.validate(), Err(ConfigError::ZeroField { .. })));
+        let cfg = HierarchyConfig {
+            dtlb: Some(TlbConfig { page_bits: 64, ..TlbConfig::default() }),
+            ..HierarchyConfig::default()
+        };
+        assert!(matches!(cfg.validate(), Err(ConfigError::OutOfRange { .. })));
+    }
+
+    #[test]
+    fn try_new_rejects_invalid_and_accepts_valid() {
+        let bad = HierarchyConfig { l2_latency: 0, ..HierarchyConfig::default() };
+        assert!(MemoryHierarchy::try_new(bad, Box::new(NullPrefetcher)).is_err());
+        let mut h =
+            MemoryHierarchy::try_new(HierarchyConfig::default(), Box::new(NullPrefetcher)).unwrap();
+        assert_eq!(h.access(load(0x1000), 0).serviced_by, ServicedBy::Memory);
     }
 
     #[test]

@@ -33,6 +33,7 @@
 
 mod bus;
 mod cache;
+mod error;
 mod hierarchy;
 mod mshr;
 mod prefetcher;
@@ -43,6 +44,7 @@ mod victim;
 
 pub use bus::Bus;
 pub use cache::{AccessOutcome, Cache, Evicted, LineMeta};
+pub use error::ConfigError;
 pub use hierarchy::{AccessResult, HierarchyConfig, MemoryHierarchy, ServicedBy};
 pub use mshr::MshrFile;
 pub use prefetcher::{L1MissInfo, NullPrefetcher, PrefetchRequest, PrefetchTarget, Prefetcher};

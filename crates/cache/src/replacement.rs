@@ -7,9 +7,10 @@ use tcp_mem::SplitMix64;
 /// The paper's caches are LRU (Table 1); FIFO, Random, and tree-PLRU are
 /// provided for ablation studies and for stress-testing prefetcher
 /// robustness against different eviction orders.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub enum Replacement {
     /// Evict the least-recently-used way (the paper's configuration).
+    #[default]
     Lru,
     /// Evict the oldest-filled way regardless of use.
     Fifo,
@@ -67,12 +68,6 @@ impl Replacement {
                 lo
             }
         }
-    }
-}
-
-impl Default for Replacement {
-    fn default() -> Self {
-        Replacement::Lru
     }
 }
 

@@ -40,7 +40,7 @@ impl TagHistoryTable {
     /// Panics if `sets` is zero, `k` is zero, or `k > 255`.
     pub fn new(sets: u32, k: usize) -> Self {
         assert!(sets > 0, "THT needs at least one set");
-        assert!(k >= 1 && k <= 255, "history length must be in 1..=255");
+        assert!((1..=255).contains(&k), "history length must be in 1..=255");
         TagHistoryTable {
             sets,
             k,

@@ -14,7 +14,7 @@
 use std::collections::HashMap;
 
 use crate::{MicroOp, OpClass};
-use tcp_cache::MemoryHierarchy;
+use tcp_cache::{ConfigError, MemoryHierarchy};
 
 /// Configuration of the out-of-order core (Table 1 defaults).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -69,6 +69,51 @@ impl Default for CoreConfig {
 }
 
 impl CoreConfig {
+    /// Checks that the configuration describes a core the scheduling model
+    /// can simulate: nonzero window, pipeline widths, and functional-unit
+    /// pools, plus a valid I-cache geometry when one is attached.
+    ///
+    /// [`OooCore::new`] and [`SteppedCore::new`] enforce the same
+    /// constraints by panicking; this is the checked form for
+    /// user-reachable paths.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] naming the first offending field.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tcp_cpu::CoreConfig;
+    ///
+    /// assert!(CoreConfig::default().validate().is_ok());
+    /// assert!(CoreConfig { window: 0, ..CoreConfig::default() }.validate().is_err());
+    /// ```
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        for (field, value) in [
+            ("window", self.window as u64),
+            ("fetch_width", u64::from(self.fetch_width)),
+            ("issue_width", u64::from(self.issue_width)),
+            ("commit_width", u64::from(self.commit_width)),
+        ] {
+            if value == 0 {
+                return Err(ConfigError::ZeroField { field });
+            }
+        }
+        if self.fu_counts.contains(&0) {
+            return Err(ConfigError::ZeroField { field: "fu_counts" });
+        }
+        if self.branch_mispredict_pct > 100 {
+            return Err(ConfigError::OutOfRange {
+                field: "branch_mispredict_pct",
+                value: u64::from(self.branch_mispredict_pct),
+                min: 0,
+                max: 100,
+            });
+        }
+        Ok(())
+    }
+
     fn pool_of(class: OpClass) -> usize {
         match class {
             OpClass::IntAlu | OpClass::Branch => 0,
@@ -161,7 +206,7 @@ impl CoreState {
             last_commit: 0,
             issue_slots: CycleBuckets::default(),
             pools: Default::default(),
-            mispredict_rng: tcp_mem::SplitMix64::new(0x0DDB_A11_5EED),
+            mispredict_rng: tcp_mem::SplitMix64::new(0x00DD_BA11_5EED),
             fetch_blocked_until: 0,
             icache: cfg.icache.map(|g| tcp_cache::Cache::new(g, tcp_cache::Replacement::Lru)),
             last_iline: None,
@@ -273,7 +318,7 @@ impl CoreState {
         self.last_commit = target;
         self.commit_ring[slot] = target;
 
-        if (i + 1) % 65536 == 0 {
+        if (i + 1).is_multiple_of(65536) {
             self.issue_slots.prune_below(self.fetch_cycle);
             for p in &mut self.pools {
                 p.prune_below(self.fetch_cycle);
@@ -297,12 +342,9 @@ impl OooCore {
     ///
     /// Panics if the window or any width is zero.
     pub fn new(cfg: CoreConfig) -> Self {
-        assert!(cfg.window > 0, "window must be nonzero");
-        assert!(
-            cfg.fetch_width > 0 && cfg.issue_width > 0 && cfg.commit_width > 0,
-            "pipeline widths must be nonzero"
-        );
-        assert!(cfg.fu_counts.iter().all(|&c| c > 0), "FU pools must be nonzero");
+        if let Err(e) = cfg.validate() {
+            panic!("invalid core configuration: {e}");
+        }
         OooCore { cfg }
     }
 
@@ -379,6 +421,8 @@ pub struct SteppedCore {
     state: CoreState,
     i: u64,
     run: CoreRun,
+    measure_from_ops: u64,
+    measure_from_cycle: u64,
 }
 
 impl SteppedCore {
@@ -392,7 +436,18 @@ impl SteppedCore {
         let core = OooCore::new(cfg); // validates
         let cfg = core.cfg;
         let state = CoreState::new(&cfg);
-        SteppedCore { cfg, state, i: 0, run: CoreRun::default() }
+        SteppedCore { cfg, state, i: 0, run: CoreRun::default(), measure_from_ops: 0, measure_from_cycle: 0 }
+    }
+
+    /// Marks the warm-up boundary: ops and cycles before this call are
+    /// excluded from [`SteppedCore::snapshot`], [`SteppedCore::cycles`],
+    /// and [`SteppedCore::ipc`], mirroring [`OooCore::run_with_warmup`].
+    /// The caller resets hierarchy statistics at the same point.
+    pub fn begin_measurement(&mut self) {
+        self.measure_from_ops = self.i;
+        self.measure_from_cycle = if self.i == 0 { 0 } else { self.state.last_commit };
+        self.run.loads = 0;
+        self.run.stores = 0;
     }
 
     /// Schedules one micro-op.
@@ -406,28 +461,40 @@ impl SteppedCore {
         self.i
     }
 
-    /// Cycles elapsed up to the last committed op.
+    /// Cycles elapsed up to the last committed op, excluding any cycles
+    /// before the [`SteppedCore::begin_measurement`] boundary.
     pub fn cycles(&self) -> u64 {
         if self.i == 0 {
             0
         } else {
-            self.state.last_commit + 1
+            (self.state.last_commit + 1).saturating_sub(self.measure_from_cycle)
         }
     }
 
-    /// IPC so far.
+    /// IPC over the measured window so far.
     pub fn ipc(&self) -> f64 {
         let c = self.cycles();
         if c == 0 {
             0.0
         } else {
-            self.i as f64 / c as f64
+            self.measured_ops() as f64 / c as f64
         }
     }
 
-    /// A [`CoreRun`] snapshot of progress so far.
+    /// Ops executed since the measurement boundary (all ops if
+    /// [`SteppedCore::begin_measurement`] was never called).
+    pub fn measured_ops(&self) -> u64 {
+        self.i.saturating_sub(self.measure_from_ops)
+    }
+
+    /// A [`CoreRun`] snapshot of progress in the measured window.
     pub fn snapshot(&self) -> CoreRun {
-        CoreRun { ops: self.i, cycles: self.cycles(), loads: self.run.loads, stores: self.run.stores }
+        CoreRun {
+            ops: self.measured_ops(),
+            cycles: self.cycles(),
+            loads: self.run.loads,
+            stores: self.run.stores,
+        }
     }
 }
 

@@ -12,7 +12,7 @@ fn main() {
     let ops = (scale.sim_ops / 2).max(100_000);
     for sweep in ablate::run(&benches, ops) {
         let t = ablate::render(&sweep);
-        print!("{}\n", t.render());
-        let _ = t.write_csv(&format!("ablate_{}", sweep.knob.replace(' ', "_").replace('/', "_")));
+        println!("{}", t.render());
+        let _ = t.write_csv(&format!("ablate_{}", sweep.knob.replace([' ', '/'], "_")));
     }
 }

@@ -12,11 +12,11 @@ fn main() {
     let scale = Scale::from_env();
     let benches = suite();
 
-    print!("{}\n", table1::render(&SystemConfig::table1()).render());
+    println!("{}", table1::render(&SystemConfig::table1()).render());
 
     let f1 = fig01::run(&benches, scale.sim_ops);
     let t1 = fig01::render(&f1);
-    print!("{}\n", t1.render());
+    println!("{}", t1.render());
     let _ = t1.write_csv("fig01");
 
     let profiles = characterize::characterize_suite(&benches, scale.trace_ops);
@@ -57,7 +57,7 @@ fn main() {
                 pct(100.0 * p.strided_fraction),
             ]);
         }
-        print!("{}\n", t.render());
+        println!("{}", t.render());
         let _ = t.write_csv("characterization");
     }
 
@@ -73,7 +73,7 @@ fn main() {
 
     let f11 = fig11::run(&benches, scale.sim_ops);
     let t11 = fig11::render(&f11);
-    print!("{}\n", t11.render());
+    println!("{}", t11.render());
     let _ = t11.write_csv("fig11");
 
     let f12 = fig12::run(&benches, scale.sim_ops);
@@ -92,6 +92,6 @@ fn main() {
 
     let f14 = fig14::run(&benches, scale.sim_ops);
     let t14 = fig14::render(&f14);
-    print!("{}\n", t14.render());
+    println!("{}", t14.render());
     let _ = t14.write_csv("fig14");
 }

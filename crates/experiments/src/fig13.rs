@@ -48,7 +48,9 @@ fn full_index_bits(bytes: usize) -> u32 {
 
 fn geomean_ipc(benchmarks: &[Benchmark], n_ops: u64, cfg: TcpConfig) -> f64 {
     let sys = SystemConfig::table1();
-    run_suite_parallel(benchmarks, n_ops, &sys, || Box::new(Tcp::new(cfg))).geomean_ipc()
+    run_suite_parallel(benchmarks, n_ops, &sys, || Box::new(Tcp::new(cfg)))
+        .geomean_ipc()
+        .expect("Figure 13 sweeps run shipped benchmarks on the Table 1 machine")
 }
 
 /// Runs both sweeps.

@@ -88,7 +88,7 @@ impl BarChart {
         let max = self.bars.iter().map(|&(_, v)| v).fold(f64::MIN, f64::max);
         for (label, value) in &self.bars {
             let n = self.scaled(*value, max);
-            let bar: String = std::iter::repeat('█').take(n).collect();
+            let bar = "█".repeat(n);
             let marker = if *value < 0.0 { "▌" } else { "" };
             let _ = writeln!(out, "{label:<label_w$} │{marker}{bar} {value:.1}");
         }

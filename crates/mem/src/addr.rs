@@ -144,7 +144,7 @@ impl Tag {
     ///
     /// Panics if `bits` is zero or greater than 64.
     pub fn truncate(self, bits: u32) -> Tag {
-        assert!(bits >= 1 && bits <= 64, "tag width must be in 1..=64");
+        assert!((1..=64).contains(&bits), "tag width must be in 1..=64");
         if bits == 64 {
             self
         } else {

@@ -51,7 +51,7 @@ impl CacheGeometry {
         assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
         let lines = size_bytes / line_bytes;
         assert!(
-            lines >= u64::from(associativity) && lines % u64::from(associativity) == 0,
+            lines >= u64::from(associativity) && lines.is_multiple_of(u64::from(associativity)),
             "size/line/associativity are inconsistent"
         );
         let num_sets = lines / u64::from(associativity);

@@ -1,6 +1,6 @@
 //! The simulated machine configuration (Table 1 of the paper).
 
-use tcp_cache::HierarchyConfig;
+use tcp_cache::{ConfigError, HierarchyConfig};
 use tcp_cpu::CoreConfig;
 
 /// Complete machine description: core plus memory hierarchy.
@@ -48,6 +48,41 @@ impl SystemConfig {
         cfg.hierarchy.separate_prefetch_bus = true;
         cfg
     }
+
+    /// Checks that this machine can be simulated: the core and hierarchy
+    /// validate themselves ([`CoreConfig::validate`],
+    /// [`HierarchyConfig::validate`] — power-of-two geometries, L1 line ≤
+    /// L2 line, nonzero latencies/MSHRs/widths) and the reporting clock
+    /// must be a positive finite number.
+    ///
+    /// [`crate::try_run_benchmark`] calls this before building the
+    /// machine, so an impossible configuration surfaces as a typed
+    /// [`ConfigError`] instead of a panic or a wedged run deep inside the
+    /// timing model.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] found, core first, then
+    /// hierarchy, then system-level fields.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tcp_sim::SystemConfig;
+    ///
+    /// assert!(SystemConfig::table1().validate().is_ok());
+    /// let mut broken = SystemConfig::table1();
+    /// broken.hierarchy.l1_mshrs = 0;
+    /// assert!(broken.validate().is_err());
+    /// ```
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        self.core.validate()?;
+        self.hierarchy.validate()?;
+        if !(self.clock_ghz > 0.0 && self.clock_ghz.is_finite()) {
+            return Err(ConfigError::NotPositiveFinite { field: "clock_ghz" });
+        }
+        Ok(())
+    }
 }
 
 impl Default for SystemConfig {
@@ -83,5 +118,36 @@ mod tests {
     fn variants_flip_expected_flags() {
         assert!(SystemConfig::table1_ideal_l2().hierarchy.ideal_l2);
         assert!(SystemConfig::table1_with_prefetch_bus().hierarchy.separate_prefetch_bus);
+    }
+
+    #[test]
+    fn all_shipped_configs_validate() {
+        for cfg in [
+            SystemConfig::table1(),
+            SystemConfig::table1_ideal_l2(),
+            SystemConfig::table1_with_prefetch_bus(),
+        ] {
+            assert_eq!(cfg.validate(), Ok(()));
+        }
+    }
+
+    #[test]
+    fn validate_catches_each_layer() {
+        let mut core_bad = SystemConfig::table1();
+        core_bad.core.window = 0;
+        assert_eq!(core_bad.validate(), Err(ConfigError::ZeroField { field: "window" }));
+
+        let mut hier_bad = SystemConfig::table1();
+        hier_bad.hierarchy.memory_latency = 0;
+        assert_eq!(hier_bad.validate(), Err(ConfigError::ZeroField { field: "memory_latency" }));
+
+        let mut clock_bad = SystemConfig::table1();
+        clock_bad.clock_ghz = f64::NAN;
+        assert_eq!(
+            clock_bad.validate(),
+            Err(ConfigError::NotPositiveFinite { field: "clock_ghz" })
+        );
+        clock_bad.clock_ghz = 0.0;
+        assert!(clock_bad.validate().is_err());
     }
 }

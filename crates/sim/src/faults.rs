@@ -1,0 +1,240 @@
+//! Fault-injection inputs for exercising the resilient runner.
+//!
+//! Everything here is a deliberately degenerate input — a benchmark that
+//! panics mid-run, a machine that wedges, trace bytes with a lying
+//! header — built so tests (and the `fault_injection` example) can prove
+//! that the suite runners isolate failures instead of aborting, that the
+//! [`crate::Watchdog`] catches runs with no forward progress, and that
+//! [`tcp_analysis::read_trace`] rejects corruption with typed errors
+//! rather than huge allocations or garbage records.
+//!
+//! None of these inputs are used by the experiment harness; they exist
+//! purely to attack the simulator from the outside.
+
+use crate::{RunResult, SystemConfig};
+use tcp_analysis::{write_trace, MissRecord};
+use tcp_mem::{Addr, CacheGeometry};
+use tcp_workloads::{Benchmark, KernelSpec, WorkloadSpec};
+
+/// A benchmark whose workload generator panics on its first micro-op.
+///
+/// The spec has an empty phase list, so the generator's weighted phase
+/// pick divides by a zero total weight and panics deep inside
+/// `tcp-workloads` — a stand-in for any internal invariant violation. The
+/// suite runners must record this as [`crate::RunOutcome::Failed`]
+/// without disturbing the benchmarks around it.
+pub fn panicking_benchmark() -> Benchmark {
+    // Built as a literal: `WorkloadSpec::new` rejects an empty phase list
+    // up front, and the whole point here is a spec that passes
+    // construction but detonates during generation.
+    let spec = WorkloadSpec {
+        phases: Vec::new(),
+        compute_per_mem: 2.0,
+        store_pct: 10,
+        burst: 2048,
+        fp_pct: 30,
+        seed: 0,
+    };
+    Benchmark {
+        name: "fault-panic",
+        description: "Deliberately broken workload: zero total phase weight panics the \
+                      generator on its first op.",
+        spec,
+    }
+}
+
+/// A machine configuration that passes [`SystemConfig::validate`] but
+/// makes no meaningful forward progress: a 25-million-cycle memory with a
+/// single MSHR serialises every miss, so cycles-per-committed-op exceeds
+/// any sane watchdog cap within the first checkpoint interval.
+pub fn wedged_config() -> SystemConfig {
+    let mut cfg = SystemConfig::table1();
+    cfg.hierarchy.memory_latency = 25_000_000;
+    cfg.hierarchy.l1_mshrs = 1;
+    cfg
+}
+
+/// Adversarial-but-valid benchmarks: miss streams built to be as hostile
+/// to a correlating prefetcher (and to the hierarchy's corner cases) as
+/// the kernel vocabulary allows. All of them must *complete* under the
+/// default watchdog on the Table 1 machine — they stress, not wedge.
+pub fn adversarial_suite() -> Vec<Benchmark> {
+    const MB: u64 = 1024 * 1024;
+    let bench = |name, description, spec| Benchmark { name, description, spec };
+    vec![
+        bench(
+            "fault-random-flood",
+            "Uniformly random loads over 64 MB: every access a fresh line, zero \
+             correlation for any predictor to latch onto.",
+            WorkloadSpec::new(
+                vec![(KernelSpec::RandomAccess { base: 0x0400_0000, len: 64 * MB }, 1)],
+                0xDEAD_BEEF,
+            )
+            .with_compute_per_mem(0.5),
+        ),
+        bench(
+            "fault-conflict-storm",
+            "Thousands of tags rotating through a single cache set: worst-case \
+             conflict pressure on a direct-mapped L1.",
+            WorkloadSpec::new(
+                vec![(
+                    KernelSpec::ConflictLoop {
+                        base: 0x0800_0000,
+                        tags_in_rotation: 4_096,
+                        sets_spanned: 1,
+                    },
+                    1,
+                )],
+                0xBAD_CAFE,
+            )
+            .with_compute_per_mem(0.5),
+        ),
+        bench(
+            "fault-noisy-chase",
+            "A dependent pointer chase whose every other step detours randomly: \
+             serialised misses with maximal sequence noise.",
+            WorkloadSpec::new(
+                vec![(
+                    KernelSpec::PointerChase {
+                        base: 0x0C00_0000,
+                        nodes: 1 << 16,
+                        node_bytes: 64,
+                        shuffle_seed: 7,
+                        noise_pct: 50,
+                    },
+                    1,
+                )],
+                0xFEED_FACE,
+            )
+            .with_compute_per_mem(0.5),
+        ),
+    ]
+}
+
+/// A synthetic baseline result with zero IPC, for driving the
+/// [`crate::try_ipc_improvement`] error path without simulating anything.
+pub fn zero_ipc_baseline(benchmark: &str) -> RunResult {
+    RunResult {
+        benchmark: benchmark.to_owned(),
+        prefetcher: "none".to_owned(),
+        prefetcher_bytes: 0,
+        ipc: 0.0,
+        cycles: 0,
+        ops: 0,
+        stats: Default::default(),
+    }
+}
+
+/// A well-formed serialized miss trace with `n` records, as a starting
+/// point for [`corrupt_trace`].
+pub fn healthy_trace_bytes(n: usize) -> Vec<u8> {
+    let geom = CacheGeometry::new(32 * 1024, 32, 1);
+    let records: Vec<MissRecord> = (0..n as u64)
+        .map(|i| {
+            let addr = Addr::new(0x0400_0000 + i * 64);
+            let (tag, set) = geom.split(addr);
+            MissRecord { addr, line: geom.line_addr(addr), tag, set, pc: Addr::new(0x400 + i * 4) }
+        })
+        .collect();
+    let mut buf = Vec::new();
+    write_trace(&mut buf, &records).expect("writing to a Vec cannot fail");
+    buf
+}
+
+/// The trace corruptions [`corrupt_trace`] can inject, mirroring the
+/// [`tcp_analysis::TraceError`] variants they should provoke.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceFault {
+    /// Overwrite the 4-byte magic — must yield `TraceError::BadMagic`.
+    BadMagic,
+    /// Bump the format version byte — must yield
+    /// `TraceError::UnsupportedVersion`.
+    BadVersion,
+    /// Cut the byte stream mid-record — must yield
+    /// `TraceError::Truncated`.
+    TruncatePayload,
+    /// Rewrite the header's record count to `u64::MAX` while leaving the
+    /// payload alone: a lying header that must fail fast as
+    /// `TraceError::Truncated` without a giant up-front allocation.
+    LyingCount,
+}
+
+/// Applies `fault` in place to serialized trace bytes (layout: 4-byte
+/// magic, 1-byte version, 8-byte little-endian count, 16-byte records).
+///
+/// # Panics
+///
+/// Panics if `bytes` is shorter than a trace header (13 bytes) — corrupt
+/// a [`healthy_trace_bytes`] buffer, not arbitrary data.
+pub fn corrupt_trace(bytes: &mut Vec<u8>, fault: TraceFault) {
+    assert!(bytes.len() >= 13, "need at least a full trace header to corrupt");
+    match fault {
+        TraceFault::BadMagic => bytes[0..4].copy_from_slice(b"XXXX"),
+        TraceFault::BadVersion => bytes[4] = 0xFF,
+        TraceFault::TruncatePayload => {
+            let cut = 13 + 8; // half of the first record
+            bytes.truncate(cut.min(bytes.len().saturating_sub(1)));
+        }
+        TraceFault::LyingCount => bytes[5..13].copy_from_slice(&u64::MAX.to_le_bytes()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcp_analysis::{read_trace, TraceError};
+
+    #[test]
+    fn healthy_bytes_round_trip() {
+        let geom = CacheGeometry::new(32 * 1024, 32, 1);
+        let buf = healthy_trace_bytes(10);
+        let back = read_trace(buf.as_slice(), geom).unwrap();
+        assert_eq!(back.len(), 10);
+    }
+
+    #[test]
+    fn each_fault_provokes_its_error() {
+        let geom = CacheGeometry::new(32 * 1024, 32, 1);
+        for fault in
+            [TraceFault::BadMagic, TraceFault::BadVersion, TraceFault::TruncatePayload, TraceFault::LyingCount]
+        {
+            let mut buf = healthy_trace_bytes(10);
+            corrupt_trace(&mut buf, fault);
+            let err = read_trace(buf.as_slice(), geom).unwrap_err();
+            let matches = match fault {
+                TraceFault::BadMagic => matches!(err, TraceError::BadMagic { .. }),
+                TraceFault::BadVersion => matches!(err, TraceError::UnsupportedVersion { .. }),
+                TraceFault::TruncatePayload | TraceFault::LyingCount => {
+                    matches!(err, TraceError::Truncated { .. })
+                }
+            };
+            assert!(matches, "{fault:?} gave {err}");
+        }
+    }
+
+    #[test]
+    fn lying_count_is_declared_max() {
+        let geom = CacheGeometry::new(32 * 1024, 32, 1);
+        let mut buf = healthy_trace_bytes(4);
+        corrupt_trace(&mut buf, TraceFault::LyingCount);
+        match read_trace(buf.as_slice(), geom).unwrap_err() {
+            TraceError::Truncated { declared, read } => {
+                assert_eq!(declared, u64::MAX);
+                assert_eq!(read, 4);
+            }
+            other => panic!("expected Truncated, got {other}"),
+        }
+    }
+
+    #[test]
+    fn wedged_config_is_valid_yet_hostile() {
+        let cfg = wedged_config();
+        assert_eq!(cfg.validate(), Ok(()));
+        assert_eq!(cfg.hierarchy.l1_mshrs, 1);
+    }
+
+    #[test]
+    fn zero_ipc_baseline_is_degenerate() {
+        assert_eq!(zero_ipc_baseline("gzip").ipc, 0.0);
+    }
+}

@@ -6,6 +6,21 @@
 //! one run, and provides the suite-level driver the experiment harness
 //! uses for Figures 1 and 11–14.
 //!
+//! # Fault tolerance
+//!
+//! The runner comes in two tiers. The classic functions
+//! ([`run_benchmark`], [`ipc_improvement`]) panic on bad input, which is
+//! right for the experiment harness where every configuration is shipped
+//! and known-good. The checked tier ([`try_run_benchmark`],
+//! [`try_ipc_improvement`]) validates the machine first
+//! ([`SystemConfig::validate`]), supervises forward progress with a
+//! [`Watchdog`], and returns typed [`SimError`]s. The suite runners
+//! ([`run_suite`], [`run_suite_parallel`]) build on the checked tier and
+//! additionally isolate each benchmark behind a panic boundary: a
+//! degenerate workload becomes a [`RunOutcome::Failed`] entry in the
+//! [`SuiteResult`] while the remaining benchmarks complete. The [`faults`]
+//! module provides deliberately broken inputs for exercising all of this.
+//!
 //! # Examples
 //!
 //! ```
@@ -22,9 +37,16 @@
 #![warn(missing_docs)]
 
 mod config;
+mod error;
+pub mod faults;
 mod runner;
 mod simulation;
 
 pub use config::SystemConfig;
+pub use error::{ConfigError, RunError, SimError, TraceError};
 pub use simulation::{Simulation, StepProgress};
-pub use runner::{ipc_improvement, map_benchmarks_parallel, run_benchmark, run_benchmark_warm, run_suite, run_suite_parallel, RunResult, SuiteResult};
+pub use runner::{
+    ipc_improvement, map_benchmarks_parallel, run_benchmark, run_benchmark_warm, run_suite,
+    run_suite_parallel, try_ipc_improvement, try_run_benchmark, try_run_benchmark_warm,
+    RunOutcome, RunResult, SuiteResult, Watchdog,
+};

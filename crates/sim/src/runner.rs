@@ -1,9 +1,28 @@
 //! Run driver: one benchmark × one prefetcher → timing and traffic
 //! results; suite driver for all 26 benchmarks.
+//!
+//! Two tiers of API live here:
+//!
+//! * the classic panicking runners ([`run_benchmark`],
+//!   [`run_benchmark_warm`], [`ipc_improvement`]) used by the experiment
+//!   harness where inputs are known-good; and
+//! * the fault-tolerant tier ([`try_run_benchmark`],
+//!   [`try_run_benchmark_warm`], [`try_ipc_improvement`]) that validates
+//!   the machine first, supervises forward progress with a [`Watchdog`],
+//!   and returns typed [`SimError`]s instead of panicking.
+//!
+//! The suite runners ([`run_suite`], [`run_suite_parallel`]) sit on the
+//! fault-tolerant tier: every benchmark executes inside a panic boundary
+//! and its result is recorded as a [`RunOutcome`], so one degenerate
+//! workload produces a structured `Failed` entry instead of aborting the
+//! other 25 benchmarks.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use crate::error::{RunError, SimError};
 use crate::SystemConfig;
 use tcp_cache::{HierarchyStats, MemoryHierarchy, Prefetcher};
-use tcp_cpu::OooCore;
+use tcp_cpu::{OooCore, SteppedCore};
 use tcp_workloads::Benchmark;
 
 /// The outcome of simulating one benchmark with one prefetcher.
@@ -25,8 +44,46 @@ pub struct RunResult {
     pub stats: HierarchyStats,
 }
 
+/// Forward-progress supervision for a run.
+///
+/// A healthy Table 1 machine commits an op every couple of cycles; even a
+/// pathological all-miss stream with full MSHR stalls stays well under a
+/// few hundred cycles per committed op. A run whose cycles-per-op ratio
+/// blows past [`Watchdog::max_cycles_per_op`] is wedged — a degenerate
+/// configuration or adversarial workload has effectively stopped the
+/// machine — and is aborted with [`RunError::Wedged`] instead of spinning.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Watchdog {
+    /// Abort when `cycles > max_cycles_per_op × committed ops` at a
+    /// checkpoint.
+    pub max_cycles_per_op: u64,
+    /// Ops between checkpoints. Smaller intervals catch wedges sooner and
+    /// cost a little more bookkeeping.
+    pub check_interval_ops: u64,
+}
+
+impl Default for Watchdog {
+    /// 10 000 cycles per committed op, checked every 8 192 ops: two
+    /// orders of magnitude above any physically meaningful machine, so
+    /// real configurations never trip it.
+    fn default() -> Self {
+        Watchdog { max_cycles_per_op: 10_000, check_interval_ops: 8_192 }
+    }
+}
+
+impl Watchdog {
+    /// A watchdog with the given cycles-per-op cap and the default
+    /// checkpoint interval.
+    pub fn with_max_cycles_per_op(max_cycles_per_op: u64) -> Self {
+        Watchdog { max_cycles_per_op, ..Watchdog::default() }
+    }
+}
+
 /// Simulates `bench` for `n_ops` micro-ops on the machine `cfg` with the
 /// given prefetch engine.
+///
+/// This is the classic panicking form; [`try_run_benchmark`] is the
+/// checked equivalent.
 ///
 /// # Examples
 ///
@@ -67,55 +124,285 @@ pub fn run_benchmark_warm(
     }
 }
 
+/// Checked run: validates `cfg`, then simulates `bench` for `n_ops`
+/// micro-ops under the default [`Watchdog`] (with the usual half-length
+/// warm-up), returning typed errors instead of panicking or spinning.
+///
+/// # Errors
+///
+/// [`SimError::Config`] when the machine cannot exist and
+/// [`SimError::Run`] ([`RunError::Wedged`]) when the watchdog aborts a
+/// run that stopped making forward progress.
+///
+/// # Examples
+///
+/// ```
+/// use tcp_sim::{try_run_benchmark, SystemConfig};
+/// use tcp_cache::NullPrefetcher;
+/// use tcp_workloads::suite;
+///
+/// let bench = &suite()[0];
+/// let ok = try_run_benchmark(bench, 10_000, &SystemConfig::table1(), Box::new(NullPrefetcher));
+/// assert!(ok.is_ok());
+///
+/// let mut broken = SystemConfig::table1();
+/// broken.hierarchy.l1_mshrs = 0;
+/// let err = try_run_benchmark(bench, 10_000, &broken, Box::new(NullPrefetcher));
+/// assert!(err.is_err());
+/// ```
+pub fn try_run_benchmark(
+    bench: &Benchmark,
+    n_ops: u64,
+    cfg: &SystemConfig,
+    prefetcher: Box<dyn Prefetcher>,
+) -> Result<RunResult, SimError> {
+    try_run_benchmark_warm(bench, n_ops / 2, n_ops, cfg, prefetcher, &Watchdog::default())
+}
+
+/// Checked run with explicit warm-up and watchdog. Produces results
+/// identical to [`run_benchmark_warm`] for healthy runs (both drive the
+/// same scheduling state op by op).
+///
+/// # Errors
+///
+/// See [`try_run_benchmark`].
+pub fn try_run_benchmark_warm(
+    bench: &Benchmark,
+    warmup_ops: u64,
+    n_ops: u64,
+    cfg: &SystemConfig,
+    prefetcher: Box<dyn Prefetcher>,
+    watchdog: &Watchdog,
+) -> Result<RunResult, SimError> {
+    cfg.validate()?;
+    let name = prefetcher.name().to_owned();
+    let bytes = prefetcher.storage_bytes();
+    let mut hierarchy = MemoryHierarchy::new(cfg.hierarchy.clone(), prefetcher);
+    let mut core = SteppedCore::new(cfg.core.clone());
+    let gen = bench.generator(warmup_ops + n_ops);
+    let interval = watchdog.check_interval_ops.max(1);
+    let mut i: u64 = 0;
+    for op in gen {
+        if i == warmup_ops && warmup_ops > 0 {
+            core.begin_measurement();
+            hierarchy.reset_stats();
+        }
+        core.step(op, &mut hierarchy);
+        i += 1;
+        if i.is_multiple_of(interval) {
+            let (ops, cycles) = (core.measured_ops(), core.cycles());
+            if cycles > watchdog.max_cycles_per_op.saturating_mul(ops.max(1)) {
+                return Err(RunError::Wedged {
+                    benchmark: bench.name.to_owned(),
+                    ops,
+                    cycles,
+                    max_cycles_per_op: watchdog.max_cycles_per_op,
+                }
+                .into());
+            }
+        }
+    }
+    let mut run = core.snapshot();
+    // Mirror the batch runner's accounting for the degenerate all-warmup
+    // case (measurement boundary never crossed): zero measured ops, not
+    // the whole warmup.
+    run.ops = i.saturating_sub(warmup_ops.min(i));
+    let stats = hierarchy.finalize();
+    Ok(RunResult {
+        benchmark: bench.name.to_owned(),
+        prefetcher: name,
+        prefetcher_bytes: bytes,
+        ipc: run.ipc(),
+        cycles: run.cycles,
+        ops: run.ops,
+        stats,
+    })
+}
+
 /// IPC improvement of `new` over `base`, in percent (the y-axis of
 /// Figures 1, 11, and 14).
+///
+/// # Errors
+///
+/// [`RunError::ZeroBaselineIpc`] (as [`SimError::Run`]) when `base.ipc`
+/// is not positive — the ratio would be meaningless.
+///
+/// # Examples
+///
+/// ```
+/// # use tcp_sim::{try_ipc_improvement, RunResult};
+/// # use tcp_cache::HierarchyStats;
+/// # fn result(ipc: f64) -> RunResult {
+/// #     RunResult { benchmark: "b".into(), prefetcher: "p".into(), prefetcher_bytes: 0,
+/// #                 ipc, cycles: 1, ops: 1, stats: HierarchyStats::default() }
+/// # }
+/// assert!((try_ipc_improvement(&result(1.0), &result(1.2)).unwrap() - 20.0).abs() < 1e-9);
+/// assert!(try_ipc_improvement(&result(0.0), &result(1.2)).is_err());
+/// ```
+pub fn try_ipc_improvement(base: &RunResult, new: &RunResult) -> Result<f64, SimError> {
+    if base.ipc > 0.0 {
+        Ok((new.ipc / base.ipc - 1.0) * 100.0)
+    } else {
+        Err(RunError::ZeroBaselineIpc { benchmark: base.benchmark.clone() }.into())
+    }
+}
+
+/// Panicking form of [`try_ipc_improvement`], for harness code with
+/// known-good baselines.
+///
+/// # Panics
+///
+/// Panics if `base.ipc` is not positive.
 pub fn ipc_improvement(base: &RunResult, new: &RunResult) -> f64 {
-    assert!(base.ipc > 0.0, "baseline IPC must be positive");
-    (new.ipc / base.ipc - 1.0) * 100.0
+    try_ipc_improvement(base, new)
+        .unwrap_or_else(|e| panic!("baseline IPC must be positive: {e}"))
+}
+
+/// The recorded fate of one benchmark inside a suite run.
+#[derive(Debug)]
+pub enum RunOutcome {
+    /// The benchmark simulated to completion.
+    Ok(RunResult),
+    /// The benchmark failed; the rest of the suite was unaffected.
+    Failed {
+        /// Benchmark that failed.
+        benchmark: String,
+        /// Why it failed (panic, wedge, or invalid configuration).
+        reason: SimError,
+    },
+}
+
+impl RunOutcome {
+    /// The successful result, if any.
+    pub fn ok(&self) -> Option<&RunResult> {
+        match self {
+            RunOutcome::Ok(r) => Some(r),
+            RunOutcome::Failed { .. } => None,
+        }
+    }
+
+    /// The benchmark name, for either outcome.
+    pub fn benchmark(&self) -> &str {
+        match self {
+            RunOutcome::Ok(r) => &r.benchmark,
+            RunOutcome::Failed { benchmark, .. } => benchmark,
+        }
+    }
 }
 
 /// Results for a whole suite under one prefetcher configuration.
-#[derive(Clone, Debug, Default)]
+///
+/// Holds one [`RunOutcome`] per requested benchmark, in suite order: a
+/// suite run completes (and aggregates over its healthy members) even
+/// when individual benchmarks fail.
+#[derive(Debug, Default)]
 pub struct SuiteResult {
-    /// Per-benchmark results, in suite order.
-    pub runs: Vec<RunResult>,
+    /// Per-benchmark outcomes, in suite order.
+    pub outcomes: Vec<RunOutcome>,
 }
 
 impl SuiteResult {
-    /// Geometric mean IPC over the suite.
-    pub fn geomean_ipc(&self) -> f64 {
-        let v: Vec<f64> = self.runs.iter().map(|r| r.ipc).collect();
-        tcp_analysis_geomean(&v)
+    /// Successful per-benchmark results, in suite order.
+    pub fn runs(&self) -> impl Iterator<Item = &RunResult> {
+        self.outcomes.iter().filter_map(RunOutcome::ok)
+    }
+
+    /// Failed benchmarks with their errors, in suite order.
+    pub fn failures(&self) -> impl Iterator<Item = (&str, &SimError)> {
+        self.outcomes.iter().filter_map(|o| match o {
+            RunOutcome::Failed { benchmark, reason } => Some((benchmark.as_str(), reason)),
+            RunOutcome::Ok(_) => None,
+        })
+    }
+
+    /// Number of benchmarks that completed.
+    pub fn ok_count(&self) -> usize {
+        self.runs().count()
+    }
+
+    /// Number of benchmarks that failed.
+    pub fn failed_count(&self) -> usize {
+        self.outcomes.len() - self.ok_count()
+    }
+
+    /// Geometric mean IPC over the suite's successful runs, or `None`
+    /// when it is undefined: no successful runs, or a run with
+    /// non-positive (or non-finite) IPC.
+    pub fn geomean_ipc(&self) -> Option<f64> {
+        let ipcs: Vec<f64> = self.runs().map(|r| r.ipc).collect();
+        if ipcs.is_empty() || ipcs.iter().any(|&v| !(v > 0.0 && v.is_finite())) {
+            return None;
+        }
+        let log_sum: f64 = ipcs.iter().map(|v| v.ln()).sum();
+        Some((log_sum / ipcs.len() as f64).exp())
     }
 
     /// Finds the result for a benchmark by name.
     pub fn get(&self, benchmark: &str) -> Option<&RunResult> {
-        self.runs.iter().find(|r| r.benchmark == benchmark)
+        self.runs().find(|r| r.benchmark == benchmark)
     }
 
-    /// Geometric-mean IPC improvement over `base`, in percent.
-    pub fn geomean_improvement(&self, base: &SuiteResult) -> f64 {
-        (self.geomean_ipc() / base.geomean_ipc() - 1.0) * 100.0
+    /// Geometric-mean IPC improvement over `base`, in percent, or `None`
+    /// when either suite's geomean is undefined (empty suite, zero or
+    /// non-finite IPC anywhere).
+    pub fn geomean_improvement(&self, base: &SuiteResult) -> Option<f64> {
+        match (self.geomean_ipc(), base.geomean_ipc()) {
+            (Some(new), Some(base)) => Some((new / base - 1.0) * 100.0),
+            _ => None,
+        }
     }
 }
 
-// Small local geomean to avoid a dependency cycle with tcp-analysis.
-fn tcp_analysis_geomean(values: &[f64]) -> f64 {
-    if values.is_empty() {
-        return 0.0;
+/// Renders a panic payload as text for [`RunError::Panicked`].
+fn panic_reason(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
     }
-    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
-    (log_sum / values.len() as f64).exp()
+}
+
+/// Runs one benchmark inside a panic boundary with validation and the
+/// default watchdog, converting every failure mode into a [`RunOutcome`].
+fn protected_run(
+    bench: &Benchmark,
+    n_ops: u64,
+    cfg: &SystemConfig,
+    factory: impl FnOnce() -> Box<dyn Prefetcher>,
+) -> RunOutcome {
+    // AssertUnwindSafe: on panic the per-run core, hierarchy, and
+    // prefetcher are discarded wholesale, so no witness of broken
+    // invariants survives the boundary.
+    let caught = catch_unwind(AssertUnwindSafe(|| {
+        try_run_benchmark_warm(bench, n_ops / 2, n_ops, cfg, factory(), &Watchdog::default())
+    }));
+    match caught {
+        Ok(Ok(result)) => RunOutcome::Ok(result),
+        Ok(Err(reason)) => RunOutcome::Failed { benchmark: bench.name.to_owned(), reason },
+        Err(payload) => RunOutcome::Failed {
+            benchmark: bench.name.to_owned(),
+            reason: RunError::Panicked {
+                benchmark: bench.name.to_owned(),
+                reason: panic_reason(payload),
+            }
+            .into(),
+        },
+    }
 }
 
 /// Runs every benchmark in `benchmarks` for `n_ops` micro-ops, building a
-/// fresh prefetcher per benchmark from `factory`.
+/// fresh prefetcher per benchmark from `factory`. Each benchmark runs
+/// inside a panic boundary: a failing benchmark yields a
+/// [`RunOutcome::Failed`] entry while the others complete normally.
 pub fn run_suite<F>(benchmarks: &[Benchmark], n_ops: u64, cfg: &SystemConfig, factory: F) -> SuiteResult
 where
     F: Fn() -> Box<dyn Prefetcher>,
 {
-    let runs = benchmarks.iter().map(|b| run_benchmark(b, n_ops, cfg, factory())).collect();
-    SuiteResult { runs }
+    let outcomes =
+        benchmarks.iter().map(|b| protected_run(b, n_ops, cfg, &factory)).collect();
+    SuiteResult { outcomes }
 }
 
 /// Applies `f` to every benchmark on worker threads, preserving order.
@@ -123,6 +410,12 @@ where
 /// harness's per-figure fan-out: each benchmark's simulations are
 /// independent and deterministic, so parallelism changes only wall-clock
 /// time.
+///
+/// A panic inside `f` does not abort the other benchmarks: every
+/// remaining benchmark still runs, and the first panic (in suite order)
+/// is re-raised once all workers have finished. Callers who need panics
+/// recorded rather than propagated should catch them inside `f` — see
+/// [`run_suite_parallel`], which maps benchmarks to [`RunOutcome`]s.
 pub fn map_benchmarks_parallel<T, F>(benchmarks: &[Benchmark], f: F) -> Vec<T>
 where
     T: Send,
@@ -130,8 +423,8 @@ where
 {
     let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let mut slots: Vec<Option<T>> = benchmarks.iter().map(|_| None).collect();
-    let slot_cells: Vec<std::sync::Mutex<&mut Option<T>>> =
+    let mut slots: Vec<Option<std::thread::Result<T>>> = benchmarks.iter().map(|_| None).collect();
+    let slot_cells: Vec<std::sync::Mutex<&mut Option<std::thread::Result<T>>>> =
         slots.iter_mut().map(std::sync::Mutex::new).collect();
     std::thread::scope(|scope| {
         for _ in 0..threads.min(benchmarks.len().max(1)) {
@@ -140,13 +433,32 @@ where
                 if i >= benchmarks.len() {
                     break;
                 }
-                let result = f(&benchmarks[i]);
-                **slot_cells[i].lock().expect("slot lock") = Some(result);
+                let result = catch_unwind(AssertUnwindSafe(|| f(&benchmarks[i])));
+                // A poisoned slot lock can only mean a panic between lock
+                // and store below — the value is still absent, and the
+                // owning iteration's panic is already recorded, so taking
+                // the lock anyway is sound.
+                **slot_cells[i].lock().unwrap_or_else(|p| p.into_inner()) = Some(result);
             });
         }
     });
     drop(slot_cells);
-    slots.into_iter().map(|r| r.expect("every benchmark processed")).collect()
+    let mut out = Vec::with_capacity(benchmarks.len());
+    let mut first_panic = None;
+    for slot in slots {
+        match slot.expect("every benchmark processed") {
+            Ok(v) => out.push(v),
+            Err(payload) => {
+                if first_panic.is_none() {
+                    first_panic = Some(payload);
+                }
+            }
+        }
+    }
+    if let Some(payload) = first_panic {
+        std::panic::resume_unwind(payload);
+    }
+    out
 }
 
 /// Like [`run_suite`] but simulating benchmarks on worker threads.
@@ -155,6 +467,11 @@ where
 /// changes. The prefetcher factory must be callable from any thread and
 /// produce thread-transferable engines — every engine in this workspace
 /// qualifies.
+///
+/// Fault tolerance: each benchmark runs inside a panic boundary with
+/// config validation and the default [`Watchdog`]. A benchmark that
+/// panics, wedges, or cannot be configured becomes a
+/// [`RunOutcome::Failed`] entry; the suite itself always returns.
 pub fn run_suite_parallel<F>(
     benchmarks: &[Benchmark],
     n_ops: u64,
@@ -164,25 +481,10 @@ pub fn run_suite_parallel<F>(
 where
     F: Fn() -> Box<dyn Prefetcher + Send> + Sync,
 {
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let mut slots: Vec<Option<RunResult>> = benchmarks.iter().map(|_| None).collect();
-    let slot_cells: Vec<std::sync::Mutex<&mut Option<RunResult>>> =
-        slots.iter_mut().map(std::sync::Mutex::new).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..threads.min(benchmarks.len()) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= benchmarks.len() {
-                    break;
-                }
-                let result = run_benchmark(&benchmarks[i], n_ops, cfg, factory());
-                **slot_cells[i].lock().expect("slot lock") = Some(result);
-            });
-        }
+    let outcomes = map_benchmarks_parallel(benchmarks, |b| {
+        protected_run(b, n_ops, cfg, || factory() as Box<dyn Prefetcher>)
     });
-    drop(slot_cells);
-    SuiteResult { runs: slots.into_iter().map(|r| r.expect("every benchmark ran")).collect() }
+    SuiteResult { outcomes }
 }
 
 #[cfg(test)]
@@ -211,6 +513,72 @@ mod tests {
         let r2 = run_benchmark(&b, TEST_OPS, &SystemConfig::table1(), Box::new(NullPrefetcher));
         assert_eq!(r1.cycles, r2.cycles);
         assert_eq!(r1.stats, r2.stats);
+    }
+
+    #[test]
+    fn checked_runner_matches_batch_runner_exactly() {
+        let b = suite().into_iter().find(|b| b.name == "gzip").unwrap();
+        let cfg = SystemConfig::table1();
+        let batch = run_benchmark(&b, TEST_OPS, &cfg, Box::new(NullPrefetcher));
+        let checked = try_run_benchmark(&b, TEST_OPS, &cfg, Box::new(NullPrefetcher)).unwrap();
+        assert_eq!(batch.cycles, checked.cycles);
+        assert_eq!(batch.ops, checked.ops);
+        assert_eq!(batch.stats, checked.stats);
+        assert_eq!(batch.ipc, checked.ipc);
+    }
+
+    #[test]
+    fn checked_runner_matches_batch_runner_with_explicit_warmup() {
+        let b = suite().into_iter().find(|b| b.name == "art").unwrap();
+        let cfg = SystemConfig::table1();
+        // Includes the degenerate all-warmup window (n_ops = 0), where
+        // both runners must report zero measured ops.
+        for (warmup, n_ops) in [(0u64, 30_000u64), (10_000, 30_000), (10_000, 0)] {
+            let batch = run_benchmark_warm(&b, warmup, n_ops, &cfg, Box::new(NullPrefetcher));
+            let checked = try_run_benchmark_warm(
+                &b,
+                warmup,
+                n_ops,
+                &cfg,
+                Box::new(NullPrefetcher),
+                &Watchdog::default(),
+            )
+            .unwrap();
+            assert_eq!(batch.cycles, checked.cycles, "warmup {warmup} n_ops {n_ops}");
+            assert_eq!(batch.ops, checked.ops, "warmup {warmup} n_ops {n_ops}");
+            assert_eq!(batch.ipc, checked.ipc, "warmup {warmup} n_ops {n_ops}");
+            assert_eq!(batch.stats, checked.stats, "warmup {warmup} n_ops {n_ops}");
+        }
+    }
+
+    #[test]
+    fn checked_runner_rejects_invalid_config() {
+        let b = suite().into_iter().next().unwrap();
+        let mut cfg = SystemConfig::table1();
+        cfg.hierarchy.l1_mshrs = 0;
+        let err = try_run_benchmark(&b, 5_000, &cfg, Box::new(NullPrefetcher)).unwrap_err();
+        assert!(matches!(err, SimError::Config(_)), "{err}");
+    }
+
+    #[test]
+    fn watchdog_aborts_a_wedged_run() {
+        // A valid machine that makes no real progress: 25M-cycle memory
+        // behind a single MSHR serialises every miss, so the ratio blows
+        // past the default 10 000 cycles/op by the first checkpoint.
+        let b = suite().into_iter().find(|b| b.name == "gzip").unwrap();
+        let err = try_run_benchmark_warm(
+            &b,
+            0,
+            50_000,
+            &crate::faults::wedged_config(),
+            Box::new(NullPrefetcher),
+            &Watchdog::default(),
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, SimError::Run(RunError::Wedged { max_cycles_per_op: 10_000, .. })),
+            "{err}"
+        );
     }
 
     #[test]
@@ -248,8 +616,10 @@ mod tests {
     fn suite_runner_covers_all_benchmarks() {
         let benches: Vec<_> = suite().into_iter().take(3).collect();
         let s = run_suite(&benches, 20_000, &SystemConfig::table1(), || Box::new(NullPrefetcher));
-        assert_eq!(s.runs.len(), 3);
-        assert!(s.geomean_ipc() > 0.0);
+        assert_eq!(s.outcomes.len(), 3);
+        assert_eq!(s.ok_count(), 3);
+        assert_eq!(s.failed_count(), 0);
+        assert!(s.geomean_ipc().unwrap() > 0.0);
         assert!(s.get("fma3d").is_some());
         assert!(s.get("nonexistent").is_none());
     }
@@ -261,12 +631,57 @@ mod tests {
         let seq = run_suite(&benches, 25_000, &cfg, || Box::new(Tcp::new(TcpConfig::tcp_8k())));
         let par =
             run_suite_parallel(&benches, 25_000, &cfg, || Box::new(Tcp::new(TcpConfig::tcp_8k())));
-        assert_eq!(seq.runs.len(), par.runs.len());
-        for (a, b) in seq.runs.iter().zip(&par.runs) {
+        assert_eq!(seq.outcomes.len(), par.outcomes.len());
+        assert_eq!(par.failed_count(), 0);
+        for (a, b) in seq.runs().zip(par.runs()) {
             assert_eq!(a.benchmark, b.benchmark, "order preserved");
             assert_eq!(a.cycles, b.cycles, "{}", a.benchmark);
             assert_eq!(a.stats, b.stats, "{}", a.benchmark);
         }
+    }
+
+    #[test]
+    fn empty_suite_has_no_geomean() {
+        let s = SuiteResult::default();
+        assert_eq!(s.geomean_ipc(), None);
+        assert_eq!(s.geomean_improvement(&SuiteResult::default()), None);
+    }
+
+    #[test]
+    fn zero_ipc_run_makes_geomean_undefined_not_nan() {
+        let b = suite().into_iter().next().unwrap();
+        let mut s = run_suite(
+            &[b],
+            10_000,
+            &SystemConfig::table1(),
+            || Box::new(NullPrefetcher),
+        );
+        let healthy = s.geomean_ipc().unwrap();
+        assert!(healthy > 0.0);
+        if let RunOutcome::Ok(r) = &mut s.outcomes[0] {
+            r.ipc = 0.0;
+        }
+        assert_eq!(s.geomean_ipc(), None);
+    }
+
+    #[test]
+    fn geomean_improvement_of_healthy_suites_is_finite() {
+        let benches: Vec<_> = suite().into_iter().take(2).collect();
+        let cfg = SystemConfig::table1();
+        let base = run_suite(&benches, 20_000, &cfg, || Box::new(NullPrefetcher));
+        let tcp = run_suite(&benches, 20_000, &cfg, || Box::new(Tcp::new(TcpConfig::tcp_8k())));
+        let imp = tcp.geomean_improvement(&base).unwrap();
+        assert!(imp.is_finite());
+    }
+
+    #[test]
+    fn try_improvement_rejects_zero_base_without_panicking() {
+        let b = suite().into_iter().next().unwrap();
+        let mut r = run_benchmark(&b, 5_000, &SystemConfig::table1(), Box::new(NullPrefetcher));
+        let good = r.clone();
+        r.ipc = 0.0;
+        let err = try_ipc_improvement(&r, &good).unwrap_err();
+        assert!(matches!(err, SimError::Run(RunError::ZeroBaselineIpc { .. })), "{err}");
     }
 
     #[test]

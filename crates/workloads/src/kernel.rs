@@ -295,7 +295,7 @@ impl KernelState {
             KernelSpec::GatherScatter { index_base, index_len, data_base, data_len, gather_seed } => {
                 let entries = (index_len / 8).max(1);
                 let i = (self.pos / 2) % entries;
-                let even = self.pos % 2 == 0;
+                let even = self.pos.is_multiple_of(2);
                 self.pos += 1;
                 if even {
                     // Sequential read of B[i].

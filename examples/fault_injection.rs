@@ -1,0 +1,79 @@
+//! Fault-injection demo: attack the simulator with broken benchmarks,
+//! wedged machines, invalid configurations, and corrupted trace bytes,
+//! and show that every failure surfaces as a structured outcome or typed
+//! error while healthy work completes.
+//!
+//! Run with: `cargo run --release --example fault_injection`
+
+use tcp_repro::analysis::read_trace;
+use tcp_repro::cache::NullPrefetcher;
+use tcp_repro::mem::CacheGeometry;
+use tcp_repro::sim::faults::{
+    adversarial_suite, corrupt_trace, healthy_trace_bytes, panicking_benchmark, wedged_config,
+    TraceFault,
+};
+use tcp_repro::sim::{run_suite_parallel, RunOutcome, SystemConfig};
+use tcp_repro::workloads::suite;
+
+fn print_outcomes(title: &str, outcomes: &[RunOutcome]) {
+    println!("\n== {title} ==");
+    for o in outcomes {
+        match o {
+            RunOutcome::Ok(r) => println!("  ok      {:<22} ipc {:.3}", r.benchmark, r.ipc),
+            RunOutcome::Failed { benchmark, reason } => {
+                println!("  FAILED  {benchmark:<22} {reason}")
+            }
+        }
+    }
+}
+
+fn main() {
+    const OPS: u64 = 40_000;
+    let table1 = SystemConfig::table1();
+
+    // 1. A benchmark that panics mid-generation, surrounded by healthy
+    //    ones: the suite completes and records the panic.
+    let mut benches: Vec<_> = suite().into_iter().take(3).collect();
+    benches.insert(1, panicking_benchmark());
+    let s = run_suite_parallel(&benches, OPS, &table1, || Box::new(NullPrefetcher));
+    print_outcomes("panicking benchmark among healthy ones", &s.outcomes);
+    println!(
+        "  -> {} ok, {} failed, healthy geomean IPC {:?}",
+        s.ok_count(),
+        s.failed_count(),
+        s.geomean_ipc()
+    );
+
+    // 2. A machine that validates but makes no forward progress: the
+    //    watchdog aborts each run with a typed error.
+    let benches: Vec<_> = suite().into_iter().take(2).collect();
+    let s = run_suite_parallel(&benches, OPS, &wedged_config(), || Box::new(NullPrefetcher));
+    print_outcomes("wedged machine (watchdog aborts)", &s.outcomes);
+
+    // 3. A machine that cannot exist: every benchmark fails fast with the
+    //    same configuration error, before any simulation happens.
+    let mut broken = SystemConfig::table1();
+    broken.hierarchy.l1_mshrs = 0;
+    let s = run_suite_parallel(&benches, OPS, &broken, || Box::new(NullPrefetcher));
+    print_outcomes("invalid configuration (zero MSHRs)", &s.outcomes);
+
+    // 4. Adversarial-but-valid miss streams: they stress the hierarchy
+    //    and defeat the prefetcher, but they must complete.
+    let s = run_suite_parallel(&adversarial_suite(), OPS, &table1, || Box::new(NullPrefetcher));
+    print_outcomes("adversarial workloads (must complete)", &s.outcomes);
+
+    // 5. Corrupted persisted traces: each corruption maps to a typed
+    //    TraceError; the lying-count header fails fast without allocating.
+    println!("\n== corrupted trace bytes ==");
+    let geom = CacheGeometry::new(32 * 1024, 32, 1);
+    for fault in
+        [TraceFault::BadMagic, TraceFault::BadVersion, TraceFault::TruncatePayload, TraceFault::LyingCount]
+    {
+        let mut bytes = healthy_trace_bytes(64);
+        corrupt_trace(&mut bytes, fault);
+        match read_trace(bytes.as_slice(), geom) {
+            Ok(_) => println!("  {fault:?}: unexpectedly parsed"),
+            Err(e) => println!("  {fault:?}: {e}"),
+        }
+    }
+}

@@ -1,0 +1,41 @@
+# Task runner for the TCP reproduction. Everything below works offline;
+# targets that need crates.io (proptests, benches) say so.
+
+# Build + run the tier-1 test suite (what CI gates on).
+default: test
+
+# Release build of the whole workspace.
+build:
+    cargo build --release --workspace
+
+# Root-package tests: integration, golden, determinism, fault injection.
+test:
+    cargo test -q
+
+# Every workspace crate's unit + doc tests.
+test-all:
+    cargo test --workspace
+
+# Lint gate: the whole workspace must be clippy-clean at -D warnings.
+lint:
+    cargo clippy --workspace --all-targets -- -D warnings
+
+# Robustness gate: lint + fault-injection acceptance + error-layer tests.
+check-robustness:
+    scripts/check-robustness.sh
+
+# Fault-injection demo (panicking benchmark, wedged machine, corrupted traces).
+demo-faults:
+    cargo run --release --example fault_injection
+
+# Regenerate every table and figure.
+figures:
+    cargo run --release -p tcp-experiments --bin all
+
+# Property tests — standalone package, needs crates.io for proptest.
+proptest:
+    cargo test --manifest-path proptests/Cargo.toml
+
+# Criterion micro-benchmarks — standalone package, needs crates.io.
+bench:
+    cargo bench --manifest-path crates/bench/Cargo.toml

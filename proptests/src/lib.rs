@@ -1,0 +1,6 @@
+//! Empty library target; this package exists for its `tests/` directory.
+//!
+//! The property-based tests were moved here from the individual crates'
+//! `tests/` directories so that the main workspace resolves with path
+//! dependencies only (no network). See the package description in
+//! `Cargo.toml` for how to run them.

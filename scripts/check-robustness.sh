@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Robustness gate: lint the whole workspace at deny-warnings strictness,
+# then run the fault-injection acceptance suite and the error-layer unit
+# tests. Everything here works offline — the workspace has no external
+# dependencies.
+#
+# Usage: scripts/check-robustness.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== clippy (workspace, all targets, -D warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo
+echo "== fault-injection acceptance tests =="
+cargo test --test fault_injection
+
+echo
+echo "== error-layer unit tests (tcp-sim, tcp-cache, tcp-analysis) =="
+cargo test -p tcp-sim
+cargo test -p tcp-cache error
+cargo test -p tcp-analysis trace_io
+
+echo
+echo "robustness gate passed"

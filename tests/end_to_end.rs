@@ -73,11 +73,12 @@ fn suite_runner_is_deterministic_across_invocations() {
     let benches: Vec<_> = suite().into_iter().take(4).collect();
     let a = run_suite(&benches, 50_000, &machine, || Box::new(Tcp::new(TcpConfig::tcp_8k())));
     let b = run_suite(&benches, 50_000, &machine, || Box::new(Tcp::new(TcpConfig::tcp_8k())));
-    for (x, y) in a.runs.iter().zip(&b.runs) {
+    assert_eq!(a.failed_count(), 0);
+    for (x, y) in a.runs().zip(b.runs()) {
         assert_eq!(x.cycles, y.cycles, "{}", x.benchmark);
         assert_eq!(x.stats, y.stats, "{}", x.benchmark);
     }
-    assert!(a.geomean_ipc() > 0.0);
+    assert!(a.geomean_ipc().expect("healthy suite has a geomean") > 0.0);
 }
 
 #[test]
