@@ -33,7 +33,12 @@ pub struct HistogramLog2 {
 
 impl Default for HistogramLog2 {
     fn default() -> Self {
-        HistogramLog2 { buckets: [0; 64], count: 0, sum: 0, max: 0 }
+        HistogramLog2 {
+            buckets: [0; 64],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
     }
 }
 
@@ -45,7 +50,11 @@ impl HistogramLog2 {
 
     /// Records one value.
     pub fn record(&mut self, value: u64) {
-        let b = if value <= 1 { 0 } else { 63 - value.leading_zeros() as usize };
+        let b = if value <= 1 {
+            0
+        } else {
+            63 - value.leading_zeros() as usize
+        };
         self.buckets[b] += 1;
         self.count += 1;
         self.sum = self.sum.saturating_add(value);
@@ -113,7 +122,11 @@ impl HistogramLog2 {
         let mut out = String::new();
         let peak = self.buckets.iter().copied().max().unwrap_or(0);
         for (lo, c) in self.iter() {
-            let n = if peak == 0 { 0 } else { (c as usize * width).div_ceil(peak as usize) };
+            let n = if peak == 0 {
+                0
+            } else {
+                (c as usize * width).div_ceil(peak as usize)
+            };
             let _ = writeln!(out, "{lo:>12} │{} {c}", "█".repeat(n));
         }
         out
@@ -173,7 +186,11 @@ mod tests {
         h.extend([16u64; 10]);
         let r = h.render(20);
         let first = r.lines().next().unwrap();
-        assert_eq!(first.matches('█').count(), 20, "peak bucket fills the width");
+        assert_eq!(
+            first.matches('█').count(),
+            20,
+            "peak bucket fills the width"
+        );
     }
 
     #[test]

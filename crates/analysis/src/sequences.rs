@@ -71,7 +71,10 @@ impl SequenceCensus {
         if w.len() == self.k {
             self.total += 1;
             *self.seq_counts.entry(w.clone()).or_insert(0) += 1;
-            *self.seq_set_counts.entry((w.clone(), s as u32)).or_insert(0) += 1;
+            *self
+                .seq_set_counts
+                .entry((w.clone(), s as u32))
+                .or_insert(0) += 1;
         } else {
             self.filled[s] = w.len() as u8;
         }
@@ -133,7 +136,11 @@ impl SequenceCensus {
         if self.seq_counts.is_empty() {
             return 0.0;
         }
-        let strided = self.seq_counts.keys().filter(|seq| Self::is_strided(seq)).count();
+        let strided = self
+            .seq_counts
+            .keys()
+            .filter(|seq| Self::is_strided(seq))
+            .count();
         strided as f64 / self.seq_counts.len() as f64
     }
 
@@ -205,7 +212,10 @@ mod tests {
     fn strided_detection() {
         assert!(SequenceCensus::is_strided(&[1, 2, 3]));
         assert!(SequenceCensus::is_strided(&[10, 7, 4]));
-        assert!(!SequenceCensus::is_strided(&[1, 1, 1]), "zero stride is not strided");
+        assert!(
+            !SequenceCensus::is_strided(&[1, 1, 1]),
+            "zero stride is not strided"
+        );
         assert!(!SequenceCensus::is_strided(&[1, 2, 4]));
     }
 

@@ -40,7 +40,13 @@ impl<I: Iterator<Item = MemAccess>> Iterator for MissStream<I> {
                 AccessOutcome::Miss => {
                     self.cache.fill(line, self.clock, false);
                     let (tag, set) = geom.split_line(line);
-                    return Some(MissRecord { addr: acc.addr, line, tag, set, pc: acc.pc });
+                    return Some(MissRecord {
+                        addr: acc.addr,
+                        line,
+                        tag,
+                        set,
+                        pc: acc.pc,
+                    });
                 }
             }
         }
@@ -69,7 +75,11 @@ pub fn miss_stream<I>(geom: CacheGeometry, accesses: I) -> MissStream<I::IntoIte
 where
     I: IntoIterator<Item = MemAccess>,
 {
-    MissStream { cache: Cache::new(geom, Replacement::Lru), accesses: accesses.into_iter(), clock: 0 }
+    MissStream {
+        cache: Cache::new(geom, Replacement::Lru),
+        accesses: accesses.into_iter(),
+        clock: 0,
+    }
 }
 
 #[cfg(test)]
@@ -82,7 +92,9 @@ mod tests {
 
     #[test]
     fn cold_misses_once_per_line() {
-        let accs: Vec<_> = (0..100u64).map(|i| MemAccess::load(Addr::new(0), Addr::new(i * 8))).collect();
+        let accs: Vec<_> = (0..100u64)
+            .map(|i| MemAccess::load(Addr::new(0), Addr::new(i * 8)))
+            .collect();
         // 100 accesses × 8 B = 800 B = 25 lines.
         assert_eq!(miss_stream(l1(), accs).count(), 25);
     }
@@ -97,7 +109,11 @@ mod tests {
             MemAccess::load(Addr::new(0), a),
             MemAccess::load(Addr::new(0), b),
         ];
-        assert_eq!(miss_stream(l1(), accs).count(), 4, "direct-mapped ping-pong misses every time");
+        assert_eq!(
+            miss_stream(l1(), accs).count(),
+            4,
+            "direct-mapped ping-pong misses every time"
+        );
     }
 
     #[test]

@@ -20,7 +20,10 @@ pub fn geometric_mean(values: &[f64]) -> f64 {
     if values.is_empty() {
         return 0.0;
     }
-    assert!(values.iter().all(|&v| v > 0.0), "geometric mean requires positive values");
+    assert!(
+        values.iter().all(|&v| v > 0.0),
+        "geometric mean requires positive values"
+    );
     let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
     (log_sum / values.len() as f64).exp()
 }

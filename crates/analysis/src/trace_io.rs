@@ -68,10 +68,16 @@ impl fmt::Display for TraceError {
                 write!(f, "not a TCP trace file (magic {found:02X?})")
             }
             TraceError::UnsupportedVersion { found, supported } => {
-                write!(f, "unsupported trace version {found} (this reader supports {supported})")
+                write!(
+                    f,
+                    "unsupported trace version {found} (this reader supports {supported})"
+                )
             }
             TraceError::Truncated { declared, read } => {
-                write!(f, "truncated trace: header declares {declared} records, stream holds {read}")
+                write!(
+                    f,
+                    "truncated trace: header declares {declared} records, stream holds {read}"
+                )
             }
             TraceError::Io(e) => write!(f, "trace I/O error: {e}"),
         }
@@ -147,7 +153,10 @@ pub fn read_trace<R: Read>(mut r: R, geom: CacheGeometry) -> Result<Vec<MissReco
     let mut version = [0u8; 1];
     r.read_exact(&mut version)?;
     if version[0] != VERSION {
-        return Err(TraceError::UnsupportedVersion { found: version[0], supported: VERSION });
+        return Err(TraceError::UnsupportedVersion {
+            found: version[0],
+            supported: VERSION,
+        });
     }
     let mut count_bytes = [0u8; 8];
     r.read_exact(&mut count_bytes)?;
@@ -157,7 +166,10 @@ pub fn read_trace<R: Read>(mut r: R, geom: CacheGeometry) -> Result<Vec<MissReco
     for read in 0..count {
         if let Err(e) = r.read_exact(&mut rec) {
             return Err(if e.kind() == io::ErrorKind::UnexpectedEof {
-                TraceError::Truncated { declared: count, read }
+                TraceError::Truncated {
+                    declared: count,
+                    read,
+                }
             } else {
                 TraceError::Io(e)
             });
@@ -165,7 +177,13 @@ pub fn read_trace<R: Read>(mut r: R, geom: CacheGeometry) -> Result<Vec<MissReco
         let pc = Addr::new(u64::from_le_bytes(rec[0..8].try_into().expect("8 bytes")));
         let addr = Addr::new(u64::from_le_bytes(rec[8..16].try_into().expect("8 bytes")));
         let (tag, set) = geom.split(addr);
-        out.push(MissRecord { addr, line: geom.line_addr(addr), tag, set, pc });
+        out.push(MissRecord {
+            addr,
+            line: geom.line_addr(addr),
+            tag,
+            set,
+            pc,
+        });
     }
     Ok(out)
 }
@@ -181,7 +199,8 @@ mod tests {
     }
 
     fn sample(n: u64) -> Vec<MissRecord> {
-        let accs = (0..n).map(|i| MemAccess::load(Addr::new(0x400 + i), Addr::new(i * 96 % (1 << 22))));
+        let accs =
+            (0..n).map(|i| MemAccess::load(Addr::new(0x400 + i), Addr::new(i * 96 % (1 << 22))));
         miss_stream(l1(), accs).collect()
     }
 
@@ -217,7 +236,10 @@ mod tests {
     #[test]
     fn bad_magic_rejected() {
         let err = read_trace(&mut b"NOPE\x01\0\0\0\0\0\0\0\0".as_slice(), l1()).unwrap_err();
-        assert!(matches!(err, TraceError::BadMagic { found } if &found == b"NOPE"), "{err}");
+        assert!(
+            matches!(err, TraceError::BadMagic { found } if &found == b"NOPE"),
+            "{err}"
+        );
         assert!(err.to_string().contains("not a TCP trace"));
     }
 
@@ -229,7 +251,13 @@ mod tests {
         buf.extend_from_slice(&0u64.to_le_bytes());
         let err = read_trace(&mut buf.as_slice(), l1()).unwrap_err();
         assert!(
-            matches!(err, TraceError::UnsupportedVersion { found: 99, supported: VERSION }),
+            matches!(
+                err,
+                TraceError::UnsupportedVersion {
+                    found: 99,
+                    supported: VERSION
+                }
+            ),
             "{err}"
         );
     }
@@ -275,7 +303,13 @@ mod tests {
         buf.extend_from_slice(&[0u8; 32]);
         let err = read_trace(&mut buf.as_slice(), l1()).unwrap_err();
         assert!(
-            matches!(err, TraceError::Truncated { declared: u64::MAX, read: 2 }),
+            matches!(
+                err,
+                TraceError::Truncated {
+                    declared: u64::MAX,
+                    read: 2
+                }
+            ),
             "{err}"
         );
     }
@@ -299,7 +333,10 @@ mod tests {
     fn error_display_and_source_are_usable() {
         let io_err: TraceError = io::Error::new(io::ErrorKind::BrokenPipe, "pipe").into();
         assert!(std::error::Error::source(&io_err).is_some());
-        let trunc = TraceError::Truncated { declared: 10, read: 3 };
+        let trunc = TraceError::Truncated {
+            declared: 10,
+            read: 3,
+        };
         assert!(std::error::Error::source(&trunc).is_none());
         assert!(trunc.to_string().contains("10"));
         assert!(trunc.to_string().contains("3"));

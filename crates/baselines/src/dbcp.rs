@@ -93,8 +93,11 @@ impl Dbcp {
     pub fn new(cfg: DbcpConfig) -> Self {
         let entries = (cfg.table_bytes / ENTRY_BYTES).next_power_of_two() / 2;
         let entries = entries.max(1) * 2; // round to the nearest power of two ≥ budget/8
-        let entries =
-            if entries * ENTRY_BYTES > cfg.table_bytes { entries / 2 } else { entries };
+        let entries = if entries * ENTRY_BYTES > cfg.table_bytes {
+            entries / 2
+        } else {
+            entries
+        };
         assert!(entries >= 1, "DBCP table budget too small");
         let name = if cfg.table_bytes >= 1024 * 1024 {
             format!("DBCP-{}M", cfg.table_bytes / (1024 * 1024))
@@ -117,7 +120,8 @@ impl Dbcp {
     }
 
     fn key_hash(&self, line: LineAddr, sig: u64) -> (usize, u32) {
-        let mixed = (line.line_number() ^ sig.wrapping_mul(0x9E37_79B9_7F4A_7C15)).wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        let mixed = (line.line_number() ^ sig.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_mul(0xFF51_AFD7_ED55_8CCD);
         let idx = (mixed as usize) & (self.table.len() - 1);
         let key = (mixed >> 32) as u32;
         (idx, key)
@@ -162,7 +166,10 @@ impl Prefetcher for Dbcp {
         // the (dying block, death signature) → incoming block transition,
         // then start the incoming block's trace with the missing PC.
         let f = self.frame_of(info.line);
-        let FrameState { line: old_line, sig } = self.frames[f];
+        let FrameState {
+            line: old_line,
+            sig,
+        } = self.frames[f];
         if let Some(old) = old_line {
             if old != info.line {
                 self.trains += 1;
@@ -171,20 +178,36 @@ impl Prefetcher for Dbcp {
                     self.table[idx],
                     Some(e) if e.key == key && e.next == info.line
                 );
-                self.table[idx] = Some(DbcpEntry { key, next: info.line, confirmed });
+                self.table[idx] = Some(DbcpEntry {
+                    key,
+                    next: info.line,
+                    confirmed,
+                });
             }
         }
         let sig = self.mask(info.access.pc.raw());
-        self.frames[f] = FrameState { line: Some(info.line), sig };
+        self.frames[f] = FrameState {
+            line: Some(info.line),
+            sig,
+        };
         self.probe(info.line, sig, out);
     }
 
-    fn on_hit(&mut self, access: &MemAccess, line: LineAddr, _cycle: u64, out: &mut Vec<PrefetchRequest>) {
+    fn on_hit(
+        &mut self,
+        access: &MemAccess,
+        line: LineAddr,
+        _cycle: u64,
+        out: &mut Vec<PrefetchRequest>,
+    ) {
         let f = self.frame_of(line);
         if self.frames[f].line != Some(line) {
             // The hierarchy's view and ours diverged (e.g. a prefetch
             // promotion we did not cause); resynchronise.
-            self.frames[f] = FrameState { line: Some(line), sig: 0 };
+            self.frames[f] = FrameState {
+                line: Some(line),
+                sig: 0,
+            };
         }
         let sig = self.mask(self.frames[f].sig.wrapping_add(access.pc.raw()));
         self.frames[f].sig = sig;
@@ -209,7 +232,13 @@ mod tests {
         let g = geometry();
         let a = g.first_byte(l);
         let (tag, set) = g.split_line(l);
-        L1MissInfo { access: MemAccess::load(Addr::new(pc), a), line: l, tag, set, cycle: 0 }
+        L1MissInfo {
+            access: MemAccess::load(Addr::new(pc), a),
+            line: l,
+            tag,
+            set,
+            cycle: 0,
+        }
     }
 
     /// Simulate one generation: miss on `l` (killing the frame's previous
@@ -240,7 +269,12 @@ mod tests {
         let addr = geometry().first_byte(a);
         for i in 0..3 {
             out.clear();
-            p.on_hit(&MemAccess::load(Addr::new(0x400), addr), a, 100 + i, &mut out);
+            p.on_hit(
+                &MemAccess::load(Addr::new(0x400), addr),
+                a,
+                100 + i,
+                &mut out,
+            );
         }
         // Generation 3: on the 3rd touch the signature matches the
         // confirmed death signature → prefetch b.
@@ -286,7 +320,10 @@ mod tests {
 
     #[test]
     fn storage_matches_budget() {
-        let p = Dbcp::new(DbcpConfig { table_bytes: 64 * 1024, ..DbcpConfig::dbcp_2m() });
+        let p = Dbcp::new(DbcpConfig {
+            table_bytes: 64 * 1024,
+            ..DbcpConfig::dbcp_2m()
+        });
         assert_eq!(p.storage_bytes(), 64 * 1024);
         assert_eq!(p.name(), "DBCP-64K");
     }
@@ -295,7 +332,10 @@ mod tests {
     fn small_table_loses_old_correlations() {
         // A tiny table: many distinct (block, sig) pairs overwrite each
         // other — the capacity effect that hurts address correlation.
-        let mut p = Dbcp::new(DbcpConfig { table_bytes: 64, ..DbcpConfig::dbcp_2m() });
+        let mut p = Dbcp::new(DbcpConfig {
+            table_bytes: 64,
+            ..DbcpConfig::dbcp_2m()
+        });
         let mut out = Vec::new();
         for t in 0..64u64 {
             generation(&mut p, line(t, 3), 0x400, 2, &mut out);
@@ -306,6 +346,9 @@ mod tests {
         out.clear();
         generation(&mut p, line(0, 3), 0x400, 2, &mut out);
         let correct = out.iter().filter(|r| r.line == line(1, 3)).count();
-        assert!(correct == 0 || out.len() <= 1, "tiny table should have forgotten");
+        assert!(
+            correct == 0 || out.len() <= 1,
+            "tiny table should have forgotten"
+        );
     }
 }

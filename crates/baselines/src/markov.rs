@@ -23,7 +23,10 @@ pub struct MarkovConfig {
 
 impl Default for MarkovConfig {
     fn default() -> Self {
-        MarkovConfig { table_bytes: 1024 * 1024, targets_per_entry: 2 }
+        MarkovConfig {
+            table_bytes: 1024 * 1024,
+            targets_per_entry: 2,
+        }
     }
 }
 
@@ -63,7 +66,10 @@ impl MarkovPrefetcher {
     /// Panics if the byte budget is too small for one entry or
     /// `targets_per_entry` is zero.
     pub fn new(cfg: MarkovConfig) -> Self {
-        assert!(cfg.targets_per_entry > 0, "need at least one target per entry");
+        assert!(
+            cfg.targets_per_entry > 0,
+            "need at least one target per entry"
+        );
         // Entry cost: 4-byte key + 4 bytes per target.
         let entry_bytes = 4 + 4 * cfg.targets_per_entry;
         let capacity = cfg.table_bytes / entry_bytes;
@@ -73,7 +79,14 @@ impl MarkovPrefetcher {
         } else {
             format!("markov-{}K", cfg.table_bytes / 1024)
         };
-        MarkovPrefetcher { cfg, name, capacity, table: HashMap::new(), prev_miss: None, clock: 0 }
+        MarkovPrefetcher {
+            cfg,
+            name,
+            capacity,
+            table: HashMap::new(),
+            prev_miss: None,
+            clock: 0,
+        }
     }
 
     /// Number of entries the byte budget allows.
@@ -86,7 +99,12 @@ impl MarkovPrefetcher {
             return;
         }
         // Approximate LRU: evict the least recently used entry.
-        if let Some(&victim) = self.table.iter().min_by_key(|(_, e)| e.last_use).map(|(k, _)| k) {
+        if let Some(&victim) = self
+            .table
+            .iter()
+            .min_by_key(|(_, e)| e.last_use)
+            .map(|(k, _)| k)
+        {
             self.table.remove(&victim);
         }
     }
@@ -111,10 +129,10 @@ impl Prefetcher for MarkovPrefetcher {
                 if !self.table.contains_key(&prev) {
                     self.evict_if_full();
                 }
-                let e = self
-                    .table
-                    .entry(prev)
-                    .or_insert_with(|| MarkovEntry { targets: Vec::new(), last_use: clock });
+                let e = self.table.entry(prev).or_insert_with(|| MarkovEntry {
+                    targets: Vec::new(),
+                    last_use: clock,
+                });
                 e.last_use = clock;
                 if let Some(pos) = e.targets.iter().position(|&t| t == info.line) {
                     e.targets.remove(pos);
@@ -146,7 +164,13 @@ mod tests {
         let l = LineAddr::from_line_number(line);
         let a = g.first_byte(l);
         let (tag, set) = g.split(a);
-        L1MissInfo { access: MemAccess::load(Addr::new(0x400), a), line: l, tag, set, cycle: 0 }
+        L1MissInfo {
+            access: MemAccess::load(Addr::new(0x400), a),
+            line: l,
+            tag,
+            set,
+            cycle: 0,
+        }
     }
 
     fn drive(p: &mut MarkovPrefetcher, lines: &[u64]) -> Vec<u64> {
@@ -176,13 +200,19 @@ mod tests {
 
     #[test]
     fn capacity_is_budget_bound() {
-        let p = MarkovPrefetcher::new(MarkovConfig { table_bytes: 1200, targets_per_entry: 2 });
+        let p = MarkovPrefetcher::new(MarkovConfig {
+            table_bytes: 1200,
+            targets_per_entry: 2,
+        });
         assert_eq!(p.capacity(), 100);
     }
 
     #[test]
     fn eviction_keeps_table_within_capacity() {
-        let mut p = MarkovPrefetcher::new(MarkovConfig { table_bytes: 120, targets_per_entry: 2 });
+        let mut p = MarkovPrefetcher::new(MarkovConfig {
+            table_bytes: 120,
+            targets_per_entry: 2,
+        });
         let cap = p.capacity();
         let lines: Vec<u64> = (0..200).collect();
         drive(&mut p, &lines);
@@ -199,6 +229,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "budget")]
     fn tiny_budget_rejected() {
-        let _ = MarkovPrefetcher::new(MarkovConfig { table_bytes: 4, targets_per_entry: 2 });
+        let _ = MarkovPrefetcher::new(MarkovConfig {
+            table_bytes: 4,
+            targets_per_entry: 2,
+        });
     }
 }

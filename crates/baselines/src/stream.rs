@@ -25,7 +25,11 @@ pub struct StreamBufferConfig {
 
 impl Default for StreamBufferConfig {
     fn default() -> Self {
-        StreamBufferConfig { buffers: 4, depth: 4, line_bytes: 32 }
+        StreamBufferConfig {
+            buffers: 4,
+            depth: 4,
+            line_bytes: 32,
+        }
     }
 }
 
@@ -96,7 +100,12 @@ impl Prefetcher for StreamBufferPrefetcher {
         let miss = info.line.line_number();
 
         // Does the miss continue an active stream?
-        if let Some(s) = self.streams.iter_mut().filter(|s| s.valid).find(|s| s.next_expected == miss) {
+        if let Some(s) = self
+            .streams
+            .iter_mut()
+            .filter(|s| s.valid)
+            .find(|s| s.next_expected == miss)
+        {
             self.stream_hits += 1;
             s.last_use = self.clock;
             s.next_expected = miss + 1;
@@ -138,7 +147,13 @@ mod tests {
         let l = LineAddr::from_line_number(line);
         let a = g.first_byte(l);
         let (tag, set) = g.split(a);
-        L1MissInfo { access: MemAccess::load(Addr::new(0x400), a), line: l, tag, set, cycle: 0 }
+        L1MissInfo {
+            access: MemAccess::load(Addr::new(0x400), a),
+            line: l,
+            tag,
+            set,
+            cycle: 0,
+        }
     }
 
     #[test]

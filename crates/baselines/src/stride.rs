@@ -23,7 +23,11 @@ pub struct StrideConfig {
 
 impl Default for StrideConfig {
     fn default() -> Self {
-        StrideConfig { entries: 512, degree: 2, line_bytes: 32 }
+        StrideConfig {
+            entries: 512,
+            degree: 2,
+            line_bytes: 32,
+        }
     }
 }
 
@@ -61,10 +65,19 @@ impl StridePrefetcher {
     ///
     /// Panics if `entries` is not a nonzero power of two or `degree` is 0.
     pub fn new(cfg: StrideConfig) -> Self {
-        assert!(cfg.entries > 0 && cfg.entries.is_power_of_two(), "entries must be a nonzero power of two");
+        assert!(
+            cfg.entries > 0 && cfg.entries.is_power_of_two(),
+            "entries must be a nonzero power of two"
+        );
         assert!(cfg.degree > 0, "degree must be nonzero");
-        assert!(cfg.line_bytes.is_power_of_two(), "line size must be a power of two");
-        StridePrefetcher { cfg, table: vec![RptEntry::default(); cfg.entries as usize] }
+        assert!(
+            cfg.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        StridePrefetcher {
+            cfg,
+            table: vec![RptEntry::default(); cfg.entries as usize],
+        }
     }
 
     fn slot(&self, pc: Addr) -> usize {
@@ -90,14 +103,24 @@ impl Prefetcher for StridePrefetcher {
         let e = &mut self.table[idx];
 
         if !e.valid || e.pc != pc {
-            *e = RptEntry { pc, last_addr: addr, stride: 0, confidence: 0, valid: true };
+            *e = RptEntry {
+                pc,
+                last_addr: addr,
+                stride: 0,
+                confidence: 0,
+                valid: true,
+            };
             return;
         }
         let new_stride = addr as i64 - e.last_addr as i64;
         if new_stride == e.stride && new_stride != 0 {
             e.confidence = e.confidence.saturating_add(1);
         } else {
-            e.confidence = if e.confidence > 0 { e.confidence - 1 } else { 0 };
+            e.confidence = if e.confidence > 0 {
+                e.confidence - 1
+            } else {
+                0
+            };
             if e.confidence == 0 {
                 e.stride = new_stride;
             }
@@ -126,7 +149,13 @@ mod tests {
         let g = CacheGeometry::new(32 * 1024, 32, 1);
         let a = Addr::new(addr);
         let (tag, set) = g.split(a);
-        L1MissInfo { access: MemAccess::load(Addr::new(pc), a), line: g.line_addr(a), tag, set, cycle }
+        L1MissInfo {
+            access: MemAccess::load(Addr::new(pc), a),
+            line: g.line_addr(a),
+            tag,
+            set,
+            cycle,
+        }
     }
 
     #[test]
@@ -140,7 +169,10 @@ mod tests {
         assert!(!out.is_empty(), "steady stride must prefetch");
         // Last miss at 0x10000 + 5*256; prefetches at +256 and +512.
         let lines: Vec<u64> = out.iter().map(|r| r.line.line_number()).collect();
-        assert_eq!(lines, vec![(0x10000 + 6 * 256) >> 5, (0x10000 + 7 * 256) >> 5]);
+        assert_eq!(
+            lines,
+            vec![(0x10000 + 6 * 256) >> 5, (0x10000 + 7 * 256) >> 5]
+        );
     }
 
     #[test]
@@ -184,6 +216,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "power of two")]
     fn bad_entries_rejected() {
-        let _ = StridePrefetcher::new(StrideConfig { entries: 300, ..StrideConfig::default() });
+        let _ = StridePrefetcher::new(StrideConfig {
+            entries: 300,
+            ..StrideConfig::default()
+        });
     }
 }

@@ -36,7 +36,12 @@ impl Bus {
     /// Panics if `cycles_per_transfer` is zero.
     pub fn new(cycles_per_transfer: u64) -> Self {
         assert!(cycles_per_transfer > 0, "bus transfer time must be nonzero");
-        Bus { cycles_per_transfer, next_free: 0, transfers: 0, busy_cycles: 0 }
+        Bus {
+            cycles_per_transfer,
+            next_free: 0,
+            transfers: 0,
+            busy_cycles: 0,
+        }
     }
 
     /// Schedules one line transfer no earlier than `earliest`.

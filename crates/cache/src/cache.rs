@@ -79,7 +79,13 @@ impl Cache {
     /// Creates an empty cache with the given geometry and policy.
     pub fn new(geom: CacheGeometry, policy: Replacement) -> Self {
         let n = geom.num_sets() as usize * geom.associativity() as usize;
-        Cache { geom, policy, ways: vec![None; n], order: 0, occupied: 0 }
+        Cache {
+            geom,
+            policy,
+            ways: vec![None; n],
+            order: 0,
+            occupied: 0,
+        }
     }
 
     /// The cache's geometry.
@@ -99,7 +105,8 @@ impl Cache {
     }
 
     fn find(&self, tag: Tag, set: SetIndex) -> Option<usize> {
-        self.set_range(set).find(|&i| self.ways[i].map(|m| m.tag) == Some(tag))
+        self.set_range(set)
+            .find(|&i| self.ways[i].map(|m| m.tag) == Some(tag))
     }
 
     /// Returns `true` if the line is resident.
@@ -130,7 +137,9 @@ impl Cache {
                 m.dirty |= write;
                 m.last_access_order = self.order;
                 m.last_access_cycle = cycle;
-                AccessOutcome::Hit { first_demand_of_prefetch: first }
+                AccessOutcome::Hit {
+                    first_demand_of_prefetch: first,
+                }
             }
             None => AccessOutcome::Miss,
         }
@@ -166,19 +175,22 @@ impl Cache {
             self.occupied += 1;
             return None;
         }
-        // Choose a victim among occupied ways.
+        // Choose a victim among occupied ways, reading stamps straight
+        // from the way array (no per-eviction scratch allocation).
         let range = self.set_range(set);
-        let stamps: Vec<(u64, u64)> = range
-            .clone()
-            .map(|i| {
-                let m = self.ways[i].expect("set is full");
-                (m.fill_order, m.last_access_order)
-            })
-            .collect();
-        let victim_way = self.policy.choose_victim(&stamps);
+        let ways = &self.ways;
+        let victim_way = self.policy.choose_victim_by(range.len(), |w| {
+            let m = ways[range.start + w].expect("set is full");
+            (m.fill_order, m.last_access_order)
+        });
         let idx = range.start + victim_way;
-        let old = self.ways[idx].replace(meta).expect("victim way was occupied");
-        Some(Evicted { line: self.geom.compose(old.tag, set), meta: old })
+        let old = self.ways[idx]
+            .replace(meta)
+            .expect("victim way was occupied");
+        Some(Evicted {
+            line: self.geom.compose(old.tag, set),
+            meta: old,
+        })
     }
 
     /// Marks a resident line as having serviced a demand access, without
@@ -190,7 +202,10 @@ impl Cache {
     pub fn mark_demanded(&mut self, line: LineAddr) -> bool {
         let (tag, set) = self.geom.split_line(line);
         if let Some(i) = self.find(tag, set) {
-            self.ways[i].as_mut().expect("found way is occupied").demanded = true;
+            self.ways[i]
+                .as_mut()
+                .expect("found way is occupied")
+                .demanded = true;
             true
         } else {
             false
@@ -252,7 +267,10 @@ mod tests {
         let line = c.geometry().line_addr(Addr::new(0x1000));
         assert_eq!(c.access(line, false, 0), AccessOutcome::Miss);
         assert!(c.fill(line, 1, false).is_none());
-        assert!(matches!(c.access(line, false, 2), AccessOutcome::Hit { .. }));
+        assert!(matches!(
+            c.access(line, false, 2),
+            AccessOutcome::Hit { .. }
+        ));
         assert_eq!(c.occupied_lines(), 1);
     }
 
@@ -303,8 +321,18 @@ mod tests {
         let mut c = dm_l1();
         let line = c.geometry().line_addr(Addr::new(0x3000));
         c.fill(line, 0, true);
-        assert_eq!(c.access(line, false, 1), AccessOutcome::Hit { first_demand_of_prefetch: true });
-        assert_eq!(c.access(line, false, 2), AccessOutcome::Hit { first_demand_of_prefetch: false });
+        assert_eq!(
+            c.access(line, false, 1),
+            AccessOutcome::Hit {
+                first_demand_of_prefetch: true
+            }
+        );
+        assert_eq!(
+            c.access(line, false, 2),
+            AccessOutcome::Hit {
+                first_demand_of_prefetch: false
+            }
+        );
     }
 
     #[test]
@@ -315,7 +343,12 @@ mod tests {
         assert!(c.fill(line, 1, true).is_none());
         assert_eq!(c.occupied_lines(), 1);
         // Refill must not clear the demand/prefetch state into a prefetch credit.
-        assert_eq!(c.access(line, false, 2), AccessOutcome::Hit { first_demand_of_prefetch: false });
+        assert_eq!(
+            c.access(line, false, 2),
+            AccessOutcome::Hit {
+                first_demand_of_prefetch: false
+            }
+        );
     }
 
     #[test]

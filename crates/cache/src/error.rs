@@ -61,7 +61,12 @@ impl fmt::Display for ConfigError {
                 f,
                 "L1 line size ({l1_line} B) must not exceed L2 line size ({l2_line} B)"
             ),
-            ConfigError::OutOfRange { field, value, min, max } => {
+            ConfigError::OutOfRange {
+                field,
+                value,
+                min,
+                max,
+            } => {
                 write!(f, "{field} must be in {min}..={max}, got {value}")
             }
             ConfigError::NotPositiveFinite { field } => {
@@ -80,11 +85,34 @@ mod tests {
     #[test]
     fn display_names_the_field() {
         let cases: Vec<(ConfigError, &str)> = vec![
-            (ConfigError::NotPowerOfTwo { field: "l1 line size", value: 48 }, "l1 line size"),
+            (
+                ConfigError::NotPowerOfTwo {
+                    field: "l1 line size",
+                    value: 48,
+                },
+                "l1 line size",
+            ),
             (ConfigError::ZeroField { field: "l1_mshrs" }, "l1_mshrs"),
-            (ConfigError::LineSizeMismatch { l1_line: 64, l2_line: 32 }, "64 B"),
-            (ConfigError::OutOfRange { field: "page_bits", value: 99, min: 1, max: 63 }, "page_bits"),
-            (ConfigError::NotPositiveFinite { field: "clock_ghz" }, "clock_ghz"),
+            (
+                ConfigError::LineSizeMismatch {
+                    l1_line: 64,
+                    l2_line: 32,
+                },
+                "64 B",
+            ),
+            (
+                ConfigError::OutOfRange {
+                    field: "page_bits",
+                    value: 99,
+                    min: 1,
+                    max: 63,
+                },
+                "page_bits",
+            ),
+            (
+                ConfigError::NotPositiveFinite { field: "clock_ghz" },
+                "clock_ghz",
+            ),
         ];
         for (err, needle) in cases {
             assert!(format!("{err}").contains(needle), "{err:?}");

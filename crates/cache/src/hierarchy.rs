@@ -42,7 +42,7 @@ pub struct AccessResult {
 }
 
 /// Configuration of the hierarchy (Table 1 of the paper by default).
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct HierarchyConfig {
     /// L1 data-cache geometry (default 32 KB, direct-mapped, 32 B lines).
     pub l1d: CacheGeometry,
@@ -163,15 +163,21 @@ impl HierarchyConfig {
         }
         if let Some(entries) = self.victim_cache_entries {
             if entries == 0 {
-                return Err(ConfigError::ZeroField { field: "victim_cache_entries" });
+                return Err(ConfigError::ZeroField {
+                    field: "victim_cache_entries",
+                });
             }
             if self.victim_latency == 0 {
-                return Err(ConfigError::ZeroField { field: "victim_latency" });
+                return Err(ConfigError::ZeroField {
+                    field: "victim_latency",
+                });
             }
         }
         if let Some(tlb) = &self.dtlb {
             if tlb.entries == 0 {
-                return Err(ConfigError::ZeroField { field: "dtlb entries" });
+                return Err(ConfigError::ZeroField {
+                    field: "dtlb entries",
+                });
             }
             if tlb.page_bits < 1 || tlb.page_bits > 63 {
                 return Err(ConfigError::OutOfRange {
@@ -183,7 +189,9 @@ impl HierarchyConfig {
             }
         }
         if self.store_buffer_entries == Some(0) {
-            return Err(ConfigError::ZeroField { field: "store_buffer_entries" });
+            return Err(ConfigError::ZeroField {
+                field: "store_buffer_entries",
+            });
         }
         Ok(())
     }
@@ -218,8 +226,8 @@ pub struct MemoryHierarchy {
     l1_bus: Bus,
     mem_bus: Bus,
     prefetch_bus: Option<Bus>,
-    l1_fills: MshrFile,       // in-flight fills into L1 (demand)
-    l2_fills: MshrFile,       // in-flight fills into L2 (demand + prefetch)
+    l1_fills: MshrFile, // in-flight fills into L1 (demand)
+    l2_fills: MshrFile, // in-flight fills into L2 (demand + prefetch)
     promotions: Vec<PendingPromotion>,
     inflight_prefetches: usize,
     victim: Option<VictimCache>,
@@ -243,11 +251,13 @@ impl std::fmt::Debug for MemoryHierarchy {
 impl MemoryHierarchy {
     /// Builds a hierarchy around a prefetch engine.
     pub fn new(cfg: HierarchyConfig, prefetcher: Box<dyn Prefetcher>) -> Self {
-        let l1 = Cache::new(cfg.l1d, cfg.l1_replacement.clone());
-        let l2 = Cache::new(cfg.l2, cfg.l2_replacement.clone());
+        let l1 = Cache::new(cfg.l1d, cfg.l1_replacement);
+        let l2 = Cache::new(cfg.l2, cfg.l2_replacement);
         let l1_bus = Bus::new(cfg.l1_bus_cycles);
         let mem_bus = Bus::new(cfg.mem_bus_cycles);
-        let prefetch_bus = cfg.separate_prefetch_bus.then(|| Bus::new(cfg.l1_bus_cycles));
+        let prefetch_bus = cfg
+            .separate_prefetch_bus
+            .then(|| Bus::new(cfg.l1_bus_cycles));
         let l1_fills = MshrFile::new(cfg.l1_mshrs);
         let l2_fills = MshrFile::new(cfg.l1_mshrs + cfg.prefetch_buffer.max(1));
         let cfg_victim = cfg.victim_cache_entries.map(VictimCache::new);
@@ -337,7 +347,9 @@ impl MemoryHierarchy {
             }
         }
         for (line, fill) in self.l1_fills.drain_ready(now) {
-            self.store_fills.remove(&line);
+            if self.cfg.store_buffer_entries.is_some() {
+                self.store_fills.remove(&line);
+            }
             self.fill_l1(line, fill.ready_at, false, fill.dirty, false);
         }
         if !self.promotions.is_empty() {
@@ -356,7 +368,14 @@ impl MemoryHierarchy {
         }
     }
 
-    fn fill_l1(&mut self, line: LineAddr, cycle: u64, prefetched: bool, dirty: bool, already_demanded: bool) {
+    fn fill_l1(
+        &mut self,
+        line: LineAddr,
+        cycle: u64,
+        prefetched: bool,
+        dirty: bool,
+        already_demanded: bool,
+    ) {
         let evicted = self.l1.fill(line, cycle, prefetched);
         if dirty {
             self.l1.mark_dirty(line);
@@ -404,7 +423,9 @@ impl MemoryHierarchy {
         let l1_line = self.cfg.l1d.line_addr(acc.addr);
         let write = acc.kind.is_store();
         match self.l1.access(l1_line, write, now) {
-            AccessOutcome::Hit { first_demand_of_prefetch } => {
+            AccessOutcome::Hit {
+                first_demand_of_prefetch,
+            } => {
                 self.stats.l1_hits += 1;
                 let mut requests = std::mem::take(&mut self.scratch);
                 requests.clear();
@@ -416,7 +437,13 @@ impl MemoryHierarchy {
                     self.l2.mark_demanded(l2_line);
                     // Let the engine observe the miss this would have been.
                     let (tag, set) = self.cfg.l1d.split_line(l1_line);
-                    let info = L1MissInfo { access: acc, line: l1_line, tag, set, cycle: now };
+                    let info = L1MissInfo {
+                        access: acc,
+                        line: l1_line,
+                        tag,
+                        set,
+                        cycle: now,
+                    };
                     self.prefetcher.on_promoted_first_use(&info, &mut requests);
                 }
                 self.prefetcher.on_hit(&acc, l1_line, now, &mut requests);
@@ -424,13 +451,22 @@ impl MemoryHierarchy {
                     self.handle_prefetch(req, now);
                 }
                 self.scratch = requests;
-                AccessResult { completes_at: now + self.cfg.l1_hit_latency, serviced_by: ServicedBy::L1 }
+                AccessResult {
+                    completes_at: now + self.cfg.l1_hit_latency,
+                    serviced_by: ServicedBy::L1,
+                }
             }
             AccessOutcome::Miss => self.handle_l1_miss(acc, l1_line, write, now),
         }
     }
 
-    fn handle_l1_miss(&mut self, acc: MemAccess, l1_line: LineAddr, write: bool, now: u64) -> AccessResult {
+    fn handle_l1_miss(
+        &mut self,
+        acc: MemAccess,
+        l1_line: LineAddr,
+        write: bool,
+        now: u64,
+    ) -> AccessResult {
         // Secondary miss: merge into an in-flight demand fill. The block
         // is being delivered, so predictors observing per-block reuse
         // (DBCP traces, dead-block timekeeping) see this as a touch.
@@ -447,7 +483,10 @@ impl MemoryHierarchy {
             }
             self.scratch = requests;
             let completes_at = fill.ready_at.max(now + self.cfg.l1_hit_latency);
-            return AccessResult { completes_at, serviced_by: ServicedBy::L2 };
+            return AccessResult {
+                completes_at,
+                serviced_by: ServicedBy::L2,
+            };
         }
         // Merge into a pending L1 promotion.
         if let Some(p) = self.promotions.iter_mut().find(|p| p.line == l1_line) {
@@ -459,7 +498,10 @@ impl MemoryHierarchy {
                 self.l2.mark_demanded(l2_line);
             }
             let ready = p.ready_at;
-            return AccessResult { completes_at: ready.max(now + self.cfg.l1_hit_latency), serviced_by: ServicedBy::L2 };
+            return AccessResult {
+                completes_at: ready.max(now + self.cfg.l1_hit_latency),
+                serviced_by: ServicedBy::L2,
+            };
         }
 
         // Victim-cache swap: a conflict victim parked beside the L1
@@ -470,7 +512,10 @@ impl MemoryHierarchy {
                 self.stats.victim_hits += 1;
                 let done = now + self.cfg.victim_latency + self.cfg.l1_hit_latency;
                 self.fill_l1(l1_line, now, false, dirty || write, true);
-                return AccessResult { completes_at: done, serviced_by: ServicedBy::Victim };
+                return AccessResult {
+                    completes_at: done,
+                    serviced_by: ServicedBy::Victim,
+                };
             }
         }
 
@@ -478,7 +523,10 @@ impl MemoryHierarchy {
         self.stats.l1_misses += 1;
         let mut t = now;
         while self.l1_fills.is_full() {
-            let earliest = self.l1_fills.earliest_ready().expect("full file has entries");
+            let earliest = self
+                .l1_fills
+                .earliest_ready()
+                .expect("full file has entries");
             let wait_until = earliest.max(t + 1);
             self.stats.mshr_stall_cycles += wait_until - t;
             t = wait_until;
@@ -488,7 +536,10 @@ impl MemoryHierarchy {
         if write {
             if let Some(cap) = self.cfg.store_buffer_entries {
                 while self.store_fills.len() >= cap {
-                    let earliest = self.l1_fills.earliest_ready().expect("stores are in flight");
+                    let earliest = self
+                        .l1_fills
+                        .earliest_ready()
+                        .expect("stores are in flight");
                     let wait_until = earliest.max(t + 1);
                     self.stats.store_buffer_stall_cycles += wait_until - t;
                     t = wait_until;
@@ -501,12 +552,22 @@ impl MemoryHierarchy {
         self.l1_fills.allocate(l1_line, l1_done, false);
         if write {
             self.l1_fills.mark_dirty(l1_line);
-            self.store_fills.insert(l1_line);
+            // The set only feeds the bounded-store-buffer stall check, so
+            // skip the upkeep entirely when no bound is configured.
+            if self.cfg.store_buffer_entries.is_some() {
+                self.store_fills.insert(l1_line);
+            }
         }
 
         // Notify the prefetch engine of the primary miss.
         let (tag, set) = self.cfg.l1d.split_line(l1_line);
-        let info = L1MissInfo { access: acc, line: l1_line, tag, set, cycle: t };
+        let info = L1MissInfo {
+            access: acc,
+            line: l1_line,
+            tag,
+            set,
+            cycle: t,
+        };
         let mut requests = std::mem::take(&mut self.scratch);
         requests.clear();
         self.prefetcher.on_miss(&info, &mut requests);
@@ -516,8 +577,15 @@ impl MemoryHierarchy {
         self.scratch = requests;
 
         // Stores retire through the write buffer; loads wait for data.
-        let completes_at = if write { t + self.cfg.l1_hit_latency } else { l1_done };
-        AccessResult { completes_at, serviced_by }
+        let completes_at = if write {
+            t + self.cfg.l1_hit_latency
+        } else {
+            l1_done
+        };
+        AccessResult {
+            completes_at,
+            serviced_by,
+        }
     }
 
     /// Demand access to the L2. Returns the cycle at which the line is
@@ -534,7 +602,9 @@ impl MemoryHierarchy {
         }
 
         match self.l2.access(l2_line, write, t) {
-            AccessOutcome::Hit { first_demand_of_prefetch } => {
+            AccessOutcome::Hit {
+                first_demand_of_prefetch,
+            } => {
                 self.stats.l2_demand_hits += 1;
                 if first_demand_of_prefetch {
                     self.stats.l2_breakdown.prefetched_original += 1;
@@ -582,7 +652,11 @@ impl MemoryHierarchy {
             self.stats.prefetches_already_resident += 1;
             if req.target == PrefetchTarget::L1 && !self.l1.contains(req.line) {
                 let done = self.schedule_promotion_transfer(t_tag);
-                self.promotions.push(PendingPromotion { ready_at: done, line: req.line, demanded: false });
+                self.promotions.push(PendingPromotion {
+                    ready_at: done,
+                    line: req.line,
+                    demanded: false,
+                });
             }
             return;
         }
@@ -591,7 +665,11 @@ impl MemoryHierarchy {
             self.stats.prefetches_already_resident += 1;
             if req.target == PrefetchTarget::L1 && !self.l1.contains(req.line) {
                 let done = self.schedule_promotion_transfer(fill.ready_at);
-                self.promotions.push(PendingPromotion { ready_at: done, line: req.line, demanded: false });
+                self.promotions.push(PendingPromotion {
+                    ready_at: done,
+                    line: req.line,
+                    demanded: false,
+                });
             }
             return;
         }
@@ -605,7 +683,11 @@ impl MemoryHierarchy {
         self.l2_fills.allocate(l2_line, data_ready, true);
         if req.target == PrefetchTarget::L1 && !self.l1.contains(req.line) {
             let done = self.schedule_promotion_transfer(data_ready);
-            self.promotions.push(PendingPromotion { ready_at: done, line: req.line, demanded: false });
+            self.promotions.push(PendingPromotion {
+                ready_at: done,
+                line: req.line,
+                demanded: false,
+            });
         }
     }
 
@@ -714,7 +796,10 @@ mod tests {
     #[test]
     fn ideal_l2_never_accesses_memory() {
         let mut h = MemoryHierarchy::new(
-            HierarchyConfig { ideal_l2: true, ..HierarchyConfig::default() },
+            HierarchyConfig {
+                ideal_l2: true,
+                ..HierarchyConfig::default()
+            },
             Box::new(NullPrefetcher),
         );
         let mut t = 0;
@@ -732,7 +817,7 @@ mod tests {
         let mut h = hierarchy();
         let r = h.access(store(0x2000), 0);
         assert_eq!(r.completes_at, 2); // write buffer
-        // Line still arrives; later load hits.
+                                       // Line still arrives; later load hits.
         let r2 = h.access(load(0x2000), 200);
         assert_eq!(r2.serviced_by, ServicedBy::L1);
     }
@@ -750,7 +835,10 @@ mod tests {
 
     #[test]
     fn mshr_pressure_stalls() {
-        let cfg = HierarchyConfig { l1_mshrs: 2, ..HierarchyConfig::default() };
+        let cfg = HierarchyConfig {
+            l1_mshrs: 2,
+            ..HierarchyConfig::default()
+        };
         let mut h = MemoryHierarchy::new(cfg, Box::new(NullPrefetcher));
         // Three distinct lines at the same cycle: third must wait.
         h.access(load(0x1000), 0);
@@ -851,7 +939,10 @@ mod tests {
                 }
             }
         }
-        let cfg = HierarchyConfig { prefetch_buffer: 4, ..HierarchyConfig::default() };
+        let cfg = HierarchyConfig {
+            prefetch_buffer: 4,
+            ..HierarchyConfig::default()
+        };
         let mut h = MemoryHierarchy::new(cfg, Box::new(Blast));
         h.access(load(0x100000), 0);
         assert_eq!(h.stats().prefetches_to_memory, 4);
@@ -872,7 +963,10 @@ mod tests {
                 out.push(PrefetchRequest::to_l1(info.line.offset(2)));
             }
         }
-        let cfg = HierarchyConfig { separate_prefetch_bus: true, ..HierarchyConfig::default() };
+        let cfg = HierarchyConfig {
+            separate_prefetch_bus: true,
+            ..HierarchyConfig::default()
+        };
         let mut h = MemoryHierarchy::new(cfg, Box::new(PromoteNext));
         let r1 = h.access(load(0x1000), 0);
         let r2 = h.access(load(0x1040), r1.completes_at + 500);
@@ -903,7 +997,10 @@ mod tests {
         }
         let stats = h.finalize();
         assert!(stats.l1_writebacks >= 1, "dirty L1 line must write back");
-        assert!(stats.l2_writebacks >= 1, "dirty L2 victim must write to memory");
+        assert!(
+            stats.l2_writebacks >= 1,
+            "dirty L2 victim must write to memory"
+        );
     }
 
     #[test]
@@ -935,7 +1032,10 @@ mod tests {
                 out.push(PrefetchRequest::to_l2(info.line.offset(123)));
             }
         }
-        let cfg = HierarchyConfig { ideal_l2: true, ..HierarchyConfig::default() };
+        let cfg = HierarchyConfig {
+            ideal_l2: true,
+            ..HierarchyConfig::default()
+        };
         let mut h = MemoryHierarchy::new(cfg, Box::new(Noisy));
         let mut t = 0;
         for i in 0..50u64 {
@@ -950,7 +1050,10 @@ mod tests {
 
     #[test]
     fn victim_cache_turns_conflict_misses_into_swaps() {
-        let cfg = HierarchyConfig { victim_cache_entries: Some(8), ..HierarchyConfig::default() };
+        let cfg = HierarchyConfig {
+            victim_cache_entries: Some(8),
+            ..HierarchyConfig::default()
+        };
         let mut h = MemoryHierarchy::new(cfg, Box::new(NullPrefetcher));
         // Ping-pong between two lines in the same L1 set.
         let a = 0x1000u64;
@@ -962,14 +1065,25 @@ mod tests {
             t = r.completes_at + 1;
         }
         let stats = h.finalize();
-        assert!(stats.victim_hits >= 16, "ping-pong should swap, got {}", stats.victim_hits);
+        assert!(
+            stats.victim_hits >= 16,
+            "ping-pong should swap, got {}",
+            stats.victim_hits
+        );
         // After the first two fetches the L2 sees nothing new.
-        assert!(stats.l2_demand_accesses <= 3, "L2 accesses {}", stats.l2_demand_accesses);
+        assert!(
+            stats.l2_demand_accesses <= 3,
+            "L2 accesses {}",
+            stats.l2_demand_accesses
+        );
     }
 
     #[test]
     fn victim_cache_swap_is_fast() {
-        let cfg = HierarchyConfig { victim_cache_entries: Some(4), ..HierarchyConfig::default() };
+        let cfg = HierarchyConfig {
+            victim_cache_entries: Some(4),
+            ..HierarchyConfig::default()
+        };
         let mut h = MemoryHierarchy::new(cfg, Box::new(NullPrefetcher));
         let a = 0x1000u64;
         let b = a + 32 * 1024;
@@ -984,7 +1098,11 @@ mod tests {
     #[test]
     fn dtlb_misses_add_walk_latency() {
         let cfg = HierarchyConfig {
-            dtlb: Some(crate::TlbConfig { entries: 4, page_bits: 13, miss_penalty: 30 }),
+            dtlb: Some(crate::TlbConfig {
+                entries: 4,
+                page_bits: 13,
+                miss_penalty: 30,
+            }),
             ..HierarchyConfig::default()
         };
         let mut h = MemoryHierarchy::new(cfg, Box::new(NullPrefetcher));
@@ -999,7 +1117,10 @@ mod tests {
 
     #[test]
     fn bounded_store_buffer_stalls_store_bursts() {
-        let cfg = HierarchyConfig { store_buffer_entries: Some(2), ..HierarchyConfig::default() };
+        let cfg = HierarchyConfig {
+            store_buffer_entries: Some(2),
+            ..HierarchyConfig::default()
+        };
         let mut h = MemoryHierarchy::new(cfg, Box::new(NullPrefetcher));
         // Four stores to distinct lines in the same cycle: the third must
         // wait for a buffer slot.
@@ -1012,10 +1133,15 @@ mod tests {
     #[test]
     fn validate_accepts_table1_and_variants() {
         assert_eq!(HierarchyConfig::default().validate(), Ok(()));
-        let victim =
-            HierarchyConfig { victim_cache_entries: Some(8), ..HierarchyConfig::default() };
+        let victim = HierarchyConfig {
+            victim_cache_entries: Some(8),
+            ..HierarchyConfig::default()
+        };
         assert_eq!(victim.validate(), Ok(()));
-        let tlb = HierarchyConfig { dtlb: Some(TlbConfig::default()), ..HierarchyConfig::default() };
+        let tlb = HierarchyConfig {
+            dtlb: Some(TlbConfig::default()),
+            ..HierarchyConfig::default()
+        };
         assert_eq!(tlb.validate(), Ok(()));
     }
 
@@ -1028,7 +1154,10 @@ mod tests {
         };
         assert_eq!(
             cfg.validate(),
-            Err(ConfigError::LineSizeMismatch { l1_line: 128, l2_line: 64 })
+            Err(ConfigError::LineSizeMismatch {
+                l1_line: 128,
+                l2_line: 64
+            })
         );
     }
 
@@ -1036,16 +1165,24 @@ mod tests {
     fn validate_rejects_zero_fields() {
         for (mk, field) in [
             (
-                Box::new(|| HierarchyConfig { l1_mshrs: 0, ..HierarchyConfig::default() })
-                    as Box<dyn Fn() -> HierarchyConfig>,
+                Box::new(|| HierarchyConfig {
+                    l1_mshrs: 0,
+                    ..HierarchyConfig::default()
+                }) as Box<dyn Fn() -> HierarchyConfig>,
                 "l1_mshrs",
             ),
             (
-                Box::new(|| HierarchyConfig { memory_latency: 0, ..HierarchyConfig::default() }),
+                Box::new(|| HierarchyConfig {
+                    memory_latency: 0,
+                    ..HierarchyConfig::default()
+                }),
                 "memory_latency",
             ),
             (
-                Box::new(|| HierarchyConfig { l1_bus_cycles: 0, ..HierarchyConfig::default() }),
+                Box::new(|| HierarchyConfig {
+                    l1_bus_cycles: 0,
+                    ..HierarchyConfig::default()
+                }),
                 "l1_bus_cycles",
             ),
             (
@@ -1070,20 +1207,32 @@ mod tests {
     #[test]
     fn validate_rejects_bad_tlb() {
         let cfg = HierarchyConfig {
-            dtlb: Some(TlbConfig { entries: 0, ..TlbConfig::default() }),
+            dtlb: Some(TlbConfig {
+                entries: 0,
+                ..TlbConfig::default()
+            }),
             ..HierarchyConfig::default()
         };
         assert!(matches!(cfg.validate(), Err(ConfigError::ZeroField { .. })));
         let cfg = HierarchyConfig {
-            dtlb: Some(TlbConfig { page_bits: 64, ..TlbConfig::default() }),
+            dtlb: Some(TlbConfig {
+                page_bits: 64,
+                ..TlbConfig::default()
+            }),
             ..HierarchyConfig::default()
         };
-        assert!(matches!(cfg.validate(), Err(ConfigError::OutOfRange { .. })));
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::OutOfRange { .. })
+        ));
     }
 
     #[test]
     fn try_new_rejects_invalid_and_accepts_valid() {
-        let bad = HierarchyConfig { l2_latency: 0, ..HierarchyConfig::default() };
+        let bad = HierarchyConfig {
+            l2_latency: 0,
+            ..HierarchyConfig::default()
+        };
         assert!(MemoryHierarchy::try_new(bad, Box::new(NullPrefetcher)).is_err());
         let mut h =
             MemoryHierarchy::try_new(HierarchyConfig::default(), Box::new(NullPrefetcher)).unwrap();

@@ -6,7 +6,6 @@
 //! and when all registers are busy new misses must wait for the earliest
 //! completion — the mechanism that caps memory-level parallelism.
 
-use std::collections::HashMap;
 use tcp_mem::LineAddr;
 
 /// An in-flight fill tracked by an MSHR.
@@ -35,10 +34,20 @@ pub struct InflightFill {
 /// m.allocate(l, 100, false);
 /// assert_eq!(m.lookup(l).unwrap().ready_at, 100);
 /// ```
+/// The file holds at most `capacity` entries — 64 on the Table 1 machine
+/// — so it is a flat `Vec` rather than a hash map: a linear scan over a
+/// few cache lines beats hashing at this size, and the cached minimum
+/// `ready_at` lets [`MshrFile::drain_ready`] (called on *every* hierarchy
+/// access via `advance`) return without scanning or allocating in the
+/// common nothing-is-ready case.
 #[derive(Clone, Debug)]
 pub struct MshrFile {
     capacity: usize,
-    inflight: HashMap<LineAddr, InflightFill>,
+    inflight: Vec<(LineAddr, InflightFill)>,
+    /// Exact minimum `ready_at` over `inflight`; `u64::MAX` when empty.
+    /// `ready_at` never changes after allocation, so this stays exact
+    /// without per-mutation upkeep beyond allocate/drain.
+    min_ready: u64,
 }
 
 impl MshrFile {
@@ -49,7 +58,11 @@ impl MshrFile {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "MSHR capacity must be nonzero");
-        MshrFile { capacity, inflight: HashMap::new() }
+        MshrFile {
+            capacity,
+            inflight: Vec::with_capacity(capacity),
+            min_ready: u64::MAX,
+        }
     }
 
     /// Number of registers.
@@ -69,18 +82,29 @@ impl MshrFile {
 
     /// Looks up an in-flight fill for `line`.
     pub fn lookup(&self, line: LineAddr) -> Option<&InflightFill> {
-        self.inflight.get(&line)
+        self.inflight
+            .iter()
+            .find(|(l, _)| *l == line)
+            .map(|(_, f)| f)
+    }
+
+    fn lookup_mut(&mut self, line: LineAddr) -> Option<&mut InflightFill> {
+        self.inflight
+            .iter_mut()
+            .find(|(l, _)| *l == line)
+            .map(|(_, f)| f)
     }
 
     /// Marks an in-flight fill as demanded (a demand miss merged into it).
     ///
     /// Returns `false` if no fill for `line` is in flight.
     pub fn mark_demanded(&mut self, line: LineAddr) -> bool {
-        if let Some(f) = self.inflight.get_mut(&line) {
-            f.demanded = true;
-            true
-        } else {
-            false
+        match self.lookup_mut(line) {
+            Some(f) => {
+                f.demanded = true;
+                true
+            }
+            None => false,
         }
     }
 
@@ -93,47 +117,76 @@ impl MshrFile {
     /// [`MshrFile::lookup`] first.
     pub fn allocate(&mut self, line: LineAddr, ready_at: u64, is_prefetch: bool) {
         assert!(!self.is_full(), "MSHR file is full");
-        let prev = self
-            .inflight
-            .insert(line, InflightFill { ready_at, is_prefetch, demanded: !is_prefetch, dirty: false });
-        assert!(prev.is_none(), "duplicate MSHR allocation for {line}");
+        assert!(
+            self.lookup(line).is_none(),
+            "duplicate MSHR allocation for {line}"
+        );
+        self.inflight.push((
+            line,
+            InflightFill {
+                ready_at,
+                is_prefetch,
+                demanded: !is_prefetch,
+                dirty: false,
+            },
+        ));
+        self.min_ready = self.min_ready.min(ready_at);
     }
 
     /// Marks an in-flight fill dirty (a store merged into it).
     ///
     /// Returns `false` if no fill for `line` is in flight.
     pub fn mark_dirty(&mut self, line: LineAddr) -> bool {
-        if let Some(f) = self.inflight.get_mut(&line) {
-            f.dirty = true;
-            true
-        } else {
-            false
+        match self.lookup_mut(line) {
+            Some(f) => {
+                f.dirty = true;
+                true
+            }
+            None => false,
         }
     }
 
     /// Earliest completion cycle among in-flight fills, if any.
     pub fn earliest_ready(&self) -> Option<u64> {
-        self.inflight.values().map(|f| f.ready_at).min()
+        if self.inflight.is_empty() {
+            None
+        } else {
+            Some(self.min_ready)
+        }
     }
 
     /// Removes and returns every fill with `ready_at <= now`.
     pub fn drain_ready(&mut self, now: u64) -> Vec<(LineAddr, InflightFill)> {
-        let ready: Vec<LineAddr> =
-            self.inflight.iter().filter(|(_, f)| f.ready_at <= now).map(|(l, _)| *l).collect();
-        let mut out = Vec::with_capacity(ready.len());
-        for l in ready {
-            let f = self.inflight.remove(&l).expect("key listed above");
-            out.push((l, f));
+        if now < self.min_ready {
+            // Nothing is ready; `Vec::new` does not allocate.
+            return Vec::new();
         }
-        // Deterministic order for reproducibility.
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < self.inflight.len() {
+            if self.inflight[i].1.ready_at <= now {
+                out.push(self.inflight.swap_remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        // Deterministic order for reproducibility (line addresses are
+        // unique, so the pre-sort order cannot influence the result).
         out.sort_by_key(|(l, f)| (f.ready_at, l.line_number()));
+        self.min_ready = self
+            .inflight
+            .iter()
+            .map(|(_, f)| f.ready_at)
+            .min()
+            .unwrap_or(u64::MAX);
         out
     }
 
     /// Removes every in-flight fill, returning them (end-of-run cleanup).
     pub fn drain_all(&mut self) -> Vec<(LineAddr, InflightFill)> {
-        let mut out: Vec<_> = self.inflight.drain().collect();
+        let mut out: Vec<_> = std::mem::take(&mut self.inflight);
         out.sort_by_key(|(l, f)| (f.ready_at, l.line_number()));
+        self.min_ready = u64::MAX;
         out
     }
 }
@@ -198,7 +251,13 @@ mod tests {
         m.allocate(l(2), 10, false);
         m.allocate(l(3), 20, true);
         let drained = m.drain_ready(25);
-        assert_eq!(drained.iter().map(|(a, _)| a.line_number()).collect::<Vec<_>>(), vec![2, 3]);
+        assert_eq!(
+            drained
+                .iter()
+                .map(|(a, _)| a.line_number())
+                .collect::<Vec<_>>(),
+            vec![2, 3]
+        );
         assert_eq!(m.in_use(), 1);
         assert_eq!(m.earliest_ready(), Some(30));
     }

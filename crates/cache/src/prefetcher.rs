@@ -47,12 +47,18 @@ pub struct PrefetchRequest {
 impl PrefetchRequest {
     /// A request targeting the L2 (the common case).
     pub const fn to_l2(line: LineAddr) -> Self {
-        PrefetchRequest { line, target: PrefetchTarget::L2 }
+        PrefetchRequest {
+            line,
+            target: PrefetchTarget::L2,
+        }
     }
 
     /// A request that also promotes into the L1.
     pub const fn to_l1(line: LineAddr) -> Self {
-        PrefetchRequest { line, target: PrefetchTarget::L1 }
+        PrefetchRequest {
+            line,
+            target: PrefetchTarget::L1,
+        }
     }
 }
 
@@ -77,7 +83,13 @@ pub trait Prefetcher {
     /// Called on every L1 data-cache hit. Default: ignored. Engines that
     /// predict mid-generation (e.g. DBCP's dead-block signatures complete
     /// on a hit) may push prefetch requests into `out`.
-    fn on_hit(&mut self, _access: &MemAccess, _line: LineAddr, _cycle: u64, _out: &mut Vec<PrefetchRequest>) {
+    fn on_hit(
+        &mut self,
+        _access: &MemAccess,
+        _line: LineAddr,
+        _cycle: u64,
+        _out: &mut Vec<PrefetchRequest>,
+    ) {
     }
 
     /// Called on the *first demand use* of a line that a prefetch

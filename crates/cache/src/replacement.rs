@@ -7,7 +7,7 @@ use tcp_mem::SplitMix64;
 /// The paper's caches are LRU (Table 1); FIFO, Random, and tree-PLRU are
 /// provided for ablation studies and for stress-testing prefetcher
 /// robustness against different eviction orders.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum Replacement {
     /// Evict the least-recently-used way (the paper's configuration).
     #[default]
@@ -38,27 +38,62 @@ impl Replacement {
     ///
     /// Panics if `ways` is empty.
     pub fn choose_victim(&mut self, ways: &[(u64, u64)]) -> usize {
-        assert!(!ways.is_empty(), "cannot choose a victim among zero ways");
+        self.choose_victim_by(ways.len(), |i| ways[i])
+    }
+
+    /// Chooses a victim among `n` occupied ways whose
+    /// `(fill_order, last_access_order)` stamps are produced on demand by
+    /// `stamp` — the allocation-free form [`choose_victim`] wraps. The
+    /// cache's fill path uses this to select victims directly from its way
+    /// array without materialising a stamp slice per eviction.
+    ///
+    /// Ties break toward the lowest way index for every policy, matching
+    /// [`choose_victim`] exactly.
+    ///
+    /// [`choose_victim`]: Replacement::choose_victim
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn choose_victim_by(&mut self, n: usize, stamp: impl Fn(usize) -> (u64, u64)) -> usize {
+        assert!(n > 0, "cannot choose a victim among zero ways");
         match self {
+            // First strict minimum wins, as `min_by_key` ties do.
             Replacement::Lru => {
-                ways.iter().enumerate().min_by_key(|(_, &(_, last))| last).map(|(i, _)| i).expect("nonempty")
+                let mut best = 0;
+                let mut best_last = stamp(0).1;
+                for i in 1..n {
+                    let last = stamp(i).1;
+                    if last < best_last {
+                        best = i;
+                        best_last = last;
+                    }
+                }
+                best
             }
             Replacement::Fifo => {
-                ways.iter().enumerate().min_by_key(|(_, &(fill, _))| fill).map(|(i, _)| i).expect("nonempty")
+                let mut best = 0;
+                let mut best_fill = stamp(0).0;
+                for i in 1..n {
+                    let fill = stamp(i).0;
+                    if fill < best_fill {
+                        best = i;
+                        best_fill = fill;
+                    }
+                }
+                best
             }
-            Replacement::Random(rng) => rng.next_below(ways.len() as u64) as usize,
+            Replacement::Random(rng) => rng.next_below(n as u64) as usize,
             Replacement::TreePlru => {
                 // Binary descent: at each level keep the half whose most
                 // recent access is older (the half the PLRU bits would
                 // point away from).
                 let mut lo = 0usize;
-                let mut hi = ways.len();
+                let mut hi = n;
                 while hi - lo > 1 {
                     let mid = lo + (hi - lo) / 2;
-                    let newest_left =
-                        ways[lo..mid].iter().map(|&(_, last)| last).max().unwrap_or(0);
-                    let newest_right =
-                        ways[mid..hi].iter().map(|&(_, last)| last).max().unwrap_or(0);
+                    let newest_left = (lo..mid).map(|i| stamp(i).1).max().unwrap_or(0);
+                    let newest_right = (mid..hi).map(|i| stamp(i).1).max().unwrap_or(0);
                     if newest_left <= newest_right {
                         hi = mid;
                     } else {
@@ -125,8 +160,9 @@ mod tests {
     fn tree_plru_never_evicts_the_most_recent_way() {
         let mut p = Replacement::TreePlru;
         for newest in 0..8usize {
-            let ways: Vec<(u64, u64)> =
-                (0..8).map(|i| (0, if i == newest { 100 } else { i as u64 })).collect();
+            let ways: Vec<(u64, u64)> = (0..8)
+                .map(|i| (0, if i == newest { 100 } else { i as u64 }))
+                .collect();
             assert_ne!(p.choose_victim(&ways), newest, "MRU way must survive");
         }
     }
@@ -135,5 +171,31 @@ mod tests {
     #[should_panic(expected = "zero ways")]
     fn empty_ways_panics() {
         Replacement::Lru.choose_victim(&[]);
+    }
+
+    #[test]
+    fn by_form_matches_slice_form_including_ties() {
+        let cases: Vec<Vec<(u64, u64)>> = vec![
+            vec![(0, 5), (1, 2), (2, 9)],
+            vec![(3, 4), (3, 4), (1, 4), (2, 2)],
+            vec![(7, 1)],
+            vec![(5, 5); 8],
+            (0..8).map(|i| (i, (i * 31) % 7)).collect(),
+        ];
+        for ways in &cases {
+            for p in [Replacement::Lru, Replacement::Fifo, Replacement::TreePlru] {
+                let (mut a, mut b) = (p, p);
+                assert_eq!(
+                    a.choose_victim(ways),
+                    b.choose_victim_by(ways.len(), |i| ways[i]),
+                    "{p:?} on {ways:?}"
+                );
+            }
+            let (mut a, mut b) = (Replacement::random(9), Replacement::random(9));
+            assert_eq!(
+                a.choose_victim(ways),
+                b.choose_victim_by(ways.len(), |i| ways[i])
+            );
+        }
     }
 }

@@ -123,7 +123,9 @@ impl HierarchyStats {
         if self.prefetches_to_memory == 0 {
             0.0
         } else {
-            let useful = self.prefetches_to_memory.saturating_sub(self.l2_breakdown.prefetched_extra);
+            let useful = self
+                .prefetches_to_memory
+                .saturating_sub(self.l2_breakdown.prefetched_extra);
             useful as f64 / self.prefetches_to_memory as f64
         }
     }
@@ -164,7 +166,13 @@ mod tests {
 
     #[test]
     fn miss_rate_counts_merges() {
-        let s = HierarchyStats { loads: 8, stores: 2, l1_misses: 2, l1_mshr_merges: 1, ..Default::default() };
+        let s = HierarchyStats {
+            loads: 8,
+            stores: 2,
+            l1_misses: 2,
+            l1_mshr_merges: 1,
+            ..Default::default()
+        };
         assert!((s.l1_miss_rate() - 0.3).abs() < 1e-12);
     }
 
@@ -172,7 +180,10 @@ mod tests {
     fn prefetch_accuracy_uses_extra() {
         let s = HierarchyStats {
             prefetches_to_memory: 10,
-            l2_breakdown: L2AccessBreakdown { prefetched_extra: 4, ..Default::default() },
+            l2_breakdown: L2AccessBreakdown {
+                prefetched_extra: 4,
+                ..Default::default()
+            },
             ..Default::default()
         };
         assert!((s.prefetch_accuracy() - 0.6).abs() < 1e-12);

@@ -25,7 +25,11 @@ pub struct TlbConfig {
 impl Default for TlbConfig {
     fn default() -> Self {
         // 128-entry, 8 KB pages, 30-cycle walk: era-appropriate.
-        TlbConfig { entries: 128, page_bits: 13, miss_penalty: 30 }
+        TlbConfig {
+            entries: 128,
+            page_bits: 13,
+            miss_penalty: 30,
+        }
     }
 }
 
@@ -59,8 +63,17 @@ impl Tlb {
     /// Panics if `entries` is zero or `page_bits` is not in `1..=63`.
     pub fn new(cfg: TlbConfig) -> Self {
         assert!(cfg.entries > 0, "TLB needs at least one entry");
-        assert!(cfg.page_bits >= 1 && cfg.page_bits < 64, "page size out of range");
-        Tlb { cfg, entries: HashMap::new(), stamp: 0, hits: 0, misses: 0 }
+        assert!(
+            cfg.page_bits >= 1 && cfg.page_bits < 64,
+            "page size out of range"
+        );
+        Tlb {
+            cfg,
+            entries: HashMap::new(),
+            stamp: 0,
+            hits: 0,
+            misses: 0,
+        }
     }
 
     /// The configuration.
@@ -114,7 +127,11 @@ mod tests {
     use super::*;
 
     fn tiny() -> Tlb {
-        Tlb::new(TlbConfig { entries: 2, page_bits: 12, miss_penalty: 30 })
+        Tlb::new(TlbConfig {
+            entries: 2,
+            page_bits: 12,
+            miss_penalty: 30,
+        })
     }
 
     #[test]
@@ -140,12 +157,19 @@ mod tests {
 
     #[test]
     fn capacity_never_exceeded() {
-        let mut t = Tlb::new(TlbConfig { entries: 8, page_bits: 12, miss_penalty: 30 });
+        let mut t = Tlb::new(TlbConfig {
+            entries: 8,
+            page_bits: 12,
+            miss_penalty: 30,
+        });
         for i in 0..100u64 {
             t.access(Addr::new(i * 4096), i);
             assert!(t.resident_pages() <= 8);
         }
-        assert!((t.miss_rate() - 1.0).abs() < 1e-12, "a pure page sweep always misses");
+        assert!(
+            (t.miss_rate() - 1.0).abs() < 1e-12,
+            "a pure page sweep always misses"
+        );
     }
 
     #[test]
@@ -156,6 +180,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one")]
     fn zero_entries_rejected() {
-        let _ = Tlb::new(TlbConfig { entries: 0, page_bits: 12, miss_penalty: 1 });
+        let _ = Tlb::new(TlbConfig {
+            entries: 0,
+            page_bits: 12,
+            miss_penalty: 1,
+        });
     }
 }

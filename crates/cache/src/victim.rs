@@ -42,7 +42,12 @@ impl VictimCache {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "victim cache needs at least one entry");
-        VictimCache { capacity, entries: VecDeque::with_capacity(capacity), hits: 0, misses: 0 }
+        VictimCache {
+            capacity,
+            entries: VecDeque::with_capacity(capacity),
+            hits: 0,
+            misses: 0,
+        }
     }
 
     /// Number of line slots.
@@ -75,8 +80,11 @@ impl VictimCache {
             self.entries.push_back((line, dirty || old_dirty));
             return None;
         }
-        let overflow =
-            if self.entries.len() == self.capacity { self.entries.pop_front() } else { None };
+        let overflow = if self.entries.len() == self.capacity {
+            self.entries.pop_front()
+        } else {
+            None
+        };
         self.entries.push_back((line, dirty));
         overflow
     }

@@ -22,7 +22,11 @@ pub struct DbpConfig {
 
 impl Default for DbpConfig {
     fn default() -> Self {
-        DbpConfig { frames: 1024, live_time_multiple: 2, min_dead_cycles: 1024 }
+        DbpConfig {
+            frames: 1024,
+            live_time_multiple: 2,
+            min_dead_cycles: 1024,
+        }
     }
 }
 
@@ -62,8 +66,15 @@ impl TimekeepingDbp {
     /// Panics if `frames` or `live_time_multiple` is zero.
     pub fn new(cfg: DbpConfig) -> Self {
         assert!(cfg.frames > 0, "need at least one frame");
-        assert!(cfg.live_time_multiple > 0, "live-time multiple must be nonzero");
-        TimekeepingDbp { cfg, frames: vec![FrameState::default(); cfg.frames as usize], deaths_learned: 0 }
+        assert!(
+            cfg.live_time_multiple > 0,
+            "live-time multiple must be nonzero"
+        );
+        TimekeepingDbp {
+            cfg,
+            frames: vec![FrameState::default(); cfg.frames as usize],
+            deaths_learned: 0,
+        }
     }
 
     /// The configuration.
@@ -110,7 +121,11 @@ impl TimekeepingDbp {
         let f = self.frame_mut(frame);
         if f.valid {
             let observed = f.last_access.saturating_sub(f.fill);
-            f.live_estimate = if f.live_estimate == 0 { observed } else { (f.live_estimate + observed) / 2 };
+            f.live_estimate = if f.live_estimate == 0 {
+                observed
+            } else {
+                (f.live_estimate + observed) / 2
+            };
             f.valid = false;
         }
     }
@@ -124,7 +139,8 @@ impl TimekeepingDbp {
             return false;
         }
         let idle = now.saturating_sub(f.last_access);
-        let threshold = (f.live_estimate * self.cfg.live_time_multiple).max(self.cfg.min_dead_cycles);
+        let threshold =
+            (f.live_estimate * self.cfg.live_time_multiple).max(self.cfg.min_dead_cycles);
         idle > threshold
     }
 }
@@ -134,7 +150,11 @@ mod tests {
     use super::*;
 
     fn dbp() -> TimekeepingDbp {
-        TimekeepingDbp::new(DbpConfig { frames: 8, live_time_multiple: 2, min_dead_cycles: 100 })
+        TimekeepingDbp::new(DbpConfig {
+            frames: 8,
+            live_time_multiple: 2,
+            min_dead_cycles: 100,
+        })
     }
 
     #[test]
@@ -210,6 +230,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "multiple")]
     fn zero_multiple_rejected() {
-        let _ = TimekeepingDbp::new(DbpConfig { frames: 4, live_time_multiple: 0, min_dead_cycles: 1 });
+        let _ = TimekeepingDbp::new(DbpConfig {
+            frames: 4,
+            live_time_multiple: 0,
+            min_dead_cycles: 1,
+        });
     }
 }

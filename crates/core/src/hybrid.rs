@@ -38,7 +38,11 @@ impl HybridTcp {
         let mut dbp_cfg = dbp_cfg;
         // One frame per L1 set of the observed cache (direct-mapped L1).
         dbp_cfg.frames = tcp_cfg.l1.num_sets();
-        HybridTcp { tcp, dbp: TimekeepingDbp::new(dbp_cfg), name }
+        HybridTcp {
+            tcp,
+            dbp: TimekeepingDbp::new(dbp_cfg),
+            name,
+        }
     }
 
     /// The wrapped TCP.
@@ -80,7 +84,13 @@ impl Prefetcher for HybridTcp {
         }
     }
 
-    fn on_hit(&mut self, _access: &MemAccess, line: LineAddr, cycle: u64, _out: &mut Vec<PrefetchRequest>) {
+    fn on_hit(
+        &mut self,
+        _access: &MemAccess,
+        line: LineAddr,
+        cycle: u64,
+        _out: &mut Vec<PrefetchRequest>,
+    ) {
         let frame = self.frame_of(line);
         self.dbp.on_access(frame, cycle);
     }
@@ -150,7 +160,12 @@ mod tests {
         let g = TcpConfig::tcp_8k().l1;
         // Touch the frame now: definitely live.
         h.on_l1_fill(g.compose(Tag::new(9), SetIndex::new(7)), 100);
-        h.on_hit(&MemAccess::load(Addr::new(0), Addr::new(0)), g.compose(Tag::new(9), SetIndex::new(7)), 101, &mut Vec::new());
+        h.on_hit(
+            &MemAccess::load(Addr::new(0), Addr::new(0)),
+            g.compose(Tag::new(9), SetIndex::new(7)),
+            101,
+            &mut Vec::new(),
+        );
         let mut out = Vec::new();
         h.on_miss(&info(2, 7, 102), &mut out);
         assert!(!out.is_empty());
@@ -166,7 +181,10 @@ mod tests {
         let mut out = Vec::new();
         h.on_miss(&info(2, 7, 10_000_000), &mut out);
         assert!(!out.is_empty());
-        assert!(out.iter().all(|r| r.target == PrefetchTarget::L1), "dead frame should promote");
+        assert!(
+            out.iter().all(|r| r.target == PrefetchTarget::L1),
+            "dead frame should promote"
+        );
     }
 
     #[test]
@@ -175,7 +193,12 @@ mod tests {
         let g = TcpConfig::tcp_8k().l1;
         let line = g.compose(Tag::new(5), SetIndex::new(3));
         h.on_l1_fill(line, 0);
-        h.on_hit(&MemAccess::load(Addr::new(0), Addr::new(0)), line, 500, &mut Vec::new());
+        h.on_hit(
+            &MemAccess::load(Addr::new(0), Addr::new(0)),
+            line,
+            500,
+            &mut Vec::new(),
+        );
         h.on_l1_evict(line, 600);
         assert_eq!(h.dead_block_predictor().deaths_learned(), 1);
     }

@@ -40,13 +40,25 @@ impl PhtConfig {
     /// The paper's 8 KB PHT: 256 sets × 8 ways × 4-byte entries, no miss
     /// index bits (fully shared).
     pub const fn pht_8k() -> Self {
-        PhtConfig { sets: 256, assoc: 8, miss_index_bits: 0, tag_bits: 16, targets: 1 }
+        PhtConfig {
+            sets: 256,
+            assoc: 8,
+            miss_index_bits: 0,
+            tag_bits: 16,
+            targets: 1,
+        }
     }
 
     /// The paper's idealised 8 MB PHT: 262144 sets × 8 ways, full 10-bit
     /// miss index (fully per-set).
     pub const fn pht_8m() -> Self {
-        PhtConfig { sets: 262_144, assoc: 8, miss_index_bits: 10, tag_bits: 16, targets: 1 }
+        PhtConfig {
+            sets: 262_144,
+            assoc: 8,
+            miss_index_bits: 10,
+            tag_bits: 16,
+            targets: 1,
+        }
     }
 
     /// A PHT of approximately `bytes` total storage with the given miss
@@ -60,10 +72,23 @@ impl PhtConfig {
         let entry_bytes = 4;
         let assoc = 8;
         let sets = (bytes / (entry_bytes * assoc)).next_power_of_two() as u32;
-        assert!(bytes >= entry_bytes * assoc, "PHT must hold at least one set");
-        let sets = if (sets as usize) * entry_bytes * assoc > bytes { sets / 2 } else { sets };
+        assert!(
+            bytes >= entry_bytes * assoc,
+            "PHT must hold at least one set"
+        );
+        let sets = if (sets as usize) * entry_bytes * assoc > bytes {
+            sets / 2
+        } else {
+            sets
+        };
         assert!(sets >= 1, "PHT must hold at least one set");
-        PhtConfig { sets, assoc: assoc as u32, miss_index_bits, tag_bits: 16, targets: 1 }
+        PhtConfig {
+            sets,
+            assoc: assoc as u32,
+            miss_index_bits,
+            tag_bits: 16,
+            targets: 1,
+        }
     }
 
     /// Total storage in bytes: `sets × assoc × (1 + targets) × tag_bits / 8`
@@ -83,11 +108,11 @@ impl PhtConfig {
     }
 }
 
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 struct PhtEntry {
-    tag: Tag,             // truncated: disambiguates within the set
-    targets: Vec<Tag>,    // truncated successors, most recent first
-    last_use: u64,        // LRU stamp
+    tag: Tag,       // truncated: disambiguates within the set
+    last_use: u64,  // LRU stamp
+    n_targets: u32, // live prefix length of this entry's arena row
 }
 
 /// A set-associative pattern history table.
@@ -108,6 +133,11 @@ struct PhtEntry {
 pub struct PatternHistoryTable {
     cfg: PhtConfig,
     entries: Vec<Option<PhtEntry>>,
+    /// Flat successor-tag arena: entry (way) `i` owns the row
+    /// `targets[i * cfg.targets .. (i + 1) * cfg.targets]`, of which the
+    /// first `n_targets` elements are live (most recent first). Keeping
+    /// targets out of line makes training and lookup allocation-free.
+    targets: Vec<Tag>,
     order: u64,
     trains: u64,
     lookups: u64,
@@ -122,17 +152,25 @@ impl PatternHistoryTable {
     /// Panics if `sets` is not a power of two, `assoc` is zero, or
     /// `miss_index_bits` exceeds the index width.
     pub fn new(cfg: PhtConfig) -> Self {
-        assert!(cfg.sets.is_power_of_two(), "PHT sets must be a power of two");
+        assert!(
+            cfg.sets.is_power_of_two(),
+            "PHT sets must be a power of two"
+        );
         assert!(cfg.assoc >= 1, "PHT associativity must be nonzero");
         assert!(
             cfg.miss_index_bits <= cfg.sets.trailing_zeros(),
             "miss index bits exceed the PHT index width"
         );
-        assert!(cfg.tag_bits >= 1 && cfg.tag_bits <= 64, "tag width out of range");
+        assert!(
+            cfg.tag_bits >= 1 && cfg.tag_bits <= 64,
+            "tag width out of range"
+        );
         assert!(cfg.targets >= 1, "entries must store at least one target");
+        let ways = cfg.sets as usize * cfg.assoc as usize;
         PatternHistoryTable {
             cfg,
-            entries: vec![None; cfg.sets as usize * cfg.assoc as usize],
+            entries: vec![None; ways],
+            targets: vec![Tag::default(); ways * cfg.targets as usize],
             order: 0,
             trains: 0,
             lookups: 0,
@@ -160,13 +198,20 @@ impl PatternHistoryTable {
         let n = self.cfg.miss_index_bits;
         let m = self.cfg.sum_bits();
         let high = truncated_sum(seq, m);
-        let low = if n == 0 { 0 } else { u64::from(miss_index.raw()) & ((1 << n) - 1) };
+        let low = if n == 0 {
+            0
+        } else {
+            u64::from(miss_index.raw()) & ((1 << n) - 1)
+        };
         let idx = ((high << n) | low) & u64::from(self.cfg.sets - 1);
         idx as usize
     }
 
     fn entry_tag(&self, seq: &[Tag]) -> Tag {
-        seq.last().copied().unwrap_or_default().truncate(self.cfg.tag_bits)
+        seq.last()
+            .copied()
+            .unwrap_or_default()
+            .truncate(self.cfg.tag_bits)
     }
 
     /// Records that sequence `seq` (oldest first, most recent last) at L1
@@ -178,59 +223,91 @@ impl PatternHistoryTable {
         let etag = self.entry_tag(seq);
         let next = next.truncate(self.cfg.tag_bits);
         let base = set * self.cfg.assoc as usize;
-        let ways = &mut self.entries[base..base + self.cfg.assoc as usize];
+        let assoc = self.cfg.assoc as usize;
         let max_targets = self.cfg.targets as usize;
         // Existing entry for this sequence tag?
-        if let Some(e) = ways.iter_mut().flatten().find(|e| e.tag == etag) {
-            if let Some(pos) = e.targets.iter().position(|&t| t == next) {
-                e.targets.remove(pos);
-            } else if e.targets.len() == max_targets {
-                e.targets.pop();
+        for way in base..base + assoc {
+            let Some(e) = &mut self.entries[way] else {
+                continue;
+            };
+            if e.tag != etag {
+                continue;
             }
-            e.targets.insert(0, next);
+            let row = &mut self.targets[way * max_targets..(way + 1) * max_targets];
+            let n = e.n_targets as usize;
+            if let Some(pos) = row[..n].iter().position(|&t| t == next) {
+                // Move the matched target to the front of the live prefix.
+                row[..=pos].rotate_right(1);
+            } else {
+                // Push front; the oldest target falls off a full row.
+                let keep = n.min(max_targets - 1);
+                row[..=keep].rotate_right(1);
+                row[0] = next;
+                e.n_targets = (keep + 1) as u32;
+            }
             e.last_use = self.order;
             return;
         }
-        let fresh = PhtEntry { tag: etag, targets: vec![next], last_use: self.order };
+        let fresh = PhtEntry {
+            tag: etag,
+            last_use: self.order,
+            n_targets: 1,
+        };
         // Empty way?
-        if let Some(slot) = ways.iter_mut().find(|w| w.is_none()) {
-            *slot = Some(fresh);
+        if let Some(way) = (base..base + assoc).find(|&w| self.entries[w].is_none()) {
+            self.entries[way] = Some(fresh);
+            self.targets[way * max_targets] = next;
             return;
         }
         // LRU replacement within the PHT set.
-        let victim = ways
-            .iter_mut()
-            .min_by_key(|w| w.as_ref().map(|e| e.last_use).unwrap_or(0))
+        let victim = (base..base + assoc)
+            .min_by_key(|&w| self.entries[w].as_ref().map(|e| e.last_use).unwrap_or(0))
             .expect("associativity is nonzero");
-        *victim = Some(fresh);
+        self.entries[victim] = Some(fresh);
+        self.targets[victim * max_targets] = next;
     }
 
     /// Predicts the most recent tag observed after sequence `seq` at L1
     /// set `miss_index`.
     pub fn lookup(&mut self, seq: &[Tag], miss_index: SetIndex) -> Option<Tag> {
-        let mut out = Vec::with_capacity(1);
-        self.lookup_targets(seq, miss_index, &mut out);
-        out.first().copied()
+        let way = self.find_and_touch(seq, miss_index)?;
+        Some(self.targets[way * self.cfg.targets as usize])
     }
 
     /// Appends every stored successor for the sequence (most recent
     /// first) to `out` — the Section 6 multi-target mode.
     pub fn lookup_targets(&mut self, seq: &[Tag], miss_index: SetIndex, out: &mut Vec<Tag>) {
+        if let Some(way) = self.find_and_touch(seq, miss_index) {
+            let n = self.entries[way]
+                .as_ref()
+                .expect("hit way is occupied")
+                .n_targets as usize;
+            let start = way * self.cfg.targets as usize;
+            out.extend_from_slice(&self.targets[start..start + n]);
+        }
+    }
+
+    /// One lookup's bookkeeping: counts it, finds the matching way, and
+    /// refreshes its LRU stamp and the hit counter on a match. Every
+    /// trained entry has at least one live target, so a returned way
+    /// always has a valid front-of-row prediction.
+    fn find_and_touch(&mut self, seq: &[Tag], miss_index: SetIndex) -> Option<usize> {
         self.lookups += 1;
         self.order += 1;
         let set = self.index(seq, miss_index);
         let etag = self.entry_tag(seq);
         let base = set * self.cfg.assoc as usize;
         let order = self.order;
-        if let Some(e) = self.entries[base..base + self.cfg.assoc as usize]
-            .iter_mut()
-            .flatten()
-            .find(|e| e.tag == etag)
-        {
-            e.last_use = order;
-            self.hits += 1;
-            out.extend_from_slice(&e.targets);
+        for way in base..base + self.cfg.assoc as usize {
+            if let Some(e) = &mut self.entries[way] {
+                if e.tag == etag {
+                    e.last_use = order;
+                    self.hits += 1;
+                    return Some(way);
+                }
+            }
         }
+        None
     }
 
     /// Fraction of occupied entries (table utilisation).
@@ -260,7 +337,15 @@ mod tests {
 
     #[test]
     fn with_bytes_hits_requested_size() {
-        for bytes in [2048usize, 8192, 32 * 1024, 128 * 1024, 512 * 1024, 2 << 20, 8 << 20] {
+        for bytes in [
+            2048usize,
+            8192,
+            32 * 1024,
+            128 * 1024,
+            512 * 1024,
+            2 << 20,
+            8 << 20,
+        ] {
             let cfg = PhtConfig::with_bytes(bytes, 0);
             assert_eq!(cfg.size_bytes(), bytes, "requested {bytes}");
         }
@@ -318,7 +403,13 @@ mod tests {
     #[test]
     fn lru_evicts_oldest_pattern() {
         // A 1-set, 2-way PHT: the third distinct pattern evicts the LRU.
-        let cfg = PhtConfig { sets: 1, assoc: 2, miss_index_bits: 0, tag_bits: 16, targets: 1 };
+        let cfg = PhtConfig {
+            sets: 1,
+            assoc: 2,
+            miss_index_bits: 0,
+            tag_bits: 16,
+            targets: 1,
+        };
         let mut pht = PatternHistoryTable::new(cfg);
         pht.train(&[t(1)], t(10), s(0));
         pht.train(&[t(2)], t(20), s(0));
@@ -351,13 +442,24 @@ mod tests {
     #[test]
     #[should_panic(expected = "power of two")]
     fn non_pow2_sets_rejected() {
-        let _ = PatternHistoryTable::new(PhtConfig { sets: 3, assoc: 8, miss_index_bits: 0, tag_bits: 16, targets: 1 });
+        let _ = PatternHistoryTable::new(PhtConfig {
+            sets: 3,
+            assoc: 8,
+            miss_index_bits: 0,
+            tag_bits: 16,
+            targets: 1,
+        });
     }
 
     #[test]
     #[should_panic(expected = "miss index bits")]
     fn too_many_miss_index_bits_rejected() {
-        let _ =
-            PatternHistoryTable::new(PhtConfig { sets: 16, assoc: 8, miss_index_bits: 5, tag_bits: 16, targets: 1 });
+        let _ = PatternHistoryTable::new(PhtConfig {
+            sets: 16,
+            assoc: 8,
+            miss_index_bits: 5,
+            tag_bits: 16,
+            targets: 1,
+        });
     }
 }

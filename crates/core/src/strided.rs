@@ -98,7 +98,12 @@ impl Prefetcher for StrideAugmentedTcp {
             s.last_tag = tag;
             s.confidence >= 2 && s.delta != 0
         } else {
-            *s = SetStride { last_tag: tag, delta: 0, confidence: 0, valid: true };
+            *s = SetStride {
+                last_tag: tag,
+                delta: 0,
+                confidence: 0,
+                valid: true,
+            };
             false
         };
 
@@ -109,7 +114,10 @@ impl Prefetcher for StrideAugmentedTcp {
             if predicted < (1 << 16) {
                 self.stride_predictions += 1;
                 out.push(PrefetchRequest::to_l2(
-                    self.tcp.config().l1.compose(tcp_mem::Tag::new(predicted), info.set),
+                    self.tcp
+                        .config()
+                        .l1
+                        .compose(tcp_mem::Tag::new(predicted), info.set),
                 ));
                 // Keep the THT current but spare the PHT: strided
                 // sequences would otherwise flood the small table.
@@ -119,7 +127,13 @@ impl Prefetcher for StrideAugmentedTcp {
         self.tcp.on_miss(info, out);
     }
 
-    fn on_hit(&mut self, access: &MemAccess, line: LineAddr, cycle: u64, out: &mut Vec<PrefetchRequest>) {
+    fn on_hit(
+        &mut self,
+        access: &MemAccess,
+        line: LineAddr,
+        cycle: u64,
+        out: &mut Vec<PrefetchRequest>,
+    ) {
         self.tcp.on_hit(access, line, cycle, out);
     }
 
@@ -168,14 +182,20 @@ mod tests {
         assert!(p.stride_predictions() > 0);
         // The PHT was never trained while in stride mode.
         let (trains, _, _) = p.tcp().pht().counters();
-        assert!(trains <= 2, "stride mode must spare the PHT, saw {trains} trains");
+        assert!(
+            trains <= 2,
+            "stride mode must spare the PHT, saw {trains} trains"
+        );
     }
 
     #[test]
     fn non_strided_sequences_fall_back_to_tcp() {
         let mut p = StrideAugmentedTcp::new(TcpConfig::tcp_8k());
         let out = drive(&mut p, &[5, 9, 2, 5, 9, 2, 5, 9], 3);
-        assert!(!out.is_empty(), "repeating non-strided cycle must use the PHT path");
+        assert!(
+            !out.is_empty(),
+            "repeating non-strided cycle must use the PHT path"
+        );
         assert_eq!(p.stride_predictions(), 0);
     }
 

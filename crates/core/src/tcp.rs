@@ -39,13 +39,19 @@ impl TcpConfig {
     /// TCP-8M: the paper's idealised no-sharing design — 8 MB PHT with
     /// the full miss index in the PHT index.
     pub fn tcp_8m() -> Self {
-        TcpConfig { pht: PhtConfig::pht_8m(), ..TcpConfig::tcp_8k() }
+        TcpConfig {
+            pht: PhtConfig::pht_8m(),
+            ..TcpConfig::tcp_8k()
+        }
     }
 
     /// A TCP with a PHT of roughly `bytes` and `n` miss-index bits (the
     /// Figure 13 sweep).
     pub fn with_pht_bytes(bytes: usize, miss_index_bits: u32) -> Self {
-        TcpConfig { pht: PhtConfig::with_bytes(bytes, miss_index_bits), ..TcpConfig::tcp_8k() }
+        TcpConfig {
+            pht: PhtConfig::with_bytes(bytes, miss_index_bits),
+            ..TcpConfig::tcp_8k()
+        }
     }
 
     /// Display name in the paper's style, e.g. `TCP-8K`.
@@ -105,7 +111,15 @@ impl Tcp {
         let tht = TagHistoryTable::new(cfg.tht_sets, cfg.history_len);
         let pht = PatternHistoryTable::new(cfg.pht);
         let name = cfg.display_name();
-        Tcp { cfg, name, tht, pht, seq_scratch: Vec::new(), target_scratch: Vec::new(), predictions: 0 }
+        Tcp {
+            cfg,
+            name,
+            tht,
+            pht,
+            seq_scratch: Vec::new(),
+            target_scratch: Vec::new(),
+            predictions: 0,
+        }
     }
 
     /// The configuration.
@@ -149,7 +163,9 @@ impl Prefetcher for Tcp {
         self.tht.push(set, miss_tag);
 
         // 3. Look up the new sequence and chase up to `degree` predictions.
-        let Some(seq) = self.tht.sequence(set) else { return };
+        let Some(seq) = self.tht.sequence(set) else {
+            return;
+        };
         self.seq_scratch.clear();
         self.seq_scratch.extend_from_slice(seq);
         if self.cfg.pht.targets > 1 {
@@ -157,7 +173,8 @@ impl Prefetcher for Tcp {
             // successor of this sequence (Markov-style).
             let mut targets = std::mem::take(&mut self.target_scratch);
             targets.clear();
-            self.pht.lookup_targets(&self.seq_scratch, set, &mut targets);
+            self.pht
+                .lookup_targets(&self.seq_scratch, set, &mut targets);
             for &pred in &targets {
                 if pred == miss_tag.truncate(self.cfg.pht.tag_bits) {
                     continue;
@@ -169,9 +186,12 @@ impl Prefetcher for Tcp {
             return;
         }
         for _ in 0..self.cfg.degree {
-            let Some(pred) = self.pht.lookup(&self.seq_scratch, set) else { break };
+            let Some(pred) = self.pht.lookup(&self.seq_scratch, set) else {
+                break;
+            };
             // Never prefetch the line that just missed.
-            if pred == miss_tag.truncate(self.cfg.pht.tag_bits) && self.seq_scratch.last() == Some(&miss_tag)
+            if pred == miss_tag.truncate(self.cfg.pht.tag_bits)
+                && self.seq_scratch.last() == Some(&miss_tag)
             {
                 break;
             }
@@ -229,7 +249,10 @@ mod tests {
         // Sequence 1,2,3 repeated: after training, seeing (2,3) → predict
         // the successor 1 (the cycle wraps), etc.
         let out = drive(&mut tcp, &[1, 2, 3, 1, 2, 3, 1, 2], 5);
-        assert!(!out.is_empty(), "a repeating sequence must produce predictions");
+        assert!(
+            !out.is_empty(),
+            "a repeating sequence must produce predictions"
+        );
         // The final miss (tag 2 after history [1,2]) should predict 3.
         let g = tcp.cfg.l1;
         let expected = g.compose(Tag::new(3), SetIndex::new(5));
@@ -271,7 +294,11 @@ mod tests {
         let out = drive(&mut tcp, &[4, 5, 6, 4, 5, 6, 4, 5], 123);
         let g = tcp.cfg.l1;
         for r in &out {
-            assert_eq!(g.split_line(r.line).1, SetIndex::new(123), "TCP predicts tags, the index is implied");
+            assert_eq!(
+                g.split_line(r.line).1,
+                SetIndex::new(123),
+                "TCP predicts tags, the index is implied"
+            );
         }
     }
 
@@ -301,6 +328,8 @@ mod tests {
     fn all_requests_target_l2() {
         let mut tcp = Tcp::new(TcpConfig::tcp_8k());
         let out = drive(&mut tcp, &[1, 2, 3, 1, 2, 3, 1, 2, 3], 0);
-        assert!(out.iter().all(|r| r.target == tcp_cache::PrefetchTarget::L2));
+        assert!(out
+            .iter()
+            .all(|r| r.target == tcp_cache::PrefetchTarget::L2));
     }
 }

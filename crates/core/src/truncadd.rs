@@ -28,7 +28,10 @@ use tcp_mem::Tag;
 /// assert_eq!(truncated_sum(&big, 8), 0x00);
 /// ```
 pub fn truncated_sum(tags: &[Tag], bits: u32) -> u64 {
-    assert!((1..=64).contains(&bits), "truncation width must be in 1..=64");
+    assert!(
+        (1..=64).contains(&bits),
+        "truncation width must be in 1..=64"
+    );
     let sum = tags.iter().fold(0u64, |acc, t| acc.wrapping_add(t.raw()));
     if bits == 64 {
         sum

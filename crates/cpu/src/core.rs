@@ -17,7 +17,7 @@ use crate::{MicroOp, OpClass};
 use tcp_cache::{ConfigError, MemoryHierarchy};
 
 /// Configuration of the out-of-order core (Table 1 defaults).
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CoreConfig {
     /// Instruction window (RUU) size.
     pub window: usize,
@@ -149,28 +149,78 @@ impl CoreRun {
     }
 }
 
-/// Per-cycle resource buckets with lazy pruning.
-#[derive(Debug, Default)]
+/// Ring capacity for [`CycleBuckets`]: must be a power of two, and large
+/// enough that an op's issue cycle is almost never `RING` or more ahead
+/// of another still-live booked cycle (Table 1 latencies put that gap in
+/// the low hundreds of cycles).
+const RING: usize = 4096;
+
+/// Per-cycle resource usage, stored as a stamped ring.
+///
+/// The scheduling loop books issue slots and functional units at cycles
+/// strictly above the core's current fetch cycle, and the fetch cycle
+/// never decreases — so once it passes a cycle, that cycle's counts can
+/// never be read again. Slot `c & (RING-1)` therefore holds a
+/// `(stamp, count)` pair: a stamp at or below the current fetch cycle
+/// marks a dead slot that the next booking may reclaim in place. The rare
+/// live collision (two live cycles `RING` apart, which needs pathological
+/// latency configurations) spills to a hash map, and a cycle's count is
+/// kept entirely in the ring or entirely in the spill — never split — by
+/// folding the spilled count back in when the ring slot is reclaimed.
+#[derive(Debug)]
 struct CycleBuckets {
-    used: HashMap<u64, u32>,
+    stamps: Vec<u64>,
+    counts: Vec<u32>,
+    overflow: HashMap<u64, u32>,
 }
 
-impl CycleBuckets {
-    fn used_at(&self, cycle: u64) -> u32 {
-        self.used.get(&cycle).copied().unwrap_or(0)
-    }
-
-    fn take(&mut self, cycle: u64) {
-        *self.used.entry(cycle).or_insert(0) += 1;
-    }
-
-    fn prune_below(&mut self, horizon: u64) {
-        if self.used.len() > 8192 {
-            self.used.retain(|&c, _| c >= horizon);
+impl Default for CycleBuckets {
+    fn default() -> Self {
+        // Stamp 0 with count 0 is naturally dead: bookings and queries
+        // only happen at cycle >= 1 (fetch cycle + 1 at minimum).
+        CycleBuckets {
+            stamps: vec![0; RING],
+            counts: vec![0; RING],
+            overflow: HashMap::new(),
         }
     }
 }
 
+impl CycleBuckets {
+    #[inline]
+    fn used_at(&self, cycle: u64) -> u32 {
+        let s = (cycle as usize) & (RING - 1);
+        if self.stamps[s] == cycle {
+            self.counts[s]
+        } else if self.overflow.is_empty() {
+            0
+        } else {
+            self.overflow.get(&cycle).copied().unwrap_or(0)
+        }
+    }
+
+    /// Books one resource at `cycle`. `horizon` is the core's current
+    /// fetch cycle; slots stamped at or below it are dead (see the type
+    /// docs) and are reclaimed in place.
+    #[inline]
+    fn take(&mut self, cycle: u64, horizon: u64) {
+        let s = (cycle as usize) & (RING - 1);
+        if self.stamps[s] == cycle {
+            self.counts[s] += 1;
+        } else if self.stamps[s] <= horizon {
+            self.stamps[s] = cycle;
+            self.counts[s] = self.overflow.remove(&cycle).unwrap_or(0) + 1;
+        } else {
+            *self.overflow.entry(cycle).or_insert(0) += 1;
+        }
+    }
+
+    fn prune_below(&mut self, horizon: u64) {
+        if !self.overflow.is_empty() {
+            self.overflow.retain(|&c, _| c >= horizon);
+        }
+    }
+}
 
 /// Persistent scheduling state of one simulated instruction stream: the
 /// rings, per-cycle resource buckets, and front-end status that the
@@ -208,7 +258,9 @@ impl CoreState {
             pools: Default::default(),
             mispredict_rng: tcp_mem::SplitMix64::new(0x00DD_BA11_5EED),
             fetch_blocked_until: 0,
-            icache: cfg.icache.map(|g| tcp_cache::Cache::new(g, tcp_cache::Replacement::Lru)),
+            icache: cfg
+                .icache
+                .map(|g| tcp_cache::Cache::new(g, tcp_cache::Replacement::Lru)),
             last_iline: None,
         }
     }
@@ -234,14 +286,19 @@ impl CoreState {
                 self.last_iline = Some(iline);
                 if let tcp_cache::AccessOutcome::Miss = ic.access(iline, false, self.fetch_cycle) {
                     ic.fill(iline, self.fetch_cycle, false);
-                    self.fetch_blocked_until =
-                        self.fetch_blocked_until.max(self.fetch_cycle + cfg.icache_miss_penalty);
+                    self.fetch_blocked_until = self
+                        .fetch_blocked_until
+                        .max(self.fetch_cycle + cfg.icache_miss_penalty);
                 }
             }
         }
 
         // --- Fetch: window occupancy, mispredict redirect, bandwidth.
-        let window_free_at = if (i as usize) >= w { self.commit_ring[slot] } else { 0 };
+        let window_free_at = if (i as usize) >= w {
+            self.commit_ring[slot]
+        } else {
+            0
+        };
         let earliest_fetch = window_free_at.max(self.fetch_blocked_until);
         if earliest_fetch > self.fetch_cycle {
             self.fetch_cycle = earliest_fetch;
@@ -269,13 +326,15 @@ impl CoreState {
         let pool_cap = cfg.fu_counts[pool];
         let mut c = ready;
         loop {
-            if self.issue_slots.used_at(c) < cfg.issue_width && self.pools[pool].used_at(c) < pool_cap {
+            if self.issue_slots.used_at(c) < cfg.issue_width
+                && self.pools[pool].used_at(c) < pool_cap
+            {
                 break;
             }
             c += 1;
         }
-        self.issue_slots.take(c);
-        self.pools[pool].take(c);
+        self.issue_slots.take(c, fetch_t);
+        self.pools[pool].take(c, fetch_t);
         let issue_t = c;
 
         // --- Execute / memory access.
@@ -295,10 +354,13 @@ impl CoreState {
         // --- Branch misprediction: block fetch until resolution.
         if op.class == OpClass::Branch
             && cfg.branch_mispredict_pct > 0
-            && self.mispredict_rng.chance(u64::from(cfg.branch_mispredict_pct), 100)
+            && self
+                .mispredict_rng
+                .chance(u64::from(cfg.branch_mispredict_pct), 100)
         {
-            self.fetch_blocked_until =
-                self.fetch_blocked_until.max(complete_t + cfg.mispredict_penalty);
+            self.fetch_blocked_until = self
+                .fetch_blocked_until
+                .max(complete_t + cfg.mispredict_penalty);
         }
 
         // --- Commit: in order, bounded by commit width.
@@ -368,7 +430,12 @@ impl OooCore {
     /// statistics are reset and the cycle/op counters restart at the
     /// warm-up boundary, mirroring the paper's methodology of skipping
     /// the first billion instructions before measuring two billion.
-    pub fn run_with_warmup<I>(&mut self, ops: I, warmup_ops: u64, hierarchy: &mut MemoryHierarchy) -> CoreRun
+    pub fn run_with_warmup<I>(
+        &mut self,
+        ops: I,
+        warmup_ops: u64,
+        hierarchy: &mut MemoryHierarchy,
+    ) -> CoreRun
     where
         I: IntoIterator<Item = MicroOp>,
     {
@@ -436,7 +503,14 @@ impl SteppedCore {
         let core = OooCore::new(cfg); // validates
         let cfg = core.cfg;
         let state = CoreState::new(&cfg);
-        SteppedCore { cfg, state, i: 0, run: CoreRun::default(), measure_from_ops: 0, measure_from_cycle: 0 }
+        SteppedCore {
+            cfg,
+            state,
+            i: 0,
+            run: CoreRun::default(),
+            measure_from_ops: 0,
+            measure_from_cycle: 0,
+        }
     }
 
     /// Marks the warm-up boundary: ops and cycles before this call are
@@ -445,14 +519,19 @@ impl SteppedCore {
     /// The caller resets hierarchy statistics at the same point.
     pub fn begin_measurement(&mut self) {
         self.measure_from_ops = self.i;
-        self.measure_from_cycle = if self.i == 0 { 0 } else { self.state.last_commit };
+        self.measure_from_cycle = if self.i == 0 {
+            0
+        } else {
+            self.state.last_commit
+        };
         self.run.loads = 0;
         self.run.stores = 0;
     }
 
     /// Schedules one micro-op.
     pub fn step(&mut self, op: MicroOp, hierarchy: &mut MemoryHierarchy) {
-        self.state.step_op(&self.cfg, self.i, op, hierarchy, &mut self.run);
+        self.state
+            .step_op(&self.cfg, self.i, op, hierarchy, &mut self.run);
         self.i += 1;
     }
 
@@ -517,7 +596,11 @@ mod tests {
     /// misses don't obscure the property under test.
     fn run_ops_ideal_frontend(ops: Vec<MicroOp>) -> CoreRun {
         let mut h = hierarchy();
-        let cfg = CoreConfig { icache: None, branch_mispredict_pct: 0, ..CoreConfig::default() };
+        let cfg = CoreConfig {
+            icache: None,
+            branch_mispredict_pct: 0,
+            ..CoreConfig::default()
+        };
         OooCore::new(cfg).run(ops, &mut h)
     }
 
@@ -530,16 +613,23 @@ mod tests {
 
     #[test]
     fn independent_alu_ops_reach_issue_width() {
-        let ops: Vec<_> = (0..10_000).map(|i| MicroOp::int_alu(Addr::new((i * 4) % 4096), None, None)).collect();
+        let ops: Vec<_> = (0..10_000)
+            .map(|i| MicroOp::int_alu(Addr::new((i * 4) % 4096), None, None))
+            .collect();
         let r = run_ops_ideal_frontend(ops);
         let ipc = r.ipc();
-        assert!(ipc > 7.0, "independent ALU ops should approach 8 IPC, got {ipc}");
+        assert!(
+            ipc > 7.0,
+            "independent ALU ops should approach 8 IPC, got {ipc}"
+        );
         assert!(ipc <= 8.0 + 1e-9);
     }
 
     #[test]
     fn serial_dependence_chain_limits_ipc_to_one() {
-        let ops: Vec<_> = (0..5_000).map(|i| MicroOp::int_alu(Addr::new((i * 4) % 4096), Some(1), None)).collect();
+        let ops: Vec<_> = (0..5_000)
+            .map(|i| MicroOp::int_alu(Addr::new((i * 4) % 4096), Some(1), None))
+            .collect();
         let r = run_ops(ops);
         let ipc = r.ipc();
         assert!(ipc < 1.1, "1-cycle chain must cap IPC at ~1, got {ipc}");
@@ -550,7 +640,13 @@ mod tests {
     fn fp_mult_pool_throttles() {
         // Only 2 FP multipliers: independent FpMult ops cap at 2/cycle.
         let ops: Vec<_> = (0..4_000)
-            .map(|i| MicroOp { pc: Addr::new((i * 4) % 4096), class: OpClass::FpMult, mem_addr: None, dep1: None, dep2: None })
+            .map(|i| MicroOp {
+                pc: Addr::new((i * 4) % 4096),
+                class: OpClass::FpMult,
+                mem_addr: None,
+                dep1: None,
+                dep2: None,
+            })
             .collect();
         let r = run_ops_ideal_frontend(ops);
         let ipc = r.ipc();
@@ -562,19 +658,27 @@ mod tests {
     fn pointer_chase_misses_serialize() {
         // Dependent loads that each miss to memory: IPC collapses.
         let stride = 64 * 1024; // distinct L1 sets and L2 lines
-        let chase: Vec<_> =
-            (0..800u64).map(|i| MicroOp::dependent_load(Addr::new(0x400), Addr::new(i * stride), 1)).collect();
+        let chase: Vec<_> = (0..800u64)
+            .map(|i| MicroOp::dependent_load(Addr::new(0x400), Addr::new(i * stride), 1))
+            .collect();
         let r = run_ops(chase);
-        assert!(r.ipc() < 0.05, "serialized memory misses must crush IPC, got {}", r.ipc());
+        assert!(
+            r.ipc() < 0.05,
+            "serialized memory misses must crush IPC, got {}",
+            r.ipc()
+        );
     }
 
     #[test]
     fn independent_loads_exploit_mlp() {
         let stride = 64 * 1024;
-        let ops: Vec<_> = (0..800u64).map(|i| MicroOp::load(Addr::new(0x400), Addr::new(i * stride))).collect();
+        let ops: Vec<_> = (0..800u64)
+            .map(|i| MicroOp::load(Addr::new(0x400), Addr::new(i * stride)))
+            .collect();
         let independent = run_ops(ops);
-        let chase: Vec<_> =
-            (0..800u64).map(|i| MicroOp::dependent_load(Addr::new(0x400), Addr::new(i * stride), 1)).collect();
+        let chase: Vec<_> = (0..800u64)
+            .map(|i| MicroOp::dependent_load(Addr::new(0x400), Addr::new(i * stride), 1))
+            .collect();
         let dependent = run_ops(chase);
         assert!(
             independent.ipc() > 3.0 * dependent.ipc(),
@@ -589,13 +693,19 @@ mod tests {
         let stride = 64 * 1024;
         let ops: Vec<_> = (0..2_000u64)
             .flat_map(|i| {
-                [MicroOp::load(Addr::new(0x400), Addr::new((i * stride) % (1 << 28))), MicroOp::int_alu(Addr::new(0x404), Some(1), None)]
+                [
+                    MicroOp::load(Addr::new(0x400), Addr::new((i * stride) % (1 << 28))),
+                    MicroOp::int_alu(Addr::new(0x404), Some(1), None),
+                ]
             })
             .collect();
         let mut real = hierarchy();
         let r_real = OooCore::new(CoreConfig::default()).run(ops.clone(), &mut real);
         let mut ideal = MemoryHierarchy::new(
-            HierarchyConfig { ideal_l2: true, ..HierarchyConfig::default() },
+            HierarchyConfig {
+                ideal_l2: true,
+                ..HierarchyConfig::default()
+            },
             Box::new(NullPrefetcher),
         );
         let r_ideal = OooCore::new(CoreConfig::default()).run(ops, &mut ideal);
@@ -610,9 +720,15 @@ mod tests {
     #[test]
     fn cache_friendly_loads_are_fast() {
         // Sequential loads within one line mostly hit.
-        let ops: Vec<_> = (0..20_000u64).map(|i| MicroOp::load(Addr::new(0x400), Addr::new((i * 4) % 16384))).collect();
+        let ops: Vec<_> = (0..20_000u64)
+            .map(|i| MicroOp::load(Addr::new(0x400), Addr::new((i * 4) % 16384)))
+            .collect();
         let r = run_ops(ops);
-        assert!(r.ipc() > 2.0, "cache-resident loads should be fast, got {}", r.ipc());
+        assert!(
+            r.ipc() > 2.0,
+            "cache-resident loads should be fast, got {}",
+            r.ipc()
+        );
     }
 
     #[test]
@@ -631,13 +747,17 @@ mod tests {
     #[test]
     #[should_panic(expected = "window")]
     fn zero_window_rejected() {
-        let _ = OooCore::new(CoreConfig { window: 0, ..CoreConfig::default() });
+        let _ = OooCore::new(CoreConfig {
+            window: 0,
+            ..CoreConfig::default()
+        });
     }
 
     #[test]
     fn deps_beyond_window_are_ignored() {
-        let ops: Vec<_> =
-            (0..1_000).map(|i| MicroOp::int_alu(Addr::new((i * 4) % 4096), Some(5_000), Some(0))).collect();
+        let ops: Vec<_> = (0..1_000)
+            .map(|i| MicroOp::int_alu(Addr::new((i * 4) % 4096), Some(5_000), Some(0)))
+            .collect();
         let r = run_ops_ideal_frontend(ops);
         assert!(r.ipc() > 7.0);
     }

@@ -79,33 +79,69 @@ pub struct MicroOp {
 impl MicroOp {
     /// An integer ALU op with optional dependences.
     pub const fn int_alu(pc: Addr, dep1: Option<u32>, dep2: Option<u32>) -> Self {
-        MicroOp { pc, class: OpClass::IntAlu, mem_addr: None, dep1, dep2 }
+        MicroOp {
+            pc,
+            class: OpClass::IntAlu,
+            mem_addr: None,
+            dep1,
+            dep2,
+        }
     }
 
     /// A floating-point ALU op with optional dependences.
     pub const fn fp_alu(pc: Addr, dep1: Option<u32>, dep2: Option<u32>) -> Self {
-        MicroOp { pc, class: OpClass::FpAlu, mem_addr: None, dep1, dep2 }
+        MicroOp {
+            pc,
+            class: OpClass::FpAlu,
+            mem_addr: None,
+            dep1,
+            dep2,
+        }
     }
 
     /// An independent load.
     pub const fn load(pc: Addr, addr: Addr) -> Self {
-        MicroOp { pc, class: OpClass::Load, mem_addr: Some(addr), dep1: None, dep2: None }
+        MicroOp {
+            pc,
+            class: OpClass::Load,
+            mem_addr: Some(addr),
+            dep1: None,
+            dep2: None,
+        }
     }
 
     /// A load whose address depends on the op `dep` positions back
     /// (pointer chasing).
     pub const fn dependent_load(pc: Addr, addr: Addr, dep: u32) -> Self {
-        MicroOp { pc, class: OpClass::Load, mem_addr: Some(addr), dep1: Some(dep), dep2: None }
+        MicroOp {
+            pc,
+            class: OpClass::Load,
+            mem_addr: Some(addr),
+            dep1: Some(dep),
+            dep2: None,
+        }
     }
 
     /// A store.
     pub const fn store(pc: Addr, addr: Addr) -> Self {
-        MicroOp { pc, class: OpClass::Store, mem_addr: Some(addr), dep1: None, dep2: None }
+        MicroOp {
+            pc,
+            class: OpClass::Store,
+            mem_addr: Some(addr),
+            dep1: None,
+            dep2: None,
+        }
     }
 
     /// A branch, optionally depending on an earlier comparison.
     pub const fn branch(pc: Addr, dep1: Option<u32>) -> Self {
-        MicroOp { pc, class: OpClass::Branch, mem_addr: None, dep1, dep2: None }
+        MicroOp {
+            pc,
+            class: OpClass::Branch,
+            mem_addr: None,
+            dep1,
+            dep2: None,
+        }
     }
 
     /// The memory access this op performs, if it is a load or store.

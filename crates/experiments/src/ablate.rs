@@ -49,7 +49,11 @@ fn measure(benches: &[Benchmark], n_ops: u64, cfg: &SystemConfig, label: String)
         .iter()
         .map(|b| run_benchmark(b, n_ops, cfg, Box::new(Tcp::new(TcpConfig::tcp_8k()))).ipc)
         .collect());
-    AblatePoint { label, base_ipc: base, tcp_ipc: tcp }
+    AblatePoint {
+        label,
+        base_ipc: base,
+        tcp_ipc: tcp,
+    }
 }
 
 /// Runs all six sweeps: MSHR count, memory-bus occupancy, prefetch
@@ -64,15 +68,26 @@ pub fn run(benches: &[Benchmark], n_ops: u64) -> Vec<AblateSweep> {
         cfg.hierarchy.l1_mshrs = mshrs;
         points.push(measure(benches, n_ops, &cfg, format!("mshrs={mshrs}")));
     }
-    sweeps.push(AblateSweep { knob: "L1 MSHRs", points });
+    sweeps.push(AblateSweep {
+        knob: "L1 MSHRs",
+        points,
+    });
 
     let mut points = Vec::new();
     for cycles in [2u64, 4, 8, 16] {
         let mut cfg = SystemConfig::table1();
         cfg.hierarchy.mem_bus_cycles = cycles;
-        points.push(measure(benches, n_ops, &cfg, format!("mem_bus={cycles}cyc")));
+        points.push(measure(
+            benches,
+            n_ops,
+            &cfg,
+            format!("mem_bus={cycles}cyc"),
+        ));
     }
-    sweeps.push(AblateSweep { knob: "memory bus occupancy / line", points });
+    sweeps.push(AblateSweep {
+        knob: "memory bus occupancy / line",
+        points,
+    });
 
     let mut points = Vec::new();
     for buf in [8usize, 32, 64] {
@@ -80,7 +95,10 @@ pub fn run(benches: &[Benchmark], n_ops: u64) -> Vec<AblateSweep> {
         cfg.hierarchy.prefetch_buffer = buf;
         points.push(measure(benches, n_ops, &cfg, format!("pf_buffer={buf}")));
     }
-    sweeps.push(AblateSweep { knob: "in-flight prefetch budget", points });
+    sweeps.push(AblateSweep {
+        knob: "in-flight prefetch budget",
+        points,
+    });
 
     let mut points = Vec::new();
     for pct in [0u8, 5, 10] {
@@ -88,7 +106,10 @@ pub fn run(benches: &[Benchmark], n_ops: u64) -> Vec<AblateSweep> {
         cfg.core.branch_mispredict_pct = pct;
         points.push(measure(benches, n_ops, &cfg, format!("mispredict={pct}%")));
     }
-    sweeps.push(AblateSweep { knob: "branch mispredict rate", points });
+    sweeps.push(AblateSweep {
+        knob: "branch mispredict rate",
+        points,
+    });
 
     let mut points = Vec::new();
     for vc in [None, Some(8usize), Some(32)] {
@@ -100,7 +121,10 @@ pub fn run(benches: &[Benchmark], n_ops: u64) -> Vec<AblateSweep> {
         };
         points.push(measure(benches, n_ops, &cfg, label));
     }
-    sweeps.push(AblateSweep { knob: "victim cache (Jouppi)", points });
+    sweeps.push(AblateSweep {
+        knob: "victim cache (Jouppi)",
+        points,
+    });
 
     let mut points = Vec::new();
     for (name, policy) in [
@@ -112,7 +136,10 @@ pub fn run(benches: &[Benchmark], n_ops: u64) -> Vec<AblateSweep> {
         cfg.hierarchy.l2_replacement = policy;
         points.push(measure(benches, n_ops, &cfg, format!("l2={name}")));
     }
-    sweeps.push(AblateSweep { knob: "L2 replacement policy", points });
+    sweeps.push(AblateSweep {
+        knob: "L2 replacement policy",
+        points,
+    });
 
     sweeps
 }

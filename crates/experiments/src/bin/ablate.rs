@@ -7,8 +7,10 @@ use tcp_workloads::{suite, Benchmark};
 fn main() {
     let scale = Scale::from_env();
     // A representative subset: one streaming, one chase, one random.
-    let benches: Vec<Benchmark> =
-        suite().into_iter().filter(|b| ["swim", "ammp", "twolf"].contains(&b.name)).collect();
+    let benches: Vec<Benchmark> = suite()
+        .into_iter()
+        .filter(|b| ["swim", "ammp", "twolf"].contains(&b.name))
+        .collect();
     let ops = (scale.sim_ops / 2).max(100_000);
     for sweep in ablate::run(&benches, ops) {
         let t = ablate::render(&sweep);

@@ -1,7 +1,11 @@
 //! Regenerates Figure 2: unique tags and tag recurrences in the L1 miss
 //! stream.
 
-use tcp_experiments::{characterize::characterize_suite, report::{count, f, Table}, scale::Scale};
+use tcp_experiments::{
+    characterize::characterize_suite,
+    report::{count, f, Table},
+    scale::Scale,
+};
 use tcp_workloads::suite;
 
 fn main() {
@@ -12,7 +16,11 @@ fn main() {
         &["benchmark", "unique tags", "recurrences/tag"],
     );
     for p in &profiles {
-        t.row(vec![p.benchmark.clone(), count(p.unique_tags), f(p.tag_recurrence, 1)]);
+        t.row(vec![
+            p.benchmark.clone(),
+            count(p.unique_tags),
+            f(p.tag_recurrence, 1),
+        ]);
     }
     print!("{}", t.render());
     let _ = t.write_csv("fig02");

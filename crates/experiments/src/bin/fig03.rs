@@ -1,6 +1,10 @@
 //! Regenerates Figure 3: unique addresses and address recurrences.
 
-use tcp_experiments::{characterize::characterize_suite, report::{count, f, Table}, scale::Scale};
+use tcp_experiments::{
+    characterize::characterize_suite,
+    report::{count, f, Table},
+    scale::Scale,
+};
 use tcp_workloads::suite;
 
 fn main() {
@@ -11,7 +15,11 @@ fn main() {
         &["benchmark", "unique addresses", "recurrences/address"],
     );
     for p in &profiles {
-        t.row(vec![p.benchmark.clone(), count(p.unique_addresses), f(p.address_recurrence, 1)]);
+        t.row(vec![
+            p.benchmark.clone(),
+            count(p.unique_addresses),
+            f(p.address_recurrence, 1),
+        ]);
     }
     print!("{}", t.render());
     let _ = t.write_csv("fig03");

@@ -2,7 +2,11 @@
 //! set, plus the Section 3 geometric-mean summary.
 
 use tcp_analysis::geometric_mean;
-use tcp_experiments::{characterize::characterize_suite, report::{f, Table}, scale::Scale};
+use tcp_experiments::{
+    characterize::characterize_suite,
+    report::{f, Table},
+    scale::Scale,
+};
 use tcp_workloads::suite;
 
 fn main() {
@@ -13,12 +17,19 @@ fn main() {
         &["benchmark", "sets/tag", "recurrences within set"],
     );
     for p in &profiles {
-        t.row(vec![p.benchmark.clone(), f(p.sets_per_tag, 1), f(p.tag_recurrence_within_set, 1)]);
+        t.row(vec![
+            p.benchmark.clone(),
+            f(p.sets_per_tag, 1),
+            f(p.tag_recurrence_within_set, 1),
+        ]);
     }
     print!("{}", t.render());
     let tags: Vec<f64> = profiles.iter().map(|p| p.unique_tags as f64).collect();
     let spread: Vec<f64> = profiles.iter().map(|p| p.sets_per_tag.max(1e-9)).collect();
-    let recur: Vec<f64> = profiles.iter().map(|p| p.tag_recurrence_within_set.max(1e-9)).collect();
+    let recur: Vec<f64> = profiles
+        .iter()
+        .map(|p| p.tag_recurrence_within_set.max(1e-9))
+        .collect();
     println!(
         "\nSection 3 summary (paper: 576 tags, 609 sets, 94 recurrences):\n  geomean unique tags {:.0}, geomean sets/tag {:.0}, geomean recurrences/set {:.0}",
         geometric_mean(&tags),

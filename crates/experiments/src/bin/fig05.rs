@@ -1,7 +1,11 @@
 //! Regenerates Figure 5: observed three-tag sequences as a percentage of
 //! the random upper limit (unique tags cubed).
 
-use tcp_experiments::{characterize::characterize_suite, report::{pct, Table}, scale::Scale};
+use tcp_experiments::{
+    characterize::characterize_suite,
+    report::{pct, Table},
+    scale::Scale,
+};
 use tcp_workloads::suite;
 
 fn main() {
@@ -12,7 +16,10 @@ fn main() {
         &["benchmark", "% of upper limit"],
     );
     for p in &profiles {
-        t.row(vec![p.benchmark.clone(), pct(100.0 * p.fraction_of_upper_limit)]);
+        t.row(vec![
+            p.benchmark.clone(),
+            pct(100.0 * p.fraction_of_upper_limit),
+        ]);
     }
     print!("{}", t.render());
     let _ = t.write_csv("fig05");

@@ -1,6 +1,10 @@
 //! Regenerates Figure 6: unique three-tag sequences and their recurrences.
 
-use tcp_experiments::{characterize::characterize_suite, report::{count, f, Table}, scale::Scale};
+use tcp_experiments::{
+    characterize::characterize_suite,
+    report::{count, f, Table},
+    scale::Scale,
+};
 use tcp_workloads::suite;
 
 fn main() {
@@ -11,7 +15,11 @@ fn main() {
         &["benchmark", "unique sequences", "recurrences/sequence"],
     );
     for p in &profiles {
-        t.row(vec![p.benchmark.clone(), count(p.unique_sequences), f(p.sequence_recurrence, 1)]);
+        t.row(vec![
+            p.benchmark.clone(),
+            count(p.unique_sequences),
+            f(p.sequence_recurrence, 1),
+        ]);
     }
     print!("{}", t.render());
     let _ = t.write_csv("fig06");

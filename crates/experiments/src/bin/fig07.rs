@@ -1,7 +1,11 @@
 //! Regenerates Figure 7: sequence spread across sets vs recurrence within
 //! a set.
 
-use tcp_experiments::{characterize::characterize_suite, report::{f, Table}, scale::Scale};
+use tcp_experiments::{
+    characterize::characterize_suite,
+    report::{f, Table},
+    scale::Scale,
+};
 use tcp_workloads::suite;
 
 fn main() {

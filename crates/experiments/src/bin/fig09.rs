@@ -6,7 +6,10 @@ use tcp_mem::{SetIndex, Tag};
 
 fn main() {
     let seq = [Tag::new(0x00F3), Tag::new(0x0A41)];
-    for (name, cfg) in [("TCP-8K PHT", PhtConfig::pht_8k()), ("TCP-8M PHT", PhtConfig::pht_8m())] {
+    for (name, cfg) in [
+        ("TCP-8K PHT", PhtConfig::pht_8k()),
+        ("TCP-8M PHT", PhtConfig::pht_8m()),
+    ] {
         println!("== Figure 9 indexing walkthrough: {name} ==");
         for step in fig09::walkthrough(&cfg, &seq, SetIndex::new(0x2A7)) {
             println!("  {:<28} {}", step.label, step.value);

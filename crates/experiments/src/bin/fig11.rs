@@ -8,11 +8,7 @@ fn main() {
     let fig = fig11::run(&suite(), scale.sim_ops);
     let t = fig11::render(&fig);
     print!("{}", t.render());
-    for (name, pick) in [
-        ("DBCP-2M", 0usize),
-        ("TCP-8K", 1),
-        ("TCP-8M", 2),
-    ] {
+    for (name, pick) in [("DBCP-2M", 0usize), ("TCP-8K", 1), ("TCP-8M", 2)] {
         let mut chart =
             tcp_experiments::plot::BarChart::new(&format!("{name} IPC improvement (%)"), 50);
         for r in &fig.rows {

@@ -7,7 +7,10 @@ fn main() {
     let scale = Scale::from_env();
     let fig = fig12::run(&suite(), scale.sim_ops);
     let top = fig12::render("Figure 12 (top): L2 access categories, TCP-8K", &fig.tcp_8k);
-    let bottom = fig12::render("Figure 12 (bottom): L2 access categories, TCP-8M", &fig.tcp_8m);
+    let bottom = fig12::render(
+        "Figure 12 (bottom): L2 access categories, TCP-8M",
+        &fig.tcp_8m,
+    );
     print!("{}\n{}", top.render(), bottom.render());
     let _ = top.write_csv("fig12_tcp8k");
     let _ = bottom.write_csv("fig12_tcp8m");

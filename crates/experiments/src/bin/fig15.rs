@@ -1,6 +1,10 @@
 //! Regenerates Figure 15: percentage of strided three-tag sequences.
 
-use tcp_experiments::{characterize::characterize_suite, report::{pct, Table}, scale::Scale};
+use tcp_experiments::{
+    characterize::characterize_suite,
+    report::{pct, Table},
+    scale::Scale,
+};
 use tcp_workloads::suite;
 
 fn main() {

@@ -21,7 +21,10 @@ fn main() {
     println!("== {} ==\n{}\n", bench.name, bench.description);
 
     let p = characterize(&bench, scale.trace_ops);
-    println!("misses {}  tags {}  addrs {}  seqs {}", p.misses, p.unique_tags, p.unique_addresses, p.unique_sequences);
+    println!(
+        "misses {}  tags {}  addrs {}  seqs {}",
+        p.misses, p.unique_tags, p.unique_addresses, p.unique_sequences
+    );
     println!(
         "sets/tag {:.1}  rec-in-set {:.1}  sets/seq {:.1}  %strided {:.1}%\n",
         p.sets_per_tag,
@@ -33,17 +36,28 @@ fn main() {
     // Recurrence histogram: how skewed is tag reuse?
     let l1 = CacheGeometry::new(32 * 1024, 32, 1);
     let mut counts = std::collections::HashMap::new();
-    for m in miss_stream(l1, bench.generator(scale.trace_ops).filter_map(|o| o.mem_access())) {
+    for m in miss_stream(
+        l1,
+        bench
+            .generator(scale.trace_ops)
+            .filter_map(|o| o.mem_access()),
+    ) {
         *counts.entry(m.tag.raw()).or_insert(0u64) += 1;
     }
     let mut hist = HistogramLog2::new();
     hist.extend(counts.into_values());
-    println!("tag recurrence distribution (log2 buckets):\n{}", hist.render(40));
+    println!(
+        "tag recurrence distribution (log2 buckets):\n{}",
+        hist.render(40)
+    );
 
     let machine = SystemConfig::table1();
     let ops = scale.sim_ops;
     let base = run_benchmark(&bench, ops, &machine, Box::new(NullPrefetcher));
-    println!("prefetcher comparison ({ops} ops, base IPC {:.4}):", base.ipc);
+    println!(
+        "prefetcher comparison ({ops} ops, base IPC {:.4}):",
+        base.ipc
+    );
     let engines: Vec<Box<dyn Prefetcher>> = vec![
         Box::new(StridePrefetcher::new(StrideConfig::default())),
         Box::new(Dbcp::new(DbcpConfig::dbcp_2m())),

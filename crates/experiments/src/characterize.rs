@@ -103,8 +103,16 @@ mod tests {
         let art = suite().into_iter().find(|b| b.name == "art").unwrap();
         let p = characterize(&art, 2_000_000);
         // ~96 unique tags (paper: 98), recurring heavily.
-        assert!((60..=130).contains(&p.unique_tags), "unique tags {}", p.unique_tags);
-        assert!(p.tag_recurrence > 100.0, "tags recur heavily, got {}", p.tag_recurrence);
+        assert!(
+            (60..=130).contains(&p.unique_tags),
+            "unique tags {}",
+            p.unique_tags
+        );
+        assert!(
+            p.tag_recurrence > 100.0,
+            "tags recur heavily, got {}",
+            p.tag_recurrence
+        );
         // Orders of magnitude more unique addresses than tags.
         assert!(p.unique_addresses > 50 * p.unique_tags);
         // Streaming scans: each tag spans most of the 1024 sets.
@@ -115,7 +123,11 @@ mod tests {
     fn fma3d_is_temporal_not_spatial() {
         let b = suite().into_iter().find(|b| b.name == "fma3d").unwrap();
         let p = characterize(&b, 500_000);
-        assert!(p.sets_per_tag < 64.0, "fma3d tags stay in few sets, got {}", p.sets_per_tag);
+        assert!(
+            p.sets_per_tag < 64.0,
+            "fma3d tags stay in few sets, got {}",
+            p.sets_per_tag
+        );
         assert!(
             p.tag_recurrence_within_set > 100.0,
             "fma3d tags recur heavily per set, got {}",

@@ -23,14 +23,14 @@ pub fn run(benchmarks: &[Benchmark], n_ops: u64) -> Vec<Fig01Row> {
     let base_cfg = SystemConfig::table1();
     let ideal_cfg = SystemConfig::table1_ideal_l2();
     tcp_sim::map_benchmarks_parallel(benchmarks, |b| {
-            let base = run_benchmark(b, n_ops, &base_cfg, Box::new(NullPrefetcher));
-            let ideal = run_benchmark(b, n_ops, &ideal_cfg, Box::new(NullPrefetcher));
-            Fig01Row {
-                benchmark: b.name.to_owned(),
-                base_ipc: base.ipc,
-                ideal_ipc: ideal.ipc,
-                improvement_pct: ipc_improvement(&base, &ideal),
-            }
+        let base = run_benchmark(b, n_ops, &base_cfg, Box::new(NullPrefetcher));
+        let ideal = run_benchmark(b, n_ops, &ideal_cfg, Box::new(NullPrefetcher));
+        Fig01Row {
+            benchmark: b.name.to_owned(),
+            base_ipc: base.ipc,
+            ideal_ipc: ideal.ipc,
+            improvement_pct: ipc_improvement(&base, &ideal),
+        }
     })
 }
 
@@ -59,14 +59,24 @@ mod tests {
     #[test]
     fn improvement_is_nonnegative_and_ordering_holds_at_extremes() {
         let benches = suite();
-        let picks: Vec<Benchmark> =
-            benches.into_iter().filter(|b| ["fma3d", "mcf"].contains(&b.name)).collect();
+        let picks: Vec<Benchmark> = benches
+            .into_iter()
+            .filter(|b| ["fma3d", "mcf"].contains(&b.name))
+            .collect();
         let rows = run(&picks, 120_000);
         let fma3d = rows.iter().find(|r| r.benchmark == "fma3d").unwrap();
         let mcf = rows.iter().find(|r| r.benchmark == "mcf").unwrap();
-        assert!(fma3d.improvement_pct >= -2.0, "fma3d barely changes: {}", fma3d.improvement_pct);
+        assert!(
+            fma3d.improvement_pct >= -2.0,
+            "fma3d barely changes: {}",
+            fma3d.improvement_pct
+        );
         assert!(fma3d.improvement_pct < 40.0);
-        assert!(mcf.improvement_pct > 100.0, "mcf is memory bound: {}", mcf.improvement_pct);
+        assert!(
+            mcf.improvement_pct > 100.0,
+            "mcf is memory bound: {}",
+            mcf.improvement_pct
+        );
         assert!(mcf.improvement_pct > 3.0 * fma3d.improvement_pct.max(1.0));
     }
 

@@ -26,18 +26,37 @@ pub fn walkthrough(cfg: &PhtConfig, seq: &[Tag], miss_index: SetIndex) -> Vec<In
     let m = index_bits.saturating_sub(n).max(1);
     let sum = seq.iter().fold(0u64, |a, t| a.wrapping_add(t.raw()));
     let truncated = truncated_sum(seq, m);
-    let low = if n == 0 { 0 } else { u64::from(miss_index.raw()) & ((1 << n) - 1) };
+    let low = if n == 0 {
+        0
+    } else {
+        u64::from(miss_index.raw()) & ((1 << n) - 1)
+    };
     let final_index = ((truncated << n) | low) & u64::from(cfg.sets - 1);
     vec![
         IndexStep {
             label: "tag sequence".into(),
             value: format!("{:?}", seq.iter().map(|t| t.raw()).collect::<Vec<_>>()),
         },
-        IndexStep { label: "full sum".into(), value: format!("{sum:#x}") },
-        IndexStep { label: format!("truncated sum [{m} bits]"), value: format!("{truncated:#x}") },
-        IndexStep { label: format!("miss index bits [{n} bits]"), value: format!("{low:#x}") },
-        IndexStep { label: "PHT set".into(), value: format!("{final_index:#x}") },
-        IndexStep { label: "entry tag (most recent)".into(), value: format!("{:#x}", seq.last().map(|t| t.raw()).unwrap_or(0)) },
+        IndexStep {
+            label: "full sum".into(),
+            value: format!("{sum:#x}"),
+        },
+        IndexStep {
+            label: format!("truncated sum [{m} bits]"),
+            value: format!("{truncated:#x}"),
+        },
+        IndexStep {
+            label: format!("miss index bits [{n} bits]"),
+            value: format!("{low:#x}"),
+        },
+        IndexStep {
+            label: "PHT set".into(),
+            value: format!("{final_index:#x}"),
+        },
+        IndexStep {
+            label: "entry tag (most recent)".into(),
+            value: format!("{:#x}", seq.last().map(|t| t.raw()).unwrap_or(0)),
+        },
     ]
 }
 
@@ -70,7 +89,11 @@ mod tests {
 
     #[test]
     fn walkthrough_has_all_steps() {
-        let steps = walkthrough(&PhtConfig::pht_8k(), &[Tag::new(1), Tag::new(2)], SetIndex::new(0));
+        let steps = walkthrough(
+            &PhtConfig::pht_8k(),
+            &[Tag::new(1), Tag::new(2)],
+            SetIndex::new(0),
+        );
         assert_eq!(steps.len(), 6);
         assert!(steps.iter().any(|s| s.label.contains("truncated sum")));
     }

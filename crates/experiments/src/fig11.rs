@@ -103,17 +103,27 @@ mod tests {
 
     #[test]
     fn tcp_beats_baseline_on_correlated_benchmarks() {
-        let picks: Vec<Benchmark> =
-            suite().into_iter().filter(|b| ["ammp", "art"].contains(&b.name)).collect();
+        let picks: Vec<Benchmark> = suite()
+            .into_iter()
+            .filter(|b| ["ammp", "art"].contains(&b.name))
+            .collect();
         let fig = run(&picks, 250_000);
         let ammp = fig.rows.iter().find(|r| r.benchmark == "ammp").unwrap();
         // ammp's chase retraverses within 250k ops; the private PHT learns.
-        assert!(ammp.tcp8m_pct > 5.0, "ammp: TCP-8M should help, got {:.1}%", ammp.tcp8m_pct);
+        assert!(
+            ammp.tcp8m_pct > 5.0,
+            "ammp: TCP-8M should help, got {:.1}%",
+            ammp.tcp8m_pct
+        );
         let art = fig.rows.iter().find(|r| r.benchmark == "art").unwrap();
         // art's sequences are shared across sets, so the 8 KB shared PHT
         // predicts even before a full sweep finishes (TCP-8M needs a full
         // per-set pass and only catches up at larger scales).
-        assert!(art.tcp8k_pct > 5.0, "art's shared patterns suit TCP-8K: {:.1}%", art.tcp8k_pct);
+        assert!(
+            art.tcp8k_pct > 5.0,
+            "art's shared patterns suit TCP-8K: {:.1}%",
+            art.tcp8k_pct
+        );
     }
 
     #[test]

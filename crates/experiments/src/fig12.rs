@@ -32,14 +32,14 @@ pub struct Fig12 {
 fn panel(benchmarks: &[Benchmark], n_ops: u64, cfg_of: fn() -> TcpConfig) -> Vec<Fig12Row> {
     let cfg = SystemConfig::table1();
     tcp_sim::map_benchmarks_parallel(benchmarks, |b| {
-            let r = run_benchmark(b, n_ops, &cfg, Box::new(Tcp::new(cfg_of())));
-            let (p, n, e) = r.stats.l2_breakdown.normalized();
-            Fig12Row {
-                benchmark: b.name.to_owned(),
-                prefetched_original: p,
-                non_prefetched_original: n,
-                prefetched_extra: e,
-            }
+        let r = run_benchmark(b, n_ops, &cfg, Box::new(Tcp::new(cfg_of())));
+        let (p, n, e) = r.stats.l2_breakdown.normalized();
+        Fig12Row {
+            benchmark: b.name.to_owned(),
+            prefetched_original: p,
+            non_prefetched_original: n,
+            prefetched_extra: e,
+        }
     })
 }
 
@@ -55,7 +55,12 @@ pub fn run(benchmarks: &[Benchmark], n_ops: u64) -> Fig12 {
 pub fn render(title: &str, rows: &[Fig12Row]) -> Table {
     let mut t = Table::new(
         title,
-        &["benchmark", "prefetched original", "non-prefetched original", "prefetched extra"],
+        &[
+            "benchmark",
+            "prefetched original",
+            "non-prefetched original",
+            "prefetched extra",
+        ],
     );
     for r in rows {
         t.row(vec![
@@ -75,12 +80,18 @@ mod tests {
 
     #[test]
     fn fractions_sum_to_one_over_originals() {
-        let picks: Vec<Benchmark> =
-            suite().into_iter().filter(|b| ["art", "crafty"].contains(&b.name)).collect();
+        let picks: Vec<Benchmark> = suite()
+            .into_iter()
+            .filter(|b| ["art", "crafty"].contains(&b.name))
+            .collect();
         let fig = run(&picks, 150_000);
         for r in fig.tcp_8k.iter().chain(&fig.tcp_8m) {
             let originals = r.prefetched_original + r.non_prefetched_original;
-            assert!((originals - 1.0).abs() < 1e-9, "{}: originals must sum to 1", r.benchmark);
+            assert!(
+                (originals - 1.0).abs() < 1e-9,
+                "{}: originals must sum to 1",
+                r.benchmark
+            );
             assert!(r.prefetched_extra >= 0.0);
         }
     }

@@ -36,8 +36,15 @@ pub struct Fig13 {
 }
 
 /// The paper's size axis.
-pub const SIZES: [usize; 7] =
-    [2 * 1024, 8 * 1024, 32 * 1024, 128 * 1024, 512 * 1024, 2 * 1024 * 1024, 8 * 1024 * 1024];
+pub const SIZES: [usize; 7] = [
+    2 * 1024,
+    8 * 1024,
+    32 * 1024,
+    128 * 1024,
+    512 * 1024,
+    2 * 1024 * 1024,
+    8 * 1024 * 1024,
+];
 
 fn full_index_bits(bytes: usize) -> u32 {
     // "Full miss index" uses all 10 bits when the table is big enough;
@@ -80,7 +87,11 @@ pub fn run(benchmarks: &[Benchmark], n_ops: u64) -> Fig13 {
 pub fn render_sizes(fig: &Fig13) -> Table {
     let mut t = Table::new(
         "Figure 13 (top): geomean IPC vs PHT size",
-        &["PHT size", "IPC (0 miss-index bits)", "IPC (full miss index)"],
+        &[
+            "PHT size",
+            "IPC (0 miss-index bits)",
+            "IPC (full miss index)",
+        ],
     );
     for p in &fig.sizes {
         let label = if p.pht_bytes >= 1024 * 1024 {
@@ -120,10 +131,15 @@ mod tests {
     fn bigger_shared_pht_is_not_worse_on_pattern_heavy_benchmark() {
         // On a pattern-rich subset, an 8 KB shared PHT must beat a 2 KB
         // one (the paper's "quadrupling 2KB → 8KB gains 6%").
-        let picks: Vec<Benchmark> =
-            suite().into_iter().filter(|b| ["ammp", "gcc"].contains(&b.name)).collect();
+        let picks: Vec<Benchmark> = suite()
+            .into_iter()
+            .filter(|b| ["ammp", "gcc"].contains(&b.name))
+            .collect();
         let small = geomean_ipc(&picks, 250_000, TcpConfig::with_pht_bytes(2 * 1024, 0));
         let big = geomean_ipc(&picks, 250_000, TcpConfig::with_pht_bytes(32 * 1024, 0));
-        assert!(big >= small * 0.98, "larger PHT should not lose: {small} vs {big}");
+        assert!(
+            big >= small * 0.98,
+            "larger PHT should not lose: {small} vs {big}"
+        );
     }
 }

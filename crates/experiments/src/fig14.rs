@@ -24,19 +24,19 @@ pub fn run(benchmarks: &[Benchmark], n_ops: u64) -> Vec<Fig14Row> {
     let base_cfg = SystemConfig::table1();
     let hybrid_cfg = SystemConfig::table1_with_prefetch_bus();
     tcp_sim::map_benchmarks_parallel(benchmarks, |b| {
-            let base = run_benchmark(b, n_ops, &base_cfg, Box::new(NullPrefetcher));
-            let tcp = run_benchmark(b, n_ops, &base_cfg, Box::new(Tcp::new(TcpConfig::tcp_8k())));
-            let hybrid = run_benchmark(
-                b,
-                n_ops,
-                &hybrid_cfg,
-                Box::new(HybridTcp::new(TcpConfig::tcp_8k(), DbpConfig::default())),
-            );
-            Fig14Row {
-                benchmark: b.name.to_owned(),
-                tcp8k_pct: ipc_improvement(&base, &tcp),
-                hybrid_pct: ipc_improvement(&base, &hybrid),
-            }
+        let base = run_benchmark(b, n_ops, &base_cfg, Box::new(NullPrefetcher));
+        let tcp = run_benchmark(b, n_ops, &base_cfg, Box::new(Tcp::new(TcpConfig::tcp_8k())));
+        let hybrid = run_benchmark(
+            b,
+            n_ops,
+            &hybrid_cfg,
+            Box::new(HybridTcp::new(TcpConfig::tcp_8k(), DbpConfig::default())),
+        );
+        Fig14Row {
+            benchmark: b.name.to_owned(),
+            tcp8k_pct: ipc_improvement(&base, &tcp),
+            hybrid_pct: ipc_improvement(&base, &hybrid),
+        }
     })
 }
 
@@ -47,7 +47,11 @@ pub fn render(rows: &[Fig14Row]) -> Table {
         &["benchmark", "TCP-8K", "Hybrid-8K"],
     );
     for r in rows {
-        t.row(vec![r.benchmark.clone(), pct(r.tcp8k_pct), pct(r.hybrid_pct)]);
+        t.row(vec![
+            r.benchmark.clone(),
+            pct(r.tcp8k_pct),
+            pct(r.hybrid_pct),
+        ]);
     }
     t
 }
@@ -62,7 +66,11 @@ mod tests {
         let picks: Vec<Benchmark> = suite().into_iter().filter(|b| b.name == "art").collect();
         let rows = run(&picks, 250_000);
         let art = &rows[0];
-        assert!(art.tcp8k_pct > 0.0, "TCP-8K helps art: {:.1}%", art.tcp8k_pct);
+        assert!(
+            art.tcp8k_pct > 0.0,
+            "TCP-8K helps art: {:.1}%",
+            art.tcp8k_pct
+        );
         // The hybrid may help more or less, but must not destroy the gain.
         assert!(
             art.hybrid_pct > art.tcp8k_pct * 0.5,

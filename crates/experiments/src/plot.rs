@@ -38,7 +38,12 @@ impl BarChart {
     /// Panics if `width` is zero.
     pub fn new(title: &str, width: usize) -> Self {
         assert!(width > 0, "chart width must be nonzero");
-        BarChart { title: title.to_owned(), width, log_scale: false, bars: Vec::new() }
+        BarChart {
+            title: title.to_owned(),
+            width,
+            log_scale: false,
+            bars: Vec::new(),
+        }
     }
 
     /// Switches to log₁₀ bar lengths (for the paper's log-axis figures).
@@ -118,10 +123,23 @@ mod tests {
         c.bar("small", 10.0);
         c.bar("large", 1000.0);
         let r = c.render();
-        let small = r.lines().find(|l| l.starts_with("small")).unwrap().matches('█').count();
-        let large = r.lines().find(|l| l.starts_with("large")).unwrap().matches('█').count();
+        let small = r
+            .lines()
+            .find(|l| l.starts_with("small"))
+            .unwrap()
+            .matches('█')
+            .count();
+        let large = r
+            .lines()
+            .find(|l| l.starts_with("large"))
+            .unwrap()
+            .matches('█')
+            .count();
         // Log scale: 10 → 1/3 of 1000's bar, not 1/100.
-        assert!(small * 2 >= large / 2, "log bars should be comparable: {small} vs {large}");
+        assert!(
+            small * 2 >= large / 2,
+            "log bars should be comparable: {small} vs {large}"
+        );
         assert!(large > small);
     }
 

@@ -19,22 +19,33 @@ impl Scale {
     /// Default scale, honouring the `TCP_REPRO_OPS` environment variable
     /// when it parses as a positive integer.
     pub fn from_env() -> Self {
-        let base = std::env::var("TCP_REPRO_OPS").ok().and_then(|s| s.parse::<u64>().ok());
+        let base = std::env::var("TCP_REPRO_OPS")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok());
         match base {
-            Some(ops) if ops > 0 => Scale { sim_ops: ops, trace_ops: ops },
+            Some(ops) if ops > 0 => Scale {
+                sim_ops: ops,
+                trace_ops: ops,
+            },
             _ => Scale::default(),
         }
     }
 
     /// A reduced scale for quick shape checks and integration tests.
     pub fn quick() -> Self {
-        Scale { sim_ops: 150_000, trace_ops: 300_000 }
+        Scale {
+            sim_ops: 150_000,
+            trace_ops: 300_000,
+        }
     }
 }
 
 impl Default for Scale {
     fn default() -> Self {
-        Scale { sim_ops: 4_000_000, trace_ops: 4_000_000 }
+        Scale {
+            sim_ops: 4_000_000,
+            trace_ops: 4_000_000,
+        }
     }
 }
 

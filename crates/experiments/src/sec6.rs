@@ -35,25 +35,27 @@ pub struct Sec6Row {
 pub fn run(benchmarks: &[Benchmark], n_ops: u64) -> Vec<Sec6Row> {
     let machine = SystemConfig::table1();
     let two_target = TcpConfig {
-        pht: PhtConfig { targets: 2, ..PhtConfig::pht_8k() },
+        pht: PhtConfig {
+            targets: 2,
+            ..PhtConfig::pht_8k()
+        },
         ..TcpConfig::tcp_8k()
     };
     tcp_sim::map_benchmarks_parallel(benchmarks, |b| {
-            let base = run_benchmark(b, n_ops, &machine, Box::new(NullPrefetcher));
-            let gain = |p: Box<dyn Prefetcher>| {
-                let r = run_benchmark(b, n_ops, &machine, p);
-                ipc_improvement(&base, &r)
-            };
-            Sec6Row {
-                benchmark: b.name.to_owned(),
-                tcp8k_pct: gain(Box::new(Tcp::new(TcpConfig::tcp_8k()))),
-                tcp2k_pct: gain(Box::new(Tcp::new(TcpConfig::with_pht_bytes(2 * 1024, 0)))),
-                strided2k_pct: gain(Box::new(StrideAugmentedTcp::new(TcpConfig::with_pht_bytes(
-                    2 * 1024,
-                    0,
-                )))),
-                multi_target_pct: gain(Box::new(Tcp::new(two_target))),
-            }
+        let base = run_benchmark(b, n_ops, &machine, Box::new(NullPrefetcher));
+        let gain = |p: Box<dyn Prefetcher>| {
+            let r = run_benchmark(b, n_ops, &machine, p);
+            ipc_improvement(&base, &r)
+        };
+        Sec6Row {
+            benchmark: b.name.to_owned(),
+            tcp8k_pct: gain(Box::new(Tcp::new(TcpConfig::tcp_8k()))),
+            tcp2k_pct: gain(Box::new(Tcp::new(TcpConfig::with_pht_bytes(2 * 1024, 0)))),
+            strided2k_pct: gain(Box::new(StrideAugmentedTcp::new(
+                TcpConfig::with_pht_bytes(2 * 1024, 0),
+            ))),
+            multi_target_pct: gain(Box::new(Tcp::new(two_target))),
+        }
     })
 }
 
@@ -61,7 +63,13 @@ pub fn run(benchmarks: &[Benchmark], n_ops: u64) -> Vec<Sec6Row> {
 pub fn render(rows: &[Sec6Row]) -> Table {
     let mut t = Table::new(
         "Section 6 extensions: stride fast path and multi-target entries",
-        &["benchmark", "TCP-8K", "TCP-2K", "TCP-2K+stride", "TCP-8K x2 targets"],
+        &[
+            "benchmark",
+            "TCP-8K",
+            "TCP-2K",
+            "TCP-2K+stride",
+            "TCP-8K x2 targets",
+        ],
     );
     for r in rows {
         t.row(vec![

@@ -6,13 +6,22 @@ use tcp_sim::SystemConfig;
 /// Renders Table 1 from the live [`SystemConfig`] so the printed
 /// configuration can never drift from what the simulator actually runs.
 pub fn render(cfg: &SystemConfig) -> Table {
-    let mut t = Table::new("Table 1: Configuration of Simulated Processor", &["parameter", "value"]);
+    let mut t = Table::new(
+        "Table 1: Configuration of Simulated Processor",
+        &["parameter", "value"],
+    );
     let h = &cfg.hierarchy;
     let c = &cfg.core;
     let rows: Vec<(&str, String)> = vec![
         ("Clock rate", format!("{}GHz", cfg.clock_ghz)),
-        ("Instruction window", format!("{}-RUU, {}-LSQ", c.window, c.window)),
-        ("Issue width", format!("{} instructions per cycle", c.issue_width)),
+        (
+            "Instruction window",
+            format!("{}-RUU, {}-LSQ", c.window, c.window),
+        ),
+        (
+            "Issue width",
+            format!("{} instructions per cycle", c.issue_width),
+        ),
         (
             "Functional units",
             format!(
@@ -30,7 +39,13 @@ pub fn render(cfg: &SystemConfig) -> Table {
                 h.l1_mshrs
             ),
         ),
-        ("L1/L2 bus", format!("32-byte wide, {}GHz ({} cycle/line)", cfg.clock_ghz, h.l1_bus_cycles)),
+        (
+            "L1/L2 bus",
+            format!(
+                "32-byte wide, {}GHz ({} cycle/line)",
+                cfg.clock_ghz, h.l1_bus_cycles
+            ),
+        ),
         (
             "L2",
             format!(

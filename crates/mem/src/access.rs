@@ -49,12 +49,20 @@ pub struct MemAccess {
 impl MemAccess {
     /// Convenience constructor for a load.
     pub const fn load(pc: Addr, addr: Addr) -> Self {
-        MemAccess { pc, addr, kind: AccessKind::Load }
+        MemAccess {
+            pc,
+            addr,
+            kind: AccessKind::Load,
+        }
     }
 
     /// Convenience constructor for a store.
     pub const fn store(pc: Addr, addr: Addr) -> Self {
-        MemAccess { pc, addr, kind: AccessKind::Store }
+        MemAccess {
+            pc,
+            addr,
+            kind: AccessKind::Store,
+        }
     }
 }
 

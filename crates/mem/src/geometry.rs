@@ -46,16 +46,28 @@ impl CacheGeometry {
     /// Panics if any argument is zero, if sizes are not powers of two, or
     /// if the parameters do not yield a power-of-two number of sets.
     pub fn new(size_bytes: u64, line_bytes: u64, associativity: u32) -> Self {
-        assert!(size_bytes > 0 && line_bytes > 0 && associativity > 0, "geometry parameters must be nonzero");
-        assert!(size_bytes.is_power_of_two(), "cache size must be a power of two");
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            size_bytes > 0 && line_bytes > 0 && associativity > 0,
+            "geometry parameters must be nonzero"
+        );
+        assert!(
+            size_bytes.is_power_of_two(),
+            "cache size must be a power of two"
+        );
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         let lines = size_bytes / line_bytes;
         assert!(
             lines >= u64::from(associativity) && lines.is_multiple_of(u64::from(associativity)),
             "size/line/associativity are inconsistent"
         );
         let num_sets = lines / u64::from(associativity);
-        assert!(num_sets.is_power_of_two(), "number of sets must be a power of two");
+        assert!(
+            num_sets.is_power_of_two(),
+            "number of sets must be a power of two"
+        );
         CacheGeometry {
             size_bytes,
             line_bytes,

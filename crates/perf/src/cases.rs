@@ -1,0 +1,289 @@
+//! The harness's benchmark cases: each one times a real hot path of the
+//! simulator with pre-generated, deterministic inputs.
+//!
+//! Input generation (workload streams, miss traces, encoded trace bytes)
+//! happens once per case, *outside* the measured region; the measured
+//! closure touches only the code under test. Every case exists in a
+//! `full` size (the committed-baseline configuration) and a `smoke` size
+//! (seconds, for CI).
+
+use tcp_analysis::{miss_stream, read_trace, write_trace, MissRecord};
+use tcp_cache::{Cache, L1MissInfo, MemoryHierarchy, NullPrefetcher, Prefetcher, Replacement};
+use tcp_core::{Tcp, TcpConfig};
+use tcp_cpu::{MicroOp, OooCore};
+use tcp_mem::{Addr, MemAccess};
+use tcp_sim::{run_suite_parallel, SystemConfig};
+use tcp_workloads::{suite, Benchmark};
+
+use crate::{measure, CaseResult, MeasureOpts};
+
+/// A case the harness knows how to run.
+#[derive(Clone, Copy, Debug)]
+pub struct CaseSpec {
+    /// Stable case name — the regression-gate key in `BENCH.json`.
+    pub name: &'static str,
+    /// What the case exercises.
+    pub about: &'static str,
+}
+
+/// Every case, in execution order (cheap first, the suite sweep last).
+pub const CASES: &[CaseSpec] = &[
+    CaseSpec {
+        name: "hierarchy_access",
+        about: "MemoryHierarchy::access demand path (gzip reference stream, no prefetcher)",
+    },
+    CaseSpec {
+        name: "tcp_train_lookup",
+        about: "Tcp::on_miss THT train + PHT lookup over a pre-extracted art miss stream",
+    },
+    CaseSpec {
+        name: "ooo_core",
+        about: "OooCore::run event loop end to end (gzip micro-ops through a Table 1 machine)",
+    },
+    CaseSpec {
+        name: "trace_decode",
+        about: "read_trace decode of an in-memory TCPT trace",
+    },
+    CaseSpec {
+        name: "cache_fill_churn",
+        about: "Cache access+fill+evict churn on a conflict-heavy 4-way set",
+    },
+    CaseSpec {
+        name: "suite_parallel",
+        about: "run_suite_parallel over all 26 benchmarks with TCP-8K (the full-sweep hot path)",
+    },
+];
+
+fn find_bench(name: &str) -> Benchmark {
+    suite()
+        .into_iter()
+        .find(|b| b.name == name)
+        .unwrap_or_else(|| panic!("no benchmark {name}"))
+}
+
+/// Memory accesses performed by `bench`'s first `n_ops` micro-ops.
+fn accesses_of(bench: &Benchmark, n_ops: u64) -> Vec<MemAccess> {
+    bench
+        .generator(n_ops)
+        .filter_map(|op| op.mem_access())
+        .collect()
+}
+
+fn hierarchy_access(smoke: bool, opts: MeasureOpts) -> CaseResult {
+    let n_ops: u64 = if smoke { 120_000 } else { 800_000 };
+    let bench = find_bench("gzip");
+    let accesses = accesses_of(&bench, n_ops);
+    let cfg = SystemConfig::table1();
+    // The closure returns a checksum of completion times — a free
+    // determinism check — not a cycle count, so the cycles field is
+    // cleared before reporting.
+    let mut r = measure(
+        "hierarchy_access",
+        "accesses",
+        accesses.len() as u64,
+        opts,
+        || {
+            let mut hierarchy = MemoryHierarchy::new(cfg.hierarchy, Box::new(NullPrefetcher));
+            let mut checksum = 0u64;
+            for (i, acc) in accesses.iter().enumerate() {
+                let res = hierarchy.access(*acc, i as u64);
+                checksum = checksum.wrapping_add(res.completes_at);
+            }
+            checksum
+        },
+    );
+    r.sim_cycles_per_rep = 0;
+    r
+}
+
+/// Extracts the L1 miss stream of `bench` as prefetcher-visible events.
+fn miss_infos(bench: &Benchmark, n_ops: u64) -> Vec<L1MissInfo> {
+    let l1 = SystemConfig::table1().hierarchy.l1d;
+    miss_stream(l1, accesses_of(bench, n_ops))
+        .enumerate()
+        .map(|(i, m)| L1MissInfo {
+            access: MemAccess::load(m.pc, m.addr),
+            line: m.line,
+            tag: m.tag,
+            set: m.set,
+            cycle: i as u64,
+        })
+        .collect()
+}
+
+fn tcp_train_lookup(smoke: bool, opts: MeasureOpts) -> CaseResult {
+    let n_ops: u64 = if smoke { 300_000 } else { 2_000_000 };
+    let infos = miss_infos(&find_bench("art"), n_ops);
+    assert!(!infos.is_empty(), "art must produce L1 misses");
+    // Returns the emitted-prefetch count as a determinism checksum.
+    let mut r = measure(
+        "tcp_train_lookup",
+        "misses",
+        infos.len() as u64,
+        opts,
+        || {
+            let mut tcp = Tcp::new(TcpConfig::tcp_8k());
+            let mut out = Vec::new();
+            let mut emitted = 0u64;
+            for info in &infos {
+                tcp.on_miss(info, &mut out);
+                emitted += out.len() as u64;
+                out.clear();
+            }
+            emitted
+        },
+    );
+    r.sim_cycles_per_rep = 0;
+    r
+}
+
+fn ooo_core(smoke: bool, opts: MeasureOpts) -> CaseResult {
+    let n_ops: u64 = if smoke { 60_000 } else { 400_000 };
+    let ops: Vec<MicroOp> = find_bench("gzip").generator(n_ops).collect();
+    let cfg = SystemConfig::table1();
+    measure("ooo_core", "uops", ops.len() as u64, opts, || {
+        let mut hierarchy = MemoryHierarchy::new(cfg.hierarchy, Box::new(NullPrefetcher));
+        let mut core = OooCore::new(cfg.core);
+        let run = core.run(ops.iter().copied(), &mut hierarchy);
+        run.cycles
+    })
+}
+
+fn trace_decode(smoke: bool, opts: MeasureOpts) -> CaseResult {
+    let n_ops: u64 = if smoke { 400_000 } else { 2_000_000 };
+    let l1 = SystemConfig::table1().hierarchy.l1d;
+    let records: Vec<MissRecord> =
+        miss_stream(l1, accesses_of(&find_bench("art"), n_ops)).collect();
+    let mut bytes = Vec::new();
+    write_trace(&mut bytes, &records).expect("in-memory trace write");
+    measure(
+        "trace_decode",
+        "records",
+        records.len() as u64,
+        opts,
+        || {
+            let decoded = read_trace(&bytes[..], l1).expect("trace round-trip");
+            assert_eq!(decoded.len(), records.len());
+            0
+        },
+    )
+}
+
+fn cache_fill_churn(smoke: bool, opts: MeasureOpts) -> CaseResult {
+    let n_accesses: u64 = if smoke { 200_000 } else { 1_500_000 };
+    let geom = SystemConfig::table1().hierarchy.l2;
+    // A stride equal to the number of sets × line size maps every access
+    // to the same set, so each fill after warmup runs victim selection.
+    let stride = geom.line_bytes() * u64::from(geom.num_sets());
+    let lines: Vec<_> = (0..n_accesses)
+        .map(|i| geom.line_addr(Addr::new(0x0400_0000 + (i % 64) * stride)))
+        .collect();
+    // Returns the eviction count as a determinism checksum.
+    let mut r = measure(
+        "cache_fill_churn",
+        "accesses",
+        lines.len() as u64,
+        opts,
+        || {
+            let mut cache = Cache::new(geom, Replacement::Lru);
+            let mut evictions = 0u64;
+            for (i, line) in lines.iter().enumerate() {
+                let c = i as u64;
+                if matches!(
+                    cache.access(*line, false, c),
+                    tcp_cache::AccessOutcome::Miss
+                ) && cache.fill(*line, c, false).is_some()
+                {
+                    evictions += 1;
+                }
+            }
+            evictions
+        },
+    );
+    r.sim_cycles_per_rep = 0;
+    r
+}
+
+fn suite_parallel(smoke: bool, opts: MeasureOpts) -> CaseResult {
+    let n_ops: u64 = if smoke { 8_000 } else { 30_000 };
+    let benches = suite();
+    let cfg = SystemConfig::table1();
+    let units = benches.len() as u64 * n_ops;
+    measure("suite_parallel", "uops", units, opts, || {
+        let s = run_suite_parallel(&benches, n_ops, &cfg, || {
+            Box::new(Tcp::new(TcpConfig::tcp_8k())) as Box<dyn Prefetcher + Send>
+        });
+        assert_eq!(s.ok_count(), benches.len(), "all benchmarks must complete");
+        s.runs().map(|r| r.cycles).sum()
+    })
+}
+
+/// Runs every case whose name contains `filter` (all when `None`),
+/// invoking `progress` after each. `smoke` selects the small input sizes.
+pub fn run_cases(
+    smoke: bool,
+    filter: Option<&str>,
+    opts: MeasureOpts,
+    progress: &mut dyn FnMut(&CaseResult),
+) -> Vec<CaseResult> {
+    let mut out = Vec::new();
+    for spec in CASES {
+        if let Some(f) = filter {
+            if !spec.name.contains(f) {
+                continue;
+            }
+        }
+        let result = match spec.name {
+            "hierarchy_access" => hierarchy_access(smoke, opts),
+            "tcp_train_lookup" => tcp_train_lookup(smoke, opts),
+            "ooo_core" => ooo_core(smoke, opts),
+            "trace_decode" => trace_decode(smoke, opts),
+            "cache_fill_churn" => cache_fill_churn(smoke, opts),
+            "suite_parallel" => suite_parallel(smoke, opts),
+            other => unreachable!("unknown case {other}"),
+        };
+        progress(&result);
+        out.push(result);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One measured rep of every case at smoke size: the whole harness
+    /// path (generation, measurement, determinism assertions) executes.
+    #[test]
+    fn smoke_cases_run_and_cover_the_required_hot_paths() {
+        let opts = MeasureOpts {
+            warmup_reps: 0,
+            reps: 1,
+        };
+        let mut seen = Vec::new();
+        let results = run_cases(true, None, opts, &mut |r| seen.push(r.name.clone()));
+        assert_eq!(results.len(), CASES.len());
+        assert!(
+            results.len() >= 5,
+            "BENCH.json must cover >= 5 hot-path cases"
+        );
+        assert_eq!(seen.len(), results.len());
+        for r in &results {
+            assert!(r.median_ops_per_sec() > 0.0, "{}", r.name);
+        }
+        // The suite sweep must report simulated throughput.
+        let sweep = results.iter().find(|r| r.name == "suite_parallel").unwrap();
+        assert!(sweep.sim_cycles_per_sec().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn filter_selects_a_subset() {
+        let opts = MeasureOpts {
+            warmup_reps: 0,
+            reps: 1,
+        };
+        let results = run_cases(true, Some("trace"), opts, &mut |_| {});
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].name, "trace_decode");
+    }
+}

@@ -1,0 +1,495 @@
+//! `tcp-perf`: the in-repo performance harness.
+//!
+//! The ROADMAP's north star is a simulator that runs as fast as the
+//! hardware allows; this crate makes that a measured, gated property
+//! rather than a hope. It times the real hot paths — [`MemoryHierarchy`]
+//! demand accesses, THT/PHT train+lookup, the out-of-order core loop,
+//! trace decode, and a full [`run_suite_parallel`] sweep — with warmup
+//! and repetition, reports median and p90, and emits machine-readable
+//! `BENCH.json` so every commit leaves a perf trajectory behind.
+//!
+//! Everything is dependency-free (std only) and the *work* each case
+//! performs is deterministic: fixed seeds, fixed op counts, bit-identical
+//! simulation outcomes. Only the wall-clock measurements vary between
+//! runs, which is what the repetition/median machinery is for.
+//!
+//! [`MemoryHierarchy`]: tcp_cache::MemoryHierarchy
+//! [`run_suite_parallel`]: tcp_sim::run_suite_parallel
+//!
+//! # Examples
+//!
+//! ```
+//! use tcp_perf::{measure, MeasureOpts};
+//!
+//! let opts = MeasureOpts { warmup_reps: 1, reps: 3 };
+//! let mut acc = 0u64;
+//! let result = measure("spin", "iters", 10_000, opts, || {
+//!     for i in 0..10_000u64 {
+//!         acc = acc.wrapping_add(i * i);
+//!     }
+//!     0 // no simulated cycles
+//! });
+//! assert_eq!(result.reps, 3);
+//! assert!(result.median_ops_per_sec() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cases;
+pub mod json;
+
+use std::time::Instant;
+
+use json::Json;
+
+/// Schema version stamped into every `BENCH.json`.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Repetition policy for one measurement.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MeasureOpts {
+    /// Unmeasured repetitions run first (cache/branch-predictor warmup).
+    pub warmup_reps: u32,
+    /// Measured repetitions; median/p90 are taken over these.
+    pub reps: u32,
+}
+
+impl Default for MeasureOpts {
+    fn default() -> Self {
+        MeasureOpts {
+            warmup_reps: 1,
+            reps: 5,
+        }
+    }
+}
+
+/// The measured result of one benchmark case.
+#[derive(Clone, Debug)]
+pub struct CaseResult {
+    /// Case name (stable across runs; the regression-gate key).
+    pub name: String,
+    /// What one "op" is for this case (accesses, misses, uops, ...).
+    pub unit: String,
+    /// Ops performed per repetition.
+    pub units_per_rep: u64,
+    /// Warmup repetitions that ran before measurement.
+    pub warmup_reps: u32,
+    /// Measured repetitions.
+    pub reps: u32,
+    /// Wall time of each measured repetition, in milliseconds.
+    pub wall_ms: Vec<f64>,
+    /// Simulated cycles per repetition (0 when not meaningful).
+    pub sim_cycles_per_rep: u64,
+}
+
+impl CaseResult {
+    /// Throughput of each measured repetition, in ops/second.
+    pub fn ops_per_sec(&self) -> Vec<f64> {
+        self.wall_ms
+            .iter()
+            .map(|ms| self.units_per_rep as f64 / (ms / 1e3))
+            .collect()
+    }
+
+    /// Median throughput in ops/second.
+    pub fn median_ops_per_sec(&self) -> f64 {
+        median(&self.ops_per_sec())
+    }
+
+    /// 90th-percentile (pessimistic-tail) wall time in milliseconds.
+    pub fn p90_wall_ms(&self) -> f64 {
+        percentile(&self.wall_ms, 0.90)
+    }
+
+    /// Median wall time in milliseconds.
+    pub fn median_wall_ms(&self) -> f64 {
+        median(&self.wall_ms)
+    }
+
+    /// Simulated cycles per wall-clock second at the median repetition,
+    /// or `None` when the case does not simulate cycles.
+    pub fn sim_cycles_per_sec(&self) -> Option<f64> {
+        if self.sim_cycles_per_rep == 0 {
+            return None;
+        }
+        Some(self.sim_cycles_per_rep as f64 / (self.median_wall_ms() / 1e3))
+    }
+}
+
+/// Runs `work` under the warmup/repetition policy and collects wall
+/// times. `work` returns the number of simulated cycles the repetition
+/// covered (0 when that has no meaning for the case); the value must be
+/// identical across repetitions — the harness asserts it, which doubles
+/// as a determinism check on every measured path.
+///
+/// # Panics
+///
+/// Panics if `reps` is zero or if `work` reports different simulated
+/// cycle counts across repetitions (a determinism violation).
+pub fn measure(
+    name: &str,
+    unit: &str,
+    units_per_rep: u64,
+    opts: MeasureOpts,
+    mut work: impl FnMut() -> u64,
+) -> CaseResult {
+    assert!(
+        opts.reps > 0,
+        "at least one measured repetition is required"
+    );
+    let mut sim_cycles = None;
+    for _ in 0..opts.warmup_reps {
+        let c = work();
+        assert_eq!(
+            *sim_cycles.get_or_insert(c),
+            c,
+            "{name}: nondeterministic cycle count"
+        );
+    }
+    let mut wall_ms = Vec::with_capacity(opts.reps as usize);
+    for _ in 0..opts.reps {
+        let start = Instant::now();
+        let c = work();
+        let elapsed = start.elapsed();
+        assert_eq!(
+            *sim_cycles.get_or_insert(c),
+            c,
+            "{name}: nondeterministic cycle count"
+        );
+        wall_ms.push(elapsed.as_secs_f64() * 1e3);
+    }
+    CaseResult {
+        name: name.to_owned(),
+        unit: unit.to_owned(),
+        units_per_rep,
+        warmup_reps: opts.warmup_reps,
+        reps: opts.reps,
+        wall_ms,
+        sim_cycles_per_rep: sim_cycles.unwrap_or(0),
+    }
+}
+
+/// Median of `values` (mean of the middle pair for even lengths).
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+pub fn median(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "median of an empty slice");
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("wall times are finite"));
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        (v[n / 2 - 1] + v[n / 2]) / 2.0
+    }
+}
+
+/// Nearest-rank percentile of `values` (`p` in `0.0..=1.0`).
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    assert!(!values.is_empty(), "percentile of an empty slice");
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("wall times are finite"));
+    let rank = ((p * v.len() as f64).ceil() as usize).clamp(1, v.len());
+    v[rank - 1]
+}
+
+/// A full harness run: every case result plus run metadata.
+#[derive(Clone, Debug, Default)]
+pub struct BenchReport {
+    /// Harness mode: `"full"` or `"smoke"`.
+    pub mode: String,
+    /// Per-case results.
+    pub cases: Vec<CaseResult>,
+}
+
+impl BenchReport {
+    /// Serialises the report as the `BENCH.json` document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema_version\": {SCHEMA_VERSION},\n"));
+        out.push_str("  \"generated_by\": \"tcp-perf\",\n");
+        out.push_str(&format!("  \"mode\": \"{}\",\n", json::escape(&self.mode)));
+        out.push_str("  \"cases\": [\n");
+        for (i, c) in self.cases.iter().enumerate() {
+            out.push_str("    {\n");
+            out.push_str(&format!("      \"name\": \"{}\",\n", json::escape(&c.name)));
+            out.push_str(&format!("      \"unit\": \"{}\",\n", json::escape(&c.unit)));
+            out.push_str(&format!("      \"units_per_rep\": {},\n", c.units_per_rep));
+            out.push_str(&format!("      \"warmup_reps\": {},\n", c.warmup_reps));
+            out.push_str(&format!("      \"reps\": {},\n", c.reps));
+            out.push_str(&format!(
+                "      \"median_ops_per_sec\": {},\n",
+                json::num(c.median_ops_per_sec())
+            ));
+            out.push_str(&format!(
+                "      \"median_wall_ms\": {},\n",
+                json::num(c.median_wall_ms())
+            ));
+            out.push_str(&format!(
+                "      \"p90_wall_ms\": {},\n",
+                json::num(c.p90_wall_ms())
+            ));
+            out.push_str(&format!(
+                "      \"sim_cycles_per_rep\": {},\n",
+                c.sim_cycles_per_rep
+            ));
+            match c.sim_cycles_per_sec() {
+                Some(v) => out.push_str(&format!(
+                    "      \"sim_cycles_per_sec\": {},\n",
+                    json::num(v)
+                )),
+                None => out.push_str("      \"sim_cycles_per_sec\": null,\n"),
+            }
+            let walls: Vec<String> = c.wall_ms.iter().map(|w| json::num(*w)).collect();
+            out.push_str(&format!("      \"wall_ms\": [{}]\n", walls.join(", ")));
+            out.push_str(if i + 1 == self.cases.len() {
+                "    }\n"
+            } else {
+                "    },\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// The verdict of comparing a fresh report against a baseline.
+#[derive(Clone, Debug, Default)]
+pub struct Comparison {
+    /// Human-readable per-case lines, in baseline order.
+    pub lines: Vec<String>,
+    /// Cases that regressed beyond the threshold (or went missing).
+    pub failures: Vec<String>,
+}
+
+impl Comparison {
+    /// `true` when no case regressed.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Compares `current` against `baseline` (both parsed `BENCH.json`
+/// documents). A case fails when its median throughput drops more than
+/// `threshold` (a fraction: `0.10` = 10%) below the baseline, or when it
+/// disappears from the current report. Cases new in `current` are noted
+/// but never fail.
+///
+/// # Errors
+///
+/// Returns a message when either document does not look like a
+/// `BENCH.json` report.
+pub fn compare(baseline: &Json, current: &Json, threshold: f64) -> Result<Comparison, String> {
+    let base_cases = report_cases(baseline, "baseline")?;
+    let cur_cases = report_cases(current, "current")?;
+    let mut cmp = Comparison::default();
+    for (name, base_ops) in &base_cases {
+        match cur_cases.iter().find(|(n, _)| n == name) {
+            None => {
+                cmp.failures.push(format!(
+                    "{name}: present in baseline but missing from current"
+                ));
+            }
+            Some((_, cur_ops)) => {
+                let ratio = cur_ops / base_ops;
+                let line = format!(
+                    "{name}: {base_ops:.0} -> {cur_ops:.0} ops/s ({:+.1}%)",
+                    (ratio - 1.0) * 100.0
+                );
+                if ratio < 1.0 - threshold {
+                    cmp.failures.push(format!(
+                        "{name}: median throughput regressed {:.1}% (> {:.0}% allowed): \
+                         {base_ops:.0} -> {cur_ops:.0} ops/s",
+                        (1.0 - ratio) * 100.0,
+                        threshold * 100.0
+                    ));
+                }
+                cmp.lines.push(line);
+            }
+        }
+    }
+    for (name, _) in &cur_cases {
+        if !base_cases.iter().any(|(n, _)| n == name) {
+            cmp.lines.push(format!("{name}: new case (no baseline)"));
+        }
+    }
+    Ok(cmp)
+}
+
+/// Extracts `(name, median_ops_per_sec)` pairs from a report document.
+fn report_cases(doc: &Json, which: &str) -> Result<Vec<(String, f64)>, String> {
+    let cases = doc
+        .get("cases")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{which} report has no \"cases\" array"))?;
+    let mut out = Vec::with_capacity(cases.len());
+    for (i, c) in cases.iter().enumerate() {
+        let name = c
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{which} report: case {i} has no \"name\""))?;
+        let ops = c
+            .get("median_ops_per_sec")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("{which} report: case \"{name}\" has no median_ops_per_sec"))?;
+        if !(ops > 0.0 && ops.is_finite()) {
+            return Err(format!(
+                "{which} report: case \"{name}\" has non-positive throughput"
+            ));
+        }
+        out.push((name.to_owned(), ops));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_result(name: &str, wall_ms: Vec<f64>) -> CaseResult {
+        CaseResult {
+            name: name.to_owned(),
+            unit: "ops".to_owned(),
+            units_per_rep: 1000,
+            warmup_reps: 1,
+            reps: wall_ms.len() as u32,
+            wall_ms,
+            sim_cycles_per_rep: 0,
+        }
+    }
+
+    #[test]
+    fn median_and_percentile() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(
+            percentile(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0], 0.90),
+            9.0
+        );
+        assert_eq!(percentile(&[5.0], 0.90), 5.0);
+    }
+
+    #[test]
+    fn measure_runs_and_reports() {
+        let mut calls = 0u32;
+        let r = measure(
+            "t",
+            "ops",
+            100,
+            MeasureOpts {
+                warmup_reps: 2,
+                reps: 3,
+            },
+            || {
+                calls += 1;
+                42
+            },
+        );
+        assert_eq!(calls, 5);
+        assert_eq!(r.reps, 3);
+        assert_eq!(r.sim_cycles_per_rep, 42);
+        assert!(r.sim_cycles_per_sec().unwrap() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "nondeterministic")]
+    fn measure_rejects_nondeterministic_work() {
+        let mut c = 0u64;
+        measure(
+            "t",
+            "ops",
+            1,
+            MeasureOpts {
+                warmup_reps: 0,
+                reps: 2,
+            },
+            || {
+                c += 1;
+                c
+            },
+        );
+    }
+
+    #[test]
+    fn report_json_round_trips() {
+        let report = BenchReport {
+            mode: "smoke".to_owned(),
+            cases: vec![
+                fake_result("a", vec![10.0, 12.0, 11.0]),
+                fake_result("b", vec![5.0]),
+            ],
+        };
+        let doc = json::parse(&report.to_json()).unwrap();
+        assert_eq!(
+            doc.get("schema_version").and_then(Json::as_f64),
+            Some(SCHEMA_VERSION as f64)
+        );
+        assert_eq!(doc.get("mode").and_then(Json::as_str), Some("smoke"));
+        let cases = doc.get("cases").and_then(Json::as_arr).unwrap();
+        assert_eq!(cases.len(), 2);
+        let a = &cases[0];
+        assert_eq!(a.get("name").and_then(Json::as_str), Some("a"));
+        // median wall 11ms over 1000 units -> ~90909 ops/s
+        let ops = a.get("median_ops_per_sec").and_then(Json::as_f64).unwrap();
+        assert!((ops - 1000.0 / 0.011).abs() < 1.0);
+    }
+
+    #[test]
+    fn compare_passes_within_threshold_and_fails_beyond() {
+        let base = BenchReport {
+            mode: "full".to_owned(),
+            cases: vec![fake_result("a", vec![10.0]), fake_result("b", vec![10.0])],
+        };
+        // "a" 5% slower (within 10%), "b" 25% slower (fails).
+        let cur = BenchReport {
+            mode: "full".to_owned(),
+            cases: vec![fake_result("a", vec![10.5]), fake_result("b", vec![13.4])],
+        };
+        let cmp = compare(
+            &json::parse(&base.to_json()).unwrap(),
+            &json::parse(&cur.to_json()).unwrap(),
+            0.10,
+        )
+        .unwrap();
+        assert!(!cmp.passed());
+        assert_eq!(cmp.failures.len(), 1);
+        assert!(cmp.failures[0].contains('b'), "{:?}", cmp.failures);
+    }
+
+    #[test]
+    fn compare_fails_on_missing_case_and_tolerates_new_ones() {
+        let base = BenchReport {
+            mode: "full".to_owned(),
+            cases: vec![fake_result("gone", vec![1.0])],
+        };
+        let cur = BenchReport {
+            mode: "full".to_owned(),
+            cases: vec![fake_result("new", vec![1.0])],
+        };
+        let cmp = compare(
+            &json::parse(&base.to_json()).unwrap(),
+            &json::parse(&cur.to_json()).unwrap(),
+            0.10,
+        )
+        .unwrap();
+        assert!(!cmp.passed());
+        assert!(cmp.failures[0].contains("missing"));
+        assert!(cmp.lines.iter().any(|l| l.contains("new case")));
+    }
+
+    #[test]
+    fn compare_rejects_malformed_reports() {
+        let good = json::parse(&BenchReport::default().to_json()).unwrap();
+        let bad = json::parse("{\"cases\": [{\"name\": \"x\"}]}").unwrap();
+        assert!(compare(&bad, &good, 0.1).is_err());
+        assert!(compare(&good, &json::parse("{}").unwrap(), 0.1).is_err());
+    }
+}

@@ -1,0 +1,181 @@
+//! `tcp-perf` command-line entry point.
+//!
+//! ```text
+//! tcp-perf [--smoke] [--out PATH] [--filter SUBSTR] [--reps N] [--warmup N]
+//! tcp-perf --list
+//! tcp-perf compare <baseline.json> <current.json> [--threshold FRACTION]
+//! ```
+//!
+//! The default invocation runs every case at full size and writes
+//! `BENCH.json` to the current directory. `compare` exits 0 when no case
+//! regressed, 1 on regression, 2 on usage or I/O errors.
+
+use std::process::ExitCode;
+
+use tcp_perf::cases::{run_cases, CASES};
+use tcp_perf::{json, BenchReport, CaseResult, MeasureOpts};
+
+const USAGE: &str = "\
+usage:
+  tcp-perf [--smoke] [--out PATH] [--filter SUBSTR] [--reps N] [--warmup N]
+  tcp-perf --list
+  tcp-perf compare <baseline.json> <current.json> [--threshold FRACTION]
+
+options:
+  --smoke              run reduced input sizes (seconds, for CI smoke jobs)
+  --out PATH           where to write the report (default: BENCH.json)
+  --filter SUBSTR      only run cases whose name contains SUBSTR
+  --reps N             measured repetitions per case (default: 5)
+  --warmup N           unmeasured warmup repetitions per case (default: 1)
+  --list               list available cases and exit
+  --threshold FRACTION allowed median-throughput drop for compare
+                       (default: 0.10 = 10%)";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("compare") {
+        return run_compare(&args[1..]);
+    }
+    run_measure(&args)
+}
+
+fn usage_error(message: &str) -> ExitCode {
+    eprintln!("tcp-perf: {message}\n{USAGE}");
+    ExitCode::from(2)
+}
+
+/// Pops the value of `--flag VALUE` from an argument queue.
+fn take_value(args: &mut Vec<String>, i: usize, flag: &str) -> Result<String, String> {
+    if i + 1 >= args.len() {
+        return Err(format!("{flag} needs a value"));
+    }
+    let v = args.remove(i + 1);
+    args.remove(i);
+    Ok(v)
+}
+
+fn run_measure(raw: &[String]) -> ExitCode {
+    let mut args = raw.to_vec();
+    let mut smoke = false;
+    let mut out_path = "BENCH.json".to_owned();
+    let mut filter = None;
+    let mut opts = MeasureOpts::default();
+    // Every matched flag removes itself from the queue, so the head is
+    // always the next unprocessed argument.
+    while !args.is_empty() {
+        let i = 0;
+        match args[i].as_str() {
+            "--smoke" => {
+                smoke = true;
+                args.remove(i);
+            }
+            "--list" => {
+                for c in CASES {
+                    println!("{:18} {}", c.name, c.about);
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--out" => match take_value(&mut args, i, "--out") {
+                Ok(v) => out_path = v,
+                Err(e) => return usage_error(&e),
+            },
+            "--filter" => match take_value(&mut args, i, "--filter") {
+                Ok(v) => filter = Some(v),
+                Err(e) => return usage_error(&e),
+            },
+            "--reps" => match take_value(&mut args, i, "--reps").map(|v| v.parse::<u32>()) {
+                Ok(Ok(n)) if n > 0 => opts.reps = n,
+                _ => return usage_error("--reps needs a positive integer"),
+            },
+            "--warmup" => match take_value(&mut args, i, "--warmup").map(|v| v.parse::<u32>()) {
+                Ok(Ok(n)) => opts.warmup_reps = n,
+                _ => return usage_error("--warmup needs an integer"),
+            },
+            other => return usage_error(&format!("unknown argument '{other}'")),
+        }
+    }
+    let mode = if smoke { "smoke" } else { "full" };
+    eprintln!(
+        "tcp-perf: mode {mode}, {} warmup + {} measured reps per case",
+        opts.warmup_reps, opts.reps
+    );
+    let mut progress = |r: &CaseResult| {
+        let sim = match r.sim_cycles_per_sec() {
+            Some(v) => format!(", {:.2e} sim-cycles/s", v),
+            None => String::new(),
+        };
+        eprintln!(
+            "  {:18} {:>12.0} {}/s (median {:.1} ms, p90 {:.1} ms{sim})",
+            r.name,
+            r.median_ops_per_sec(),
+            r.unit,
+            r.median_wall_ms(),
+            r.p90_wall_ms(),
+        );
+    };
+    let cases = run_cases(smoke, filter.as_deref(), opts, &mut progress);
+    if cases.is_empty() {
+        return usage_error("the filter matched no cases");
+    }
+    let report = BenchReport {
+        mode: mode.to_owned(),
+        cases,
+    };
+    if let Err(e) = std::fs::write(&out_path, report.to_json()) {
+        eprintln!("tcp-perf: cannot write {out_path}: {e}");
+        return ExitCode::from(2);
+    }
+    eprintln!("tcp-perf: wrote {out_path}");
+    ExitCode::SUCCESS
+}
+
+fn load_report(path: &str) -> Result<json::Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    json::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn run_compare(raw: &[String]) -> ExitCode {
+    let mut args = raw.to_vec();
+    let mut threshold = 0.10f64;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--threshold" {
+            match take_value(&mut args, i, "--threshold").map(|v| v.parse::<f64>()) {
+                Ok(Ok(t)) if (0.0..1.0).contains(&t) => threshold = t,
+                _ => return usage_error("--threshold needs a fraction in [0, 1)"),
+            }
+        } else {
+            i += 1;
+        }
+    }
+    let [baseline_path, current_path] = args.as_slice() else {
+        return usage_error("compare needs exactly <baseline.json> <current.json>");
+    };
+    let (baseline, current) = match (load_report(baseline_path), load_report(current_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("tcp-perf: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match tcp_perf::compare(&baseline, &current, threshold) {
+        Err(e) => {
+            eprintln!("tcp-perf: {e}");
+            ExitCode::from(2)
+        }
+        Ok(cmp) => {
+            for line in &cmp.lines {
+                println!("{line}");
+            }
+            if cmp.passed() {
+                println!("perf check passed (threshold {:.0}%)", threshold * 100.0);
+                ExitCode::SUCCESS
+            } else {
+                for f in &cmp.failures {
+                    eprintln!("REGRESSION: {f}");
+                }
+                ExitCode::FAILURE
+            }
+        }
+    }
+}

@@ -17,7 +17,7 @@ use tcp_cpu::CoreConfig;
 /// | L1/L2 bus | 32 B wide, 2 GHz |
 /// | L2 | 1 MB, 4-way LRU, 64 B lines, 12-cycle latency |
 /// | Memory | 70 cycles |
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct SystemConfig {
     /// Out-of-order core parameters.
     pub core: CoreConfig,
@@ -30,7 +30,11 @@ pub struct SystemConfig {
 impl SystemConfig {
     /// The paper's simulated processor (Table 1).
     pub fn table1() -> Self {
-        SystemConfig { core: CoreConfig::default(), hierarchy: HierarchyConfig::default(), clock_ghz: 2.0 }
+        SystemConfig {
+            core: CoreConfig::default(),
+            hierarchy: HierarchyConfig::default(),
+            clock_ghz: 2.0,
+        }
     }
 
     /// Table 1 with an ideal L2 (every L2 access hits): the limit study
@@ -117,7 +121,11 @@ mod tests {
     #[test]
     fn variants_flip_expected_flags() {
         assert!(SystemConfig::table1_ideal_l2().hierarchy.ideal_l2);
-        assert!(SystemConfig::table1_with_prefetch_bus().hierarchy.separate_prefetch_bus);
+        assert!(
+            SystemConfig::table1_with_prefetch_bus()
+                .hierarchy
+                .separate_prefetch_bus
+        );
     }
 
     #[test]
@@ -135,11 +143,19 @@ mod tests {
     fn validate_catches_each_layer() {
         let mut core_bad = SystemConfig::table1();
         core_bad.core.window = 0;
-        assert_eq!(core_bad.validate(), Err(ConfigError::ZeroField { field: "window" }));
+        assert_eq!(
+            core_bad.validate(),
+            Err(ConfigError::ZeroField { field: "window" })
+        );
 
         let mut hier_bad = SystemConfig::table1();
         hier_bad.hierarchy.memory_latency = 0;
-        assert_eq!(hier_bad.validate(), Err(ConfigError::ZeroField { field: "memory_latency" }));
+        assert_eq!(
+            hier_bad.validate(),
+            Err(ConfigError::ZeroField {
+                field: "memory_latency"
+            })
+        );
 
         let mut clock_bad = SystemConfig::table1();
         clock_bad.clock_ghz = f64::NAN;

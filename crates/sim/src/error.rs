@@ -106,7 +106,12 @@ impl fmt::Display for RunError {
             RunError::Panicked { benchmark, reason } => {
                 write!(f, "benchmark '{benchmark}' panicked: {reason}")
             }
-            RunError::Wedged { benchmark, ops, cycles, max_cycles_per_op } => write!(
+            RunError::Wedged {
+                benchmark,
+                ops,
+                cycles,
+                max_cycles_per_op,
+            } => write!(
                 f,
                 "benchmark '{benchmark}' wedged: {cycles} cycles for {ops} committed ops \
                  exceeds the watchdog cap of {max_cycles_per_op} cycles/op"
@@ -138,7 +143,9 @@ mod tests {
     #[test]
     fn sources_chain() {
         use std::error::Error;
-        let e = SimError::from(RunError::ZeroBaselineIpc { benchmark: "art".into() });
+        let e = SimError::from(RunError::ZeroBaselineIpc {
+            benchmark: "art".into(),
+        });
         assert!(e.source().unwrap().to_string().contains("art"));
         let e = SimError::from(ConfigError::ZeroField { field: "window" });
         assert!(e.source().is_some());

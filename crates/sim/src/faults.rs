@@ -60,14 +60,24 @@ pub fn wedged_config() -> SystemConfig {
 /// default watchdog on the Table 1 machine — they stress, not wedge.
 pub fn adversarial_suite() -> Vec<Benchmark> {
     const MB: u64 = 1024 * 1024;
-    let bench = |name, description, spec| Benchmark { name, description, spec };
+    let bench = |name, description, spec| Benchmark {
+        name,
+        description,
+        spec,
+    };
     vec![
         bench(
             "fault-random-flood",
             "Uniformly random loads over 64 MB: every access a fresh line, zero \
              correlation for any predictor to latch onto.",
             WorkloadSpec::new(
-                vec![(KernelSpec::RandomAccess { base: 0x0400_0000, len: 64 * MB }, 1)],
+                vec![(
+                    KernelSpec::RandomAccess {
+                        base: 0x0400_0000,
+                        len: 64 * MB,
+                    },
+                    1,
+                )],
                 0xDEAD_BEEF,
             )
             .with_compute_per_mem(0.5),
@@ -133,7 +143,13 @@ pub fn healthy_trace_bytes(n: usize) -> Vec<u8> {
         .map(|i| {
             let addr = Addr::new(0x0400_0000 + i * 64);
             let (tag, set) = geom.split(addr);
-            MissRecord { addr, line: geom.line_addr(addr), tag, set, pc: Addr::new(0x400 + i * 4) }
+            MissRecord {
+                addr,
+                line: geom.line_addr(addr),
+                tag,
+                set,
+                pc: Addr::new(0x400 + i * 4),
+            }
         })
         .collect();
     let mut buf = Vec::new();
@@ -167,7 +183,10 @@ pub enum TraceFault {
 /// Panics if `bytes` is shorter than a trace header (13 bytes) — corrupt
 /// a [`healthy_trace_bytes`] buffer, not arbitrary data.
 pub fn corrupt_trace(bytes: &mut Vec<u8>, fault: TraceFault) {
-    assert!(bytes.len() >= 13, "need at least a full trace header to corrupt");
+    assert!(
+        bytes.len() >= 13,
+        "need at least a full trace header to corrupt"
+    );
     match fault {
         TraceFault::BadMagic => bytes[0..4].copy_from_slice(b"XXXX"),
         TraceFault::BadVersion => bytes[4] = 0xFF,
@@ -195,9 +214,12 @@ mod tests {
     #[test]
     fn each_fault_provokes_its_error() {
         let geom = CacheGeometry::new(32 * 1024, 32, 1);
-        for fault in
-            [TraceFault::BadMagic, TraceFault::BadVersion, TraceFault::TruncatePayload, TraceFault::LyingCount]
-        {
+        for fault in [
+            TraceFault::BadMagic,
+            TraceFault::BadVersion,
+            TraceFault::TruncatePayload,
+            TraceFault::LyingCount,
+        ] {
             let mut buf = healthy_trace_bytes(10);
             corrupt_trace(&mut buf, fault);
             let err = read_trace(buf.as_slice(), geom).unwrap_err();

@@ -44,9 +44,10 @@ mod simulation;
 
 pub use config::SystemConfig;
 pub use error::{ConfigError, RunError, SimError, TraceError};
-pub use simulation::{Simulation, StepProgress};
 pub use runner::{
-    ipc_improvement, map_benchmarks_parallel, run_benchmark, run_benchmark_warm, run_suite,
-    run_suite_parallel, try_ipc_improvement, try_run_benchmark, try_run_benchmark_warm,
-    RunOutcome, RunResult, SuiteResult, Watchdog,
+    ipc_improvement, map_benchmarks_parallel, map_benchmarks_parallel_with_threads, run_benchmark,
+    run_benchmark_warm, run_suite, run_suite_parallel, run_suite_parallel_with_threads,
+    try_ipc_improvement, try_run_benchmark, try_run_benchmark_warm, RunOutcome, RunResult,
+    SuiteResult, Watchdog,
 };
+pub use simulation::{Simulation, StepProgress};

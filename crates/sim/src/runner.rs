@@ -67,7 +67,10 @@ impl Default for Watchdog {
     /// orders of magnitude above any physically meaningful machine, so
     /// real configurations never trip it.
     fn default() -> Self {
-        Watchdog { max_cycles_per_op: 10_000, check_interval_ops: 8_192 }
+        Watchdog {
+            max_cycles_per_op: 10_000,
+            check_interval_ops: 8_192,
+        }
     }
 }
 
@@ -75,7 +78,10 @@ impl Watchdog {
     /// A watchdog with the given cycles-per-op cap and the default
     /// checkpoint interval.
     pub fn with_max_cycles_per_op(max_cycles_per_op: u64) -> Self {
-        Watchdog { max_cycles_per_op, ..Watchdog::default() }
+        Watchdog {
+            max_cycles_per_op,
+            ..Watchdog::default()
+        }
     }
 }
 
@@ -109,9 +115,13 @@ pub fn run_benchmark_warm(
 ) -> RunResult {
     let name = prefetcher.name().to_owned();
     let bytes = prefetcher.storage_bytes();
-    let mut hierarchy = MemoryHierarchy::new(cfg.hierarchy.clone(), prefetcher);
-    let mut core = OooCore::new(cfg.core.clone());
-    let run = core.run_with_warmup(bench.generator(warmup_ops + n_ops), warmup_ops, &mut hierarchy);
+    let mut hierarchy = MemoryHierarchy::new(cfg.hierarchy, prefetcher);
+    let mut core = OooCore::new(cfg.core);
+    let run = core.run_with_warmup(
+        bench.generator(warmup_ops + n_ops),
+        warmup_ops,
+        &mut hierarchy,
+    );
     let stats = hierarchy.finalize();
     RunResult {
         benchmark: bench.name.to_owned(),
@@ -156,7 +166,14 @@ pub fn try_run_benchmark(
     cfg: &SystemConfig,
     prefetcher: Box<dyn Prefetcher>,
 ) -> Result<RunResult, SimError> {
-    try_run_benchmark_warm(bench, n_ops / 2, n_ops, cfg, prefetcher, &Watchdog::default())
+    try_run_benchmark_warm(
+        bench,
+        n_ops / 2,
+        n_ops,
+        cfg,
+        prefetcher,
+        &Watchdog::default(),
+    )
 }
 
 /// Checked run with explicit warm-up and watchdog. Produces results
@@ -177,8 +194,8 @@ pub fn try_run_benchmark_warm(
     cfg.validate()?;
     let name = prefetcher.name().to_owned();
     let bytes = prefetcher.storage_bytes();
-    let mut hierarchy = MemoryHierarchy::new(cfg.hierarchy.clone(), prefetcher);
-    let mut core = SteppedCore::new(cfg.core.clone());
+    let mut hierarchy = MemoryHierarchy::new(cfg.hierarchy, prefetcher);
+    let mut core = SteppedCore::new(cfg.core);
     let gen = bench.generator(warmup_ops + n_ops);
     let interval = watchdog.check_interval_ops.max(1);
     let mut i: u64 = 0;
@@ -243,7 +260,10 @@ pub fn try_ipc_improvement(base: &RunResult, new: &RunResult) -> Result<f64, Sim
     if base.ipc > 0.0 {
         Ok((new.ipc / base.ipc - 1.0) * 100.0)
     } else {
-        Err(RunError::ZeroBaselineIpc { benchmark: base.benchmark.clone() }.into())
+        Err(RunError::ZeroBaselineIpc {
+            benchmark: base.benchmark.clone(),
+        }
+        .into())
     }
 }
 
@@ -254,8 +274,7 @@ pub fn try_ipc_improvement(base: &RunResult, new: &RunResult) -> Result<f64, Sim
 ///
 /// Panics if `base.ipc` is not positive.
 pub fn ipc_improvement(base: &RunResult, new: &RunResult) -> f64 {
-    try_ipc_improvement(base, new)
-        .unwrap_or_else(|e| panic!("baseline IPC must be positive: {e}"))
+    try_ipc_improvement(base, new).unwrap_or_else(|e| panic!("baseline IPC must be positive: {e}"))
 }
 
 /// The recorded fate of one benchmark inside a suite run.
@@ -376,11 +395,21 @@ fn protected_run(
     // prefetcher are discarded wholesale, so no witness of broken
     // invariants survives the boundary.
     let caught = catch_unwind(AssertUnwindSafe(|| {
-        try_run_benchmark_warm(bench, n_ops / 2, n_ops, cfg, factory(), &Watchdog::default())
+        try_run_benchmark_warm(
+            bench,
+            n_ops / 2,
+            n_ops,
+            cfg,
+            factory(),
+            &Watchdog::default(),
+        )
     }));
     match caught {
         Ok(Ok(result)) => RunOutcome::Ok(result),
-        Ok(Err(reason)) => RunOutcome::Failed { benchmark: bench.name.to_owned(), reason },
+        Ok(Err(reason)) => RunOutcome::Failed {
+            benchmark: bench.name.to_owned(),
+            reason,
+        },
         Err(payload) => RunOutcome::Failed {
             benchmark: bench.name.to_owned(),
             reason: RunError::Panicked {
@@ -396,12 +425,19 @@ fn protected_run(
 /// fresh prefetcher per benchmark from `factory`. Each benchmark runs
 /// inside a panic boundary: a failing benchmark yields a
 /// [`RunOutcome::Failed`] entry while the others complete normally.
-pub fn run_suite<F>(benchmarks: &[Benchmark], n_ops: u64, cfg: &SystemConfig, factory: F) -> SuiteResult
+pub fn run_suite<F>(
+    benchmarks: &[Benchmark],
+    n_ops: u64,
+    cfg: &SystemConfig,
+    factory: F,
+) -> SuiteResult
 where
     F: Fn() -> Box<dyn Prefetcher>,
 {
-    let outcomes =
-        benchmarks.iter().map(|b| protected_run(b, n_ops, cfg, &factory)).collect();
+    let outcomes = benchmarks
+        .iter()
+        .map(|b| protected_run(b, n_ops, cfg, &factory))
+        .collect();
     SuiteResult { outcomes }
 }
 
@@ -421,7 +457,31 @@ where
     T: Send,
     F: Fn(&Benchmark) -> T + Sync,
 {
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    map_benchmarks_parallel_with_threads(benchmarks, threads, f)
+}
+
+/// [`map_benchmarks_parallel`] with an explicit worker-thread count
+/// instead of the machine's available parallelism. Results are
+/// independent of `threads` — the determinism tests sweep 1, 2, and 8
+/// workers and require identical outcomes.
+///
+/// # Panics
+///
+/// Panics if `threads` is zero, or re-raises the first (in suite order)
+/// panic from `f` after every benchmark has been processed.
+pub fn map_benchmarks_parallel_with_threads<T, F>(
+    benchmarks: &[Benchmark],
+    threads: usize,
+    f: F,
+) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&Benchmark) -> T + Sync,
+{
+    assert!(threads > 0, "worker pool needs at least one thread");
     let next = std::sync::atomic::AtomicUsize::new(0);
     let mut slots: Vec<Option<std::thread::Result<T>>> = benchmarks.iter().map(|_| None).collect();
     let slot_cells: Vec<std::sync::Mutex<&mut Option<std::thread::Result<T>>>> =
@@ -487,6 +547,30 @@ where
     SuiteResult { outcomes }
 }
 
+/// [`run_suite_parallel`] with an explicit worker-thread count. Outcomes
+/// are identical for any `threads >= 1`: each benchmark's simulation is
+/// self-contained and deterministic, and results land in suite order
+/// regardless of which worker ran them.
+///
+/// # Panics
+///
+/// Panics if `threads` is zero.
+pub fn run_suite_parallel_with_threads<F>(
+    benchmarks: &[Benchmark],
+    threads: usize,
+    n_ops: u64,
+    cfg: &SystemConfig,
+    factory: F,
+) -> SuiteResult
+where
+    F: Fn() -> Box<dyn Prefetcher + Send> + Sync,
+{
+    let outcomes = map_benchmarks_parallel_with_threads(benchmarks, threads, |b| {
+        protected_run(b, n_ops, cfg, || factory() as Box<dyn Prefetcher>)
+    });
+    SuiteResult { outcomes }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -499,7 +583,12 @@ mod tests {
     #[test]
     fn run_produces_sane_numbers() {
         let b = suite().into_iter().find(|b| b.name == "gzip").unwrap();
-        let r = run_benchmark(&b, TEST_OPS, &SystemConfig::table1(), Box::new(NullPrefetcher));
+        let r = run_benchmark(
+            &b,
+            TEST_OPS,
+            &SystemConfig::table1(),
+            Box::new(NullPrefetcher),
+        );
         assert_eq!(r.ops, TEST_OPS);
         assert!(r.ipc > 0.05 && r.ipc < 8.0, "ipc {}", r.ipc);
         assert_eq!(r.stats.accesses(), r.stats.loads + r.stats.stores);
@@ -509,8 +598,18 @@ mod tests {
     #[test]
     fn deterministic_runs() {
         let b = suite().into_iter().find(|b| b.name == "crafty").unwrap();
-        let r1 = run_benchmark(&b, TEST_OPS, &SystemConfig::table1(), Box::new(NullPrefetcher));
-        let r2 = run_benchmark(&b, TEST_OPS, &SystemConfig::table1(), Box::new(NullPrefetcher));
+        let r1 = run_benchmark(
+            &b,
+            TEST_OPS,
+            &SystemConfig::table1(),
+            Box::new(NullPrefetcher),
+        );
+        let r2 = run_benchmark(
+            &b,
+            TEST_OPS,
+            &SystemConfig::table1(),
+            Box::new(NullPrefetcher),
+        );
         assert_eq!(r1.cycles, r2.cycles);
         assert_eq!(r1.stats, r2.stats);
     }
@@ -544,7 +643,10 @@ mod tests {
                 &Watchdog::default(),
             )
             .unwrap();
-            assert_eq!(batch.cycles, checked.cycles, "warmup {warmup} n_ops {n_ops}");
+            assert_eq!(
+                batch.cycles, checked.cycles,
+                "warmup {warmup} n_ops {n_ops}"
+            );
             assert_eq!(batch.ops, checked.ops, "warmup {warmup} n_ops {n_ops}");
             assert_eq!(batch.ipc, checked.ipc, "warmup {warmup} n_ops {n_ops}");
             assert_eq!(batch.stats, checked.stats, "warmup {warmup} n_ops {n_ops}");
@@ -576,7 +678,13 @@ mod tests {
         )
         .unwrap_err();
         assert!(
-            matches!(err, SimError::Run(RunError::Wedged { max_cycles_per_op: 10_000, .. })),
+            matches!(
+                err,
+                SimError::Run(RunError::Wedged {
+                    max_cycles_per_op: 10_000,
+                    ..
+                })
+            ),
             "{err}"
         );
     }
@@ -584,8 +692,18 @@ mod tests {
     #[test]
     fn ideal_l2_beats_real_l2_on_memory_bound_benchmark() {
         let b = suite().into_iter().find(|b| b.name == "art").unwrap();
-        let real = run_benchmark(&b, TEST_OPS, &SystemConfig::table1(), Box::new(NullPrefetcher));
-        let ideal = run_benchmark(&b, TEST_OPS, &SystemConfig::table1_ideal_l2(), Box::new(NullPrefetcher));
+        let real = run_benchmark(
+            &b,
+            TEST_OPS,
+            &SystemConfig::table1(),
+            Box::new(NullPrefetcher),
+        );
+        let ideal = run_benchmark(
+            &b,
+            TEST_OPS,
+            &SystemConfig::table1_ideal_l2(),
+            Box::new(NullPrefetcher),
+        );
         assert!(
             ideal.ipc > 1.5 * real.ipc,
             "art must be strongly memory bound: ideal {} vs real {}",
@@ -597,7 +715,12 @@ mod tests {
     #[test]
     fn tcp_helps_a_correlated_benchmark() {
         let b = suite().into_iter().find(|b| b.name == "ammp").unwrap();
-        let base = run_benchmark(&b, 200_000, &SystemConfig::table1(), Box::new(NullPrefetcher));
+        let base = run_benchmark(
+            &b,
+            200_000,
+            &SystemConfig::table1(),
+            Box::new(NullPrefetcher),
+        );
         let tcp = run_benchmark(
             &b,
             200_000,
@@ -615,7 +738,9 @@ mod tests {
     #[test]
     fn suite_runner_covers_all_benchmarks() {
         let benches: Vec<_> = suite().into_iter().take(3).collect();
-        let s = run_suite(&benches, 20_000, &SystemConfig::table1(), || Box::new(NullPrefetcher));
+        let s = run_suite(&benches, 20_000, &SystemConfig::table1(), || {
+            Box::new(NullPrefetcher)
+        });
         assert_eq!(s.outcomes.len(), 3);
         assert_eq!(s.ok_count(), 3);
         assert_eq!(s.failed_count(), 0);
@@ -628,9 +753,12 @@ mod tests {
     fn parallel_suite_matches_sequential() {
         let benches: Vec<_> = suite().into_iter().take(5).collect();
         let cfg = SystemConfig::table1();
-        let seq = run_suite(&benches, 25_000, &cfg, || Box::new(Tcp::new(TcpConfig::tcp_8k())));
-        let par =
-            run_suite_parallel(&benches, 25_000, &cfg, || Box::new(Tcp::new(TcpConfig::tcp_8k())));
+        let seq = run_suite(&benches, 25_000, &cfg, || {
+            Box::new(Tcp::new(TcpConfig::tcp_8k()))
+        });
+        let par = run_suite_parallel(&benches, 25_000, &cfg, || {
+            Box::new(Tcp::new(TcpConfig::tcp_8k()))
+        });
         assert_eq!(seq.outcomes.len(), par.outcomes.len());
         assert_eq!(par.failed_count(), 0);
         for (a, b) in seq.runs().zip(par.runs()) {
@@ -638,6 +766,84 @@ mod tests {
             assert_eq!(a.cycles, b.cycles, "{}", a.benchmark);
             assert_eq!(a.stats, b.stats, "{}", a.benchmark);
         }
+    }
+
+    #[test]
+    fn parallel_suite_is_deterministic_across_thread_counts() {
+        let benches: Vec<_> = suite().into_iter().take(6).collect();
+        let cfg = SystemConfig::table1();
+        let run = |threads| {
+            run_suite_parallel_with_threads(&benches, threads, 20_000, &cfg, || {
+                Box::new(Tcp::new(TcpConfig::tcp_8k()))
+            })
+        };
+        let reference = run(1);
+        assert_eq!(reference.failed_count(), 0);
+        for threads in [2, 8] {
+            let s = run(threads);
+            assert_eq!(
+                s.outcomes.len(),
+                reference.outcomes.len(),
+                "{threads} threads"
+            );
+            for (a, b) in reference.runs().zip(s.runs()) {
+                assert_eq!(
+                    a.benchmark, b.benchmark,
+                    "{threads} threads: order preserved"
+                );
+                assert_eq!(a.cycles, b.cycles, "{threads} threads: {}", a.benchmark);
+                assert_eq!(a.ipc, b.ipc, "{threads} threads: {}", a.benchmark);
+                assert_eq!(a.stats, b.stats, "{threads} threads: {}", a.benchmark);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_suite_isolates_a_panicking_benchmark_at_any_thread_count() {
+        // A detonating benchmark sandwiched between healthy ones: every
+        // thread count must record exactly one Failed entry in suite
+        // order and identical results for the survivors.
+        let mut benches: Vec<_> = suite().into_iter().take(4).collect();
+        benches.insert(2, crate::faults::panicking_benchmark());
+        let cfg = SystemConfig::table1();
+        let run = |threads| {
+            run_suite_parallel_with_threads(&benches, threads, 15_000, &cfg, || {
+                Box::new(NullPrefetcher)
+            })
+        };
+        let reference = run(1);
+        assert_eq!(reference.ok_count(), 4);
+        assert_eq!(reference.failed_count(), 1);
+        assert!(matches!(&reference.outcomes[2], RunOutcome::Failed { .. }));
+        for threads in [2, 8] {
+            let s = run(threads);
+            assert_eq!(s.ok_count(), 4, "{threads} threads");
+            assert!(
+                matches!(
+                    &s.outcomes[2],
+                    RunOutcome::Failed {
+                        reason: SimError::Run(RunError::Panicked { .. }),
+                        ..
+                    }
+                ),
+                "{threads} threads: failure stays at its suite position"
+            );
+            for (a, b) in reference.runs().zip(s.runs()) {
+                assert_eq!(a.benchmark, b.benchmark, "{threads} threads");
+                assert_eq!(a.cycles, b.cycles, "{threads} threads: {}", a.benchmark);
+                assert_eq!(a.stats, b.stats, "{threads} threads: {}", a.benchmark);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_worker_threads_is_rejected() {
+        let benches: Vec<_> = suite().into_iter().take(1).collect();
+        let _ =
+            run_suite_parallel_with_threads(&benches, 0, 1_000, &SystemConfig::table1(), || {
+                Box::new(NullPrefetcher)
+            });
     }
 
     #[test]
@@ -650,12 +856,9 @@ mod tests {
     #[test]
     fn zero_ipc_run_makes_geomean_undefined_not_nan() {
         let b = suite().into_iter().next().unwrap();
-        let mut s = run_suite(
-            &[b],
-            10_000,
-            &SystemConfig::table1(),
-            || Box::new(NullPrefetcher),
-        );
+        let mut s = run_suite(&[b], 10_000, &SystemConfig::table1(), || {
+            Box::new(NullPrefetcher)
+        });
         let healthy = s.geomean_ipc().unwrap();
         assert!(healthy > 0.0);
         if let RunOutcome::Ok(r) = &mut s.outcomes[0] {
@@ -669,7 +872,9 @@ mod tests {
         let benches: Vec<_> = suite().into_iter().take(2).collect();
         let cfg = SystemConfig::table1();
         let base = run_suite(&benches, 20_000, &cfg, || Box::new(NullPrefetcher));
-        let tcp = run_suite(&benches, 20_000, &cfg, || Box::new(Tcp::new(TcpConfig::tcp_8k())));
+        let tcp = run_suite(&benches, 20_000, &cfg, || {
+            Box::new(Tcp::new(TcpConfig::tcp_8k()))
+        });
         let imp = tcp.geomean_improvement(&base).unwrap();
         assert!(imp.is_finite());
     }
@@ -681,7 +886,10 @@ mod tests {
         let good = r.clone();
         r.ipc = 0.0;
         let err = try_ipc_improvement(&r, &good).unwrap_err();
-        assert!(matches!(err, SimError::Run(RunError::ZeroBaselineIpc { .. })), "{err}");
+        assert!(
+            matches!(err, SimError::Run(RunError::ZeroBaselineIpc { .. })),
+            "{err}"
+        );
     }
 
     #[test]

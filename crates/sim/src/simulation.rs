@@ -64,8 +64,8 @@ impl Simulation {
         prefetcher: Box<dyn Prefetcher>,
     ) -> Self {
         Simulation {
-            core: SteppedCore::new(cfg.core.clone()),
-            hierarchy: MemoryHierarchy::new(cfg.hierarchy.clone(), prefetcher),
+            core: SteppedCore::new(cfg.core),
+            hierarchy: MemoryHierarchy::new(cfg.hierarchy, prefetcher),
             gen: bench.generator(n_ops),
             total_ops: n_ops,
         }
@@ -131,7 +131,8 @@ mod tests {
         let (run, stats) = sim.finish();
 
         // The batch runner with zero warm-up over the same stream.
-        let batch = crate::run_benchmark_warm(&bench, 0, n, &cfg, Box::new(Tcp::new(TcpConfig::tcp_8k())));
+        let batch =
+            crate::run_benchmark_warm(&bench, 0, n, &cfg, Box::new(Tcp::new(TcpConfig::tcp_8k())));
         assert_eq!(run.ops, batch.ops);
         assert_eq!(run.cycles, batch.cycles);
         assert_eq!(stats, batch.stats);
@@ -140,8 +141,12 @@ mod tests {
     #[test]
     fn progress_is_monotonic_and_clamped() {
         let bench = suite().into_iter().next().unwrap();
-        let mut sim =
-            Simulation::new(&bench, 5_000, &SystemConfig::table1(), Box::new(NullPrefetcher));
+        let mut sim = Simulation::new(
+            &bench,
+            5_000,
+            &SystemConfig::table1(),
+            Box::new(NullPrefetcher),
+        );
         let p1 = sim.step(2_000);
         let p2 = sim.step(2_000);
         let p3 = sim.step(9_999);
@@ -155,8 +160,12 @@ mod tests {
     #[test]
     fn mid_run_stats_are_visible() {
         let bench = suite().into_iter().find(|b| b.name == "gzip").unwrap();
-        let mut sim =
-            Simulation::new(&bench, 30_000, &SystemConfig::table1(), Box::new(NullPrefetcher));
+        let mut sim = Simulation::new(
+            &bench,
+            30_000,
+            &SystemConfig::table1(),
+            Box::new(NullPrefetcher),
+        );
         sim.step(30_000);
         assert!(sim.stats().l1_misses > 0);
         assert!(sim.core_run().loads > 0);
@@ -165,7 +174,12 @@ mod tests {
     #[test]
     fn unused_simulation_reports_zero() {
         let bench = suite().into_iter().next().unwrap();
-        let sim = Simulation::new(&bench, 100, &SystemConfig::table1(), Box::new(NullPrefetcher));
+        let sim = Simulation::new(
+            &bench,
+            100,
+            &SystemConfig::table1(),
+            Box::new(NullPrefetcher),
+        );
         assert_eq!(sim.ipc(), 0.0);
     }
 }

@@ -56,8 +56,18 @@ impl WorkloadSpec {
     /// Panics if `phases` is empty or all weights are zero.
     pub fn new(phases: Vec<(KernelSpec, u32)>, seed: u64) -> Self {
         assert!(!phases.is_empty(), "a workload needs at least one kernel");
-        assert!(phases.iter().any(|&(_, w)| w > 0), "at least one phase weight must be nonzero");
-        WorkloadSpec { phases, compute_per_mem: 2.0, store_pct: 10, burst: 2048, fp_pct: 30, seed }
+        assert!(
+            phases.iter().any(|&(_, w)| w > 0),
+            "at least one phase weight must be nonzero"
+        );
+        WorkloadSpec {
+            phases,
+            compute_per_mem: 2.0,
+            store_pct: 10,
+            burst: 2048,
+            fp_pct: 30,
+            seed,
+        }
     }
 
     /// Sets the compute-to-memory ratio.
@@ -109,7 +119,12 @@ impl WorkloadGen {
             .phases
             .iter()
             .enumerate()
-            .map(|(i, (k, _))| k.instantiate(0x40_0000 + (i as u64) * 0x1000, spec.seed.wrapping_add(i as u64)))
+            .map(|(i, (k, _))| {
+                k.instantiate(
+                    0x40_0000 + (i as u64) * 0x1000,
+                    spec.seed.wrapping_add(i as u64),
+                )
+            })
             .collect();
         let weights: Vec<u32> = spec.phases.iter().map(|&(_, w)| w).collect();
         let total_weight = weights.iter().map(|&w| u64::from(w)).sum();
@@ -158,7 +173,13 @@ impl WorkloadGen {
         let dep = (u64::from(d) <= self.idx).then_some(d);
         if self.rng.chance(u64::from(self.fp_pct), 100) {
             if self.rng.chance(1, 8) {
-                MicroOp { pc, class: OpClass::FpMult, mem_addr: None, dep1: dep, dep2: None }
+                MicroOp {
+                    pc,
+                    class: OpClass::FpMult,
+                    mem_addr: None,
+                    dep1: dep,
+                    dep2: None,
+                }
             } else {
                 MicroOp::fp_alu(pc, dep, None)
             }
@@ -186,7 +207,8 @@ impl WorkloadGen {
         }
 
         // The memory op itself.
-        let is_store = ev.is_store || (!ev.chases && self.rng.chance(u64::from(self.store_pct), 100));
+        let is_store =
+            ev.is_store || (!ev.chases && self.rng.chance(u64::from(self.store_pct), 100));
         let dep1 = if ev.chases {
             self.last_mem_idx[phase].map(|last| {
                 let d = self.idx - last;
@@ -195,9 +217,19 @@ impl WorkloadGen {
         } else {
             None
         };
-        let class = if is_store { OpClass::Store } else { OpClass::Load };
+        let class = if is_store {
+            OpClass::Store
+        } else {
+            OpClass::Load
+        };
         self.last_mem_idx[phase] = Some(self.idx);
-        self.push(MicroOp { pc: ev.pc, class, mem_addr: Some(ev.addr), dep1, dep2: None });
+        self.push(MicroOp {
+            pc: ev.pc,
+            class,
+            mem_addr: Some(ev.addr),
+            dep1,
+            dep2: None,
+        });
 
         // A consumer for loads: load-to-use dependence.
         if !is_store {
@@ -234,7 +266,14 @@ mod tests {
 
     fn sweep_spec() -> WorkloadSpec {
         WorkloadSpec::new(
-            vec![(KernelSpec::StridedSweep { base: 0x100000, len: 1 << 20, stride: 32 }, 1)],
+            vec![(
+                KernelSpec::StridedSweep {
+                    base: 0x100000,
+                    len: 1 << 20,
+                    stride: 32,
+                },
+                1,
+            )],
             7,
         )
     }
@@ -276,14 +315,24 @@ mod tests {
     fn chase_loads_depend_on_previous_chase() {
         let spec = WorkloadSpec::new(
             vec![(
-                KernelSpec::PointerChase { base: 0x100000, nodes: 128, node_bytes: 64, shuffle_seed: 1, noise_pct: 0 },
+                KernelSpec::PointerChase {
+                    base: 0x100000,
+                    nodes: 128,
+                    node_bytes: 64,
+                    shuffle_seed: 1,
+                    noise_pct: 0,
+                },
                 1,
             )],
             3,
         )
         .with_compute_per_mem(1.0);
         let ops: Vec<_> = WorkloadGen::new(&spec, 2_000).collect();
-        let loads: Vec<_> = ops.iter().enumerate().filter(|(_, o)| o.class == OpClass::Load).collect();
+        let loads: Vec<_> = ops
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| o.class == OpClass::Load)
+            .collect();
         assert!(loads.len() > 100);
         // All chase loads after the first must carry a dependence that
         // points exactly at the previous load.
@@ -292,7 +341,11 @@ mod tests {
             let (i_prev, _) = w[0];
             let (i_cur, op) = w[1];
             let d = op.dep1.expect("chase load has a dependence") as usize;
-            assert_eq!(i_cur - d, i_prev, "dependence must target the previous chase load");
+            assert_eq!(
+                i_cur - d,
+                i_prev,
+                "dependence must target the previous chase load"
+            );
             checked += 1;
         }
         assert!(checked > 100);
@@ -312,8 +365,21 @@ mod tests {
     fn multi_phase_mixes_kernels() {
         let spec = WorkloadSpec::new(
             vec![
-                (KernelSpec::StridedSweep { base: 0x100000, len: 1 << 18, stride: 32 }, 1),
-                (KernelSpec::RandomAccess { base: 0x4000000, len: 1 << 18 }, 1),
+                (
+                    KernelSpec::StridedSweep {
+                        base: 0x100000,
+                        len: 1 << 18,
+                        stride: 32,
+                    },
+                    1,
+                ),
+                (
+                    KernelSpec::RandomAccess {
+                        base: 0x4000000,
+                        len: 1 << 18,
+                    },
+                    1,
+                ),
             ],
             5,
         );
@@ -323,8 +389,15 @@ mod tests {
             .filter_map(|o| o.mem_addr)
             .filter(|a| a.raw() < 0x200000)
             .count();
-        let hi = ops.iter().filter_map(|o| o.mem_addr).filter(|a| a.raw() >= 0x4000000).count();
-        assert!(lo > 0 && hi > 0, "both regions must be touched (lo={lo}, hi={hi})");
+        let hi = ops
+            .iter()
+            .filter_map(|o| o.mem_addr)
+            .filter(|a| a.raw() >= 0x4000000)
+            .count();
+        assert!(
+            lo > 0 && hi > 0,
+            "both regions must be touched (lo={lo}, hi={hi})"
+        );
     }
 
     #[test]

@@ -183,8 +183,15 @@ pub struct KernelState {
 impl KernelState {
     fn new(spec: KernelSpec, pc_base: u64, seed: u64) -> Self {
         let perm = match &spec {
-            KernelSpec::PointerChase { nodes, shuffle_seed, .. } => {
-                assert!(*nodes > 0 && *nodes <= (1 << 26), "pointer chase node count out of range");
+            KernelSpec::PointerChase {
+                nodes,
+                shuffle_seed,
+                ..
+            } => {
+                assert!(
+                    *nodes > 0 && *nodes <= (1 << 26),
+                    "pointer chase node count out of range"
+                );
                 let mut perm: Vec<u32> = (0..*nodes as u32).collect();
                 let mut r = SplitMix64::new(*shuffle_seed);
                 // Fisher-Yates: a fixed, repeatable traversal order.
@@ -196,7 +203,15 @@ impl KernelState {
             }
             _ => Vec::new(),
         };
-        KernelState { spec, pc_base, rng: SplitMix64::new(seed ^ 0xD1F7_3C5A_9B24_E680), pos: 0, perm, cold_left: 0, cold_cursor: 0 }
+        KernelState {
+            spec,
+            pc_base,
+            rng: SplitMix64::new(seed ^ 0xD1F7_3C5A_9B24_E680),
+            pos: 0,
+            perm,
+            cold_left: 0,
+            cold_cursor: 0,
+        }
     }
 
     /// The kernel's declarative spec.
@@ -212,7 +227,12 @@ impl KernelState {
                 let steps = (len / stride).max(1);
                 let addr = base + (self.pos % steps) * stride;
                 self.pos += 1;
-                MemEvent { addr: Addr::new(addr), pc: pc(self, 0), is_store: false, chases: false }
+                MemEvent {
+                    addr: Addr::new(addr),
+                    pc: pc(self, 0),
+                    is_store: false,
+                    chases: false,
+                }
             }
             KernelSpec::InterleavedSweep { bases, len, stride } => {
                 let n = bases.len() as u64;
@@ -229,9 +249,19 @@ impl KernelState {
                 self.pos += 1;
                 // The last array of the loop body is the output: a store.
                 let is_store = which == n - 1 && n > 1;
-                MemEvent { addr: Addr::new(addr), pc: pc(self, which), is_store, chases: false }
+                MemEvent {
+                    addr: Addr::new(addr),
+                    pc: pc(self, which),
+                    is_store,
+                    chases: false,
+                }
             }
-            KernelSpec::PointerChase { base, node_bytes, noise_pct, .. } => {
+            KernelSpec::PointerChase {
+                base,
+                node_bytes,
+                noise_pct,
+                ..
+            } => {
                 let n = self.perm.len() as u64;
                 let node = if self.rng.chance(u64::from(*noise_pct), 100) {
                     // Data-dependent detour: off the learned cycle.
@@ -241,38 +271,72 @@ impl KernelState {
                 };
                 let addr = base + node * node_bytes;
                 self.pos += 1;
-                MemEvent { addr: Addr::new(addr), pc: pc(self, 0), is_store: false, chases: true }
+                MemEvent {
+                    addr: Addr::new(addr),
+                    pc: pc(self, 0),
+                    is_store: false,
+                    chases: true,
+                }
             }
             KernelSpec::RandomAccess { base, len } => {
                 let lines = (len / L1_LINE).max(1);
                 let addr = base + self.rng.next_below(lines) * L1_LINE;
                 self.pos += 1;
-                MemEvent { addr: Addr::new(addr), pc: pc(self, self.pos % 4), is_store: false, chases: false }
+                MemEvent {
+                    addr: Addr::new(addr),
+                    pc: pc(self, self.pos % 4),
+                    is_store: false,
+                    chases: false,
+                }
             }
-            KernelSpec::HotCold { base, hot_len, cold_len, hot_pct } => {
+            KernelSpec::HotCold {
+                base,
+                hot_len,
+                cold_len,
+                hot_pct,
+            } => {
                 const COLD_RUN: u64 = 16; // consecutive cold accesses per excursion
                 if self.cold_left > 0 {
                     self.cold_left -= 1;
                     let addr = self.cold_cursor;
                     self.cold_cursor += 8;
                     self.pos += 1;
-                    return MemEvent { addr: Addr::new(addr), pc: pc(self, 1), is_store: false, chases: false };
+                    return MemEvent {
+                        addr: Addr::new(addr),
+                        pc: pc(self, 1),
+                        is_store: false,
+                        chases: false,
+                    };
                 }
                 let hot = self.rng.chance(u64::from(*hot_pct), 100);
                 self.pos += 1;
                 if hot {
                     let lines = (*hot_len / L1_LINE).max(1);
                     let addr = base + self.rng.next_below(lines) * L1_LINE;
-                    MemEvent { addr: Addr::new(addr), pc: pc(self, 0), is_store: false, chases: false }
+                    MemEvent {
+                        addr: Addr::new(addr),
+                        pc: pc(self, 0),
+                        is_store: false,
+                        chases: false,
+                    }
                 } else {
                     let lines = (*cold_len / L1_LINE).max(1);
                     let start = base + hot_len + self.rng.next_below(lines) * L1_LINE;
                     self.cold_cursor = start + 8;
                     self.cold_left = COLD_RUN - 1;
-                    MemEvent { addr: Addr::new(start), pc: pc(self, 1), is_store: false, chases: false }
+                    MemEvent {
+                        addr: Addr::new(start),
+                        pc: pc(self, 1),
+                        is_store: false,
+                        chases: false,
+                    }
                 }
             }
-            KernelSpec::ConflictLoop { base, tags_in_rotation, sets_spanned } => {
+            KernelSpec::ConflictLoop {
+                base,
+                tags_in_rotation,
+                sets_spanned,
+            } => {
                 // Set-major (column-walk) order: sweep all spanned sets at
                 // one tag before advancing the tag, so revisits of a given
                 // set are `sets_spanned` accesses apart — prefetches have
@@ -282,34 +346,69 @@ impl KernelState {
                 let tag = (self.pos / sets_spanned) % tags_in_rotation;
                 let addr = base + tag * L1_SIZE + set * L1_LINE;
                 self.pos += 1;
-                MemEvent { addr: Addr::new(addr), pc: pc(self, tag % 4), is_store: false, chases: false }
+                MemEvent {
+                    addr: Addr::new(addr),
+                    pc: pc(self, tag % 4),
+                    is_store: false,
+                    chases: false,
+                }
             }
             KernelSpec::StackChurn { base, depth } => {
                 let words = (depth / 8).max(2);
                 let period = 2 * words;
                 let phase = self.pos % period;
-                let (off, is_store) = if phase < words { (phase, true) } else { (period - 1 - phase, false) };
+                let (off, is_store) = if phase < words {
+                    (phase, true)
+                } else {
+                    (period - 1 - phase, false)
+                };
                 self.pos += 1;
-                MemEvent { addr: Addr::new(base + off * 8), pc: pc(self, u64::from(is_store)), is_store, chases: false }
+                MemEvent {
+                    addr: Addr::new(base + off * 8),
+                    pc: pc(self, u64::from(is_store)),
+                    is_store,
+                    chases: false,
+                }
             }
-            KernelSpec::GatherScatter { index_base, index_len, data_base, data_len, gather_seed } => {
+            KernelSpec::GatherScatter {
+                index_base,
+                index_len,
+                data_base,
+                data_len,
+                gather_seed,
+            } => {
                 let entries = (index_len / 8).max(1);
                 let i = (self.pos / 2) % entries;
                 let even = self.pos.is_multiple_of(2);
                 self.pos += 1;
                 if even {
                     // Sequential read of B[i].
-                    MemEvent { addr: Addr::new(index_base + i * 8), pc: pc(self, 0), is_store: false, chases: false }
+                    MemEvent {
+                        addr: Addr::new(index_base + i * 8),
+                        pc: pc(self, 0),
+                        is_store: false,
+                        chases: false,
+                    }
                 } else {
                     // Dependent gather A[B[i]]: the target is a fixed
                     // pseudo-random function of i, so passes repeat.
                     let lines = (data_len / L1_LINE).max(1);
                     let mut h = SplitMix64::new(gather_seed ^ i);
                     let addr = data_base + h.next_below(lines) * L1_LINE;
-                    MemEvent { addr: Addr::new(addr), pc: pc(self, 1), is_store: false, chases: true }
+                    MemEvent {
+                        addr: Addr::new(addr),
+                        pc: pc(self, 1),
+                        is_store: false,
+                        chases: true,
+                    }
                 }
             }
-            KernelSpec::BlockedMatrix { base, n, block, elem } => {
+            KernelSpec::BlockedMatrix {
+                base,
+                n,
+                block,
+                elem,
+            } => {
                 let b = (*block).max(1);
                 let dim = (*n).max(b);
                 let tiles_per_row = dim / b;
@@ -322,9 +421,18 @@ impl KernelState {
                 let col = tj * b + j;
                 let addr = base + (row * dim + col) * elem;
                 self.pos += 1;
-                MemEvent { addr: Addr::new(addr), pc: pc(self, 0), is_store: false, chases: false }
+                MemEvent {
+                    addr: Addr::new(addr),
+                    pc: pc(self, 0),
+                    is_store: false,
+                    chases: false,
+                }
             }
-            KernelSpec::Zipf { base, len, skew_x100 } => {
+            KernelSpec::Zipf {
+                base,
+                len,
+                skew_x100,
+            } => {
                 let lines = (len / L1_LINE).max(1);
                 // Bounded-Pareto draw: rank ∝ u^(-1/(s-1)), clamped.
                 let s = f64::from(*skew_x100) / 100.0;
@@ -333,7 +441,12 @@ impl KernelState {
                 let rank = u.powf(-1.0 / (s - 1.0)).floor() as u64;
                 let line = rank.min(lines - 1);
                 self.pos += 1;
-                MemEvent { addr: Addr::new(base + line * L1_LINE), pc: pc(self, 0), is_store: false, chases: false }
+                MemEvent {
+                    addr: Addr::new(base + line * L1_LINE),
+                    pc: pc(self, 0),
+                    is_store: false,
+                    chases: false,
+                }
             }
         }
     }
@@ -346,7 +459,11 @@ mod tests {
 
     #[test]
     fn strided_sweep_wraps() {
-        let spec = KernelSpec::StridedSweep { base: 0x1000, len: 128, stride: 32 };
+        let spec = KernelSpec::StridedSweep {
+            base: 0x1000,
+            len: 128,
+            stride: 32,
+        };
         let mut k = spec.instantiate(0x40_0000, 1);
         let addrs: Vec<u64> = (0..6).map(|_| k.next_event().addr.raw()).collect();
         assert_eq!(addrs, vec![0x1000, 0x1020, 0x1040, 0x1060, 0x1000, 0x1020]);
@@ -354,8 +471,11 @@ mod tests {
 
     #[test]
     fn interleaved_sweep_round_robins_and_stores_last() {
-        let spec =
-            KernelSpec::InterleavedSweep { bases: vec![0x10000, 0x20000, 0x30000], len: 64, stride: 32 };
+        let spec = KernelSpec::InterleavedSweep {
+            bases: vec![0x10000, 0x20000, 0x30000],
+            len: 64,
+            stride: 32,
+        };
         let mut k = spec.instantiate(0x40_0000, 1);
         let evs: Vec<_> = (0..6).map(|_| k.next_event()).collect();
         // Arrays are staggered by 10_912 bytes per operand (not
@@ -369,27 +489,49 @@ mod tests {
 
     #[test]
     fn pointer_chase_repeats_exact_traversal() {
-        let spec = KernelSpec::PointerChase { base: 0x100000, nodes: 64, node_bytes: 64, shuffle_seed: 9, noise_pct: 0 };
+        let spec = KernelSpec::PointerChase {
+            base: 0x100000,
+            nodes: 64,
+            node_bytes: 64,
+            shuffle_seed: 9,
+            noise_pct: 0,
+        };
         let mut k = spec.instantiate(0x40_0000, 1);
         let first: Vec<u64> = (0..64).map(|_| k.next_event().addr.raw()).collect();
         let second: Vec<u64> = (0..64).map(|_| k.next_event().addr.raw()).collect();
         assert_eq!(first, second, "traversals must repeat exactly");
-        assert_eq!(first.iter().collect::<HashSet<_>>().len(), 64, "permutation visits every node");
+        assert_eq!(
+            first.iter().collect::<HashSet<_>>().len(),
+            64,
+            "permutation visits every node"
+        );
         assert!(k.next_event().chases);
     }
 
     #[test]
     fn pointer_chase_is_not_sequential() {
-        let spec = KernelSpec::PointerChase { base: 0, nodes: 256, node_bytes: 64, shuffle_seed: 5, noise_pct: 0 };
+        let spec = KernelSpec::PointerChase {
+            base: 0,
+            nodes: 256,
+            node_bytes: 64,
+            shuffle_seed: 5,
+            noise_pct: 0,
+        };
         let mut k = spec.instantiate(0x40_0000, 1);
         let addrs: Vec<u64> = (0..256).map(|_| k.next_event().addr.raw()).collect();
         let sequential = addrs.windows(2).filter(|w| w[1] == w[0] + 64).count();
-        assert!(sequential < 16, "a shuffled chase must not look like a sweep");
+        assert!(
+            sequential < 16,
+            "a shuffled chase must not look like a sweep"
+        );
     }
 
     #[test]
     fn random_access_stays_in_region() {
-        let spec = KernelSpec::RandomAccess { base: 0x80000, len: 4096 };
+        let spec = KernelSpec::RandomAccess {
+            base: 0x80000,
+            len: 4096,
+        };
         let mut k = spec.instantiate(0x40_0000, 7);
         for _ in 0..200 {
             let a = k.next_event().addr.raw();
@@ -403,25 +545,47 @@ mod tests {
         // hot_pct governs excursion decisions; each cold excursion is a
         // 16-access sequential run. With 90% hot decisions the expected
         // hot fraction of accesses is 0.9 / (0.9 + 0.1 × 16) ≈ 36%.
-        let spec = KernelSpec::HotCold { base: 0x100000, hot_len: 4096, cold_len: 1 << 20, hot_pct: 90 };
+        let spec = KernelSpec::HotCold {
+            base: 0x100000,
+            hot_len: 4096,
+            cold_len: 1 << 20,
+            hot_pct: 90,
+        };
         let mut k = spec.instantiate(0x40_0000, 3);
-        let hot = (0..4000).filter(|_| k.next_event().addr.raw() < 0x101000).count();
-        assert!((1000..=1900).contains(&hot), "expected ~36% hot accesses, got {hot}/4000");
+        let hot = (0..4000)
+            .filter(|_| k.next_event().addr.raw() < 0x101000)
+            .count();
+        assert!(
+            (1000..=1900).contains(&hot),
+            "expected ~36% hot accesses, got {hot}/4000"
+        );
     }
 
     #[test]
     fn hot_cold_cold_runs_are_sequential() {
-        let spec = KernelSpec::HotCold { base: 0x100000, hot_len: 4096, cold_len: 1 << 20, hot_pct: 50 };
+        let spec = KernelSpec::HotCold {
+            base: 0x100000,
+            hot_len: 4096,
+            cold_len: 1 << 20,
+            hot_pct: 50,
+        };
         let mut k = spec.instantiate(0x40_0000, 3);
         let evs: Vec<u64> = (0..4000).map(|_| k.next_event().addr.raw()).collect();
         // Count adjacent cold pairs advancing by exactly 8 bytes.
         let sequential = evs.windows(2).filter(|w| w[1] == w[0] + 8).count();
-        assert!(sequential > 1000, "cold excursions must run sequentially, got {sequential}");
+        assert!(
+            sequential > 1000,
+            "cold excursions must run sequentially, got {sequential}"
+        );
     }
 
     #[test]
     fn conflict_loop_cycles_tags_within_few_sets() {
-        let spec = KernelSpec::ConflictLoop { base: 0x40_0000, tags_in_rotation: 4, sets_spanned: 2 };
+        let spec = KernelSpec::ConflictLoop {
+            base: 0x40_0000,
+            tags_in_rotation: 4,
+            sets_spanned: 2,
+        };
         let mut k = spec.instantiate(0x40_0000, 1);
         let mut sets = HashSet::new();
         let mut tags = HashSet::new();
@@ -436,7 +600,10 @@ mod tests {
 
     #[test]
     fn stack_churn_pushes_then_pops() {
-        let spec = KernelSpec::StackChurn { base: 0x7000, depth: 32 };
+        let spec = KernelSpec::StackChurn {
+            base: 0x7000,
+            depth: 32,
+        };
         let mut k = spec.instantiate(0x40_0000, 1);
         let evs: Vec<_> = (0..8).map(|_| k.next_event()).collect();
         assert!(evs[..4].iter().all(|e| e.is_store), "push phase stores");
@@ -457,19 +624,36 @@ mod tests {
         let mut k = spec.instantiate(0x40_0000, 1);
         let evs: Vec<_> = (0..256).map(|_| k.next_event()).collect();
         // Even positions: sequential index reads; odd: dependent gathers.
-        assert!(evs.iter().step_by(2).all(|e| !e.chases && e.addr.raw() < 0x200000));
-        assert!(evs.iter().skip(1).step_by(2).all(|e| e.chases && e.addr.raw() >= 0x4000000));
+        assert!(evs
+            .iter()
+            .step_by(2)
+            .all(|e| !e.chases && e.addr.raw() < 0x200000));
+        assert!(evs
+            .iter()
+            .skip(1)
+            .step_by(2)
+            .all(|e| e.chases && e.addr.raw() >= 0x4000000));
         // One full pass of the index array repeats the same gathers.
         let pass = 2 * (1024 / 8) as usize;
-        let first: Vec<u64> = evs[..pass.min(evs.len())].iter().map(|e| e.addr.raw()).collect();
+        let first: Vec<u64> = evs[..pass.min(evs.len())]
+            .iter()
+            .map(|e| e.addr.raw())
+            .collect();
         let mut k2 = spec.instantiate(0x40_0000, 1);
-        let again: Vec<u64> = (0..first.len()).map(|_| k2.next_event().addr.raw()).collect();
+        let again: Vec<u64> = (0..first.len())
+            .map(|_| k2.next_event().addr.raw())
+            .collect();
         assert_eq!(first, again);
     }
 
     #[test]
     fn blocked_matrix_stays_in_tile() {
-        let spec = KernelSpec::BlockedMatrix { base: 0, n: 64, block: 8, elem: 8 };
+        let spec = KernelSpec::BlockedMatrix {
+            base: 0,
+            n: 64,
+            block: 8,
+            elem: 8,
+        };
         let mut k = spec.instantiate(0x40_0000, 1);
         // First tile: rows 0..8, cols 0..8 of a 64-wide matrix.
         for _ in 0..64 {
@@ -484,15 +668,27 @@ mod tests {
 
     #[test]
     fn zipf_is_head_heavy() {
-        let spec = KernelSpec::Zipf { base: 0, len: 1 << 20, skew_x100: 130 };
+        let spec = KernelSpec::Zipf {
+            base: 0,
+            len: 1 << 20,
+            skew_x100: 130,
+        };
         let mut k = spec.instantiate(0x40_0000, 5);
-        let head = (0..4000).filter(|_| k.next_event().addr.raw() < 32 * 10).count();
-        assert!(head > 1200, "rank-skewed accesses should pile at the head, got {head}/4000");
+        let head = (0..4000)
+            .filter(|_| k.next_event().addr.raw() < 32 * 10)
+            .count();
+        assert!(
+            head > 1200,
+            "rank-skewed accesses should pile at the head, got {head}/4000"
+        );
     }
 
     #[test]
     fn determinism_across_instances() {
-        let spec = KernelSpec::RandomAccess { base: 0, len: 1 << 20 };
+        let spec = KernelSpec::RandomAccess {
+            base: 0,
+            len: 1 << 20,
+        };
         let mut a = spec.instantiate(0x40_0000, 11);
         let mut b = spec.instantiate(0x40_0000, 11);
         for _ in 0..100 {

@@ -48,12 +48,18 @@ const R: [u64; 8] = [
 ];
 
 fn bench(name: &'static str, description: &'static str, spec: WorkloadSpec) -> Benchmark {
-    Benchmark { name, description, spec }
+    Benchmark {
+        name,
+        description,
+        spec,
+    }
 }
 
 fn seed_of(name: &str) -> u64 {
     // Stable per-name seed so each benchmark is independently deterministic.
-    name.bytes().fold(0xCBF2_9CE4_8422_2325u64, |h, b| (h ^ u64::from(b)).wrapping_mul(0x100_0000_01B3))
+    name.bytes().fold(0xCBF2_9CE4_8422_2325u64, |h, b| {
+        (h ^ u64::from(b)).wrapping_mul(0x100_0000_01B3)
+    })
 }
 
 /// Builds the full 26-benchmark suite in Figure 1 order.
@@ -65,8 +71,21 @@ pub fn suite() -> Vec<Benchmark> {
              enormous per-set recurrence; everything hits in L2 so an ideal L2 barely helps.",
             WorkloadSpec::new(
                 vec![
-                    (KernelSpec::ConflictLoop { base: R[0], tags_in_rotation: 8, sets_spanned: 4 }, 3),
-                    (KernelSpec::StackChurn { base: R[1], depth: 4 * KB }, 2),
+                    (
+                        KernelSpec::ConflictLoop {
+                            base: R[0],
+                            tags_in_rotation: 8,
+                            sets_spanned: 4,
+                        },
+                        3,
+                    ),
+                    (
+                        KernelSpec::StackChurn {
+                            base: R[1],
+                            depth: 4 * KB,
+                        },
+                        2,
+                    ),
                 ],
                 seed_of("fma3d"),
             )
@@ -87,7 +106,14 @@ pub fn suite() -> Vec<Benchmark> {
                         },
                         3,
                     ),
-                    (KernelSpec::ConflictLoop { base: R[2], tags_in_rotation: 6, sets_spanned: 8 }, 1),
+                    (
+                        KernelSpec::ConflictLoop {
+                            base: R[2],
+                            tags_in_rotation: 6,
+                            sets_spanned: 8,
+                        },
+                        1,
+                    ),
                 ],
                 seed_of("equake"),
             )
@@ -99,9 +125,28 @@ pub fn suite() -> Vec<Benchmark> {
              locality; tags live in few sets and recur thousands of times.",
             WorkloadSpec::new(
                 vec![
-                    (KernelSpec::StackChurn { base: R[0], depth: 8 * KB }, 2),
-                    (KernelSpec::ConflictLoop { base: R[1], tags_in_rotation: 12, sets_spanned: 8 }, 2),
-                    (KernelSpec::RandomAccess { base: R[2], len: 192 * KB }, 1),
+                    (
+                        KernelSpec::StackChurn {
+                            base: R[0],
+                            depth: 8 * KB,
+                        },
+                        2,
+                    ),
+                    (
+                        KernelSpec::ConflictLoop {
+                            base: R[1],
+                            tags_in_rotation: 12,
+                            sets_spanned: 8,
+                        },
+                        2,
+                    ),
+                    (
+                        KernelSpec::RandomAccess {
+                            base: R[2],
+                            len: 192 * KB,
+                        },
+                        1,
+                    ),
                 ],
                 seed_of("eon"),
             )
@@ -113,8 +158,22 @@ pub fn suite() -> Vec<Benchmark> {
              per-set tag sequences (the paper singles crafty out as sequence-random).",
             WorkloadSpec::new(
                 vec![
-                    (KernelSpec::RandomAccess { base: R[0], len: 768 * KB }, 3),
-                    (KernelSpec::HotCold { base: R[1], hot_len: 64 * KB, cold_len: 192 * KB, hot_pct: 80 }, 2),
+                    (
+                        KernelSpec::RandomAccess {
+                            base: R[0],
+                            len: 768 * KB,
+                        },
+                        3,
+                    ),
+                    (
+                        KernelSpec::HotCold {
+                            base: R[1],
+                            hot_len: 64 * KB,
+                            cold_len: 192 * KB,
+                            hot_pct: 80,
+                        },
+                        2,
+                    ),
                 ],
                 seed_of("crafty"),
             )
@@ -126,8 +185,23 @@ pub fn suite() -> Vec<Benchmark> {
              so each tag appears in nearly every set).",
             WorkloadSpec::new(
                 vec![
-                    (KernelSpec::HotCold { base: R[0], hot_len: 256 * KB, cold_len: 8 * MB, hot_pct: 97 }, 3),
-                    (KernelSpec::StridedSweep { base: R[2], len: MB, stride: 8 }, 1),
+                    (
+                        KernelSpec::HotCold {
+                            base: R[0],
+                            hot_len: 256 * KB,
+                            cold_len: 8 * MB,
+                            hot_pct: 97,
+                        },
+                        3,
+                    ),
+                    (
+                        KernelSpec::StridedSweep {
+                            base: R[2],
+                            len: MB,
+                            stride: 8,
+                        },
+                        1,
+                    ),
                 ],
                 seed_of("gzip"),
             )
@@ -146,7 +220,14 @@ pub fn suite() -> Vec<Benchmark> {
                         },
                         3,
                     ),
-                    (KernelSpec::ConflictLoop { base: R[2], tags_in_rotation: 10, sets_spanned: 16 }, 1),
+                    (
+                        KernelSpec::ConflictLoop {
+                            base: R[2],
+                            tags_in_rotation: 10,
+                            sets_spanned: 16,
+                        },
+                        1,
+                    ),
                 ],
                 seed_of("sixtrack"),
             )
@@ -159,10 +240,22 @@ pub fn suite() -> Vec<Benchmark> {
             WorkloadSpec::new(
                 vec![
                     (
-                        KernelSpec::PointerChase { base: R[0], nodes: 8192, node_bytes: 64, shuffle_seed: 71, noise_pct: 35 },
+                        KernelSpec::PointerChase {
+                            base: R[0],
+                            nodes: 8192,
+                            node_bytes: 64,
+                            shuffle_seed: 71,
+                            noise_pct: 35,
+                        },
                         2,
                     ),
-                    (KernelSpec::RandomAccess { base: R[2], len: 768 * KB }, 2),
+                    (
+                        KernelSpec::RandomAccess {
+                            base: R[2],
+                            len: 768 * KB,
+                        },
+                        2,
+                    ),
                 ],
                 seed_of("vortex"),
             )
@@ -174,9 +267,29 @@ pub fn suite() -> Vec<Benchmark> {
              cold tail.",
             WorkloadSpec::new(
                 vec![
-                    (KernelSpec::StackChurn { base: R[0], depth: 16 * KB }, 2),
-                    (KernelSpec::HotCold { base: R[1], hot_len: 128 * KB, cold_len: MB, hot_pct: 97 }, 2),
-                    (KernelSpec::RandomAccess { base: R[3], len: 512 * KB }, 1),
+                    (
+                        KernelSpec::StackChurn {
+                            base: R[0],
+                            depth: 16 * KB,
+                        },
+                        2,
+                    ),
+                    (
+                        KernelSpec::HotCold {
+                            base: R[1],
+                            hot_len: 128 * KB,
+                            cold_len: MB,
+                            hot_pct: 97,
+                        },
+                        2,
+                    ),
+                    (
+                        KernelSpec::RandomAccess {
+                            base: R[3],
+                            len: 512 * KB,
+                        },
+                        1,
+                    ),
                 ],
                 seed_of("perlbmk"),
             )
@@ -188,10 +301,20 @@ pub fn suite() -> Vec<Benchmark> {
             WorkloadSpec::new(
                 vec![
                     (
-                        KernelSpec::InterleavedSweep { bases: vec![R[0], R[1]], len: 256 * KB, stride: 8 },
+                        KernelSpec::InterleavedSweep {
+                            bases: vec![R[0], R[1]],
+                            len: 256 * KB,
+                            stride: 8,
+                        },
                         3,
                     ),
-                    (KernelSpec::RandomAccess { base: R[3], len: 256 * KB }, 1),
+                    (
+                        KernelSpec::RandomAccess {
+                            base: R[3],
+                            len: 256 * KB,
+                        },
+                        1,
+                    ),
                 ],
                 seed_of("mesa"),
             )
@@ -202,7 +325,11 @@ pub fn suite() -> Vec<Benchmark> {
             "Fluid dynamics (Galerkin): two-matrix sweeps totalling twice the L2.",
             WorkloadSpec::new(
                 vec![(
-                    KernelSpec::InterleavedSweep { bases: vec![R[0], R[1]], len: 448 * KB, stride: 8 },
+                    KernelSpec::InterleavedSweep {
+                        bases: vec![R[0], R[1]],
+                        len: 448 * KB,
+                        stride: 8,
+                    },
                     1,
                 )],
                 seed_of("galgel"),
@@ -223,7 +350,14 @@ pub fn suite() -> Vec<Benchmark> {
                         },
                         3,
                     ),
-                    (KernelSpec::StridedSweep { base: R[4], len: 2 * MB, stride: 8 }, 1),
+                    (
+                        KernelSpec::StridedSweep {
+                            base: R[4],
+                            len: 2 * MB,
+                            stride: 8,
+                        },
+                        1,
+                    ),
                 ],
                 seed_of("apsi"),
             )
@@ -235,8 +369,23 @@ pub fn suite() -> Vec<Benchmark> {
              sequential block sweeps.",
             WorkloadSpec::new(
                 vec![
-                    (KernelSpec::HotCold { base: R[0], hot_len: 512 * KB, cold_len: 6 * MB, hot_pct: 96 }, 3),
-                    (KernelSpec::StridedSweep { base: R[3], len: MB, stride: 8 }, 1),
+                    (
+                        KernelSpec::HotCold {
+                            base: R[0],
+                            hot_len: 512 * KB,
+                            cold_len: 6 * MB,
+                            hot_pct: 96,
+                        },
+                        3,
+                    ),
+                    (
+                        KernelSpec::StridedSweep {
+                            base: R[3],
+                            len: MB,
+                            stride: 8,
+                        },
+                        1,
+                    ),
                 ],
                 seed_of("bzip2"),
             )
@@ -248,12 +397,31 @@ pub fn suite() -> Vec<Benchmark> {
              big, mixed tag working set.",
             WorkloadSpec::new(
                 vec![
-                    (KernelSpec::RandomAccess { base: R[0], len: 768 * KB }, 2),
                     (
-                        KernelSpec::PointerChase { base: R[2], nodes: 8192, node_bytes: 128, shuffle_seed: 17, noise_pct: 35 },
+                        KernelSpec::RandomAccess {
+                            base: R[0],
+                            len: 768 * KB,
+                        },
+                        2,
+                    ),
+                    (
+                        KernelSpec::PointerChase {
+                            base: R[2],
+                            nodes: 8192,
+                            node_bytes: 128,
+                            shuffle_seed: 17,
+                            noise_pct: 35,
+                        },
                         1,
                     ),
-                    (KernelSpec::StridedSweep { base: R[4], len: MB, stride: 8 }, 1),
+                    (
+                        KernelSpec::StridedSweep {
+                            base: R[4],
+                            len: MB,
+                            stride: 8,
+                        },
+                        1,
+                    ),
                 ],
                 seed_of("gap"),
             )
@@ -265,11 +433,21 @@ pub fn suite() -> Vec<Benchmark> {
             WorkloadSpec::new(
                 vec![
                     (
-                        KernelSpec::InterleavedSweep { bases: vec![R[0], R[1]], len: 640 * KB, stride: 8 },
+                        KernelSpec::InterleavedSweep {
+                            bases: vec![R[0], R[1]],
+                            len: 640 * KB,
+                            stride: 8,
+                        },
                         3,
                     ),
                     (
-                        KernelSpec::PointerChase { base: R[4], nodes: 12288, node_bytes: 64, shuffle_seed: 29, noise_pct: 25 },
+                        KernelSpec::PointerChase {
+                            base: R[4],
+                            nodes: 12288,
+                            node_bytes: 64,
+                            shuffle_seed: 29,
+                            noise_pct: 25,
+                        },
                         1,
                     ),
                 ],
@@ -283,10 +461,22 @@ pub fn suite() -> Vec<Benchmark> {
             WorkloadSpec::new(
                 vec![
                     (
-                        KernelSpec::PointerChase { base: R[0], nodes: 12288, node_bytes: 64, shuffle_seed: 41, noise_pct: 30 },
+                        KernelSpec::PointerChase {
+                            base: R[0],
+                            nodes: 12288,
+                            node_bytes: 64,
+                            shuffle_seed: 41,
+                            noise_pct: 30,
+                        },
                         2,
                     ),
-                    (KernelSpec::RandomAccess { base: R[2], len: 768 * KB }, 1),
+                    (
+                        KernelSpec::RandomAccess {
+                            base: R[2],
+                            len: 768 * KB,
+                        },
+                        1,
+                    ),
                 ],
                 seed_of("parser"),
             )
@@ -298,9 +488,22 @@ pub fn suite() -> Vec<Benchmark> {
              set-private sequence structure.",
             WorkloadSpec::new(
                 vec![
-                    (KernelSpec::StridedSweep { base: R[0], len: 2 * MB, stride: 8 }, 2),
                     (
-                        KernelSpec::PointerChase { base: R[2], nodes: 24576, node_bytes: 64, shuffle_seed: 53, noise_pct: 30 },
+                        KernelSpec::StridedSweep {
+                            base: R[0],
+                            len: 2 * MB,
+                            stride: 8,
+                        },
+                        2,
+                    ),
+                    (
+                        KernelSpec::PointerChase {
+                            base: R[2],
+                            nodes: 24576,
+                            node_bytes: 64,
+                            shuffle_seed: 53,
+                            noise_pct: 30,
+                        },
                         2,
                     ),
                 ],
@@ -314,9 +517,21 @@ pub fn suite() -> Vec<Benchmark> {
              routing-graph chase.",
             WorkloadSpec::new(
                 vec![
-                    (KernelSpec::RandomAccess { base: R[0], len: 5 * MB / 4 }, 2),
                     (
-                        KernelSpec::PointerChase { base: R[2], nodes: 8192, node_bytes: 64, shuffle_seed: 67, noise_pct: 40 },
+                        KernelSpec::RandomAccess {
+                            base: R[0],
+                            len: 5 * MB / 4,
+                        },
+                        2,
+                    ),
+                    (
+                        KernelSpec::PointerChase {
+                            base: R[2],
+                            nodes: 8192,
+                            node_bytes: 64,
+                            shuffle_seed: 67,
+                            noise_pct: 40,
+                        },
                         1,
                     ),
                 ],
@@ -330,8 +545,22 @@ pub fn suite() -> Vec<Benchmark> {
              sequence-random benchmark the paper calls out.",
             WorkloadSpec::new(
                 vec![
-                    (KernelSpec::RandomAccess { base: R[0], len: 5 * MB / 4 }, 3),
-                    (KernelSpec::HotCold { base: R[2], hot_len: 128 * KB, cold_len: MB, hot_pct: 70 }, 1),
+                    (
+                        KernelSpec::RandomAccess {
+                            base: R[0],
+                            len: 5 * MB / 4,
+                        },
+                        3,
+                    ),
+                    (
+                        KernelSpec::HotCold {
+                            base: R[2],
+                            hot_len: 128 * KB,
+                            cold_len: MB,
+                            hot_pct: 70,
+                        },
+                        1,
+                    ),
                 ],
                 seed_of("twolf"),
             )
@@ -343,7 +572,11 @@ pub fn suite() -> Vec<Benchmark> {
              set.",
             WorkloadSpec::new(
                 vec![(
-                    KernelSpec::InterleavedSweep { bases: vec![R[0], R[2]], len: 2 * MB, stride: 8 },
+                    KernelSpec::InterleavedSweep {
+                        bases: vec![R[0], R[2]],
+                        len: 2 * MB,
+                        stride: 8,
+                    },
                     1,
                 )],
                 seed_of("lucas"),
@@ -357,11 +590,30 @@ pub fn suite() -> Vec<Benchmark> {
             WorkloadSpec::new(
                 vec![
                     (
-                        KernelSpec::PointerChase { base: R[0], nodes: 16384, node_bytes: 64, shuffle_seed: 83, noise_pct: 25 },
+                        KernelSpec::PointerChase {
+                            base: R[0],
+                            nodes: 16384,
+                            node_bytes: 64,
+                            shuffle_seed: 83,
+                            noise_pct: 25,
+                        },
                         2,
                     ),
-                    (KernelSpec::RandomAccess { base: R[2], len: MB }, 1),
-                    (KernelSpec::StridedSweep { base: R[4], len: MB, stride: 8 }, 1),
+                    (
+                        KernelSpec::RandomAccess {
+                            base: R[2],
+                            len: MB,
+                        },
+                        1,
+                    ),
+                    (
+                        KernelSpec::StridedSweep {
+                            base: R[4],
+                            len: MB,
+                            stride: 8,
+                        },
+                        1,
+                    ),
                 ],
                 seed_of("gcc"),
             )
@@ -373,7 +625,11 @@ pub fn suite() -> Vec<Benchmark> {
              same tag sequence appears in every set, so PHT sharing shines.",
             WorkloadSpec::new(
                 vec![(
-                    KernelSpec::InterleavedSweep { bases: vec![R[0], R[1], R[2]], len: 3 * MB / 2, stride: 8 },
+                    KernelSpec::InterleavedSweep {
+                        bases: vec![R[0], R[1], R[2]],
+                        len: 3 * MB / 2,
+                        stride: 8,
+                    },
                     1,
                 )],
                 seed_of("applu"),
@@ -386,7 +642,11 @@ pub fn suite() -> Vec<Benchmark> {
              only ~96 distinct tags, each recurring constantly (the paper counts 98).",
             WorkloadSpec::new(
                 vec![(
-                    KernelSpec::InterleavedSweep { bases: vec![R[0], R[1], R[2]], len: MB, stride: 8 },
+                    KernelSpec::InterleavedSweep {
+                        bases: vec![R[0], R[1], R[2]],
+                        len: MB,
+                        stride: 8,
+                    },
                     1,
                 )],
                 seed_of("art"),
@@ -408,7 +668,14 @@ pub fn suite() -> Vec<Benchmark> {
                         },
                         6,
                     ),
-                    (KernelSpec::ConflictLoop { base: R[4], tags_in_rotation: 48, sets_spanned: 512 }, 1),
+                    (
+                        KernelSpec::ConflictLoop {
+                            base: R[4],
+                            tags_in_rotation: 48,
+                            sets_spanned: 512,
+                        },
+                        1,
+                    ),
                 ],
                 seed_of("mgrid"),
             )
@@ -429,7 +696,14 @@ pub fn suite() -> Vec<Benchmark> {
                         },
                         6,
                     ),
-                    (KernelSpec::ConflictLoop { base: R[5], tags_in_rotation: 64, sets_spanned: 512 }, 1),
+                    (
+                        KernelSpec::ConflictLoop {
+                            base: R[5],
+                            tags_in_rotation: 64,
+                            sets_spanned: 512,
+                        },
+                        1,
+                    ),
                 ],
                 seed_of("swim"),
             )
@@ -443,10 +717,23 @@ pub fn suite() -> Vec<Benchmark> {
             WorkloadSpec::new(
                 vec![
                     (
-                        KernelSpec::PointerChase { base: R[0], nodes: 32768, node_bytes: 64, shuffle_seed: 97, noise_pct: 2 },
+                        KernelSpec::PointerChase {
+                            base: R[0],
+                            nodes: 32768,
+                            node_bytes: 64,
+                            shuffle_seed: 97,
+                            noise_pct: 2,
+                        },
                         3,
                     ),
-                    (KernelSpec::StridedSweep { base: R[4], len: 512 * KB, stride: 8 }, 1),
+                    (
+                        KernelSpec::StridedSweep {
+                            base: R[4],
+                            len: 512 * KB,
+                            stride: 8,
+                        },
+                        1,
+                    ),
                 ],
                 seed_of("ammp"),
             )
@@ -460,10 +747,22 @@ pub fn suite() -> Vec<Benchmark> {
             WorkloadSpec::new(
                 vec![
                     (
-                        KernelSpec::PointerChase { base: R[0], nodes: 393216, node_bytes: 64, shuffle_seed: 113, noise_pct: 1 },
+                        KernelSpec::PointerChase {
+                            base: R[0],
+                            nodes: 393216,
+                            node_bytes: 64,
+                            shuffle_seed: 113,
+                            noise_pct: 1,
+                        },
                         8,
                     ),
-                    (KernelSpec::RandomAccess { base: R[4], len: MB }, 1),
+                    (
+                        KernelSpec::RandomAccess {
+                            base: R[4],
+                            len: MB,
+                        },
+                        1,
+                    ),
                 ],
                 seed_of("mcf"),
             )
@@ -545,8 +844,14 @@ mod tests {
         let mcf = suite().into_iter().find(|b| b.name == "mcf").unwrap();
         let ops: Vec<_> = mcf.generator(50_000).collect();
         let loads = ops.iter().filter(|o| o.class == OpClass::Load).count();
-        let chasing = ops.iter().filter(|o| o.class == OpClass::Load && o.dep1.is_some()).count();
-        assert!(chasing * 2 > loads, "mcf loads should be mostly dependent ({chasing}/{loads})");
+        let chasing = ops
+            .iter()
+            .filter(|o| o.class == OpClass::Load && o.dep1.is_some())
+            .count();
+        assert!(
+            chasing * 2 > loads,
+            "mcf loads should be mostly dependent ({chasing}/{loads})"
+        );
     }
 
     #[test]
@@ -558,7 +863,11 @@ mod tests {
             .filter_map(|o| o.mem_addr)
             .map(|a| l1.line_addr(a).line_number())
             .collect();
-        assert!(lines.len() < 1500, "fma3d working set should be tiny, got {} lines", lines.len());
+        assert!(
+            lines.len() < 1500,
+            "fma3d working set should be tiny, got {} lines",
+            lines.len()
+        );
     }
 
     #[test]
@@ -571,7 +880,11 @@ mod tests {
                 .filter_map(|o| o.mem_addr)
                 .map(|a| l1.split(a).0.raw())
                 .collect();
-            assert!(tags.len() > 110, "{name} should touch many tags, got {}", tags.len());
+            assert!(
+                tags.len() > 110,
+                "{name} should touch many tags, got {}",
+                tags.len()
+            );
         }
     }
 }

@@ -25,30 +25,56 @@ fn geomean_ipc(benches: &[Benchmark], ops: u64, cfg: TcpConfig) -> f64 {
 }
 
 fn main() {
-    let ops: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1_500_000);
-    let benches: Vec<Benchmark> =
-        suite().into_iter().filter(|b| ["art", "ammp", "swim"].contains(&b.name)).collect();
+    let ops: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1_500_000);
+    let benches: Vec<Benchmark> = suite()
+        .into_iter()
+        .filter(|b| ["art", "ammp", "swim"].contains(&b.name))
+        .collect();
     println!("subset: art, ammp, swim — {ops} measured ops each\n");
 
-    println!("{:<10} {:>14} {:>16}", "PHT size", "shared (n=0)", "full miss index");
-    for bytes in [2 * 1024, 8 * 1024, 32 * 1024, 128 * 1024, 512 * 1024, 2 << 20, 8 << 20] {
+    println!(
+        "{:<10} {:>14} {:>16}",
+        "PHT size", "shared (n=0)", "full miss index"
+    );
+    for bytes in [
+        2 * 1024,
+        8 * 1024,
+        32 * 1024,
+        128 * 1024,
+        512 * 1024,
+        2 << 20,
+        8 << 20,
+    ] {
         let shared = geomean_ipc(&benches, ops, TcpConfig::with_pht_bytes(bytes, 0));
         let sets = (bytes / 32) as u32;
         let full_bits = sets.trailing_zeros().min(10);
         let private = geomean_ipc(&benches, ops, TcpConfig::with_pht_bytes(bytes, full_bits));
-        let label = if bytes >= 1 << 20 { format!("{}MB", bytes >> 20) } else { format!("{}KB", bytes >> 10) };
+        let label = if bytes >= 1 << 20 {
+            format!("{}MB", bytes >> 20)
+        } else {
+            format!("{}KB", bytes >> 10)
+        };
         println!("{label:<10} {shared:>14.4} {private:>16.4}");
     }
 
     println!("\n{:<10} {:>14}", "THT k", "geomean IPC (8KB PHT)");
     for k in 1..=4usize {
-        let cfg = TcpConfig { history_len: k, ..TcpConfig::tcp_8k() };
+        let cfg = TcpConfig {
+            history_len: k,
+            ..TcpConfig::tcp_8k()
+        };
         println!("{k:<10} {:>14.4}", geomean_ipc(&benches, ops, cfg));
     }
 
     println!("\n{:<10} {:>14}", "degree", "geomean IPC (8KB PHT)");
     for degree in 1..=3usize {
-        let cfg = TcpConfig { degree, ..TcpConfig::tcp_8k() };
+        let cfg = TcpConfig {
+            degree,
+            ..TcpConfig::tcp_8k()
+        };
         println!("{degree:<10} {:>14.4}", geomean_ipc(&benches, ops, cfg));
     }
 }

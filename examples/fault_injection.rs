@@ -59,16 +59,21 @@ fn main() {
 
     // 4. Adversarial-but-valid miss streams: they stress the hierarchy
     //    and defeat the prefetcher, but they must complete.
-    let s = run_suite_parallel(&adversarial_suite(), OPS, &table1, || Box::new(NullPrefetcher));
+    let s = run_suite_parallel(&adversarial_suite(), OPS, &table1, || {
+        Box::new(NullPrefetcher)
+    });
     print_outcomes("adversarial workloads (must complete)", &s.outcomes);
 
     // 5. Corrupted persisted traces: each corruption maps to a typed
     //    TraceError; the lying-count header fails fast without allocating.
     println!("\n== corrupted trace bytes ==");
     let geom = CacheGeometry::new(32 * 1024, 32, 1);
-    for fault in
-        [TraceFault::BadMagic, TraceFault::BadVersion, TraceFault::TruncatePayload, TraceFault::LyingCount]
-    {
+    for fault in [
+        TraceFault::BadMagic,
+        TraceFault::BadVersion,
+        TraceFault::TruncatePayload,
+        TraceFault::LyingCount,
+    ] {
         let mut bytes = healthy_trace_bytes(64);
         corrupt_trace(&mut bytes, fault);
         match read_trace(bytes.as_slice(), geom) {

@@ -33,7 +33,14 @@ fn custom_workload() -> Benchmark {
                 2,
             ),
             // A table scan: 4 MB sequential.
-            (KernelSpec::StridedSweep { base: 0x0800_0000, len: 4 << 20, stride: 8 }, 1),
+            (
+                KernelSpec::StridedSweep {
+                    base: 0x0800_0000,
+                    len: 4 << 20,
+                    stride: 8,
+                },
+                1,
+            ),
             // Hot metadata.
             (
                 KernelSpec::HotCold {
@@ -48,30 +55,55 @@ fn custom_workload() -> Benchmark {
         7,
     )
     .with_compute_per_mem(2.0);
-    Benchmark { name: "querydb", description: "index chase + table scan + hot metadata", spec }
+    Benchmark {
+        name: "querydb",
+        description: "index chase + table scan + hot metadata",
+        spec,
+    }
 }
 
 fn main() {
-    let ops: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2_000_000);
+    let ops: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2_000_000);
     let machine = SystemConfig::table1();
     let hybrid_machine = SystemConfig::table1_with_prefetch_bus();
     let bench = custom_workload();
     println!("workload: {} ({})\n", bench.name, bench.description);
 
     let base = run_benchmark(&bench, ops, &machine, Box::new(NullPrefetcher));
-    println!("{:<12} {:>8} {:>9} {:>11} {:>10}", "prefetcher", "IPC", "vs base", "storage", "coverage");
+    println!(
+        "{:<12} {:>8} {:>9} {:>11} {:>10}",
+        "prefetcher", "IPC", "vs base", "storage", "coverage"
+    );
     println!("{}", "-".repeat(55));
-    println!("{:<12} {:>8.4} {:>9} {:>11} {:>10}", "none", base.ipc, "-", "0", "-");
+    println!(
+        "{:<12} {:>8.4} {:>9} {:>11} {:>10}",
+        "none", base.ipc, "-", "0", "-"
+    );
 
     let entries: Vec<(Box<dyn Prefetcher>, &SystemConfig)> = vec![
         (Box::new(NextLinePrefetcher::new(1)), &machine),
-        (Box::new(StridePrefetcher::new(StrideConfig::default())), &machine),
-        (Box::new(StreamBufferPrefetcher::new(StreamBufferConfig::default())), &machine),
-        (Box::new(MarkovPrefetcher::new(MarkovConfig::default())), &machine),
+        (
+            Box::new(StridePrefetcher::new(StrideConfig::default())),
+            &machine,
+        ),
+        (
+            Box::new(StreamBufferPrefetcher::new(StreamBufferConfig::default())),
+            &machine,
+        ),
+        (
+            Box::new(MarkovPrefetcher::new(MarkovConfig::default())),
+            &machine,
+        ),
         (Box::new(Dbcp::new(DbcpConfig::dbcp_2m())), &machine),
         (Box::new(Tcp::new(TcpConfig::tcp_8k())), &machine),
         (Box::new(Tcp::new(TcpConfig::tcp_8m())), &machine),
-        (Box::new(HybridTcp::new(TcpConfig::tcp_8k(), DbpConfig::default())), &hybrid_machine),
+        (
+            Box::new(HybridTcp::new(TcpConfig::tcp_8k(), DbpConfig::default())),
+            &hybrid_machine,
+        ),
     ];
     for (engine, cfg) in entries {
         let name = engine.name().to_owned();

@@ -14,17 +14,26 @@ use tcp_repro::sim::{ipc_improvement, run_benchmark, SystemConfig};
 use tcp_repro::workloads::suite;
 
 fn main() {
-    let ops: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2_000_000);
+    let ops: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2_000_000);
     let machine = SystemConfig::table1();
     let benchmarks = suite();
-    let bench = benchmarks.iter().find(|b| b.name == "ammp").expect("ammp is in the suite");
+    let bench = benchmarks
+        .iter()
+        .find(|b| b.name == "ammp")
+        .expect("ammp is in the suite");
 
     println!("machine   : Table 1 (2GHz 8-issue OoO, 32KB L1D, 1MB L2, 70-cycle memory)");
     println!("benchmark : {} — {}", bench.name, bench.description);
     println!("ops       : {ops} (plus {} warm-up)\n", ops / 2);
 
     let base = run_benchmark(bench, ops, &machine, Box::new(NullPrefetcher));
-    println!("no prefetch : IPC {:.4}  (L1 misses {}, L2 misses {})", base.ipc, base.stats.l1_misses, base.stats.l2_demand_misses);
+    println!(
+        "no prefetch : IPC {:.4}  (L1 misses {}, L2 misses {})",
+        base.ipc, base.stats.l1_misses, base.stats.l2_demand_misses
+    );
 
     for cfg in [TcpConfig::tcp_8k(), TcpConfig::tcp_8m()] {
         let tcp = Tcp::new(cfg);

@@ -15,7 +15,10 @@ use tcp_repro::workloads::suite;
 
 fn main() {
     let name = std::env::args().nth(1).unwrap_or_else(|| "art".to_owned());
-    let ops: u64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(3_000_000);
+    let ops: u64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3_000_000);
     let bench = match suite().into_iter().find(|b| b.name == name) {
         Some(b) => b,
         None => {
@@ -43,7 +46,11 @@ fn main() {
 
     println!("benchmark: {} ({ops} ops)", bench.name);
     println!("  {}\n", bench.description);
-    println!("tags      (Fig 2): {} unique, recurring {:.0}x each", tags.unique(), tags.mean_recurrences());
+    println!(
+        "tags      (Fig 2): {} unique, recurring {:.0}x each",
+        tags.unique(),
+        tags.mean_recurrences()
+    );
     println!(
         "addresses (Fig 3): {} unique, recurring {:.1}x each  ({}x more addresses than tags)",
         addrs.unique(),
@@ -69,7 +76,10 @@ fn main() {
         seqs.mean_sets_per_sequence(),
         seqs.mean_recurrence_within_set()
     );
-    println!("strided  (Fig 15): {:.1}% of sequences are strided", 100.0 * seqs.strided_fraction());
+    println!(
+        "strided  (Fig 15): {:.1}% of sequences are strided",
+        100.0 * seqs.strided_fraction()
+    );
     println!(
         "\nTCP's premise: one tag sequence stands in for ~{:.0} address sequences\n(sets it recurs in), which is why an 8 KB tag-indexed PHT competes with\nmegabyte-scale address-correlation tables.",
         seqs.mean_sets_per_sequence()

@@ -16,7 +16,10 @@ use tcp_repro::workloads::suite;
 
 fn main() {
     let name = std::env::args().nth(1).unwrap_or_else(|| "art".to_owned());
-    let ops: u64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(3_000_000);
+    let ops: u64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3_000_000);
     let Some(bench) = suite().into_iter().find(|b| b.name == name) else {
         eprintln!("unknown benchmark {name}");
         std::process::exit(1);
@@ -24,13 +27,19 @@ fn main() {
     let machine = SystemConfig::table1();
     let chunk = ops / 12;
 
-    println!("benchmark: {} — training curves over {ops} ops\n", bench.name);
+    println!(
+        "benchmark: {} — training curves over {ops} ops\n",
+        bench.name
+    );
     for cfg in [TcpConfig::tcp_8k(), TcpConfig::tcp_8m()] {
         let tcp = Tcp::new(cfg);
         let label = tcp.name().to_owned();
         let mut sim = Simulation::new(&bench, ops, &machine, Box::new(tcp));
         println!("{label}:");
-        println!("  {:>10}  {:>8}  {:>9}  {:>10}", "ops", "IPC", "coverage", "L2 misses");
+        println!(
+            "  {:>10}  {:>8}  {:>9}  {:>10}",
+            "ops", "IPC", "coverage", "L2 misses"
+        );
         let mut prev_ops = u64::MAX;
         loop {
             let p = sim.step(chunk);

@@ -24,6 +24,22 @@ lint:
 check-robustness:
     scripts/check-robustness.sh
 
+# Full-size benchmark run: writes BENCH.json for before/after comparisons.
+perf:
+    cargo run --release -p tcp-perf
+
+# Reduced-size benchmark run (seconds; what CI's perf job executes).
+perf-smoke:
+    cargo run --release -p tcp-perf -- --smoke
+
+# Perf regression gate: smoke run compared against bench/baseline.json.
+check-perf:
+    scripts/check-perf.sh
+
+# Refresh the committed perf baseline from this machine.
+perf-baseline:
+    scripts/check-perf.sh --update
+
 # Fault-injection demo (panicking benchmark, wedged machine, corrupted traces).
 demo-faults:
     cargo run --release --example fault_injection

@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Perf regression gate: run the tcp-perf harness and compare against the
+# committed baseline in bench/baseline.json, failing on any case whose
+# median throughput dropped more than the threshold (default 10%).
+#
+# The committed baseline holds smoke-mode numbers; absolute throughput is
+# machine-dependent, so refresh the baseline (scripts/check-perf.sh
+# --update) whenever the reference machine changes. CI compares runs from
+# the same runner class, where a >10% median drop is signal, not noise.
+#
+# Usage: scripts/check-perf.sh [--smoke|--full] [--update] [--threshold F]
+#   --smoke      reduced input sizes (default; what CI runs)
+#   --full       full-size inputs (for local before/after work)
+#   --update     rewrite bench/baseline.json from this run instead of comparing
+#   --threshold  allowed fractional median-throughput drop (default 0.10)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mode=--smoke
+update=0
+threshold=0.10
+while [ $# -gt 0 ]; do
+    case "$1" in
+        --smoke) mode=--smoke ;;
+        --full) mode= ;;
+        --update) update=1 ;;
+        --threshold)
+            threshold="$2"
+            shift
+            ;;
+        *)
+            echo "check-perf.sh: unknown argument '$1'" >&2
+            exit 2
+            ;;
+    esac
+    shift
+done
+
+baseline=bench/baseline.json
+current="${BENCH_OUT:-BENCH.json}"
+
+echo "== build tcp-perf (release) =="
+cargo build --release -p tcp-perf
+
+echo
+echo "== measure (${mode:---full}) =="
+# More reps than the tcp-perf default: the gate compares medians across
+# runs, so per-rep scheduling noise has to be squeezed out here.
+# shellcheck disable=SC2086 # $mode is intentionally empty for --full
+./target/release/tcp-perf $mode --warmup 2 --reps 9 --out "$current"
+
+if [ "$update" = 1 ]; then
+    mkdir -p bench
+    cp "$current" "$baseline"
+    echo
+    echo "baseline updated: $baseline"
+    exit 0
+fi
+
+if [ ! -f "$baseline" ]; then
+    echo "check-perf.sh: no committed baseline at $baseline" >&2
+    echo "run 'scripts/check-perf.sh --update' on the reference machine first" >&2
+    exit 2
+fi
+
+echo
+echo "== compare against $baseline (threshold $threshold) =="
+./target/release/tcp-perf compare "$baseline" "$current" --threshold "$threshold"
+
+echo
+echo "perf gate passed"

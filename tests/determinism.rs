@@ -22,8 +22,18 @@ fn full_system_runs_are_bit_identical() {
     let machine = SystemConfig::table1();
     for name in ["gzip", "ammp", "swim"] {
         let b = suite().into_iter().find(|x| x.name == name).unwrap();
-        let r1 = run_benchmark(&b, 80_000, &machine, Box::new(Tcp::new(TcpConfig::tcp_8k())));
-        let r2 = run_benchmark(&b, 80_000, &machine, Box::new(Tcp::new(TcpConfig::tcp_8k())));
+        let r1 = run_benchmark(
+            &b,
+            80_000,
+            &machine,
+            Box::new(Tcp::new(TcpConfig::tcp_8k())),
+        );
+        let r2 = run_benchmark(
+            &b,
+            80_000,
+            &machine,
+            Box::new(Tcp::new(TcpConfig::tcp_8k())),
+        );
         assert_eq!(r1.cycles, r2.cycles, "{name}");
         assert_eq!(r1.stats, r2.stats, "{name}");
     }
@@ -40,7 +50,12 @@ fn characterisation_is_deterministic() {
             tags.observe_tag(m.tag);
             seqs.observe(m.tag, m.set);
         }
-        (tags.unique(), tags.total(), seqs.unique_sequences(), seqs.total_occurrences())
+        (
+            tags.unique(),
+            tags.total(),
+            seqs.unique_sequences(),
+            seqs.total_occurrences(),
+        )
     };
     assert_eq!(census(120_000), census(120_000));
 }

@@ -38,8 +38,16 @@ fn every_benchmark_runs_and_reports_consistent_counters() {
 #[test]
 fn tcp_attached_runs_preserve_demand_accounting() {
     let machine = SystemConfig::table1();
-    for bench in suite().into_iter().filter(|b| ["art", "crafty", "mcf", "gzip"].contains(&b.name)) {
-        let r = run_benchmark(&bench, OPS, &machine, Box::new(Tcp::new(TcpConfig::tcp_8k())));
+    for bench in suite()
+        .into_iter()
+        .filter(|b| ["art", "crafty", "mcf", "gzip"].contains(&b.name))
+    {
+        let r = run_benchmark(
+            &bench,
+            OPS,
+            &machine,
+            Box::new(Tcp::new(TcpConfig::tcp_8k())),
+        );
         let s = &r.stats;
         assert_eq!(
             s.l2_breakdown.original(),
@@ -62,7 +70,12 @@ fn prefetcher_never_makes_demand_results_unsound() {
     // in physical bounds and cycle counts are nonzero.
     let machine = SystemConfig::table1();
     let bench = suite().into_iter().find(|b| b.name == "swim").unwrap();
-    let r = run_benchmark(&bench, OPS, &machine, Box::new(Tcp::new(TcpConfig::tcp_8m())));
+    let r = run_benchmark(
+        &bench,
+        OPS,
+        &machine,
+        Box::new(Tcp::new(TcpConfig::tcp_8m())),
+    );
     assert!(r.cycles > OPS / 8, "cannot exceed fetch width");
     assert!(r.ipc <= 8.0);
 }
@@ -71,8 +84,12 @@ fn prefetcher_never_makes_demand_results_unsound() {
 fn suite_runner_is_deterministic_across_invocations() {
     let machine = SystemConfig::table1();
     let benches: Vec<_> = suite().into_iter().take(4).collect();
-    let a = run_suite(&benches, 50_000, &machine, || Box::new(Tcp::new(TcpConfig::tcp_8k())));
-    let b = run_suite(&benches, 50_000, &machine, || Box::new(Tcp::new(TcpConfig::tcp_8k())));
+    let a = run_suite(&benches, 50_000, &machine, || {
+        Box::new(Tcp::new(TcpConfig::tcp_8k()))
+    });
+    let b = run_suite(&benches, 50_000, &machine, || {
+        Box::new(Tcp::new(TcpConfig::tcp_8k()))
+    });
     assert_eq!(a.failed_count(), 0);
     for (x, y) in a.runs().zip(b.runs()) {
         assert_eq!(x.cycles, y.cycles, "{}", x.benchmark);
@@ -89,7 +106,12 @@ fn ideal_l2_is_an_upper_bound_for_l2_prefetching() {
     let ideal_cfg = SystemConfig::table1_ideal_l2();
     for name in ["art", "ammp"] {
         let bench = suite().into_iter().find(|b| b.name == name).unwrap();
-        let tcp = run_benchmark(&bench, 200_000, &base_cfg, Box::new(Tcp::new(TcpConfig::tcp_8m())));
+        let tcp = run_benchmark(
+            &bench,
+            200_000,
+            &base_cfg,
+            Box::new(Tcp::new(TcpConfig::tcp_8m())),
+        );
         let ideal = run_benchmark(&bench, 200_000, &ideal_cfg, Box::new(NullPrefetcher));
         assert!(
             tcp.ipc <= ideal.ipc * 1.02,

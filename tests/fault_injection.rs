@@ -4,6 +4,7 @@
 //! the surrounding suite.
 
 use tcp_repro::analysis::{read_trace, TraceError};
+use tcp_repro::cache::NullPrefetcher;
 use tcp_repro::mem::CacheGeometry;
 use tcp_repro::sim::faults::{
     adversarial_suite, corrupt_trace, healthy_trace_bytes, panicking_benchmark, wedged_config,
@@ -13,7 +14,6 @@ use tcp_repro::sim::{
     run_suite, run_suite_parallel, try_ipc_improvement, try_run_benchmark, RunError, RunOutcome,
     SimError, SystemConfig,
 };
-use tcp_repro::cache::NullPrefetcher;
 use tcp_repro::workloads::suite;
 
 const OPS: u64 = 20_000;
@@ -35,7 +35,10 @@ fn panicking_benchmark_does_not_abort_the_parallel_suite() {
     assert_eq!(s.outcomes[0].benchmark(), "fma3d");
     assert_eq!(s.outcomes[1].benchmark(), "fault-panic");
     match &s.outcomes[1] {
-        RunOutcome::Failed { benchmark, reason: SimError::Run(RunError::Panicked { .. }) } => {
+        RunOutcome::Failed {
+            benchmark,
+            reason: SimError::Run(RunError::Panicked { .. }),
+        } => {
             assert_eq!(benchmark, "fault-panic");
         }
         other => panic!("expected a structured panic outcome, got {other:?}"),
@@ -47,7 +50,9 @@ fn panicking_benchmark_does_not_abort_the_parallel_suite() {
 #[test]
 fn sequential_suite_isolates_the_same_panic() {
     let benches = vec![panicking_benchmark(), suite().remove(0)];
-    let s = run_suite(&benches, OPS, &SystemConfig::table1(), || Box::new(NullPrefetcher));
+    let s = run_suite(&benches, OPS, &SystemConfig::table1(), || {
+        Box::new(NullPrefetcher)
+    });
     assert_eq!(s.ok_count(), 1);
     let (name, err) = s.failures().next().expect("one failure");
     assert_eq!(name, "fault-panic");
@@ -89,22 +94,33 @@ fn adversarial_workloads_stress_but_complete() {
     let s = run_suite_parallel(&benches, OPS, &SystemConfig::table1(), || {
         Box::new(NullPrefetcher)
     });
-    assert_eq!(s.ok_count(), benches.len(), "adversarial inputs must finish, not wedge");
+    assert_eq!(
+        s.ok_count(),
+        benches.len(),
+        "adversarial inputs must finish, not wedge"
+    );
     for r in s.runs() {
-        assert!(r.ipc > 0.0 && r.ipc.is_finite(), "{}: ipc {}", r.benchmark, r.ipc);
+        assert!(
+            r.ipc > 0.0 && r.ipc.is_finite(),
+            "{}: ipc {}",
+            r.benchmark,
+            r.ipc
+        );
     }
 }
 
 #[test]
 fn corrupted_traces_yield_typed_errors_never_panics() {
     let geom = CacheGeometry::new(32 * 1024, 32, 1);
-    for fault in
-        [TraceFault::BadMagic, TraceFault::BadVersion, TraceFault::TruncatePayload, TraceFault::LyingCount]
-    {
+    for fault in [
+        TraceFault::BadMagic,
+        TraceFault::BadVersion,
+        TraceFault::TruncatePayload,
+        TraceFault::LyingCount,
+    ] {
         let mut bytes = healthy_trace_bytes(32);
         corrupt_trace(&mut bytes, fault);
-        let err = read_trace(bytes.as_slice(), geom)
-            .expect_err("corrupted bytes must not parse");
+        let err = read_trace(bytes.as_slice(), geom).expect_err("corrupted bytes must not parse");
         // Every corruption maps onto a specific TraceError variant.
         match (fault, &err) {
             (TraceFault::BadMagic, TraceError::BadMagic { .. })

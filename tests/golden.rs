@@ -22,7 +22,10 @@ fn characterisation_matches_golden_values() {
         let p = characterize(&b, 200_000);
         assert_eq!(p.misses, misses, "{name}: miss count drifted");
         assert_eq!(p.unique_tags, tags, "{name}: unique tags drifted");
-        assert_eq!(p.unique_addresses, addrs, "{name}: unique addresses drifted");
+        assert_eq!(
+            p.unique_addresses, addrs,
+            "{name}: unique addresses drifted"
+        );
         assert_eq!(p.unique_sequences, seqs, "{name}: unique sequences drifted");
     }
 }
@@ -31,7 +34,12 @@ fn characterisation_matches_golden_values() {
 fn timing_matches_golden_values() {
     for &(name, _, _, _, _, cycles, l1miss) in GOLDEN {
         let b = suite().into_iter().find(|b| b.name == name).unwrap();
-        let r = run_benchmark(&b, 100_000, &SystemConfig::table1(), Box::new(NullPrefetcher));
+        let r = run_benchmark(
+            &b,
+            100_000,
+            &SystemConfig::table1(),
+            Box::new(NullPrefetcher),
+        );
         assert_eq!(r.cycles, cycles, "{name}: cycle count drifted");
         assert_eq!(r.stats.l1_misses, l1miss, "{name}: L1 miss count drifted");
     }

@@ -11,7 +11,10 @@ use tcp_repro::sim::{ipc_improvement, run_benchmark, SystemConfig};
 use tcp_repro::workloads::{suite, Benchmark};
 
 fn bench(name: &str) -> Benchmark {
-    suite().into_iter().find(|b| b.name == name).unwrap_or_else(|| panic!("{name} missing"))
+    suite()
+        .into_iter()
+        .find(|b| b.name == name)
+        .unwrap_or_else(|| panic!("{name} missing"))
 }
 
 #[test]
@@ -21,7 +24,12 @@ fn correlating_prefetch_beats_no_prefetch_on_repetitive_chase() {
     let machine = SystemConfig::table1();
     let b = bench("ammp");
     let base = run_benchmark(&b, 400_000, &machine, Box::new(NullPrefetcher));
-    let tcp = run_benchmark(&b, 400_000, &machine, Box::new(Tcp::new(TcpConfig::tcp_8m())));
+    let tcp = run_benchmark(
+        &b,
+        400_000,
+        &machine,
+        Box::new(Tcp::new(TcpConfig::tcp_8m())),
+    );
     assert!(
         ipc_improvement(&base, &tcp) > 50.0,
         "TCP-8M on ammp: {:.1}%",
@@ -37,13 +45,28 @@ fn stride_prefetching_cannot_capture_a_pointer_chase() {
     let machine = SystemConfig::table1();
     let b = bench("ammp");
     let base = run_benchmark(&b, 300_000, &machine, Box::new(NullPrefetcher));
-    let stride =
-        run_benchmark(&b, 300_000, &machine, Box::new(StridePrefetcher::new(StrideConfig::default())));
-    let tcp = run_benchmark(&b, 300_000, &machine, Box::new(Tcp::new(TcpConfig::tcp_8m())));
+    let stride = run_benchmark(
+        &b,
+        300_000,
+        &machine,
+        Box::new(StridePrefetcher::new(StrideConfig::default())),
+    );
+    let tcp = run_benchmark(
+        &b,
+        300_000,
+        &machine,
+        Box::new(Tcp::new(TcpConfig::tcp_8m())),
+    );
     let stride_gain = ipc_improvement(&base, &stride);
     let tcp_gain = ipc_improvement(&base, &tcp);
-    assert!(stride_gain < 10.0, "stride should not capture a chase: {stride_gain:.1}%");
-    assert!(tcp_gain > 5.0 * stride_gain.max(1.0), "tcp {tcp_gain:.1}% vs stride {stride_gain:.1}%");
+    assert!(
+        stride_gain < 10.0,
+        "stride should not capture a chase: {stride_gain:.1}%"
+    );
+    assert!(
+        tcp_gain > 5.0 * stride_gain.max(1.0),
+        "tcp {tcp_gain:.1}% vs stride {stride_gain:.1}%"
+    );
 }
 
 #[test]
@@ -66,7 +89,10 @@ fn pht_sharing_transfers_patterns_where_private_tables_must_retrain() {
         shared.stats.prefetches_issued,
         private.stats.prefetches_issued
     );
-    assert!(shared_gain >= private_gain - 1.0, "{shared_gain:.1}% vs {private_gain:.1}%");
+    assert!(
+        shared_gain >= private_gain - 1.0,
+        "{shared_gain:.1}% vs {private_gain:.1}%"
+    );
 }
 
 #[test]
@@ -97,7 +123,10 @@ fn tcp_needs_no_pcs_dbcp_does() {
             tcp.on_miss(&mk(t, 42, 0x400), &mut out);
         }
     }
-    assert!(!out.is_empty(), "TCP predicts from tags alone, no PC needed");
+    assert!(
+        !out.is_empty(),
+        "TCP predicts from tags alone, no PC needed"
+    );
 
     let mut dbcp = Dbcp::new(DbcpConfig::dbcp_2m());
     let mut out2: Vec<PrefetchRequest> = Vec::new();
@@ -114,7 +143,9 @@ fn tcp_needs_no_pcs_dbcp_does() {
     let mut pc = 0x400u64;
     for _ in 0..8 {
         for t in [3u64, 7, 11] {
-            pc = pc.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            pc = pc
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             dbcp2.on_miss(&mk(t, 42, pc & 0xFFFC), &mut out3);
         }
     }
@@ -130,7 +161,9 @@ fn tcp_needs_no_pcs_dbcp_does() {
     let mut pc = 0x400u64;
     for _ in 0..8 {
         for t in [3u64, 7, 11] {
-            pc = pc.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            pc = pc
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             tcp2.on_miss(&mk(t, 42, pc & 0xFFFC), &mut out4);
         }
     }
@@ -147,7 +180,12 @@ fn small_tcp_rivals_big_dbcp_on_shared_pattern_workload() {
     let ops = 1_000_000;
     let base = run_benchmark(&b, ops, &machine, Box::new(NullPrefetcher));
     let tcp8k = run_benchmark(&b, ops, &machine, Box::new(Tcp::new(TcpConfig::tcp_8k())));
-    let dbcp = run_benchmark(&b, ops, &machine, Box::new(Dbcp::new(DbcpConfig::dbcp_2m())));
+    let dbcp = run_benchmark(
+        &b,
+        ops,
+        &machine,
+        Box::new(Dbcp::new(DbcpConfig::dbcp_2m())),
+    );
     let tcp_gain = ipc_improvement(&base, &tcp8k);
     let dbcp_gain = ipc_improvement(&base, &dbcp);
     assert!(
