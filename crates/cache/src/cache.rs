@@ -131,6 +131,7 @@ impl Cache {
         match self.find(tag, set) {
             Some(i) => {
                 self.order += 1;
+                // tcp-lint: allow(panic-in-library) — find() only returns occupied ways
                 let m = self.ways[i].as_mut().expect("found way is occupied");
                 let first = m.prefetched && !m.demanded;
                 m.demanded = true;
@@ -154,6 +155,7 @@ impl Cache {
         let (tag, set) = self.geom.split_line(line);
         self.order += 1;
         if let Some(i) = self.find(tag, set) {
+            // tcp-lint: allow(panic-in-library) — find() only returns occupied ways
             let m = self.ways[i].as_mut().expect("found way is occupied");
             m.last_access_order = self.order;
             m.last_access_cycle = cycle;
@@ -180,12 +182,14 @@ impl Cache {
         let range = self.set_range(set);
         let ways = &self.ways;
         let victim_way = self.policy.choose_victim_by(range.len(), |w| {
+            // tcp-lint: allow(panic-in-library) — empty-way fill above returned already
             let m = ways[range.start + w].expect("set is full");
             (m.fill_order, m.last_access_order)
         });
         let idx = range.start + victim_way;
         let old = self.ways[idx]
             .replace(meta)
+            // tcp-lint: allow(panic-in-library) — victim was chosen among occupied ways
             .expect("victim way was occupied");
         Some(Evicted {
             line: self.geom.compose(old.tag, set),
@@ -204,6 +208,7 @@ impl Cache {
         if let Some(i) = self.find(tag, set) {
             self.ways[i]
                 .as_mut()
+                // tcp-lint: allow(panic-in-library) — find() only returns occupied ways
                 .expect("found way is occupied")
                 .demanded = true;
             true
@@ -217,6 +222,7 @@ impl Cache {
     pub fn mark_dirty(&mut self, line: LineAddr) -> bool {
         let (tag, set) = self.geom.split_line(line);
         if let Some(i) = self.find(tag, set) {
+            // tcp-lint: allow(panic-in-library) — find() only returns occupied ways
             self.ways[i].as_mut().expect("found way is occupied").dirty = true;
             true
         } else {

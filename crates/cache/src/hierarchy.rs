@@ -526,6 +526,7 @@ impl MemoryHierarchy {
             let earliest = self
                 .l1_fills
                 .earliest_ready()
+                // tcp-lint: allow(panic-in-library) — is_full() guard means entries exist
                 .expect("full file has entries");
             let wait_until = earliest.max(t + 1);
             self.stats.mshr_stall_cycles += wait_until - t;
@@ -539,6 +540,7 @@ impl MemoryHierarchy {
                     let earliest = self
                         .l1_fills
                         .earliest_ready()
+                        // tcp-lint: allow(panic-in-library) — store_fills ⊆ l1_fills, so nonempty
                         .expect("stores are in flight");
                     let wait_until = earliest.max(t + 1);
                     self.stats.store_buffer_stall_cycles += wait_until - t;

@@ -8,7 +8,7 @@
 //! to the timing model via
 //! [`crate::HierarchyConfig::dtlb`].
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use tcp_mem::Addr;
 
 /// Configuration of a TLB.
@@ -48,8 +48,10 @@ impl Default for TlbConfig {
 #[derive(Clone, Debug)]
 pub struct Tlb {
     cfg: TlbConfig,
-    // page number → last-use stamp
-    entries: HashMap<u64, u64>,
+    // page number → last-use stamp. BTreeMap so the LRU scan below
+    // visits pages in a fixed order (stamps are unique, but hash order
+    // would still be a determinism hazard on any future tie).
+    entries: BTreeMap<u64, u64>,
     stamp: u64,
     hits: u64,
     misses: u64,
@@ -69,7 +71,7 @@ impl Tlb {
         );
         Tlb {
             cfg,
-            entries: HashMap::new(),
+            entries: BTreeMap::new(),
             stamp: 0,
             hits: 0,
             misses: 0,

@@ -76,7 +76,7 @@ impl VictimCache {
     pub fn insert(&mut self, line: LineAddr, dirty: bool) -> Option<(LineAddr, bool)> {
         // Replace an existing copy of the same line.
         if let Some(pos) = self.entries.iter().position(|&(l, _)| l == line) {
-            let (_, old_dirty) = self.entries.remove(pos).expect("position valid");
+            let old_dirty = self.entries.remove(pos).is_some_and(|(_, d)| d);
             self.entries.push_back((line, dirty || old_dirty));
             return None;
         }

@@ -279,8 +279,9 @@ impl CoreState {
         let slot = (i as usize) % w;
 
         // --- Instruction fetch: I-cache lookup once per new line.
-        if let Some(ic) = self.icache.as_mut() {
-            let g = cfg.icache.expect("icache geometry present");
+        // (`icache` and its geometry are populated together, so `zip`
+        // replaces the old coupled-Option `expect`.)
+        if let Some((ic, g)) = self.icache.as_mut().zip(cfg.icache) {
             let iline = g.line_addr(op.pc);
             if self.last_iline != Some(iline) {
                 self.last_iline = Some(iline);
@@ -405,6 +406,7 @@ impl OooCore {
     /// Panics if the window or any width is zero.
     pub fn new(cfg: CoreConfig) -> Self {
         if let Err(e) = cfg.validate() {
+            // tcp-lint: allow(panic-in-library) — documented panicking constructor; fallible path is cfg.validate()
             panic!("invalid core configuration: {e}");
         }
         OooCore { cfg }

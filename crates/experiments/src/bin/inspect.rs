@@ -35,7 +35,9 @@ fn main() {
 
     // Recurrence histogram: how skewed is tag reuse?
     let l1 = CacheGeometry::new(32 * 1024, 32, 1);
-    let mut counts = std::collections::HashMap::new();
+    // BTreeMap: the histogram is order-insensitive, but keeping report
+    // paths hash-order-free is a workspace invariant (tcp-lint).
+    let mut counts = std::collections::BTreeMap::new();
     for m in miss_stream(
         l1,
         bench

@@ -1,0 +1,730 @@
+//! The lint passes: project invariants of the TCP reproduction encoded
+//! as named checks over the token stream.
+//!
+//! Every check is lexical — no type information — so each rule is
+//! written to under-approximate: it tracks names declared as hash
+//! containers in the same file rather than guessing at receivers, and it
+//! anchors panics/casts to exact token shapes. False negatives are
+//! possible; false positives should be rare, and every finding can be
+//! waived per site with a justified suppression comment:
+//!
+//! ```text
+//! // tcp-lint: allow(<lint-name>) — <reason>
+//! ```
+//!
+//! A suppression covers findings on its own line and on the line
+//! directly below it. A malformed suppression (unknown lint name or a
+//! missing reason) is itself reported, as `bad-suppression`.
+
+use crate::lexer::{lex, Lexed, TokKind, Token};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Lint: iteration over a hash-ordered container in simulator code.
+pub const NONDET_ITERATION: &str = "nondet-iteration";
+/// Lint: wall-clock time or ambient randomness outside the perf crate.
+pub const WALL_CLOCK_IN_SIM: &str = "wall-clock-in-sim";
+/// Lint: `unwrap`/`expect`/`panic!`-family in library code of crates
+/// that have typed errors.
+pub const PANIC_IN_LIBRARY: &str = "panic-in-library";
+/// Lint: truncating `as` cast applied to a cycle/addr/tag identifier.
+pub const LOSSY_CYCLE_CAST: &str = "lossy-cycle-cast";
+/// Lint: floating-point accumulation inside a per-cycle loop.
+pub const FLOAT_ACCUM_IN_HOT_LOOP: &str = "float-accum-in-hot-loop";
+/// Lint: crate root missing `#![forbid(unsafe_code)]`.
+pub const MISSING_FORBID_UNSAFE: &str = "missing-forbid-unsafe";
+/// Lint: malformed or unjustified suppression comment.
+pub const BAD_SUPPRESSION: &str = "bad-suppression";
+
+/// Every lint tcp-lint knows, in stable order.
+pub const ALL_LINTS: [&str; 7] = [
+    NONDET_ITERATION,
+    WALL_CLOCK_IN_SIM,
+    PANIC_IN_LIBRARY,
+    LOSSY_CYCLE_CAST,
+    FLOAT_ACCUM_IN_HOT_LOOP,
+    MISSING_FORBID_UNSAFE,
+    BAD_SUPPRESSION,
+];
+
+/// Crates (by `crates/<dir>` name) whose non-test code must not iterate
+/// hash-ordered containers: everything on the simulate→measure→report
+/// path, plus tcp-lint itself (its output order gates CI).
+const NONDET_CRATES: [&str; 6] = ["cache", "core", "cpu", "experiments", "lint", "sim"];
+
+/// Crates whose library code carries typed errors and must not panic.
+const PANIC_CRATES: [&str; 4] = ["cache", "cpu", "lint", "sim"];
+
+/// The one crate allowed to read the wall clock: the perf harness times
+/// real executions by design.
+const WALL_CLOCK_CRATE: &str = "perf";
+
+/// Identifiers that mean wall-clock time or ambient randomness.
+const WALL_CLOCK_IDENTS: [&str; 6] = [
+    "Instant",
+    "SystemTime",
+    "ThreadRng",
+    "thread_rng",
+    "RandomState",
+    "getrandom",
+];
+
+/// Hash-container methods whose visit order is nondeterministic.
+const ITER_METHODS: [&str; 9] = [
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "into_keys",
+    "values",
+    "values_mut",
+    "into_values",
+    "drain",
+];
+
+/// Cast targets narrower than the u64 cycle/address domain.
+const NARROW_INTS: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
+
+/// Identifier fragments that mark cycle/address/tag quantities.
+const CYCLE_PATTERNS: [&str; 3] = ["cycle", "addr", "tag"];
+
+/// How a file participates in the build, which decides lint scope.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library source (`src/*.rs` except `main.rs`/`src/bin`).
+    Lib,
+    /// Binary source (`src/main.rs`, `src/bin/*.rs`).
+    Bin,
+    /// Integration test (`tests/*.rs`).
+    Test,
+    /// Example (`examples/*.rs`).
+    Example,
+}
+
+/// Where a file sits in the workspace; drives which lints apply.
+#[derive(Clone, Debug)]
+pub struct FileSpec<'a> {
+    /// Display path (workspace-relative).
+    pub path: &'a str,
+    /// `crates/<dir>` component, or `""` for the root package.
+    pub crate_dir: &'a str,
+    /// Build role of the file.
+    pub kind: FileKind,
+    /// `true` for a crate's `src/lib.rs`.
+    pub crate_root: bool,
+}
+
+/// One reported violation.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Lint name (one of [`ALL_LINTS`]).
+    pub lint: &'static str,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based byte column.
+    pub col: u32,
+    /// What is wrong and what to do instead.
+    pub message: String,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+}
+
+/// Lints one file. Findings are sorted by position and already filtered
+/// through any suppression comments in the file.
+pub fn lint_file(spec: &FileSpec<'_>, src: &str) -> Vec<Finding> {
+    let lx = lex(src);
+    let toks = &lx.tokens;
+    let in_test = test_mask(toks, spec.kind);
+    let lines: Vec<&str> = src.lines().collect();
+    let mut findings: Vec<Finding> = Vec::new();
+
+    let suppressions = parse_directives(&lx, spec, &lines, &mut findings);
+
+    if NONDET_CRATES.contains(&spec.crate_dir) {
+        nondet_pass(toks, &in_test, spec, &lines, &mut findings);
+    }
+    if spec.crate_dir != WALL_CLOCK_CRATE {
+        wall_clock_pass(toks, &in_test, spec, &lines, &mut findings);
+    }
+    if PANIC_CRATES.contains(&spec.crate_dir) && spec.kind == FileKind::Lib {
+        panic_pass(toks, &in_test, spec, &lines, &mut findings);
+    }
+    lossy_cast_pass(toks, &in_test, spec, &lines, &mut findings);
+    float_accum_pass(toks, &in_test, spec, &lines, &mut findings);
+    if spec.crate_root {
+        forbid_unsafe_pass(toks, spec, &lines, &mut findings);
+    }
+
+    findings.retain(|f| !suppressed(&suppressions, f));
+    findings.sort_by(|a, b| (a.line, a.col, a.lint).cmp(&(b.line, b.col, b.lint)));
+    findings.dedup_by(|a, b| (a.line, a.col, a.lint) == (b.line, b.col, b.lint));
+    findings
+}
+
+fn snippet(lines: &[&str], line: u32) -> String {
+    lines
+        .get(line as usize - 1)
+        .map(|l| l.trim().to_owned())
+        .unwrap_or_default()
+}
+
+fn push(
+    findings: &mut Vec<Finding>,
+    spec: &FileSpec<'_>,
+    lines: &[&str],
+    lint: &'static str,
+    line: u32,
+    col: u32,
+    message: String,
+) {
+    findings.push(Finding {
+        lint,
+        path: spec.path.to_owned(),
+        line,
+        col,
+        message,
+        snippet: snippet(lines, line),
+    });
+}
+
+fn is_ident(t: &Token, text: &str) -> bool {
+    t.kind == TokKind::Ident && t.text == text
+}
+
+fn is_punct(t: &Token, text: &str) -> bool {
+    t.kind == TokKind::Punct && t.text == text
+}
+
+/// Marks tokens inside `#[cfg(test)]` / `#[test]` items (and whole test
+/// files) so test-only code is exempt from the code lints.
+fn test_mask(toks: &[Token], kind: FileKind) -> Vec<bool> {
+    let mut mask = vec![kind == FileKind::Test; toks.len()];
+    if kind == FileKind::Test {
+        return mask;
+    }
+    let mut i = 0;
+    while i + 1 < toks.len() {
+        if !(is_punct(&toks[i], "#") && is_punct(&toks[i + 1], "[")) {
+            i += 1;
+            continue;
+        }
+        let attr_end = match matching(toks, i + 1, "[", "]") {
+            Some(e) => e,
+            None => break,
+        };
+        let body = &toks[i + 2..attr_end];
+        let mentions_test = body.iter().any(|t| is_ident(t, "test"));
+        let negated = body.iter().any(|t| is_ident(t, "not"));
+        if !mentions_test || negated {
+            i = attr_end + 1;
+            continue;
+        }
+        // Skip any further attributes on the same item.
+        let mut j = attr_end + 1;
+        while j + 1 < toks.len() && is_punct(&toks[j], "#") && is_punct(&toks[j + 1], "[") {
+            match matching(toks, j + 1, "[", "]") {
+                Some(e) => j = e + 1,
+                None => break,
+            }
+        }
+        // The item extends to its closing brace, or to `;` for items
+        // without a body (`mod tests;`).
+        let mut end = j;
+        while end < toks.len() {
+            if is_punct(&toks[end], ";") {
+                break;
+            }
+            if is_punct(&toks[end], "{") {
+                end = matching(toks, end, "{", "}").unwrap_or(toks.len() - 1);
+                break;
+            }
+            end += 1;
+        }
+        let stop = end.min(toks.len() - 1);
+        for m in mask.iter_mut().take(stop + 1).skip(i) {
+            *m = true;
+        }
+        i = stop + 1;
+    }
+    mask
+}
+
+/// Index of the delimiter closing `toks[open]`, if any.
+fn matching(toks: &[Token], open: usize, open_text: &str, close_text: &str) -> Option<usize> {
+    let mut depth = 0usize;
+    for (k, t) in toks.iter().enumerate().skip(open) {
+        if is_punct(t, open_text) {
+            depth += 1;
+        } else if is_punct(t, close_text) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+/// Parsed suppressions: line → lint names waived on that line and the
+/// next.
+type Suppressions = BTreeMap<u32, Vec<String>>;
+
+fn suppressed(sups: &Suppressions, f: &Finding) -> bool {
+    let hit = |line: u32| {
+        sups.get(&line)
+            .is_some_and(|names| names.iter().any(|n| n == f.lint))
+    };
+    hit(f.line) || (f.line > 1 && hit(f.line - 1))
+}
+
+/// Parses `tcp-lint: allow(...)` comments. Well-formed directives become
+/// suppressions; malformed ones (bad syntax, unknown lint, missing
+/// reason) are reported as `bad-suppression`. Comments that mention
+/// tcp-lint without `: allow` are prose and ignored.
+fn parse_directives(
+    lx: &Lexed,
+    spec: &FileSpec<'_>,
+    lines: &[&str],
+    findings: &mut Vec<Finding>,
+) -> Suppressions {
+    let mut sups = Suppressions::new();
+    for d in &lx.directives {
+        // Doc comments are documentation — only plain comments suppress.
+        let doc = d.text.starts_with("///")
+            || d.text.starts_with("//!")
+            || d.text.starts_with("/**")
+            || d.text.starts_with("/*!");
+        if doc {
+            continue;
+        }
+        match classify_directive(&d.text) {
+            DirectiveParse::NotADirective => {}
+            DirectiveParse::Malformed(why) => {
+                push(
+                    findings,
+                    spec,
+                    lines,
+                    BAD_SUPPRESSION,
+                    d.line,
+                    1,
+                    format!("unusable tcp-lint suppression: {why}"),
+                );
+            }
+            DirectiveParse::Allow(names) => {
+                sups.entry(d.line).or_default().extend(names);
+            }
+        }
+    }
+    sups
+}
+
+enum DirectiveParse {
+    NotADirective,
+    Malformed(String),
+    Allow(Vec<String>),
+}
+
+fn classify_directive(text: &str) -> DirectiveParse {
+    let Some(pos) = text.find("tcp-lint") else {
+        return DirectiveParse::NotADirective;
+    };
+    let rest = text[pos + "tcp-lint".len()..].trim_start();
+    let Some(rest) = rest.strip_prefix(':') else {
+        return DirectiveParse::NotADirective;
+    };
+    let rest = rest.trim_start();
+    if !rest.starts_with("allow") {
+        // Prose like "tcp-lint: a custom linter" — not a directive.
+        return DirectiveParse::NotADirective;
+    }
+    let rest = rest["allow".len()..].trim_start();
+    let Some(rest) = rest.strip_prefix('(') else {
+        return DirectiveParse::Malformed("expected `allow(<lint-name>)`".to_owned());
+    };
+    let Some((names_str, tail)) = rest.split_once(')') else {
+        return DirectiveParse::Malformed("unclosed `allow(` list".to_owned());
+    };
+    let mut names = Vec::new();
+    for raw in names_str.split(',') {
+        let name = raw.trim();
+        if name.is_empty() {
+            return DirectiveParse::Malformed("empty lint name in allow(...)".to_owned());
+        }
+        if !ALL_LINTS.contains(&name) {
+            return DirectiveParse::Malformed(format!("unknown lint `{name}`"));
+        }
+        names.push(name.to_owned());
+    }
+    // A reason is mandatory: some text with at least one alphanumeric
+    // character after the closing paren (conventionally "— why").
+    let has_reason = tail.chars().filter(|c| c.is_alphanumeric()).count() >= 3;
+    if !has_reason {
+        return DirectiveParse::Malformed(
+            "missing justification — write `// tcp-lint: allow(<name>) — <reason>`".to_owned(),
+        );
+    }
+    DirectiveParse::Allow(names)
+}
+
+/// Names in this file declared (or annotated) as `HashMap`/`HashSet`:
+/// `name: HashMap<…>`, `name: &HashMap<…>`, `name = HashMap::new()`.
+fn hash_container_names(toks: &[Token]) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for i in 0..toks.len() {
+        if !(is_ident(&toks[i], "HashMap") || is_ident(&toks[i], "HashSet")) {
+            continue;
+        }
+        // Walk back over a `std :: collections ::` path prefix.
+        let mut j = i;
+        while j >= 2 && is_punct(&toks[j - 1], "::") && toks[j - 2].kind == TokKind::Ident {
+            j -= 2;
+        }
+        // Skip reference/mutability noise between the binder and type.
+        let mut k = j;
+        while k >= 1 && (is_punct(&toks[k - 1], "&") || is_ident(&toks[k - 1], "mut")) {
+            k -= 1;
+        }
+        if k >= 2
+            && (is_punct(&toks[k - 1], ":") || is_punct(&toks[k - 1], "="))
+            && toks[k - 2].kind == TokKind::Ident
+        {
+            names.insert(toks[k - 2].text.clone());
+        }
+    }
+    names
+}
+
+fn nondet_pass(
+    toks: &[Token],
+    in_test: &[bool],
+    spec: &FileSpec<'_>,
+    lines: &[&str],
+    findings: &mut Vec<Finding>,
+) {
+    let hashed = hash_container_names(toks);
+    if hashed.is_empty() {
+        return;
+    }
+    for i in 0..toks.len() {
+        if in_test[i] || toks[i].kind != TokKind::Ident || !hashed.contains(&toks[i].text) {
+            continue;
+        }
+        let name = &toks[i].text;
+        // `name.iter()`, `name.keys()`, … — order-dependent visits.
+        if i + 3 < toks.len()
+            && is_punct(&toks[i + 1], ".")
+            && toks[i + 2].kind == TokKind::Ident
+            && ITER_METHODS.contains(&toks[i + 2].text.as_str())
+            && is_punct(&toks[i + 3], "(")
+        {
+            let m = &toks[i + 2];
+            push(
+                findings,
+                spec,
+                lines,
+                NONDET_ITERATION,
+                m.line,
+                m.col,
+                format!(
+                    "`{name}.{}()` visits a hash-ordered container in nondeterministic \
+                     order; use BTreeMap/BTreeSet or collect and sort before iterating",
+                    m.text
+                ),
+            );
+            continue;
+        }
+        // `for x in name` / `for x in &name` / `for x in &mut self.name`.
+        let mut j = i;
+        while j >= 2 && is_punct(&toks[j - 1], ".") && toks[j - 2].kind == TokKind::Ident {
+            j -= 2;
+        }
+        while j >= 1 && (is_punct(&toks[j - 1], "&") || is_ident(&toks[j - 1], "mut")) {
+            j -= 1;
+        }
+        if j >= 1 && is_ident(&toks[j - 1], "in") {
+            let t = &toks[i];
+            push(
+                findings,
+                spec,
+                lines,
+                NONDET_ITERATION,
+                t.line,
+                t.col,
+                format!(
+                    "`for … in {name}` iterates a hash-ordered container in \
+                     nondeterministic order; use BTreeMap/BTreeSet or sort first"
+                ),
+            );
+        }
+    }
+}
+
+fn wall_clock_pass(
+    toks: &[Token],
+    in_test: &[bool],
+    spec: &FileSpec<'_>,
+    lines: &[&str],
+    findings: &mut Vec<Finding>,
+) {
+    for (i, t) in toks.iter().enumerate() {
+        if in_test[i] || t.kind != TokKind::Ident {
+            continue;
+        }
+        if WALL_CLOCK_IDENTS.contains(&t.text.as_str()) {
+            push(
+                findings,
+                spec,
+                lines,
+                WALL_CLOCK_IN_SIM,
+                t.line,
+                t.col,
+                format!(
+                    "`{}` injects wall-clock time or ambient randomness into \
+                     simulation code; simulated time and seeded RNGs only (the \
+                     perf harness in crates/perf is the sole exception)",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+fn panic_pass(
+    toks: &[Token],
+    in_test: &[bool],
+    spec: &FileSpec<'_>,
+    lines: &[&str],
+    findings: &mut Vec<Finding>,
+) {
+    for i in 0..toks.len() {
+        if in_test[i] {
+            continue;
+        }
+        // `.unwrap(` / `.expect(`
+        if is_punct(&toks[i], ".")
+            && i + 2 < toks.len()
+            && toks[i + 1].kind == TokKind::Ident
+            && matches!(toks[i + 1].text.as_str(), "unwrap" | "expect")
+            && is_punct(&toks[i + 2], "(")
+        {
+            let t = &toks[i + 1];
+            push(
+                findings,
+                spec,
+                lines,
+                PANIC_IN_LIBRARY,
+                t.line,
+                t.col,
+                format!(
+                    "`.{}()` can panic in library code of a typed-error crate; \
+                     return the crate's error type, or justify the invariant \
+                     with a suppression",
+                    t.text
+                ),
+            );
+        }
+        // `panic!` / `unreachable!` / `todo!` / `unimplemented!`
+        if toks[i].kind == TokKind::Ident
+            && matches!(
+                toks[i].text.as_str(),
+                "panic" | "unreachable" | "todo" | "unimplemented"
+            )
+            && i + 1 < toks.len()
+            && is_punct(&toks[i + 1], "!")
+        {
+            let t = &toks[i];
+            push(
+                findings,
+                spec,
+                lines,
+                PANIC_IN_LIBRARY,
+                t.line,
+                t.col,
+                format!(
+                    "`{}!` aborts library code of a typed-error crate; return \
+                     the crate's error type, or justify the invariant with a \
+                     suppression",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+fn lossy_cast_pass(
+    toks: &[Token],
+    in_test: &[bool],
+    spec: &FileSpec<'_>,
+    lines: &[&str],
+    findings: &mut Vec<Finding>,
+) {
+    for i in 1..toks.len() {
+        if in_test[i] || !is_ident(&toks[i], "as") {
+            continue;
+        }
+        let Some(target) = toks.get(i + 1) else {
+            continue;
+        };
+        if !(target.kind == TokKind::Ident && NARROW_INTS.contains(&target.text.as_str())) {
+            continue;
+        }
+        let operand = &toks[i - 1];
+        if operand.kind != TokKind::Ident {
+            continue;
+        }
+        let lower = operand.text.to_lowercase();
+        if CYCLE_PATTERNS.iter().any(|p| lower.contains(p)) {
+            push(
+                findings,
+                spec,
+                lines,
+                LOSSY_CYCLE_CAST,
+                operand.line,
+                operand.col,
+                format!(
+                    "`{} as {}` truncates a cycle/address/tag quantity; keep \
+                     u64 end to end, use `{}::try_from`, or mask explicitly \
+                     before casting",
+                    operand.text, target.text, target.text
+                ),
+            );
+        }
+    }
+}
+
+/// Names in this file declared as floats (`name: f64`, `name = 0.0`).
+fn float_names(toks: &[Token]) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for i in 0..toks.len() {
+        let is_float_ty = is_ident(&toks[i], "f64") || is_ident(&toks[i], "f32");
+        if is_float_ty
+            && i >= 2
+            && is_punct(&toks[i - 1], ":")
+            && toks[i - 2].kind == TokKind::Ident
+        {
+            names.insert(toks[i - 2].text.clone());
+        }
+        if toks[i].kind == TokKind::Float
+            && i >= 2
+            && is_punct(&toks[i - 1], "=")
+            && toks[i - 2].kind == TokKind::Ident
+            && !matches!(toks[i - 2].text.as_str(), "f64" | "f32")
+        {
+            names.insert(toks[i - 2].text.clone());
+        }
+    }
+    names
+}
+
+fn float_accum_pass(
+    toks: &[Token],
+    in_test: &[bool],
+    spec: &FileSpec<'_>,
+    lines: &[&str],
+    findings: &mut Vec<Finding>,
+) {
+    let floats = float_names(toks);
+    let mut i = 0;
+    while i < toks.len() {
+        if !(is_ident(&toks[i], "for") || is_ident(&toks[i], "while")) {
+            i += 1;
+            continue;
+        }
+        // Loop header: tokens up to the opening brace.
+        let mut brace = None;
+        let mut header_has_cycle = false;
+        let mut j = i + 1;
+        while j < toks.len() {
+            if is_punct(&toks[j], "{") {
+                brace = Some(j);
+                break;
+            }
+            if is_punct(&toks[j], ";") {
+                break;
+            }
+            if toks[j].kind == TokKind::Ident && toks[j].text.to_lowercase().contains("cycle") {
+                header_has_cycle = true;
+            }
+            j += 1;
+        }
+        let Some(open) = brace else {
+            i += 1;
+            continue;
+        };
+        if !header_has_cycle {
+            i += 1;
+            continue;
+        }
+        let close = matching(toks, open, "{", "}").unwrap_or(toks.len() - 1);
+        for k in open + 1..close {
+            if in_test[k] || !is_punct(&toks[k], "+=") {
+                continue;
+            }
+            let lhs_is_float =
+                toks[k - 1].kind == TokKind::Ident && floats.contains(&toks[k - 1].text);
+            let mut rhs_is_float = false;
+            let mut r = k + 1;
+            while r < close && !is_punct(&toks[r], ";") {
+                if toks[r].kind == TokKind::Float
+                    || is_ident(&toks[r], "f64")
+                    || is_ident(&toks[r], "f32")
+                {
+                    rhs_is_float = true;
+                    break;
+                }
+                r += 1;
+            }
+            if lhs_is_float || rhs_is_float {
+                let t = &toks[k];
+                push(
+                    findings,
+                    spec,
+                    lines,
+                    FLOAT_ACCUM_IN_HOT_LOOP,
+                    t.line,
+                    t.col,
+                    "floating-point accumulation inside a per-cycle loop loses \
+                     precision as the run grows; accumulate in integers and \
+                     convert once at reporting time"
+                        .to_owned(),
+                );
+            }
+        }
+        i = open + 1;
+    }
+}
+
+fn forbid_unsafe_pass(
+    toks: &[Token],
+    spec: &FileSpec<'_>,
+    lines: &[&str],
+    findings: &mut Vec<Finding>,
+) {
+    for i in 0..toks.len() {
+        if !is_ident(&toks[i], "forbid") {
+            continue;
+        }
+        if i + 1 < toks.len() && is_punct(&toks[i + 1], "(") {
+            if let Some(close) = matching(toks, i + 1, "(", ")") {
+                if toks[i + 2..close]
+                    .iter()
+                    .any(|t| is_ident(t, "unsafe_code"))
+                {
+                    return;
+                }
+            }
+        }
+    }
+    push(
+        findings,
+        spec,
+        lines,
+        MISSING_FORBID_UNSAFE,
+        1,
+        1,
+        "crate root is missing `#![forbid(unsafe_code)]`; every workspace \
+         library crate must forbid unsafe code"
+            .to_owned(),
+    );
+}

@@ -1,0 +1,124 @@
+//! CLI for tcp-lint. Exit status: 0 clean, 1 findings, 2 usage or I/O
+//! error — CI treats nonzero as a failed gate.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use tcp_lint::{
+    find_workspace_root, lint_path, render_human, render_json, workspace_sources, Finding,
+    ALL_LINTS,
+};
+
+const USAGE: &str = "\
+tcp-lint: static analysis enforcing the TCP reproduction's determinism
+and error-discipline invariants.
+
+Usage:
+  tcp-lint --workspace [--json] [--root DIR]   lint every workspace crate
+  tcp-lint [--json] [--root DIR] FILE...       lint specific files
+  tcp-lint --list-lints                        print the lint names
+
+Suppress a finding on the line below (or the same line) with a reason:
+  // tcp-lint: allow(lint-name) -- reason it is sound here
+";
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("tcp-lint: error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run() -> std::io::Result<ExitCode> {
+    let mut workspace = false;
+    let mut json = false;
+    let mut root_arg: Option<PathBuf> = None;
+    let mut files: Vec<PathBuf> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--workspace" => workspace = true,
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(dir) => root_arg = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("tcp-lint: --root needs a directory\n\n{USAGE}");
+                    return Ok(ExitCode::from(2));
+                }
+            },
+            "--list-lints" => {
+                for l in ALL_LINTS {
+                    println!("{l}");
+                }
+                return Ok(ExitCode::SUCCESS);
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(ExitCode::SUCCESS);
+            }
+            _ if a.starts_with('-') => {
+                eprintln!("tcp-lint: unknown flag {a}\n\n{USAGE}");
+                return Ok(ExitCode::from(2));
+            }
+            _ => files.push(PathBuf::from(a)),
+        }
+    }
+
+    if !workspace && files.is_empty() {
+        eprintln!("{USAGE}");
+        return Ok(ExitCode::from(2));
+    }
+
+    let cwd = std::env::current_dir()?;
+    let root = match root_arg.or_else(|| find_workspace_root(&cwd)) {
+        Some(r) => r,
+        None => {
+            eprintln!("tcp-lint: no workspace root found above {}", cwd.display());
+            return Ok(ExitCode::from(2));
+        }
+    };
+
+    if workspace {
+        files.extend(workspace_sources(&root)?);
+    }
+
+    let mut findings: Vec<Finding> = Vec::new();
+    for f in &files {
+        let abs = if f.is_absolute() {
+            f.clone()
+        } else {
+            root.join(f)
+        };
+        // Fall back to the path as given (workspace files are already
+        // absolute; explicit args may be cwd-relative).
+        let target = if abs.is_file() { abs } else { f.clone() };
+        findings.extend(lint_path(&root, &target)?);
+    }
+    findings
+        .sort_by(|a, b| (&a.path, a.line, a.col, a.lint).cmp(&(&b.path, b.line, b.col, b.lint)));
+
+    if json {
+        print!("{}", render_json(&findings));
+    } else {
+        print!("{}", render_human(&findings));
+        if findings.is_empty() {
+            println!("tcp-lint: clean ({} files)", files.len());
+        } else {
+            println!(
+                "tcp-lint: {} finding(s) across {} files",
+                findings.len(),
+                files.len()
+            );
+        }
+    }
+    Ok(if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    })
+}

@@ -1,0 +1,94 @@
+//! End-to-end checks of the `tcp-lint` binary: the real workspace must
+//! lint clean at HEAD (the CI gate's definition of green), JSON output
+//! must be machine-readable, and an injected violation must flip the
+//! exit code to 1.
+
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_tcp-lint"))
+}
+
+#[test]
+fn workspace_is_clean_at_head() {
+    let out = bin().arg("--workspace").output().expect("run tcp-lint");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "tcp-lint must exit 0 on the committed tree; findings:\n{stdout}"
+    );
+    assert!(stdout.contains("clean"), "unexpected output: {stdout}");
+}
+
+#[test]
+fn json_mode_emits_an_array() {
+    let out = bin()
+        .args(["--workspace", "--json"])
+        .output()
+        .expect("run tcp-lint");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let trimmed = stdout.trim();
+    assert!(
+        trimmed.starts_with('[') && trimmed.ends_with(']'),
+        "JSON output must be a single array, got: {trimmed}"
+    );
+}
+
+#[test]
+fn list_lints_names_every_lint() {
+    let out = bin().arg("--list-lints").output().expect("run tcp-lint");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for lint in tcp_lint::ALL_LINTS {
+        assert!(stdout.contains(lint), "--list-lints missing {lint}");
+    }
+}
+
+#[test]
+fn unknown_flag_is_a_usage_error() {
+    let out = bin().arg("--bogus").output().expect("run tcp-lint");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn injected_violation_fails_with_exit_code_one() {
+    // A throwaway one-crate workspace whose `sim` library reads the wall
+    // clock: tcp-lint must report it and exit 1.
+    let root = std::path::PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("lint-exit-check");
+    let src_dir = root.join("crates").join("sim").join("src");
+    std::fs::create_dir_all(&src_dir).expect("mkdir temp workspace");
+    std::fs::write(root.join("Cargo.toml"), "[workspace]\n").expect("write manifest");
+    std::fs::write(
+        src_dir.join("lib.rs"),
+        "#![forbid(unsafe_code)]\n\
+         pub fn canary() -> std::time::Instant {\n    \
+         std::time::Instant::now()\n\
+         }\n",
+    )
+    .expect("write offending lib.rs");
+
+    let out = bin()
+        .args(["--workspace", "--root", root.to_str().expect("utf-8 path")])
+        .output()
+        .expect("run tcp-lint");
+    assert_eq!(out.status.code(), Some(1), "violations must exit 1");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("wall-clock-in-sim"), "output: {stdout}");
+
+    let json = bin()
+        .args([
+            "--workspace",
+            "--json",
+            "--root",
+            root.to_str().expect("utf-8 path"),
+        ])
+        .output()
+        .expect("run tcp-lint --json");
+    assert_eq!(json.status.code(), Some(1));
+    let payload = String::from_utf8_lossy(&json.stdout);
+    assert!(
+        payload.contains("\"lint\":\"wall-clock-in-sim\""),
+        "json: {payload}"
+    );
+}

@@ -1,0 +1,190 @@
+//! Fixture-based acceptance tests: every lint fires on its known-bad
+//! fixture at the exact line it should, and every allowed/suppressed
+//! fixture lints clean.
+//!
+//! Fixtures live in `tests/fixtures/` (a directory name the workspace
+//! walker deliberately skips, so the bad files never gate CI). Each is
+//! linted through [`tcp_lint::lint_file`] with an explicit [`FileSpec`]
+//! standing in for a real simulator source file.
+
+use tcp_lint::{lint_file, FileKind, FileSpec, Finding};
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => panic!("reading fixture {path}: {e}"),
+    }
+}
+
+fn findings(name: &str, crate_dir: &str, crate_root: bool) -> Vec<Finding> {
+    let src = fixture(name);
+    let spec = FileSpec {
+        path: name,
+        crate_dir,
+        kind: FileKind::Lib,
+        crate_root,
+    };
+    lint_file(&spec, &src)
+}
+
+/// (lint name, 1-based line) pairs, in report order.
+fn hits(name: &str, crate_dir: &str, crate_root: bool) -> Vec<(&'static str, u32)> {
+    findings(name, crate_dir, crate_root)
+        .into_iter()
+        .map(|f| (f.lint, f.line))
+        .collect()
+}
+
+#[test]
+fn nondet_iteration_fires_on_bad_fixture() {
+    assert_eq!(
+        hits("nondet_iteration_bad.rs", "cache", false),
+        vec![
+            ("nondet-iteration", 7),  // for (_k, v) in counts.iter()
+            ("nondet-iteration", 14), // counts.keys()
+            ("nondet-iteration", 19), // seen.drain()
+            ("nondet-iteration", 27), // for _ in &seen
+        ],
+    );
+}
+
+#[test]
+fn nondet_iteration_allowed_fixture_is_clean() {
+    assert_eq!(hits("nondet_iteration_allowed.rs", "cache", false), vec![]);
+}
+
+#[test]
+fn nondet_iteration_is_scoped_to_simulation_crates() {
+    // The same source in a crate outside the determinism boundary
+    // (e.g. `analysis`, which sorts before reporting) is not flagged.
+    assert_eq!(hits("nondet_iteration_bad.rs", "analysis", false), vec![]);
+}
+
+#[test]
+fn wall_clock_fires_on_bad_fixture() {
+    assert_eq!(
+        hits("wall_clock_bad.rs", "sim", false),
+        vec![("wall-clock-in-sim", 4), ("wall-clock-in-sim", 9)],
+    );
+}
+
+#[test]
+fn wall_clock_allowed_fixture_is_clean() {
+    assert_eq!(hits("wall_clock_allowed.rs", "sim", false), vec![]);
+}
+
+#[test]
+fn wall_clock_is_permitted_in_the_perf_crate() {
+    assert_eq!(hits("wall_clock_bad.rs", "perf", false), vec![]);
+}
+
+#[test]
+fn panic_in_library_fires_on_bad_fixture() {
+    assert_eq!(
+        hits("panic_library_bad.rs", "cache", false),
+        vec![
+            ("panic-in-library", 4),  // .expect(...)
+            ("panic-in-library", 9),  // panic!(...)
+            ("panic-in-library", 11), // .unwrap()
+            ("panic-in-library", 15), // todo!()
+            ("panic-in-library", 19), // unreachable!(...)
+        ],
+    );
+}
+
+#[test]
+fn panic_in_library_allowed_fixture_is_clean() {
+    assert_eq!(hits("panic_library_allowed.rs", "cache", false), vec![]);
+}
+
+#[test]
+fn panic_in_library_skips_test_binaries() {
+    let src = fixture("panic_library_bad.rs");
+    let spec = FileSpec {
+        path: "panic_library_bad.rs",
+        crate_dir: "cache",
+        kind: FileKind::Test,
+        crate_root: false,
+    };
+    assert_eq!(lint_file(&spec, &src).len(), 0);
+}
+
+#[test]
+fn lossy_cycle_cast_fires_on_bad_fixture() {
+    assert_eq!(
+        hits("lossy_cast_bad.rs", "cpu", false),
+        vec![
+            ("lossy-cycle-cast", 4),  // cycle as u32
+            ("lossy-cycle-cast", 5),  // line_addr as u32
+            ("lossy-cycle-cast", 10), // tag as u16
+        ],
+    );
+}
+
+#[test]
+fn lossy_cycle_cast_allowed_fixture_is_clean() {
+    assert_eq!(hits("lossy_cast_allowed.rs", "cpu", false), vec![]);
+}
+
+#[test]
+fn float_accum_fires_on_bad_fixture() {
+    assert_eq!(
+        hits("float_accum_bad.rs", "cpu", false),
+        vec![
+            ("float-accum-in-hot-loop", 7),  // acc += 0.25 in while-cycle loop
+            ("float-accum-in-hot-loop", 16), // ipc += ... in for-cycle loop
+        ],
+    );
+}
+
+#[test]
+fn float_accum_allowed_fixture_is_clean() {
+    assert_eq!(hits("float_accum_allowed.rs", "cpu", false), vec![]);
+}
+
+#[test]
+fn missing_forbid_unsafe_fires_on_bad_crate_root() {
+    assert_eq!(
+        hits("missing_forbid_bad.rs", "cache", true),
+        vec![("missing-forbid-unsafe", 1)],
+    );
+}
+
+#[test]
+fn missing_forbid_unsafe_ok_crate_root_is_clean() {
+    assert_eq!(hits("missing_forbid_ok.rs", "cache", true), vec![]);
+}
+
+#[test]
+fn missing_forbid_unsafe_only_applies_to_crate_roots() {
+    assert_eq!(hits("missing_forbid_bad.rs", "cache", false), vec![]);
+}
+
+#[test]
+fn bad_suppression_fires_on_bad_fixture() {
+    assert_eq!(
+        hits("bad_suppression_bad.rs", "cache", false),
+        vec![
+            ("bad-suppression", 4),  // reason missing
+            ("bad-suppression", 9),  // unknown lint name
+            ("bad-suppression", 14), // unclosed paren
+        ],
+    );
+}
+
+#[test]
+fn bad_suppression_allowed_fixture_is_clean() {
+    assert_eq!(hits("bad_suppression_allowed.rs", "cache", false), vec![]);
+}
+
+#[test]
+fn findings_carry_path_snippet_and_column() {
+    let all = findings("wall_clock_bad.rs", "sim", false);
+    let f = &all[0];
+    assert_eq!(f.path, "wall_clock_bad.rs");
+    assert_eq!(f.line, 4);
+    assert!(f.col > 1, "column should point at the offending token");
+    assert_eq!(f.snippet, "let t = std::time::Instant::now();");
+    assert!(f.message.contains("Instant"), "message: {}", f.message);
+}

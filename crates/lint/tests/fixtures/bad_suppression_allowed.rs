@@ -1,0 +1,10 @@
+//! Fixture: well-formed directives and prose mentions of the tool are
+//! fine. Prose like "checked by tcp-lint: a custom pass" in a doc
+//! comment is never a directive. Must lint clean.
+
+// tcp-lint output gates CI; this plain comment is prose, not a directive.
+
+pub fn fine() -> u64 {
+    // tcp-lint: allow(panic-in-library) — demonstrates a justified, well-formed waiver
+    0
+}

@@ -1,0 +1,16 @@
+//! Fixture: malformed suppression directives are themselves findings.
+
+pub fn no_reason() -> u64 {
+    // tcp-lint: allow(nondet-iteration)
+    0
+}
+
+pub fn unknown_lint() -> u64 {
+    // tcp-lint: allow(not-a-real-lint) — misspelled lint name
+    0
+}
+
+pub fn unclosed() -> u64 {
+    // tcp-lint: allow(nondet-iteration — missing closing paren
+    0
+}

@@ -1,0 +1,19 @@
+//! Fixture: floating-point accumulation inside per-cycle loops.
+
+pub fn run(n_cycles: u64) -> f64 {
+    let mut acc: f64 = 0.0;
+    let mut cycle = 0u64;
+    while cycle < n_cycles {
+        acc += 0.25;
+        cycle += 1;
+    }
+    acc
+}
+
+pub fn sweep(cycles: &[u64]) -> f64 {
+    let mut ipc = 0.0;
+    for &cycle in cycles {
+        ipc += 1.0 / (cycle as f64 + 1.0);
+    }
+    ipc
+}

@@ -1,0 +1,11 @@
+//! Fixture: truncating `as` casts on cycle/addr/tag identifiers.
+
+pub fn pack(cycle: u64, line_addr: u64) -> (u32, u32) {
+    let c = cycle as u32;
+    let a = line_addr as u32;
+    (c, a)
+}
+
+pub fn tag_low16(tag: u64) -> u16 {
+    tag as u16
+}

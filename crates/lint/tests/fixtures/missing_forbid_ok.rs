@@ -1,0 +1,5 @@
+//! Fixture: a crate root carrying the required attribute. Must lint
+//! clean.
+#![forbid(unsafe_code)]
+
+pub fn noop() {}

@@ -1,0 +1,19 @@
+//! Fixture: hash-order iteration that is waived per site, plus exempt
+//! test code. This file must lint clean.
+use std::collections::HashMap;
+
+pub fn checksum(counts: &HashMap<u64, u64>) -> u64 {
+    // tcp-lint: allow(nondet-iteration) — unordered sum, result is order-independent
+    counts.values().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashSet;
+
+    #[test]
+    fn test_code_is_exempt() {
+        let s: HashSet<u64> = HashSet::new();
+        for _ in &s {}
+    }
+}

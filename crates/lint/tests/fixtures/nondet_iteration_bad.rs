@@ -1,0 +1,31 @@
+//! Fixture: hash-order iteration in a simulation crate. Every loop and
+//! method below is a nondet-iteration finding.
+use std::collections::{HashMap, HashSet};
+
+pub fn sum_values(counts: &HashMap<u64, u64>) -> u64 {
+    let mut total = 0;
+    for (_k, v) in counts.iter() {
+        total += v;
+    }
+    total
+}
+
+pub fn collect_keys(counts: &HashMap<u64, u64>) -> Vec<u64> {
+    counts.keys().copied().collect()
+}
+
+pub fn drain_all(seen: &mut HashSet<u64>) -> u64 {
+    let mut n = 0;
+    for s in seen.drain() {
+        n += s;
+    }
+    n
+}
+
+pub fn direct_for(seen: HashSet<u64>) -> usize {
+    let mut n = 0;
+    for _ in &seen {
+        n += 1;
+    }
+    n
+}

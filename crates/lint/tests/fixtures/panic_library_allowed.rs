@@ -1,0 +1,22 @@
+//! Fixture: justified invariant panics and exempt code paths. Must lint
+//! clean.
+
+/// Doc-comment examples are documentation, not code:
+///
+/// ```
+/// let v = vec![1u64];
+/// v.first().unwrap();
+/// ```
+pub fn invariant(xs: &[u64]) -> u64 {
+    // tcp-lint: allow(panic-in-library) — slice checked nonempty by caller contract
+    *xs.first().expect("nonempty by contract")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let v = [1u64];
+        assert_eq!(*v.first().unwrap(), 1);
+    }
+}

@@ -1,0 +1,20 @@
+//! Fixture: panics in library code of a typed-error crate.
+
+pub fn head(xs: &[u64]) -> u64 {
+    *xs.first().expect("nonempty")
+}
+
+pub fn second(xs: &[u64]) -> u64 {
+    if xs.len() < 2 {
+        panic!("too short");
+    }
+    xs.get(1).copied().unwrap()
+}
+
+pub fn future() {
+    todo!()
+}
+
+pub fn impossible() {
+    unreachable!("never")
+}

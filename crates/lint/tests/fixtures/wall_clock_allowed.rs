@@ -1,0 +1,17 @@
+//! Fixture: waived wall-clock use plus exempt test code. Must lint
+//! clean.
+
+pub fn harness_stamp() -> u64 {
+    // tcp-lint: allow(wall-clock-in-sim) — operator-facing progress display only
+    let t = std::time::SystemTime::now();
+    drop(t);
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn timeouts_may_use_instant() {
+        let _ = std::time::Instant::now();
+    }
+}

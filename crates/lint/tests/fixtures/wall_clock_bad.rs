@@ -1,0 +1,11 @@
+//! Fixture: wall-clock time sources inside simulation code.
+
+pub fn stamp_ms() -> u128 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_millis()
+}
+
+pub fn epoch() -> u64 {
+    let _ = std::time::SystemTime::now();
+    0
+}

@@ -153,6 +153,7 @@ pub fn healthy_trace_bytes(n: usize) -> Vec<u8> {
         })
         .collect();
     let mut buf = Vec::new();
+    // tcp-lint: allow(panic-in-library) — io::Write for Vec<u8> is infallible
     write_trace(&mut buf, &records).expect("writing to a Vec cannot fail");
     buf
 }

@@ -274,6 +274,7 @@ pub fn try_ipc_improvement(base: &RunResult, new: &RunResult) -> Result<f64, Sim
 ///
 /// Panics if `base.ipc` is not positive.
 pub fn ipc_improvement(base: &RunResult, new: &RunResult) -> f64 {
+    // tcp-lint: allow(panic-in-library) — documented panicking wrapper; fallible form is try_ipc_improvement
     try_ipc_improvement(base, new).unwrap_or_else(|e| panic!("baseline IPC must be positive: {e}"))
 }
 
@@ -506,6 +507,7 @@ where
     let mut out = Vec::with_capacity(benchmarks.len());
     let mut first_panic = None;
     for slot in slots {
+        // tcp-lint: allow(panic-in-library) — scope join guarantees every slot was written
         match slot.expect("every benchmark processed") {
             Ok(v) => out.push(v),
             Err(payload) => {

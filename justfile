@@ -20,7 +20,11 @@ test-all:
 lint:
     cargo clippy --workspace --all-targets -- -D warnings
 
-# Robustness gate: lint + fault-injection acceptance + error-layer tests.
+# Determinism/error-discipline gate: tcp-lint over the whole workspace.
+lint-tcp:
+    scripts/check-lint.sh
+
+# Robustness gate: clippy + tcp-lint + fault-injection + error-layer tests.
 check-robustness:
     scripts/check-robustness.sh
 

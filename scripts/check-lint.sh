@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Determinism/error-discipline gate: run tcp-lint over the whole
+# workspace and fail on any finding. Fully offline — tcp-lint is a
+# zero-dependency workspace binary.
+#
+# Usage:
+#   scripts/check-lint.sh                 lint the workspace (the CI gate)
+#   scripts/check-lint.sh --inject-check  additionally prove the gate has
+#                                         teeth: temporarily inject a
+#                                         wall-clock violation into a sim
+#                                         crate and require tcp-lint to
+#                                         reject it
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+INJECT_CHECK=0
+for arg in "$@"; do
+  case "$arg" in
+    --inject-check) INJECT_CHECK=1 ;;
+    *)
+      echo "usage: scripts/check-lint.sh [--inject-check]" >&2
+      exit 2
+      ;;
+  esac
+done
+
+echo "== tcp-lint (workspace) =="
+cargo run --release -q -p tcp-lint -- --workspace
+
+if [[ "$INJECT_CHECK" == 1 ]]; then
+  echo
+  echo "== tcp-lint self-check: injected violation must fail the gate =="
+  TARGET=crates/sim/src/lib.rs
+  BACKUP=$(mktemp)
+  cp "$TARGET" "$BACKUP"
+  restore() { cp "$BACKUP" "$TARGET"; rm -f "$BACKUP"; }
+  trap restore EXIT
+
+  cat >>"$TARGET" <<'EOF'
+
+/// Canary injected by scripts/check-lint.sh --inject-check.
+pub fn lint_canary() -> std::time::Instant {
+    std::time::Instant::now()
+}
+EOF
+
+  if cargo run --release -q -p tcp-lint -- --workspace >/dev/null; then
+    echo "FAIL: tcp-lint accepted an injected wall-clock violation" >&2
+    exit 1
+  fi
+  echo "injected violation rejected, as it must be"
+fi
+
+echo
+echo "lint gate passed"

@@ -12,6 +12,10 @@ echo "== clippy (workspace, all targets, -D warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
 echo
+echo "== tcp-lint (determinism / error-discipline invariants) =="
+cargo run --release -q -p tcp-lint -- --workspace
+
+echo
 echo "== fault-injection acceptance tests =="
 cargo test --test fault_injection
 
