@@ -6,10 +6,10 @@
 //! TCP win* — not just raw IPC — is visible per point.
 
 use crate::report::{f, Table};
+use crate::sweep::{Job, PrefetcherSpec, SweepEngine};
 use tcp_analysis::geometric_mean;
-use tcp_cache::NullPrefetcher;
-use tcp_core::{Tcp, TcpConfig};
-use tcp_sim::{run_benchmark, SystemConfig};
+use tcp_core::TcpConfig;
+use tcp_sim::SystemConfig;
 use tcp_workloads::Benchmark;
 
 /// One sweep point.
@@ -39,79 +39,45 @@ pub struct AblateSweep {
     pub points: Vec<AblatePoint>,
 }
 
-fn measure(benches: &[Benchmark], n_ops: u64, cfg: &SystemConfig, label: String) -> AblatePoint {
-    let geo = |runs: Vec<f64>| geometric_mean(&runs);
-    let base = geo(benches
-        .iter()
-        .map(|b| run_benchmark(b, n_ops, cfg, Box::new(NullPrefetcher)).ipc)
-        .collect());
-    let tcp = geo(benches
-        .iter()
-        .map(|b| run_benchmark(b, n_ops, cfg, Box::new(Tcp::new(TcpConfig::tcp_8k()))).ipc)
-        .collect());
-    AblatePoint {
-        label,
-        base_ipc: base,
-        tcp_ipc: tcp,
-    }
+/// One planned sweep point: which knob group it belongs to, its label,
+/// and the machine it measures.
+struct PlannedPoint {
+    knob: &'static str,
+    label: String,
+    cfg: SystemConfig,
 }
 
-/// Runs all six sweeps: MSHR count, memory-bus occupancy, prefetch
+/// Plans all six sweeps: MSHR count, memory-bus occupancy, prefetch
 /// buffer depth, branch-mispredict rate, victim-cache size, and L2
 /// replacement policy.
-pub fn run(benches: &[Benchmark], n_ops: u64) -> Vec<AblateSweep> {
-    let mut sweeps = Vec::new();
-
+fn plan() -> Vec<PlannedPoint> {
     let mut points = Vec::new();
+    let mut point = |knob, label: String, cfg| points.push(PlannedPoint { knob, label, cfg });
+
     for mshrs in [4usize, 16, 64] {
         let mut cfg = SystemConfig::table1();
         cfg.hierarchy.l1_mshrs = mshrs;
-        points.push(measure(benches, n_ops, &cfg, format!("mshrs={mshrs}")));
+        point("L1 MSHRs", format!("mshrs={mshrs}"), cfg);
     }
-    sweeps.push(AblateSweep {
-        knob: "L1 MSHRs",
-        points,
-    });
-
-    let mut points = Vec::new();
     for cycles in [2u64, 4, 8, 16] {
         let mut cfg = SystemConfig::table1();
         cfg.hierarchy.mem_bus_cycles = cycles;
-        points.push(measure(
-            benches,
-            n_ops,
-            &cfg,
+        point(
+            "memory bus occupancy / line",
             format!("mem_bus={cycles}cyc"),
-        ));
+            cfg,
+        );
     }
-    sweeps.push(AblateSweep {
-        knob: "memory bus occupancy / line",
-        points,
-    });
-
-    let mut points = Vec::new();
     for buf in [8usize, 32, 64] {
         let mut cfg = SystemConfig::table1();
         cfg.hierarchy.prefetch_buffer = buf;
-        points.push(measure(benches, n_ops, &cfg, format!("pf_buffer={buf}")));
+        point("in-flight prefetch budget", format!("pf_buffer={buf}"), cfg);
     }
-    sweeps.push(AblateSweep {
-        knob: "in-flight prefetch budget",
-        points,
-    });
-
-    let mut points = Vec::new();
     for pct in [0u8, 5, 10] {
         let mut cfg = SystemConfig::table1();
         cfg.core.branch_mispredict_pct = pct;
-        points.push(measure(benches, n_ops, &cfg, format!("mispredict={pct}%")));
+        point("branch mispredict rate", format!("mispredict={pct}%"), cfg);
     }
-    sweeps.push(AblateSweep {
-        knob: "branch mispredict rate",
-        points,
-    });
-
-    let mut points = Vec::new();
     for vc in [None, Some(8usize), Some(32)] {
         let mut cfg = SystemConfig::table1();
         cfg.hierarchy.victim_cache_entries = vc;
@@ -119,14 +85,8 @@ pub fn run(benches: &[Benchmark], n_ops: u64) -> Vec<AblateSweep> {
             None => "victim=off".to_owned(),
             Some(n) => format!("victim={n}"),
         };
-        points.push(measure(benches, n_ops, &cfg, label));
+        point("victim cache (Jouppi)", label, cfg);
     }
-    sweeps.push(AblateSweep {
-        knob: "victim cache (Jouppi)",
-        points,
-    });
-
-    let mut points = Vec::new();
     for (name, policy) in [
         ("lru", tcp_cache::Replacement::Lru),
         ("tree-plru", tcp_cache::Replacement::TreePlru),
@@ -134,13 +94,52 @@ pub fn run(benches: &[Benchmark], n_ops: u64) -> Vec<AblateSweep> {
     ] {
         let mut cfg = SystemConfig::table1();
         cfg.hierarchy.l2_replacement = policy;
-        points.push(measure(benches, n_ops, &cfg, format!("l2={name}")));
+        point("L2 replacement policy", format!("l2={name}"), cfg);
     }
-    sweeps.push(AblateSweep {
-        knob: "L2 replacement policy",
-        points,
-    });
+    points
+}
 
+/// Runs all six sweeps on a fresh engine.
+pub fn run(benches: &[Benchmark], n_ops: u64) -> Vec<AblateSweep> {
+    run_with(&SweepEngine::new(), benches, n_ops)
+}
+
+/// Runs all six sweeps through `engine` as one batch: every
+/// (point × benchmark × {baseline, TCP-8K}) simulation fans out across
+/// the work-stealing pool together — the Table 1 points that repeat
+/// across knob sweeps (e.g. `mshrs=64` *is* Table 1) dedup in the memo.
+pub fn run_with(engine: &SweepEngine, benches: &[Benchmark], n_ops: u64) -> Vec<AblateSweep> {
+    let planned = plan();
+    let jobs: Vec<Job> =
+        planned
+            .iter()
+            .flat_map(|p| {
+                benches
+                    .iter()
+                    .map(|b| Job::new(b, n_ops, &p.cfg, PrefetcherSpec::Null))
+                    .chain(benches.iter().map(|b| {
+                        Job::new(b, n_ops, &p.cfg, PrefetcherSpec::Tcp(TcpConfig::tcp_8k()))
+                    }))
+            })
+            .collect();
+    let results = engine.run(&jobs);
+    let mut sweeps: Vec<AblateSweep> = Vec::new();
+    for (p, group) in planned.iter().zip(results.chunks_exact(2 * benches.len())) {
+        let ipcs =
+            |runs: &[tcp_sim::RunResult]| -> Vec<f64> { runs.iter().map(|r| r.ipc).collect() };
+        let point = AblatePoint {
+            label: p.label.clone(),
+            base_ipc: geometric_mean(&ipcs(&group[..benches.len()])),
+            tcp_ipc: geometric_mean(&ipcs(&group[benches.len()..])),
+        };
+        match sweeps.last_mut() {
+            Some(s) if s.knob == p.knob => s.points.push(point),
+            _ => sweeps.push(AblateSweep {
+                knob: p.knob,
+                points: vec![point],
+            }),
+        }
+    }
     sweeps
 }
 

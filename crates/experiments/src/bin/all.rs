@@ -2,7 +2,15 @@
 //!
 //! Equivalent to running each `tableN`/`figNN` binary in order; useful
 //! for regenerating EXPERIMENTS.md data in one command.
+//!
+//! All IPC figures share one [`SweepEngine`], so simulation points that
+//! recur across figures (the no-prefetch baseline in Figures 1, 11, and
+//! 14; TCP-8K in Figures 11, 12, and 14; TCP-8M in Figures 11 and 12)
+//! simulate once and are served from memo thereafter — results are
+//! bit-identical to the per-figure binaries, which run the very same
+//! jobs on fresh engines.
 
+use tcp_experiments::sweep::SweepEngine;
 use tcp_experiments::{characterize, fig01, fig11, fig12, fig13, fig14, scale::Scale, table1};
 use tcp_mem::{SetIndex, Tag};
 use tcp_sim::SystemConfig;
@@ -11,10 +19,11 @@ use tcp_workloads::suite;
 fn main() {
     let scale = Scale::from_env();
     let benches = suite();
+    let engine = SweepEngine::new();
 
     println!("{}", table1::render(&SystemConfig::table1()).render());
 
-    let f1 = fig01::run(&benches, scale.sim_ops);
+    let f1 = fig01::run_with(&engine, &benches, scale.sim_ops);
     let t1 = fig01::render(&f1);
     println!("{}", t1.render());
     let _ = t1.write_csv("fig01");
@@ -71,27 +80,35 @@ fn main() {
     }
     println!();
 
-    let f11 = fig11::run(&benches, scale.sim_ops);
+    let f11 = fig11::run_with(&engine, &benches, scale.sim_ops);
     let t11 = fig11::render(&f11);
     println!("{}", t11.render());
     let _ = t11.write_csv("fig11");
 
-    let f12 = fig12::run(&benches, scale.sim_ops);
+    let f12 = fig12::run_with(&engine, &benches, scale.sim_ops);
     let t12a = fig12::render("Figure 12 (top): TCP-8K", &f12.tcp_8k);
     let t12b = fig12::render("Figure 12 (bottom): TCP-8M", &f12.tcp_8m);
     print!("{}\n{}\n", t12a.render(), t12b.render());
     let _ = t12a.write_csv("fig12_tcp8k");
     let _ = t12b.write_csv("fig12_tcp8m");
 
-    let f13 = fig13::run(&benches, (scale.sim_ops / 2).max(100_000));
+    let f13 = fig13::run_with(&engine, &benches, (scale.sim_ops / 2).max(100_000));
     let t13a = fig13::render_sizes(&f13);
     let t13b = fig13::render_index_bits(&f13);
     print!("{}\n{}\n", t13a.render(), t13b.render());
     let _ = t13a.write_csv("fig13_sizes");
     let _ = t13b.write_csv("fig13_index_bits");
 
-    let f14 = fig14::run(&benches, scale.sim_ops);
+    let f14 = fig14::run_with(&engine, &benches, scale.sim_ops);
     let t14 = fig14::render(&f14);
     println!("{}", t14.render());
     let _ = t14.write_csv("fig14");
+
+    let stats = engine.stats();
+    println!(
+        "sweep engine: {} simulations requested, {} executed, {} served from memo",
+        stats.requested,
+        stats.executed,
+        stats.memo_hits()
+    );
 }

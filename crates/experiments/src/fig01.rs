@@ -1,8 +1,8 @@
 //! Figure 1: potential IPC improvement with an ideal L2 data cache.
 
 use crate::report::{pct, Table};
-use tcp_cache::NullPrefetcher;
-use tcp_sim::{ipc_improvement, run_benchmark, SystemConfig};
+use crate::sweep::{Job, PrefetcherSpec, SweepEngine};
+use tcp_sim::{ipc_improvement, SystemConfig};
 use tcp_workloads::Benchmark;
 
 /// One benchmark's row of Figure 1.
@@ -18,20 +18,40 @@ pub struct Fig01Row {
     pub improvement_pct: f64,
 }
 
-/// Runs the Figure 1 limit study over `benchmarks`.
+/// Runs the Figure 1 limit study over `benchmarks` on a fresh engine.
 pub fn run(benchmarks: &[Benchmark], n_ops: u64) -> Vec<Fig01Row> {
+    run_with(&SweepEngine::new(), benchmarks, n_ops)
+}
+
+/// Runs the limit study through `engine`, sharing its memo — the
+/// no-prefetch Table 1 baselines here are the same simulations Figures
+/// 11 and 14 need.
+pub fn run_with(engine: &SweepEngine, benchmarks: &[Benchmark], n_ops: u64) -> Vec<Fig01Row> {
     let base_cfg = SystemConfig::table1();
     let ideal_cfg = SystemConfig::table1_ideal_l2();
-    tcp_sim::map_benchmarks_parallel(benchmarks, |b| {
-        let base = run_benchmark(b, n_ops, &base_cfg, Box::new(NullPrefetcher));
-        let ideal = run_benchmark(b, n_ops, &ideal_cfg, Box::new(NullPrefetcher));
-        Fig01Row {
-            benchmark: b.name.to_owned(),
-            base_ipc: base.ipc,
-            ideal_ipc: ideal.ipc,
-            improvement_pct: ipc_improvement(&base, &ideal),
-        }
-    })
+    let jobs: Vec<Job> = benchmarks
+        .iter()
+        .flat_map(|b| {
+            [
+                Job::new(b, n_ops, &base_cfg, PrefetcherSpec::Null),
+                Job::new(b, n_ops, &ideal_cfg, PrefetcherSpec::Null),
+            ]
+        })
+        .collect();
+    let results = engine.run(&jobs);
+    benchmarks
+        .iter()
+        .zip(results.chunks_exact(2))
+        .map(|(b, pair)| {
+            let (base, ideal) = (&pair[0], &pair[1]);
+            Fig01Row {
+                benchmark: b.name.to_owned(),
+                base_ipc: base.ipc,
+                ideal_ipc: ideal.ipc,
+                improvement_pct: ipc_improvement(base, ideal),
+            }
+        })
+        .collect()
 }
 
 /// Renders Figure 1 rows as a table (suite order = the paper's sort).

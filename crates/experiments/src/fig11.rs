@@ -2,10 +2,10 @@
 //! 2 MB correlation table — the paper's headline comparison.
 
 use crate::report::{pct, Table};
-use tcp_baselines::{Dbcp, DbcpConfig};
-use tcp_cache::NullPrefetcher;
-use tcp_core::{Tcp, TcpConfig};
-use tcp_sim::{ipc_improvement, run_benchmark, SystemConfig};
+use crate::sweep::{Job, PrefetcherSpec, SweepEngine};
+use tcp_baselines::DbcpConfig;
+use tcp_core::TcpConfig;
+use tcp_sim::{ipc_improvement, SystemConfig};
 use tcp_workloads::Benchmark;
 
 /// One benchmark's bars in Figure 11.
@@ -36,31 +36,41 @@ pub struct Fig11 {
     pub geomean_tcp8m_pct: f64,
 }
 
-/// Runs the Figure 11 comparison.
+/// Runs the Figure 11 comparison on a fresh engine.
 pub fn run(benchmarks: &[Benchmark], n_ops: u64) -> Fig11 {
+    run_with(&SweepEngine::new(), benchmarks, n_ops)
+}
+
+/// Runs the comparison through `engine`, sharing its memo: the baseline
+/// and TCP-8K/8M points here also feed Figures 1, 12, and 14.
+pub fn run_with(engine: &SweepEngine, benchmarks: &[Benchmark], n_ops: u64) -> Fig11 {
     let cfg = SystemConfig::table1();
-    let per_bench = tcp_sim::map_benchmarks_parallel(benchmarks, |b| {
-        let base = run_benchmark(b, n_ops, &cfg, Box::new(NullPrefetcher));
-        let dbcp = run_benchmark(b, n_ops, &cfg, Box::new(Dbcp::new(DbcpConfig::dbcp_2m())));
-        let t8k = run_benchmark(b, n_ops, &cfg, Box::new(Tcp::new(TcpConfig::tcp_8k())));
-        let t8m = run_benchmark(b, n_ops, &cfg, Box::new(Tcp::new(TcpConfig::tcp_8m())));
-        let ratios = (dbcp.ipc / base.ipc, t8k.ipc / base.ipc, t8m.ipc / base.ipc);
-        let row = Fig11Row {
-            benchmark: b.name.to_owned(),
-            base_ipc: base.ipc,
-            dbcp_pct: ipc_improvement(&base, &dbcp),
-            tcp8k_pct: ipc_improvement(&base, &t8k),
-            tcp8m_pct: ipc_improvement(&base, &t8m),
-        };
-        (row, ratios)
-    });
+    let jobs: Vec<Job> = benchmarks
+        .iter()
+        .flat_map(|b| {
+            [
+                Job::new(b, n_ops, &cfg, PrefetcherSpec::Null),
+                Job::new(b, n_ops, &cfg, PrefetcherSpec::Dbcp(DbcpConfig::dbcp_2m())),
+                Job::new(b, n_ops, &cfg, PrefetcherSpec::Tcp(TcpConfig::tcp_8k())),
+                Job::new(b, n_ops, &cfg, PrefetcherSpec::Tcp(TcpConfig::tcp_8m())),
+            ]
+        })
+        .collect();
+    let results = engine.run(&jobs);
     let mut rows = Vec::with_capacity(benchmarks.len());
     let mut ratios = (Vec::new(), Vec::new(), Vec::new());
-    for (row, (rd, r8k, r8m)) in per_bench {
-        rows.push(row);
-        ratios.0.push(rd);
-        ratios.1.push(r8k);
-        ratios.2.push(r8m);
+    for (b, group) in benchmarks.iter().zip(results.chunks_exact(4)) {
+        let (base, dbcp, t8k, t8m) = (&group[0], &group[1], &group[2], &group[3]);
+        rows.push(Fig11Row {
+            benchmark: b.name.to_owned(),
+            base_ipc: base.ipc,
+            dbcp_pct: ipc_improvement(base, dbcp),
+            tcp8k_pct: ipc_improvement(base, t8k),
+            tcp8m_pct: ipc_improvement(base, t8m),
+        });
+        ratios.0.push(dbcp.ipc / base.ipc);
+        ratios.1.push(t8k.ipc / base.ipc);
+        ratios.2.push(t8m.ipc / base.ipc);
     }
     let geo = |v: &[f64]| (tcp_analysis::geometric_mean(v) - 1.0) * 100.0;
     Fig11 {

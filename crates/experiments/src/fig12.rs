@@ -3,8 +3,9 @@
 //! TCP-8M (bottom), normalised to original L2 accesses.
 
 use crate::report::{pct, Table};
-use tcp_core::{Tcp, TcpConfig};
-use tcp_sim::{run_benchmark, SystemConfig};
+use crate::sweep::{Job, PrefetcherSpec, SweepEngine};
+use tcp_core::TcpConfig;
+use tcp_sim::SystemConfig;
 use tcp_workloads::Benchmark;
 
 /// One benchmark's stacked bar.
@@ -29,25 +30,44 @@ pub struct Fig12 {
     pub tcp_8m: Vec<Fig12Row>,
 }
 
-fn panel(benchmarks: &[Benchmark], n_ops: u64, cfg_of: fn() -> TcpConfig) -> Vec<Fig12Row> {
-    let cfg = SystemConfig::table1();
-    tcp_sim::map_benchmarks_parallel(benchmarks, |b| {
-        let r = run_benchmark(b, n_ops, &cfg, Box::new(Tcp::new(cfg_of())));
-        let (p, n, e) = r.stats.l2_breakdown.normalized();
-        Fig12Row {
-            benchmark: b.name.to_owned(),
-            prefetched_original: p,
-            non_prefetched_original: n,
-            prefetched_extra: e,
-        }
-    })
+fn panel(
+    engine: &SweepEngine,
+    benchmarks: &[Benchmark],
+    n_ops: u64,
+    cfg: TcpConfig,
+) -> Vec<Fig12Row> {
+    let sys = SystemConfig::table1();
+    let jobs: Vec<Job> = benchmarks
+        .iter()
+        .map(|b| Job::new(b, n_ops, &sys, PrefetcherSpec::Tcp(cfg)))
+        .collect();
+    benchmarks
+        .iter()
+        .zip(engine.run(&jobs))
+        .map(|(b, r)| {
+            let (p, n, e) = r.stats.l2_breakdown.normalized();
+            Fig12Row {
+                benchmark: b.name.to_owned(),
+                prefetched_original: p,
+                non_prefetched_original: n,
+                prefetched_extra: e,
+            }
+        })
+        .collect()
 }
 
-/// Runs both panels.
+/// Runs both panels on a fresh engine.
 pub fn run(benchmarks: &[Benchmark], n_ops: u64) -> Fig12 {
+    run_with(&SweepEngine::new(), benchmarks, n_ops)
+}
+
+/// Runs both panels through `engine` — at equal scale the TCP-8K and
+/// TCP-8M points are the very simulations Figure 11 already ran, so a
+/// shared engine serves this whole figure from memo.
+pub fn run_with(engine: &SweepEngine, benchmarks: &[Benchmark], n_ops: u64) -> Fig12 {
     Fig12 {
-        tcp_8k: panel(benchmarks, n_ops, TcpConfig::tcp_8k),
-        tcp_8m: panel(benchmarks, n_ops, TcpConfig::tcp_8m),
+        tcp_8k: panel(engine, benchmarks, n_ops, TcpConfig::tcp_8k()),
+        tcp_8m: panel(engine, benchmarks, n_ops, TcpConfig::tcp_8m()),
     }
 }
 

@@ -2,8 +2,9 @@
 //! of the number of miss-index bits in the PHT index (bottom).
 
 use crate::report::{f, Table};
-use tcp_core::{Tcp, TcpConfig};
-use tcp_sim::{run_suite_parallel, SystemConfig};
+use crate::sweep::{Job, PrefetcherSpec, SweepEngine};
+use tcp_core::TcpConfig;
+use tcp_sim::{RunResult, SystemConfig};
 use tcp_workloads::Benchmark;
 
 /// One point of the PHT-size sweep.
@@ -53,31 +54,74 @@ fn full_index_bits(bytes: usize) -> u32 {
     sets.trailing_zeros().min(10)
 }
 
-fn geomean_ipc(benchmarks: &[Benchmark], n_ops: u64, cfg: TcpConfig) -> f64 {
-    let sys = SystemConfig::table1();
-    run_suite_parallel(benchmarks, n_ops, &sys, || Box::new(Tcp::new(cfg)))
-        .geomean_ipc()
-        .expect("Figure 13 sweeps run shipped benchmarks on the Table 1 machine")
+/// Geometric-mean IPC of one configuration's chunk of suite results,
+/// with the same domain rules as [`tcp_sim::SuiteResult::geomean_ipc`].
+fn geomean_of(runs: &[RunResult]) -> f64 {
+    let ipcs: Vec<f64> = runs.iter().map(|r| r.ipc).collect();
+    if ipcs.is_empty() || ipcs.iter().any(|&v| !(v > 0.0 && v.is_finite())) {
+        panic!("Figure 13 sweeps run shipped benchmarks on the Table 1 machine");
+    }
+    let log_sum: f64 = ipcs.iter().map(|v| v.ln()).sum();
+    (log_sum / ipcs.len() as f64).exp()
 }
 
-/// Runs both sweeps.
+#[cfg(test)]
+fn geomean_ipc(benchmarks: &[Benchmark], n_ops: u64, cfg: TcpConfig) -> f64 {
+    let sys = SystemConfig::table1();
+    let jobs: Vec<Job> = benchmarks
+        .iter()
+        .map(|b| Job::new(b, n_ops, &sys, PrefetcherSpec::Tcp(cfg)))
+        .collect();
+    geomean_of(&SweepEngine::new().run(&jobs))
+}
+
+/// Runs both sweeps on a fresh engine.
 pub fn run(benchmarks: &[Benchmark], n_ops: u64) -> Fig13 {
+    run_with(&SweepEngine::new(), benchmarks, n_ops)
+}
+
+/// Runs both sweeps through `engine` as **one** batch: every PHT
+/// configuration of both panels fans out together, so the work-stealing
+/// pool crosses configuration boundaries without a join barrier per
+/// point (the bottom panel's 8 KB point also dedups against the top
+/// panel's when the index widths coincide).
+pub fn run_with(engine: &SweepEngine, benchmarks: &[Benchmark], n_ops: u64) -> Fig13 {
+    let sys = SystemConfig::table1();
+    let size_configs: Vec<TcpConfig> = SIZES
+        .iter()
+        .flat_map(|&bytes| {
+            [
+                TcpConfig::with_pht_bytes(bytes, 0),
+                TcpConfig::with_pht_bytes(bytes, full_index_bits(bytes)),
+            ]
+        })
+        .collect();
+    let bit_configs: Vec<TcpConfig> = (0..=3u32)
+        .map(|bits| TcpConfig::with_pht_bytes(8 * 1024, bits))
+        .collect();
+    let jobs: Vec<Job> = size_configs
+        .iter()
+        .chain(&bit_configs)
+        .flat_map(|cfg| {
+            benchmarks
+                .iter()
+                .map(|b| Job::new(b, n_ops, &sys, PrefetcherSpec::Tcp(*cfg)))
+        })
+        .collect();
+    let results = engine.run(&jobs);
+    let mut chunks = results.chunks_exact(benchmarks.len());
     let sizes = SIZES
         .iter()
         .map(|&bytes| SizePoint {
             pht_bytes: bytes,
-            ipc_shared: geomean_ipc(benchmarks, n_ops, TcpConfig::with_pht_bytes(bytes, 0)),
-            ipc_full_index: geomean_ipc(
-                benchmarks,
-                n_ops,
-                TcpConfig::with_pht_bytes(bytes, full_index_bits(bytes)),
-            ),
+            ipc_shared: geomean_of(chunks.next().expect("one chunk per size config")),
+            ipc_full_index: geomean_of(chunks.next().expect("one chunk per size config")),
         })
         .collect();
     let index_bits = (0..=3u32)
         .map(|bits| IndexBitsPoint {
             bits,
-            ipc: geomean_ipc(benchmarks, n_ops, TcpConfig::with_pht_bytes(8 * 1024, bits)),
+            ipc: geomean_of(chunks.next().expect("one chunk per index-bit config")),
         })
         .collect();
     Fig13 { sizes, index_bits }

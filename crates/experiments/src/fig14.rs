@@ -2,9 +2,9 @@
 //! also promotes into L1 under dead-block prediction (Hybrid-8K).
 
 use crate::report::{pct, Table};
-use tcp_cache::NullPrefetcher;
-use tcp_core::{DbpConfig, HybridTcp, Tcp, TcpConfig};
-use tcp_sim::{ipc_improvement, run_benchmark, SystemConfig};
+use crate::sweep::{Job, PrefetcherSpec, SweepEngine};
+use tcp_core::{DbpConfig, TcpConfig};
+use tcp_sim::{ipc_improvement, SystemConfig};
 use tcp_workloads::Benchmark;
 
 /// One benchmark's pair of bars.
@@ -18,26 +18,50 @@ pub struct Fig14Row {
     pub hybrid_pct: f64,
 }
 
-/// Runs the Figure 14 comparison. The hybrid machine gains the dedicated
-/// prefetch bus the paper adds for this study.
+/// Runs the Figure 14 comparison on a fresh engine. The hybrid machine
+/// gains the dedicated prefetch bus the paper adds for this study.
 pub fn run(benchmarks: &[Benchmark], n_ops: u64) -> Vec<Fig14Row> {
+    run_with(&SweepEngine::new(), benchmarks, n_ops)
+}
+
+/// Runs the comparison through `engine` — the baseline and TCP-8K points
+/// are shared with Figures 1 and 11 when the engine is.
+pub fn run_with(engine: &SweepEngine, benchmarks: &[Benchmark], n_ops: u64) -> Vec<Fig14Row> {
     let base_cfg = SystemConfig::table1();
     let hybrid_cfg = SystemConfig::table1_with_prefetch_bus();
-    tcp_sim::map_benchmarks_parallel(benchmarks, |b| {
-        let base = run_benchmark(b, n_ops, &base_cfg, Box::new(NullPrefetcher));
-        let tcp = run_benchmark(b, n_ops, &base_cfg, Box::new(Tcp::new(TcpConfig::tcp_8k())));
-        let hybrid = run_benchmark(
-            b,
-            n_ops,
-            &hybrid_cfg,
-            Box::new(HybridTcp::new(TcpConfig::tcp_8k(), DbpConfig::default())),
-        );
-        Fig14Row {
-            benchmark: b.name.to_owned(),
-            tcp8k_pct: ipc_improvement(&base, &tcp),
-            hybrid_pct: ipc_improvement(&base, &hybrid),
-        }
-    })
+    let jobs: Vec<Job> = benchmarks
+        .iter()
+        .flat_map(|b| {
+            [
+                Job::new(b, n_ops, &base_cfg, PrefetcherSpec::Null),
+                Job::new(
+                    b,
+                    n_ops,
+                    &base_cfg,
+                    PrefetcherSpec::Tcp(TcpConfig::tcp_8k()),
+                ),
+                Job::new(
+                    b,
+                    n_ops,
+                    &hybrid_cfg,
+                    PrefetcherSpec::HybridTcp(TcpConfig::tcp_8k(), DbpConfig::default()),
+                ),
+            ]
+        })
+        .collect();
+    let results = engine.run(&jobs);
+    benchmarks
+        .iter()
+        .zip(results.chunks_exact(3))
+        .map(|(b, group)| {
+            let (base, tcp, hybrid) = (&group[0], &group[1], &group[2]);
+            Fig14Row {
+                benchmark: b.name.to_owned(),
+                tcp8k_pct: ipc_improvement(base, tcp),
+                hybrid_pct: ipc_improvement(base, hybrid),
+            }
+        })
+        .collect()
 }
 
 /// Renders the figure.

@@ -36,4 +36,5 @@ pub mod plot;
 pub mod report;
 pub mod scale;
 pub mod sec6;
+pub mod sweep;
 pub mod table1;

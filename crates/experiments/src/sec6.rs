@@ -11,9 +11,9 @@
 //!   accuracy exactly as the paper anticipates.
 
 use crate::report::{pct, Table};
-use tcp_cache::{NullPrefetcher, Prefetcher};
-use tcp_core::{PhtConfig, StrideAugmentedTcp, Tcp, TcpConfig};
-use tcp_sim::{ipc_improvement, run_benchmark, SystemConfig};
+use crate::sweep::{Job, PrefetcherSpec, SweepEngine};
+use tcp_core::{PhtConfig, TcpConfig};
+use tcp_sim::{ipc_improvement, SystemConfig};
 use tcp_workloads::Benchmark;
 
 /// One benchmark's improvements under each extension.
@@ -31,8 +31,14 @@ pub struct Sec6Row {
     pub multi_target_pct: f64,
 }
 
-/// Runs the Section 6 comparison.
+/// Runs the Section 6 comparison on a fresh engine.
 pub fn run(benchmarks: &[Benchmark], n_ops: u64) -> Vec<Sec6Row> {
+    run_with(&SweepEngine::new(), benchmarks, n_ops)
+}
+
+/// Runs the comparison through `engine`, sharing the no-prefetch baseline
+/// and TCP-8K points with the main figures.
+pub fn run_with(engine: &SweepEngine, benchmarks: &[Benchmark], n_ops: u64) -> Vec<Sec6Row> {
     let machine = SystemConfig::table1();
     let two_target = TcpConfig {
         pht: PhtConfig {
@@ -41,22 +47,34 @@ pub fn run(benchmarks: &[Benchmark], n_ops: u64) -> Vec<Sec6Row> {
         },
         ..TcpConfig::tcp_8k()
     };
-    tcp_sim::map_benchmarks_parallel(benchmarks, |b| {
-        let base = run_benchmark(b, n_ops, &machine, Box::new(NullPrefetcher));
-        let gain = |p: Box<dyn Prefetcher>| {
-            let r = run_benchmark(b, n_ops, &machine, p);
-            ipc_improvement(&base, &r)
-        };
-        Sec6Row {
-            benchmark: b.name.to_owned(),
-            tcp8k_pct: gain(Box::new(Tcp::new(TcpConfig::tcp_8k()))),
-            tcp2k_pct: gain(Box::new(Tcp::new(TcpConfig::with_pht_bytes(2 * 1024, 0)))),
-            strided2k_pct: gain(Box::new(StrideAugmentedTcp::new(
-                TcpConfig::with_pht_bytes(2 * 1024, 0),
-            ))),
-            multi_target_pct: gain(Box::new(Tcp::new(two_target))),
-        }
-    })
+    let tcp_2k = TcpConfig::with_pht_bytes(2 * 1024, 0);
+    let jobs: Vec<Job> = benchmarks
+        .iter()
+        .flat_map(|b| {
+            [
+                Job::new(b, n_ops, &machine, PrefetcherSpec::Null),
+                Job::new(b, n_ops, &machine, PrefetcherSpec::Tcp(TcpConfig::tcp_8k())),
+                Job::new(b, n_ops, &machine, PrefetcherSpec::Tcp(tcp_2k)),
+                Job::new(b, n_ops, &machine, PrefetcherSpec::StrideTcp(tcp_2k)),
+                Job::new(b, n_ops, &machine, PrefetcherSpec::Tcp(two_target)),
+            ]
+        })
+        .collect();
+    let results = engine.run(&jobs);
+    benchmarks
+        .iter()
+        .zip(results.chunks_exact(5))
+        .map(|(b, group)| {
+            let base = &group[0];
+            Sec6Row {
+                benchmark: b.name.to_owned(),
+                tcp8k_pct: ipc_improvement(base, &group[1]),
+                tcp2k_pct: ipc_improvement(base, &group[2]),
+                strided2k_pct: ipc_improvement(base, &group[3]),
+                multi_target_pct: ipc_improvement(base, &group[4]),
+            }
+        })
+        .collect()
 }
 
 /// Renders the comparison.

@@ -1,0 +1,438 @@
+//! The deterministic sweep engine: memoized simulation jobs for the whole
+//! experiment harness.
+//!
+//! Every figure of the paper boils down to the same primitive — *simulate
+//! benchmark B for N ops on machine M with prefetcher P* — and the
+//! figures overlap heavily: Figures 1, 11, and 14 all need the
+//! no-prefetch Table 1 baseline of every benchmark, Figures 11, 12, and
+//! 14 all need TCP-8K, and so on. Run figure by figure, the harness
+//! simulates those shared points again and again.
+//!
+//! [`SweepEngine`] fixes both the recomputation and the scheduling: a
+//! figure describes its simulations as [`Job`] values and submits the
+//! whole batch at once. The engine deduplicates jobs against a persistent
+//! memo keyed by the job's full identity (benchmark workload spec, op
+//! count, machine configuration, prefetcher configuration), executes only
+//! the missing ones on the work-stealing pool of
+//! [`tcp_sim::sweep::run_jobs_stealing`], and returns results in
+//! submission order. Sharing one engine across figures (as `--bin all`
+//! does) removes roughly half of all simulation work at zero cost in
+//! fidelity: simulations are bit-deterministic, so a memoized result is
+//! indistinguishable from a re-run.
+//!
+//! # Examples
+//!
+//! ```
+//! use tcp_experiments::sweep::{Job, PrefetcherSpec, SweepEngine};
+//! use tcp_sim::SystemConfig;
+//! use tcp_workloads::suite;
+//!
+//! let bench = &suite()[0];
+//! let machine = SystemConfig::table1();
+//! let engine = SweepEngine::with_threads(2);
+//! let jobs = vec![
+//!     Job::new(bench, 10_000, &machine, PrefetcherSpec::Null),
+//!     Job::new(bench, 10_000, &machine, PrefetcherSpec::Null),
+//! ];
+//! let results = engine.run(&jobs);
+//! assert_eq!(results[0].cycles, results[1].cycles);
+//! assert_eq!(engine.stats().executed, 1); // the duplicate was memoized
+//! ```
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use tcp_baselines::{Dbcp, DbcpConfig};
+use tcp_cache::{NullPrefetcher, Prefetcher};
+use tcp_core::{DbpConfig, HybridTcp, StrideAugmentedTcp, Tcp, TcpConfig};
+use tcp_sim::{run_benchmark, RunResult, SystemConfig};
+use tcp_workloads::Benchmark;
+
+/// A buildable, comparable description of a prefetch engine.
+///
+/// The suite runners take opaque factory closures; the sweep engine needs
+/// *values* so two jobs wanting the same engine can be recognised as
+/// equal. Every prefetcher the experiment harness uses has a variant
+/// here.
+#[derive(Clone, Copy, Debug)]
+pub enum PrefetcherSpec {
+    /// No prefetching (the baseline machine).
+    Null,
+    /// Tag-correlating prefetcher with the given configuration.
+    Tcp(TcpConfig),
+    /// TCP with the per-set stride fast path (Section 6).
+    StrideTcp(TcpConfig),
+    /// TCP plus dead-block-predicted L1 promotion (the Figure 14 hybrid).
+    HybridTcp(TcpConfig, DbpConfig),
+    /// Address-based dead-block correlating prefetcher (the paper's
+    /// main comparison point).
+    Dbcp(DbcpConfig),
+}
+
+impl PrefetcherSpec {
+    /// Instantiates a fresh engine for one simulation run.
+    pub fn build(&self) -> Box<dyn Prefetcher + Send> {
+        match self {
+            PrefetcherSpec::Null => Box::new(NullPrefetcher),
+            PrefetcherSpec::Tcp(cfg) => Box::new(Tcp::new(*cfg)),
+            PrefetcherSpec::StrideTcp(cfg) => Box::new(StrideAugmentedTcp::new(*cfg)),
+            PrefetcherSpec::HybridTcp(tcp, dbp) => Box::new(HybridTcp::new(*tcp, *dbp)),
+            PrefetcherSpec::Dbcp(cfg) => Box::new(Dbcp::new(*cfg)),
+        }
+    }
+}
+
+/// One simulation request: benchmark × scale × machine × prefetcher.
+///
+/// A job's identity (its memo key) covers everything that can change the
+/// simulated outcome, including the benchmark's full workload spec — two
+/// benchmarks that merely share a name do not alias.
+#[derive(Clone, Debug)]
+pub struct Job {
+    /// The workload to simulate.
+    pub benchmark: Benchmark,
+    /// Micro-ops to simulate (half are the unmeasured warm-up, exactly as
+    /// [`tcp_sim::run_benchmark`] does).
+    pub n_ops: u64,
+    /// The machine to simulate on.
+    pub machine: SystemConfig,
+    /// The prefetch engine to attach.
+    pub prefetcher: PrefetcherSpec,
+}
+
+impl Job {
+    /// Builds a job for `benchmark` (cloned) at `n_ops` on `machine`.
+    pub fn new(
+        benchmark: &Benchmark,
+        n_ops: u64,
+        machine: &SystemConfig,
+        prefetcher: PrefetcherSpec,
+    ) -> Self {
+        Job {
+            benchmark: benchmark.clone(),
+            n_ops,
+            machine: *machine,
+            prefetcher,
+        }
+    }
+
+    /// Canonical identity of this simulation. All components are plain
+    /// data with derived `Debug`, which renders every field — so equal
+    /// keys imply identical simulation inputs, and the simulator's
+    /// bit-determinism turns that into identical outputs.
+    fn key(&self) -> String {
+        format!(
+            "{}|{}|{:?}|{:?}|{:?}",
+            self.benchmark.name, self.n_ops, self.benchmark.spec, self.machine, self.prefetcher
+        )
+    }
+}
+
+/// Cumulative accounting across every batch an engine has served.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Simulation results requested (total jobs submitted).
+    pub requested: usize,
+    /// Simulations actually executed.
+    pub executed: usize,
+}
+
+impl EngineStats {
+    /// Requests served from the memo instead of simulating.
+    pub fn memo_hits(&self) -> usize {
+        self.requested - self.executed
+    }
+}
+
+/// A memoizing, work-stealing runner for batches of simulation [`Job`]s.
+///
+/// The memo persists for the engine's lifetime, so figures that share an
+/// engine share results across batches. The engine is `Sync`; concurrent
+/// batches are safe (a key raced by two batches is simulated twice, both
+/// producing the identical deterministic result) but the harness submits
+/// batches sequentially.
+#[derive(Debug)]
+pub struct SweepEngine {
+    threads: usize,
+    memo: Mutex<BTreeMap<String, RunResult>>,
+    stats: Mutex<EngineStats>,
+}
+
+impl Default for SweepEngine {
+    fn default() -> Self {
+        SweepEngine::new()
+    }
+}
+
+impl SweepEngine {
+    /// An engine sized to the machine's available parallelism.
+    pub fn new() -> Self {
+        SweepEngine::with_threads(tcp_sim::sweep::default_threads())
+    }
+
+    /// An engine with an explicit worker count. Results are independent
+    /// of `threads`; only wall-clock time changes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn with_threads(threads: usize) -> Self {
+        assert!(threads > 0, "sweep engine needs at least one thread");
+        SweepEngine {
+            threads,
+            memo: Mutex::new(BTreeMap::new()),
+            stats: Mutex::new(EngineStats::default()),
+        }
+    }
+
+    /// Runs a batch of jobs and returns one [`RunResult`] per job, in
+    /// submission order.
+    ///
+    /// Jobs whose key is already memoized (from this batch or any earlier
+    /// one) are served by cloning the stored result; the rest execute on
+    /// the work-stealing pool, each distinct key exactly once.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first (in submission order) panic from an executing
+    /// simulation, matching the panicking [`run_benchmark`] contract the
+    /// figure modules rely on.
+    pub fn run(&self, jobs: &[Job]) -> Vec<RunResult> {
+        let keys: Vec<String> = jobs.iter().map(Job::key).collect();
+        // First unmemoized occurrence of each distinct key in this batch.
+        let mut to_run: Vec<usize> = Vec::new();
+        {
+            let memo = lock(&self.memo);
+            let mut fresh: BTreeMap<&str, ()> = BTreeMap::new();
+            for (i, key) in keys.iter().enumerate() {
+                if !memo.contains_key(key) && fresh.insert(key.as_str(), ()).is_none() {
+                    to_run.push(i);
+                }
+            }
+        }
+        // Simulate the missing points without holding the memo lock.
+        let executed = tcp_sim::sweep::run_jobs_stealing(to_run.len(), self.threads, |u| {
+            let job = &jobs[to_run[u]];
+            run_benchmark(
+                &job.benchmark,
+                job.n_ops,
+                &job.machine,
+                job.prefetcher.build(),
+            )
+        });
+        let mut memo = lock(&self.memo);
+        for (&i, result) in to_run.iter().zip(executed) {
+            memo.insert(keys[i].clone(), result);
+        }
+        let out = keys
+            .iter()
+            .map(|key| {
+                memo.get(key)
+                    .cloned()
+                    .expect("every submitted key was memoized or just executed")
+            })
+            .collect();
+        let mut stats = lock(&self.stats);
+        stats.requested += jobs.len();
+        stats.executed += to_run.len();
+        out
+    }
+
+    /// Cumulative request/execution counts since the engine was built.
+    pub fn stats(&self) -> EngineStats {
+        *lock(&self.stats)
+    }
+
+    /// Distinct simulation points currently memoized.
+    pub fn memo_len(&self) -> usize {
+        lock(&self.memo).len()
+    }
+
+    /// Worker threads this engine simulates on.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+}
+
+/// Locks ignoring poisoning: the guarded state (memo map, counters) is
+/// only mutated by infallible inserts and additions, so a panic elsewhere
+/// cannot leave it torn.
+fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcp_workloads::suite;
+
+    fn picks(names: &[&str]) -> Vec<Benchmark> {
+        suite()
+            .into_iter()
+            .filter(|b| names.contains(&b.name))
+            .collect()
+    }
+
+    #[test]
+    fn engine_matches_direct_run_bit_for_bit() {
+        let benches = picks(&["gzip", "art"]);
+        let machine = SystemConfig::table1();
+        let engine = SweepEngine::with_threads(2);
+        let jobs: Vec<Job> = benches
+            .iter()
+            .map(|b| {
+                Job::new(
+                    b,
+                    20_000,
+                    &machine,
+                    PrefetcherSpec::Tcp(TcpConfig::tcp_8k()),
+                )
+            })
+            .collect();
+        let results = engine.run(&jobs);
+        for (b, r) in benches.iter().zip(&results) {
+            let direct =
+                run_benchmark(b, 20_000, &machine, Box::new(Tcp::new(TcpConfig::tcp_8k())));
+            assert_eq!(r.cycles, direct.cycles, "{}", b.name);
+            assert_eq!(r.stats, direct.stats, "{}", b.name);
+            assert_eq!(r.ipc, direct.ipc, "{}", b.name);
+            assert_eq!(r.prefetcher, direct.prefetcher, "{}", b.name);
+        }
+    }
+
+    #[test]
+    fn duplicates_within_a_batch_simulate_once() {
+        let benches = picks(&["gzip"]);
+        let machine = SystemConfig::table1();
+        let engine = SweepEngine::with_threads(2);
+        let job = Job::new(&benches[0], 10_000, &machine, PrefetcherSpec::Null);
+        let results = engine.run(&[job.clone(), job.clone(), job]);
+        assert_eq!(results.len(), 3);
+        assert_eq!(results[0].cycles, results[1].cycles);
+        assert_eq!(results[0].stats, results[2].stats);
+        assert_eq!(
+            engine.stats(),
+            EngineStats {
+                requested: 3,
+                executed: 1
+            }
+        );
+        assert_eq!(engine.stats().memo_hits(), 2);
+        assert_eq!(engine.memo_len(), 1);
+    }
+
+    #[test]
+    fn memo_persists_across_batches() {
+        let benches = picks(&["swim"]);
+        let machine = SystemConfig::table1();
+        let engine = SweepEngine::with_threads(2);
+        let job = Job::new(&benches[0], 10_000, &machine, PrefetcherSpec::Null);
+        let first = engine.run(std::slice::from_ref(&job));
+        let second = engine.run(std::slice::from_ref(&job));
+        assert_eq!(first[0].cycles, second[0].cycles);
+        assert_eq!(first[0].stats, second[0].stats);
+        assert_eq!(
+            engine.stats(),
+            EngineStats {
+                requested: 2,
+                executed: 1
+            }
+        );
+    }
+
+    #[test]
+    fn distinct_configurations_do_not_alias() {
+        let benches = picks(&["gzip"]);
+        let machine = SystemConfig::table1();
+        let ideal = SystemConfig::table1_ideal_l2();
+        let engine = SweepEngine::with_threads(2);
+        let jobs = vec![
+            Job::new(&benches[0], 10_000, &machine, PrefetcherSpec::Null),
+            Job::new(&benches[0], 10_000, &ideal, PrefetcherSpec::Null),
+            Job::new(&benches[0], 12_000, &machine, PrefetcherSpec::Null),
+            Job::new(
+                &benches[0],
+                10_000,
+                &machine,
+                PrefetcherSpec::Tcp(TcpConfig::tcp_8k()),
+            ),
+        ];
+        let results = engine.run(&jobs);
+        assert_eq!(results.len(), 4);
+        assert_eq!(engine.stats().executed, 4, "all four points are distinct");
+        assert!(
+            results[1].cycles < results[0].cycles,
+            "ideal L2 must be faster"
+        );
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let benches = picks(&["gzip", "art", "swim"]);
+        let machine = SystemConfig::table1();
+        let jobs: Vec<Job> = benches
+            .iter()
+            .flat_map(|b| {
+                [
+                    Job::new(b, 15_000, &machine, PrefetcherSpec::Null),
+                    Job::new(
+                        b,
+                        15_000,
+                        &machine,
+                        PrefetcherSpec::Tcp(TcpConfig::tcp_8k()),
+                    ),
+                ]
+            })
+            .collect();
+        let reference = SweepEngine::with_threads(1).run(&jobs);
+        for threads in [2, 8] {
+            let got = SweepEngine::with_threads(threads).run(&jobs);
+            assert_eq!(got.len(), reference.len());
+            for (a, b) in reference.iter().zip(&got) {
+                assert_eq!(a.cycles, b.cycles, "{threads} threads: {}", a.benchmark);
+                assert_eq!(a.stats, b.stats, "{threads} threads: {}", a.benchmark);
+                assert_eq!(a.ipc, b.ipc, "{threads} threads: {}", a.benchmark);
+            }
+        }
+    }
+
+    #[test]
+    fn every_prefetcher_spec_builds_and_runs() {
+        let benches = picks(&["ammp"]);
+        let machine = SystemConfig::table1();
+        let engine = SweepEngine::with_threads(2);
+        let specs = [
+            PrefetcherSpec::Null,
+            PrefetcherSpec::Tcp(TcpConfig::tcp_8k()),
+            PrefetcherSpec::StrideTcp(TcpConfig::with_pht_bytes(2 * 1024, 0)),
+            PrefetcherSpec::HybridTcp(TcpConfig::tcp_8k(), DbpConfig::default()),
+            PrefetcherSpec::Dbcp(DbcpConfig::dbcp_2m()),
+        ];
+        let jobs: Vec<Job> = specs
+            .iter()
+            .map(|s| Job::new(&benches[0], 10_000, &machine, *s))
+            .collect();
+        let results = engine.run(&jobs);
+        assert_eq!(results.len(), specs.len());
+        assert_eq!(engine.stats().executed, specs.len());
+        for r in &results {
+            assert!(r.ipc > 0.0, "{}", r.prefetcher);
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let engine = SweepEngine::with_threads(2);
+        assert!(engine.run(&[]).is_empty());
+        assert_eq!(engine.stats(), EngineStats::default());
+        assert_eq!(engine.memo_len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected() {
+        let _ = SweepEngine::with_threads(0);
+    }
+}

@@ -11,6 +11,7 @@ use tcp_analysis::{miss_stream, read_trace, write_trace, MissRecord};
 use tcp_cache::{Cache, L1MissInfo, MemoryHierarchy, NullPrefetcher, Prefetcher, Replacement};
 use tcp_core::{Tcp, TcpConfig};
 use tcp_cpu::{MicroOp, OooCore};
+use tcp_experiments::sweep::{Job, PrefetcherSpec, SweepEngine};
 use tcp_mem::{Addr, MemAccess};
 use tcp_sim::{run_suite_parallel, SystemConfig};
 use tcp_workloads::{suite, Benchmark};
@@ -51,6 +52,10 @@ pub const CASES: &[CaseSpec] = &[
     CaseSpec {
         name: "suite_parallel",
         about: "run_suite_parallel over all 26 benchmarks with TCP-8K (the full-sweep hot path)",
+    },
+    CaseSpec {
+        name: "sweep_memoized",
+        about: "SweepEngine over a duplicate-heavy job list (work-stealing fan-out + memo dedup)",
     },
 ];
 
@@ -218,6 +223,34 @@ fn suite_parallel(smoke: bool, opts: MeasureOpts) -> CaseResult {
     })
 }
 
+fn sweep_memoized(smoke: bool, opts: MeasureOpts) -> CaseResult {
+    let n_ops: u64 = if smoke { 8_000 } else { 30_000 };
+    let benches = suite();
+    let machine = SystemConfig::table1();
+    // The figure harnesses re-request the same baseline and TCP-8K points
+    // over and over; three repeats per benchmark reproduces that shape,
+    // so the measured region covers dedup, fan-out, and memo assembly.
+    let jobs: Vec<Job> = benches
+        .iter()
+        .flat_map(|b| {
+            [
+                Job::new(b, n_ops, &machine, PrefetcherSpec::Null),
+                Job::new(b, n_ops, &machine, PrefetcherSpec::Tcp(TcpConfig::tcp_8k())),
+            ]
+        })
+        .collect();
+    let jobs: Vec<Job> = jobs.iter().cycle().take(jobs.len() * 3).cloned().collect();
+    let units = jobs.len() as u64 * n_ops;
+    measure("sweep_memoized", "uops", units, opts, || {
+        let engine = SweepEngine::new();
+        let results = engine.run(&jobs);
+        let stats = engine.stats();
+        assert_eq!(stats.requested, jobs.len());
+        assert_eq!(stats.executed, jobs.len() / 3, "memo must dedup repeats");
+        results.iter().map(|r| r.cycles).sum()
+    })
+}
+
 /// Runs every case whose name contains `filter` (all when `None`),
 /// invoking `progress` after each. `smoke` selects the small input sizes.
 pub fn run_cases(
@@ -240,6 +273,7 @@ pub fn run_cases(
             "trace_decode" => trace_decode(smoke, opts),
             "cache_fill_churn" => cache_fill_churn(smoke, opts),
             "suite_parallel" => suite_parallel(smoke, opts),
+            "sweep_memoized" => sweep_memoized(smoke, opts),
             other => unreachable!("unknown case {other}"),
         };
         progress(&result);

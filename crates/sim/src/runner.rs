@@ -458,16 +458,19 @@ where
     T: Send,
     F: Fn(&Benchmark) -> T + Sync,
 {
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4);
-    map_benchmarks_parallel_with_threads(benchmarks, threads, f)
+    map_benchmarks_parallel_with_threads(benchmarks, crate::sweep::default_threads(), f)
 }
 
 /// [`map_benchmarks_parallel`] with an explicit worker-thread count
 /// instead of the machine's available parallelism. Results are
 /// independent of `threads` — the determinism tests sweep 1, 2, and 8
 /// workers and require identical outcomes.
+///
+/// Scheduling rides on the work-stealing pool of
+/// [`crate::sweep::run_jobs_stealing`]: each worker owns a contiguous
+/// block of suite indices and steals from other blocks' tails when its
+/// own drains, so one pathologically slow benchmark does not leave the
+/// remaining workers idle behind a shared-counter tail.
 ///
 /// # Panics
 ///
@@ -482,45 +485,7 @@ where
     T: Send,
     F: Fn(&Benchmark) -> T + Sync,
 {
-    assert!(threads > 0, "worker pool needs at least one thread");
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let mut slots: Vec<Option<std::thread::Result<T>>> = benchmarks.iter().map(|_| None).collect();
-    let slot_cells: Vec<std::sync::Mutex<&mut Option<std::thread::Result<T>>>> =
-        slots.iter_mut().map(std::sync::Mutex::new).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..threads.min(benchmarks.len().max(1)) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= benchmarks.len() {
-                    break;
-                }
-                let result = catch_unwind(AssertUnwindSafe(|| f(&benchmarks[i])));
-                // A poisoned slot lock can only mean a panic between lock
-                // and store below — the value is still absent, and the
-                // owning iteration's panic is already recorded, so taking
-                // the lock anyway is sound.
-                **slot_cells[i].lock().unwrap_or_else(|p| p.into_inner()) = Some(result);
-            });
-        }
-    });
-    drop(slot_cells);
-    let mut out = Vec::with_capacity(benchmarks.len());
-    let mut first_panic = None;
-    for slot in slots {
-        // tcp-lint: allow(panic-in-library) — scope join guarantees every slot was written
-        match slot.expect("every benchmark processed") {
-            Ok(v) => out.push(v),
-            Err(payload) => {
-                if first_panic.is_none() {
-                    first_panic = Some(payload);
-                }
-            }
-        }
-    }
-    if let Some(payload) = first_panic {
-        std::panic::resume_unwind(payload);
-    }
-    out
+    crate::sweep::run_jobs_stealing(benchmarks.len(), threads, |i| f(&benchmarks[i]))
 }
 
 /// Like [`run_suite`] but simulating benchmarks on worker threads.

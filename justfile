@@ -48,6 +48,10 @@ perf-baseline:
 demo-faults:
     cargo run --release --example fault_injection
 
+# Sweep-engine demo: shared-engine figures, bit-identity check, memo savings.
+demo-sweep:
+    cargo run --release --example sweep_report
+
 # Regenerate every table and figure.
 figures:
     cargo run --release -p tcp-experiments --bin all

@@ -20,6 +20,10 @@ echo "== fault-injection acceptance tests =="
 cargo test --test fault_injection
 
 echo
+echo "== sweep-engine determinism tests (executor + memo + cross-figure) =="
+cargo test --test sweep_engine
+
+echo
 echo "== error-layer unit tests (tcp-sim, tcp-cache, tcp-analysis) =="
 cargo test -p tcp-sim
 cargo test -p tcp-cache error
