@@ -88,7 +88,9 @@ impl std::error::Error for TraceError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             TraceError::Io(e) => Some(e),
-            _ => None,
+            TraceError::BadMagic { .. }
+            | TraceError::UnsupportedVersion { .. }
+            | TraceError::Truncated { .. } => None,
         }
     }
 }

@@ -3,9 +3,13 @@
 //! The reproduction's credibility rests on bit-identical determinism and
 //! on the typed-error discipline of the library crates. Clippy cannot
 //! express those project rules, so this crate encodes them as a
-//! dependency-free lint pass: a hand-rolled lexer ([`lexer`]) walks every
-//! workspace source file and the checks in [`lints`] report violations
-//! with file, line, column, lint name, and the offending snippet.
+//! dependency-free analysis engine: a hand-rolled lexer ([`lexer`]) and
+//! recursive-descent parser ([`ast`]) walk every workspace source file;
+//! the lexical checks in [`lints`] anchor to exact token shapes, while
+//! the semantic checks in [`semantic`] run over a workspace symbol table
+//! and function call graph ([`symbols`]) — panic reachability through
+//! public APIs, stat-counter conservation, exhaustive dispatch over
+//! closed enums, and discarded `Result`s.
 //!
 //! Run it over the workspace (CI does exactly this, and a nonzero exit
 //! gates the build):
@@ -15,19 +19,58 @@
 //! ```
 //!
 //! Individual findings are waived per site with a justified comment on
-//! the offending line or the line above; see [`lints`] for the syntax
-//! and [`lints::ALL_LINTS`] for the lint names.
+//! the offending line or the line above; see [`lints`] for the syntax,
+//! [`lints::ALL_LINTS`] for the lint names, and `tcp-lint --waivers` for
+//! the live suppression-debt report.
 
 #![forbid(unsafe_code)]
 
+pub mod ast;
 pub mod lexer;
 pub mod lints;
+pub mod semantic;
+pub mod symbols;
 
 pub use lints::{lint_file, FileKind, FileSpec, Finding, ALL_LINTS};
 
+use lints::{scan_directives, suppressed, test_mask, Suppressions};
+use std::collections::BTreeMap;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+
+/// One source file handed to [`analyze_files`].
+#[derive(Clone, Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators.
+    pub rel_path: String,
+    /// Full source text.
+    pub src: String,
+}
+
+/// One active suppression, for the `--waivers` debt report.
+#[derive(Clone, Debug)]
+pub struct Waiver {
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line of the directive comment.
+    pub line: u32,
+    /// Lint names the directive waives.
+    pub lints: Vec<String>,
+    /// The justification text after the `allow(...)`.
+    pub reason: String,
+}
+
+/// Result of a whole-workspace analysis.
+pub struct WorkspaceReport {
+    /// All findings (lexical + semantic), suppression-filtered and
+    /// sorted by (path, line, col, lint).
+    pub findings: Vec<Finding>,
+    /// Every active waiver, sorted by (path, line).
+    pub waivers: Vec<Waiver>,
+    /// How many files were scanned.
+    pub files_scanned: usize,
+}
 
 /// Walks up from `start` to the first directory whose `Cargo.toml`
 /// declares a `[workspace]`.
@@ -46,11 +89,17 @@ pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
 }
 
 /// Source directories scanned in workspace mode, relative to the root:
-/// the root package plus every workspace crate (`crates/bench` and
-/// `proptests/` are excluded from the workspace and need crates.io, so
-/// they are skipped; lint fixtures are deliberately-bad code).
+/// the root package, every workspace crate, and the out-of-workspace
+/// `proptests/` tree (`crates/bench` needs crates.io and is skipped;
+/// lint fixtures are deliberately-bad code).
 pub fn workspace_sources(root: &Path) -> io::Result<Vec<PathBuf>> {
-    let mut dirs: Vec<PathBuf> = vec![root.join("src"), root.join("tests"), root.join("examples")];
+    let mut dirs: Vec<PathBuf> = vec![
+        root.join("src"),
+        root.join("tests"),
+        root.join("examples"),
+        root.join("proptests").join("src"),
+        root.join("proptests").join("tests"),
+    ];
     let crates = root.join("crates");
     if crates.is_dir() {
         let mut names: Vec<PathBuf> = Vec::new();
@@ -129,16 +178,131 @@ pub fn spec_for_path(rel: &str) -> FileSpec<'_> {
 }
 
 /// Lints one on-disk file given the workspace root; `path` must live
-/// under `root`.
+/// under `root`. Lexical passes only — the semantic passes need the
+/// whole workspace ([`analyze_files`] / [`analyze_workspace`]).
 pub fn lint_path(root: &Path, path: &Path) -> io::Result<Vec<Finding>> {
     let src = fs::read_to_string(path)?;
-    let rel = path
-        .strip_prefix(root)
-        .unwrap_or(path)
-        .to_string_lossy()
-        .replace('\\', "/");
+    let rel = rel_path(root, path);
     let spec = spec_for_path(&rel);
     Ok(lint_file(&spec, &src))
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// Per-file artifacts shared by the lexical and semantic stages.
+struct Prepared {
+    lx: lexer::Lexed,
+    mask: Vec<bool>,
+    ast: ast::Ast,
+    sups: Suppressions,
+}
+
+/// Runs the full analysis — all lexical passes per file, then the
+/// semantic passes over the workspace graph — and returns
+/// suppression-filtered findings sorted by (path, line, col, lint).
+pub fn analyze_files(files: &[SourceFile]) -> Vec<Finding> {
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut prepared: Vec<Prepared> = Vec::with_capacity(files.len());
+    for f in files {
+        let spec = spec_for_path(&f.rel_path);
+        findings.extend(lint_file(&spec, &f.src));
+        let lx = lexer::lex(&f.src);
+        let mask = test_mask(&lx.tokens, spec.kind);
+        let ast = ast::parse(&lx.tokens, &mask);
+        let sups = scan_directives(&lx).sups;
+        prepared.push(Prepared {
+            lx,
+            mask,
+            ast,
+            sups,
+        });
+    }
+
+    let inputs: Vec<symbols::FileInput<'_>> = files
+        .iter()
+        .zip(&prepared)
+        .map(|(f, p)| {
+            let spec = spec_for_path(&f.rel_path);
+            symbols::FileInput {
+                path: &f.rel_path,
+                crate_dir: spec.crate_dir,
+                kind: spec.kind,
+                toks: &p.lx.tokens,
+                in_test: &p.mask,
+                ast: &p.ast,
+            }
+        })
+        .collect();
+    let ws = symbols::build(&inputs);
+    let sem_inputs: Vec<semantic::SemanticInput<'_>> = inputs
+        .iter()
+        .zip(files)
+        .zip(&prepared)
+        .map(|((fi, f), p)| semantic::SemanticInput {
+            file: *fi,
+            lines: f.src.lines().collect(),
+            sups: &p.sups,
+        })
+        .collect();
+    let semantic_findings = semantic::run(&ws, &sem_inputs);
+
+    let sups_by_path: BTreeMap<&str, &Suppressions> = files
+        .iter()
+        .zip(&prepared)
+        .map(|(f, p)| (f.rel_path.as_str(), &p.sups))
+        .collect();
+    findings.extend(semantic_findings.into_iter().filter(|f| {
+        sups_by_path
+            .get(f.path.as_str())
+            .is_none_or(|sups| !suppressed(sups, f))
+    }));
+    findings
+        .sort_by(|a, b| (&a.path, a.line, a.col, a.lint).cmp(&(&b.path, b.line, b.col, b.lint)));
+    findings.dedup_by(|a, b| {
+        (a.path.as_str(), a.line, a.col, a.lint) == (b.path.as_str(), b.line, b.col, b.lint)
+    });
+    findings
+}
+
+/// Collects every active waiver across `files`, sorted by (path, line).
+pub fn collect_waivers(files: &[SourceFile]) -> Vec<Waiver> {
+    let mut out = Vec::new();
+    for f in files {
+        let lx = lexer::lex(&f.src);
+        for (line, lints, reason) in scan_directives(&lx).waivers {
+            out.push(Waiver {
+                path: f.rel_path.clone(),
+                line,
+                lints,
+                reason,
+            });
+        }
+    }
+    out.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    out
+}
+
+/// Reads every workspace source under `root` and runs [`analyze_files`]
+/// plus the waiver scan over it.
+pub fn analyze_workspace(root: &Path) -> io::Result<WorkspaceReport> {
+    let paths = workspace_sources(root)?;
+    let mut files = Vec::with_capacity(paths.len());
+    for p in &paths {
+        files.push(SourceFile {
+            rel_path: rel_path(root, p),
+            src: fs::read_to_string(p)?,
+        });
+    }
+    Ok(WorkspaceReport {
+        findings: analyze_files(&files),
+        waivers: collect_waivers(&files),
+        files_scanned: files.len(),
+    })
 }
 
 /// Renders findings for humans: one position line plus the snippet.
@@ -177,6 +341,24 @@ pub fn render_json(findings: &[Finding]) -> String {
         out.push('\n');
     }
     out.push_str("]\n");
+    out
+}
+
+/// Renders the waiver debt report: one line per directive plus a total
+/// (`scripts/check-lint.sh` caps the total so debt cannot grow
+/// silently).
+pub fn render_waivers(waivers: &[Waiver]) -> String {
+    let mut out = String::new();
+    for w in waivers {
+        out.push_str(&format!(
+            "{}:{}  {}  — {}\n",
+            w.path,
+            w.line,
+            w.lints.join(","),
+            w.reason
+        ));
+    }
+    out.push_str(&format!("total: {} waivers\n", waivers.len()));
     out
 }
 

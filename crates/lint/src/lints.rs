@@ -34,9 +34,22 @@ pub const FLOAT_ACCUM_IN_HOT_LOOP: &str = "float-accum-in-hot-loop";
 pub const MISSING_FORBID_UNSAFE: &str = "missing-forbid-unsafe";
 /// Lint: malformed or unjustified suppression comment.
 pub const BAD_SUPPRESSION: &str = "bad-suppression";
+/// Lint (semantic): a public API of a typed-error crate transitively
+/// reaches an unwaived panic site through the workspace call graph.
+pub const PANIC_REACHABILITY: &str = "panic-reachability";
+/// Lint (semantic): a numeric `*Stats` field that is never mutated or
+/// never read — a silently dead or write-only counter.
+pub const STAT_CONSERVATION: &str = "stat-conservation";
+/// Lint (semantic): `match` over a closed workspace enum hides variants
+/// behind a `_` wildcard arm.
+pub const EXHAUSTIVE_DISPATCH: &str = "exhaustive-dispatch";
+/// Lint (semantic): a `Result` returned by a workspace function is
+/// dropped on the floor as a bare statement.
+pub const DISCARDED_RESULT: &str = "discarded-result";
 
-/// Every lint tcp-lint knows, in stable order.
-pub const ALL_LINTS: [&str; 7] = [
+/// Every lint tcp-lint knows, in stable order (lexical first, then the
+/// semantic passes that need the workspace AST).
+pub const ALL_LINTS: [&str; 11] = [
     NONDET_ITERATION,
     WALL_CLOCK_IN_SIM,
     PANIC_IN_LIBRARY,
@@ -44,6 +57,10 @@ pub const ALL_LINTS: [&str; 7] = [
     FLOAT_ACCUM_IN_HOT_LOOP,
     MISSING_FORBID_UNSAFE,
     BAD_SUPPRESSION,
+    PANIC_REACHABILITY,
+    STAT_CONSERVATION,
+    EXHAUSTIVE_DISPATCH,
+    DISCARDED_RESULT,
 ];
 
 /// Crates (by `crates/<dir>` name) whose non-test code must not iterate
@@ -130,16 +147,30 @@ pub struct Finding {
     pub snippet: String,
 }
 
-/// Lints one file. Findings are sorted by position and already filtered
-/// through any suppression comments in the file.
+/// Lints one file with the lexical passes. Findings are sorted by
+/// position and already filtered through any suppression comments in the
+/// file. The semantic passes need the whole workspace and live in
+/// [`crate::semantic`]; `crate::analyze_files` runs both.
 pub fn lint_file(spec: &FileSpec<'_>, src: &str) -> Vec<Finding> {
     let lx = lex(src);
     let toks = &lx.tokens;
     let in_test = test_mask(toks, spec.kind);
+    let ast = crate::ast::parse(toks, &in_test);
     let lines: Vec<&str> = src.lines().collect();
     let mut findings: Vec<Finding> = Vec::new();
 
-    let suppressions = parse_directives(&lx, spec, &lines, &mut findings);
+    let parsed = scan_directives(&lx);
+    for (line, why) in &parsed.bad {
+        push(
+            &mut findings,
+            spec,
+            &lines,
+            BAD_SUPPRESSION,
+            *line,
+            1,
+            format!("unusable tcp-lint suppression: {why}"),
+        );
+    }
 
     if NONDET_CRATES.contains(&spec.crate_dir) {
         nondet_pass(toks, &in_test, spec, &lines, &mut findings);
@@ -151,25 +182,25 @@ pub fn lint_file(spec: &FileSpec<'_>, src: &str) -> Vec<Finding> {
         panic_pass(toks, &in_test, spec, &lines, &mut findings);
     }
     lossy_cast_pass(toks, &in_test, spec, &lines, &mut findings);
-    float_accum_pass(toks, &in_test, spec, &lines, &mut findings);
+    float_accum_pass(&ast, toks, &in_test, spec, &lines, &mut findings);
     if spec.crate_root {
         forbid_unsafe_pass(toks, spec, &lines, &mut findings);
     }
 
-    findings.retain(|f| !suppressed(&suppressions, f));
+    findings.retain(|f| !suppressed(&parsed.sups, f));
     findings.sort_by(|a, b| (a.line, a.col, a.lint).cmp(&(b.line, b.col, b.lint)));
     findings.dedup_by(|a, b| (a.line, a.col, a.lint) == (b.line, b.col, b.lint));
     findings
 }
 
-fn snippet(lines: &[&str], line: u32) -> String {
+pub(crate) fn snippet(lines: &[&str], line: u32) -> String {
     lines
         .get(line as usize - 1)
         .map(|l| l.trim().to_owned())
         .unwrap_or_default()
 }
 
-fn push(
+pub(crate) fn push(
     findings: &mut Vec<Finding>,
     spec: &FileSpec<'_>,
     lines: &[&str],
@@ -188,17 +219,17 @@ fn push(
     });
 }
 
-fn is_ident(t: &Token, text: &str) -> bool {
+pub(crate) fn is_ident(t: &Token, text: &str) -> bool {
     t.kind == TokKind::Ident && t.text == text
 }
 
-fn is_punct(t: &Token, text: &str) -> bool {
+pub(crate) fn is_punct(t: &Token, text: &str) -> bool {
     t.kind == TokKind::Punct && t.text == text
 }
 
 /// Marks tokens inside `#[cfg(test)]` / `#[test]` items (and whole test
 /// files) so test-only code is exempt from the code lints.
-fn test_mask(toks: &[Token], kind: FileKind) -> Vec<bool> {
+pub(crate) fn test_mask(toks: &[Token], kind: FileKind) -> Vec<bool> {
     let mut mask = vec![kind == FileKind::Test; toks.len()];
     if kind == FileKind::Test {
         return mask;
@@ -251,7 +282,12 @@ fn test_mask(toks: &[Token], kind: FileKind) -> Vec<bool> {
 }
 
 /// Index of the delimiter closing `toks[open]`, if any.
-fn matching(toks: &[Token], open: usize, open_text: &str, close_text: &str) -> Option<usize> {
+pub(crate) fn matching(
+    toks: &[Token],
+    open: usize,
+    open_text: &str,
+    close_text: &str,
+) -> Option<usize> {
     let mut depth = 0usize;
     for (k, t) in toks.iter().enumerate().skip(open) {
         if is_punct(t, open_text) {
@@ -268,9 +304,9 @@ fn matching(toks: &[Token], open: usize, open_text: &str, close_text: &str) -> O
 
 /// Parsed suppressions: line → lint names waived on that line and the
 /// next.
-type Suppressions = BTreeMap<u32, Vec<String>>;
+pub(crate) type Suppressions = BTreeMap<u32, Vec<String>>;
 
-fn suppressed(sups: &Suppressions, f: &Finding) -> bool {
+pub(crate) fn suppressed(sups: &Suppressions, f: &Finding) -> bool {
     let hit = |line: u32| {
         sups.get(&line)
             .is_some_and(|names| names.iter().any(|n| n == f.lint))
@@ -278,17 +314,27 @@ fn suppressed(sups: &Suppressions, f: &Finding) -> bool {
     hit(f.line) || (f.line > 1 && hit(f.line - 1))
 }
 
+/// Everything the directive scan learns about one file.
+pub(crate) struct ParsedDirectives {
+    /// Active suppressions by line.
+    pub(crate) sups: Suppressions,
+    /// Well-formed waivers: (line, lint names, justification text).
+    pub(crate) waivers: Vec<(u32, Vec<String>, String)>,
+    /// Malformed directives: (line, what is wrong).
+    pub(crate) bad: Vec<(u32, String)>,
+}
+
 /// Parses `tcp-lint: allow(...)` comments. Well-formed directives become
-/// suppressions; malformed ones (bad syntax, unknown lint, missing
-/// reason) are reported as `bad-suppression`. Comments that mention
-/// tcp-lint without `: allow` are prose and ignored.
-fn parse_directives(
-    lx: &Lexed,
-    spec: &FileSpec<'_>,
-    lines: &[&str],
-    findings: &mut Vec<Finding>,
-) -> Suppressions {
-    let mut sups = Suppressions::new();
+/// suppressions (and waiver records for the `--waivers` report);
+/// malformed ones (bad syntax, unknown lint, missing reason) are
+/// reported as `bad-suppression`. Comments that mention tcp-lint without
+/// `: allow` are prose and ignored.
+pub(crate) fn scan_directives(lx: &Lexed) -> ParsedDirectives {
+    let mut parsed = ParsedDirectives {
+        sups: Suppressions::new(),
+        waivers: Vec::new(),
+        bad: Vec::new(),
+    };
     for d in &lx.directives {
         // Doc comments are documentation — only plain comments suppress.
         let doc = d.text.starts_with("///")
@@ -300,29 +346,20 @@ fn parse_directives(
         }
         match classify_directive(&d.text) {
             DirectiveParse::NotADirective => {}
-            DirectiveParse::Malformed(why) => {
-                push(
-                    findings,
-                    spec,
-                    lines,
-                    BAD_SUPPRESSION,
-                    d.line,
-                    1,
-                    format!("unusable tcp-lint suppression: {why}"),
-                );
-            }
-            DirectiveParse::Allow(names) => {
-                sups.entry(d.line).or_default().extend(names);
+            DirectiveParse::Malformed(why) => parsed.bad.push((d.line, why)),
+            DirectiveParse::Allow(names, reason) => {
+                parsed.sups.entry(d.line).or_default().extend(names.clone());
+                parsed.waivers.push((d.line, names, reason));
             }
         }
     }
-    sups
+    parsed
 }
 
 enum DirectiveParse {
     NotADirective,
     Malformed(String),
-    Allow(Vec<String>),
+    Allow(Vec<String>, String),
 }
 
 fn classify_directive(text: &str) -> DirectiveParse {
@@ -364,7 +401,13 @@ fn classify_directive(text: &str) -> DirectiveParse {
             "missing justification — write `// tcp-lint: allow(<name>) — <reason>`".to_owned(),
         );
     }
-    DirectiveParse::Allow(names)
+    let reason = tail
+        .trim_start_matches(|c: char| c.is_whitespace() || matches!(c, '—' | '–' | '-' | ':'))
+        .trim_end()
+        .trim_end_matches("*/")
+        .trim_end()
+        .to_owned();
+    DirectiveParse::Allow(names, reason)
 }
 
 /// Names in this file declared (or annotated) as `HashMap`/`HashSet`:
@@ -617,7 +660,13 @@ fn float_names(toks: &[Token]) -> BTreeSet<String> {
     names
 }
 
+/// AST-driven since the v2 parser landed: only loops inside real
+/// function bodies are scanned (the lexical version also walked
+/// `macro_rules!` bodies and other non-code token runs, a
+/// false-positive source), and nested loops come straight from the
+/// parser's loop list instead of a re-scan heuristic.
 fn float_accum_pass(
+    ast: &crate::ast::Ast,
     toks: &[Token],
     in_test: &[bool],
     spec: &FileSpec<'_>,
@@ -625,73 +674,55 @@ fn float_accum_pass(
     findings: &mut Vec<Finding>,
 ) {
     let floats = float_names(toks);
-    let mut i = 0;
-    while i < toks.len() {
-        if !(is_ident(&toks[i], "for") || is_ident(&toks[i], "while")) {
-            i += 1;
-            continue;
-        }
-        // Loop header: tokens up to the opening brace.
-        let mut brace = None;
-        let mut header_has_cycle = false;
-        let mut j = i + 1;
-        while j < toks.len() {
-            if is_punct(&toks[j], "{") {
-                brace = Some(j);
-                break;
-            }
-            if is_punct(&toks[j], ";") {
-                break;
-            }
-            if toks[j].kind == TokKind::Ident && toks[j].text.to_lowercase().contains("cycle") {
-                header_has_cycle = true;
-            }
-            j += 1;
-        }
-        let Some(open) = brace else {
-            i += 1;
+    for fr in crate::ast::visit_fns(ast) {
+        let Some(body) = fr.f.body.as_ref() else {
             continue;
         };
-        if !header_has_cycle {
-            i += 1;
-            continue;
-        }
-        let close = matching(toks, open, "{", "}").unwrap_or(toks.len() - 1);
-        for k in open + 1..close {
-            if in_test[k] || !is_punct(&toks[k], "+=") {
+        for lp in &body.loops {
+            let Some(open) = lp.body_open else { continue };
+            let header_has_cycle = lp
+                .header_idents
+                .iter()
+                .any(|id| id.to_lowercase().contains("cycle"));
+            if !header_has_cycle {
                 continue;
             }
-            let lhs_is_float =
-                toks[k - 1].kind == TokKind::Ident && floats.contains(&toks[k - 1].text);
-            let mut rhs_is_float = false;
-            let mut r = k + 1;
-            while r < close && !is_punct(&toks[r], ";") {
-                if toks[r].kind == TokKind::Float
-                    || is_ident(&toks[r], "f64")
-                    || is_ident(&toks[r], "f32")
-                {
-                    rhs_is_float = true;
-                    break;
+            let close = matching(toks, open, "{", "}").unwrap_or(toks.len() - 1);
+            for k in open + 1..close {
+                if in_test[k] || !is_punct(&toks[k], "+=") {
+                    continue;
                 }
-                r += 1;
-            }
-            if lhs_is_float || rhs_is_float {
-                let t = &toks[k];
-                push(
-                    findings,
-                    spec,
-                    lines,
-                    FLOAT_ACCUM_IN_HOT_LOOP,
-                    t.line,
-                    t.col,
-                    "floating-point accumulation inside a per-cycle loop loses \
-                     precision as the run grows; accumulate in integers and \
-                     convert once at reporting time"
-                        .to_owned(),
-                );
+                let lhs_is_float =
+                    toks[k - 1].kind == TokKind::Ident && floats.contains(&toks[k - 1].text);
+                let mut rhs_is_float = false;
+                let mut r = k + 1;
+                while r < close && !is_punct(&toks[r], ";") {
+                    if toks[r].kind == TokKind::Float
+                        || is_ident(&toks[r], "f64")
+                        || is_ident(&toks[r], "f32")
+                    {
+                        rhs_is_float = true;
+                        break;
+                    }
+                    r += 1;
+                }
+                if lhs_is_float || rhs_is_float {
+                    let t = &toks[k];
+                    push(
+                        findings,
+                        spec,
+                        lines,
+                        FLOAT_ACCUM_IN_HOT_LOOP,
+                        t.line,
+                        t.col,
+                        "floating-point accumulation inside a per-cycle loop loses \
+                         precision as the run grows; accumulate in integers and \
+                         convert once at reporting time"
+                            .to_owned(),
+                    );
+                }
             }
         }
-        i = open + 1;
     }
 }
 

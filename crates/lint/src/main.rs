@@ -6,8 +6,8 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 use tcp_lint::{
-    find_workspace_root, lint_path, render_human, render_json, workspace_sources, Finding,
-    ALL_LINTS,
+    analyze_workspace, find_workspace_root, lint_path, render_human, render_json, render_waivers,
+    Finding, ALL_LINTS,
 };
 
 const USAGE: &str = "\
@@ -16,7 +16,12 @@ and error-discipline invariants.
 
 Usage:
   tcp-lint --workspace [--json] [--root DIR]   lint every workspace crate
+                                               (lexical + semantic passes)
   tcp-lint [--json] [--root DIR] FILE...       lint specific files
+                                               (lexical passes only)
+  tcp-lint --waivers [--root DIR]              print the suppression-debt
+                                               report (file:line, lints,
+                                               reason, and a total)
   tcp-lint --list-lints                        print the lint names
 
 Suppress a finding on the line below (or the same line) with a reason:
@@ -35,6 +40,7 @@ fn main() -> ExitCode {
 
 fn run() -> std::io::Result<ExitCode> {
     let mut workspace = false;
+    let mut waivers = false;
     let mut json = false;
     let mut root_arg: Option<PathBuf> = None;
     let mut files: Vec<PathBuf> = Vec::new();
@@ -43,6 +49,7 @@ fn run() -> std::io::Result<ExitCode> {
     while let Some(a) = args.next() {
         match a.as_str() {
             "--workspace" => workspace = true,
+            "--waivers" => waivers = true,
             "--json" => json = true,
             "--root" => match args.next() {
                 Some(dir) => root_arg = Some(PathBuf::from(dir)),
@@ -69,7 +76,7 @@ fn run() -> std::io::Result<ExitCode> {
         }
     }
 
-    if !workspace && files.is_empty() {
+    if !workspace && !waivers && files.is_empty() {
         eprintln!("{USAGE}");
         return Ok(ExitCode::from(2));
     }
@@ -83,8 +90,16 @@ fn run() -> std::io::Result<ExitCode> {
         }
     };
 
+    if waivers {
+        let report = analyze_workspace(&root)?;
+        print!("{}", render_waivers(&report.waivers));
+        return Ok(ExitCode::SUCCESS);
+    }
+
     if workspace {
-        files.extend(workspace_sources(&root)?);
+        // Whole-workspace mode runs the semantic passes too.
+        let report = analyze_workspace(&root)?;
+        return Ok(emit(&report.findings, report.files_scanned, json));
     }
 
     let mut findings: Vec<Finding> = Vec::new();
@@ -101,24 +116,27 @@ fn run() -> std::io::Result<ExitCode> {
     }
     findings
         .sort_by(|a, b| (&a.path, a.line, a.col, a.lint).cmp(&(&b.path, b.line, b.col, b.lint)));
+    Ok(emit(&findings, files.len(), json))
+}
 
+fn emit(findings: &[Finding], n_files: usize, json: bool) -> ExitCode {
     if json {
-        print!("{}", render_json(&findings));
+        print!("{}", render_json(findings));
     } else {
-        print!("{}", render_human(&findings));
+        print!("{}", render_human(findings));
         if findings.is_empty() {
-            println!("tcp-lint: clean ({} files)", files.len());
+            println!("tcp-lint: clean ({n_files} files)");
         } else {
             println!(
                 "tcp-lint: {} finding(s) across {} files",
                 findings.len(),
-                files.len()
+                n_files
             );
         }
     }
-    Ok(if findings.is_empty() {
+    if findings.is_empty() {
         ExitCode::SUCCESS
     } else {
         ExitCode::from(1)
-    })
+    }
 }

@@ -1,0 +1,417 @@
+//! The semantic lint passes: workspace-level invariants that need the
+//! AST, symbol table, and call graph rather than a single file's token
+//! stream.
+//!
+//! Four passes live here:
+//!
+//! - **panic-reachability** — no public API of a typed-error crate
+//!   (tcp-cache / tcp-cpu / tcp-sim) may *transitively* reach an
+//!   unwaived `panic!`/`unwrap`/`expect` through the in-workspace call
+//!   graph. The lexical `panic-in-library` pass catches direct sites;
+//!   this one follows calls across crates.
+//! - **stat-conservation** — every numeric field of a `*Stats` struct
+//!   must be both mutated somewhere and read/reported somewhere. The
+//!   paper's coverage/accuracy numbers are ratios of such counters; a
+//!   write-only or dead counter is a silent accounting bug.
+//! - **exhaustive-dispatch** — `match` over a closed workspace enum
+//!   (`PrefetcherSpec`, `SimError`, `Replacement`, …) must not hide
+//!   variants behind `_`, so adding a prefetcher cannot silently fall
+//!   through an existing dispatch site.
+//! - **discarded-result** — a `Result` returned by a workspace function
+//!   must not be dropped as a bare statement.
+//!
+//! Findings are produced unsuppressed; the caller filters them through
+//! each file's waivers exactly like the lexical passes.
+
+use crate::ast::{ArmHead, CallSite};
+use crate::lexer::Token;
+use crate::lints::{
+    is_ident, is_punct, matching, push, FileKind, FileSpec, Finding, Suppressions,
+    DISCARDED_RESULT, EXHAUSTIVE_DISPATCH, PANIC_IN_LIBRARY, PANIC_REACHABILITY, STAT_CONSERVATION,
+};
+use crate::symbols::{FileInput, Workspace};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Crates whose public APIs must be transitively panic-free.
+const REACHABILITY_ROOTS: [&str; 3] = ["cache", "cpu", "sim"];
+
+/// Integer/float types a stats counter may carry.
+const NUMERIC_TYPES: [&str; 14] = [
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize", "f32",
+    "f64",
+];
+
+/// Compound/plain assignment operators, as single lexer tokens.
+const ASSIGN_OPS: [&str; 11] = [
+    "=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>=",
+];
+
+/// Per-file context the passes need alongside the workspace graph.
+pub struct SemanticInput<'a> {
+    /// The analyzed file (tokens, mask, AST, spec fields).
+    pub file: FileInput<'a>,
+    /// Source split into lines, for snippets.
+    pub lines: Vec<&'a str>,
+    /// Active waivers of this file (for panic-site non-propagation).
+    pub sups: &'a Suppressions,
+}
+
+/// Runs all semantic passes; findings are unsuppressed and unsorted.
+pub fn run(ws: &Workspace<'_>, inputs: &[SemanticInput<'_>]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    panic_reachability(ws, inputs, &mut findings);
+    stat_conservation(ws, inputs, &mut findings);
+    exhaustive_dispatch(ws, inputs, &mut findings);
+    discarded_result(ws, inputs, &mut findings);
+    findings
+}
+
+fn spec_of<'a>(input: &'a SemanticInput<'_>) -> FileSpec<'a> {
+    FileSpec {
+        path: input.file.path,
+        crate_dir: input.file.crate_dir,
+        kind: input.file.kind,
+        crate_root: input.file.path.ends_with("src/lib.rs"),
+    }
+}
+
+/// Whether a panic site at `line` carries a waiver that stops
+/// propagation: `allow(panic-reachability)` or `allow(panic-in-library)`
+/// on the same line or the line above.
+fn panic_site_waived(sups: &Suppressions, line: u32) -> bool {
+    let hit = |l: u32| {
+        sups.get(&l).is_some_and(|names| {
+            names
+                .iter()
+                .any(|n| n == PANIC_REACHABILITY || n == PANIC_IN_LIBRARY)
+        })
+    };
+    hit(line) || (line > 1 && hit(line - 1))
+}
+
+fn panic_reachability(
+    ws: &Workspace<'_>,
+    inputs: &[SemanticInput<'_>],
+    findings: &mut Vec<Finding>,
+) {
+    // First unwaived direct panic per function.
+    let mut direct: Vec<Option<(String, u32)>> = Vec::with_capacity(ws.fns.len());
+    for node in &ws.fns {
+        if node.in_test {
+            direct.push(None);
+            continue;
+        }
+        let sups = inputs[node.file].sups;
+        let site = node
+            .def
+            .body
+            .iter()
+            .flat_map(|b| b.panics.iter())
+            .find(|p| !panic_site_waived(sups, p.line));
+        direct.push(site.map(|p| (p.what.clone(), p.line)));
+    }
+
+    for (root, node) in ws.fns.iter().enumerate() {
+        let input = &inputs[node.file];
+        let rootable = node.def.is_pub
+            && !node.in_test
+            && input.file.kind == FileKind::Lib
+            && REACHABILITY_ROOTS.contains(&input.file.crate_dir);
+        if !rootable {
+            continue;
+        }
+        // BFS over the call graph; the root's own panic sites are the
+        // lexical pass's concern, so only deeper nodes report here.
+        let mut parent: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut queue: Vec<usize> = vec![root];
+        let mut seen: BTreeSet<usize> = BTreeSet::new();
+        seen.insert(root);
+        let mut hit: Option<usize> = None;
+        let mut qi = 0;
+        while qi < queue.len() && hit.is_none() {
+            let cur = queue[qi];
+            qi += 1;
+            for edge in &ws.fns[cur].calls {
+                for &t in &edge.targets {
+                    if !seen.insert(t) {
+                        continue;
+                    }
+                    parent.insert(t, cur);
+                    if direct[t].is_some() {
+                        hit = Some(t);
+                        break;
+                    }
+                    queue.push(t);
+                }
+                if hit.is_some() {
+                    break;
+                }
+            }
+        }
+        let Some(sink) = hit else { continue };
+        let Some((what, line)) = direct[sink].clone() else {
+            continue;
+        };
+        // Reconstruct root → … → sink for the message.
+        let mut chain = vec![sink];
+        let mut cur = sink;
+        while let Some(&p) = parent.get(&cur) {
+            chain.push(p);
+            cur = p;
+        }
+        chain.reverse();
+        let names: Vec<String> = chain.iter().map(|&id| ws.fns[id].display_name()).collect();
+        let sink_file = &inputs[ws.fns[sink].file].file;
+        push(
+            findings,
+            &spec_of(input),
+            &input.lines,
+            PANIC_REACHABILITY,
+            node.def.line,
+            node.def.col,
+            format!(
+                "public `{}` can transitively reach `{}` at {}:{} (call chain: {}); \
+                 return a typed error, or waive panic-reachability at the panic \
+                 site with the invariant that makes it unreachable",
+                node.def.name,
+                what,
+                sink_file.path,
+                line,
+                names.join(" → "),
+            ),
+        );
+    }
+}
+
+fn stat_conservation(
+    ws: &Workspace<'_>,
+    inputs: &[SemanticInput<'_>],
+    findings: &mut Vec<Finding>,
+) {
+    for &(fi, s) in &ws.structs {
+        if !s.name.ends_with("Stats") {
+            continue;
+        }
+        if inputs[fi].file.kind != FileKind::Lib {
+            continue;
+        }
+        let fields: Vec<&crate::ast::FieldDef> = s
+            .fields
+            .iter()
+            .filter(|f| f.ty.len() == 1 && NUMERIC_TYPES.contains(&f.ty[0].as_str()))
+            .collect();
+        if fields.is_empty() {
+            continue;
+        }
+        let names: BTreeSet<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+        let mut written: BTreeSet<String> = BTreeSet::new();
+        let mut read: BTreeSet<String> = BTreeSet::new();
+        for input in inputs {
+            field_accesses(
+                input.file.toks,
+                input.file.in_test,
+                &s.name,
+                &names,
+                &mut written,
+                &mut read,
+            );
+        }
+        let input = &inputs[fi];
+        for f in fields {
+            let missing_write = !written.contains(&f.name);
+            let missing_read = !read.contains(&f.name);
+            if !(missing_write || missing_read) {
+                continue;
+            }
+            let problem = match (missing_write, missing_read) {
+                (true, true) => "is never mutated and never read",
+                (true, false) => "is never mutated — it can only ever report zero",
+                (false, true) => "is written but never read or reported",
+                (false, false) => continue,
+            };
+            push(
+                findings,
+                &spec_of(input),
+                &input.lines,
+                STAT_CONSERVATION,
+                f.line,
+                f.col,
+                format!(
+                    "stat counter `{}.{}` {problem}; every `*Stats` field must \
+                     flow from an increment to a report (or carry a waiver)",
+                    s.name, f.name,
+                ),
+            );
+        }
+    }
+}
+
+/// Scans one token stream for writes/reads of the given stat fields:
+/// `.field <assign-op>` is a write (non-test only), `.field` otherwise a
+/// read (tests count — assertions are a legitimate consumer), and field
+/// inits inside `StructName { … }` literals are writes.
+fn field_accesses(
+    toks: &[Token],
+    in_test: &[bool],
+    struct_name: &str,
+    fields: &BTreeSet<&str>,
+    written: &mut BTreeSet<String>,
+    read: &mut BTreeSet<String>,
+) {
+    for i in 0..toks.len() {
+        // `.field …`
+        if is_punct(&toks[i], ".")
+            && toks
+                .get(i + 1)
+                .is_some_and(|t| fields.contains(t.text.as_str()))
+        {
+            let name = toks[i + 1].text.clone();
+            let assigned = toks
+                .get(i + 2)
+                .is_some_and(|t| ASSIGN_OPS.contains(&t.text.as_str()));
+            if assigned {
+                if !in_test.get(i + 1).copied().unwrap_or(false) {
+                    written.insert(name);
+                }
+            } else {
+                read.insert(name);
+            }
+        }
+        // `StructName { field: …, shorthand, .. }` literals.
+        if is_ident(&toks[i], struct_name)
+            && toks.get(i + 1).is_some_and(|t| is_punct(t, "{"))
+            && !(i > 0 && (is_ident(&toks[i - 1], "struct") || is_ident(&toks[i - 1], "enum")))
+        {
+            let Some(close) = matching(toks, i + 1, "{", "}") else {
+                continue;
+            };
+            let mut k = i + 2;
+            while k < close {
+                let t = &toks[k];
+                if is_punct(t, "{") || is_punct(t, "(") || is_punct(t, "[") {
+                    let (open_text, close_text) = if is_punct(t, "{") {
+                        ("{", "}")
+                    } else if is_punct(t, "(") {
+                        ("(", ")")
+                    } else {
+                        ("[", "]")
+                    };
+                    k = matching(toks, k, open_text, close_text).map_or(close, |c| c + 1);
+                    continue;
+                }
+                if fields.contains(t.text.as_str())
+                    && !in_test.get(k).copied().unwrap_or(false)
+                    && toks
+                        .get(k + 1)
+                        .is_some_and(|n| is_punct(n, ":") || is_punct(n, ",") || is_punct(n, "}"))
+                {
+                    written.insert(t.text.clone());
+                }
+                k += 1;
+            }
+        }
+    }
+}
+
+fn exhaustive_dispatch(
+    ws: &Workspace<'_>,
+    inputs: &[SemanticInput<'_>],
+    findings: &mut Vec<Finding>,
+) {
+    for node in &ws.fns {
+        if node.in_test {
+            continue;
+        }
+        let input = &inputs[node.file];
+        for m in node.def.body.iter().flat_map(|b| b.matches.iter()) {
+            // Identify the matched enum from a qualified variant arm.
+            let mut enum_name: Option<&str> = None;
+            let mut covered: BTreeSet<&str> = BTreeSet::new();
+            for arm in &m.arms {
+                if let ArmHead::Path(segs) = &arm.head {
+                    if segs.len() < 2 {
+                        continue;
+                    }
+                    let cand = segs[segs.len() - 2].as_str();
+                    if !ws.closed_enums.contains_key(cand) {
+                        continue;
+                    }
+                    match enum_name {
+                        None => enum_name = Some(cand),
+                        Some(existing) if existing != cand => continue,
+                        Some(_) => {}
+                    }
+                    covered.insert(segs[segs.len() - 1].as_str());
+                }
+            }
+            let Some(name) = enum_name else { continue };
+            let Some(wild) = m
+                .arms
+                .iter()
+                .find(|a| a.head == ArmHead::Wildcard && !a.guarded)
+            else {
+                continue;
+            };
+            let Some(closed) = ws.closed_enums.get(name) else {
+                continue;
+            };
+            let missing: Vec<&str> = closed
+                .variants
+                .iter()
+                .map(String::as_str)
+                .filter(|v| !covered.contains(*v))
+                .collect();
+            let hidden = if missing.is_empty() {
+                "no remaining variants — the arm is dead".to_owned()
+            } else {
+                missing.join(", ")
+            };
+            push(
+                findings,
+                &spec_of(input),
+                &input.lines,
+                EXHAUSTIVE_DISPATCH,
+                wild.line,
+                wild.col,
+                format!(
+                    "`_` arm on closed enum `{name}` hides variants ({hidden}); \
+                     enumerate them so a new variant fails to compile instead of \
+                     silently falling through",
+                ),
+            );
+        }
+    }
+}
+
+fn discarded_result(ws: &Workspace<'_>, inputs: &[SemanticInput<'_>], findings: &mut Vec<Finding>) {
+    for node in &ws.fns {
+        if node.in_test {
+            continue;
+        }
+        let input = &inputs[node.file];
+        for edge in &node.calls {
+            if !edge.bare_statement || edge.targets.is_empty() {
+                continue;
+            }
+            let all_result = edge.targets.iter().all(|&t| ws.fns[t].def.returns_result);
+            if !all_result {
+                continue;
+            }
+            let site: &CallSite = edge.site;
+            push(
+                findings,
+                &spec_of(input),
+                &input.lines,
+                DISCARDED_RESULT,
+                site.line,
+                site.col,
+                format!(
+                    "`{}` returns a Result that this statement discards; \
+                     propagate it with `?`, handle the error, or waive with the \
+                     reason the failure is impossible here",
+                    edge.name,
+                ),
+            );
+        }
+    }
+}

@@ -36,6 +36,33 @@ fn json_mode_emits_an_array() {
 }
 
 #[test]
+fn waivers_report_lists_debt_with_a_total() {
+    let out = bin().arg("--waivers").output().expect("run tcp-lint");
+    assert!(out.status.success(), "--waivers itself must not gate");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let total_line = stdout
+        .lines()
+        .last()
+        .expect("waiver report ends with a total");
+    assert!(
+        total_line.starts_with("total: ") && total_line.ends_with(" waivers"),
+        "unexpected total line: {total_line}"
+    );
+    // The committed tree carries at least the documented panic waivers,
+    // each with a file:line anchor and a reason.
+    assert!(stdout.contains("panic-in-library"), "report: {stdout}");
+    for line in stdout.lines() {
+        if line.starts_with("total: ") {
+            continue;
+        }
+        assert!(
+            line.contains(':') && line.contains('—'),
+            "each entry needs file:line and a reason: {line}"
+        );
+    }
+}
+
+#[test]
 fn list_lints_names_every_lint() {
     let out = bin().arg("--list-lints").output().expect("run tcp-lint");
     assert!(out.status.success());

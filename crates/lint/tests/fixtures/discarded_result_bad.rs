@@ -1,0 +1,10 @@
+// A `Result`-returning call used as a bare statement: the error is
+// silently dropped on the floor.
+
+pub fn flush_counters() -> Result<u64, String> {
+    Ok(0)
+}
+
+pub fn tick() {
+    flush_counters();
+}

@@ -1,0 +1,28 @@
+// Enumerated arms are clean; `#[non_exhaustive]` enums are open by
+// declaration, so a wildcard over one is legitimate.
+
+pub enum GateKind {
+    Open,
+    Closed,
+    Locked,
+}
+
+#[non_exhaustive]
+pub enum Wire {
+    High,
+    Low,
+}
+
+pub fn score(g: &GateKind) -> u64 {
+    match g {
+        GateKind::Open => 0,
+        GateKind::Closed | GateKind::Locked => 1,
+    }
+}
+
+pub fn level(w: &Wire) -> u64 {
+    match w {
+        Wire::High => 1,
+        _ => 0,
+    }
+}

@@ -1,0 +1,15 @@
+// A `_` arm on a closed workspace enum: adding a variant would silently
+// fall into the wildcard instead of failing to compile.
+
+pub enum GateKind {
+    Open,
+    Closed,
+    Locked,
+}
+
+pub fn score(g: &GateKind) -> u64 {
+    match g {
+        GateKind::Open => 0,
+        _ => 1,
+    }
+}

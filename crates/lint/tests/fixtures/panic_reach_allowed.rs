@@ -1,0 +1,15 @@
+// Waiving the panic at its site stops propagation: callers of a waived
+// panic are clean, because the waiver asserts the panic cannot fire.
+
+pub fn api_entry(x: Option<u64>) -> u64 {
+    mid_step(x)
+}
+
+fn mid_step(x: Option<u64>) -> u64 {
+    deep_value(x)
+}
+
+fn deep_value(x: Option<u64>) -> u64 {
+    // tcp-lint: allow(panic-in-library) -- callers pass Some by construction; see api_entry.
+    x.unwrap()
+}

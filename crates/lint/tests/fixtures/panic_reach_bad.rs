@@ -1,0 +1,14 @@
+// A public API that reaches a panic two calls away: the panic site is
+// private, so only the interprocedural pass can connect it to the API.
+
+pub fn api_entry(x: Option<u64>) -> u64 {
+    mid_step(x)
+}
+
+fn mid_step(x: Option<u64>) -> u64 {
+    deep_value(x)
+}
+
+fn deep_value(x: Option<u64>) -> u64 {
+    x.unwrap()
+}

@@ -1,0 +1,16 @@
+// Conserved counters lint clean; a field that is intentionally unused
+// yet carries a waiver with the reason is also clean.
+
+pub struct OkStats {
+    pub hits: u64,
+    // tcp-lint: allow(stat-conservation) -- reserved for the next trace format revision.
+    pub reserved: u64,
+}
+
+pub fn tick(s: &mut OkStats) {
+    s.hits += 1;
+}
+
+pub fn report(s: &OkStats) -> u64 {
+    s.hits
+}

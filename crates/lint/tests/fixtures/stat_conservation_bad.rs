@@ -1,0 +1,17 @@
+// Stat counters that break conservation: `hits` is bumped but never
+// reported, `misses` is reported but nothing ever bumps it.
+
+pub struct CanaryStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+}
+
+pub fn tick(s: &mut CanaryStats) {
+    s.hits += 1;
+    s.evictions += 1;
+}
+
+pub fn report(s: &CanaryStats) -> u64 {
+    s.misses + s.evictions
+}

@@ -1,0 +1,180 @@
+//! Fixture-based acceptance tests for the semantic (AST + call-graph)
+//! passes: each lint fires on its known-bad fixture at the exact line,
+//! and each allowed/waived fixture analyzes clean.
+//!
+//! Unlike the lexical fixtures these go through [`tcp_lint::analyze_files`],
+//! which builds the workspace symbol table and call graph — the same
+//! entry point `--workspace` mode uses — so cross-function and
+//! cross-crate reasoning is exercised for real.
+
+use tcp_lint::{analyze_files, Finding, SourceFile};
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => panic!("reading fixture {path}: {e}"),
+    }
+}
+
+/// Analyzes one fixture under a synthetic workspace-relative path (the
+/// path decides crate and file kind, exactly as in `--workspace` mode).
+fn analyze_one(name: &str, rel_path: &str) -> Vec<Finding> {
+    analyze_files(&[SourceFile {
+        rel_path: rel_path.to_string(),
+        src: fixture(name),
+    }])
+}
+
+/// 1-based lines at which `lint` fired, in report order.
+fn lines_for(findings: &[Finding], lint: &str) -> Vec<u32> {
+    findings
+        .iter()
+        .filter(|f| f.lint == lint)
+        .map(|f| f.line)
+        .collect()
+}
+
+#[test]
+fn panic_reachability_fires_on_bad_fixture() {
+    let all = analyze_one("panic_reach_bad.rs", "crates/cpu/src/reach_fixture.rs");
+    assert_eq!(lines_for(&all, "panic-reachability"), vec![4]);
+    let f = all
+        .iter()
+        .find(|f| f.lint == "panic-reachability")
+        .expect("reachability finding");
+    assert!(
+        f.message.contains("mid_step") && f.message.contains("deep_value"),
+        "message should spell out the call chain: {}",
+        f.message
+    );
+    // The direct panic site is still the lexical pass's finding.
+    assert_eq!(lines_for(&all, "panic-in-library"), vec![13]);
+}
+
+#[test]
+fn panic_reachability_allowed_fixture_is_clean() {
+    let all = analyze_one("panic_reach_allowed.rs", "crates/cpu/src/reach_fixture.rs");
+    assert!(all.is_empty(), "expected clean, got: {all:?}");
+}
+
+#[test]
+fn panic_reachability_crosses_crate_boundaries() {
+    // A public `sim` entry reaches a panic that lives in `mem`, two hops
+    // and one crate boundary away. `mem` is outside the lexical
+    // panic-in-library scope, so only the call graph can see this.
+    let files = vec![
+        SourceFile {
+            rel_path: "crates/sim/src/lib.rs".to_string(),
+            src: "#![forbid(unsafe_code)]\n\n\
+                  pub fn canary_entry() -> u64 {\n    \
+                  canary_mid()\n\
+                  }\n\n\
+                  fn canary_mid() -> u64 {\n    \
+                  tcp_mem::canary_deep() + 1\n\
+                  }\n"
+            .to_string(),
+        },
+        SourceFile {
+            rel_path: "crates/mem/src/lib.rs".to_string(),
+            src: "#![forbid(unsafe_code)]\n\n\
+                  pub fn canary_deep() -> u64 {\n    \
+                  let v: Option<u64> = None;\n    \
+                  v.unwrap()\n\
+                  }\n"
+            .to_string(),
+        },
+    ];
+    let all = analyze_files(&files);
+    let lints: Vec<&str> = all.iter().map(|f| f.lint).collect();
+    assert_eq!(lints, vec!["panic-reachability"], "findings: {all:?}");
+    let f = &all[0];
+    assert_eq!(f.path, "crates/sim/src/lib.rs");
+    assert_eq!(f.line, 3, "finding anchors at the public entry point");
+    assert!(
+        f.message.contains("crates/mem/src/lib.rs:5"),
+        "message should name the panic site: {}",
+        f.message
+    );
+}
+
+#[test]
+fn stat_conservation_fires_on_bad_fixture() {
+    let all = analyze_one(
+        "stat_conservation_bad.rs",
+        "crates/cache/src/stats_fixture.rs",
+    );
+    assert_eq!(lines_for(&all, "stat-conservation"), vec![5, 6]);
+    let hits = all.iter().find(|f| f.line == 5).expect("hits finding");
+    assert!(
+        hits.message.contains("never read"),
+        "hits is write-only: {}",
+        hits.message
+    );
+    let misses = all.iter().find(|f| f.line == 6).expect("misses finding");
+    assert!(
+        misses.message.contains("never mutated"),
+        "misses is read-only: {}",
+        misses.message
+    );
+}
+
+#[test]
+fn stat_conservation_allowed_fixture_is_clean() {
+    let all = analyze_one(
+        "stat_conservation_allowed.rs",
+        "crates/cache/src/stats_fixture.rs",
+    );
+    assert!(all.is_empty(), "expected clean, got: {all:?}");
+}
+
+#[test]
+fn exhaustive_dispatch_fires_on_bad_fixture() {
+    let all = analyze_one(
+        "exhaustive_dispatch_bad.rs",
+        "crates/sim/src/dispatch_fixture.rs",
+    );
+    assert_eq!(lines_for(&all, "exhaustive-dispatch"), vec![13]);
+    let f = &all[0];
+    assert!(
+        f.message.contains("Closed") && f.message.contains("Locked"),
+        "message should list the hidden variants: {}",
+        f.message
+    );
+}
+
+#[test]
+fn exhaustive_dispatch_allowed_fixture_is_clean() {
+    // Enumerated arms and a wildcard over a #[non_exhaustive] enum.
+    let all = analyze_one(
+        "exhaustive_dispatch_allowed.rs",
+        "crates/sim/src/dispatch_fixture.rs",
+    );
+    assert!(all.is_empty(), "expected clean, got: {all:?}");
+}
+
+#[test]
+fn discarded_result_fires_on_bad_fixture() {
+    let all = analyze_one("discarded_result_bad.rs", "crates/sim/src/flush_fixture.rs");
+    assert_eq!(lines_for(&all, "discarded-result"), vec![9]);
+}
+
+#[test]
+fn discarded_result_allowed_fixture_is_clean() {
+    let all = analyze_one(
+        "discarded_result_allowed.rs",
+        "crates/sim/src/flush_fixture.rs",
+    );
+    assert!(all.is_empty(), "expected clean, got: {all:?}");
+}
+
+#[test]
+fn semantic_passes_skip_test_code() {
+    // The same discarded-result source under a `tests/` path is a test
+    // binary: dropping a Result in a test is not a finding.
+    let all = analyze_one(
+        "discarded_result_bad.rs",
+        "crates/sim/tests/flush_fixture.rs",
+    );
+    assert!(all.is_empty(), "expected clean in test code, got: {all:?}");
+}

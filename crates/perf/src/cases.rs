@@ -12,9 +12,12 @@ use tcp_cache::{Cache, L1MissInfo, MemoryHierarchy, NullPrefetcher, Prefetcher, 
 use tcp_core::{Tcp, TcpConfig};
 use tcp_cpu::{MicroOp, OooCore};
 use tcp_experiments::sweep::{Job, PrefetcherSpec, SweepEngine};
+use tcp_lint::{analyze_files, find_workspace_root, workspace_sources, SourceFile};
 use tcp_mem::{Addr, MemAccess};
 use tcp_sim::{run_suite_parallel, SystemConfig};
 use tcp_workloads::{suite, Benchmark};
+
+use std::path::Path;
 
 use crate::{measure, CaseResult, MeasureOpts};
 
@@ -48,6 +51,11 @@ pub const CASES: &[CaseSpec] = &[
     CaseSpec {
         name: "cache_fill_churn",
         about: "Cache access+fill+evict churn on a conflict-heavy 4-way set",
+    },
+    CaseSpec {
+        name: "lint_workspace",
+        about:
+            "tcp-lint full analysis (lex, parse, call graph, all lints) over the workspace sources",
     },
     CaseSpec {
         name: "suite_parallel",
@@ -209,6 +217,44 @@ fn cache_fill_churn(smoke: bool, opts: MeasureOpts) -> CaseResult {
     r
 }
 
+fn lint_workspace(smoke: bool, opts: MeasureOpts) -> CaseResult {
+    // File I/O happens once out here; the measured region is the whole
+    // in-memory analysis — lexing, parsing, symbol table, call graph,
+    // and every lexical + semantic pass — exactly what `--workspace`
+    // runs per CI invocation. CI gates on this, so analysis regressions
+    // are build-time regressions.
+    let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("perf crate lives inside the workspace");
+    let paths = workspace_sources(&root).expect("workspace sources are readable");
+    let mut files: Vec<SourceFile> = paths
+        .iter()
+        .map(|p| SourceFile {
+            rel_path: p
+                .strip_prefix(&root)
+                .unwrap_or(p)
+                .to_string_lossy()
+                .replace('\\', "/"),
+            src: std::fs::read_to_string(p).expect("workspace source is readable"),
+        })
+        .collect();
+    if smoke {
+        // A deterministic prefix (the walk is sorted): enough files to
+        // exercise cross-file resolution without the full-tree cost.
+        files.truncate(40);
+    }
+    let mut r = measure("lint_workspace", "files", files.len() as u64, opts, || {
+        let findings = analyze_files(&files);
+        // Checksum over positions so a nondeterministic pass ordering
+        // (not just a count change) trips the per-rep equality assert.
+        findings
+            .iter()
+            .map(|f| u64::from(f.line) ^ (u64::from(f.col) << 32))
+            .sum()
+    });
+    r.sim_cycles_per_rep = 0;
+    r
+}
+
 fn suite_parallel(smoke: bool, opts: MeasureOpts) -> CaseResult {
     let n_ops: u64 = if smoke { 8_000 } else { 30_000 };
     let benches = suite();
@@ -272,6 +318,7 @@ pub fn run_cases(
             "ooo_core" => ooo_core(smoke, opts),
             "trace_decode" => trace_decode(smoke, opts),
             "cache_fill_churn" => cache_fill_churn(smoke, opts),
+            "lint_workspace" => lint_workspace(smoke, opts),
             "suite_parallel" => suite_parallel(smoke, opts),
             "sweep_memoized" => sweep_memoized(smoke, opts),
             other => unreachable!("unknown case {other}"),

@@ -201,7 +201,15 @@ impl KernelState {
                 }
                 perm
             }
-            _ => Vec::new(),
+            KernelSpec::StridedSweep { .. }
+            | KernelSpec::InterleavedSweep { .. }
+            | KernelSpec::RandomAccess { .. }
+            | KernelSpec::HotCold { .. }
+            | KernelSpec::ConflictLoop { .. }
+            | KernelSpec::StackChurn { .. }
+            | KernelSpec::GatherScatter { .. }
+            | KernelSpec::BlockedMatrix { .. }
+            | KernelSpec::Zipf { .. } => Vec::new(),
         };
         KernelState {
             spec,

@@ -4,3 +4,5 @@
 //! `tests/` directories so that the main workspace resolves with path
 //! dependencies only (no network). See the package description in
 //! `Cargo.toml` for how to run them.
+
+#![forbid(unsafe_code)]

@@ -1,17 +1,25 @@
 #!/usr/bin/env bash
 # Determinism/error-discipline gate: run tcp-lint over the whole
-# workspace and fail on any finding. Fully offline — tcp-lint is a
+# workspace and fail on any finding, then cap the suppression debt so
+# waivers cannot accumulate silently. Fully offline — tcp-lint is a
 # zero-dependency workspace binary.
 #
 # Usage:
 #   scripts/check-lint.sh                 lint the workspace (the CI gate)
 #   scripts/check-lint.sh --inject-check  additionally prove the gate has
-#                                         teeth: temporarily inject a
-#                                         wall-clock violation into a sim
-#                                         crate and require tcp-lint to
-#                                         reject it
+#                                         teeth: temporarily inject one
+#                                         violation per lint family —
+#                                         including a *transitive*
+#                                         panic-reachability chain that
+#                                         crosses a crate boundary — and
+#                                         require tcp-lint to reject each
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+# Raising this number is a reviewed decision: each waiver is a documented
+# exception to the determinism/error-discipline rules, and the ceiling
+# keeps the debt visible in the diff of this script.
+MAX_WAIVERS=20
 
 INJECT_CHECK=0
 for arg in "$@"; do
@@ -27,28 +35,133 @@ done
 echo "== tcp-lint (workspace) =="
 cargo run --release -q -p tcp-lint -- --workspace
 
+echo
+echo "== tcp-lint suppression debt =="
+WAIVERS=$(cargo run --release -q -p tcp-lint -- --waivers)
+echo "$WAIVERS"
+TOTAL=$(echo "$WAIVERS" | sed -n 's/^total: \([0-9]*\) waivers$/\1/p')
+if [[ -z "$TOTAL" ]]; then
+  echo "FAIL: could not parse the waiver total" >&2
+  exit 1
+fi
+if (( TOTAL > MAX_WAIVERS )); then
+  echo "FAIL: $TOTAL waivers exceed the cap of $MAX_WAIVERS; fix findings instead of waiving them (or raise the cap in this script with review)" >&2
+  exit 1
+fi
+echo "waiver debt $TOTAL/$MAX_WAIVERS"
+
 if [[ "$INJECT_CHECK" == 1 ]]; then
-  echo
-  echo "== tcp-lint self-check: injected violation must fail the gate =="
-  TARGET=crates/sim/src/lib.rs
-  BACKUP=$(mktemp)
-  cp "$TARGET" "$BACKUP"
-  restore() { cp "$BACKUP" "$TARGET"; rm -f "$BACKUP"; }
+  SIM=crates/sim/src/lib.rs
+  MEM=crates/mem/src/lib.rs
+  SIM_BACKUP=$(mktemp)
+  MEM_BACKUP=$(mktemp)
+  cp "$SIM" "$SIM_BACKUP"
+  cp "$MEM" "$MEM_BACKUP"
+  restore() {
+    cp "$SIM_BACKUP" "$SIM"
+    cp "$MEM_BACKUP" "$MEM"
+    rm -f "$SIM_BACKUP" "$MEM_BACKUP"
+  }
   trap restore EXIT
 
-  cat >>"$TARGET" <<'EOF'
+  # inject <lint-name>: the injected source is on stdin and has been
+  # appended to the target file(s) already; run the gate and require it
+  # to reject with the named lint, then restore the tree.
+  expect_reject() {
+    local lint="$1"
+    local out
+    if out=$(cargo run --release -q -p tcp-lint -- --workspace 2>&1); then
+      echo "FAIL: tcp-lint accepted an injected $lint violation" >&2
+      exit 1
+    fi
+    if ! grep -q "\[$lint\]" <<<"$out"; then
+      echo "FAIL: injected violation rejected, but not by $lint:" >&2
+      echo "$out" >&2
+      exit 1
+    fi
+    cp "$SIM_BACKUP" "$SIM"
+    cp "$MEM_BACKUP" "$MEM"
+    echo "injected $lint violation rejected, as it must be"
+  }
+
+  echo
+  echo "== tcp-lint self-check: injected violations must fail the gate =="
+
+  # 1. Lexical family representative: a wall-clock read in a sim crate.
+  cat >>"$SIM" <<'EOF'
 
 /// Canary injected by scripts/check-lint.sh --inject-check.
 pub fn lint_canary() -> std::time::Instant {
     std::time::Instant::now()
 }
 EOF
+  expect_reject wall-clock-in-sim
 
-  if cargo run --release -q -p tcp-lint -- --workspace >/dev/null; then
-    echo "FAIL: tcp-lint accepted an injected wall-clock violation" >&2
-    exit 1
-  fi
-  echo "injected violation rejected, as it must be"
+  # 2. Transitive panic-reachability: the panic lives in `mem` (outside
+  #    the lexical panic-in-library scope), two calls and one crate
+  #    boundary away from a public `sim` entry point. Only the call
+  #    graph can connect the two.
+  cat >>"$MEM" <<'EOF'
+
+/// Canary injected by scripts/check-lint.sh --inject-check.
+pub fn lint_canary_deep() -> u64 {
+    let v: Option<u64> = None;
+    v.expect("injected canary")
+}
+EOF
+  cat >>"$SIM" <<'EOF'
+
+/// Canary injected by scripts/check-lint.sh --inject-check.
+pub fn lint_canary_entry() -> u64 {
+    lint_canary_mid()
+}
+
+fn lint_canary_mid() -> u64 {
+    tcp_mem::lint_canary_deep() + 1
+}
+EOF
+  expect_reject panic-reachability
+
+  # 3. Exhaustive dispatch: a `_` arm on a closed simulator enum.
+  cat >>"$SIM" <<'EOF'
+
+/// Canary injected by scripts/check-lint.sh --inject-check.
+pub fn lint_canary_dispatch(r: &tcp_cache::Replacement) -> u64 {
+    match r {
+        tcp_cache::Replacement::Lru => 0,
+        _ => 1,
+    }
+}
+EOF
+  expect_reject exhaustive-dispatch
+
+  # 4. Stat conservation: a counter that is bumped but never reported.
+  cat >>"$SIM" <<'EOF'
+
+/// Canary injected by scripts/check-lint.sh --inject-check.
+pub struct LintCanaryStats {
+    pub lint_canary_counter: u64,
+}
+
+pub fn lint_canary_bump(s: &mut LintCanaryStats) {
+    s.lint_canary_counter += 1;
+}
+EOF
+  expect_reject stat-conservation
+
+  # 5. Discarded result: a Result-returning call dropped as a statement.
+  cat >>"$SIM" <<'EOF'
+
+/// Canary injected by scripts/check-lint.sh --inject-check.
+fn lint_canary_fallible() -> Result<u64, u8> {
+    Ok(0)
+}
+
+pub fn lint_canary_drop() {
+    lint_canary_fallible();
+}
+EOF
+  expect_reject discarded-result
 fi
 
 echo
