@@ -1,0 +1,301 @@
+//! `tcp-serve` — batch sweep service over the persistent memo store.
+//!
+//! Reads JSON-lines sweep requests from a file (or stdin with `-`), fans
+//! them through the deterministic work-stealing executor, and streams one
+//! JSON result line per request in submission order. Repeated or
+//! previously-simulated requests are served from the store without
+//! re-simulation; malformed requests get an error line instead of killing
+//! the batch.
+//!
+//! ```text
+//! tcp-serve [--store DIR] [--threads N] [--batch N] [FILE|-]
+//! ```
+//!
+//! Request lines look like:
+//!
+//! ```text
+//! {"benchmark":"gzip","ops":50000,"prefetcher":"tcp-8k","machine":"table1"}
+//! ```
+//!
+//! `machine` (default `table1`) is `table1` or `table1-ideal-l2`;
+//! `prefetcher` is any preset named by
+//! [`tcp_experiments::sweep::PrefetcherSpec::presets`]; `ops` defaults to
+//! 50 000. Results carry `cycles`/`ops` as decimal strings (lossless for
+//! the full `u64` range) and `ipc` as a JSON number.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io::{Read, Write};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use tcp_experiments::store::SweepStore;
+use tcp_experiments::sweep::{CheckpointOpts, Job, PrefetcherSpec, SweepEngine, SweepError};
+use tcp_json::Json;
+use tcp_sim::{RunResult, SystemConfig};
+use tcp_workloads::{suite, Benchmark};
+
+const DEFAULT_OPS: u64 = 50_000;
+
+struct Args {
+    store: Option<PathBuf>,
+    threads: usize,
+    batch: usize,
+    input: String,
+}
+
+fn usage() -> String {
+    "usage: tcp-serve [--store DIR] [--threads N] [--batch N] [FILE|-]".to_owned()
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        store: None,
+        threads: 0,
+        batch: CheckpointOpts::default().batch_jobs,
+        input: "-".to_owned(),
+    };
+    let mut it = argv.iter();
+    let mut positional = None;
+    while let Some(arg) = it.next() {
+        let value = |it: &mut std::slice::Iter<String>| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{arg} needs a value\n{}", usage()))
+        };
+        match arg.as_str() {
+            "--store" => args.store = Some(PathBuf::from(value(&mut it)?)),
+            "--threads" => {
+                args.threads = value(&mut it)?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?
+            }
+            "--batch" => {
+                args.batch = value(&mut it)?
+                    .parse()
+                    .map_err(|e| format!("--batch: {e}"))?;
+                if args.batch == 0 {
+                    return Err("--batch must be at least 1".to_owned());
+                }
+            }
+            "--help" | "-h" => return Err(usage()),
+            other => {
+                if positional.replace(other.to_owned()).is_some() {
+                    return Err(format!("unexpected extra argument {other}\n{}", usage()));
+                }
+            }
+        }
+    }
+    if let Some(p) = positional {
+        args.input = p;
+    }
+    Ok(args)
+}
+
+/// Decodes one request line into a [`Job`], with a human-readable reason
+/// for every way a request can be malformed.
+fn parse_request(line: &str, benches: &BTreeMap<&str, Benchmark>) -> Result<Job, String> {
+    let v = tcp_json::parse(line).map_err(|e| format!("invalid JSON: {e}"))?;
+    let bench_name = v
+        .get("benchmark")
+        .and_then(Json::as_str)
+        .ok_or("missing string field \"benchmark\"")?;
+    let bench = benches
+        .get(bench_name)
+        .ok_or_else(|| format!("unknown benchmark {bench_name:?}"))?;
+    let spec_name = v
+        .get("prefetcher")
+        .and_then(Json::as_str)
+        .ok_or("missing string field \"prefetcher\"")?;
+    let spec = PrefetcherSpec::from_name(spec_name).ok_or_else(|| {
+        let known: Vec<&str> = PrefetcherSpec::presets().iter().map(|(n, _)| *n).collect();
+        format!("unknown prefetcher {spec_name:?} (one of {known:?})")
+    })?;
+    let machine = match v.get("machine").and_then(Json::as_str).unwrap_or("table1") {
+        "table1" => SystemConfig::table1(),
+        "table1-ideal-l2" => SystemConfig::table1_ideal_l2(),
+        other => return Err(format!("unknown machine {other:?}")),
+    };
+    let ops = match v.get("ops") {
+        None => DEFAULT_OPS,
+        Some(j) => {
+            let f = j.as_f64().ok_or("\"ops\" must be a number")?;
+            if !(f.is_finite() && f >= 1.0 && f.fract() == 0.0 && f <= u64::MAX as f64) {
+                return Err(format!("\"ops\" must be a positive integer, got {f}"));
+            }
+            f as u64
+        }
+    };
+    Ok(Job::new(bench, ops, &machine, spec))
+}
+
+fn result_line(index: usize, r: &RunResult) -> String {
+    let mut obj = BTreeMap::new();
+    obj.insert("index".to_owned(), Json::Num(index as f64));
+    obj.insert("benchmark".to_owned(), Json::Str(r.benchmark.clone()));
+    obj.insert("prefetcher".to_owned(), Json::Str(r.prefetcher.clone()));
+    obj.insert(
+        "prefetcher_bytes".to_owned(),
+        Json::Str(r.prefetcher_bytes.to_string()),
+    );
+    obj.insert("ipc".to_owned(), Json::Num(r.ipc));
+    obj.insert("cycles".to_owned(), Json::Str(r.cycles.to_string()));
+    obj.insert("ops".to_owned(), Json::Str(r.ops.to_string()));
+    tcp_json::to_string(&Json::Obj(obj))
+}
+
+fn error_line(index: usize, error: &str) -> String {
+    let mut obj = BTreeMap::new();
+    obj.insert("index".to_owned(), Json::Num(index as f64));
+    obj.insert("error".to_owned(), Json::Str(error.to_owned()));
+    tcp_json::to_string(&Json::Obj(obj))
+}
+
+/// One submission slot: a runnable job or the reason it never became one.
+enum Slot {
+    Job(Box<Job>),
+    Bad(String),
+}
+
+fn serve(args: &Args) -> Result<usize, String> {
+    let text = if args.input == "-" {
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|e| format!("reading stdin: {e}"))?;
+        buf
+    } else {
+        fs::read_to_string(&args.input).map_err(|e| format!("reading {}: {e}", args.input))?
+    };
+
+    let (store_dir, ephemeral) = match &args.store {
+        Some(dir) => (dir.clone(), false),
+        None => (
+            std::env::temp_dir().join(format!("tcp-serve-{}", std::process::id())),
+            true,
+        ),
+    };
+    let mut store = SweepStore::open(&store_dir).map_err(|e| e.to_string())?;
+    eprintln!(
+        "tcp-serve: store {} ({} records{})",
+        store_dir.display(),
+        store.len(),
+        if ephemeral { ", ephemeral" } else { "" },
+    );
+    let loaded = store.stats();
+    if loaded.total_quarantined() > 0 {
+        eprintln!("tcp-serve: quarantined on load: {}", loaded.summary());
+    }
+
+    let benches: BTreeMap<&str, Benchmark> = suite().into_iter().map(|b| (b.name, b)).collect();
+    let slots: Vec<Slot> = text
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|line| match parse_request(line, &benches) {
+            Ok(job) => Slot::Job(Box::new(job)),
+            Err(reason) => Slot::Bad(reason),
+        })
+        .collect();
+
+    let engine = if args.threads == 0 {
+        SweepEngine::new()
+    } else {
+        SweepEngine::with_threads(args.threads)
+    };
+    let opts = CheckpointOpts {
+        batch_jobs: args.batch,
+        ..CheckpointOpts::default()
+    };
+    let single = CheckpointOpts {
+        batch_jobs: 1,
+        ..CheckpointOpts::default()
+    };
+
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let mut failures = 0usize;
+    // Stream chunk by chunk: each chunk fans through the stealing
+    // executor, checkpoints the store, and flushes its lines before the
+    // next chunk starts simulating.
+    let chunk_len = args.batch.max(1);
+    for (ci, chunk) in slots.chunks(chunk_len).enumerate() {
+        let base = ci * chunk_len;
+        let jobs: Vec<Job> = chunk
+            .iter()
+            .filter_map(|s| match s {
+                Slot::Job(j) => Some((**j).clone()),
+                Slot::Bad(_) => None,
+            })
+            .collect();
+        let outcome = engine.run_with(&mut store, &jobs, &opts);
+        let results: Vec<Result<RunResult, String>> = match outcome {
+            Ok(rs) => rs.into_iter().map(Ok).collect(),
+            // A job in the chunk failed (e.g. wedged past its retries):
+            // rerun one at a time so every job gets its own verdict.
+            Err(SweepError::Store(e)) => return Err(e.to_string()),
+            Err(SweepError::Job { .. }) => jobs
+                .iter()
+                .map(|j| {
+                    engine
+                        .run_with(&mut store, std::slice::from_ref(j), &single)
+                        .map(|mut rs| rs.remove(0))
+                        .map_err(|e| e.to_string())
+                })
+                .collect(),
+        };
+        let mut next = results.into_iter();
+        for (at, slot) in chunk.iter().enumerate() {
+            let index = base + at;
+            let line = match slot {
+                Slot::Bad(reason) => {
+                    failures += 1;
+                    error_line(index, reason)
+                }
+                Slot::Job(_) => match next.next().expect("one result per job") {
+                    Ok(r) => result_line(index, &r),
+                    Err(reason) => {
+                        failures += 1;
+                        error_line(index, &reason)
+                    }
+                },
+            };
+            writeln!(out, "{line}").map_err(|e| format!("writing stdout: {e}"))?;
+        }
+        out.flush().map_err(|e| format!("flushing stdout: {e}"))?;
+    }
+
+    let stats = engine.stats();
+    eprintln!(
+        "tcp-serve: {} requests, {} simulated, {} from store, {} from memo, {} failed",
+        slots.len(),
+        stats.executed,
+        stats.store_hits,
+        stats.memo_hits(),
+        failures,
+    );
+    eprintln!("tcp-serve: {}", store.stats().summary());
+    if ephemeral {
+        drop(store);
+        let _ = fs::remove_dir_all(&store_dir);
+    }
+    Ok(failures)
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    match serve(&args) {
+        Ok(0) => ExitCode::SUCCESS,
+        Ok(_) => ExitCode::FAILURE,
+        Err(msg) => {
+            eprintln!("tcp-serve: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

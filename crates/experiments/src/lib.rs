@@ -36,5 +36,6 @@ pub mod plot;
 pub mod report;
 pub mod scale;
 pub mod sec6;
+pub mod store;
 pub mod sweep;
 pub mod table1;

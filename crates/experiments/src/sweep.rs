@@ -40,13 +40,18 @@
 //! ```
 
 use std::collections::BTreeMap;
+use std::fmt;
 use std::sync::Mutex;
 
 use tcp_baselines::{Dbcp, DbcpConfig};
 use tcp_cache::{NullPrefetcher, Prefetcher};
 use tcp_core::{DbpConfig, HybridTcp, StrideAugmentedTcp, Tcp, TcpConfig};
-use tcp_sim::{run_benchmark, RunResult, SystemConfig};
+use tcp_sim::{
+    run_benchmark, try_run_benchmark_warm, RunError, RunResult, SimError, SystemConfig, Watchdog,
+};
 use tcp_workloads::Benchmark;
+
+use crate::store::{StoreError, SweepStore};
 
 /// A buildable, comparable description of a prefetch engine.
 ///
@@ -79,6 +84,34 @@ impl PrefetcherSpec {
             PrefetcherSpec::HybridTcp(tcp, dbp) => Box::new(HybridTcp::new(*tcp, *dbp)),
             PrefetcherSpec::Dbcp(cfg) => Box::new(Dbcp::new(*cfg)),
         }
+    }
+
+    /// The named preset configurations `tcp-serve` requests can ask for,
+    /// as `(name, spec)` pairs.
+    pub fn presets() -> [(&'static str, PrefetcherSpec); 6] {
+        [
+            ("null", PrefetcherSpec::Null),
+            ("tcp-8k", PrefetcherSpec::Tcp(TcpConfig::tcp_8k())),
+            ("tcp-8m", PrefetcherSpec::Tcp(TcpConfig::tcp_8m())),
+            (
+                "stride-tcp-8k",
+                PrefetcherSpec::StrideTcp(TcpConfig::tcp_8k()),
+            ),
+            (
+                "hybrid-tcp-8k",
+                PrefetcherSpec::HybridTcp(TcpConfig::tcp_8k(), DbpConfig::default()),
+            ),
+            ("dbcp-2m", PrefetcherSpec::Dbcp(DbcpConfig::dbcp_2m())),
+        ]
+    }
+
+    /// Resolves a preset name from [`PrefetcherSpec::presets`], or `None`
+    /// for an unknown name.
+    pub fn from_name(name: &str) -> Option<PrefetcherSpec> {
+        PrefetcherSpec::presets()
+            .into_iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, spec)| spec)
     }
 }
 
@@ -116,11 +149,12 @@ impl Job {
         }
     }
 
-    /// Canonical identity of this simulation. All components are plain
-    /// data with derived `Debug`, which renders every field — so equal
-    /// keys imply identical simulation inputs, and the simulator's
-    /// bit-determinism turns that into identical outputs.
-    fn key(&self) -> String {
+    /// Canonical identity of this simulation — the memo key of both the
+    /// in-process memo and the persistent [`SweepStore`]. All components
+    /// are plain data with derived `Debug`, which renders every field —
+    /// so equal keys imply identical simulation inputs, and the
+    /// simulator's bit-determinism turns that into identical outputs.
+    pub fn key(&self) -> String {
         format!(
             "{}|{}|{:?}|{:?}|{:?}",
             self.benchmark.name, self.n_ops, self.benchmark.spec, self.machine, self.prefetcher
@@ -135,14 +169,93 @@ pub struct EngineStats {
     pub requested: usize,
     /// Simulations actually executed.
     pub executed: usize,
+    /// Requests served by reading the persistent [`SweepStore`] (only
+    /// [`SweepEngine::run_with`] produces these; one per distinct key
+    /// pulled from disk).
+    pub store_hits: usize,
 }
 
 impl EngineStats {
-    /// Requests served from the memo instead of simulating.
+    /// Requests served from the in-process memo instead of simulating or
+    /// reading the store.
     pub fn memo_hits(&self) -> usize {
-        self.requested - self.executed
+        self.requested - self.executed - self.store_hits
     }
 }
+
+/// A failure from a store-backed sweep ([`SweepEngine::run_with`]).
+#[derive(Debug)]
+pub enum SweepError {
+    /// The persistent store hit an I/O failure (checkpoints could not be
+    /// written or the store could not be read).
+    Store(StoreError),
+    /// A job failed after exhausting its watchdog retries (first failing
+    /// job in submission order). Completed work in the same batch was
+    /// checkpointed before this surfaced, so a retry resumes from it.
+    Job {
+        /// Benchmark of the failing job.
+        benchmark: String,
+        /// Why the job failed.
+        reason: SimError,
+    },
+}
+
+impl fmt::Display for SweepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SweepError::Store(e) => write!(f, "sweep store failure: {e}"),
+            SweepError::Job { benchmark, reason } => {
+                write!(f, "sweep job '{benchmark}' failed: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SweepError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SweepError::Store(e) => Some(e),
+            SweepError::Job { reason, .. } => Some(reason),
+        }
+    }
+}
+
+impl From<StoreError> for SweepError {
+    fn from(e: StoreError) -> Self {
+        SweepError::Store(e)
+    }
+}
+
+/// Policy for a store-backed, checkpointed sweep.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CheckpointOpts {
+    /// Jobs simulated between checkpoints: after each batch of this many
+    /// completed jobs the store is flushed, so a killed sweep loses at
+    /// most one batch of work.
+    pub batch_jobs: usize,
+    /// Forward-progress supervision for each job (the PR 1 watchdog).
+    pub watchdog: Watchdog,
+    /// How many times a wedged job is retried with a relaxed watchdog
+    /// (each retry multiplies the cycles-per-op cap by 16) before the
+    /// sweep reports it failed.
+    pub max_retries: u32,
+}
+
+impl Default for CheckpointOpts {
+    /// Checkpoint every 8 jobs under the default watchdog with 2 retries.
+    fn default() -> Self {
+        CheckpointOpts {
+            batch_jobs: 8,
+            watchdog: Watchdog::default(),
+            max_retries: 2,
+        }
+    }
+}
+
+/// Each watchdog retry multiplies `max_cycles_per_op` by this factor, so
+/// a genuinely slow-but-progressing job eventually completes while a
+/// truly wedged one still fails fast in bounded attempts.
+const RETRY_RELAX_FACTOR: u64 = 16;
 
 /// A memoizing, work-stealing runner for batches of simulation [`Job`]s.
 ///
@@ -238,6 +351,107 @@ impl SweepEngine {
         out
     }
 
+    /// Runs a batch of jobs through the persistent `store`, returning one
+    /// [`RunResult`] per job in submission order.
+    ///
+    /// The lookup order per key is: in-process memo, then the store
+    /// (disk hits are pulled into the memo and counted as
+    /// [`EngineStats::store_hits`]), then simulation. Misses execute on
+    /// the work-stealing pool in batches of
+    /// [`CheckpointOpts::batch_jobs`]; after each batch the new results
+    /// are inserted and the store is **flushed with the crash-safe
+    /// protocol**, so a sweep killed mid-run resumes from the last
+    /// completed batch — bit-identically, because stored results
+    /// round-trip exactly and the simulator is deterministic.
+    ///
+    /// Each job is supervised by the [`Watchdog`] from `opts`; a wedged
+    /// job is retried up to [`CheckpointOpts::max_retries`] times with a
+    /// progressively relaxed cycles-per-op cap before the sweep reports
+    /// [`SweepError::Job`].
+    ///
+    /// # Errors
+    ///
+    /// [`SweepError::Store`] when a checkpoint cannot be written, and
+    /// [`SweepError::Job`] when a job fails after its bounded retries.
+    /// In both cases every batch completed so far (including successes
+    /// in the failing batch) has been flushed to the store.
+    pub fn run_with(
+        &self,
+        store: &mut SweepStore,
+        jobs: &[Job],
+        opts: &CheckpointOpts,
+    ) -> Result<Vec<RunResult>, SweepError> {
+        let keys: Vec<String> = jobs.iter().map(Job::key).collect();
+        let mut to_run: Vec<usize> = Vec::new();
+        let mut store_hits = 0usize;
+        {
+            let mut memo = lock(&self.memo);
+            let mut fresh: BTreeMap<&str, ()> = BTreeMap::new();
+            for (i, key) in keys.iter().enumerate() {
+                if memo.contains_key(key) {
+                    continue;
+                }
+                if let Some(result) = store.get(key) {
+                    memo.insert(key.clone(), result.clone());
+                    store_hits += 1;
+                    continue;
+                }
+                if fresh.insert(key.as_str(), ()).is_none() {
+                    to_run.push(i);
+                }
+            }
+        }
+        let mut executed = 0usize;
+        let mut first_failure: Option<SweepError> = None;
+        'batches: for chunk in to_run.chunks(opts.batch_jobs.max(1)) {
+            let outcomes = tcp_sim::sweep::run_jobs_stealing(chunk.len(), self.threads, |u| {
+                run_supervised(&jobs[chunk[u]], opts)
+            });
+            let mut memo = lock(&self.memo);
+            for (&i, outcome) in chunk.iter().zip(outcomes) {
+                match outcome {
+                    Ok(result) => {
+                        store.insert(&keys[i], &result);
+                        memo.insert(keys[i].clone(), result);
+                        executed += 1;
+                    }
+                    Err(reason) => {
+                        if first_failure.is_none() {
+                            first_failure = Some(SweepError::Job {
+                                benchmark: jobs[i].benchmark.name.to_owned(),
+                                reason,
+                            });
+                        }
+                    }
+                }
+            }
+            drop(memo);
+            // Checkpoint the batch's successes even when a job failed:
+            // graceful degradation means a retry resumes from here.
+            store.flush()?;
+            if first_failure.is_some() {
+                break 'batches;
+            }
+        }
+        let mut stats = lock(&self.stats);
+        stats.requested += jobs.len();
+        stats.executed += executed;
+        stats.store_hits += store_hits;
+        drop(stats);
+        if let Some(failure) = first_failure {
+            return Err(failure);
+        }
+        let memo = lock(&self.memo);
+        Ok(keys
+            .iter()
+            .map(|key| {
+                memo.get(key)
+                    .cloned()
+                    .expect("every submitted key was memoized, stored, or just executed")
+            })
+            .collect())
+    }
+
     /// Cumulative request/execution counts since the engine was built.
     pub fn stats(&self) -> EngineStats {
         *lock(&self.stats)
@@ -251,6 +465,35 @@ impl SweepEngine {
     /// Worker threads this engine simulates on.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+}
+
+/// Runs one job under its watchdog, retrying a wedge up to
+/// `opts.max_retries` times with a relaxed cap. For healthy runs the
+/// supervised runner is cycle-exact with [`run_benchmark`] (the PR 1
+/// parity contract), so results are interchangeable with
+/// [`SweepEngine::run`]'s.
+fn run_supervised(job: &Job, opts: &CheckpointOpts) -> Result<RunResult, SimError> {
+    let mut watchdog = opts.watchdog;
+    let mut attempt = 0u32;
+    loop {
+        let outcome = try_run_benchmark_warm(
+            &job.benchmark,
+            job.n_ops / 2,
+            job.n_ops,
+            &job.machine,
+            job.prefetcher.build(),
+            &watchdog,
+        );
+        match outcome {
+            Err(SimError::Run(RunError::Wedged { .. })) if attempt < opts.max_retries => {
+                attempt += 1;
+                watchdog.max_cycles_per_op = watchdog
+                    .max_cycles_per_op
+                    .saturating_mul(RETRY_RELAX_FACTOR);
+            }
+            other => return other,
+        }
     }
 }
 
@@ -316,7 +559,8 @@ mod tests {
             engine.stats(),
             EngineStats {
                 requested: 3,
-                executed: 1
+                executed: 1,
+                store_hits: 0
             }
         );
         assert_eq!(engine.stats().memo_hits(), 2);
@@ -337,7 +581,8 @@ mod tests {
             engine.stats(),
             EngineStats {
                 requested: 2,
-                executed: 1
+                executed: 1,
+                store_hits: 0
             }
         );
     }
@@ -434,5 +679,185 @@ mod tests {
     #[should_panic(expected = "at least one thread")]
     fn zero_threads_rejected() {
         let _ = SweepEngine::with_threads(0);
+    }
+
+    #[test]
+    fn every_preset_resolves_and_builds() {
+        for (name, spec) in PrefetcherSpec::presets() {
+            let resolved = PrefetcherSpec::from_name(name).expect(name);
+            assert_eq!(format!("{resolved:?}"), format!("{spec:?}"), "{name}");
+            let _engine = resolved.build();
+        }
+        assert!(PrefetcherSpec::from_name("no-such-engine").is_none());
+    }
+
+    mod store_backed {
+        use super::*;
+        use crate::store::SweepStore;
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        fn test_dir(name: &str) -> std::path::PathBuf {
+            static COUNTER: AtomicU64 = AtomicU64::new(0);
+            let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+            let dir = std::env::temp_dir()
+                .join(format!("tcp-sweep-unit-{}-{name}-{n}", std::process::id()));
+            if dir.exists() {
+                std::fs::remove_dir_all(&dir).expect("stale test dir removable");
+            }
+            dir
+        }
+
+        fn jobs_for(names: &[&str], n_ops: u64) -> Vec<Job> {
+            let machine = SystemConfig::table1();
+            picks(names)
+                .iter()
+                .flat_map(|b| {
+                    [
+                        Job::new(b, n_ops, &machine, PrefetcherSpec::Null),
+                        Job::new(b, n_ops, &machine, PrefetcherSpec::Tcp(TcpConfig::tcp_8k())),
+                    ]
+                })
+                .collect()
+        }
+
+        #[test]
+        fn store_backed_run_matches_plain_run_bit_for_bit() {
+            let dir = test_dir("parity");
+            let jobs = jobs_for(&["gzip", "art"], 15_000);
+            let plain = SweepEngine::with_threads(2).run(&jobs);
+            let engine = SweepEngine::with_threads(2);
+            let mut store = SweepStore::open(&dir).expect("open");
+            let stored = engine
+                .run_with(&mut store, &jobs, &CheckpointOpts::default())
+                .expect("store-backed run");
+            for (a, b) in plain.iter().zip(&stored) {
+                assert_eq!(a.cycles, b.cycles, "{}", a.benchmark);
+                assert_eq!(a.ipc.to_bits(), b.ipc.to_bits(), "{}", a.benchmark);
+                assert_eq!(a.stats, b.stats, "{}", a.benchmark);
+            }
+            std::fs::remove_dir_all(&dir).expect("cleanup");
+        }
+
+        #[test]
+        fn second_run_is_served_entirely_from_the_store() {
+            let dir = test_dir("warm");
+            let jobs = jobs_for(&["swim"], 10_000);
+            let first = {
+                let engine = SweepEngine::with_threads(2);
+                let mut store = SweepStore::open(&dir).expect("open");
+                let results = engine
+                    .run_with(&mut store, &jobs, &CheckpointOpts::default())
+                    .expect("cold run");
+                assert_eq!(engine.stats().executed, jobs.len());
+                assert_eq!(engine.stats().store_hits, 0);
+                results
+            };
+            // Fresh engine, fresh process-equivalent: only the disk knows.
+            let engine = SweepEngine::with_threads(2);
+            let mut store = SweepStore::open(&dir).expect("reopen");
+            let second = engine
+                .run_with(&mut store, &jobs, &CheckpointOpts::default())
+                .expect("warm run");
+            assert_eq!(engine.stats().executed, 0, "nothing re-simulates");
+            assert_eq!(engine.stats().store_hits, jobs.len());
+            assert_eq!(engine.stats().memo_hits(), 0);
+            for (a, b) in first.iter().zip(&second) {
+                assert_eq!(a.cycles, b.cycles);
+                assert_eq!(a.ipc.to_bits(), b.ipc.to_bits());
+                assert_eq!(a.stats, b.stats);
+            }
+            std::fs::remove_dir_all(&dir).expect("cleanup");
+        }
+
+        #[test]
+        fn wedged_job_fails_after_bounded_retries_and_checkpoints_survivors() {
+            let dir = test_dir("wedge");
+            let machine = SystemConfig::table1();
+            let healthy = picks(&["gzip"]);
+            let jobs = vec![
+                Job::new(&healthy[0], 10_000, &machine, PrefetcherSpec::Null),
+                Job::new(
+                    &healthy[0],
+                    50_000,
+                    &tcp_sim::faults::wedged_config(),
+                    PrefetcherSpec::Null,
+                ),
+            ];
+            let engine = SweepEngine::with_threads(1);
+            let mut store = SweepStore::open(&dir).expect("open");
+            // batch_jobs 1: the healthy job checkpoints before the wedge
+            // surfaces.
+            let opts = CheckpointOpts {
+                batch_jobs: 1,
+                max_retries: 0,
+                ..CheckpointOpts::default()
+            };
+            let err = engine
+                .run_with(&mut store, &jobs, &opts)
+                .expect_err("wedged job must fail");
+            assert!(
+                matches!(
+                    &err,
+                    SweepError::Job {
+                        reason: SimError::Run(RunError::Wedged { .. }),
+                        ..
+                    }
+                ),
+                "{err}"
+            );
+            // The healthy job's result survived the failure.
+            let store = SweepStore::open(&dir).expect("reopen");
+            assert_eq!(store.len(), 1);
+            std::fs::remove_dir_all(&dir).expect("cleanup");
+        }
+
+        #[test]
+        fn retries_relax_the_watchdog_until_a_slow_job_completes() {
+            // On a deliberately hostile machine (2 000-cycle memory, one
+            // MSHR) art runs at ~60 cycles per op, so a cap of 1 wedges,
+            // one ×16 relaxation (cap 16) still wedges, and the second
+            // (cap 256) completes with headroom.
+            let tight = Watchdog {
+                max_cycles_per_op: 1,
+                check_interval_ops: 1_024,
+            };
+            let mut slow = SystemConfig::table1();
+            slow.hierarchy.memory_latency = 2_000;
+            slow.hierarchy.l1_mshrs = 1;
+            let dir = test_dir("retry");
+            let jobs: Vec<Job> = picks(&["art"])
+                .iter()
+                .map(|b| Job::new(b, 10_000, &slow, PrefetcherSpec::Null))
+                .collect();
+            let engine = SweepEngine::with_threads(1);
+            let mut store = SweepStore::open(&dir).expect("open");
+            let opts = CheckpointOpts {
+                watchdog: tight,
+                max_retries: 2,
+                ..CheckpointOpts::default()
+            };
+            let results = engine
+                .run_with(&mut store, &jobs, &opts)
+                .expect("retries must rescue the run");
+            let reference = SweepEngine::with_threads(1).run(&jobs);
+            for (a, b) in reference.iter().zip(&results) {
+                assert_eq!(a.cycles, b.cycles, "retried run stays cycle-exact");
+            }
+            // And with retries exhausted before the cap is workable, the
+            // same sweep fails.
+            let dir2 = test_dir("retry-fail");
+            let mut store2 = SweepStore::open(&dir2).expect("open");
+            let opts = CheckpointOpts {
+                watchdog: tight,
+                max_retries: 0,
+                ..CheckpointOpts::default()
+            };
+            let err = SweepEngine::with_threads(1)
+                .run_with(&mut store2, &jobs, &opts)
+                .expect_err("no retries, impossible cap");
+            assert!(matches!(err, SweepError::Job { .. }));
+            std::fs::remove_dir_all(&dir).expect("cleanup");
+            std::fs::remove_dir_all(&dir2).expect("cleanup");
+        }
     }
 }

@@ -1,11 +1,17 @@
-//! A minimal JSON reader/writer for `BENCH.json`.
+//! A minimal JSON reader/writer shared by the workspace's persisted
+//! artifacts (`BENCH.json`, the sweep store, `tcp-serve` requests).
 //!
-//! The workspace builds offline with no external crates, so the harness
-//! carries its own JSON support: a writer that emits the report and a
-//! small recursive-descent parser that reads it back for baseline
-//! comparison. The parser handles the full JSON grammar (objects, arrays,
-//! strings with escapes, numbers, booleans, null) — enough to reject a
-//! damaged baseline with a useful message rather than a panic.
+//! The workspace builds offline with no external crates, so it carries
+//! its own JSON support: a small recursive-descent parser covering the
+//! full JSON grammar (objects, arrays, strings with escapes, numbers,
+//! booleans, null) — enough to reject a damaged document with a useful
+//! message rather than a panic — and a canonical writer ([`to_string`])
+//! whose output is deterministic: object keys emit in sorted order, so
+//! serialize → parse → serialize is a fixed point. The sweep store's
+//! checksums rely on that canonical form.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -310,6 +316,55 @@ pub fn num(v: f64) -> String {
     }
 }
 
+/// Serializes `v` to its canonical compact form: no insignificant
+/// whitespace, object keys in sorted order (the [`Json::Obj`] `BTreeMap`
+/// ordering), strings escaped via [`escape`], numbers via [`num`].
+///
+/// Canonical means deterministic: parsing the output and serializing it
+/// again yields byte-identical text, which is what lets the sweep store
+/// checksum a record's payload by re-serializing the parsed value.
+pub fn to_string(v: &Json) -> String {
+    let mut out = String::new();
+    write_value(v, &mut out);
+    out
+}
+
+fn write_value(v: &Json, out: &mut String) {
+    match v {
+        Json::Null => out.push_str("null"),
+        Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Json::Num(n) => out.push_str(&num(*n)),
+        Json::Str(s) => {
+            out.push('"');
+            out.push_str(&escape(s));
+            out.push('"');
+        }
+        Json::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(item, out);
+            }
+            out.push(']');
+        }
+        Json::Obj(map) => {
+            out.push('{');
+            for (i, (key, val)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('"');
+                out.push_str(&escape(key));
+                out.push_str("\":");
+                write_value(val, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -360,5 +415,25 @@ mod tests {
             assert_eq!(parse(&text).unwrap().as_f64(), Some(v));
         }
         assert_eq!(num(f64::NAN), "null");
+    }
+
+    #[test]
+    fn to_string_is_canonical() {
+        // Keys out of order and redundant whitespace in the source: the
+        // canonical form sorts and compacts, and re-serializing the
+        // parsed canonical text is a fixed point.
+        let v = parse(r#" { "b" : [1, true, null], "a" : {"z": "s\nx", "y": 2.5} } "#).unwrap();
+        let text = to_string(&v);
+        assert_eq!(text, r#"{"a":{"y":2.5,"z":"s\nx"},"b":[1,true,null]}"#);
+        assert_eq!(to_string(&parse(&text).unwrap()), text);
+    }
+
+    #[test]
+    fn to_string_escapes_keys_and_strings() {
+        let mut map = BTreeMap::new();
+        map.insert("k\"ey".to_owned(), Json::Str("a\tb".to_owned()));
+        let text = to_string(&Json::Obj(map));
+        assert_eq!(text, r#"{"k\"ey":"a\tb"}"#);
+        assert_eq!(to_string(&parse(&text).unwrap()), text);
     }
 }

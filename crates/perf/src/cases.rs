@@ -11,6 +11,7 @@ use tcp_analysis::{miss_stream, read_trace, write_trace, MissRecord};
 use tcp_cache::{Cache, L1MissInfo, MemoryHierarchy, NullPrefetcher, Prefetcher, Replacement};
 use tcp_core::{Tcp, TcpConfig};
 use tcp_cpu::{MicroOp, OooCore};
+use tcp_experiments::store::{decode_record, encode_record};
 use tcp_experiments::sweep::{Job, PrefetcherSpec, SweepEngine};
 use tcp_lint::{analyze_files, find_workspace_root, workspace_sources, SourceFile};
 use tcp_mem::{Addr, MemAccess};
@@ -64,6 +65,10 @@ pub const CASES: &[CaseSpec] = &[
     CaseSpec {
         name: "sweep_memoized",
         about: "SweepEngine over a duplicate-heavy job list (work-stealing fan-out + memo dedup)",
+    },
+    CaseSpec {
+        name: "memo_store_roundtrip",
+        about: "SweepStore record encode + checksum + decode round-trip (persistence hot path)",
     },
 ];
 
@@ -297,6 +302,52 @@ fn sweep_memoized(smoke: bool, opts: MeasureOpts) -> CaseResult {
     })
 }
 
+fn memo_store_roundtrip(smoke: bool, opts: MeasureOpts) -> CaseResult {
+    let n_ops: u64 = if smoke { 6_000 } else { 20_000 };
+    let take = if smoke { 4 } else { 12 };
+    let benches: Vec<Benchmark> = suite().into_iter().take(take).collect();
+    let machine = SystemConfig::table1();
+    // Real simulation results (produced once, outside the measured
+    // region) so the encoded payloads carry representative magnitudes.
+    let jobs: Vec<Job> = benches
+        .iter()
+        .flat_map(|b| {
+            [
+                Job::new(b, n_ops, &machine, PrefetcherSpec::Null),
+                Job::new(b, n_ops, &machine, PrefetcherSpec::Tcp(TcpConfig::tcp_8k())),
+            ]
+        })
+        .collect();
+    let keys: Vec<String> = jobs.iter().map(Job::key).collect();
+    let results = SweepEngine::new().run(&jobs);
+    // The measured region is the store's CPU hot path — canonical JSON
+    // emission, FNV checksumming, parsing, and field decoding — without
+    // filesystem noise, so the gate tracks code, not the disk. The
+    // closure returns a checksum (a free determinism check), not a cycle
+    // count, so the cycles field is cleared before reporting.
+    let mut r = measure(
+        "memo_store_roundtrip",
+        "records",
+        results.len() as u64,
+        opts,
+        || {
+            let mut checksum = 0u64;
+            for (key, result) in keys.iter().zip(&results) {
+                let line = encode_record(key, result);
+                let (back_key, back) = decode_record(&line)
+                    .unwrap_or_else(|(reason, detail)| panic!("{reason:?}: {detail}"));
+                assert_eq!(&back_key, key);
+                checksum = checksum
+                    .wrapping_add(back.cycles)
+                    .wrapping_add(line.len() as u64);
+            }
+            checksum
+        },
+    );
+    r.sim_cycles_per_rep = 0;
+    r
+}
+
 /// Runs every case whose name contains `filter` (all when `None`),
 /// invoking `progress` after each. `smoke` selects the small input sizes.
 pub fn run_cases(
@@ -321,6 +372,7 @@ pub fn run_cases(
             "lint_workspace" => lint_workspace(smoke, opts),
             "suite_parallel" => suite_parallel(smoke, opts),
             "sweep_memoized" => sweep_memoized(smoke, opts),
+            "memo_store_roundtrip" => memo_store_roundtrip(smoke, opts),
             other => unreachable!("unknown case {other}"),
         };
         progress(&result);

@@ -37,7 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod cases;
-pub mod json;
+pub use tcp_json as json;
 
 use std::time::Instant;
 

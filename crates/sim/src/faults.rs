@@ -199,6 +199,136 @@ pub fn corrupt_trace(bytes: &mut Vec<u8>, fault: TraceFault) {
     }
 }
 
+/// The memo-store corruptions [`corrupt_store`] can inject, mirroring the
+/// quarantine reasons the experiment harness's persistent sweep store must
+/// report when it reloads a damaged `store.jsonl`.
+///
+/// The injector works on raw bytes and only assumes the store's two
+/// load-bearing substrings (`"payload"` and `"store_version"`), so it
+/// stays decoupled from the store's exact schema: the store crate can add
+/// payload fields without touching the fault vocabulary here.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StoreFault {
+    /// Cut the file mid-way through its final record, as a crash during a
+    /// non-atomic write would — must quarantine as a parse failure.
+    TruncatedTail,
+    /// Flip the low bit of a digit inside the final record's payload
+    /// (a digit XOR 1 is still a digit, so the line stays well-formed
+    /// JSON) — must quarantine as a checksum mismatch.
+    BitFlip,
+    /// Rewrite the final record's `store_version` to a different number —
+    /// must quarantine as a version mismatch.
+    StaleVersion,
+    /// Leave the store intact but plant an orphaned `store.jsonl.tmp`
+    /// holding a half-written copy, the debris of a crash between write
+    /// and rename — must quarantine the orphan as a torn rename.
+    TornRename,
+    /// Append a byte-identical copy of the final record — the duplicate
+    /// must be quarantined while the first occurrence survives.
+    DuplicateKey,
+}
+
+/// All [`StoreFault`] variants, for exhaustive injection loops.
+pub const STORE_FAULTS: [StoreFault; 5] = [
+    StoreFault::TruncatedTail,
+    StoreFault::BitFlip,
+    StoreFault::StaleVersion,
+    StoreFault::TornRename,
+    StoreFault::DuplicateKey,
+];
+
+/// A store corrupted by [`corrupt_store`]: the bytes to write back as
+/// `store.jsonl`, plus — for [`StoreFault::TornRename`] only — bytes to
+/// plant as an orphaned `store.jsonl.tmp` beside it.
+#[derive(Clone, Debug)]
+pub struct CorruptedStore {
+    /// Replacement contents for the store file itself.
+    pub store: Vec<u8>,
+    /// Contents for an orphaned temp file, when the fault plants one.
+    pub orphan_tmp: Option<Vec<u8>>,
+}
+
+/// Applies `fault` to the serialized bytes of a healthy JSON-lines memo
+/// store and returns the corrupted artefacts to write back to disk.
+///
+/// # Panics
+///
+/// Panics if `bytes` does not look like a non-empty record store (no
+/// final line, or — for the faults that need them — no `"payload"` /
+/// `"store_version"` substring in it). Corrupt a real store file, not
+/// arbitrary data.
+pub fn corrupt_store(bytes: &[u8], fault: StoreFault) -> CorruptedStore {
+    let trimmed_len = bytes
+        .iter()
+        .rposition(|&b| b != b'\n')
+        .map(|p| p + 1)
+        .unwrap_or(0);
+    assert!(trimmed_len > 0, "cannot corrupt an empty store");
+    let line_start = bytes[..trimmed_len]
+        .iter()
+        .rposition(|&b| b == b'\n')
+        .map(|p| p + 1)
+        .unwrap_or(0);
+    let last_line = &bytes[line_start..trimmed_len];
+    let plain = |store: Vec<u8>| CorruptedStore {
+        store,
+        orphan_tmp: None,
+    };
+    match fault {
+        StoreFault::TruncatedTail => {
+            // Keep at least one byte of the final record so the damage is
+            // a torn line, not a clean shorter store.
+            let cut = line_start + 1 + (trimmed_len - line_start - 1) / 2;
+            plain(bytes[..cut].to_vec())
+        }
+        StoreFault::BitFlip => {
+            // tcp-lint: allow(panic-in-library) — documented panic: the injector demands a real store record
+            let in_line = find(last_line, b"\"payload\"").expect("record has a payload field");
+            let digit_at = last_line[in_line..]
+                .iter()
+                .position(u8::is_ascii_digit)
+                // tcp-lint: allow(panic-in-library) — documented panic: the injector demands a real store record
+                .expect("payload contains a digit");
+            let mut out = bytes.to_vec();
+            out[line_start + in_line + digit_at] ^= 0x01;
+            plain(out)
+        }
+        StoreFault::StaleVersion => {
+            let marker = b"\"store_version\":";
+            // tcp-lint: allow(panic-in-library) — documented panic: the injector demands a real store record
+            let in_line = find(last_line, marker).expect("record has a store_version field");
+            let digit_at = in_line + marker.len();
+            assert!(
+                last_line[digit_at].is_ascii_digit(),
+                "store_version must be a bare number"
+            );
+            let mut out = bytes.to_vec();
+            let d = &mut out[line_start + digit_at];
+            *d = if *d == b'9' { b'8' } else { b'9' };
+            plain(out)
+        }
+        StoreFault::TornRename => CorruptedStore {
+            store: bytes.to_vec(),
+            orphan_tmp: Some(bytes[..trimmed_len / 2].to_vec()),
+        },
+        StoreFault::DuplicateKey => {
+            let mut out = bytes.to_vec();
+            if !out.ends_with(b"\n") {
+                out.push(b'\n');
+            }
+            out.extend_from_slice(last_line);
+            out.push(b'\n');
+            plain(out)
+        }
+    }
+}
+
+fn find(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack
+        .windows(needle.len())
+        .position(|window| window == needle)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -259,5 +389,105 @@ mod tests {
     #[test]
     fn zero_ipc_baseline_is_degenerate() {
         assert_eq!(zero_ipc_baseline("gzip").ipc, 0.0);
+    }
+
+    /// Two synthetic records shaped like the experiment store's format —
+    /// enough structure for every [`StoreFault`] without depending on the
+    /// store crate (the dependency points the other way).
+    fn synthetic_store() -> Vec<u8> {
+        let mut out = Vec::new();
+        for (checksum, key) in [("41", "job-a"), ("97", "job-b")] {
+            out.extend_from_slice(
+                format!(
+                    "{{\"checksum\":\"{checksum}\",\"payload\":{{\"cycles\":\"1024\",\
+                     \"key\":\"{key}\"}},\"store_version\":1}}\n"
+                )
+                .as_bytes(),
+            );
+        }
+        out
+    }
+
+    #[test]
+    fn truncated_tail_cuts_mid_record() {
+        let healthy = synthetic_store();
+        let hurt = corrupt_store(&healthy, StoreFault::TruncatedTail);
+        assert!(hurt.orphan_tmp.is_none());
+        assert!(hurt.store.len() < healthy.len());
+        // The first record survives whole; the second is torn, not gone.
+        let first_len = healthy.iter().position(|&b| b == b'\n').unwrap() + 1;
+        assert_eq!(&hurt.store[..first_len], &healthy[..first_len]);
+        assert!(hurt.store.len() > first_len);
+        assert!(!hurt.store.ends_with(b"}\n"));
+    }
+
+    #[test]
+    fn bit_flip_stays_inside_the_payload_digits() {
+        let healthy = synthetic_store();
+        let hurt = corrupt_store(&healthy, StoreFault::BitFlip);
+        assert_eq!(hurt.store.len(), healthy.len());
+        let diffs: Vec<usize> = healthy
+            .iter()
+            .zip(&hurt.store)
+            .enumerate()
+            .filter(|(_, (a, b))| a != b)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(diffs.len(), 1, "exactly one byte flipped");
+        assert!(healthy[diffs[0]].is_ascii_digit());
+        assert!(hurt.store[diffs[0]].is_ascii_digit());
+        // The flip lands after the last record's payload marker, so the
+        // envelope (checksum field, version) is untouched.
+        let line_start = healthy[..healthy.len() - 1]
+            .iter()
+            .rposition(|&b| b == b'\n')
+            .unwrap()
+            + 1;
+        let payload_at = find(&healthy[line_start..], b"\"payload\"").unwrap();
+        assert!(diffs[0] >= line_start + payload_at);
+    }
+
+    #[test]
+    fn stale_version_rewrites_only_the_version_digit() {
+        let healthy = synthetic_store();
+        let hurt = corrupt_store(&healthy, StoreFault::StaleVersion);
+        let tail = b"\"store_version\":9}\n";
+        assert!(hurt.store.ends_with(tail), "version digit rewritten");
+        assert_eq!(hurt.store.len(), healthy.len());
+    }
+
+    #[test]
+    fn torn_rename_plants_a_half_written_orphan() {
+        let healthy = synthetic_store();
+        let hurt = corrupt_store(&healthy, StoreFault::TornRename);
+        assert_eq!(hurt.store, healthy, "store itself is untouched");
+        let orphan = hurt.orphan_tmp.expect("orphan tmp planted");
+        assert!(!orphan.is_empty() && orphan.len() < healthy.len());
+        assert_eq!(&orphan[..], &healthy[..orphan.len()]);
+        assert!(!orphan.ends_with(b"}\n"), "orphan is half-written");
+    }
+
+    #[test]
+    fn duplicate_key_appends_a_byte_identical_record() {
+        let healthy = synthetic_store();
+        let hurt = corrupt_store(&healthy, StoreFault::DuplicateKey);
+        assert!(hurt.orphan_tmp.is_none());
+        let lines: Vec<&[u8]> = hurt
+            .store
+            .split(|&b| b == b'\n')
+            .filter(|l| !l.is_empty())
+            .collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[1], lines[2], "last record duplicated verbatim");
+        assert_ne!(lines[0], lines[1]);
+    }
+
+    #[test]
+    fn store_faults_lists_every_variant_once() {
+        for (i, a) in STORE_FAULTS.iter().enumerate() {
+            for b in STORE_FAULTS.iter().skip(i + 1) {
+                assert_ne!(a, b);
+            }
+        }
     }
 }

@@ -52,6 +52,19 @@ demo-faults:
 demo-sweep:
     cargo run --release --example sweep_report
 
+# Store fault-injection demo: every StoreFault quarantined, sweep recovers.
+demo-store-faults:
+    cargo run --release --example store_faults
+
+# Batch sweep service demo: requests on stdin, persistent store, streamed results.
+demo-serve:
+    printf '%s\n' \
+        '{"benchmark":"gzip","ops":50000,"prefetcher":"null"}' \
+        '{"benchmark":"gzip","ops":50000,"prefetcher":"tcp-8k"}' \
+        '{"benchmark":"ammp","ops":50000,"prefetcher":"tcp-8k"}' \
+        '{"benchmark":"ammp","ops":50000,"prefetcher":"dbcp-2m"}' \
+        | cargo run --release -p tcp-experiments --bin tcp-serve -- -
+
 # Regenerate every table and figure.
 figures:
     cargo run --release -p tcp-experiments --bin all

@@ -9,21 +9,35 @@
 # the same runner class, where a >10% median drop is signal, not noise.
 #
 # Usage: scripts/check-perf.sh [--smoke|--full] [--update] [--threshold F]
+#        scripts/check-perf.sh --promote [FILE]
 #   --smoke      reduced input sizes (default; what CI runs)
 #   --full       full-size inputs (for local before/after work)
 #   --update     rewrite bench/baseline.json from this run instead of comparing
+#   --promote    promote an already-measured report (default BENCH.json) to
+#                bench/baseline.json — but only after verifying it is no
+#                worse than the current baseline, so a bad run can never
+#                become the new reference by accident
 #   --threshold  allowed fractional median-throughput drop (default 0.10)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 mode=--smoke
 update=0
+promote=0
+promote_file=BENCH.json
 threshold=0.10
 while [ $# -gt 0 ]; do
     case "$1" in
         --smoke) mode=--smoke ;;
         --full) mode= ;;
         --update) update=1 ;;
+        --promote)
+            promote=1
+            if [ $# -gt 1 ] && [ "${2#-}" = "$2" ]; then
+                promote_file="$2"
+                shift
+            fi
+            ;;
         --threshold)
             threshold="$2"
             shift
@@ -41,6 +55,25 @@ current="${BENCH_OUT:-BENCH.json}"
 
 echo "== build tcp-perf (release) =="
 cargo build --release -p tcp-perf
+
+if [ "$promote" = 1 ]; then
+    if [ ! -f "$promote_file" ]; then
+        echo "check-perf.sh: no report at $promote_file to promote" >&2
+        exit 2
+    fi
+    if [ -f "$baseline" ]; then
+        echo
+        echo "== validate $promote_file against $baseline before promoting =="
+        ./target/release/tcp-perf compare "$baseline" "$promote_file" --threshold "$threshold"
+    else
+        echo "check-perf.sh: no existing baseline; promoting $promote_file as the first one"
+    fi
+    mkdir -p bench
+    cp "$promote_file" "$baseline"
+    echo
+    echo "baseline promoted: $promote_file -> $baseline"
+    exit 0
+fi
 
 echo
 echo "== measure (${mode:---full}) =="

@@ -24,6 +24,14 @@ echo "== sweep-engine determinism tests (executor + memo + cross-figure) =="
 cargo test --test sweep_engine
 
 echo
+echo "== persistent-store acceptance tests (checkpoint/resume + quarantine) =="
+cargo test --test store_persistence
+
+echo
+echo "== store fault-injection demo (every StoreFault quarantined) =="
+cargo run --release -q --example store_faults
+
+echo
 echo "== error-layer unit tests (tcp-sim, tcp-cache, tcp-analysis) =="
 cargo test -p tcp-sim
 cargo test -p tcp-cache error

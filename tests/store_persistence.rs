@@ -1,0 +1,174 @@
+//! Acceptance tests for the crash-safe persistent sweep store: a sweep
+//! killed mid-way must resume from its checkpoints bit-identically, and
+//! every [`StoreFault`] injected into the on-disk records must be
+//! quarantined with the right reason while the sweep still completes with
+//! correct results.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use tcp_repro::core::TcpConfig;
+use tcp_repro::experiments::store::{StoreStats, SweepStore, QUARANTINE_FILE, STORE_TMP_FILE};
+use tcp_repro::experiments::sweep::{CheckpointOpts, Job, PrefetcherSpec, SweepEngine};
+use tcp_repro::sim::faults::{corrupt_store, StoreFault, STORE_FAULTS};
+use tcp_repro::sim::{RunResult, SystemConfig};
+use tcp_repro::workloads::suite;
+
+const OPS: u64 = 12_000;
+
+fn test_dir(label: &str) -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(format!(
+        "store-persistence-{label}-{}",
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    if dir.exists() {
+        fs::remove_dir_all(&dir).expect("clear stale test dir");
+    }
+    dir
+}
+
+/// Four distinct jobs: two benchmarks, each with and without TCP.
+fn jobs() -> Vec<Job> {
+    let machine = SystemConfig::table1();
+    let benches = suite();
+    ["gzip", "ammp"]
+        .iter()
+        .map(|name| benches.iter().find(|b| b.name == *name).expect("bench"))
+        .flat_map(|b| {
+            [
+                Job::new(b, OPS, &machine, PrefetcherSpec::Null),
+                Job::new(b, OPS, &machine, PrefetcherSpec::Tcp(TcpConfig::tcp_8k())),
+            ]
+        })
+        .collect()
+}
+
+fn assert_bit_identical(a: &[RunResult], b: &[RunResult]) {
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.benchmark, y.benchmark);
+        assert_eq!(x.prefetcher, y.prefetcher);
+        assert_eq!(x.cycles, y.cycles, "{}/{}", x.benchmark, x.prefetcher);
+        assert_eq!(x.ops, y.ops);
+        assert_eq!(x.ipc.to_bits(), y.ipc.to_bits(), "IPC bit-identical");
+        assert_eq!(x.stats, y.stats, "full hierarchy stats identical");
+    }
+}
+
+#[test]
+fn killed_sweep_resumes_from_checkpoints_bit_identically() {
+    let jobs = jobs();
+    let reference = SweepEngine::with_threads(2).run(&jobs);
+
+    // Phase 1: a sweep that dies after finishing only the first half.
+    // Dropping the engine and store mid-sequence models the kill — the
+    // store has already checkpointed each single-job batch to disk.
+    let dir = test_dir("resume");
+    let opts = CheckpointOpts {
+        batch_jobs: 1,
+        ..CheckpointOpts::default()
+    };
+    {
+        let engine = SweepEngine::with_threads(2);
+        let mut store = SweepStore::open(&dir).expect("open");
+        let half = &jobs[..jobs.len() / 2];
+        engine
+            .run_with(&mut store, half, &opts)
+            .expect("first half completes");
+        assert_eq!(store.len(), half.len());
+        // No explicit flush here beyond the per-batch checkpoints: the
+        // "killed" process never got to say goodbye.
+    }
+
+    // Phase 2: a fresh process resumes the full sweep from the same dir.
+    let engine = SweepEngine::with_threads(2);
+    let mut store = SweepStore::open(&dir).expect("reopen");
+    assert_eq!(store.len(), jobs.len() / 2, "checkpoints survived the kill");
+    let resumed = engine
+        .run_with(&mut store, &jobs, &opts)
+        .expect("resume completes");
+    let stats = engine.stats();
+    assert_eq!(
+        stats.executed,
+        jobs.len() - jobs.len() / 2,
+        "only the unfinished jobs are re-simulated"
+    );
+    assert_eq!(stats.store_hits, jobs.len() / 2);
+    assert_bit_identical(&reference, &resumed);
+    fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+/// Which [`StoreStats`] quarantine counter a given fault must bump.
+fn quarantined_for(stats: &StoreStats, fault: StoreFault) -> usize {
+    match fault {
+        StoreFault::TruncatedTail => stats.quarantined_parse,
+        StoreFault::BitFlip => stats.quarantined_checksum,
+        StoreFault::StaleVersion => stats.quarantined_version,
+        StoreFault::TornRename => stats.quarantined_torn,
+        StoreFault::DuplicateKey => stats.quarantined_duplicate,
+    }
+}
+
+#[test]
+fn every_store_fault_is_quarantined_and_the_sweep_still_completes() {
+    let jobs = jobs();
+    let reference = SweepEngine::with_threads(2).run(&jobs);
+
+    // Build one healthy store to corrupt copies of.
+    let seed_dir = test_dir("fault-seed");
+    let healthy = {
+        let engine = SweepEngine::with_threads(2);
+        let mut store = SweepStore::open(&seed_dir).expect("open");
+        engine
+            .run_with(&mut store, &jobs, &CheckpointOpts::default())
+            .expect("seed sweep");
+        fs::read(store.store_path()).expect("read healthy store")
+    };
+
+    for fault in STORE_FAULTS {
+        let dir = test_dir("fault");
+        fs::create_dir_all(&dir).expect("mkdir");
+        let hurt = corrupt_store(&healthy, fault);
+        fs::write(dir.join("store.jsonl"), &hurt.store).expect("plant store");
+        if let Some(tmp) = &hurt.orphan_tmp {
+            fs::write(dir.join(STORE_TMP_FILE), tmp).expect("plant orphan");
+        }
+
+        let mut store =
+            SweepStore::open(&dir).unwrap_or_else(|e| panic!("open survives {fault:?}: {e}"));
+        let stats = store.stats();
+        assert!(
+            quarantined_for(&stats, fault) >= 1,
+            "{fault:?} must bump its quarantine counter: {}",
+            stats.summary()
+        );
+        let quarantine = fs::read_to_string(dir.join(QUARANTINE_FILE))
+            .unwrap_or_else(|e| panic!("{fault:?} must leave a quarantine file: {e}"));
+        assert!(
+            !quarantine.trim().is_empty(),
+            "{fault:?} quarantine records carry their reason"
+        );
+
+        // The degraded store must still serve a correct sweep: surviving
+        // records are reused, quarantined ones re-simulated.
+        let engine = SweepEngine::with_threads(2);
+        let recovered = engine
+            .run_with(&mut store, &jobs, &CheckpointOpts::default())
+            .expect("sweep over degraded store completes");
+        assert_bit_identical(&reference, &recovered);
+
+        // After recovery the store is clean: a reopen quarantines nothing.
+        drop(store);
+        let reopened = SweepStore::open(&dir).expect("reopen after recovery");
+        assert_eq!(
+            reopened.stats().total_quarantined(),
+            0,
+            "{fault:?} leaves a clean store behind"
+        );
+        assert_eq!(reopened.len(), jobs.len());
+        fs::remove_dir_all(&dir).expect("cleanup");
+    }
+    fs::remove_dir_all(&seed_dir).expect("cleanup");
+}
