@@ -3,8 +3,16 @@
 //! Timing is owned by [`crate::MemoryHierarchy`]; this type answers the
 //! purely structural questions — is the line present, which line gets
 //! evicted, which lines were prefetched but never demanded.
+//!
+//! The storage is struct-of-arrays: each set's way tags sit in one
+//! contiguous `u64` row probed by the chunked [`kernels::find_tag`]
+//! kernel, occupancy is one bitmask per set (empty-way selection is a
+//! single `trailing_zeros`), and the flag/stamp planes are separate
+//! parallel arrays so a probe touches only the bytes it needs. The fill
+//! path is one fused probe → empty-way → victim-select pass over those
+//! rows. [`LineMeta`] remains the external view, assembled on demand.
 
-use crate::Replacement;
+use crate::{kernels, Replacement};
 use tcp_mem::{CacheGeometry, LineAddr, SetIndex, Tag};
 
 /// Metadata kept for each resident cache line.
@@ -51,6 +59,48 @@ pub enum AccessOutcome {
     Miss,
 }
 
+const FLAG_DIRTY: u8 = 1;
+const FLAG_PREFETCHED: u8 = 1 << 1;
+const FLAG_DEMANDED: u8 = 1 << 2;
+
+/// One `u64` metadata plane whose live data starts `OFF` elements into
+/// its allocation.
+///
+/// The stagger is load-bearing for performance: every plane is a
+/// page-multiple in size, large allocations are page-aligned, so with
+/// all planes starting at offset 0 a given set's row would land at the
+/// *same offset modulo 4 KB* in every plane — i.e. in the same
+/// associativity set of the host CPU's L1 cache. A workload hammering
+/// one simulated set would then thrash one host cache set with six
+/// conflicting lines. Shifting each plane by a different whole cache
+/// line (multiples of 8 × `u64`) spreads the planes' rows across host
+/// sets. `OFF` is a const generic so the offset folds into the
+/// addressing arithmetic at compile time.
+#[derive(Clone, Debug)]
+struct Plane<const OFF: usize>(Vec<u64>);
+
+impl<const OFF: usize> Plane<OFF> {
+    fn new(len: usize) -> Self {
+        Plane(vec![0; OFF + len])
+    }
+
+    /// The `len`-element row starting at logical index `base`.
+    #[inline(always)]
+    fn row(&self, base: usize, len: usize) -> &[u64] {
+        &self.0[OFF + base..OFF + base + len]
+    }
+
+    #[inline(always)]
+    fn at(&self, i: usize) -> u64 {
+        self.0[OFF + i]
+    }
+
+    #[inline(always)]
+    fn set(&mut self, i: usize, v: u64) {
+        self.0[OFF + i] = v;
+    }
+}
+
 /// A set-associative cache.
 ///
 /// # Examples
@@ -70,21 +120,63 @@ pub enum AccessOutcome {
 pub struct Cache {
     geom: CacheGeometry,
     policy: Replacement,
-    ways: Vec<Option<LineMeta>>, // num_sets * associativity, row-major by set
+    assoc: usize,
+    // Struct-of-arrays way storage, row-major by set: `tags` holds each
+    // set's way tags contiguously, `valid` one occupancy bitmask per set,
+    // and the flag/stamp planes are parallel to `tags` (each at its own
+    // host-cache-line stagger; see [`Plane`]).
+    tags: Plane<0>,
+    valid: Vec<u64>,
+    flags: Vec<u8>,
+    fill_order: Plane<8>,
+    last_order: Plane<16>,
+    fill_cycle: Plane<24>,
+    last_cycle: Plane<32>,
     order: u64,
     occupied: u64,
+    // Probe memo: the line most recently *missed* by [`Cache::access`]
+    // and the residency epoch it was probed under. Residency only
+    // changes when a line is installed or invalidated (`epoch` counts
+    // those events), so a fill of the same line in the same epoch can
+    // skip its residency probe — the common access-miss-then-fill
+    // sequence pays for one probe, not two. Recency updates (hits)
+    // deliberately do not bump the epoch: they cannot change a probe's
+    // outcome.
+    missed_line: u64,
+    missed_epoch: u64,
+    epoch: u64,
 }
 
 impl Cache {
     /// Creates an empty cache with the given geometry and policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry's associativity exceeds 64 (the per-set
+    /// occupancy bitmask is one bit per way).
     pub fn new(geom: CacheGeometry, policy: Replacement) -> Self {
+        assert!(
+            (1..=64).contains(&geom.associativity()),
+            "associativity above 64 is not supported"
+        );
         let n = geom.num_sets() as usize * geom.associativity() as usize;
         Cache {
             geom,
             policy,
-            ways: vec![None; n],
+            assoc: geom.associativity() as usize,
+            tags: Plane::new(n),
+            valid: vec![0; geom.num_sets() as usize],
+            flags: vec![0; n],
+            fill_order: Plane::new(n),
+            last_order: Plane::new(n),
+            fill_cycle: Plane::new(n),
+            last_cycle: Plane::new(n),
             order: 0,
             occupied: 0,
+            missed_line: 0,
+            // `epoch` never reaches MAX, so the memo starts invalid.
+            missed_epoch: u64::MAX,
+            epoch: 0,
         }
     }
 
@@ -98,15 +190,38 @@ impl Cache {
         self.occupied
     }
 
-    fn set_range(&self, set: SetIndex) -> std::ops::Range<usize> {
-        let assoc = self.geom.associativity() as usize;
-        let base = set.as_usize() * assoc;
-        base..base + assoc
+    /// Bitmask with one bit set per way.
+    #[inline]
+    fn full_mask(&self) -> u64 {
+        u64::MAX >> (64 - self.assoc as u32)
     }
 
+    /// Absolute way index of the resident line `(tag, set)`, if any.
+    #[inline]
     fn find(&self, tag: Tag, set: SetIndex) -> Option<usize> {
-        self.set_range(set)
-            .find(|&i| self.ways[i].map(|m| m.tag) == Some(tag))
+        let base = set.as_usize() * self.assoc;
+        kernels::find_tag(
+            self.tags.row(base, self.assoc),
+            self.valid[set.as_usize()],
+            tag.raw(),
+        )
+        .map(|w| base + w)
+    }
+
+    /// Assembles the external metadata view of way `i`.
+    #[inline(always)]
+    fn meta_at(&self, i: usize) -> LineMeta {
+        let f = self.flags[i];
+        LineMeta {
+            tag: Tag::new(self.tags.at(i)),
+            dirty: f & FLAG_DIRTY != 0,
+            prefetched: f & FLAG_PREFETCHED != 0,
+            demanded: f & FLAG_DEMANDED != 0,
+            fill_order: self.fill_order.at(i),
+            last_access_order: self.last_order.at(i),
+            fill_cycle: self.fill_cycle.at(i),
+            last_access_cycle: self.last_cycle.at(i),
+        }
     }
 
     /// Returns `true` if the line is resident.
@@ -116,9 +231,9 @@ impl Cache {
     }
 
     /// Returns the metadata of a resident line, if present.
-    pub fn peek(&self, line: LineAddr) -> Option<&LineMeta> {
+    pub fn peek(&self, line: LineAddr) -> Option<LineMeta> {
         let (tag, set) = self.geom.split_line(line);
-        self.find(tag, set).and_then(|i| self.ways[i].as_ref())
+        self.find(tag, set).map(|i| self.meta_at(i))
     }
 
     /// Performs a demand access (load or store) to the line.
@@ -128,21 +243,26 @@ impl Cache {
     /// caller decides when the fill lands (after the memory round trip).
     pub fn access(&mut self, line: LineAddr, write: bool, cycle: u64) -> AccessOutcome {
         let (tag, set) = self.geom.split_line(line);
-        match self.find(tag, set) {
-            Some(i) => {
+        let s = set.as_usize();
+        let base = s * self.assoc;
+        match kernels::find_tag(self.tags.row(base, self.assoc), self.valid[s], tag.raw()) {
+            Some(w) => {
+                let i = base + w;
                 self.order += 1;
-                // tcp-lint: allow(panic-in-library) — find() only returns occupied ways
-                let m = self.ways[i].as_mut().expect("found way is occupied");
-                let first = m.prefetched && !m.demanded;
-                m.demanded = true;
-                m.dirty |= write;
-                m.last_access_order = self.order;
-                m.last_access_cycle = cycle;
+                let f = self.flags[i];
+                let first = f & (FLAG_PREFETCHED | FLAG_DEMANDED) == FLAG_PREFETCHED;
+                self.flags[i] = f | FLAG_DEMANDED | if write { FLAG_DIRTY } else { 0 };
+                self.last_order.set(i, self.order);
+                self.last_cycle.set(i, cycle);
                 AccessOutcome::Hit {
                     first_demand_of_prefetch: first,
                 }
             }
-            None => AccessOutcome::Miss,
+            None => {
+                self.missed_line = line.line_number();
+                self.missed_epoch = self.epoch;
+                AccessOutcome::Miss
+            }
         }
     }
 
@@ -151,50 +271,58 @@ impl Cache {
     /// `prefetched` marks prefetcher-initiated fills for the Figure 12
     /// accounting. Filling a line that is already resident refreshes its
     /// recency and returns `None`.
+    ///
+    /// This is the fused probe + empty-way + victim-select pass: one trip
+    /// over the set's contiguous tag row answers residency, the occupancy
+    /// bitmask yields the lowest empty way without a second scan, and the
+    /// victim (when the set is full) comes from the stamp rows in place.
     pub fn fill(&mut self, line: LineAddr, cycle: u64, prefetched: bool) -> Option<Evicted> {
         let (tag, set) = self.geom.split_line(line);
         self.order += 1;
-        if let Some(i) = self.find(tag, set) {
-            // tcp-lint: allow(panic-in-library) — find() only returns occupied ways
-            let m = self.ways[i].as_mut().expect("found way is occupied");
-            m.last_access_order = self.order;
-            m.last_access_cycle = cycle;
-            return None;
+        let s = set.as_usize();
+        let base = s * self.assoc;
+        let vm = self.valid[s];
+        // The probe memo proves non-residency when `access` missed this
+        // very line and no install/invalidate has happened since.
+        let known_absent =
+            self.missed_line == line.line_number() && self.missed_epoch == self.epoch;
+        if !known_absent {
+            if let Some(w) = kernels::find_tag(self.tags.row(base, self.assoc), vm, tag.raw()) {
+                let i = base + w;
+                self.last_order.set(i, self.order);
+                self.last_cycle.set(i, cycle);
+                return None;
+            }
         }
-        let meta = LineMeta {
-            tag,
-            dirty: false,
-            prefetched,
-            demanded: false,
-            fill_order: self.order,
-            last_access_order: self.order,
-            fill_cycle: cycle,
-            last_access_cycle: cycle,
-        };
-        // Empty way first.
-        if let Some(i) = self.set_range(set).find(|&i| self.ways[i].is_none()) {
-            self.ways[i] = Some(meta);
+        self.epoch += 1;
+        let (i, evicted) = if vm != self.full_mask() {
+            // Lowest empty way, straight from the occupancy bitmask.
+            let w = (!vm).trailing_zeros() as usize;
+            self.valid[s] = vm | (1 << w);
             self.occupied += 1;
-            return None;
-        }
-        // Choose a victim among occupied ways, reading stamps straight
-        // from the way array (no per-eviction scratch allocation).
-        let range = self.set_range(set);
-        let ways = &self.ways;
-        let victim_way = self.policy.choose_victim_by(range.len(), |w| {
-            // tcp-lint: allow(panic-in-library) — empty-way fill above returned already
-            let m = ways[range.start + w].expect("set is full");
-            (m.fill_order, m.last_access_order)
-        });
-        let idx = range.start + victim_way;
-        let old = self.ways[idx]
-            .replace(meta)
-            // tcp-lint: allow(panic-in-library) — victim was chosen among occupied ways
-            .expect("victim way was occupied");
-        Some(Evicted {
-            line: self.geom.compose(old.tag, set),
-            meta: old,
-        })
+            (base + w, None)
+        } else {
+            let w = self.policy.choose_victim_in(
+                self.fill_order.row(base, self.assoc),
+                self.last_order.row(base, self.assoc),
+            );
+            let i = base + w;
+            let old = self.meta_at(i);
+            (
+                i,
+                Some(Evicted {
+                    line: self.geom.compose(old.tag, set),
+                    meta: old,
+                }),
+            )
+        };
+        self.tags.set(i, tag.raw());
+        self.flags[i] = if prefetched { FLAG_PREFETCHED } else { 0 };
+        self.fill_order.set(i, self.order);
+        self.last_order.set(i, self.order);
+        self.fill_cycle.set(i, cycle);
+        self.last_cycle.set(i, cycle);
+        evicted
     }
 
     /// Marks a resident line as having serviced a demand access, without
@@ -205,15 +333,12 @@ impl Cache {
     /// into an in-flight prefetch).
     pub fn mark_demanded(&mut self, line: LineAddr) -> bool {
         let (tag, set) = self.geom.split_line(line);
-        if let Some(i) = self.find(tag, set) {
-            self.ways[i]
-                .as_mut()
-                // tcp-lint: allow(panic-in-library) — find() only returns occupied ways
-                .expect("found way is occupied")
-                .demanded = true;
-            true
-        } else {
-            false
+        match self.find(tag, set) {
+            Some(i) => {
+                self.flags[i] |= FLAG_DEMANDED;
+                true
+            }
+            None => false,
         }
     }
 
@@ -221,33 +346,40 @@ impl Cache {
     /// `false` if the line is not resident.
     pub fn mark_dirty(&mut self, line: LineAddr) -> bool {
         let (tag, set) = self.geom.split_line(line);
-        if let Some(i) = self.find(tag, set) {
-            // tcp-lint: allow(panic-in-library) — find() only returns occupied ways
-            self.ways[i].as_mut().expect("found way is occupied").dirty = true;
-            true
-        } else {
-            false
+        match self.find(tag, set) {
+            Some(i) => {
+                self.flags[i] |= FLAG_DIRTY;
+                true
+            }
+            None => false,
         }
     }
 
     /// Removes a line if resident, returning its metadata.
     pub fn invalidate(&mut self, line: LineAddr) -> Option<LineMeta> {
         let (tag, set) = self.geom.split_line(line);
-        if let Some(i) = self.find(tag, set) {
-            self.occupied -= 1;
-            self.ways[i].take()
-        } else {
-            None
+        match self.find(tag, set) {
+            Some(i) => {
+                self.occupied -= 1;
+                self.epoch += 1;
+                self.valid[set.as_usize()] &= !(1 << (i - set.as_usize() * self.assoc));
+                Some(self.meta_at(i))
+            }
+            None => None,
         }
     }
 
     /// Iterates over all resident lines as `(line address, metadata)`.
-    pub fn iter(&self) -> impl Iterator<Item = (LineAddr, &LineMeta)> + '_ {
-        let assoc = self.geom.associativity() as usize;
-        self.ways.iter().enumerate().filter_map(move |(i, w)| {
-            w.as_ref().map(|m| {
-                let set = SetIndex::new((i / assoc) as u32);
-                (self.geom.compose(m.tag, set), m)
+    pub fn iter(&self) -> impl Iterator<Item = (LineAddr, LineMeta)> + '_ {
+        (0..self.flags.len()).filter_map(move |i| {
+            let set = i / self.assoc;
+            let way = i % self.assoc;
+            ((self.valid[set] >> way) & 1 == 1).then(|| {
+                let set = SetIndex::new(set as u32);
+                (
+                    self.geom.compose(Tag::new(self.tags.at(i)), set),
+                    self.meta_at(i),
+                )
             })
         })
     }
@@ -366,6 +498,32 @@ mod tests {
         assert!(!c.contains(line));
         assert!(c.invalidate(line).is_none());
         assert_eq!(c.occupied_lines(), 0);
+    }
+
+    #[test]
+    fn refill_after_invalidate_reuses_the_hole() {
+        let mut c = small_4way();
+        let g = *c.geometry();
+        let lines: Vec<_> = (0..5).map(|i| g.line_addr(Addr::new(i * 64))).collect();
+        for l in &lines[..4] {
+            c.fill(*l, 0, false);
+        }
+        c.invalidate(lines[1]);
+        // The freed way (lowest empty) takes the next fill: no eviction.
+        assert!(c.fill(lines[4], 1, false).is_none());
+        assert_eq!(c.occupied_lines(), 4);
+        assert!(c.contains(lines[4]));
+    }
+
+    #[test]
+    fn peek_reports_metadata() {
+        let mut c = dm_l1();
+        let line = c.geometry().line_addr(Addr::new(0x5000));
+        assert!(c.peek(line).is_none());
+        c.fill(line, 7, true);
+        let m = c.peek(line).expect("resident");
+        assert!(m.prefetched && !m.demanded && !m.dirty);
+        assert_eq!(m.fill_cycle, 7);
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! (possibly dedicated) prefetch bus.
 
 use crate::cache::AccessOutcome;
+use crate::mshr::InflightFill;
 use crate::{
     Bus, Cache, ConfigError, HierarchyStats, L1MissInfo, MshrFile, PrefetchRequest, PrefetchTarget,
     Prefetcher, Replacement, Tlb, TlbConfig, VictimCache,
@@ -143,6 +144,20 @@ impl HierarchyConfig {
                 return Err(ConfigError::NotPowerOfTwo { field, value });
             }
         }
+        for (field, value) in [
+            ("l1 associativity", u64::from(self.l1d.associativity())),
+            ("l2 associativity", u64::from(self.l2.associativity())),
+        ] {
+            // The cache's per-set occupancy bitmask is one bit per way.
+            if !(1..=64).contains(&value) {
+                return Err(ConfigError::OutOfRange {
+                    field,
+                    value,
+                    min: 1,
+                    max: 64,
+                });
+            }
+        }
         if self.l1d.line_bytes() > self.l2.line_bytes() {
             return Err(ConfigError::LineSizeMismatch {
                 l1_line: self.l1d.line_bytes(),
@@ -234,8 +249,12 @@ pub struct MemoryHierarchy {
     dtlb: Option<Tlb>,
     store_fills: std::collections::HashSet<LineAddr>,
     prefetcher: Box<dyn Prefetcher>,
+    // `prefetcher.is_active()`, cached at construction: the no-prefetch
+    // baseline pays no virtual dispatch on the per-access hot path.
+    engine_active: bool,
     stats: HierarchyStats,
     scratch: Vec<PrefetchRequest>,
+    drained: Vec<(LineAddr, InflightFill)>,
 }
 
 impl std::fmt::Debug for MemoryHierarchy {
@@ -262,6 +281,7 @@ impl MemoryHierarchy {
         let l2_fills = MshrFile::new(cfg.l1_mshrs + cfg.prefetch_buffer.max(1));
         let cfg_victim = cfg.victim_cache_entries.map(VictimCache::new);
         let cfg_dtlb = cfg.dtlb.map(Tlb::new);
+        let engine_active = prefetcher.is_active();
         MemoryHierarchy {
             cfg,
             l1,
@@ -277,8 +297,10 @@ impl MemoryHierarchy {
             dtlb: cfg_dtlb,
             store_fills: std::collections::HashSet::new(),
             prefetcher,
+            engine_active,
             stats: HierarchyStats::default(),
             scratch: Vec::new(),
+            drained: Vec::new(),
         }
     }
 
@@ -326,8 +348,20 @@ impl MemoryHierarchy {
     /// Lands every in-flight fill and promotion that completes at or
     /// before `now`.
     fn advance(&mut self, now: u64) {
+        // Fast path: on most accesses nothing has completed yet, and the
+        // cached-minimum checks answer that without touching the files.
+        if !self.l2_fills.has_ready(now)
+            && !self.l1_fills.has_ready(now)
+            && self.promotions.is_empty()
+        {
+            return;
+        }
+        // One drain buffer is reused across all accesses (take/restore so
+        // the loop bodies below can borrow `self` mutably).
+        let mut drained = std::mem::take(&mut self.drained);
         // L2 fills first: an L1 fill may logically depend on the L2 copy.
-        for (line, fill) in self.l2_fills.drain_ready(now) {
+        self.l2_fills.drain_ready_into(now, &mut drained);
+        for &(line, fill) in &drained {
             if fill.is_prefetch {
                 self.inflight_prefetches = self.inflight_prefetches.saturating_sub(1);
             }
@@ -346,12 +380,15 @@ impl MemoryHierarchy {
                 }
             }
         }
-        for (line, fill) in self.l1_fills.drain_ready(now) {
+        self.l1_fills.drain_ready_into(now, &mut drained);
+        for &(line, fill) in &drained {
             if self.cfg.store_buffer_entries.is_some() {
                 self.store_fills.remove(&line);
             }
             self.fill_l1(line, fill.ready_at, false, fill.dirty, false);
         }
+        drained.clear();
+        self.drained = drained;
         if !self.promotions.is_empty() {
             let mut i = 0;
             while i < self.promotions.len() {
@@ -383,9 +420,13 @@ impl MemoryHierarchy {
         if already_demanded {
             self.l1.mark_demanded(line);
         }
-        self.prefetcher.on_l1_fill(line, cycle);
+        if self.engine_active {
+            self.prefetcher.on_l1_fill(line, cycle);
+        }
         if let Some(ev) = evicted {
-            self.prefetcher.on_l1_evict(ev.line, cycle);
+            if self.engine_active {
+                self.prefetcher.on_l1_evict(ev.line, cycle);
+            }
             // With a victim cache, evictions park beside the L1; only the
             // overflowing oldest victim continues down the hierarchy.
             let downstream = match self.victim.as_mut() {
@@ -427,30 +468,35 @@ impl MemoryHierarchy {
                 first_demand_of_prefetch,
             } => {
                 self.stats.l1_hits += 1;
-                let mut requests = std::mem::take(&mut self.scratch);
-                requests.clear();
                 if first_demand_of_prefetch {
                     // A promoted prefetch pays off: in the no-prefetch
                     // machine this access would have gone to L2.
                     self.stats.l2_breakdown.prefetched_original += 1;
                     let l2_line = self.cfg.l1d.rescale_line(l1_line, &self.cfg.l2);
                     self.l2.mark_demanded(l2_line);
-                    // Let the engine observe the miss this would have been.
-                    let (tag, set) = self.cfg.l1d.split_line(l1_line);
-                    let info = L1MissInfo {
-                        access: acc,
-                        line: l1_line,
-                        tag,
-                        set,
-                        cycle: now,
-                    };
-                    self.prefetcher.on_promoted_first_use(&info, &mut requests);
                 }
-                self.prefetcher.on_hit(&acc, l1_line, now, &mut requests);
-                for req in requests.drain(..) {
-                    self.handle_prefetch(req, now);
+                if self.engine_active {
+                    let mut requests = std::mem::take(&mut self.scratch);
+                    requests.clear();
+                    if first_demand_of_prefetch {
+                        // Let the engine observe the miss this would have
+                        // been.
+                        let (tag, set) = self.cfg.l1d.split_line(l1_line);
+                        let info = L1MissInfo {
+                            access: acc,
+                            line: l1_line,
+                            tag,
+                            set,
+                            cycle: now,
+                        };
+                        self.prefetcher.on_promoted_first_use(&info, &mut requests);
+                    }
+                    self.prefetcher.on_hit(&acc, l1_line, now, &mut requests);
+                    for req in requests.drain(..) {
+                        self.handle_prefetch(req, now);
+                    }
+                    self.scratch = requests;
                 }
-                self.scratch = requests;
                 AccessResult {
                     completes_at: now + self.cfg.l1_hit_latency,
                     serviced_by: ServicedBy::L1,
@@ -475,13 +521,15 @@ impl MemoryHierarchy {
             if write {
                 self.l1_fills.mark_dirty(l1_line);
             }
-            let mut requests = std::mem::take(&mut self.scratch);
-            requests.clear();
-            self.prefetcher.on_hit(&acc, l1_line, now, &mut requests);
-            for req in requests.drain(..) {
-                self.handle_prefetch(req, now);
+            if self.engine_active {
+                let mut requests = std::mem::take(&mut self.scratch);
+                requests.clear();
+                self.prefetcher.on_hit(&acc, l1_line, now, &mut requests);
+                for req in requests.drain(..) {
+                    self.handle_prefetch(req, now);
+                }
+                self.scratch = requests;
             }
-            self.scratch = requests;
             let completes_at = fill.ready_at.max(now + self.cfg.l1_hit_latency);
             return AccessResult {
                 completes_at,
@@ -562,21 +610,23 @@ impl MemoryHierarchy {
         }
 
         // Notify the prefetch engine of the primary miss.
-        let (tag, set) = self.cfg.l1d.split_line(l1_line);
-        let info = L1MissInfo {
-            access: acc,
-            line: l1_line,
-            tag,
-            set,
-            cycle: t,
-        };
-        let mut requests = std::mem::take(&mut self.scratch);
-        requests.clear();
-        self.prefetcher.on_miss(&info, &mut requests);
-        for req in requests.drain(..) {
-            self.handle_prefetch(req, t);
+        if self.engine_active {
+            let (tag, set) = self.cfg.l1d.split_line(l1_line);
+            let info = L1MissInfo {
+                access: acc,
+                line: l1_line,
+                tag,
+                set,
+                cycle: t,
+            };
+            let mut requests = std::mem::take(&mut self.scratch);
+            requests.clear();
+            self.prefetcher.on_miss(&info, &mut requests);
+            for req in requests.drain(..) {
+                self.handle_prefetch(req, t);
+            }
+            self.scratch = requests;
         }
-        self.scratch = requests;
 
         // Stores retire through the write buffer; loads wait for data.
         let completes_at = if write {

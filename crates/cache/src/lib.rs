@@ -35,6 +35,7 @@ mod bus;
 mod cache;
 mod error;
 mod hierarchy;
+pub mod kernels;
 mod mshr;
 mod prefetcher;
 mod replacement;

@@ -6,6 +6,7 @@
 //! and when all registers are busy new misses must wait for the earliest
 //! completion — the mechanism that caps memory-level parallelism.
 
+use crate::kernels;
 use tcp_mem::LineAddr;
 
 /// An in-flight fill tracked by an MSHR.
@@ -35,16 +36,19 @@ pub struct InflightFill {
 /// assert_eq!(m.lookup(l).unwrap().ready_at, 100);
 /// ```
 /// The file holds at most `capacity` entries — 64 on the Table 1 machine
-/// — so it is a flat `Vec` rather than a hash map: a linear scan over a
-/// few cache lines beats hashing at this size, and the cached minimum
-/// `ready_at` lets [`MshrFile::drain_ready`] (called on *every* hierarchy
-/// access via `advance`) return without scanning or allocating in the
-/// common nothing-is-ready case.
+/// — stored struct-of-arrays: the line numbers sit in their own dense
+/// `u64` array so [`MshrFile::lookup`] (on *every* L1 and L2 miss) is one
+/// chunked [`kernels::find_u64`] sweep, and the cached minimum `ready_at`
+/// lets [`MshrFile::drain_ready_into`] (called on every hierarchy access
+/// via `advance`) return without scanning in the common nothing-is-ready
+/// case.
 #[derive(Clone, Debug)]
 pub struct MshrFile {
     capacity: usize,
-    inflight: Vec<(LineAddr, InflightFill)>,
-    /// Exact minimum `ready_at` over `inflight`; `u64::MAX` when empty.
+    /// Line numbers of in-flight fills; parallel to `fills`.
+    lines: Vec<u64>,
+    fills: Vec<InflightFill>,
+    /// Exact minimum `ready_at` over `fills`; `u64::MAX` when empty.
     /// `ready_at` never changes after allocation, so this stays exact
     /// without per-mutation upkeep beyond allocate/drain.
     min_ready: u64,
@@ -60,7 +64,8 @@ impl MshrFile {
         assert!(capacity > 0, "MSHR capacity must be nonzero");
         MshrFile {
             capacity,
-            inflight: Vec::with_capacity(capacity),
+            lines: Vec::with_capacity(capacity),
+            fills: Vec::with_capacity(capacity),
             min_ready: u64::MAX,
         }
     }
@@ -72,27 +77,31 @@ impl MshrFile {
 
     /// Number of fills currently in flight.
     pub fn in_use(&self) -> usize {
-        self.inflight.len()
+        self.fills.len()
     }
 
     /// `true` when no register is free.
+    #[inline]
     pub fn is_full(&self) -> bool {
-        self.inflight.len() >= self.capacity
+        self.fills.len() >= self.capacity
+    }
+
+    /// `true` when at least one fill has completed by `now` — the
+    /// allocation-free fast-path check `advance` uses before draining.
+    #[inline]
+    pub fn has_ready(&self, now: u64) -> bool {
+        now >= self.min_ready
     }
 
     /// Looks up an in-flight fill for `line`.
+    #[inline]
     pub fn lookup(&self, line: LineAddr) -> Option<&InflightFill> {
-        self.inflight
-            .iter()
-            .find(|(l, _)| *l == line)
-            .map(|(_, f)| f)
+        kernels::find_u64(&self.lines, line.line_number()).map(|i| &self.fills[i])
     }
 
+    #[inline]
     fn lookup_mut(&mut self, line: LineAddr) -> Option<&mut InflightFill> {
-        self.inflight
-            .iter_mut()
-            .find(|(l, _)| *l == line)
-            .map(|(_, f)| f)
+        kernels::find_u64(&self.lines, line.line_number()).map(|i| &mut self.fills[i])
     }
 
     /// Marks an in-flight fill as demanded (a demand miss merged into it).
@@ -112,24 +121,24 @@ impl MshrFile {
     ///
     /// # Panics
     ///
-    /// Panics if the file is full or a fill for `line` already exists —
-    /// callers must check [`MshrFile::is_full`] and merge via
-    /// [`MshrFile::lookup`] first.
+    /// Panics if the file is full. Callers must check
+    /// [`MshrFile::is_full`] and merge duplicates via
+    /// [`MshrFile::lookup`] first; every call site performs that lookup
+    /// as part of its merge path, so the duplicate check here is a debug
+    /// assertion rather than a second release-mode scan of the file.
     pub fn allocate(&mut self, line: LineAddr, ready_at: u64, is_prefetch: bool) {
         assert!(!self.is_full(), "MSHR file is full");
-        assert!(
+        debug_assert!(
             self.lookup(line).is_none(),
             "duplicate MSHR allocation for {line}"
         );
-        self.inflight.push((
-            line,
-            InflightFill {
-                ready_at,
-                is_prefetch,
-                demanded: !is_prefetch,
-                dirty: false,
-            },
-        ));
+        self.lines.push(line.line_number());
+        self.fills.push(InflightFill {
+            ready_at,
+            is_prefetch,
+            demanded: !is_prefetch,
+            dirty: false,
+        });
         self.min_ready = self.min_ready.min(ready_at);
     }
 
@@ -148,7 +157,7 @@ impl MshrFile {
 
     /// Earliest completion cycle among in-flight fills, if any.
     pub fn earliest_ready(&self) -> Option<u64> {
-        if self.inflight.is_empty() {
+        if self.fills.is_empty() {
             None
         } else {
             Some(self.min_ready)
@@ -157,15 +166,25 @@ impl MshrFile {
 
     /// Removes and returns every fill with `ready_at <= now`.
     pub fn drain_ready(&mut self, now: u64) -> Vec<(LineAddr, InflightFill)> {
-        if now < self.min_ready {
-            // Nothing is ready; `Vec::new` does not allocate.
-            return Vec::new();
-        }
         let mut out = Vec::new();
+        self.drain_ready_into(now, &mut out);
+        out
+    }
+
+    /// Clears `out`, then fills it with every fill whose
+    /// `ready_at <= now`, removing them from the file — the reusable-
+    /// buffer form of [`MshrFile::drain_ready`] the hierarchy's hot
+    /// `advance` path uses to avoid a fresh `Vec` per access.
+    pub fn drain_ready_into(&mut self, now: u64, out: &mut Vec<(LineAddr, InflightFill)>) {
+        out.clear();
+        if now < self.min_ready {
+            return;
+        }
         let mut i = 0;
-        while i < self.inflight.len() {
-            if self.inflight[i].1.ready_at <= now {
-                out.push(self.inflight.swap_remove(i));
+        while i < self.fills.len() {
+            if self.fills[i].ready_at <= now {
+                let line = LineAddr::from_line_number(self.lines.swap_remove(i));
+                out.push((line, self.fills.swap_remove(i)));
             } else {
                 i += 1;
             }
@@ -173,18 +192,21 @@ impl MshrFile {
         // Deterministic order for reproducibility (line addresses are
         // unique, so the pre-sort order cannot influence the result).
         out.sort_by_key(|(l, f)| (f.ready_at, l.line_number()));
-        self.min_ready = self
-            .inflight
-            .iter()
-            .map(|(_, f)| f.ready_at)
-            .min()
-            .unwrap_or(u64::MAX);
-        out
+        let mut min = u64::MAX;
+        for f in &self.fills {
+            min = min.min(f.ready_at);
+        }
+        self.min_ready = min;
     }
 
     /// Removes every in-flight fill, returning them (end-of-run cleanup).
     pub fn drain_all(&mut self) -> Vec<(LineAddr, InflightFill)> {
-        let mut out: Vec<_> = std::mem::take(&mut self.inflight);
+        let mut out: Vec<_> = self
+            .lines
+            .drain(..)
+            .map(LineAddr::from_line_number)
+            .zip(self.fills.drain(..))
+            .collect();
         out.sort_by_key(|(l, f)| (f.ready_at, l.line_number()));
         self.min_ready = u64::MAX;
         out
@@ -260,6 +282,20 @@ mod tests {
         );
         assert_eq!(m.in_use(), 1);
         assert_eq!(m.earliest_ready(), Some(30));
+    }
+
+    #[test]
+    fn drain_ready_into_reuses_and_clears_the_buffer() {
+        let mut m = MshrFile::new(4);
+        m.allocate(l(1), 10, false);
+        let mut buf = vec![(l(99), m.lookup(l(1)).copied().unwrap())];
+        m.drain_ready_into(5, &mut buf);
+        assert!(buf.is_empty(), "stale contents must be cleared");
+        assert!(m.has_ready(10));
+        m.drain_ready_into(10, &mut buf);
+        assert_eq!(buf.len(), 1);
+        assert_eq!(buf[0].0, l(1));
+        assert!(!m.has_ready(u64::MAX - 1));
     }
 
     #[test]

@@ -106,6 +106,15 @@ pub trait Prefetcher {
     /// Called when the L1 fills a line (demand or prefetch promotion).
     /// Default: ignored.
     fn on_l1_fill(&mut self, _line: LineAddr, _cycle: u64) {}
+
+    /// `false` promises every callback is a no-op, letting the hierarchy
+    /// skip virtual dispatch and request-buffer bookkeeping on its hot
+    /// paths (the no-prefetch baseline runs every access). Default:
+    /// `true`. Only override to return a constant `false`; the hierarchy
+    /// caches the answer at construction.
+    fn is_active(&self) -> bool {
+        true
+    }
 }
 
 /// A prefetcher that never prefetches: the no-prefetch baseline.
@@ -130,6 +139,10 @@ impl Prefetcher for NullPrefetcher {
     }
 
     fn on_miss(&mut self, _info: &L1MissInfo, _out: &mut Vec<PrefetchRequest>) {}
+
+    fn is_active(&self) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]

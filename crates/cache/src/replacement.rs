@@ -1,5 +1,6 @@
 //! Replacement policies for set-associative caches.
 
+use crate::kernels;
 use tcp_mem::SplitMix64;
 
 /// Victim-selection policy within a cache set.
@@ -41,11 +42,50 @@ impl Replacement {
         self.choose_victim_by(ways.len(), |i| ways[i])
     }
 
+    /// Chooses a victim among occupied ways whose stamps live in the
+    /// parallel struct-of-arrays slices `fill` (fill order) and `last`
+    /// (last-access order) — the form the cache's fused fill pass feeds
+    /// straight from its contiguous per-set stamp rows, letting LRU and
+    /// FIFO run as chunked min-reductions ([`kernels::min_index`]).
+    ///
+    /// Equivalent to [`choose_victim`] on the zipped stamps, including
+    /// the lowest-way tie-break.
+    ///
+    /// [`choose_victim`]: Replacement::choose_victim
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices are empty or of different lengths.
+    #[inline]
+    pub fn choose_victim_in(&mut self, fill: &[u64], last: &[u64]) -> usize {
+        assert_eq!(fill.len(), last.len(), "stamp slices must be parallel");
+        assert!(!fill.is_empty(), "cannot choose a victim among zero ways");
+        match self {
+            Replacement::Lru => kernels::min_index(last),
+            Replacement::Fifo => kernels::min_index(fill),
+            Replacement::Random(rng) => rng.next_below(fill.len() as u64) as usize,
+            Replacement::TreePlru => {
+                let mut lo = 0usize;
+                let mut hi = last.len();
+                while hi - lo > 1 {
+                    let mid = lo + (hi - lo) / 2;
+                    let newest_left = last[lo..mid].iter().copied().max().unwrap_or(0);
+                    let newest_right = last[mid..hi].iter().copied().max().unwrap_or(0);
+                    if newest_left <= newest_right {
+                        hi = mid;
+                    } else {
+                        lo = mid;
+                    }
+                }
+                lo
+            }
+        }
+    }
+
     /// Chooses a victim among `n` occupied ways whose
     /// `(fill_order, last_access_order)` stamps are produced on demand by
-    /// `stamp` — the allocation-free form [`choose_victim`] wraps. The
-    /// cache's fill path uses this to select victims directly from its way
-    /// array without materialising a stamp slice per eviction.
+    /// `stamp` — the closure form [`choose_victim`] wraps, for callers
+    /// whose stamps are not contiguous in memory.
     ///
     /// Ties break toward the lowest way index for every policy, matching
     /// [`choose_victim`] exactly.
@@ -197,5 +237,37 @@ mod tests {
                 b.choose_victim_by(ways.len(), |i| ways[i])
             );
         }
+    }
+
+    #[test]
+    fn in_form_matches_slice_form_including_ties() {
+        let cases: Vec<Vec<(u64, u64)>> = vec![
+            vec![(0, 5), (1, 2), (2, 9)],
+            vec![(3, 4), (3, 4), (1, 4), (2, 2)],
+            vec![(7, 1)],
+            vec![(5, 5); 8],
+            (0..8).map(|i| (i, (i * 31) % 7)).collect(),
+            (0..13).map(|i| ((i * 17) % 5, (i * 13) % 11)).collect(),
+        ];
+        for ways in &cases {
+            let fill: Vec<u64> = ways.iter().map(|w| w.0).collect();
+            let last: Vec<u64> = ways.iter().map(|w| w.1).collect();
+            for p in [Replacement::Lru, Replacement::Fifo, Replacement::TreePlru] {
+                let (mut a, mut b) = (p, p);
+                assert_eq!(
+                    a.choose_victim(ways),
+                    b.choose_victim_in(&fill, &last),
+                    "{p:?} on {ways:?}"
+                );
+            }
+            let (mut a, mut b) = (Replacement::random(9), Replacement::random(9));
+            assert_eq!(a.choose_victim(ways), b.choose_victim_in(&fill, &last));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero ways")]
+    fn in_form_empty_panics() {
+        Replacement::Lru.choose_victim_in(&[], &[]);
     }
 }

@@ -8,7 +8,7 @@
 //! to the timing model via
 //! [`crate::HierarchyConfig::dtlb`].
 
-use std::collections::BTreeMap;
+use crate::kernels;
 use tcp_mem::Addr;
 
 /// Configuration of a TLB.
@@ -48,10 +48,12 @@ impl Default for TlbConfig {
 #[derive(Clone, Debug)]
 pub struct Tlb {
     cfg: TlbConfig,
-    // page number → last-use stamp. BTreeMap so the LRU scan below
-    // visits pages in a fixed order (stamps are unique, but hash order
-    // would still be a determinism hazard on any future tie).
-    entries: BTreeMap<u64, u64>,
+    // Struct-of-arrays: resident page numbers in one dense `u64` array
+    // (probed by the chunked find_u64 kernel) with their last-use stamps
+    // parallel to it. Stamps are unique, so the min-stamp LRU victim is
+    // independent of array order and swap_remove stays deterministic.
+    pages: Vec<u64>,
+    stamps: Vec<u64>,
     stamp: u64,
     hits: u64,
     misses: u64,
@@ -71,7 +73,8 @@ impl Tlb {
         );
         Tlb {
             cfg,
-            entries: BTreeMap::new(),
+            pages: Vec::with_capacity(cfg.entries),
+            stamps: Vec::with_capacity(cfg.entries),
             stamp: 0,
             hits: 0,
             misses: 0,
@@ -88,18 +91,19 @@ impl Tlb {
     pub fn access(&mut self, addr: Addr, _cycle: u64) -> bool {
         self.stamp += 1;
         let page = addr.raw() >> self.cfg.page_bits;
-        if let Some(stamp) = self.entries.get_mut(&page) {
-            *stamp = self.stamp;
+        if let Some(i) = kernels::find_u64(&self.pages, page) {
+            self.stamps[i] = self.stamp;
             self.hits += 1;
             return true;
         }
         self.misses += 1;
-        if self.entries.len() >= self.cfg.entries {
-            if let Some(&victim) = self.entries.iter().min_by_key(|(_, &s)| s).map(|(p, _)| p) {
-                self.entries.remove(&victim);
-            }
+        if self.pages.len() >= self.cfg.entries {
+            let victim = kernels::min_index(&self.stamps);
+            self.pages.swap_remove(victim);
+            self.stamps.swap_remove(victim);
         }
-        self.entries.insert(page, self.stamp);
+        self.pages.push(page);
+        self.stamps.push(self.stamp);
         false
     }
 
@@ -120,7 +124,7 @@ impl Tlb {
 
     /// Distinct pages currently mapped.
     pub fn resident_pages(&self) -> usize {
-        self.entries.len()
+        self.pages.len()
     }
 }
 

@@ -9,7 +9,7 @@
 //! material *is* the conflict-miss stream. Off by default; enabled via
 //! [`crate::HierarchyConfig::victim_cache_entries`].
 
-use std::collections::VecDeque;
+use crate::kernels;
 use tcp_mem::LineAddr;
 
 /// A small fully-associative FIFO victim buffer.
@@ -29,7 +29,12 @@ use tcp_mem::LineAddr;
 #[derive(Clone, Debug)]
 pub struct VictimCache {
     capacity: usize,
-    entries: VecDeque<(LineAddr, bool)>, // (line, dirty), oldest first
+    // Struct-of-arrays, oldest first: the buffered line numbers sit in
+    // one dense `u64` array probed by the chunked find_u64 kernel, with
+    // the dirty bits parallel to it. FIFO order is positional (shifting
+    // removes), which a buffer of a few dozen entries absorbs easily.
+    lines: Vec<u64>,
+    dirty: Vec<bool>,
     hits: u64,
     misses: u64,
 }
@@ -44,7 +49,8 @@ impl VictimCache {
         assert!(capacity > 0, "victim cache needs at least one entry");
         VictimCache {
             capacity,
-            entries: VecDeque::with_capacity(capacity),
+            lines: Vec::with_capacity(capacity),
+            dirty: Vec::with_capacity(capacity),
             hits: 0,
             misses: 0,
         }
@@ -57,12 +63,12 @@ impl VictimCache {
 
     /// Lines currently buffered.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.lines.len()
     }
 
     /// `true` when no victims are buffered.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.lines.is_empty()
     }
 
     /// `(hits, misses)` observed by [`VictimCache::take`].
@@ -74,28 +80,36 @@ impl VictimCache {
     /// `(line, dirty)` if the buffer was full (it continues down the
     /// hierarchy).
     pub fn insert(&mut self, line: LineAddr, dirty: bool) -> Option<(LineAddr, bool)> {
+        let n = line.line_number();
         // Replace an existing copy of the same line.
-        if let Some(pos) = self.entries.iter().position(|&(l, _)| l == line) {
-            let old_dirty = self.entries.remove(pos).is_some_and(|(_, d)| d);
-            self.entries.push_back((line, dirty || old_dirty));
+        if let Some(pos) = kernels::find_u64(&self.lines, n) {
+            self.lines.remove(pos);
+            let old_dirty = self.dirty.remove(pos);
+            self.lines.push(n);
+            self.dirty.push(dirty || old_dirty);
             return None;
         }
-        let overflow = if self.entries.len() == self.capacity {
-            self.entries.pop_front()
+        let overflow = if self.lines.len() == self.capacity {
+            Some((
+                LineAddr::from_line_number(self.lines.remove(0)),
+                self.dirty.remove(0),
+            ))
         } else {
             None
         };
-        self.entries.push_back((line, dirty));
+        self.lines.push(n);
+        self.dirty.push(dirty);
         overflow
     }
 
     /// Removes `line` if buffered, returning its dirty state — the swap
     /// path of a victim-cache hit.
     pub fn take(&mut self, line: LineAddr) -> Option<bool> {
-        match self.entries.iter().position(|&(l, _)| l == line) {
+        match kernels::find_u64(&self.lines, line.line_number()) {
             Some(pos) => {
                 self.hits += 1;
-                self.entries.remove(pos).map(|(_, d)| d)
+                self.lines.remove(pos);
+                Some(self.dirty.remove(pos))
             }
             None => {
                 self.misses += 1;

@@ -15,6 +15,7 @@
 //! predicted successor.
 
 use crate::truncated_sum;
+use tcp_cache::kernels;
 use tcp_mem::{SetIndex, Tag};
 
 /// Geometry and indexing policy of a pattern history table.
@@ -108,14 +109,14 @@ impl PhtConfig {
     }
 }
 
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-struct PhtEntry {
-    tag: Tag,       // truncated: disambiguates within the set
-    last_use: u64,  // LRU stamp
-    n_targets: u32, // live prefix length of this entry's arena row
-}
-
 /// A set-associative pattern history table.
+///
+/// Entry state is struct-of-arrays: the truncated entry tags sit in a
+/// dense `u64` array so the per-set probe is one chunked
+/// [`kernels::find_tag`] sweep against the set's occupancy bitmask, and
+/// LRU victim selection is a chunked [`kernels::min_index`] over the
+/// contiguous `last_use` row — the same kernels the simulator's caches
+/// use (see DESIGN.md §12).
 ///
 /// # Examples
 ///
@@ -132,7 +133,15 @@ struct PhtEntry {
 #[derive(Clone, Debug)]
 pub struct PatternHistoryTable {
     cfg: PhtConfig,
-    entries: Vec<Option<PhtEntry>>,
+    /// Truncated entry tag per way (row-major, `sets × assoc`). Only
+    /// ways whose `valid` bit is set hold a meaningful value.
+    tags: Vec<u64>,
+    /// Per-set occupancy bitmask (bit `w` = way `w` holds an entry).
+    valid: Vec<u64>,
+    /// LRU stamp per way.
+    last_use: Vec<u64>,
+    /// Live prefix length of each way's arena row.
+    n_targets: Vec<u32>,
     /// Flat successor-tag arena: entry (way) `i` owns the row
     /// `targets[i * cfg.targets .. (i + 1) * cfg.targets]`, of which the
     /// first `n_targets` elements are live (most recent first). Keeping
@@ -149,14 +158,18 @@ impl PatternHistoryTable {
     ///
     /// # Panics
     ///
-    /// Panics if `sets` is not a power of two, `assoc` is zero, or
-    /// `miss_index_bits` exceeds the index width.
+    /// Panics if `sets` is not a power of two, `assoc` is zero or above
+    /// 64 (the occupancy bitmask width), or `miss_index_bits` exceeds
+    /// the index width.
     pub fn new(cfg: PhtConfig) -> Self {
         assert!(
             cfg.sets.is_power_of_two(),
             "PHT sets must be a power of two"
         );
-        assert!(cfg.assoc >= 1, "PHT associativity must be nonzero");
+        assert!(
+            (1..=64).contains(&cfg.assoc),
+            "PHT associativity must be in 1..=64"
+        );
         assert!(
             cfg.miss_index_bits <= cfg.sets.trailing_zeros(),
             "miss index bits exceed the PHT index width"
@@ -169,7 +182,10 @@ impl PatternHistoryTable {
         let ways = cfg.sets as usize * cfg.assoc as usize;
         PatternHistoryTable {
             cfg,
-            entries: vec![None; ways],
+            tags: vec![0; ways],
+            valid: vec![0; cfg.sets as usize],
+            last_use: vec![0; ways],
+            n_targets: vec![0; ways],
             targets: vec![Tag::default(); ways * cfg.targets as usize],
             order: 0,
             trains: 0,
@@ -222,19 +238,15 @@ impl PatternHistoryTable {
         let set = self.index(seq, miss_index);
         let etag = self.entry_tag(seq);
         let next = next.truncate(self.cfg.tag_bits);
-        let base = set * self.cfg.assoc as usize;
         let assoc = self.cfg.assoc as usize;
+        let base = set * assoc;
         let max_targets = self.cfg.targets as usize;
+        let vm = self.valid[set];
         // Existing entry for this sequence tag?
-        for way in base..base + assoc {
-            let Some(e) = &mut self.entries[way] else {
-                continue;
-            };
-            if e.tag != etag {
-                continue;
-            }
+        if let Some(w) = kernels::find_tag(&self.tags[base..base + assoc], vm, etag.raw()) {
+            let way = base + w;
             let row = &mut self.targets[way * max_targets..(way + 1) * max_targets];
-            let n = e.n_targets as usize;
+            let n = self.n_targets[way] as usize;
             if let Some(pos) = row[..n].iter().position(|&t| t == next) {
                 // Move the matched target to the front of the live prefix.
                 row[..=pos].rotate_right(1);
@@ -243,28 +255,28 @@ impl PatternHistoryTable {
                 let keep = n.min(max_targets - 1);
                 row[..=keep].rotate_right(1);
                 row[0] = next;
-                e.n_targets = (keep + 1) as u32;
+                self.n_targets[way] = (keep + 1) as u32;
             }
-            e.last_use = self.order;
+            self.last_use[way] = self.order;
             return;
         }
-        let fresh = PhtEntry {
-            tag: etag,
-            last_use: self.order,
-            n_targets: 1,
+        // Fill the lowest empty way, or evict the set's LRU entry.
+        let full = if assoc == 64 {
+            u64::MAX
+        } else {
+            (1 << assoc) - 1
         };
-        // Empty way?
-        if let Some(way) = (base..base + assoc).find(|&w| self.entries[w].is_none()) {
-            self.entries[way] = Some(fresh);
-            self.targets[way * max_targets] = next;
-            return;
-        }
-        // LRU replacement within the PHT set.
-        let victim = (base..base + assoc)
-            .min_by_key(|&w| self.entries[w].as_ref().map(|e| e.last_use).unwrap_or(0))
-            .expect("associativity is nonzero");
-        self.entries[victim] = Some(fresh);
-        self.targets[victim * max_targets] = next;
+        let w = if vm != full {
+            (!vm).trailing_zeros() as usize
+        } else {
+            kernels::min_index(&self.last_use[base..base + assoc])
+        };
+        let way = base + w;
+        self.tags[way] = etag.raw();
+        self.valid[set] = vm | 1 << w;
+        self.last_use[way] = self.order;
+        self.n_targets[way] = 1;
+        self.targets[way * max_targets] = next;
     }
 
     /// Predicts the most recent tag observed after sequence `seq` at L1
@@ -278,10 +290,7 @@ impl PatternHistoryTable {
     /// first) to `out` — the Section 6 multi-target mode.
     pub fn lookup_targets(&mut self, seq: &[Tag], miss_index: SetIndex, out: &mut Vec<Tag>) {
         if let Some(way) = self.find_and_touch(seq, miss_index) {
-            let n = self.entries[way]
-                .as_ref()
-                .expect("hit way is occupied")
-                .n_targets as usize;
+            let n = self.n_targets[way] as usize;
             let start = way * self.cfg.targets as usize;
             out.extend_from_slice(&self.targets[start..start + n]);
         }
@@ -296,24 +305,19 @@ impl PatternHistoryTable {
         self.order += 1;
         let set = self.index(seq, miss_index);
         let etag = self.entry_tag(seq);
-        let base = set * self.cfg.assoc as usize;
-        let order = self.order;
-        for way in base..base + self.cfg.assoc as usize {
-            if let Some(e) = &mut self.entries[way] {
-                if e.tag == etag {
-                    e.last_use = order;
-                    self.hits += 1;
-                    return Some(way);
-                }
-            }
-        }
-        None
+        let assoc = self.cfg.assoc as usize;
+        let base = set * assoc;
+        let w = kernels::find_tag(&self.tags[base..base + assoc], self.valid[set], etag.raw())?;
+        let way = base + w;
+        self.last_use[way] = self.order;
+        self.hits += 1;
+        Some(way)
     }
 
     /// Fraction of occupied entries (table utilisation).
     pub fn occupancy(&self) -> f64 {
-        let used = self.entries.iter().filter(|e| e.is_some()).count();
-        used as f64 / self.entries.len() as f64
+        let used: u32 = self.valid.iter().map(|m| m.count_ones()).sum();
+        used as f64 / self.tags.len() as f64
     }
 }
 

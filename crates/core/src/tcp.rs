@@ -152,20 +152,33 @@ impl Prefetcher for Tcp {
         let miss_tag = info.tag;
 
         // 1. Train: the sequence that led here is now known to be
-        //    followed by miss_tag.
+        //    followed by miss_tag. (`tht` and `pht` are disjoint fields,
+        //    so the sequence is trained straight out of the THT row.)
         if let Some(seq) = self.tht.sequence(set) {
-            self.seq_scratch.clear();
-            self.seq_scratch.extend_from_slice(seq);
-            self.pht.train(&self.seq_scratch, miss_tag, set);
+            self.pht.train(seq, miss_tag, set);
         }
 
-        // 2. Shift the new tag into the history.
-        self.tht.push(set, miss_tag);
-
-        // 3. Look up the new sequence and chase up to `degree` predictions.
-        let Some(seq) = self.tht.sequence(set) else {
+        // 2. Shift the new tag into the history and read back the updated
+        //    sequence in one fused row pass.
+        let Some(seq) = self.tht.push_and_sequence(set, miss_tag) else {
             return;
         };
+
+        // 3. Look up the new sequence and chase up to `degree` predictions.
+        // The common degree-1 single-target configuration (the paper's)
+        // never needs the sequence copied or extended.
+        if self.cfg.pht.targets == 1 && self.cfg.degree == 1 {
+            let Some(pred) = self.pht.lookup(seq, set) else {
+                return;
+            };
+            // Never prefetch the line that just missed.
+            if pred == miss_tag.truncate(self.cfg.pht.tag_bits) && seq.last() == Some(&miss_tag) {
+                return;
+            }
+            self.predictions += 1;
+            out.push(PrefetchRequest::to_l2(self.cfg.l1.compose(pred, set)));
+            return;
+        }
         self.seq_scratch.clear();
         self.seq_scratch.extend_from_slice(seq);
         if self.cfg.pht.targets > 1 {

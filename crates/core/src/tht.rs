@@ -78,13 +78,24 @@ impl TagHistoryTable {
 
     /// Shifts `tag` into the row for `set` as the most recent entry.
     pub fn push(&mut self, set: SetIndex, tag: Tag) {
-        let r = self.row(set);
+        let _ = self.push_and_sequence(set, tag);
+    }
+
+    /// Shifts `tag` into the row for `set` and returns the row's full
+    /// `k`-tag sequence (oldest first), or `None` while still warming up
+    /// — the fused form of [`TagHistoryTable::push`] followed by
+    /// [`TagHistoryTable::sequence`] that TCP's miss handler uses, doing
+    /// the row addressing once instead of twice.
+    pub fn push_and_sequence(&mut self, set: SetIndex, tag: Tag) -> Option<&[Tag]> {
+        let row_i = set.as_usize() % self.sets as usize;
+        let r = row_i * self.k;
         self.tags.copy_within(r + 1..r + self.k, r);
         self.tags[r + self.k - 1] = tag;
-        let v = &mut self.valid[set.as_usize() % self.sets as usize];
+        let v = &mut self.valid[row_i];
         if (*v as usize) < self.k {
             *v += 1;
         }
+        (*v as usize == self.k).then(|| &self.tags[r..r + self.k])
     }
 
     /// Clears all history.

@@ -261,9 +261,41 @@ impl BenchReport {
     }
 }
 
+/// One case's baseline-versus-current numbers, as extracted by
+/// [`compare`]. `None` sides mark cases present in only one report.
+#[derive(Clone, Debug)]
+pub struct CaseDelta {
+    /// Case name (the regression-gate key).
+    pub name: String,
+    /// Baseline median throughput in ops/s; `None` for a new case.
+    pub base_ops: Option<f64>,
+    /// Current median throughput in ops/s; `None` for a missing case.
+    pub cur_ops: Option<f64>,
+    /// Baseline p90 wall time in ms, when the baseline records it.
+    pub base_p90_ms: Option<f64>,
+    /// Current p90 wall time in ms, when the current report records it.
+    pub cur_p90_ms: Option<f64>,
+    /// `true` when this delta breached the threshold (or the case went
+    /// missing from the current report).
+    pub regressed: bool,
+}
+
+impl CaseDelta {
+    /// Median-throughput change in percent (`+` = faster), when both
+    /// sides exist.
+    pub fn change_pct(&self) -> Option<f64> {
+        match (self.base_ops, self.cur_ops) {
+            (Some(b), Some(c)) => Some((c / b - 1.0) * 100.0),
+            _ => None,
+        }
+    }
+}
+
 /// The verdict of comparing a fresh report against a baseline.
 #[derive(Clone, Debug, Default)]
 pub struct Comparison {
+    /// Per-case numbers, baseline order first, then cases new in current.
+    pub deltas: Vec<CaseDelta>,
     /// Human-readable per-case lines, in baseline order.
     pub lines: Vec<String>,
     /// Cases that regressed beyond the threshold (or went missing).
@@ -274,6 +306,38 @@ impl Comparison {
     /// `true` when no case regressed.
     pub fn passed(&self) -> bool {
         self.failures.is_empty()
+    }
+
+    /// Serialises the per-case deltas as a JSON document (the
+    /// `tcp-perf compare --json` output a CI step turns into a summary
+    /// table):
+    /// `{"passed": bool, "cases": [{name, base_ops, cur_ops, base_p90_ms,
+    /// cur_p90_ms, change_pct, regressed}, ...]}`.
+    pub fn to_json(&self) -> String {
+        fn opt(v: Option<f64>) -> String {
+            v.map_or_else(|| "null".to_owned(), json::num)
+        }
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"passed\": {},\n", self.passed()));
+        out.push_str("  \"cases\": [\n");
+        for (i, d) in self.deltas.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"base_ops\": {}, \"cur_ops\": {}, \
+                 \"base_p90_ms\": {}, \"cur_p90_ms\": {}, \"change_pct\": {}, \
+                 \"regressed\": {}}}{}\n",
+                json::escape(&d.name),
+                opt(d.base_ops),
+                opt(d.cur_ops),
+                opt(d.base_p90_ms),
+                opt(d.cur_p90_ms),
+                opt(d.change_pct()),
+                d.regressed,
+                if i + 1 == self.deltas.len() { "" } else { "," },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
     }
 }
 
@@ -291,41 +355,79 @@ pub fn compare(baseline: &Json, current: &Json, threshold: f64) -> Result<Compar
     let base_cases = report_cases(baseline, "baseline")?;
     let cur_cases = report_cases(current, "current")?;
     let mut cmp = Comparison::default();
-    for (name, base_ops) in &base_cases {
-        match cur_cases.iter().find(|(n, _)| n == name) {
+    for base in &base_cases {
+        let name = &base.name;
+        match cur_cases.iter().find(|c| &c.name == name) {
             None => {
                 cmp.failures.push(format!(
                     "{name}: present in baseline but missing from current"
                 ));
+                cmp.deltas.push(CaseDelta {
+                    name: name.clone(),
+                    base_ops: Some(base.ops),
+                    cur_ops: None,
+                    base_p90_ms: base.p90_ms,
+                    cur_p90_ms: None,
+                    regressed: true,
+                });
             }
-            Some((_, cur_ops)) => {
-                let ratio = cur_ops / base_ops;
-                let line = format!(
-                    "{name}: {base_ops:.0} -> {cur_ops:.0} ops/s ({:+.1}%)",
+            Some(cur) => {
+                let ratio = cur.ops / base.ops;
+                let regressed = ratio < 1.0 - threshold;
+                cmp.lines.push(format!(
+                    "{name}: {:.0} -> {:.0} ops/s ({:+.1}%)",
+                    base.ops,
+                    cur.ops,
                     (ratio - 1.0) * 100.0
-                );
-                if ratio < 1.0 - threshold {
+                ));
+                if regressed {
                     cmp.failures.push(format!(
                         "{name}: median throughput regressed {:.1}% (> {:.0}% allowed): \
-                         {base_ops:.0} -> {cur_ops:.0} ops/s",
+                         {:.0} -> {:.0} ops/s",
                         (1.0 - ratio) * 100.0,
-                        threshold * 100.0
+                        threshold * 100.0,
+                        base.ops,
+                        cur.ops
                     ));
                 }
-                cmp.lines.push(line);
+                cmp.deltas.push(CaseDelta {
+                    name: name.clone(),
+                    base_ops: Some(base.ops),
+                    cur_ops: Some(cur.ops),
+                    base_p90_ms: base.p90_ms,
+                    cur_p90_ms: cur.p90_ms,
+                    regressed,
+                });
             }
         }
     }
-    for (name, _) in &cur_cases {
-        if !base_cases.iter().any(|(n, _)| n == name) {
-            cmp.lines.push(format!("{name}: new case (no baseline)"));
+    for cur in &cur_cases {
+        if !base_cases.iter().any(|b| b.name == cur.name) {
+            cmp.lines
+                .push(format!("{}: new case (no baseline)", cur.name));
+            cmp.deltas.push(CaseDelta {
+                name: cur.name.clone(),
+                base_ops: None,
+                cur_ops: Some(cur.ops),
+                base_p90_ms: None,
+                cur_p90_ms: cur.p90_ms,
+                regressed: false,
+            });
         }
     }
     Ok(cmp)
 }
 
-/// Extracts `(name, median_ops_per_sec)` pairs from a report document.
-fn report_cases(doc: &Json, which: &str) -> Result<Vec<(String, f64)>, String> {
+/// One case's numbers as read from a report document.
+struct ReportCase {
+    name: String,
+    ops: f64,
+    p90_ms: Option<f64>,
+}
+
+/// Extracts each case's name, median throughput, and (when recorded)
+/// p90 wall time from a report document.
+fn report_cases(doc: &Json, which: &str) -> Result<Vec<ReportCase>, String> {
     let cases = doc
         .get("cases")
         .and_then(Json::as_arr)
@@ -345,7 +447,11 @@ fn report_cases(doc: &Json, which: &str) -> Result<Vec<(String, f64)>, String> {
                 "{which} report: case \"{name}\" has non-positive throughput"
             ));
         }
-        out.push((name.to_owned(), ops));
+        out.push(ReportCase {
+            name: name.to_owned(),
+            ops,
+            p90_ms: c.get("p90_wall_ms").and_then(Json::as_f64),
+        });
     }
     Ok(out)
 }
@@ -483,6 +589,53 @@ mod tests {
         assert!(!cmp.passed());
         assert!(cmp.failures[0].contains("missing"));
         assert!(cmp.lines.iter().any(|l| l.contains("new case")));
+    }
+
+    #[test]
+    fn compare_deltas_carry_p90_and_round_trip_as_json() {
+        let base = BenchReport {
+            mode: "full".to_owned(),
+            cases: vec![
+                fake_result("a", vec![10.0, 20.0]),
+                fake_result("gone", vec![1.0]),
+            ],
+        };
+        let cur = BenchReport {
+            mode: "full".to_owned(),
+            cases: vec![
+                fake_result("a", vec![5.0, 8.0]),
+                fake_result("new", vec![1.0]),
+            ],
+        };
+        let cmp = compare(
+            &json::parse(&base.to_json()).unwrap(),
+            &json::parse(&cur.to_json()).unwrap(),
+            0.10,
+        )
+        .unwrap();
+        assert_eq!(cmp.deltas.len(), 3);
+        let a = &cmp.deltas[0];
+        assert_eq!(a.name, "a");
+        // Median ops/s: (100k + 50k)/2 = 75k -> (200k + 125k)/2 = 162.5k.
+        assert!((a.change_pct().unwrap() - 116.7).abs() < 0.5);
+        assert_eq!(a.base_p90_ms, Some(20.0));
+        assert_eq!(a.cur_p90_ms, Some(8.0));
+        assert!(!a.regressed);
+        let gone = &cmp.deltas[1];
+        assert!(gone.regressed && gone.cur_ops.is_none());
+        let new = &cmp.deltas[2];
+        assert!(!new.regressed && new.base_ops.is_none());
+
+        let doc = json::parse(&cmp.to_json()).unwrap();
+        assert_eq!(doc.get("passed").and_then(Json::as_bool), Some(false));
+        let cases = doc.get("cases").and_then(Json::as_arr).unwrap();
+        assert_eq!(cases.len(), 3);
+        assert_eq!(cases[0].get("name").and_then(Json::as_str), Some("a"));
+        assert!(cases[1].get("cur_ops").and_then(Json::as_f64).is_none());
+        assert_eq!(
+            cases[2].get("regressed").and_then(Json::as_bool),
+            Some(false)
+        );
     }
 
     #[test]

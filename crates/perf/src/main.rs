@@ -3,12 +3,14 @@
 //! ```text
 //! tcp-perf [--smoke] [--out PATH] [--filter SUBSTR] [--reps N] [--warmup N]
 //! tcp-perf --list
-//! tcp-perf compare <baseline.json> <current.json> [--threshold FRACTION]
+//! tcp-perf compare <baseline.json> <current.json> [--threshold FRACTION] [--json]
 //! ```
 //!
 //! The default invocation runs every case at full size and writes
 //! `BENCH.json` to the current directory. `compare` exits 0 when no case
-//! regressed, 1 on regression, 2 on usage or I/O errors.
+//! regressed, 1 on regression, 2 on usage or I/O errors; `--json` swaps
+//! the human-readable lines for a machine-readable delta document (the
+//! CI step-summary input) with the same exit codes.
 
 use std::process::ExitCode;
 
@@ -19,7 +21,7 @@ const USAGE: &str = "\
 usage:
   tcp-perf [--smoke] [--out PATH] [--filter SUBSTR] [--reps N] [--warmup N]
   tcp-perf --list
-  tcp-perf compare <baseline.json> <current.json> [--threshold FRACTION]
+  tcp-perf compare <baseline.json> <current.json> [--threshold FRACTION] [--json]
 
 options:
   --smoke              run reduced input sizes (seconds, for CI smoke jobs)
@@ -29,7 +31,9 @@ options:
   --warmup N           unmeasured warmup repetitions per case (default: 1)
   --list               list available cases and exit
   --threshold FRACTION allowed median-throughput drop for compare
-                       (default: 0.10 = 10%)";
+                       (default: 0.10 = 10%)
+  --json               compare only: print per-case deltas as JSON on
+                       stdout instead of text lines (exit codes unchanged)";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -137,6 +141,7 @@ fn load_report(path: &str) -> Result<json::Json, String> {
 fn run_compare(raw: &[String]) -> ExitCode {
     let mut args = raw.to_vec();
     let mut threshold = 0.10f64;
+    let mut as_json = false;
     let mut i = 0;
     while i < args.len() {
         if args[i] == "--threshold" {
@@ -144,6 +149,9 @@ fn run_compare(raw: &[String]) -> ExitCode {
                 Ok(Ok(t)) if (0.0..1.0).contains(&t) => threshold = t,
                 _ => return usage_error("--threshold needs a fraction in [0, 1)"),
             }
+        } else if args[i] == "--json" {
+            as_json = true;
+            args.remove(i);
         } else {
             i += 1;
         }
@@ -164,11 +172,17 @@ fn run_compare(raw: &[String]) -> ExitCode {
             ExitCode::from(2)
         }
         Ok(cmp) => {
-            for line in &cmp.lines {
-                println!("{line}");
+            if as_json {
+                print!("{}", cmp.to_json());
+            } else {
+                for line in &cmp.lines {
+                    println!("{line}");
+                }
+                if cmp.passed() {
+                    println!("perf check passed (threshold {:.0}%)", threshold * 100.0);
+                }
             }
             if cmp.passed() {
-                println!("perf check passed (threshold {:.0}%)", threshold * 100.0);
                 ExitCode::SUCCESS
             } else {
                 for f in &cmp.failures {

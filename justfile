@@ -4,6 +4,20 @@
 # Build + run the tier-1 test suite (what CI gates on).
 default: test
 
+# The exact CI gate sequence, in CI order, so local runs and ci.yml
+# cannot drift: build, tier-1 + workspace tests, formatting, clippy,
+# tcp-lint (with the injected-violation self-check), the robustness
+# gate, and the smoke perf gate against the committed baseline.
+ci:
+    cargo build --release
+    cargo test -q
+    cargo test --workspace -q
+    cargo fmt --all --check
+    cargo clippy --workspace -- -D warnings
+    scripts/check-lint.sh --inject-check
+    scripts/check-robustness.sh
+    scripts/check-perf.sh --smoke
+
 # Release build of the whole workspace.
 build:
     cargo build --release --workspace

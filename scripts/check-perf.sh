@@ -53,21 +53,31 @@ done
 baseline=bench/baseline.json
 current="${BENCH_OUT:-BENCH.json}"
 
+if [ "$promote" = 1 ]; then
+    # Fail fast with one-line diagnostics before spending time on the
+    # build: a promote needs a readable report and an existing baseline
+    # to ratchet (the first baseline is created with --update).
+    if [ ! -e "$promote_file" ]; then
+        echo "check-perf.sh: no report at $promote_file to promote (run tcp-perf, or pass the report path: --promote FILE)" >&2
+        exit 2
+    fi
+    if [ ! -f "$promote_file" ] || [ ! -r "$promote_file" ]; then
+        echo "check-perf.sh: report $promote_file is not a readable file" >&2
+        exit 2
+    fi
+    if [ ! -f "$baseline" ]; then
+        echo "check-perf.sh: no baseline at $baseline to ratchet; create the first one with 'scripts/check-perf.sh --update'" >&2
+        exit 2
+    fi
+fi
+
 echo "== build tcp-perf (release) =="
 cargo build --release -p tcp-perf
 
 if [ "$promote" = 1 ]; then
-    if [ ! -f "$promote_file" ]; then
-        echo "check-perf.sh: no report at $promote_file to promote" >&2
-        exit 2
-    fi
-    if [ -f "$baseline" ]; then
-        echo
-        echo "== validate $promote_file against $baseline before promoting =="
-        ./target/release/tcp-perf compare "$baseline" "$promote_file" --threshold "$threshold"
-    else
-        echo "check-perf.sh: no existing baseline; promoting $promote_file as the first one"
-    fi
+    echo
+    echo "== validate $promote_file against $baseline before promoting =="
+    ./target/release/tcp-perf compare "$baseline" "$promote_file" --threshold "$threshold"
     mkdir -p bench
     cp "$promote_file" "$baseline"
     echo

@@ -32,6 +32,10 @@ echo "== store fault-injection demo (every StoreFault quarantined) =="
 cargo run --release -q --example store_faults
 
 echo
+echo "== chunked-kernel equivalence suite (chunked vs scalar reference) =="
+cargo test -p tcp-cache --test kernel_equivalence
+
+echo
 echo "== error-layer unit tests (tcp-sim, tcp-cache, tcp-analysis) =="
 cargo test -p tcp-sim
 cargo test -p tcp-cache error
