@@ -8,7 +8,7 @@
 //! set — Figure 7). A sequence is *strided* when its tag deltas are
 //! constant and nonzero (Figure 15).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use tcp_mem::{SetIndex, Tag};
 
 /// Streaming census of per-set tag sequences of length `k` (3 in the
@@ -31,8 +31,8 @@ pub struct SequenceCensus {
     k: usize,
     windows: Vec<Vec<u64>>, // per set, most recent last
     filled: Vec<u8>,
-    seq_counts: HashMap<Vec<u64>, u64>,
-    seq_set_counts: HashMap<(Vec<u64>, u32), u64>,
+    seq_counts: BTreeMap<Vec<u64>, u64>,
+    seq_set_counts: BTreeMap<(Vec<u64>, u32), u64>,
     total: u64,
 }
 
@@ -49,8 +49,8 @@ impl SequenceCensus {
             k,
             windows: vec![Vec::with_capacity(k); sets as usize],
             filled: vec![0; sets as usize],
-            seq_counts: HashMap::new(),
-            seq_set_counts: HashMap::new(),
+            seq_counts: BTreeMap::new(),
+            seq_set_counts: BTreeMap::new(),
             total: 0,
         }
     }

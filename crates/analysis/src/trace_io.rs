@@ -176,8 +176,11 @@ pub fn read_trace<R: Read>(mut r: R, geom: CacheGeometry) -> Result<Vec<MissReco
                 TraceError::Io(e)
             });
         }
-        let pc = Addr::new(u64::from_le_bytes(rec[0..8].try_into().expect("8 bytes")));
-        let addr = Addr::new(u64::from_le_bytes(rec[8..16].try_into().expect("8 bytes")));
+        let mut word = [0u8; 8];
+        word.copy_from_slice(&rec[0..8]);
+        let pc = Addr::new(u64::from_le_bytes(word));
+        word.copy_from_slice(&rec[8..16]);
+        let addr = Addr::new(u64::from_le_bytes(word));
         let (tag, set) = geom.split(addr);
         out.push(MissRecord {
             addr,

@@ -7,7 +7,7 @@
 //! correlation is the approach whose table-size appetite (megabytes —
 //! Section 1 cites 1–2 MB) motivates TCP's tag-level alternative.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use tcp_cache::{L1MissInfo, PrefetchRequest, Prefetcher};
 use tcp_mem::LineAddr;
@@ -53,7 +53,7 @@ pub struct MarkovPrefetcher {
     cfg: MarkovConfig,
     name: String,
     capacity: usize,
-    table: HashMap<LineAddr, MarkovEntry>,
+    table: BTreeMap<LineAddr, MarkovEntry>,
     prev_miss: Option<LineAddr>,
     clock: u64,
 }
@@ -83,7 +83,7 @@ impl MarkovPrefetcher {
             cfg,
             name,
             capacity,
-            table: HashMap::new(),
+            table: BTreeMap::new(),
             prev_miss: None,
             clock: 0,
         }

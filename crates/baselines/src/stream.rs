@@ -122,11 +122,14 @@ impl Prefetcher for StreamBufferPrefetcher {
         self.allocations += 1;
         let clock = self.clock;
         let depth = self.cfg.depth as u64;
-        let s = self
+        let Some(s) = self
             .streams
             .iter_mut()
             .min_by_key(|s| if s.valid { s.last_use } else { 0 })
-            .expect("at least one buffer");
+        else {
+            // Zero buffers configured: nothing to allocate into.
+            return;
+        };
         s.valid = true;
         s.last_use = clock;
         s.next_expected = miss + 1;

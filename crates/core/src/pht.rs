@@ -276,7 +276,9 @@ impl PatternHistoryTable {
         self.valid[set] = vm | 1 << w;
         self.last_use[way] = self.order;
         self.n_targets[way] = 1;
-        self.targets[way * max_targets] = next;
+        let slot = way * max_targets;
+        debug_assert!(slot < self.targets.len(), "arena is sized ways * targets");
+        self.targets[slot] = next;
     }
 
     /// Predicts the most recent tag observed after sequence `seq` at L1

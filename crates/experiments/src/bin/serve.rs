@@ -212,7 +212,6 @@ fn serve(args: &Args) -> Result<usize, String> {
     };
 
     let stdout = std::io::stdout();
-    let mut out = stdout.lock();
     let mut failures = 0usize;
     // Stream chunk by chunk: each chunk fans through the stealing
     // executor, checkpoints the store, and flushes its lines before the
@@ -244,6 +243,9 @@ fn serve(args: &Args) -> Result<usize, String> {
                 .collect(),
         };
         let mut next = results.into_iter();
+        // Take the stdout lock only for the write-out, never across a
+        // simulation call (the engine locks its worker deques).
+        let mut out = stdout.lock();
         for (at, slot) in chunk.iter().enumerate() {
             let index = base + at;
             let line = match slot {

@@ -56,8 +56,21 @@ pub struct FnDef {
     pub col: u32,
     /// Whether the definition sits in `#[cfg(test)]`/`#[test]` code.
     pub in_test: bool,
+    /// Plain `name: Type` parameters, in order (`self` receivers and
+    /// pattern parameters are skipped — the dataflow seeding only needs
+    /// named value parameters).
+    pub params: Vec<ParamDef>,
     /// Extracted body facts; `None` for bodiless trait declarations.
     pub body: Option<BodyFacts>,
+}
+
+/// One named function parameter.
+#[derive(Debug)]
+pub struct ParamDef {
+    /// Parameter name.
+    pub name: String,
+    /// Identifier tokens of the parameter's type, in order.
+    pub ty: Vec<String>,
 }
 
 /// The facts extracted from one function body.
@@ -561,6 +574,10 @@ impl<'a> Parser<'a> {
         if !self.tok(k).is_some_and(|t| punct(t, "(")) {
             return (k, None);
         }
+        let params = match self.matching(k) {
+            Some(close) => self.parse_params(k + 1, close),
+            None => Vec::new(),
+        };
         k = self.skip_group(k);
         // Return type: tokens after `->` up to `{`, `;`, or `where`.
         let mut returns_result = false;
@@ -607,9 +624,55 @@ impl<'a> Parser<'a> {
                 line,
                 col,
                 in_test,
+                params,
                 body,
             }),
         )
+    }
+
+    /// Parses `name: Type` parameters in `[i, end)` (the argument list's
+    /// interior). Receivers (`self` in any form) and pattern parameters
+    /// (`(a, b): …`, `[x]: …`) are skipped — under-matching, as always.
+    fn parse_params(&mut self, mut i: usize, end: usize) -> Vec<ParamDef> {
+        let mut params = Vec::new();
+        while i < end {
+            // One parameter: up to the next depth-zero comma.
+            let mut stop = i;
+            while stop < end && !punct(&self.toks[stop], ",") {
+                if punct(&self.toks[stop], "<") {
+                    stop = self.skip_generics(stop);
+                    continue;
+                }
+                if is_open(&self.toks[stop]) {
+                    stop = self.skip_group(stop);
+                    continue;
+                }
+                stop += 1;
+            }
+            let mut p = i;
+            while p < stop && (ident(&self.toks[p], "mut") || punct(&self.toks[p], "&")) {
+                p += 1;
+            }
+            if p < stop
+                && self.toks[p].kind == TokKind::Ident
+                && !ident(&self.toks[p], "self")
+                && self.tok(p + 1).is_some_and(|t| punct(t, ":"))
+                && p + 1 < stop
+            {
+                let mut ty = Vec::new();
+                for t in &self.toks[p + 2..stop] {
+                    if t.kind == TokKind::Ident {
+                        ty.push(t.text.clone());
+                    }
+                }
+                params.push(ParamDef {
+                    name: self.toks[p].text.clone(),
+                    ty,
+                });
+            }
+            i = stop + 1;
+        }
+        params
     }
 
     /// At the `struct` keyword.

@@ -1,0 +1,1117 @@
+//! Intra-procedural dataflow engine for the tcp-lint v3 passes.
+//!
+//! Each parsed function body is lowered into a list of assignment
+//! statements (`let` bindings and plain `name = …` / `name op= …`
+//! re-assignments, discovered at every nesting depth), and an abstract
+//! environment is iterated to fixpoint over them:
+//!
+//! - **Provenance tags** — a small bitset recording where a value came
+//!   from: cycle counters, addresses, cache tags, stat counters, lock
+//!   guards, loop indices, worker/thread identity. Tags seed from
+//!   parameter and binder *names* (exact snake_case components, so
+//!   `stage` never reads as `tag`) and then flow through assignments:
+//!   the binder's tags become the union of its own seed and the tags of
+//!   every identifier appearing in the right-hand side *outside* index
+//!   brackets. Container contents are not their index — `deques[worker]`
+//!   taints nothing — which is what keeps the deterministic
+//!   work-stealing executor clean.
+//! - **Intervals** — a conservative constant/interval lattice for
+//!   literals and simple `+`/`-`/`*`/`<<` arithmetic over known values,
+//!   evaluated with Rust precedence. Anything the evaluator cannot
+//!   follow is ⊤ (absent), never a guess.
+//!
+//! On top of the fixpoint environment the engine extracts the *fact
+//! lists* the four v3 lints consume: live `Mutex`-guard ranges and
+//! `.lock()` call sites (lock-discipline), tagged unchecked arithmetic
+//! (overflow-provenance), unguarded composite index expressions
+//! (index-bounds), and worker-identity values reaching returns or stat
+//! fields (nondet-taint).
+//!
+//! The conservatism rule of the whole linter applies here unchanged: no
+//! edge/no tag ⇒ no finding. Patterns the lowering cannot follow
+//! (destructuring `let`, `if let` guards, trailing-expression data flow
+//! through nested blocks) degrade to "no facts", i.e. under-reporting,
+//! never to invented findings.
+
+use crate::ast::{BodyFacts, Callee, FnDef};
+use crate::lexer::{TokKind, Token};
+use std::collections::BTreeMap;
+
+/// Provenance tag bitset.
+pub type Tags = u8;
+
+/// Value derives from a cycle counter.
+pub const TAG_CYCLE: Tags = 1 << 0;
+/// Value derives from a memory address.
+pub const TAG_ADDR: Tags = 1 << 1;
+/// Value derives from a cache tag.
+pub const TAG_TAG: Tags = 1 << 2;
+/// Value derives from a statistics counter.
+pub const TAG_STAT: Tags = 1 << 3;
+/// Value derives from worker/thread identity (scheduling-dependent).
+pub const TAG_WORKER: Tags = 1 << 4;
+/// Value is a lock guard.
+pub const TAG_GUARD: Tags = 1 << 5;
+/// Value is a loop index.
+pub const TAG_LOOP: Tags = 1 << 6;
+
+/// The tags that make unchecked arithmetic a finding.
+const ARITH_TAGS: Tags = TAG_CYCLE | TAG_ADDR | TAG_TAG | TAG_STAT;
+
+/// Inclusive interval of possible values, when statically known.
+pub type Interval = (i128, i128);
+
+/// A `let`-bound lock guard and the token range it is live over.
+#[derive(Debug)]
+pub struct GuardRange {
+    /// Binder name.
+    pub name: String,
+    /// 1-based line of the binder.
+    pub line: u32,
+    /// 1-based column of the binder.
+    pub col: u32,
+    /// Normalized receiver text of the `.lock()` that made the guard
+    /// (`m`, `self.deques[victim]`, …) — textual identity, so distinct
+    /// index expressions never alias.
+    pub mutex: String,
+    /// Token index where the guard becomes live (just past the `;`).
+    pub start: usize,
+    /// Token index where the guard dies: `drop(name)` or the `}` of the
+    /// enclosing block.
+    pub end: usize,
+}
+
+/// One `.lock()` call site in the body.
+#[derive(Debug)]
+pub struct LockSite {
+    /// 1-based line of the `lock` token.
+    pub line: u32,
+    /// 1-based column of the `lock` token.
+    pub col: u32,
+    /// Normalized receiver text.
+    pub recv: String,
+    /// Token index of the argument list's `(`.
+    pub paren_open: usize,
+}
+
+/// A violating site found by one of the intra-procedural passes.
+#[derive(Debug)]
+pub struct Violation {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human-readable description (the finding message body).
+    pub what: String,
+}
+
+/// Everything the dataflow engine learned about one function body.
+#[derive(Debug, Default)]
+pub struct FnFlow {
+    /// Fixpoint provenance environment: identifier → tags.
+    pub tags: BTreeMap<String, Tags>,
+    /// Fixpoint interval environment: identifier → known interval.
+    pub intervals: BTreeMap<String, Interval>,
+    /// Live `let`-bound lock-guard ranges.
+    pub guards: Vec<GuardRange>,
+    /// Every `.lock()` call site.
+    pub locks: Vec<LockSite>,
+    /// overflow-provenance violations.
+    pub overflow: Vec<Violation>,
+    /// index-bounds violations.
+    pub index: Vec<Violation>,
+    /// nondet-taint violations.
+    pub taint: Vec<Violation>,
+}
+
+/// One lowered assignment statement.
+struct Assign {
+    /// Bound/assigned identifier.
+    binder: String,
+    /// RHS token range (start inclusive, end exclusive).
+    rhs: (usize, usize),
+}
+
+fn is_punct(t: &Token, s: &str) -> bool {
+    t.kind == TokKind::Punct && t.text == s
+}
+
+fn is_ident(t: &Token, s: &str) -> bool {
+    t.kind == TokKind::Ident && t.text == s
+}
+
+fn is_open(t: &Token) -> bool {
+    is_punct(t, "(") || is_punct(t, "[") || is_punct(t, "{")
+}
+
+fn is_close(t: &Token) -> bool {
+    is_punct(t, ")") || is_punct(t, "]") || is_punct(t, "}")
+}
+
+/// Index of the delimiter closing the group opened at `open`.
+fn matching(toks: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (k, t) in toks.iter().enumerate().skip(open) {
+        if is_open(t) {
+            depth += 1;
+        } else if is_close(t) {
+            depth = depth.saturating_sub(1);
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+/// Whether a name is const/type-like (contains an uppercase letter):
+/// `L1_SIZE` or `TAG_WORKER` is compile-time configuration, not a
+/// runtime counter, so it neither seeds provenance nor counts as a
+/// runtime operand.
+fn const_like(name: &str) -> bool {
+    name.chars().any(|c| c.is_ascii_uppercase())
+}
+
+/// Keywords the lexer reports as `Ident` tokens; never value operands.
+fn keyword(name: &str) -> bool {
+    matches!(
+        name,
+        "if" | "else"
+            | "while"
+            | "for"
+            | "in"
+            | "return"
+            | "match"
+            | "let"
+            | "mut"
+            | "ref"
+            | "move"
+            | "loop"
+            | "break"
+            | "continue"
+            | "as"
+            | "where"
+            | "fn"
+            | "impl"
+            | "use"
+            | "pub"
+    )
+}
+
+/// Provenance seed from an identifier's name: exact snake_case
+/// components only, so `stage` does not read as `tag` and `n_workers`
+/// (a thread *count*, which is configuration) does not read as worker
+/// identity. Const/type-like names never seed.
+pub fn seed_tags(name: &str) -> Tags {
+    if const_like(name) {
+        return 0;
+    }
+    let lower = name.to_ascii_lowercase();
+    if lower == "tid" || lower == "thread_id" {
+        return TAG_WORKER;
+    }
+    let mut tags = 0;
+    for part in lower.split('_') {
+        tags |= match part {
+            "cycle" | "cycles" => TAG_CYCLE,
+            "addr" | "addrs" | "address" => TAG_ADDR,
+            "tag" | "tags" => TAG_TAG,
+            "stat" | "stats" => TAG_STAT,
+            "worker" => TAG_WORKER,
+            _ => 0,
+        };
+    }
+    tags
+}
+
+/// Assignment operators that keep the binder's prior tags (`op=`) or
+/// replace them (`=`) — for tag joining both behave the same, since the
+/// environment is a per-name join over all paths anyway.
+const ASSIGN_OPS: [&str; 11] = [
+    "=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>=",
+];
+
+/// Runs the engine over one function body. Returns `None` when the
+/// function has no body.
+pub fn analyze(toks: &[Token], in_test: &[bool], def: &FnDef) -> Option<FnFlow> {
+    let body = def.body.as_ref()?;
+    let mut flow = FnFlow::default();
+
+    // ---- Seed: parameters and their names. -------------------------
+    for p in &def.params {
+        let entry = flow.tags.entry(p.name.clone()).or_insert(0);
+        *entry |= seed_tags(&p.name);
+    }
+
+    // ---- Lower: assignment statements and loop binders. ------------
+    let assigns = collect_assigns(toks, body, &mut flow);
+
+    // ---- Fixpoint over the tag + interval environment. -------------
+    // A linear pass can miss chains that appear in reverse source
+    // order (`a = b; let b = cycle;` in a loop), so iterate until
+    // stable; the domain is finite and joins are monotone, so this
+    // terminates — the cap is a belt against pathological inputs.
+    for _ in 0..10 {
+        let mut changed = false;
+        for a in &assigns {
+            let rhs_tags = span_tags(toks, a.rhs.0, a.rhs.1, &flow.tags);
+            let want = seed_tags(&a.binder) | rhs_tags;
+            let entry = flow.tags.entry(a.binder.clone()).or_insert(0);
+            if *entry | want != *entry {
+                *entry |= want;
+                changed = true;
+            }
+            if let Some(iv) = eval_interval(toks, a.rhs.0, a.rhs.1, &flow.intervals) {
+                if flow.intervals.get(&a.binder) != Some(&iv) {
+                    flow.intervals.insert(a.binder.clone(), iv);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // ---- Fact extraction on the stable environment. ----------------
+    collect_locks(toks, body, &mut flow);
+    collect_guards(toks, body, &mut flow);
+    overflow_pass(toks, in_test, body, &mut flow);
+    index_pass(toks, in_test, body, &mut flow);
+    taint_pass(toks, in_test, body, &assigns, &mut flow);
+    Some(flow)
+}
+
+/// Finds every assignment statement in the body, at any nesting depth
+/// (closure and block bodies included), and seeds loop binders.
+fn collect_assigns(toks: &[Token], body: &BodyFacts, flow: &mut FnFlow) -> Vec<Assign> {
+    let mut out = Vec::new();
+    let mut i = body.open + 1;
+    while i < body.close {
+        let t = &toks[i];
+        // `for binder in …` — the binder is a loop index.
+        if is_ident(t, "for")
+            && !(i > 0 && is_punct(&toks[i - 1], "."))
+            && toks.get(i + 1).is_some_and(|n| n.kind == TokKind::Ident)
+        {
+            let binder = &toks[i + 1];
+            if toks.get(i + 2).is_some_and(|n| is_ident(n, "in")) {
+                let e = flow.tags.entry(binder.text.clone()).or_insert(0);
+                *e |= TAG_LOOP | seed_tags(&binder.text);
+            }
+        }
+        // `let [mut] name [: ty] = rhs ;`
+        if is_ident(t, "let") {
+            let mut j = i + 1;
+            if toks.get(j).is_some_and(|n| is_ident(n, "mut")) {
+                j += 1;
+            }
+            let Some(binder) = toks.get(j) else {
+                break;
+            };
+            if binder.kind == TokKind::Ident
+                && toks
+                    .get(j + 1)
+                    .is_some_and(|n| is_punct(n, ":") || is_punct(n, "="))
+            {
+                let mut k = j + 1;
+                if is_punct(&toks[k], ":") {
+                    // Skip the type annotation to the `=` (or give up
+                    // at `;` — `let x: T;` has no RHS).
+                    k += 1;
+                    while k < body.close && !is_punct(&toks[k], "=") && !is_punct(&toks[k], ";") {
+                        if is_open(&toks[k]) {
+                            k = matching(toks, k).map_or(body.close, |c| c + 1);
+                        } else {
+                            k += 1;
+                        }
+                    }
+                }
+                if k < body.close && is_punct(&toks[k], "=") {
+                    let rhs_start = k + 1;
+                    let rhs_end = stmt_end(toks, rhs_start, body.close);
+                    out.push(Assign {
+                        binder: binder.text.clone(),
+                        rhs: (rhs_start, rhs_end),
+                    });
+                }
+            }
+            i += 1;
+            continue;
+        }
+        // Plain re-assignment at a statement start: `name op= rhs ;`.
+        if t.kind == TokKind::Ident
+            && i > 0
+            && (is_punct(&toks[i - 1], ";")
+                || is_punct(&toks[i - 1], "{")
+                || is_punct(&toks[i - 1], "}"))
+            && toks
+                .get(i + 1)
+                .is_some_and(|n| n.kind == TokKind::Punct && ASSIGN_OPS.contains(&n.text.as_str()))
+            && !is_punct(&toks[i + 1], "=")
+        {
+            // `x = …` (plain =) also matches via the branch below; the
+            // op= family lands here.
+            let rhs_start = i + 2;
+            let rhs_end = stmt_end(toks, rhs_start, body.close);
+            out.push(Assign {
+                binder: t.text.clone(),
+                rhs: (rhs_start, rhs_end),
+            });
+        } else if t.kind == TokKind::Ident
+            && i > 0
+            && (is_punct(&toks[i - 1], ";")
+                || is_punct(&toks[i - 1], "{")
+                || is_punct(&toks[i - 1], "}"))
+            && toks.get(i + 1).is_some_and(|n| is_punct(n, "="))
+            && !toks.get(i + 2).is_some_and(|n| is_punct(n, "="))
+        {
+            let rhs_start = i + 2;
+            let rhs_end = stmt_end(toks, rhs_start, body.close);
+            out.push(Assign {
+                binder: t.text.clone(),
+                rhs: (rhs_start, rhs_end),
+            });
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Index of the `;` (exclusive end) terminating the statement starting
+/// at `i`, skipping nested delimiter groups.
+fn stmt_end(toks: &[Token], mut i: usize, close: usize) -> usize {
+    while i < close {
+        let t = &toks[i];
+        if is_punct(t, ";") {
+            return i;
+        }
+        if is_open(t) {
+            i = matching(toks, i).map_or(close, |c| c + 1);
+            continue;
+        }
+        i += 1;
+    }
+    close
+}
+
+/// Union of tags over identifiers in `[start, end)` that sit *outside*
+/// index brackets — a container's contents do not carry its index's
+/// provenance.
+fn span_tags(toks: &[Token], start: usize, end: usize, env: &BTreeMap<String, Tags>) -> Tags {
+    let mut tags = 0;
+    let mut i = start;
+    while i < end.min(toks.len()) {
+        let t = &toks[i];
+        if is_punct(t, "[") {
+            i = matching(toks, i).map_or(end, |c| c + 1);
+            continue;
+        }
+        if t.kind == TokKind::Ident {
+            tags |= seed_tags(&t.text) | env.get(&t.text).copied().unwrap_or(0);
+        }
+        i += 1;
+    }
+    tags
+}
+
+/// Whether a worker-tainted identifier appears in `[start, end)`
+/// outside index brackets; returns its name.
+fn tainted_ident_in(
+    toks: &[Token],
+    start: usize,
+    end: usize,
+    env: &BTreeMap<String, Tags>,
+) -> Option<String> {
+    let mut i = start;
+    while i < end.min(toks.len()) {
+        let t = &toks[i];
+        if is_punct(t, "[") {
+            i = matching(toks, i).map_or(end, |c| c + 1);
+            continue;
+        }
+        if t.kind == TokKind::Ident {
+            let tags = seed_tags(&t.text) | env.get(&t.text).copied().unwrap_or(0);
+            if tags & TAG_WORKER != 0 {
+                return Some(t.text.clone());
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Interval evaluation of `[start, end)` with Rust precedence
+/// (`*` over `+`/`-` over `<<`). Returns `None` — ⊤ — on any token the
+/// evaluator does not understand, so a known interval is always sound.
+fn eval_interval(
+    toks: &[Token],
+    start: usize,
+    end: usize,
+    env: &BTreeMap<String, Interval>,
+) -> Option<Interval> {
+    let end = end.min(toks.len());
+    // Atoms: integer literals and idents with known intervals.
+    // Operators: + - * <<, left-associative within a precedence level.
+    let mut atoms: Vec<Interval> = Vec::new();
+    let mut ops: Vec<String> = Vec::new();
+    let mut expect_atom = true;
+    for t in &toks[start..end] {
+        if expect_atom {
+            let iv = match t.kind {
+                TokKind::Int => {
+                    let v = parse_int(&t.text)?;
+                    (v, v)
+                }
+                TokKind::Ident => *env.get(&t.text)?,
+                TokKind::Lifetime
+                | TokKind::Str
+                | TokKind::Char
+                | TokKind::Float
+                | TokKind::Punct => return None,
+            };
+            atoms.push(iv);
+            expect_atom = false;
+        } else {
+            if !(t.kind == TokKind::Punct && matches!(t.text.as_str(), "+" | "-" | "*" | "<<")) {
+                return None;
+            }
+            ops.push(t.text.clone());
+            expect_atom = true;
+        }
+    }
+    if expect_atom || atoms.is_empty() {
+        return None;
+    }
+    // Reduce one precedence level at a time: * first, then +/-, then <<.
+    for level in [&["*"][..], &["+", "-"][..], &["<<"][..]] {
+        let mut new_atoms = vec![atoms[0]];
+        let mut new_ops: Vec<String> = Vec::new();
+        for (op, &rhs) in ops.iter().zip(&atoms[1..]) {
+            if level.contains(&op.as_str()) {
+                let lhs = new_atoms.pop()?;
+                new_atoms.push(apply_op(op, lhs, rhs)?);
+            } else {
+                new_ops.push(op.clone());
+                new_atoms.push(rhs);
+            }
+        }
+        atoms = new_atoms;
+        ops = new_ops;
+    }
+    if atoms.len() == 1 {
+        Some(atoms[0])
+    } else {
+        None
+    }
+}
+
+fn parse_int(text: &str) -> Option<i128> {
+    let t = text.replace('_', "");
+    let t = t
+        .trim_end_matches(|c: char| c.is_ascii_alphabetic())
+        .to_owned();
+    let digits = if let Some(h) = t.strip_prefix("0x") {
+        i128::from_str_radix(h, 16)
+    } else if let Some(b) = t.strip_prefix("0b") {
+        i128::from_str_radix(b, 2)
+    } else if let Some(o) = t.strip_prefix("0o") {
+        i128::from_str_radix(o, 8)
+    } else {
+        t.parse()
+    };
+    digits.ok()
+}
+
+fn apply_op(op: &str, (al, ah): Interval, (bl, bh): Interval) -> Option<Interval> {
+    let combine = |f: fn(i128, i128) -> Option<i128>| -> Option<Interval> {
+        let mut lo = i128::MAX;
+        let mut hi = i128::MIN;
+        for a in [al, ah] {
+            for b in [bl, bh] {
+                let v = f(a, b)?;
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+        }
+        Some((lo, hi))
+    };
+    match op {
+        "+" => combine(i128::checked_add),
+        "-" => combine(i128::checked_sub),
+        "*" => combine(i128::checked_mul),
+        "<<" => combine(|a, b| {
+            if (0..64).contains(&b) {
+                a.checked_shl(b as u32)
+            } else {
+                None
+            }
+        }),
+        _ => None,
+    }
+}
+
+/// Records every `.lock()` call with its normalized receiver text.
+fn collect_locks(toks: &[Token], body: &BodyFacts, flow: &mut FnFlow) {
+    for c in &body.calls {
+        let Callee::Method { name, .. } = &c.callee else {
+            continue;
+        };
+        if name != "lock" {
+            continue;
+        }
+        // Receiver: everything from the expression start up to the `.`
+        // before the method name (the name sits right before the `(`).
+        let name_idx = c.paren_open.saturating_sub(1);
+        let dot_idx = name_idx.saturating_sub(1);
+        let recv: String = toks[c.expr_start..dot_idx]
+            .iter()
+            .map(|t| t.text.as_str())
+            .collect::<Vec<_>>()
+            .join("");
+        flow.locks.push(LockSite {
+            line: c.line,
+            col: c.col,
+            recv,
+            paren_open: c.paren_open,
+        });
+    }
+}
+
+/// Finds `let [mut] g = ….lock()…;` statements and computes the token
+/// range over which the guard is live: to `drop(g)` in the same block,
+/// or to the `}` closing the enclosing block.
+fn collect_guards(toks: &[Token], body: &BodyFacts, flow: &mut FnFlow) {
+    let mut i = body.open + 1;
+    while i < body.close {
+        if !is_ident(&toks[i], "let") {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        if toks.get(j).is_some_and(|n| is_ident(n, "mut")) {
+            j += 1;
+        }
+        let Some(binder) = toks.get(j) else { break };
+        if !(binder.kind == TokKind::Ident && toks.get(j + 1).is_some_and(|n| is_punct(n, "="))) {
+            i += 1;
+            continue;
+        }
+        let rhs_start = j + 2;
+        let rhs_end = stmt_end(toks, rhs_start, body.close);
+        // Is there a `.lock(` in the RHS? Use the collected lock sites
+        // so the receiver text comes out normalized the same way.
+        let lock = flow
+            .locks
+            .iter()
+            .find(|l| l.paren_open > rhs_start && l.paren_open < rhs_end);
+        if let Some(lock) = lock {
+            let start = rhs_end + 1;
+            let end = guard_end(toks, &binder.text, start, body.close);
+            flow.guards.push(GuardRange {
+                name: binder.text.clone(),
+                line: binder.line,
+                col: binder.col,
+                mutex: lock.recv.clone(),
+                start,
+                end,
+            });
+            let e = flow.tags.entry(binder.text.clone()).or_insert(0);
+            *e |= TAG_GUARD;
+        }
+        i = rhs_end + 1;
+    }
+}
+
+/// Where a guard bound at statement end `start` dies: at `drop(name)`
+/// or at the first `}` that closes a block opened before the binding.
+fn guard_end(toks: &[Token], name: &str, start: usize, close: usize) -> usize {
+    let mut i = start;
+    while i < close {
+        let t = &toks[i];
+        if is_ident(t, "drop")
+            && toks.get(i + 1).is_some_and(|n| is_punct(n, "("))
+            && toks.get(i + 2).is_some_and(|n| is_ident(n, name))
+            && toks.get(i + 3).is_some_and(|n| is_punct(n, ")"))
+        {
+            return i;
+        }
+        if is_open(t) {
+            i = matching(toks, i).map_or(close, |c| c + 1);
+            continue;
+        }
+        if is_punct(t, "}") {
+            return i;
+        }
+        i += 1;
+    }
+    close
+}
+
+/// overflow-provenance: unchecked `+`/`*`/`<<` where provenance-tagged
+/// operands make wraparound a real hazard. `+` needs both operands
+/// tagged (a `cycle + 1` tick is reviewable at sight); `*` fires with a
+/// tagged operand unless the other side is a literal constant (a
+/// reviewable scale factor); `<<` fires whenever the shifted value is
+/// tagged — a shift of a tagged u64 discards high bits silently.
+fn overflow_pass(toks: &[Token], in_test: &[bool], body: &BodyFacts, flow: &mut FnFlow) {
+    for i in body.open + 1..body.close {
+        if in_test.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        let t = &toks[i];
+        if t.kind != TokKind::Punct || !matches!(t.text.as_str(), "+" | "*" | "<<") {
+            continue;
+        }
+        // Binary position only: the previous token must end an operand
+        // (`*x` deref, `&x`, `if *entry`, `)`-ended chains under-match).
+        let Some(prev) = i.checked_sub(1).and_then(|p| toks.get(p)) else {
+            continue;
+        };
+        if !(prev.kind == TokKind::Ident || prev.kind == TokKind::Int) || keyword(&prev.text) {
+            continue;
+        }
+        let Some(next) = toks.get(i + 1) else {
+            continue;
+        };
+        // A const-like operand (`L1_SIZE`) is a reviewable compile-time
+        // constant, same as a literal.
+        let operand = |tok: &Token| -> (Tags, bool) {
+            match tok.kind {
+                TokKind::Ident => (
+                    seed_tags(&tok.text) | flow.tags.get(&tok.text).copied().unwrap_or(0),
+                    const_like(&tok.text),
+                ),
+                TokKind::Int => (0, true),
+                TokKind::Lifetime
+                | TokKind::Str
+                | TokKind::Char
+                | TokKind::Float
+                | TokKind::Punct => (0, false),
+            }
+        };
+        let (lhs_tags, lhs_lit) = operand(prev);
+        let (rhs_tags, rhs_lit) = operand(next);
+        if next.kind != TokKind::Ident && next.kind != TokKind::Int {
+            continue;
+        }
+        let fires = match t.text.as_str() {
+            "+" => lhs_tags & ARITH_TAGS != 0 && rhs_tags & ARITH_TAGS != 0,
+            "*" => {
+                ((lhs_tags & ARITH_TAGS != 0) && !rhs_lit)
+                    || ((rhs_tags & ARITH_TAGS != 0) && !lhs_lit)
+            }
+            "<<" => lhs_tags & ARITH_TAGS != 0,
+            _ => false,
+        };
+        if !fires {
+            continue;
+        }
+        let describe = |tags: Tags| -> &'static str {
+            if tags & TAG_CYCLE != 0 {
+                "cycle"
+            } else if tags & TAG_ADDR != 0 {
+                "addr"
+            } else if tags & TAG_TAG != 0 {
+                "tag"
+            } else {
+                "stat"
+            }
+        };
+        let prov = describe(if lhs_tags & ARITH_TAGS != 0 {
+            lhs_tags
+        } else {
+            rhs_tags
+        });
+        flow.overflow.push(Violation {
+            line: t.line,
+            col: t.col,
+            what: format!(
+                "unchecked `{} {} {}` on a {prov}-provenance u64 can wrap silently; \
+                 use `wrapping_*`/`checked_*` to state the intent, or waive with the \
+                 bound that rules the overflow out",
+                prev.text, t.text, next.text
+            ),
+        });
+    }
+}
+
+/// index-bounds: `recv[a op b …]` composite index expressions with no
+/// dominating bound evidence. The expression must be entirely
+/// identifiers/integers joined by `+`/`-`/`*`/`<<` (anything else —
+/// ranges, calls, `%`, masks — is treated as its own bound discipline
+/// and skipped). Bound evidence that clears a site, searched in tokens
+/// before it: the exact expression followed by `<` (an `assert!`, `if`,
+/// `while`, or `for` header), or an all-constant interval.
+fn index_pass(toks: &[Token], in_test: &[bool], body: &BodyFacts, flow: &mut FnFlow) {
+    for i in body.open + 1..body.close {
+        if in_test.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        if !is_punct(&toks[i], "[") {
+            continue;
+        }
+        // Indexing, not an array literal / attribute: previous token
+        // must be a plain identifier (chains ending in `)`/`]` are
+        // under-matched away).
+        let Some(recv_idx) = i.checked_sub(1) else {
+            continue;
+        };
+        if toks[recv_idx].kind != TokKind::Ident {
+            continue;
+        }
+        let Some(close) = matching(toks, i) else {
+            continue;
+        };
+        let expr = &toks[i + 1..close];
+        if expr.len() < 3 {
+            continue; // a composite expression is at least `a op b`
+        }
+        let simple = expr.iter().all(|t| {
+            t.kind == TokKind::Ident
+                || t.kind == TokKind::Int
+                || (t.kind == TokKind::Punct && matches!(t.text.as_str(), "+" | "-" | "*" | "<<"))
+        });
+        let n_ops = expr
+            .iter()
+            .filter(|t| {
+                t.kind == TokKind::Punct && matches!(t.text.as_str(), "+" | "-" | "*" | "<<")
+            })
+            .count();
+        if !simple || n_ops == 0 {
+            continue;
+        }
+        // A known interval means every atom is a constant through the
+        // lattice (`let w = 8; xs[w - 1]`) — bound evidence of the
+        // compile-time kind, rustc's own const checking territory.
+        if eval_interval(toks, i + 1, close, &flow.intervals).is_some() {
+            continue;
+        }
+        // Token-scan offsets (`toks[i + 1]`, `v[rank - 1]`) have one
+        // runtime quantity and a constant; the SoA plane/chunk hazard
+        // this lint exists for multiplies/adds *several* runtime
+        // quantities. Require at least two.
+        let n_runtime = expr
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident && !const_like(&t.text))
+            .count();
+        if n_runtime < 2 {
+            continue;
+        }
+        // Dominating textual bound: the same token spelling followed by
+        // `<` anywhere earlier in the body (assert!/debug_assert!/if/
+        // while/for headers all produce exactly this shape).
+        let spelled: Vec<&str> = expr.iter().map(|t| t.text.as_str()).collect();
+        let mut bounded = false;
+        'scan: for w in body.open + 1..i.saturating_sub(spelled.len()) {
+            let window = &toks[w..w + spelled.len()];
+            for (win_tok, s) in window.iter().zip(&spelled) {
+                if win_tok.text != *s {
+                    continue 'scan;
+                }
+            }
+            if toks
+                .get(w + spelled.len())
+                .is_some_and(|t| is_punct(t, "<") || is_punct(t, "<="))
+            {
+                bounded = true;
+                break;
+            }
+        }
+        if bounded {
+            continue;
+        }
+        let recv = &toks[recv_idx];
+        let expr_text = spelled.join(" ");
+        flow.index.push(Violation {
+            line: toks[i].line,
+            col: toks[i].col,
+            what: format!(
+                "`{}[{expr_text}]` indexes with a composite expression no dominating \
+                 check bounds; assert `{expr_text} < {}.len()` first, bind the index \
+                 to a name and check it, or waive with the invariant that bounds it",
+                recv.text, recv.text
+            ),
+        });
+    }
+}
+
+/// nondet-taint: worker-identity values reaching a `return` statement
+/// or a stats field write.
+fn taint_pass(
+    toks: &[Token],
+    in_test: &[bool],
+    body: &BodyFacts,
+    assigns: &[Assign],
+    flow: &mut FnFlow,
+) {
+    // `return <tainted>;`
+    let mut i = body.open + 1;
+    while i < body.close {
+        if in_test.get(i).copied().unwrap_or(false) || !is_ident(&toks[i], "return") {
+            i += 1;
+            continue;
+        }
+        let end = stmt_end(toks, i + 1, body.close);
+        if let Some(name) = tainted_ident_in(toks, i + 1, end, &flow.tags) {
+            flow.taint.push(Violation {
+                line: toks[i].line,
+                col: toks[i].col,
+                what: format!(
+                    "worker/thread-identity value `{name}` flows into this function's \
+                     return value; results must not depend on which worker computed \
+                     them — derive the value from the job, not the worker"
+                ),
+            });
+        }
+        i = end + 1;
+    }
+    // `…stats….field op= <tainted>;` — a stats sink. Statement-start
+    // field chains whose receiver mentions a stats name.
+    let mut i = body.open + 1;
+    while i < body.close {
+        let stmt_start = toks
+            .get(i.wrapping_sub(1))
+            .map(|p| is_punct(p, ";") || is_punct(p, "{") || is_punct(p, "}"))
+            .unwrap_or(true);
+        if !(stmt_start && toks[i].kind == TokKind::Ident)
+            || in_test.get(i).copied().unwrap_or(false)
+        {
+            i += 1;
+            continue;
+        }
+        // Walk a `a.b.c` chain.
+        let mut k = i;
+        let mut chain_has_stat = seed_tags(&toks[k].text) & TAG_STAT != 0;
+        while toks.get(k + 1).is_some_and(|t| is_punct(t, "."))
+            && toks.get(k + 2).is_some_and(|t| t.kind == TokKind::Ident)
+        {
+            k += 2;
+            chain_has_stat |= seed_tags(&toks[k].text) & TAG_STAT != 0;
+        }
+        let is_assign = toks
+            .get(k + 1)
+            .is_some_and(|t| t.kind == TokKind::Punct && ASSIGN_OPS.contains(&t.text.as_str()));
+        if k > i && chain_has_stat && is_assign {
+            let rhs_start = k + 2;
+            let rhs_end = stmt_end(toks, rhs_start, body.close);
+            if let Some(name) = tainted_ident_in(toks, rhs_start, rhs_end, &flow.tags) {
+                flow.taint.push(Violation {
+                    line: toks[i].line,
+                    col: toks[i].col,
+                    what: format!(
+                        "worker/thread-identity value `{name}` is written into a stats \
+                         field; reported statistics must be scheduling-independent"
+                    ),
+                });
+            }
+            i = rhs_end + 1;
+            continue;
+        }
+        i += 1;
+    }
+    // Silence the unused warning path: assigns already drove the
+    // fixpoint; the taint sinks only need the stable environment.
+    let _ = assigns;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::lints::test_mask;
+
+    fn flow_of(src: &str) -> FnFlow {
+        let lx = lex(src);
+        let mask = test_mask(&lx.tokens, crate::FileKind::Lib);
+        let ast = crate::ast::parse(&lx.tokens, &mask);
+        for it in &ast.items {
+            if let crate::ast::Item::Fn(f) = it {
+                return analyze(&lx.tokens, &mask, f).expect("body");
+            }
+        }
+        panic!("no fn in source");
+    }
+
+    #[test]
+    fn seeds_are_component_exact() {
+        assert_eq!(seed_tags("cycle"), TAG_CYCLE);
+        assert_eq!(seed_tags("commit_cycles"), TAG_CYCLE);
+        assert_eq!(seed_tags("addr"), TAG_ADDR);
+        assert_eq!(seed_tags("stage"), 0, "`stage` must not read as `tag`");
+        assert_eq!(seed_tags("n_workers"), 0, "a worker *count* is config");
+        assert_eq!(seed_tags("worker_id"), TAG_WORKER);
+        assert_eq!(seed_tags("tid"), TAG_WORKER);
+        assert_eq!(seed_tags("stats"), TAG_STAT);
+    }
+
+    #[test]
+    fn tags_propagate_through_assignment_chains() {
+        let flow = flow_of("fn f(cycle: u64) -> u64 { let a = cycle; let b = a; b }");
+        assert_eq!(
+            flow.tags.get("a").copied().unwrap_or(0) & TAG_CYCLE,
+            TAG_CYCLE
+        );
+        assert_eq!(
+            flow.tags.get("b").copied().unwrap_or(0) & TAG_CYCLE,
+            TAG_CYCLE
+        );
+    }
+
+    #[test]
+    fn fixpoint_handles_reverse_order_chains() {
+        // `a` is assigned from `b` before `b` is ever tagged; only a
+        // second iteration can see it.
+        let flow = flow_of(
+            "fn f(cycle: u64) -> u64 { let mut a = 0; let mut b = 0; \
+             loop { a = b; b = cycle; if a > 0 { break; } } a }",
+        );
+        assert_eq!(
+            flow.tags.get("a").copied().unwrap_or(0) & TAG_CYCLE,
+            TAG_CYCLE
+        );
+    }
+
+    #[test]
+    fn container_reads_do_not_carry_index_provenance() {
+        let flow =
+            flow_of("fn f(worker: usize, jobs: Vec<u64>) -> u64 { let j = jobs[worker]; j }");
+        assert_eq!(
+            flow.tags.get("j").copied().unwrap_or(0) & TAG_WORKER,
+            0,
+            "indexing by worker must not taint the element"
+        );
+    }
+
+    #[test]
+    fn intervals_evaluate_with_precedence() {
+        let flow =
+            flow_of("fn f() -> u64 { let a = 4; let b = a * 2 + 1; let c = 1 + 2 * 3; b + c }");
+        assert_eq!(flow.intervals.get("a"), Some(&(4, 4)));
+        assert_eq!(flow.intervals.get("b"), Some(&(9, 9)));
+        assert_eq!(
+            flow.intervals.get("c"),
+            Some(&(7, 7)),
+            "precedence: 1 + 2*3 = 7"
+        );
+    }
+
+    #[test]
+    fn unknown_rhs_is_top_not_a_guess() {
+        let flow = flow_of("fn f(n: u64) -> u64 { let a = n; let b = a + 1; b }");
+        assert_eq!(flow.intervals.get("a"), None);
+        assert_eq!(flow.intervals.get("b"), None);
+    }
+
+    #[test]
+    fn guard_ranges_and_lock_sites() {
+        let flow = flow_of(
+            "fn f(m: &std::sync::Mutex<u64>) -> u64 {\n\
+                let g = m.lock().unwrap_or_else(|p| p.into_inner());\n\
+                let v = *g;\n\
+                drop(g);\n\
+                v\n\
+             }",
+        );
+        assert_eq!(flow.locks.len(), 1);
+        assert_eq!(flow.locks[0].recv, "m");
+        assert_eq!(flow.guards.len(), 1);
+        let g = &flow.guards[0];
+        assert_eq!(g.name, "g");
+        assert_eq!(g.mutex, "m");
+        assert!(g.end > g.start, "guard must be live over a nonempty range");
+        assert_eq!(
+            flow.tags.get("g").copied().unwrap_or(0) & TAG_GUARD,
+            TAG_GUARD
+        );
+    }
+
+    #[test]
+    fn temporary_guards_create_no_range() {
+        let flow = flow_of(
+            "fn f(m: &std::sync::Mutex<u64>) -> u64 {\n\
+                *m.lock().unwrap_or_else(|p| p.into_inner())\n\
+             }",
+        );
+        assert_eq!(flow.locks.len(), 1);
+        assert!(flow.guards.is_empty(), "temporaries die at the statement");
+    }
+
+    #[test]
+    fn overflow_rules() {
+        let flow = flow_of(
+            "fn f(cycle: u64, addr: u64, n: u64) -> u64 {\n\
+                let a = cycle + 1;\n\
+                let b = cycle + addr;\n\
+                let c = addr * n;\n\
+                let d = addr * 8;\n\
+                let e = addr << n;\n\
+                a + b + c + d + e\n\
+             }",
+        );
+        let lines: Vec<u32> = flow.overflow.iter().map(|v| v.line).collect();
+        assert!(!lines.contains(&2), "cycle + 1 is a reviewable tick");
+        assert!(lines.contains(&3), "tagged + tagged fires");
+        assert!(lines.contains(&4), "tagged * variable fires");
+        assert!(!lines.contains(&5), "tagged * literal is a scale factor");
+        assert!(lines.contains(&6), "shifting a tagged value fires");
+    }
+
+    #[test]
+    fn index_bounds_rules() {
+        let flow = flow_of(
+            "fn f(xs: &[u64], base: usize, way: usize, set: usize) -> u64 {\n\
+                let a = xs[base + way];\n\
+                debug_assert!(set * 8 + way < xs.len());\n\
+                let b = xs[set * 8 + way];\n\
+                let c = xs[way];\n\
+                let d = xs[4 + 3];\n\
+                let e = xs[way + 1];\n\
+                let w = 8;\n\
+                let f = xs[w - 1];\n\
+                a + b + c + d + e + f\n\
+             }",
+        );
+        let lines: Vec<u32> = flow.index.iter().map(|v| v.line).collect();
+        assert!(lines.contains(&2), "unguarded composite index fires");
+        assert!(!lines.contains(&4), "asserted bound clears the site");
+        assert!(!lines.contains(&5), "single-ident index is out of scope");
+        assert!(!lines.contains(&6), "all-constant index is rustc's job");
+        assert!(
+            !lines.contains(&7),
+            "one runtime ident + offset is a scan idiom"
+        );
+        assert!(
+            !lines.contains(&9),
+            "known interval through the lattice clears it"
+        );
+    }
+
+    #[test]
+    fn taint_rules() {
+        let flow = flow_of(
+            "fn f(worker: usize, jobs: Vec<u64>) -> usize {\n\
+                let w2 = worker + 1;\n\
+                let job = jobs[worker];\n\
+                if job > 0 {\n\
+                    return w2;\n\
+                }\n\
+                0\n\
+             }",
+        );
+        assert_eq!(flow.taint.len(), 1, "taint: {:?}", flow.taint);
+        assert_eq!(flow.taint[0].line, 5);
+        assert!(flow.taint[0].what.contains("w2"));
+    }
+
+    #[test]
+    fn stats_write_sink() {
+        let flow = flow_of(
+            "fn f(worker: usize, stats: &mut RunStats) {\n\
+                stats.owner += worker;\n\
+             }",
+        );
+        assert_eq!(flow.taint.len(), 1, "taint: {:?}", flow.taint);
+        assert_eq!(flow.taint[0].line, 2);
+    }
+}

@@ -26,6 +26,7 @@
 #![forbid(unsafe_code)]
 
 pub mod ast;
+pub mod dataflow;
 pub mod lexer;
 pub mod lints;
 pub mod semantic;
@@ -33,8 +34,8 @@ pub mod symbols;
 
 pub use lints::{lint_file, FileKind, FileSpec, Finding, ALL_LINTS};
 
-use lints::{scan_directives, suppressed, test_mask, Suppressions};
-use std::collections::BTreeMap;
+use lints::{lint_file_tracked, scan_directives, suppressed_by, test_mask, Suppressions};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -59,6 +60,9 @@ pub struct Waiver {
     pub lints: Vec<String>,
     /// The justification text after the `allow(...)`.
     pub reason: String,
+    /// Whether the waived lint no longer fires on the covered lines —
+    /// a rotten suppression that should be deleted.
+    pub stale: bool,
 }
 
 /// Result of a whole-workspace analysis.
@@ -88,11 +92,20 @@ pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
     }
 }
 
-/// Source directories scanned in workspace mode, relative to the root:
-/// the root package, every workspace crate, and the out-of-workspace
-/// `proptests/` tree (`crates/bench` needs crates.io and is skipped;
-/// lint fixtures are deliberately-bad code).
+/// Source directories scanned in workspace mode: the root package, the
+/// out-of-workspace `proptests/` tree (excluded from the build because
+/// it needs crates.io to *compile*, not to lint), and every member the
+/// root `Cargo.toml` declares — so adding a crate to the workspace adds
+/// it to lint coverage in the same edit. Manifest `exclude` entries are
+/// honored (`crates/bench` needs crates.io); lint fixtures are
+/// deliberately-bad code and are skipped at collection time. A manifest
+/// with no parseable members (synthetic test workspaces) falls back to
+/// listing `crates/` directly.
 pub fn workspace_sources(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let manifest = fs::read_to_string(root.join("Cargo.toml")).unwrap_or_default();
+    let members = expand_member_globs(root, &toml_str_array(&manifest, "members"));
+    let exclude = expand_member_globs(root, &toml_str_array(&manifest, "exclude"));
+
     let mut dirs: Vec<PathBuf> = vec![
         root.join("src"),
         root.join("tests"),
@@ -100,24 +113,28 @@ pub fn workspace_sources(root: &Path) -> io::Result<Vec<PathBuf>> {
         root.join("proptests").join("src"),
         root.join("proptests").join("tests"),
     ];
-    let crates = root.join("crates");
-    if crates.is_dir() {
-        let mut names: Vec<PathBuf> = Vec::new();
-        for entry in fs::read_dir(&crates)? {
-            let entry = entry?;
-            if entry.path().is_dir() {
-                names.push(entry.path());
+    let mut crate_dirs: Vec<PathBuf> = members
+        .iter()
+        .filter(|m| !exclude.contains(m))
+        .map(|m| root.join(m))
+        .collect();
+    if crate_dirs.is_empty() {
+        // Fallback: no members declared — list `crates/` directly.
+        let crates = root.join("crates");
+        if crates.is_dir() {
+            for entry in fs::read_dir(&crates)? {
+                let entry = entry?;
+                if entry.path().is_dir() && entry.file_name() != "bench" {
+                    crate_dirs.push(entry.path());
+                }
             }
         }
-        names.sort();
-        for c in names {
-            if c.file_name().is_some_and(|n| n == "bench") {
-                continue;
-            }
-            dirs.push(c.join("src"));
-            dirs.push(c.join("tests"));
-            dirs.push(c.join("examples"));
-        }
+    }
+    crate_dirs.sort();
+    for c in crate_dirs {
+        dirs.push(c.join("src"));
+        dirs.push(c.join("tests"));
+        dirs.push(c.join("examples"));
     }
 
     let mut files = Vec::new();
@@ -128,6 +145,72 @@ pub fn workspace_sources(root: &Path) -> io::Result<Vec<PathBuf>> {
     }
     files.sort();
     Ok(files)
+}
+
+/// Extracts the string elements of a `key = [ "…", … ]` TOML array,
+/// tolerating the array spanning multiple lines. Good enough for the
+/// workspace `members`/`exclude` arrays; anything unparseable yields an
+/// empty list (and the caller falls back to directory listing).
+fn toml_str_array(manifest: &str, key: &str) -> Vec<String> {
+    let mut in_array = false;
+    let mut body = String::new();
+    for line in manifest.lines() {
+        let trimmed = line.trim();
+        if !in_array {
+            let Some(rest) = trimmed.strip_prefix(key) else {
+                continue;
+            };
+            let Some(rest) = rest.trim_start().strip_prefix('=') else {
+                continue;
+            };
+            let Some(rest) = rest.trim_start().strip_prefix('[') else {
+                continue;
+            };
+            body.push_str(rest);
+            in_array = true;
+        } else {
+            body.push_str(trimmed);
+        }
+        if let Some(end) = body.find(']') {
+            body.truncate(end);
+            break;
+        }
+    }
+    let mut out = Vec::new();
+    let mut rest = body.as_str();
+    while let Some(q1) = rest.find('"') {
+        let Some(len) = rest[q1 + 1..].find('"') else {
+            break;
+        };
+        out.push(rest[q1 + 1..q1 + 1 + len].to_owned());
+        rest = &rest[q1 + 1 + len + 1..];
+    }
+    out
+}
+
+/// Expands `prefix/*` member globs against the filesystem; plain
+/// entries pass through. Results are workspace-relative `/`-separated
+/// strings, sorted for determinism.
+fn expand_member_globs(root: &Path, patterns: &[String]) -> Vec<String> {
+    let mut out = Vec::new();
+    for p in patterns {
+        if let Some(prefix) = p.strip_suffix("/*") {
+            let Ok(entries) = fs::read_dir(root.join(prefix)) else {
+                continue;
+            };
+            for entry in entries.flatten() {
+                if entry.path().is_dir() {
+                    if let Some(name) = entry.file_name().to_str() {
+                        out.push(format!("{prefix}/{name}"));
+                    }
+                }
+            }
+        } else {
+            out.push(p.clone());
+        }
+    }
+    out.sort();
+    out
 }
 
 fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
@@ -206,11 +289,22 @@ struct Prepared {
 /// semantic passes over the workspace graph — and returns
 /// suppression-filtered findings sorted by (path, line, col, lint).
 pub fn analyze_files(files: &[SourceFile]) -> Vec<Finding> {
+    analyze_files_tracked(files, &mut BTreeMap::new())
+}
+
+/// [`analyze_files`], additionally recording into `used` the directive
+/// lines (per file path) whose waiver suppressed at least one finding —
+/// the complement is the stale-waiver set.
+pub fn analyze_files_tracked(
+    files: &[SourceFile],
+    used: &mut BTreeMap<String, BTreeSet<u32>>,
+) -> Vec<Finding> {
     let mut findings: Vec<Finding> = Vec::new();
     let mut prepared: Vec<Prepared> = Vec::with_capacity(files.len());
     for f in files {
         let spec = spec_for_path(&f.rel_path);
-        findings.extend(lint_file(&spec, &f.src));
+        let used_here = used.entry(f.rel_path.clone()).or_default();
+        findings.extend(lint_file_tracked(&spec, &f.src, used_here));
         let lx = lexer::lex(&f.src);
         let mask = test_mask(&lx.tokens, spec.kind);
         let ast = ast::parse(&lx.tokens, &mask);
@@ -249,7 +343,7 @@ pub fn analyze_files(files: &[SourceFile]) -> Vec<Finding> {
             sups: &p.sups,
         })
         .collect();
-    let semantic_findings = semantic::run(&ws, &sem_inputs);
+    let semantic_findings = semantic::run(&ws, &sem_inputs, used);
 
     let sups_by_path: BTreeMap<&str, &Suppressions> = files
         .iter()
@@ -257,9 +351,16 @@ pub fn analyze_files(files: &[SourceFile]) -> Vec<Finding> {
         .map(|(f, p)| (f.rel_path.as_str(), &p.sups))
         .collect();
     findings.extend(semantic_findings.into_iter().filter(|f| {
-        sups_by_path
-            .get(f.path.as_str())
-            .is_none_or(|sups| !suppressed(sups, f))
+        let Some(sups) = sups_by_path.get(f.path.as_str()) else {
+            return true;
+        };
+        match suppressed_by(sups, f) {
+            Some(line) => {
+                used.entry(f.path.clone()).or_default().insert(line);
+                false
+            }
+            None => true,
+        }
     }));
     findings
         .sort_by(|a, b| (&a.path, a.line, a.col, a.lint).cmp(&(&b.path, b.line, b.col, b.lint)));
@@ -280,6 +381,7 @@ pub fn collect_waivers(files: &[SourceFile]) -> Vec<Waiver> {
                 line,
                 lints,
                 reason,
+                stale: false,
             });
         }
     }
@@ -298,9 +400,17 @@ pub fn analyze_workspace(root: &Path) -> io::Result<WorkspaceReport> {
             src: fs::read_to_string(p)?,
         });
     }
+    let mut used: BTreeMap<String, BTreeSet<u32>> = BTreeMap::new();
+    let findings = analyze_files_tracked(&files, &mut used);
+    let mut waivers = collect_waivers(&files);
+    for w in &mut waivers {
+        w.stale = !used
+            .get(&w.path)
+            .is_some_and(|lines| lines.contains(&w.line));
+    }
     Ok(WorkspaceReport {
-        findings: analyze_files(&files),
-        waivers: collect_waivers(&files),
+        findings,
+        waivers,
         files_scanned: files.len(),
     })
 }
@@ -344,21 +454,57 @@ pub fn render_json(findings: &[Finding]) -> String {
     out
 }
 
-/// Renders the waiver debt report: one line per directive plus a total
-/// (`scripts/check-lint.sh` caps the total so debt cannot grow
-/// silently).
+/// Renders the waiver debt report: one line per directive plus totals
+/// (`scripts/check-lint.sh` caps `total` + `stale` so debt cannot grow
+/// silently and suppressions cannot rot in place).
 pub fn render_waivers(waivers: &[Waiver]) -> String {
     let mut out = String::new();
     for w in waivers {
         out.push_str(&format!(
-            "{}:{}  {}  — {}\n",
+            "{}:{}  {}  — {}{}\n",
             w.path,
             w.line,
             w.lints.join(","),
-            w.reason
+            w.reason,
+            if w.stale {
+                "  [STALE: lint no longer fires here — delete this waiver]"
+            } else {
+                ""
+            }
         ));
     }
     out.push_str(&format!("total: {} waivers\n", waivers.len()));
+    out.push_str(&format!(
+        "stale: {} waivers\n",
+        waivers.iter().filter(|w| w.stale).count()
+    ));
+    out
+}
+
+/// Renders findings as GitHub Actions workflow commands, one `::error`
+/// annotation per finding, so CI surfaces them inline on the PR diff.
+pub fn render_gh(findings: &[Finding]) -> String {
+    // Workflow-command escaping: data escapes %/\r/\n; property values
+    // additionally escape `:` and `,`.
+    fn esc_data(s: &str) -> String {
+        s.replace('%', "%25")
+            .replace('\r', "%0D")
+            .replace('\n', "%0A")
+    }
+    fn esc_prop(s: &str) -> String {
+        esc_data(s).replace(':', "%3A").replace(',', "%2C")
+    }
+    let mut out = String::new();
+    for f in findings {
+        out.push_str(&format!(
+            "::error file={},line={},col={},title={}::{}\n",
+            esc_prop(&f.path),
+            f.line,
+            f.col,
+            esc_prop(&format!("tcp-lint {}", f.lint)),
+            esc_data(&f.message)
+        ));
+    }
     out
 }
 

@@ -6,8 +6,8 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 use tcp_lint::{
-    analyze_workspace, find_workspace_root, lint_path, render_human, render_json, render_waivers,
-    Finding, ALL_LINTS,
+    analyze_workspace, find_workspace_root, lint_path, render_gh, render_human, render_json,
+    render_waivers, Finding, ALL_LINTS,
 };
 
 const USAGE: &str = "\
@@ -15,14 +15,19 @@ tcp-lint: static analysis enforcing the TCP reproduction's determinism
 and error-discipline invariants.
 
 Usage:
-  tcp-lint --workspace [--json] [--root DIR]   lint every workspace crate
+  tcp-lint --workspace [--root DIR]            lint every workspace crate
                                                (lexical + semantic passes)
-  tcp-lint [--json] [--root DIR] FILE...       lint specific files
+  tcp-lint [--root DIR] FILE...                lint specific files
                                                (lexical passes only)
   tcp-lint --waivers [--root DIR]              print the suppression-debt
                                                report (file:line, lints,
-                                               reason, and a total)
+                                               reason, totals, and stale
+                                               waivers that no longer fire)
   tcp-lint --list-lints                        print the lint names
+
+Output (lint modes): --format human (default) | json | gh
+  gh emits GitHub Actions ::error annotations; --json is shorthand
+  for --format json.
 
 Suppress a finding on the line below (or the same line) with a reason:
   // tcp-lint: allow(lint-name) -- reason it is sound here
@@ -41,7 +46,7 @@ fn main() -> ExitCode {
 fn run() -> std::io::Result<ExitCode> {
     let mut workspace = false;
     let mut waivers = false;
-    let mut json = false;
+    let mut format = Format::Human;
     let mut root_arg: Option<PathBuf> = None;
     let mut files: Vec<PathBuf> = Vec::new();
 
@@ -50,7 +55,17 @@ fn run() -> std::io::Result<ExitCode> {
         match a.as_str() {
             "--workspace" => workspace = true,
             "--waivers" => waivers = true,
-            "--json" => json = true,
+            "--json" => format = Format::Json,
+            "--format" => match args.next().as_deref() {
+                Some("human") => format = Format::Human,
+                Some("json") => format = Format::Json,
+                Some("gh") => format = Format::Gh,
+                other => {
+                    let got = other.unwrap_or("nothing");
+                    eprintln!("tcp-lint: --format needs human|json|gh, got {got}\n\n{USAGE}");
+                    return Ok(ExitCode::from(2));
+                }
+            },
             "--root" => match args.next() {
                 Some(dir) => root_arg = Some(PathBuf::from(dir)),
                 None => {
@@ -99,7 +114,7 @@ fn run() -> std::io::Result<ExitCode> {
     if workspace {
         // Whole-workspace mode runs the semantic passes too.
         let report = analyze_workspace(&root)?;
-        return Ok(emit(&report.findings, report.files_scanned, json));
+        return Ok(emit(&report.findings, report.files_scanned, format));
     }
 
     let mut findings: Vec<Finding> = Vec::new();
@@ -116,22 +131,32 @@ fn run() -> std::io::Result<ExitCode> {
     }
     findings
         .sort_by(|a, b| (&a.path, a.line, a.col, a.lint).cmp(&(&b.path, b.line, b.col, b.lint)));
-    Ok(emit(&findings, files.len(), json))
+    Ok(emit(&findings, files.len(), format))
 }
 
-fn emit(findings: &[Finding], n_files: usize, json: bool) -> ExitCode {
-    if json {
-        print!("{}", render_json(findings));
-    } else {
-        print!("{}", render_human(findings));
-        if findings.is_empty() {
-            println!("tcp-lint: clean ({n_files} files)");
-        } else {
-            println!(
-                "tcp-lint: {} finding(s) across {} files",
-                findings.len(),
-                n_files
-            );
+/// Output modes for the finding report.
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Human,
+    Json,
+    Gh,
+}
+
+fn emit(findings: &[Finding], n_files: usize, format: Format) -> ExitCode {
+    match format {
+        Format::Json => print!("{}", render_json(findings)),
+        Format::Gh => print!("{}", render_gh(findings)),
+        Format::Human => {
+            print!("{}", render_human(findings));
+            if findings.is_empty() {
+                println!("tcp-lint: clean ({n_files} files)");
+            } else {
+                println!(
+                    "tcp-lint: {} finding(s) across {} files",
+                    findings.len(),
+                    n_files
+                );
+            }
         }
     }
     if findings.is_empty() {

@@ -20,14 +20,33 @@
 //! - **discarded-result** — a `Result` returned by a workspace function
 //!   must not be dropped as a bare statement.
 //!
+//! The v3 dataflow passes also live here, consuming the per-function
+//! abstract environments computed by [`crate::dataflow`]:
+//!
+//! - **lock-discipline** — a `let`-bound `Mutex` guard live across a
+//!   call into a workspace function that itself (transitively) locks is
+//!   the deadlock shape; a second `.lock()` of the same receiver inside
+//!   a live guard range is a self-deadlock on that path.
+//! - **overflow-provenance** — unchecked `+`/`*`/`<<` on values whose
+//!   provenance tags say cycle/addr/tag/stat counter.
+//! - **index-bounds** — composite index expressions with no dominating
+//!   bound evidence.
+//! - **nondet-taint** — worker/thread-identity values reaching returns
+//!   or stats fields.
+//!
 //! Findings are produced unsuppressed; the caller filters them through
-//! each file's waivers exactly like the lexical passes.
+//! each file's waivers exactly like the lexical passes. `run` also
+//! reports which waiver directive lines did real work here (panic-site
+//! waivers that stopped reachability propagation), so the stale-waiver
+//! report can tell live suppressions from rotten ones.
 
 use crate::ast::{ArmHead, CallSite};
+use crate::dataflow::{self, FnFlow};
 use crate::lexer::Token;
 use crate::lints::{
     is_ident, is_punct, matching, push, FileKind, FileSpec, Finding, Suppressions,
-    DISCARDED_RESULT, EXHAUSTIVE_DISPATCH, PANIC_IN_LIBRARY, PANIC_REACHABILITY, STAT_CONSERVATION,
+    DISCARDED_RESULT, EXHAUSTIVE_DISPATCH, INDEX_BOUNDS, LOCK_DISCIPLINE, NONDET_TAINT,
+    OVERFLOW_PROVENANCE, PANIC_IN_LIBRARY, PANIC_REACHABILITY, STAT_CONSERVATION,
 };
 use crate::symbols::{FileInput, Workspace};
 use std::collections::{BTreeMap, BTreeSet};
@@ -57,12 +76,20 @@ pub struct SemanticInput<'a> {
 }
 
 /// Runs all semantic passes; findings are unsuppressed and unsorted.
-pub fn run(ws: &Workspace<'_>, inputs: &[SemanticInput<'_>]) -> Vec<Finding> {
+/// Waiver directive lines that did suppression work inside the passes
+/// themselves (panic-site waivers stopping reachability propagation)
+/// are recorded per file path into `used`.
+pub fn run(
+    ws: &Workspace<'_>,
+    inputs: &[SemanticInput<'_>],
+    used: &mut BTreeMap<String, BTreeSet<u32>>,
+) -> Vec<Finding> {
     let mut findings = Vec::new();
-    panic_reachability(ws, inputs, &mut findings);
+    panic_reachability(ws, inputs, used, &mut findings);
     stat_conservation(ws, inputs, &mut findings);
     exhaustive_dispatch(ws, inputs, &mut findings);
     discarded_result(ws, inputs, &mut findings);
+    dataflow_passes(ws, inputs, &mut findings);
     findings
 }
 
@@ -75,10 +102,10 @@ fn spec_of<'a>(input: &'a SemanticInput<'_>) -> FileSpec<'a> {
     }
 }
 
-/// Whether a panic site at `line` carries a waiver that stops
-/// propagation: `allow(panic-reachability)` or `allow(panic-in-library)`
+/// The directive line of a waiver stopping propagation at a panic site
+/// on `line`: `allow(panic-reachability)` or `allow(panic-in-library)`
 /// on the same line or the line above.
-fn panic_site_waived(sups: &Suppressions, line: u32) -> bool {
+fn panic_site_waiver_line(sups: &Suppressions, line: u32) -> Option<u32> {
     let hit = |l: u32| {
         sups.get(&l).is_some_and(|names| {
             names
@@ -86,28 +113,45 @@ fn panic_site_waived(sups: &Suppressions, line: u32) -> bool {
                 .any(|n| n == PANIC_REACHABILITY || n == PANIC_IN_LIBRARY)
         })
     };
-    hit(line) || (line > 1 && hit(line - 1))
+    if hit(line) {
+        Some(line)
+    } else if line > 1 && hit(line - 1) {
+        Some(line - 1)
+    } else {
+        None
+    }
 }
 
 fn panic_reachability(
     ws: &Workspace<'_>,
     inputs: &[SemanticInput<'_>],
+    used: &mut BTreeMap<String, BTreeSet<u32>>,
     findings: &mut Vec<Finding>,
 ) {
-    // First unwaived direct panic per function.
+    // First unwaived direct panic per function; every waiver that
+    // shields a site is marked used along the way.
     let mut direct: Vec<Option<(String, u32)>> = Vec::with_capacity(ws.fns.len());
     for node in &ws.fns {
         if node.in_test {
             direct.push(None);
             continue;
         }
-        let sups = inputs[node.file].sups;
-        let site = node
-            .def
-            .body
-            .iter()
-            .flat_map(|b| b.panics.iter())
-            .find(|p| !panic_site_waived(sups, p.line));
+        let input = &inputs[node.file];
+        let mut site = None;
+        for p in node.def.body.iter().flat_map(|b| b.panics.iter()) {
+            match panic_site_waiver_line(input.sups, p.line) {
+                Some(dl) => {
+                    used.entry(input.file.path.to_owned())
+                        .or_default()
+                        .insert(dl);
+                }
+                None => {
+                    if site.is_none() {
+                        site = Some(p);
+                    }
+                }
+            }
+        }
         direct.push(site.map(|p| (p.what.clone(), p.line)));
     }
 
@@ -411,6 +455,149 @@ fn discarded_result(ws: &Workspace<'_>, inputs: &[SemanticInput<'_>], findings: 
                      reason the failure is impossible here",
                     edge.name,
                 ),
+            );
+        }
+    }
+}
+
+/// The four v3 dataflow lints, driven by per-function [`FnFlow`]s.
+fn dataflow_passes(ws: &Workspace<'_>, inputs: &[SemanticInput<'_>], findings: &mut Vec<Finding>) {
+    // One abstract environment per analyzable function. Tests are
+    // masked, and example programs are demo code outside the lint's
+    // determinism/robustness contract.
+    let flows: Vec<Option<FnFlow>> = ws
+        .fns
+        .iter()
+        .map(|node| {
+            let input = &inputs[node.file];
+            if node.in_test || !matches!(input.file.kind, FileKind::Lib | FileKind::Bin) {
+                return None;
+            }
+            dataflow::analyze(input.file.toks, input.file.in_test, node.def)
+        })
+        .collect();
+
+    // Which functions (transitively) acquire a lock: seed with direct
+    // `.lock()` callers, then propagate backwards over call edges to a
+    // fixpoint. Conservative in the under-matching direction — an
+    // unresolved call contributes no edge, hence no finding.
+    let mut locks_trans: Vec<bool> = flows
+        .iter()
+        .map(|f| f.as_ref().is_some_and(|f| !f.locks.is_empty()))
+        .collect();
+    let direct_lock = locks_trans.clone();
+    loop {
+        let mut changed = false;
+        for (i, node) in ws.fns.iter().enumerate() {
+            if locks_trans[i] {
+                continue;
+            }
+            let calls_locker = node
+                .calls
+                .iter()
+                .flat_map(|e| e.targets.iter())
+                .any(|&t| locks_trans[t]);
+            if calls_locker {
+                locks_trans[i] = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    for (i, node) in ws.fns.iter().enumerate() {
+        let Some(flow) = &flows[i] else { continue };
+        let input = &inputs[node.file];
+        let spec = spec_of(input);
+
+        for g in &flow.guards {
+            // Deadlock shape: guard live across a call into a
+            // workspace function that itself acquires some lock.
+            for edge in &node.calls {
+                let s = edge.site;
+                if s.paren_open <= g.start || s.paren_open >= g.end {
+                    continue;
+                }
+                let Some(&t) = edge.targets.iter().find(|&&t| locks_trans[t]) else {
+                    continue;
+                };
+                let how = if direct_lock[t] {
+                    "itself acquires a lock"
+                } else {
+                    "acquires a lock further down its call graph"
+                };
+                push(
+                    findings,
+                    &spec,
+                    &input.lines,
+                    LOCK_DISCIPLINE,
+                    s.line,
+                    s.col,
+                    format!(
+                        "guard `{}` (locking `{}`, bound at line {}) is still live \
+                         across this call to `{}`, which {how} — the deadlock shape; \
+                         drop or scope the guard before the call",
+                        g.name,
+                        g.mutex,
+                        g.line,
+                        ws.fns[t].display_name(),
+                    ),
+                );
+            }
+            // Double lock of one receiver on a single path.
+            for l in &flow.locks {
+                if l.paren_open > g.start && l.paren_open < g.end && l.recv == g.mutex {
+                    push(
+                        findings,
+                        &spec,
+                        &input.lines,
+                        LOCK_DISCIPLINE,
+                        l.line,
+                        l.col,
+                        format!(
+                            "`{}` is locked again while guard `{}` from line {} still \
+                             holds it — self-deadlock on this path; drop the guard \
+                             before re-locking",
+                            l.recv, g.name, g.line,
+                        ),
+                    );
+                }
+            }
+        }
+
+        for v in &flow.overflow {
+            push(
+                findings,
+                &spec,
+                &input.lines,
+                OVERFLOW_PROVENANCE,
+                v.line,
+                v.col,
+                v.what.clone(),
+            );
+        }
+        for v in &flow.index {
+            push(
+                findings,
+                &spec,
+                &input.lines,
+                INDEX_BOUNDS,
+                v.line,
+                v.col,
+                v.what.clone(),
+            );
+        }
+        for v in &flow.taint {
+            push(
+                findings,
+                &spec,
+                &input.lines,
+                NONDET_TAINT,
+                v.line,
+                v.col,
+                v.what.clone(),
             );
         }
     }

@@ -40,10 +40,17 @@ fn waivers_report_lists_debt_with_a_total() {
     let out = bin().arg("--waivers").output().expect("run tcp-lint");
     assert!(out.status.success(), "--waivers itself must not gate");
     let stdout = String::from_utf8_lossy(&out.stdout);
-    let total_line = stdout
-        .lines()
-        .last()
-        .expect("waiver report ends with a total");
+    let mut tail = stdout.lines().rev();
+    let stale_line = tail.next().expect("waiver report ends with stale count");
+    assert!(
+        stale_line.starts_with("stale: ") && stale_line.ends_with(" waivers"),
+        "unexpected stale line: {stale_line}"
+    );
+    assert_eq!(
+        stale_line, "stale: 0 waivers",
+        "the committed tree must carry no rotten suppressions"
+    );
+    let total_line = tail.next().expect("waiver report has a total");
     assert!(
         total_line.starts_with("total: ") && total_line.ends_with(" waivers"),
         "unexpected total line: {total_line}"
@@ -52,7 +59,7 @@ fn waivers_report_lists_debt_with_a_total() {
     // each with a file:line anchor and a reason.
     assert!(stdout.contains("panic-in-library"), "report: {stdout}");
     for line in stdout.lines() {
-        if line.starts_with("total: ") {
+        if line.starts_with("total: ") || line.starts_with("stale: ") {
             continue;
         }
         assert!(
@@ -60,6 +67,82 @@ fn waivers_report_lists_debt_with_a_total() {
             "each entry needs file:line and a reason: {line}"
         );
     }
+}
+
+#[test]
+fn stale_waiver_is_reported_in_the_debt_report() {
+    // A waiver whose lint does not fire on its line must be marked
+    // stale and counted, so suppressions cannot rot in place.
+    let root = std::path::PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("lint-stale-check");
+    let src_dir = root.join("crates").join("sim").join("src");
+    std::fs::create_dir_all(&src_dir).expect("mkdir temp workspace");
+    std::fs::write(root.join("Cargo.toml"), "[workspace]\n").expect("write manifest");
+    std::fs::write(
+        src_dir.join("lib.rs"),
+        "#![forbid(unsafe_code)]\n\
+         // tcp-lint: allow(wall-clock-in-sim) — nothing here reads the clock anymore\n\
+         pub fn fine() -> u64 {\n    \
+         7\n\
+         }\n",
+    )
+    .expect("write clean lib.rs");
+
+    let out = bin()
+        .args(["--waivers", "--root", root.to_str().expect("utf-8 path")])
+        .output()
+        .expect("run tcp-lint --waivers");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("[STALE"), "report must flag it: {stdout}");
+    assert!(stdout.contains("total: 1 waivers"), "report: {stdout}");
+    assert!(stdout.contains("stale: 1 waivers"), "report: {stdout}");
+}
+
+#[test]
+fn gh_format_emits_error_annotations() {
+    let root = std::path::PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("lint-gh-check");
+    let src_dir = root.join("crates").join("sim").join("src");
+    std::fs::create_dir_all(&src_dir).expect("mkdir temp workspace");
+    std::fs::write(root.join("Cargo.toml"), "[workspace]\n").expect("write manifest");
+    std::fs::write(
+        src_dir.join("lib.rs"),
+        "#![forbid(unsafe_code)]\n\
+         pub fn canary() -> std::time::Instant {\n    \
+         std::time::Instant::now()\n\
+         }\n",
+    )
+    .expect("write offending lib.rs");
+
+    let out = bin()
+        .args([
+            "--workspace",
+            "--format",
+            "gh",
+            "--root",
+            root.to_str().expect("utf-8 path"),
+        ])
+        .output()
+        .expect("run tcp-lint --format gh");
+    assert_eq!(out.status.code(), Some(1), "violations must still exit 1");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("::error file=crates/sim/src/lib.rs,line="),
+        "gh annotations must carry the path: {stdout}"
+    );
+    assert!(
+        stdout.contains("title=tcp-lint wall-clock-in-sim::"),
+        "gh annotations must carry the lint name: {stdout}"
+    );
+
+    let bad_format = bin()
+        .args(["--workspace", "--format", "yaml"])
+        .output()
+        .expect("run tcp-lint with bad format");
+    assert_eq!(
+        bad_format.status.code(),
+        Some(2),
+        "unknown format is usage error"
+    );
 }
 
 #[test]

@@ -1,0 +1,25 @@
+#![forbid(unsafe_code)]
+// Bound evidence shapes the lint accepts: a dominating debug_assert!,
+// an `if` comparison guarding the access, a single-ident index, and a
+// waived site carrying its geometry invariant.
+
+pub fn probe(entries: &[u64], set_base: usize, way: usize) -> u64 {
+    debug_assert!(set_base * 8 + way < entries.len());
+    entries[set_base * 8 + way]
+}
+
+pub fn probe_checked(entries: &[u64], set_base: usize, way: usize) -> u64 {
+    if set_base * 8 + way < entries.len() {
+        return entries[set_base * 8 + way];
+    }
+    0
+}
+
+pub fn head(entries: &[u64], at: usize) -> u64 {
+    entries[at]
+}
+
+pub fn probe_waived(entries: &[u64], set_base: usize, way: usize) -> u64 {
+    // tcp-lint: allow(index-bounds) — constructor sizes the arena to sets * 8 and callers mask `way` to the associativity
+    entries[set_base * 8 + way]
+}

@@ -1,0 +1,11 @@
+#![forbid(unsafe_code)]
+// Composite index expressions with no dominating bound evidence: the
+// arena-style `set * ways + way` flattening, indexed straight in.
+
+pub fn probe(entries: &[u64], set_base: usize, way: usize) -> u64 {
+    entries[set_base * 8 + way]
+}
+
+pub fn gather(plane: &[u64], base: usize, stride: usize, k: usize) -> u64 {
+    plane[base + stride * k]
+}

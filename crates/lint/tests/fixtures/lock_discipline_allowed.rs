@@ -1,0 +1,40 @@
+#![forbid(unsafe_code)]
+// Clean lock discipline: temporaries die at the statement, guards are
+// dropped before any call that locks, and a documented exception is
+// waived at the site.
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+pub struct Pool {
+    deques: Vec<Mutex<VecDeque<usize>>>,
+}
+
+impl Pool {
+    fn steal_from(&self, victim: usize) -> Option<usize> {
+        self.deques[victim]
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .pop_back()
+    }
+
+    pub fn drain_own(&self, worker: usize) -> Option<usize> {
+        let mut own = self.deques[worker]
+            .lock()
+            .unwrap_or_else(|p| p.into_inner());
+        let job = own.pop_front();
+        drop(own);
+        if job.is_some() {
+            return job;
+        }
+        self.steal_from(worker + 1)
+    }
+
+    pub fn audited(&self) -> Option<usize> {
+        let g = self.deques[0].lock().unwrap_or_else(|p| p.into_inner());
+        let head = g.front().copied();
+        // tcp-lint: allow(lock-discipline) — lock order documented: deque 0 is never reachable from steal_from(1)
+        let stolen = self.steal_from(1);
+        drop(g);
+        head.or(stolen)
+    }
+}

@@ -1,0 +1,36 @@
+#![forbid(unsafe_code)]
+// Deadlock shapes in a sweep-executor-shaped pool: a live guard across
+// a call into a function that itself locks, and a double lock of one
+// receiver on a single path.
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+pub struct Pool {
+    deques: Vec<Mutex<VecDeque<usize>>>,
+}
+
+impl Pool {
+    fn steal_from(&self, victim: usize) -> Option<usize> {
+        let mut dq = self.deques[victim]
+            .lock()
+            .unwrap_or_else(|p| p.into_inner());
+        dq.pop_back()
+    }
+
+    pub fn drain_own(&self, worker: usize) -> Option<usize> {
+        let mut own = self.deques[worker]
+            .lock()
+            .unwrap_or_else(|p| p.into_inner());
+        if let Some(job) = own.pop_front() {
+            return Some(job);
+        }
+        self.steal_from(worker + 1)
+    }
+
+    pub fn requeue(&self, job: usize) {
+        let mut own = self.deques[0].lock().unwrap_or_else(|p| p.into_inner());
+        own.push_back(job);
+        let mut again = self.deques[0].lock().unwrap_or_else(|p| p.into_inner());
+        again.push_back(job);
+    }
+}

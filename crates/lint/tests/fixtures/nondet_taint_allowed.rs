@@ -1,0 +1,25 @@
+#![forbid(unsafe_code)]
+// Clean uses of worker identity: as an index into schedule-invariant
+// data (container reads shed index provenance), in totals that do not
+// depend on which worker ran, and a waived debug hook.
+
+pub struct Totals {
+    pub done: u64,
+}
+
+pub fn pick(worker: usize, jobs: &[u64]) -> usize {
+    let job = jobs[worker];
+    if job > 0 {
+        return job as usize;
+    }
+    0
+}
+
+pub fn account(completed: usize, stats: &mut Totals) {
+    stats.done += completed as u64;
+}
+
+pub fn debug_owner(worker: usize) -> usize {
+    // tcp-lint: allow(nondet-taint) — debug-only introspection hook, never feeds simulation results
+    return worker;
+}

@@ -1,0 +1,19 @@
+#![forbid(unsafe_code)]
+// Worker-identity values leaking into results: a worker-derived value
+// returned to the caller, and a stats accumulator fed from a worker id.
+
+pub struct Totals {
+    pub owner: u64,
+}
+
+pub fn pick(worker: usize, jobs: &[u64]) -> usize {
+    let chosen = worker + 1;
+    if jobs.is_empty() {
+        return chosen;
+    }
+    0
+}
+
+pub fn account(worker: usize, stats: &mut Totals) {
+    stats.owner += worker as u64;
+}

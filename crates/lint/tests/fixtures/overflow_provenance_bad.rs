@@ -1,0 +1,14 @@
+#![forbid(unsafe_code)]
+// Unchecked arithmetic on provenance-tagged u64s: cycle/addr/tag-derived
+// values flowing into bare `+`, `*`, and `<<`.
+
+pub fn mix(cycle: u64, addr: u64, scale: u64) -> u64 {
+    let window = cycle + addr;
+    let spread = addr * scale;
+    let plane = addr << scale;
+    window ^ spread ^ plane
+}
+
+pub fn fold(tag: u64, set_bits: u64) -> u64 {
+    tag << set_bits
+}

@@ -290,7 +290,9 @@ pub fn corrupt_store(bytes: &[u8], fault: StoreFault) -> CorruptedStore {
                 // tcp-lint: allow(panic-in-library) — documented panic: the injector demands a real store record
                 .expect("payload contains a digit");
             let mut out = bytes.to_vec();
-            out[line_start + in_line + digit_at] ^= 0x01;
+            let flip_at = line_start + in_line + digit_at;
+            debug_assert!(flip_at < out.len(), "offsets land inside the final line");
+            out[flip_at] ^= 0x01;
             plain(out)
         }
         StoreFault::StaleVersion => {
@@ -303,7 +305,9 @@ pub fn corrupt_store(bytes: &[u8], fault: StoreFault) -> CorruptedStore {
                 "store_version must be a bare number"
             );
             let mut out = bytes.to_vec();
-            let d = &mut out[line_start + digit_at];
+            let version_at = line_start + digit_at;
+            debug_assert!(version_at < out.len(), "offset lands inside the final line");
+            let d = &mut out[version_at];
             *d = if *d == b'9' { b'8' } else { b'9' };
             plain(out)
         }

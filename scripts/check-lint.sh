@@ -32,23 +32,42 @@ for arg in "$@"; do
   esac
 done
 
+# Full-workspace analysis (lexing, parsing, symbol table, call graph,
+# and per-function dataflow fixpoints) must stay interactive: the lint
+# gate runs on every push, and a pass that creeps past this budget is a
+# perf regression in the analyzer itself, not a reason to wait longer.
+ANALYSIS_BUDGET_SECS=30
+
 echo "== tcp-lint (workspace) =="
+cargo build --release -q -p tcp-lint
+ANALYSIS_START=$(date +%s)
 cargo run --release -q -p tcp-lint -- --workspace
+ANALYSIS_ELAPSED=$(( $(date +%s) - ANALYSIS_START ))
+if (( ANALYSIS_ELAPSED > ANALYSIS_BUDGET_SECS )); then
+  echo "FAIL: workspace analysis took ${ANALYSIS_ELAPSED}s, over the ${ANALYSIS_BUDGET_SECS}s budget; profile tcp-lint before raising the budget" >&2
+  exit 1
+fi
+echo "workspace analysis in ${ANALYSIS_ELAPSED}s (budget ${ANALYSIS_BUDGET_SECS}s)"
 
 echo
 echo "== tcp-lint suppression debt =="
 WAIVERS=$(cargo run --release -q -p tcp-lint -- --waivers)
 echo "$WAIVERS"
 TOTAL=$(echo "$WAIVERS" | sed -n 's/^total: \([0-9]*\) waivers$/\1/p')
-if [[ -z "$TOTAL" ]]; then
-  echo "FAIL: could not parse the waiver total" >&2
+STALE=$(echo "$WAIVERS" | sed -n 's/^stale: \([0-9]*\) waivers$/\1/p')
+if [[ -z "$TOTAL" || -z "$STALE" ]]; then
+  echo "FAIL: could not parse the waiver total/stale counts" >&2
   exit 1
 fi
-if (( TOTAL > MAX_WAIVERS )); then
-  echo "FAIL: $TOTAL waivers exceed the cap of $MAX_WAIVERS; fix findings instead of waiving them (or raise the cap in this script with review)" >&2
+# A stale waiver is debt twice over: it still reads as an exception, and
+# it no longer suppresses anything — so it counts double against the cap
+# until someone deletes it.
+EFFECTIVE=$(( TOTAL + STALE ))
+if (( EFFECTIVE > MAX_WAIVERS )); then
+  echo "FAIL: effective waiver debt $EFFECTIVE ($TOTAL waivers + $STALE stale) exceeds the cap of $MAX_WAIVERS; delete stale waivers and fix findings instead of waiving them (or raise the cap in this script with review)" >&2
   exit 1
 fi
-echo "waiver debt $TOTAL/$MAX_WAIVERS"
+echo "waiver debt $EFFECTIVE/$MAX_WAIVERS ($TOTAL waivers, $STALE stale)"
 
 if [[ "$INJECT_CHECK" == 1 ]]; then
   SIM=crates/sim/src/lib.rs
@@ -162,6 +181,63 @@ pub fn lint_canary_drop() {
 }
 EOF
   expect_reject discarded-result
+
+  # 6. Lock discipline: a guard held across a call into a same-file
+  #    helper that itself locks — the sweep-executor deadlock shape the
+  #    dataflow pass exists to catch.
+  cat >>"$SIM" <<'EOF'
+
+/// Canary injected by scripts/check-lint.sh --inject-check.
+pub struct LintCanaryPool {
+    queue: std::sync::Mutex<Vec<u64>>,
+    side: std::sync::Mutex<Vec<u64>>,
+}
+
+impl LintCanaryPool {
+    fn lint_canary_refill(&self) {
+        let mut s = self.side.lock().unwrap_or_else(|p| p.into_inner());
+        s.push(1);
+    }
+
+    pub fn lint_canary_drain(&self) -> Option<u64> {
+        let mut q = self.queue.lock().unwrap_or_else(|p| p.into_inner());
+        self.lint_canary_refill();
+        q.pop()
+    }
+}
+EOF
+  expect_reject lock-discipline
+
+  # 7. Overflow provenance: bare `+` on two tagged u64s.
+  cat >>"$SIM" <<'EOF'
+
+/// Canary injected by scripts/check-lint.sh --inject-check.
+pub fn lint_canary_overflow(cycle: u64, addr: u64) -> u64 {
+    cycle + addr
+}
+EOF
+  expect_reject overflow-provenance
+
+  # 8. Index bounds: a composite arena index with no bound evidence.
+  cat >>"$SIM" <<'EOF'
+
+/// Canary injected by scripts/check-lint.sh --inject-check.
+pub fn lint_canary_index(entries: &[u64], set_base: usize, way: usize) -> u64 {
+    entries[set_base * 8 + way]
+}
+EOF
+  expect_reject index-bounds
+
+  # 9. Nondeterminism taint: a worker-identity value returned as a result.
+  cat >>"$SIM" <<'EOF'
+
+/// Canary injected by scripts/check-lint.sh --inject-check.
+pub fn lint_canary_taint(worker: usize) -> usize {
+    let chosen = worker + 1;
+    return chosen;
+}
+EOF
+  expect_reject nondet-taint
 fi
 
 echo
