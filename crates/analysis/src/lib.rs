@@ -41,6 +41,7 @@ mod sequences;
 mod stream;
 mod summary;
 mod trace_io;
+mod trace_stream;
 
 pub use census::{AddressCensus, TagCensus, TagSpread};
 pub use histogram::HistogramLog2;
@@ -48,3 +49,4 @@ pub use sequences::SequenceCensus;
 pub use stream::{miss_stream, MissRecord, MissStream};
 pub use summary::{geometric_mean, mean};
 pub use trace_io::{read_trace, write_trace, TraceError};
+pub use trace_stream::{TraceChunk, TraceReader, TraceStream, STREAM_CHUNK};

@@ -23,6 +23,9 @@ use tcp_mem::{Addr, CacheGeometry};
 const MAGIC: &[u8; 4] = b"TCPT";
 const VERSION: u8 = 1;
 
+/// Serialized bytes per record: pc u64-LE followed by addr u64-LE.
+pub(crate) const RECORD_BYTES: usize = 16;
+
 /// Records preallocated before reading begins. A corrupted header can
 /// declare an absurd record count; growth beyond this cap is paid as the
 /// records actually arrive, so a lying header cannot trigger a huge
@@ -49,12 +52,25 @@ pub enum TraceError {
         /// Version this reader supports.
         supported: u8,
     },
-    /// The stream ended before the declared record count was read.
+    /// The stream ended before the declared record count was read, with
+    /// the cut landing exactly on a record boundary: every byte present
+    /// decodes to a whole record, some records are simply missing.
     Truncated {
         /// Records the header declared.
         declared: u64,
         /// Full records actually read.
         read: u64,
+    },
+    /// The stream ended *inside* a record: after `read` whole records a
+    /// torn prefix of the next one remains. The torn bytes are never
+    /// decoded — no partial record reaches the caller.
+    TruncatedMidRecord {
+        /// Records the header declared.
+        declared: u64,
+        /// Full records actually read.
+        read: u64,
+        /// Bytes of the torn record present in the stream (1..=15).
+        partial_bytes: usize,
     },
     /// An I/O error from the underlying reader (including a stream too
     /// short to hold the header).
@@ -79,6 +95,17 @@ impl fmt::Display for TraceError {
                     "truncated trace: header declares {declared} records, stream holds {read}"
                 )
             }
+            TraceError::TruncatedMidRecord {
+                declared,
+                read,
+                partial_bytes,
+            } => {
+                write!(
+                    f,
+                    "truncated trace: header declares {declared} records, stream holds {read} \
+                     plus {partial_bytes} bytes of a torn record"
+                )
+            }
             TraceError::Io(e) => write!(f, "trace I/O error: {e}"),
         }
     }
@@ -90,7 +117,8 @@ impl std::error::Error for TraceError {
             TraceError::Io(e) => Some(e),
             TraceError::BadMagic { .. }
             | TraceError::UnsupportedVersion { .. }
-            | TraceError::Truncated { .. } => None,
+            | TraceError::Truncated { .. }
+            | TraceError::TruncatedMidRecord { .. } => None,
         }
     }
 }
@@ -136,17 +164,10 @@ pub fn write_trace<W: Write>(mut w: W, records: &[MissRecord]) -> io::Result<()>
     Ok(())
 }
 
-/// Reads a trace written by [`write_trace`], re-deriving line/tag/set
-/// fields under `geom`.
-///
-/// # Errors
-///
-/// Returns [`TraceError::BadMagic`] / [`TraceError::UnsupportedVersion`]
-/// when the stream is not a readable TCP trace,
-/// [`TraceError::Truncated`] when it ends before the declared record
-/// count (including a corrupted header declaring more records than the
-/// stream holds), and [`TraceError::Io`] for underlying reader failures.
-pub fn read_trace<R: Read>(mut r: R, geom: CacheGeometry) -> Result<Vec<MissRecord>, TraceError> {
+/// Reads and validates the fixed header (magic, version, record count)
+/// and returns the declared record count. Shared between the
+/// materialized [`read_trace`] and the chunked [`crate::TraceReader`].
+pub(crate) fn read_header<R: Read>(r: &mut R) -> Result<u64, TraceError> {
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
@@ -162,18 +183,57 @@ pub fn read_trace<R: Read>(mut r: R, geom: CacheGeometry) -> Result<Vec<MissReco
     }
     let mut count_bytes = [0u8; 8];
     r.read_exact(&mut count_bytes)?;
-    let count = u64::from_le_bytes(count_bytes);
+    Ok(u64::from_le_bytes(count_bytes))
+}
+
+/// Reads until `buf` is full or the stream ends, returning the bytes
+/// filled. Unlike `read_exact`, a short fill reports *how many* bytes
+/// arrived, which is what lets truncation-at-a-record-boundary and
+/// truncation-mid-record surface as distinct errors.
+pub(crate) fn fill_up_to<R: Read>(r: &mut R, buf: &mut [u8]) -> io::Result<usize> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => break,
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(filled)
+}
+
+/// Reads a trace written by [`write_trace`], re-deriving line/tag/set
+/// fields under `geom`.
+///
+/// # Errors
+///
+/// Returns [`TraceError::BadMagic`] / [`TraceError::UnsupportedVersion`]
+/// when the stream is not a readable TCP trace,
+/// [`TraceError::Truncated`] when it ends on a record boundary before
+/// the declared record count (including a corrupted header declaring
+/// more records than the stream holds),
+/// [`TraceError::TruncatedMidRecord`] when it ends inside a record (the
+/// torn bytes are never decoded into a partial record), and
+/// [`TraceError::Io`] for underlying reader failures.
+pub fn read_trace<R: Read>(mut r: R, geom: CacheGeometry) -> Result<Vec<MissRecord>, TraceError> {
+    let count = read_header(&mut r)?;
     let mut out = Vec::with_capacity(usize::try_from(count).unwrap_or(0).min(PREALLOC_CAP));
-    let mut rec = [0u8; 16];
+    let mut rec = [0u8; RECORD_BYTES];
     for read in 0..count {
-        if let Err(e) = r.read_exact(&mut rec) {
-            return Err(if e.kind() == io::ErrorKind::UnexpectedEof {
+        let filled = fill_up_to(&mut r, &mut rec)?;
+        if filled < RECORD_BYTES {
+            return Err(if filled == 0 {
                 TraceError::Truncated {
                     declared: count,
                     read,
                 }
             } else {
-                TraceError::Io(e)
+                TraceError::TruncatedMidRecord {
+                    declared: count,
+                    read,
+                    partial_bytes: filled,
+                }
             });
         }
         let mut word = [0u8; 8];
@@ -275,11 +335,55 @@ mod tests {
         write_trace(&mut buf, &misses).unwrap();
         buf.truncate(buf.len() - 5);
         let err = read_trace(&mut buf.as_slice(), l1()).unwrap_err();
-        // Losing 5 bytes cuts into the final 16-byte record.
+        // Losing 5 bytes cuts into the final 16-byte record: 11 torn
+        // bytes remain, and the cut is reported as mid-record.
         assert!(
-            matches!(err, TraceError::Truncated { declared, read } if declared == n && read == n - 1),
+            matches!(
+                err,
+                TraceError::TruncatedMidRecord { declared, read, partial_bytes }
+                    if declared == n && read == n - 1 && partial_bytes == 11
+            ),
             "{err}"
         );
+    }
+
+    /// Regression: a cut exactly on a record boundary and a cut inside a
+    /// record are *distinct* errors, and neither leaks a partial record
+    /// (the torn bytes never decode — the error carries them as a count).
+    #[test]
+    fn boundary_and_mid_record_truncation_are_distinct() {
+        let misses = sample(10);
+        let n = misses.len() as u64;
+        let healthy = {
+            let mut buf = Vec::new();
+            write_trace(&mut buf, &misses).unwrap();
+            buf
+        };
+
+        // Cut exactly at the last record's boundary: 16 bytes gone.
+        let mut at_boundary = healthy.clone();
+        at_boundary.truncate(at_boundary.len() - RECORD_BYTES);
+        let err = read_trace(&mut at_boundary.as_slice(), l1()).unwrap_err();
+        assert!(
+            matches!(err, TraceError::Truncated { declared, read } if declared == n && read == n - 1),
+            "boundary cut must be Truncated: {err}"
+        );
+
+        // Cut one byte deeper: the same record count survives whole, but
+        // now 15 torn bytes of the final record remain.
+        for torn in 1..RECORD_BYTES {
+            let mut mid = healthy.clone();
+            mid.truncate(mid.len() - RECORD_BYTES + torn);
+            let err = read_trace(&mut mid.as_slice(), l1()).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    TraceError::TruncatedMidRecord { declared, read, partial_bytes }
+                        if declared == n && read == n - 1 && partial_bytes == torn
+                ),
+                "cut {torn} bytes into a record must be TruncatedMidRecord: {err}"
+            );
+        }
     }
 
     #[test]
@@ -345,5 +449,12 @@ mod tests {
         assert!(std::error::Error::source(&trunc).is_none());
         assert!(trunc.to_string().contains("10"));
         assert!(trunc.to_string().contains("3"));
+        let torn = TraceError::TruncatedMidRecord {
+            declared: 10,
+            read: 3,
+            partial_bytes: 7,
+        };
+        assert!(std::error::Error::source(&torn).is_none());
+        assert!(torn.to_string().contains("7 bytes of a torn record"));
     }
 }

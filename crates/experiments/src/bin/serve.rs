@@ -8,8 +8,15 @@
 //! the batch.
 //!
 //! ```text
-//! tcp-serve [--store DIR] [--threads N] [--batch N] [FILE|-]
+//! tcp-serve [--store DIR] [--threads N] [--batch N] [--stream] [FILE|-]
 //! ```
+//!
+//! By default the whole request file is read up front. With `--stream`,
+//! requests are pulled from the input incrementally, one batch at a
+//! time, so a long-running client can feed an unbounded request stream
+//! through a pipe and the service's memory stays O(batch) — the serving
+//! counterpart of the bounded-memory trace ingestion in
+//! `tcp_sim::stream`.
 //!
 //! Request lines look like:
 //!
@@ -25,7 +32,7 @@
 
 use std::collections::BTreeMap;
 use std::fs;
-use std::io::{Read, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -41,11 +48,12 @@ struct Args {
     store: Option<PathBuf>,
     threads: usize,
     batch: usize,
+    stream: bool,
     input: String,
 }
 
 fn usage() -> String {
-    "usage: tcp-serve [--store DIR] [--threads N] [--batch N] [FILE|-]".to_owned()
+    "usage: tcp-serve [--store DIR] [--threads N] [--batch N] [--stream] [FILE|-]".to_owned()
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -53,6 +61,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         store: None,
         threads: 0,
         batch: CheckpointOpts::default().batch_jobs,
+        stream: false,
         input: "-".to_owned(),
     };
     let mut it = argv.iter();
@@ -78,6 +87,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     return Err("--batch must be at least 1".to_owned());
                 }
             }
+            "--stream" => args.stream = true,
             "--help" | "-h" => return Err(usage()),
             other => {
                 if positional.replace(other.to_owned()).is_some() {
@@ -158,16 +168,6 @@ enum Slot {
 }
 
 fn serve(args: &Args) -> Result<usize, String> {
-    let text = if args.input == "-" {
-        let mut buf = String::new();
-        std::io::stdin()
-            .read_to_string(&mut buf)
-            .map_err(|e| format!("reading stdin: {e}"))?;
-        buf
-    } else {
-        fs::read_to_string(&args.input).map_err(|e| format!("reading {}: {e}", args.input))?
-    };
-
     let (store_dir, ephemeral) = match &args.store {
         Some(dir) => (dir.clone(), false),
         None => (
@@ -188,14 +188,6 @@ fn serve(args: &Args) -> Result<usize, String> {
     }
 
     let benches: BTreeMap<&str, Benchmark> = suite().into_iter().map(|b| (b.name, b)).collect();
-    let slots: Vec<Slot> = text
-        .lines()
-        .filter(|l| !l.trim().is_empty())
-        .map(|line| match parse_request(line, &benches) {
-            Ok(job) => Slot::Job(Box::new(job)),
-            Err(reason) => Slot::Bad(reason),
-        })
-        .collect();
 
     let engine = if args.threads == 0 {
         SweepEngine::new()
@@ -213,63 +205,125 @@ fn serve(args: &Args) -> Result<usize, String> {
 
     let stdout = std::io::stdout();
     let mut failures = 0usize;
-    // Stream chunk by chunk: each chunk fans through the stealing
-    // executor, checkpoints the store, and flushes its lines before the
-    // next chunk starts simulating.
+    let mut requests = 0usize;
     let chunk_len = args.batch.max(1);
-    for (ci, chunk) in slots.chunks(chunk_len).enumerate() {
-        let base = ci * chunk_len;
-        let jobs: Vec<Job> = chunk
-            .iter()
-            .filter_map(|s| match s {
-                Slot::Job(j) => Some((**j).clone()),
-                Slot::Bad(_) => None,
+
+    // One chunk: fan through the stealing executor, checkpoint the
+    // store, and flush this chunk's lines before the next chunk starts
+    // simulating. `base` is the submission index of the chunk's first
+    // slot, so output indices stay stable in both input modes.
+    let mut emit_chunk =
+        |chunk: &[Slot], base: usize, store: &mut SweepStore| -> Result<(), String> {
+            let jobs: Vec<Job> = chunk
+                .iter()
+                .filter_map(|s| match s {
+                    Slot::Job(j) => Some((**j).clone()),
+                    Slot::Bad(_) => None,
+                })
+                .collect();
+            let outcome = engine.run_with(store, &jobs, &opts);
+            let results: Vec<Result<RunResult, String>> = match outcome {
+                Ok(rs) => rs.into_iter().map(Ok).collect(),
+                // A job in the chunk failed (e.g. wedged past its retries):
+                // rerun one at a time so every job gets its own verdict.
+                Err(SweepError::Store(e)) => return Err(e.to_string()),
+                Err(SweepError::Job { .. }) => jobs
+                    .iter()
+                    .map(|j| {
+                        engine
+                            .run_with(store, std::slice::from_ref(j), &single)
+                            .map(|mut rs| rs.remove(0))
+                            .map_err(|e| e.to_string())
+                    })
+                    .collect(),
+            };
+            let mut next = results.into_iter();
+            // Take the stdout lock only for the write-out, never across a
+            // simulation call (the engine locks its worker deques).
+            let mut out = stdout.lock();
+            for (at, slot) in chunk.iter().enumerate() {
+                let index = base + at;
+                let line = match slot {
+                    Slot::Bad(reason) => {
+                        failures += 1;
+                        error_line(index, reason)
+                    }
+                    Slot::Job(_) => match next.next().expect("one result per job") {
+                        Ok(r) => result_line(index, &r),
+                        Err(reason) => {
+                            failures += 1;
+                            error_line(index, &reason)
+                        }
+                    },
+                };
+                writeln!(out, "{line}").map_err(|e| format!("writing stdout: {e}"))?;
+            }
+            out.flush().map_err(|e| format!("flushing stdout: {e}"))
+        };
+
+    if args.stream {
+        // Incremental mode: pull up to one batch of request lines at a
+        // time from the input, so memory stays O(batch) no matter how
+        // long the stream runs (a pipe never has to end).
+        let reader: Box<dyn BufRead> = if args.input == "-" {
+            Box::new(BufReader::new(std::io::stdin()))
+        } else {
+            let f =
+                fs::File::open(&args.input).map_err(|e| format!("opening {}: {e}", args.input))?;
+            Box::new(BufReader::new(f))
+        };
+        let mut lines = reader.lines();
+        let mut chunk: Vec<Slot> = Vec::with_capacity(chunk_len);
+        loop {
+            chunk.clear();
+            while chunk.len() < chunk_len {
+                match lines.next() {
+                    Some(Ok(line)) => {
+                        if line.trim().is_empty() {
+                            continue;
+                        }
+                        chunk.push(match parse_request(&line, &benches) {
+                            Ok(job) => Slot::Job(Box::new(job)),
+                            Err(reason) => Slot::Bad(reason),
+                        });
+                    }
+                    Some(Err(e)) => return Err(format!("reading {}: {e}", args.input)),
+                    None => break,
+                }
+            }
+            if chunk.is_empty() {
+                break;
+            }
+            emit_chunk(&chunk, requests, &mut store)?;
+            requests += chunk.len();
+        }
+    } else {
+        let text = if args.input == "-" {
+            let mut buf = String::new();
+            std::io::stdin()
+                .read_to_string(&mut buf)
+                .map_err(|e| format!("reading stdin: {e}"))?;
+            buf
+        } else {
+            fs::read_to_string(&args.input).map_err(|e| format!("reading {}: {e}", args.input))?
+        };
+        let slots: Vec<Slot> = text
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .map(|line| match parse_request(line, &benches) {
+                Ok(job) => Slot::Job(Box::new(job)),
+                Err(reason) => Slot::Bad(reason),
             })
             .collect();
-        let outcome = engine.run_with(&mut store, &jobs, &opts);
-        let results: Vec<Result<RunResult, String>> = match outcome {
-            Ok(rs) => rs.into_iter().map(Ok).collect(),
-            // A job in the chunk failed (e.g. wedged past its retries):
-            // rerun one at a time so every job gets its own verdict.
-            Err(SweepError::Store(e)) => return Err(e.to_string()),
-            Err(SweepError::Job { .. }) => jobs
-                .iter()
-                .map(|j| {
-                    engine
-                        .run_with(&mut store, std::slice::from_ref(j), &single)
-                        .map(|mut rs| rs.remove(0))
-                        .map_err(|e| e.to_string())
-                })
-                .collect(),
-        };
-        let mut next = results.into_iter();
-        // Take the stdout lock only for the write-out, never across a
-        // simulation call (the engine locks its worker deques).
-        let mut out = stdout.lock();
-        for (at, slot) in chunk.iter().enumerate() {
-            let index = base + at;
-            let line = match slot {
-                Slot::Bad(reason) => {
-                    failures += 1;
-                    error_line(index, reason)
-                }
-                Slot::Job(_) => match next.next().expect("one result per job") {
-                    Ok(r) => result_line(index, &r),
-                    Err(reason) => {
-                        failures += 1;
-                        error_line(index, &reason)
-                    }
-                },
-            };
-            writeln!(out, "{line}").map_err(|e| format!("writing stdout: {e}"))?;
+        for (ci, chunk) in slots.chunks(chunk_len).enumerate() {
+            emit_chunk(chunk, ci * chunk_len, &mut store)?;
         }
-        out.flush().map_err(|e| format!("flushing stdout: {e}"))?;
+        requests = slots.len();
     }
 
     let stats = engine.stats();
     eprintln!(
-        "tcp-serve: {} requests, {} simulated, {} from store, {} from memo, {} failed",
-        slots.len(),
+        "tcp-serve: {requests} requests, {} simulated, {} from store, {} from memo, {} failed",
         stats.executed,
         stats.store_hits,
         stats.memo_hits(),

@@ -418,6 +418,26 @@ pub fn compare(baseline: &Json, current: &Json, threshold: f64) -> Result<Compar
     Ok(cmp)
 }
 
+/// Median-throughput ratio `numerator / denominator` between two cases
+/// of one parsed `BENCH.json` report — the speedup gate behind
+/// `tcp-perf ratio` (e.g. `trace_stream_decode` over `trace_decode`).
+///
+/// # Errors
+///
+/// Returns a message when the document is not a report or either case
+/// is absent from it.
+pub fn throughput_ratio(doc: &Json, numerator: &str, denominator: &str) -> Result<f64, String> {
+    let cases = report_cases(doc, "report")?;
+    let ops_of = |name: &str| {
+        cases
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.ops)
+            .ok_or_else(|| format!("report has no case \"{name}\""))
+    };
+    Ok(ops_of(numerator)? / ops_of(denominator)?)
+}
+
 /// One case's numbers as read from a report document.
 struct ReportCase {
     name: String,
@@ -589,6 +609,25 @@ mod tests {
         assert!(!cmp.passed());
         assert!(cmp.failures[0].contains("missing"));
         assert!(cmp.lines.iter().any(|l| l.contains("new case")));
+    }
+
+    #[test]
+    fn throughput_ratio_divides_medians_and_flags_missing_cases() {
+        let report = BenchReport {
+            mode: "full".to_owned(),
+            cases: vec![
+                // 1000 units in 5 ms vs 10 ms: a is 2× b.
+                fake_result("a", vec![5.0]),
+                fake_result("b", vec![10.0]),
+            ],
+        };
+        let doc = json::parse(&report.to_json()).unwrap();
+        let ratio = throughput_ratio(&doc, "a", "b").unwrap();
+        assert!((ratio - 2.0).abs() < 1e-9, "{ratio}");
+        let inverse = throughput_ratio(&doc, "b", "a").unwrap();
+        assert!((inverse - 0.5).abs() < 1e-9, "{inverse}");
+        let err = throughput_ratio(&doc, "a", "nope").unwrap_err();
+        assert!(err.contains("nope"), "{err}");
     }
 
     #[test]

@@ -4,13 +4,16 @@
 //! tcp-perf [--smoke] [--out PATH] [--filter SUBSTR] [--reps N] [--warmup N]
 //! tcp-perf --list
 //! tcp-perf compare <baseline.json> <current.json> [--threshold FRACTION] [--json]
+//! tcp-perf ratio <report.json> <numerator-case> <denominator-case> [--min RATIO]
 //! ```
 //!
 //! The default invocation runs every case at full size and writes
 //! `BENCH.json` to the current directory. `compare` exits 0 when no case
 //! regressed, 1 on regression, 2 on usage or I/O errors; `--json` swaps
 //! the human-readable lines for a machine-readable delta document (the
-//! CI step-summary input) with the same exit codes.
+//! CI step-summary input) with the same exit codes. `ratio` gates a
+//! speedup *within* one report — CI uses it to hold the streaming decode
+//! at ≥1.3× the materialized decode — with the same exit-code scheme.
 
 use std::process::ExitCode;
 
@@ -22,6 +25,7 @@ usage:
   tcp-perf [--smoke] [--out PATH] [--filter SUBSTR] [--reps N] [--warmup N]
   tcp-perf --list
   tcp-perf compare <baseline.json> <current.json> [--threshold FRACTION] [--json]
+  tcp-perf ratio <report.json> <numerator-case> <denominator-case> [--min RATIO]
 
 options:
   --smoke              run reduced input sizes (seconds, for CI smoke jobs)
@@ -33,14 +37,65 @@ options:
   --threshold FRACTION allowed median-throughput drop for compare
                        (default: 0.10 = 10%)
   --json               compare only: print per-case deltas as JSON on
-                       stdout instead of text lines (exit codes unchanged)";
+                       stdout instead of text lines (exit codes unchanged)
+  --min RATIO          ratio only: minimum numerator/denominator median
+                       throughput ratio to pass (default: 1.0)";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("compare") {
         return run_compare(&args[1..]);
     }
+    if args.first().map(String::as_str) == Some("ratio") {
+        return run_ratio(&args[1..]);
+    }
     run_measure(&args)
+}
+
+fn run_ratio(raw: &[String]) -> ExitCode {
+    let mut args = raw.to_vec();
+    let mut min = 1.0f64;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--min" {
+            match take_value(&mut args, i, "--min").map(|v| v.parse::<f64>()) {
+                Ok(Ok(m)) if m > 0.0 && m.is_finite() => min = m,
+                _ => return usage_error("--min needs a positive ratio"),
+            }
+        } else {
+            i += 1;
+        }
+    }
+    let [report_path, numerator, denominator] = args.as_slice() else {
+        return usage_error(
+            "ratio needs exactly <report.json> <numerator-case> <denominator-case>",
+        );
+    };
+    let report = match load_report(report_path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("tcp-perf: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match tcp_perf::throughput_ratio(&report, numerator, denominator) {
+        Err(e) => {
+            eprintln!("tcp-perf: {e}");
+            ExitCode::from(2)
+        }
+        Ok(ratio) => {
+            println!("{numerator} / {denominator}: {ratio:.2}x (min {min:.2}x)");
+            if ratio >= min {
+                ExitCode::SUCCESS
+            } else {
+                eprintln!(
+                    "SPEEDUP SHORTFALL: {numerator} is only {ratio:.2}x of {denominator} \
+                     (needs >= {min:.2}x)"
+                );
+                ExitCode::FAILURE
+            }
+        }
+    }
 }
 
 fn usage_error(message: &str) -> ExitCode {

@@ -168,21 +168,42 @@ pub enum TraceFault {
     /// `TraceError::UnsupportedVersion`.
     BadVersion,
     /// Cut the byte stream mid-record — must yield
-    /// `TraceError::Truncated`.
+    /// `TraceError::TruncatedMidRecord`, with the whole-record prefix
+    /// still decodable.
     TruncatePayload,
+    /// Cut the byte stream exactly on a record boundary — must yield the
+    /// plain `TraceError::Truncated`, distinct from the mid-record cut.
+    TruncateAtBoundary,
     /// Rewrite the header's record count to `u64::MAX` while leaving the
     /// payload alone: a lying header that must fail fast as
     /// `TraceError::Truncated` without a giant up-front allocation.
     LyingCount,
+    /// XOR one bit of a tag-significant byte in the second record's
+    /// address. Format v1 carries no per-record checksum, so the bytes
+    /// still decode — into a *different* tag. This is the silent fault:
+    /// detection is the consumer's job (per-tenant isolation in
+    /// [`crate::stream::TenantMux`] keeps it from spreading).
+    FlipTagByte,
 }
+
+/// All [`TraceFault`] variants, for exhaustive injection loops.
+pub const TRACE_FAULTS: [TraceFault; 6] = [
+    TraceFault::BadMagic,
+    TraceFault::BadVersion,
+    TraceFault::TruncatePayload,
+    TraceFault::TruncateAtBoundary,
+    TraceFault::LyingCount,
+    TraceFault::FlipTagByte,
+];
 
 /// Applies `fault` in place to serialized trace bytes (layout: 4-byte
 /// magic, 1-byte version, 8-byte little-endian count, 16-byte records).
 ///
 /// # Panics
 ///
-/// Panics if `bytes` is shorter than a trace header (13 bytes) — corrupt
-/// a [`healthy_trace_bytes`] buffer, not arbitrary data.
+/// Panics if `bytes` is too short for the fault — a header (13 bytes)
+/// for most, two whole records for the boundary cut and the tag flip —
+/// so corrupt a [`healthy_trace_bytes`] buffer, not arbitrary data.
 pub fn corrupt_trace(bytes: &mut Vec<u8>, fault: TraceFault) {
     assert!(
         bytes.len() >= 13,
@@ -195,7 +216,24 @@ pub fn corrupt_trace(bytes: &mut Vec<u8>, fault: TraceFault) {
             let cut = 13 + 8; // half of the first record
             bytes.truncate(cut.min(bytes.len().saturating_sub(1)));
         }
+        TraceFault::TruncateAtBoundary => {
+            assert!(
+                bytes.len() >= 13 + 32,
+                "boundary cut needs at least two records"
+            );
+            // Drop exactly the final record: the cut lands on a record
+            // boundary, so no torn bytes remain in the stream.
+            bytes.truncate(bytes.len() - 16);
+        }
         TraceFault::LyingCount => bytes[5..13].copy_from_slice(&u64::MAX.to_le_bytes()),
+        TraceFault::FlipTagByte => {
+            assert!(bytes.len() >= 13 + 32, "tag flip targets the second record");
+            // Second record's addr field starts at 13 + 16 + 8; byte 2 of
+            // the little-endian addr holds bits 16–23, well above the
+            // 15-bit set+offset split of the 32 KB / 32 B geometry — a
+            // guaranteed tag bit.
+            bytes[13 + 16 + 8 + 2] ^= 0x10;
+        }
     }
 }
 
@@ -349,23 +387,65 @@ mod tests {
     #[test]
     fn each_fault_provokes_its_error() {
         let geom = CacheGeometry::new(32 * 1024, 32, 1);
-        for fault in [
-            TraceFault::BadMagic,
-            TraceFault::BadVersion,
-            TraceFault::TruncatePayload,
-            TraceFault::LyingCount,
-        ] {
+        for fault in TRACE_FAULTS {
             let mut buf = healthy_trace_bytes(10);
             corrupt_trace(&mut buf, fault);
-            let err = read_trace(buf.as_slice(), geom).unwrap_err();
+            let outcome = read_trace(buf.as_slice(), geom);
             let matches = match fault {
-                TraceFault::BadMagic => matches!(err, TraceError::BadMagic { .. }),
-                TraceFault::BadVersion => matches!(err, TraceError::UnsupportedVersion { .. }),
-                TraceFault::TruncatePayload | TraceFault::LyingCount => {
-                    matches!(err, TraceError::Truncated { .. })
+                TraceFault::BadMagic => {
+                    matches!(outcome, Err(TraceError::BadMagic { .. }))
                 }
+                TraceFault::BadVersion => {
+                    matches!(outcome, Err(TraceError::UnsupportedVersion { .. }))
+                }
+                TraceFault::TruncatePayload => {
+                    matches!(outcome, Err(TraceError::TruncatedMidRecord { .. }))
+                }
+                TraceFault::TruncateAtBoundary | TraceFault::LyingCount => {
+                    matches!(outcome, Err(TraceError::Truncated { .. }))
+                }
+                // The silent fault: no checksum in format v1, so the
+                // flipped byte decodes cleanly into a different tag.
+                TraceFault::FlipTagByte => match &outcome {
+                    Ok(records) => {
+                        let healthy = read_trace(healthy_trace_bytes(10).as_slice(), geom).unwrap();
+                        records.len() == healthy.len()
+                            && records[1].tag != healthy[1].tag
+                            && records[0] == healthy[0]
+                            && records[2..] == healthy[2..]
+                    }
+                    Err(_) => false,
+                },
             };
-            assert!(matches, "{fault:?} gave {err}");
+            assert!(matches, "{fault:?} gave {outcome:?}");
+        }
+    }
+
+    #[test]
+    fn boundary_and_mid_record_cuts_are_distinguished() {
+        let geom = CacheGeometry::new(32 * 1024, 32, 1);
+        let mut boundary = healthy_trace_bytes(10);
+        corrupt_trace(&mut boundary, TraceFault::TruncateAtBoundary);
+        match read_trace(boundary.as_slice(), geom).unwrap_err() {
+            TraceError::Truncated { declared, read } => {
+                assert_eq!(declared, 10);
+                assert_eq!(read, 9, "every surviving record is whole");
+            }
+            other => panic!("expected Truncated, got {other}"),
+        }
+        let mut torn = healthy_trace_bytes(10);
+        corrupt_trace(&mut torn, TraceFault::TruncatePayload);
+        match read_trace(torn.as_slice(), geom).unwrap_err() {
+            TraceError::TruncatedMidRecord {
+                declared,
+                read,
+                partial_bytes,
+            } => {
+                assert_eq!(declared, 10);
+                assert_eq!(read, 0);
+                assert_eq!(partial_bytes, 8);
+            }
+            other => panic!("expected TruncatedMidRecord, got {other}"),
         }
     }
 

@@ -41,6 +41,7 @@ mod error;
 pub mod faults;
 mod runner;
 mod simulation;
+pub mod stream;
 pub mod sweep;
 
 pub use config::SystemConfig;

@@ -10,7 +10,7 @@ use tcp_repro::cache::NullPrefetcher;
 use tcp_repro::mem::CacheGeometry;
 use tcp_repro::sim::faults::{
     adversarial_suite, corrupt_trace, healthy_trace_bytes, panicking_benchmark, wedged_config,
-    TraceFault,
+    TRACE_FAULTS,
 };
 use tcp_repro::sim::{run_suite_parallel, RunOutcome, SystemConfig};
 use tcp_repro::workloads::suite;
@@ -64,20 +64,20 @@ fn main() {
     });
     print_outcomes("adversarial workloads (must complete)", &s.outcomes);
 
-    // 5. Corrupted persisted traces: each corruption maps to a typed
-    //    TraceError; the lying-count header fails fast without allocating.
+    // 5. Corrupted persisted traces: each loud corruption maps to a
+    //    typed TraceError (the lying-count header fails fast without
+    //    allocating); the flipped tag byte is the silent one — format v1
+    //    has no checksum, so it parses into a different tag.
     println!("\n== corrupted trace bytes ==");
     let geom = CacheGeometry::new(32 * 1024, 32, 1);
-    for fault in [
-        TraceFault::BadMagic,
-        TraceFault::BadVersion,
-        TraceFault::TruncatePayload,
-        TraceFault::LyingCount,
-    ] {
+    for fault in TRACE_FAULTS {
         let mut bytes = healthy_trace_bytes(64);
         corrupt_trace(&mut bytes, fault);
         match read_trace(bytes.as_slice(), geom) {
-            Ok(_) => println!("  {fault:?}: unexpectedly parsed"),
+            Ok(records) => println!(
+                "  {fault:?}: parsed {} records (silent fault)",
+                records.len()
+            ),
             Err(e) => println!("  {fault:?}: {e}"),
         }
     }

@@ -70,6 +70,10 @@ demo-sweep:
 demo-store-faults:
     cargo run --release --example store_faults
 
+# Streaming-engine demo: bounded-memory replay, bit-identity, tenant mux.
+demo-stream:
+    cargo run --release --example stream_demo
+
 # Batch sweep service demo: requests on stdin, persistent store, streamed results.
 demo-serve:
     printf '%s\n' \

@@ -1,0 +1,100 @@
+//! Property-based tests of the streaming trace pipeline: for arbitrary
+//! traces — including every chunk-boundary-straddling length — the
+//! streaming decode must yield exactly the records the materialized
+//! decode yields, and the streaming replay must produce bit-identical
+//! statistics to the materialized replay.
+
+use proptest::prelude::*;
+use tcp_analysis::{read_trace, write_trace, MissRecord, TraceStream, STREAM_CHUNK};
+use tcp_cache::NullPrefetcher;
+use tcp_mem::{Addr, CacheGeometry};
+use tcp_sim::stream::{replay_records, replay_stream, StreamOpts};
+use tcp_sim::SystemConfig;
+
+/// Encodes `n` deterministic records (seeded by `seed`) under the
+/// Table 1 L1D geometry.
+fn trace_of(n: u64, seed: u64) -> Vec<u8> {
+    let geom = CacheGeometry::new(32 * 1024, 32, 1);
+    let records: Vec<MissRecord> = (0..n)
+        .map(|i| {
+            let mixed = i.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(seed);
+            let addr = Addr::new(0x0400_0000 + (mixed % (1 << 26)) / 64 * 64);
+            let (tag, set) = geom.split(addr);
+            MissRecord {
+                addr,
+                line: geom.line_addr(addr),
+                tag,
+                set,
+                pc: Addr::new(0x400 + (i % 4096) * 4),
+            }
+        })
+        .collect();
+    let mut bytes = Vec::new();
+    write_trace(&mut bytes, &records).expect("in-memory trace write");
+    bytes
+}
+
+/// The lengths the issue calls out: 0, 1, chunk−1, chunk, chunk+1, and a
+/// multi-chunk tail, plus whatever `extra` the strategy adds.
+fn boundary_lengths(extra: u64) -> Vec<u64> {
+    let c = STREAM_CHUNK as u64;
+    vec![0, 1, c - 1, c, c + 1, 3 * c + extra % c]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn streaming_decode_is_bit_identical_at_every_boundary(seed in any::<u64>(), extra in 0u64..1024) {
+        let geom = CacheGeometry::new(32 * 1024, 32, 1);
+        for n in boundary_lengths(extra) {
+            let bytes = trace_of(n, seed);
+            let materialized = read_trace(bytes.as_slice(), geom).unwrap();
+            let streamed: Vec<MissRecord> = TraceStream::new(bytes.as_slice(), geom)
+                .unwrap()
+                .collect::<Result<_, _>>()
+                .unwrap();
+            prop_assert_eq!(streamed, materialized, "length {}", n);
+        }
+    }
+
+    #[test]
+    fn streaming_replay_stats_are_bit_identical(seed in any::<u64>(), extra in 0u64..1024) {
+        let cfg = SystemConfig::table1();
+        for n in boundary_lengths(extra) {
+            let bytes = trace_of(n, seed);
+            let records = read_trace(bytes.as_slice(), cfg.hierarchy.l1d).unwrap();
+            let materialized = replay_records(&records, &cfg, Box::new(NullPrefetcher));
+            let streamed = replay_stream(
+                bytes.as_slice(),
+                &cfg,
+                Box::new(NullPrefetcher),
+                StreamOpts::default(),
+            )
+            .unwrap();
+            prop_assert_eq!(&streamed.result, &materialized, "length {}", n);
+            prop_assert!(streamed.ring_high_water <= streamed.ring_capacity);
+        }
+    }
+
+    #[test]
+    fn ring_depth_never_changes_results(seed in any::<u64>(), chunks in 1usize..6) {
+        let cfg = SystemConfig::table1();
+        let bytes = trace_of(2 * STREAM_CHUNK as u64 + 17, seed);
+        let reference = replay_stream(
+            bytes.as_slice(),
+            &cfg,
+            Box::new(NullPrefetcher),
+            StreamOpts::default(),
+        )
+        .unwrap();
+        let varied = replay_stream(
+            bytes.as_slice(),
+            &cfg,
+            Box::new(NullPrefetcher),
+            StreamOpts { ring_chunks: chunks, ..StreamOpts::default() },
+        )
+        .unwrap();
+        prop_assert_eq!(varied.result, reference.result);
+    }
+}

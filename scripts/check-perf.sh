@@ -78,6 +78,9 @@ if [ "$promote" = 1 ]; then
     echo
     echo "== validate $promote_file against $baseline before promoting =="
     ./target/release/tcp-perf compare "$baseline" "$promote_file" --threshold "$threshold"
+    echo
+    echo "== streaming speedup gate on $promote_file =="
+    ./target/release/tcp-perf ratio "$promote_file" trace_stream_decode trace_decode --min 1.3
     mkdir -p bench
     cp "$promote_file" "$baseline"
     echo
@@ -91,6 +94,10 @@ echo "== measure (${mode:---full}) =="
 # runs, so per-rep scheduling noise has to be squeezed out here.
 # shellcheck disable=SC2086 # $mode is intentionally empty for --full
 ./target/release/tcp-perf $mode --warmup 2 --reps 9 --out "$current"
+
+echo
+echo "== streaming speedup gate (trace_stream_decode >= 1.3x trace_decode) =="
+./target/release/tcp-perf ratio "$current" trace_stream_decode trace_decode --min 1.3
 
 if [ "$update" = 1 ]; then
     mkdir -p bench

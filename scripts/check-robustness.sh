@@ -36,10 +36,16 @@ echo "== chunked-kernel equivalence suite (chunked vs scalar reference) =="
 cargo test -p tcp-cache --test kernel_equivalence
 
 echo
+echo "== streaming-engine acceptance (bit-identity, tenant isolation,"
+echo "   bounded-memory run over a synthetic trace >= 4x ring capacity) =="
+cargo test --test stream_engine
+
+echo
 echo "== error-layer unit tests (tcp-sim, tcp-cache, tcp-analysis) =="
 cargo test -p tcp-sim
 cargo test -p tcp-cache error
 cargo test -p tcp-analysis trace_io
+cargo test -p tcp-analysis trace_stream
 
 echo
 echo "robustness gate passed"

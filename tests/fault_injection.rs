@@ -8,7 +8,7 @@ use tcp_repro::cache::NullPrefetcher;
 use tcp_repro::mem::CacheGeometry;
 use tcp_repro::sim::faults::{
     adversarial_suite, corrupt_trace, healthy_trace_bytes, panicking_benchmark, wedged_config,
-    zero_ipc_baseline, TraceFault,
+    zero_ipc_baseline, TraceFault, TRACE_FAULTS,
 };
 use tcp_repro::sim::{
     run_suite, run_suite_parallel, try_ipc_improvement, try_run_benchmark, RunError, RunOutcome,
@@ -112,20 +112,28 @@ fn adversarial_workloads_stress_but_complete() {
 #[test]
 fn corrupted_traces_yield_typed_errors_never_panics() {
     let geom = CacheGeometry::new(32 * 1024, 32, 1);
-    for fault in [
-        TraceFault::BadMagic,
-        TraceFault::BadVersion,
-        TraceFault::TruncatePayload,
-        TraceFault::LyingCount,
-    ] {
+    for fault in TRACE_FAULTS {
         let mut bytes = healthy_trace_bytes(32);
         corrupt_trace(&mut bytes, fault);
+        if fault == TraceFault::FlipTagByte {
+            // The one silent corruption: format v1 has no checksum, so
+            // the flipped byte still parses — into a different tag. The
+            // stream-engine suite proves TenantMux keeps the blast
+            // radius to the one tenant carrying it.
+            let records =
+                read_trace(bytes.as_slice(), geom).expect("flipped tag byte still parses");
+            let healthy = read_trace(healthy_trace_bytes(32).as_slice(), geom).unwrap();
+            assert_eq!(records.len(), healthy.len());
+            assert_ne!(records[1].tag, healthy[1].tag);
+            continue;
+        }
         let err = read_trace(bytes.as_slice(), geom).expect_err("corrupted bytes must not parse");
-        // Every corruption maps onto a specific TraceError variant.
+        // Every loud corruption maps onto a specific TraceError variant.
         match (fault, &err) {
             (TraceFault::BadMagic, TraceError::BadMagic { .. })
             | (TraceFault::BadVersion, TraceError::UnsupportedVersion { .. })
-            | (TraceFault::TruncatePayload, TraceError::Truncated { .. })
+            | (TraceFault::TruncatePayload, TraceError::TruncatedMidRecord { .. })
+            | (TraceFault::TruncateAtBoundary, TraceError::Truncated { .. })
             | (TraceFault::LyingCount, TraceError::Truncated { .. }) => {}
             (fault, err) => panic!("{fault:?} produced unexpected {err}"),
         }
