@@ -285,6 +285,7 @@ impl PatternHistoryTable {
     /// set `miss_index`.
     pub fn lookup(&mut self, seq: &[Tag], miss_index: SetIndex) -> Option<Tag> {
         let way = self.find_and_touch(seq, miss_index)?;
+        // tcp-lint: allow(overflow-provenance) — way < sets·ways and targets ≤ 8, so the arena index is far below usize::MAX
         Some(self.targets[way * self.cfg.targets as usize])
     }
 

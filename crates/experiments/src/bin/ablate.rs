@@ -15,6 +15,6 @@ fn main() {
     for sweep in ablate::run(&benches, ops) {
         let t = ablate::render(&sweep);
         println!("{}", t.render());
-        let _ = t.write_csv(&format!("ablate_{}", sweep.knob.replace([' ', '/'], "_")));
+        t.save_csv(&format!("ablate_{}", sweep.knob.replace([' ', '/'], "_")));
     }
 }

@@ -26,7 +26,7 @@ fn main() {
     let f1 = fig01::run_with(&engine, &benches, scale.sim_ops);
     let t1 = fig01::render(&f1);
     println!("{}", t1.render());
-    let _ = t1.write_csv("fig01");
+    t1.save_csv("fig01");
 
     let profiles = characterize::characterize_suite(&benches, scale.trace_ops);
     {
@@ -67,7 +67,7 @@ fn main() {
             ]);
         }
         println!("{}", t.render());
-        let _ = t.write_csv("characterization");
+        t.save_csv("characterization");
     }
 
     println!("== Figure 9 indexing walkthrough (TCP-8K) ==");
@@ -83,26 +83,26 @@ fn main() {
     let f11 = fig11::run_with(&engine, &benches, scale.sim_ops);
     let t11 = fig11::render(&f11);
     println!("{}", t11.render());
-    let _ = t11.write_csv("fig11");
+    t11.save_csv("fig11");
 
     let f12 = fig12::run_with(&engine, &benches, scale.sim_ops);
     let t12a = fig12::render("Figure 12 (top): TCP-8K", &f12.tcp_8k);
     let t12b = fig12::render("Figure 12 (bottom): TCP-8M", &f12.tcp_8m);
     print!("{}\n{}\n", t12a.render(), t12b.render());
-    let _ = t12a.write_csv("fig12_tcp8k");
-    let _ = t12b.write_csv("fig12_tcp8m");
+    t12a.save_csv("fig12_tcp8k");
+    t12b.save_csv("fig12_tcp8m");
 
     let f13 = fig13::run_with(&engine, &benches, (scale.sim_ops / 2).max(100_000));
     let t13a = fig13::render_sizes(&f13);
     let t13b = fig13::render_index_bits(&f13);
     print!("{}\n{}\n", t13a.render(), t13b.render());
-    let _ = t13a.write_csv("fig13_sizes");
-    let _ = t13b.write_csv("fig13_index_bits");
+    t13a.save_csv("fig13_sizes");
+    t13b.save_csv("fig13_index_bits");
 
     let f14 = fig14::run_with(&engine, &benches, scale.sim_ops);
     let t14 = fig14::render(&f14);
     println!("{}", t14.render());
-    let _ = t14.write_csv("fig14");
+    t14.save_csv("fig14");
 
     let stats = engine.stats();
     println!(

@@ -23,5 +23,5 @@ fn main() {
         ]);
     }
     print!("{}", t.render());
-    let _ = t.write_csv("fig02");
+    t.save_csv("fig02");
 }

@@ -22,5 +22,5 @@ fn main() {
         ]);
     }
     print!("{}", t.render());
-    let _ = t.write_csv("fig03");
+    t.save_csv("fig03");
 }

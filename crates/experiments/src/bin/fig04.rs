@@ -36,5 +36,5 @@ fn main() {
         geometric_mean(&spread),
         geometric_mean(&recur)
     );
-    let _ = t.write_csv("fig04");
+    t.save_csv("fig04");
 }

@@ -22,5 +22,5 @@ fn main() {
         ]);
     }
     print!("{}", t.render());
-    let _ = t.write_csv("fig05");
+    t.save_csv("fig05");
 }

@@ -23,5 +23,5 @@ fn main() {
         ]);
     }
     print!("{}", t.render());
-    let _ = t.write_csv("fig07");
+    t.save_csv("fig07");
 }

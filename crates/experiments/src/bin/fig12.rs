@@ -12,6 +12,6 @@ fn main() {
         &fig.tcp_8m,
     );
     print!("{}\n{}", top.render(), bottom.render());
-    let _ = top.write_csv("fig12_tcp8k");
-    let _ = bottom.write_csv("fig12_tcp8m");
+    top.save_csv("fig12_tcp8k");
+    bottom.save_csv("fig12_tcp8m");
 }

@@ -12,6 +12,6 @@ fn main() {
     let top = fig13::render_sizes(&fig);
     let bottom = fig13::render_index_bits(&fig);
     print!("{}\n{}", top.render(), bottom.render());
-    let _ = top.write_csv("fig13_sizes");
-    let _ = bottom.write_csv("fig13_index_bits");
+    top.save_csv("fig13_sizes");
+    bottom.save_csv("fig13_index_bits");
 }

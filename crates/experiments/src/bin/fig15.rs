@@ -18,5 +18,5 @@ fn main() {
         t.row(vec![p.benchmark.clone(), pct(100.0 * p.strided_fraction)]);
     }
     print!("{}", t.render());
-    let _ = t.write_csv("fig15");
+    t.save_csv("fig15");
 }

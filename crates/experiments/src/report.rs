@@ -135,6 +135,16 @@ impl Table {
         fs::write(&path, self.to_csv())?;
         Ok(path)
     }
+
+    /// [`Self::write_csv`], but reports a failure to stderr instead of
+    /// returning it — for the figure binaries, where one failed write
+    /// must not abort the remaining figures (and silently dropping the
+    /// error would hide a missing CSV).
+    pub fn save_csv(&self, name: &str) {
+        if let Err(e) = self.write_csv(name) {
+            eprintln!("experiments: failed to write {name}.csv: {e}");
+        }
+    }
 }
 
 /// Directory where experiment CSVs land (`target/experiments`).

@@ -34,6 +34,7 @@
 //! never to invented findings.
 
 use crate::ast::{BodyFacts, Callee, FnDef};
+use crate::cfg::Cfg;
 use crate::lexer::{TokKind, Token};
 use std::collections::BTreeMap;
 
@@ -122,6 +123,8 @@ pub struct FnFlow {
     pub index: Vec<Violation>,
     /// nondet-taint violations.
     pub taint: Vec<Violation>,
+    /// The body's control-flow graph (present after a full analysis).
+    pub cfg: Option<Cfg>,
 }
 
 /// One lowered assignment statement.
@@ -234,6 +237,23 @@ const ASSIGN_OPS: [&str; 11] = [
 /// Runs the engine over one function body. Returns `None` when the
 /// function has no body.
 pub fn analyze(toks: &[Token], in_test: &[bool], def: &FnDef) -> Option<FnFlow> {
+    analyze_with(toks, in_test, def, &BTreeMap::new(), true)
+}
+
+/// The v4 entry point. `call_tags` maps a call site's `(` token index
+/// to the provenance tags the callee returns (from the interprocedural
+/// summaries) — an assignment whose RHS contains such a call seeds the
+/// binder with those tags, so taint and overflow provenance survive
+/// function boundaries. With `full == false` only the environment and
+/// lock facts are computed (the cheap phase the summary pass needs);
+/// the violation passes and the CFG are skipped.
+pub fn analyze_with(
+    toks: &[Token],
+    in_test: &[bool],
+    def: &FnDef,
+    call_tags: &BTreeMap<usize, Tags>,
+    full: bool,
+) -> Option<FnFlow> {
     let body = def.body.as_ref()?;
     let mut flow = FnFlow::default();
 
@@ -254,7 +274,10 @@ pub fn analyze(toks: &[Token], in_test: &[bool], def: &FnDef) -> Option<FnFlow> 
     for _ in 0..10 {
         let mut changed = false;
         for a in &assigns {
-            let rhs_tags = span_tags(toks, a.rhs.0, a.rhs.1, &flow.tags);
+            let mut rhs_tags = span_tags(toks, a.rhs.0, a.rhs.1, &flow.tags);
+            for (_, t) in call_tags.range(a.rhs.0..a.rhs.1) {
+                rhs_tags |= t;
+            }
             let want = seed_tags(&a.binder) | rhs_tags;
             let entry = flow.tags.entry(a.binder.clone()).or_insert(0);
             if *entry | want != *entry {
@@ -276,10 +299,71 @@ pub fn analyze(toks: &[Token], in_test: &[bool], def: &FnDef) -> Option<FnFlow> 
     // ---- Fact extraction on the stable environment. ----------------
     collect_locks(toks, body, &mut flow);
     collect_guards(toks, body, &mut flow);
-    overflow_pass(toks, in_test, body, &mut flow);
-    index_pass(toks, in_test, body, &mut flow);
-    taint_pass(toks, in_test, body, &assigns, &mut flow);
+    if full {
+        let cfg = Cfg::build(toks, body);
+        overflow_pass(toks, in_test, body, &mut flow);
+        index_pass(toks, in_test, body, &cfg, &mut flow);
+        taint_pass(toks, in_test, body, &assigns, call_tags, &mut flow);
+        flow.cfg = Some(cfg);
+    }
     Some(flow)
+}
+
+/// Provenance tags of a body's returned values: the union over every
+/// `return` statement's expression and a simple trailing expression
+/// (one with no nested block — a braced tail would over-taint, so it
+/// contributes nothing, per the under-matching contract). `call_rets`
+/// adds the return tags of summarized calls appearing in those spans.
+pub fn return_tags(
+    toks: &[Token],
+    body: &BodyFacts,
+    flow: &FnFlow,
+    call_rets: &BTreeMap<usize, Tags>,
+) -> Tags {
+    let mut tags = 0;
+    let mut i = body.open + 1;
+    while i < body.close {
+        if is_ident(&toks[i], "return") && !(i > 0 && is_punct(&toks[i - 1], ".")) {
+            let end = stmt_end(toks, i + 1, body.close);
+            tags |= span_tags(toks, i + 1, end, &flow.tags);
+            for (_, t) in call_rets.range(i + 1..end) {
+                tags |= t;
+            }
+            i = end + 1;
+            continue;
+        }
+        i += 1;
+    }
+    // Trailing expression: whatever follows the last statement
+    // boundary (a depth-zero `;`, or the `}` of a braced statement).
+    let mut tail_start = body.open + 1;
+    let mut j = body.open + 1;
+    while j < body.close {
+        let t = &toks[j];
+        if is_punct(t, ";") {
+            j += 1;
+            tail_start = j;
+            continue;
+        }
+        if is_open(t) {
+            let c = matching(toks, j).unwrap_or(body.close);
+            let braced = is_punct(t, "{");
+            j = c + 1;
+            if braced && j <= body.close {
+                tail_start = j;
+            }
+            continue;
+        }
+        j += 1;
+    }
+    let tail = &toks[tail_start..body.close.min(toks.len())];
+    if !tail.is_empty() && !tail.iter().any(|t| is_punct(t, "{")) {
+        tags |= span_tags(toks, tail_start, body.close, &flow.tags);
+        for (_, t) in call_rets.range(tail_start..body.close) {
+            tags |= t;
+        }
+    }
+    tags
 }
 
 /// Finds every assignment statement in the body, at any nesting depth
@@ -740,10 +824,12 @@ fn overflow_pass(toks: &[Token], in_test: &[bool], body: &BodyFacts, flow: &mut 
 /// dominating bound evidence. The expression must be entirely
 /// identifiers/integers joined by `+`/`-`/`*`/`<<` (anything else —
 /// ranges, calls, `%`, masks — is treated as its own bound discipline
-/// and skipped). Bound evidence that clears a site, searched in tokens
-/// before it: the exact expression followed by `<` (an `assert!`, `if`,
-/// `while`, or `for` header), or an all-constant interval.
-fn index_pass(toks: &[Token], in_test: &[bool], body: &BodyFacts, flow: &mut FnFlow) {
+/// and skipped). Bound evidence that clears a site: the exact
+/// expression followed by `<`/`<=` (an `assert!`, `if`, `while`, or
+/// `for` header) in a basic block that *dominates* the index site — a
+/// check inside a sibling branch clears nothing — or an all-constant
+/// interval.
+fn index_pass(toks: &[Token], in_test: &[bool], body: &BodyFacts, cfg: &Cfg, flow: &mut FnFlow) {
     for i in body.open + 1..body.close {
         if in_test.get(i).copied().unwrap_or(false) {
             continue;
@@ -798,9 +884,11 @@ fn index_pass(toks: &[Token], in_test: &[bool], body: &BodyFacts, flow: &mut FnF
         if n_runtime < 2 {
             continue;
         }
-        // Dominating textual bound: the same token spelling followed by
-        // `<` anywhere earlier in the body (assert!/debug_assert!/if/
-        // while/for headers all produce exactly this shape).
+        // Bound evidence: the same token spelling followed by `<`/`<=`
+        // earlier in the body (assert!/debug_assert!/if/while/for
+        // headers all produce exactly this shape), *and* in a block
+        // that dominates the index site — evidence on a sibling path
+        // does not bound this one.
         let spelled: Vec<&str> = expr.iter().map(|t| t.text.as_str()).collect();
         let mut bounded = false;
         'scan: for w in body.open + 1..i.saturating_sub(spelled.len()) {
@@ -813,6 +901,7 @@ fn index_pass(toks: &[Token], in_test: &[bool], body: &BodyFacts, flow: &mut FnF
             if toks
                 .get(w + spelled.len())
                 .is_some_and(|t| is_punct(t, "<") || is_punct(t, "<="))
+                && cfg.dominates(w, i)
             {
                 bounded = true;
                 break;
@@ -837,14 +926,28 @@ fn index_pass(toks: &[Token], in_test: &[bool], body: &BodyFacts, flow: &mut FnF
 }
 
 /// nondet-taint: worker-identity values reaching a `return` statement
-/// or a stats field write.
+/// or a stats field write. `call_tags` extends the sink scan through
+/// summarized calls: `return worker_of(...)` is as tainted as
+/// `return worker`.
 fn taint_pass(
     toks: &[Token],
     in_test: &[bool],
     body: &BodyFacts,
     assigns: &[Assign],
+    call_tags: &BTreeMap<usize, Tags>,
     flow: &mut FnFlow,
 ) {
+    // A worker-tagged call site in `[start, end)`: named for messages.
+    let tainted_call_in = |start: usize, end: usize| -> Option<String> {
+        call_tags
+            .range(start..end)
+            .find(|(_, t)| *t & TAG_WORKER != 0)
+            .map(|(&p, _)| {
+                toks.get(p.wrapping_sub(1))
+                    .map(|t| format!("{}(…)", t.text))
+                    .unwrap_or_else(|| "a call".to_owned())
+            })
+    };
     // `return <tainted>;`
     let mut i = body.open + 1;
     while i < body.close {
@@ -853,7 +956,9 @@ fn taint_pass(
             continue;
         }
         let end = stmt_end(toks, i + 1, body.close);
-        if let Some(name) = tainted_ident_in(toks, i + 1, end, &flow.tags) {
+        let hit =
+            tainted_ident_in(toks, i + 1, end, &flow.tags).or_else(|| tainted_call_in(i + 1, end));
+        if let Some(name) = hit {
             flow.taint.push(Violation {
                 line: toks[i].line,
                 col: toks[i].col,
@@ -895,7 +1000,9 @@ fn taint_pass(
         if k > i && chain_has_stat && is_assign {
             let rhs_start = k + 2;
             let rhs_end = stmt_end(toks, rhs_start, body.close);
-            if let Some(name) = tainted_ident_in(toks, rhs_start, rhs_end, &flow.tags) {
+            let hit = tainted_ident_in(toks, rhs_start, rhs_end, &flow.tags)
+                .or_else(|| tainted_call_in(rhs_start, rhs_end));
+            if let Some(name) = hit {
                 flow.taint.push(Violation {
                     line: toks[i].line,
                     col: toks[i].col,
@@ -1085,6 +1192,72 @@ mod tests {
             !lines.contains(&9),
             "known interval through the lattice clears it"
         );
+    }
+
+    #[test]
+    fn index_bounds_guard_must_dominate() {
+        // The same expression, once with evidence on a sibling path
+        // (fires) and once under a dominating condition (clean).
+        let flow = flow_of(
+            "fn f(xs: &[u64], way: usize, set: usize, other: bool) -> u64 {\n\
+                if other {\n\
+                    debug_assert!(set * 8 + way < xs.len());\n\
+                }\n\
+                let a = xs[set * 8 + way];\n\
+                let b = if set * 4 + way < xs.len() { xs[set * 4 + way] } else { 0 };\n\
+                a + b\n\
+             }",
+        );
+        let lines: Vec<u32> = flow.index.iter().map(|v| v.line).collect();
+        assert!(
+            lines.contains(&5),
+            "evidence inside a sibling branch must not clear the site: {:?}",
+            flow.index
+        );
+        assert!(
+            !lines.contains(&6),
+            "a dominating `if` condition clears the guarded use: {:?}",
+            flow.index
+        );
+    }
+
+    #[test]
+    fn call_tags_seed_assignments_and_returns() {
+        // `analyze_with` seeds `c` from the call's summarized return
+        // tags, so the downstream `c + d` add fires overflow and the
+        // worker-returning call taints the return.
+        let lx = lex("fn f(d_cycle: u64) -> u64 {\n\
+                let c = helper();\n\
+                let s = c + d_cycle;\n\
+                return wid();\n\
+             }");
+        let mask = test_mask(&lx.tokens, crate::FileKind::Lib);
+        let ast = crate::ast::parse(&lx.tokens, &mask);
+        let crate::ast::Item::Fn(f) = &ast.items[0] else {
+            panic!("fn expected")
+        };
+        let body = f.body.as_ref().expect("body");
+        let mut call_tags = BTreeMap::new();
+        for c in &body.calls {
+            let name = match &c.callee {
+                Callee::Path(segs) => segs.join("::"),
+                Callee::Method { name, .. } => name.clone(),
+            };
+            match name.as_str() {
+                "helper" => call_tags.insert(c.paren_open, TAG_CYCLE),
+                "wid" => call_tags.insert(c.paren_open, TAG_WORKER),
+                _ => None,
+            };
+        }
+        let flow = analyze_with(&lx.tokens, &mask, f, &call_tags, true).expect("flow");
+        assert_eq!(
+            flow.tags.get("c").copied().unwrap_or(0) & TAG_CYCLE,
+            TAG_CYCLE,
+            "call return tags seed the binder"
+        );
+        assert_eq!(flow.overflow.len(), 1, "overflow: {:?}", flow.overflow);
+        assert_eq!(flow.taint.len(), 1, "taint: {:?}", flow.taint);
+        assert!(flow.taint[0].what.contains("wid"));
     }
 
     #[test]

@@ -26,15 +26,19 @@
 #![forbid(unsafe_code)]
 
 pub mod ast;
+pub mod cfg;
 pub mod dataflow;
 pub mod lexer;
 pub mod lints;
 pub mod semantic;
+pub mod summaries;
 pub mod symbols;
 
-pub use lints::{lint_file, FileKind, FileSpec, Finding, ALL_LINTS};
+pub use lints::{lint_about, lint_file, FileKind, FileSpec, Finding, ALL_LINTS};
 
-use lints::{lint_file_tracked, scan_directives, suppressed_by, test_mask, Suppressions};
+use lints::{
+    lint_file_tracked, scan_directives, suppressed_by, test_mask, Suppressions, BAD_SUPPRESSION,
+};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fs;
 use std::io;
@@ -285,6 +289,92 @@ struct Prepared {
     sups: Suppressions,
 }
 
+fn prepare(f: &SourceFile) -> Prepared {
+    let spec = spec_for_path(&f.rel_path);
+    let lx = lexer::lex(&f.src);
+    let mask = test_mask(&lx.tokens, spec.kind);
+    let ast = ast::parse(&lx.tokens, &mask);
+    let sups = scan_directives(&lx).sups;
+    Prepared {
+        lx,
+        mask,
+        ast,
+        sups,
+    }
+}
+
+/// Lexed + parsed workspace sources with the analysis stages exposed
+/// individually, so `tcp-perf` can time parse / semantic / dataflow as
+/// separate cases. [`analyze_files`] composes the same stages.
+pub struct ParsedWorkspace {
+    files: Vec<SourceFile>,
+    prepared: Vec<Prepared>,
+}
+
+impl ParsedWorkspace {
+    /// Stage 1: lex, test-mask, parse, and directive-scan every file.
+    pub fn parse(files: Vec<SourceFile>) -> Self {
+        let prepared = files.iter().map(prepare).collect();
+        ParsedWorkspace { files, prepared }
+    }
+
+    /// Total token count across files — a cheap determinism checksum
+    /// for the parse stage.
+    pub fn token_count(&self) -> u64 {
+        self.prepared.iter().map(|p| p.lx.tokens.len() as u64).sum()
+    }
+
+    fn inputs(&self) -> Vec<symbols::FileInput<'_>> {
+        self.files
+            .iter()
+            .zip(&self.prepared)
+            .map(|(f, p)| {
+                let spec = spec_for_path(&f.rel_path);
+                symbols::FileInput {
+                    path: &f.rel_path,
+                    crate_dir: spec.crate_dir,
+                    kind: spec.kind,
+                    toks: &p.lx.tokens,
+                    in_test: &p.mask,
+                    ast: &p.ast,
+                }
+            })
+            .collect()
+    }
+
+    fn sem_inputs<'a>(
+        &'a self,
+        inputs: &[symbols::FileInput<'a>],
+    ) -> Vec<semantic::SemanticInput<'a>> {
+        inputs
+            .iter()
+            .zip(&self.files)
+            .zip(&self.prepared)
+            .map(|((fi, f), p)| semantic::SemanticInput {
+                file: *fi,
+                lines: f.src.lines().collect(),
+                sups: &p.sups,
+            })
+            .collect()
+    }
+
+    /// Stage 2: symbol table + the AST/call-graph lint passes.
+    pub fn semantic_core(&self) -> Vec<Finding> {
+        let inputs = self.inputs();
+        let ws = symbols::build(&inputs);
+        let sem = self.sem_inputs(&inputs);
+        semantic::run_core(&ws, &sem, &mut BTreeMap::new())
+    }
+
+    /// Stage 3: the dataflow + interprocedural summary passes.
+    pub fn dataflow(&self) -> Vec<Finding> {
+        let inputs = self.inputs();
+        let ws = symbols::build(&inputs);
+        let sem = self.sem_inputs(&inputs);
+        semantic::run_dataflow(&ws, &sem)
+    }
+}
+
 /// Runs the full analysis — all lexical passes per file, then the
 /// semantic passes over the workspace graph — and returns
 /// suppression-filtered findings sorted by (path, line, col, lint).
@@ -305,16 +395,7 @@ pub fn analyze_files_tracked(
         let spec = spec_for_path(&f.rel_path);
         let used_here = used.entry(f.rel_path.clone()).or_default();
         findings.extend(lint_file_tracked(&spec, &f.src, used_here));
-        let lx = lexer::lex(&f.src);
-        let mask = test_mask(&lx.tokens, spec.kind);
-        let ast = ast::parse(&lx.tokens, &mask);
-        let sups = scan_directives(&lx).sups;
-        prepared.push(Prepared {
-            lx,
-            mask,
-            ast,
-            sups,
-        });
+        prepared.push(prepare(f));
     }
 
     let inputs: Vec<symbols::FileInput<'_>> = files
@@ -403,10 +484,19 @@ pub fn analyze_workspace(root: &Path) -> io::Result<WorkspaceReport> {
     let mut used: BTreeMap<String, BTreeSet<u32>> = BTreeMap::new();
     let findings = analyze_files_tracked(&files, &mut used);
     let mut waivers = collect_waivers(&files);
+    // A site that already trips `bad-suppression` must not also count
+    // as a stale waiver — one broken directive line is one unit of
+    // debt, not two (`check-lint.sh` weights stale waivers double).
+    let bad_sites: BTreeSet<(&str, u32)> = findings
+        .iter()
+        .filter(|f| f.lint == BAD_SUPPRESSION)
+        .map(|f| (f.path.as_str(), f.line))
+        .collect();
     for w in &mut waivers {
         w.stale = !used
             .get(&w.path)
-            .is_some_and(|lines| lines.contains(&w.line));
+            .is_some_and(|lines| lines.contains(&w.line))
+            && !bad_sites.contains(&(w.path.as_str(), w.line));
     }
     Ok(WorkspaceReport {
         findings,
@@ -451,6 +541,80 @@ pub fn render_json(findings: &[Finding]) -> String {
         out.push('\n');
     }
     out.push_str("]\n");
+    out
+}
+
+/// Renders findings as a SARIF 2.1.0 log (the GitHub code-scanning
+/// ingestion format), built on `tcp-json`'s canonical writer so the
+/// output is byte-stable for identical findings. One run, one result
+/// per finding, one rule per lint name with its one-line description.
+pub fn render_sarif(findings: &[Finding]) -> String {
+    use tcp_json::Json;
+
+    fn obj(pairs: Vec<(&str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+    }
+    fn s(text: &str) -> Json {
+        Json::Str(text.to_owned())
+    }
+    fn text(t: &str) -> Json {
+        obj(vec![("text", s(t))])
+    }
+
+    let rules: Vec<Json> = ALL_LINTS
+        .iter()
+        .map(|&name| {
+            obj(vec![
+                ("id", s(name)),
+                ("shortDescription", text(lint_about(name))),
+            ])
+        })
+        .collect();
+    let results: Vec<Json> = findings
+        .iter()
+        .map(|f| {
+            obj(vec![
+                ("ruleId", s(f.lint)),
+                ("level", s("error")),
+                ("message", text(&f.message)),
+                (
+                    "locations",
+                    Json::Arr(vec![obj(vec![(
+                        "physicalLocation",
+                        obj(vec![
+                            ("artifactLocation", obj(vec![("uri", s(&f.path))])),
+                            (
+                                "region",
+                                obj(vec![
+                                    ("startLine", Json::Num(f.line as f64)),
+                                    ("startColumn", Json::Num(f.col as f64)),
+                                ]),
+                            ),
+                        ]),
+                    )])]),
+                ),
+            ])
+        })
+        .collect();
+    let driver = obj(vec![
+        ("name", s("tcp-lint")),
+        ("informationUri", s("https://github.com/tcp-repro/tcp")),
+        ("rules", Json::Arr(rules)),
+    ]);
+    let run = obj(vec![
+        ("tool", obj(vec![("driver", driver)])),
+        ("results", Json::Arr(results)),
+    ]);
+    let log = obj(vec![
+        (
+            "$schema",
+            s("https://json.schemastore.org/sarif-2.1.0.json"),
+        ),
+        ("version", s("2.1.0")),
+        ("runs", Json::Arr(vec![run])),
+    ]);
+    let mut out = tcp_json::to_string(&log);
+    out.push('\n');
     out
 }
 

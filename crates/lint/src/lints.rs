@@ -60,11 +60,28 @@ pub const INDEX_BOUNDS: &str = "index-bounds";
 /// Lint (dataflow): a worker-index/thread-id-derived value flowing into
 /// a returned result or a stats field — a determinism hazard.
 pub const NONDET_TAINT: &str = "nondet-taint";
+/// Lint (interprocedural): an allocation — direct or through a
+/// summarized callee — inside a cycle-indexed or chunk-iteration loop
+/// of the hot crates, violating the `TraceChunk` reuse / `BoundedRing`
+/// preallocation contracts.
+pub const ALLOC_IN_HOT_LOOP: &str = "alloc-in-hot-loop";
+/// Lint (interprocedural): a `Result` from a workspace call discarded
+/// (`let _`, bare `.ok()`, empty `Err` arm) without the error reaching
+/// a return, stat, or quarantine path.
+pub const SWALLOWED_ERROR: &str = "swallowed-error";
+/// Lint (interprocedural): a struct field in the streaming modules
+/// pushed to inside a loop with no pop/clear/truncate/drain anywhere —
+/// unbounded memory growth in the bounded-ingestion path.
+pub const UNBOUNDED_GROWTH_IN_STREAM: &str = "unbounded-growth-in-stream";
+/// Lint (interprocedural): a `Mutex` guard held across a call whose
+/// summary says it blocks (`recv`/`wait`/`sleep`/blocking reads) — the
+/// lock-convoy / deadlock-by-waiting shape.
+pub const GUARD_ACROSS_BLOCKING_CALL: &str = "guard-across-blocking-call";
 
 /// Every lint tcp-lint knows, in stable order (lexical first, then the
 /// semantic passes that need the workspace AST, then the dataflow
-/// passes).
-pub const ALL_LINTS: [&str; 15] = [
+/// passes, then the v4 interprocedural passes).
+pub const ALL_LINTS: [&str; 19] = [
     NONDET_ITERATION,
     WALL_CLOCK_IN_SIM,
     PANIC_IN_LIBRARY,
@@ -80,7 +97,39 @@ pub const ALL_LINTS: [&str; 15] = [
     OVERFLOW_PROVENANCE,
     INDEX_BOUNDS,
     NONDET_TAINT,
+    ALLOC_IN_HOT_LOOP,
+    SWALLOWED_ERROR,
+    UNBOUNDED_GROWTH_IN_STREAM,
+    GUARD_ACROSS_BLOCKING_CALL,
 ];
+
+/// One-line description per lint, for `--list-lints` and the SARIF
+/// rules table. Kept adjacent to [`ALL_LINTS`] so adding a lint without
+/// describing it fails the `every_lint_has_an_about` test.
+pub fn lint_about(name: &str) -> &'static str {
+    match name {
+        "nondet-iteration" => "iteration over a hash-ordered container in simulator code",
+        "wall-clock-in-sim" => "wall-clock time or ambient randomness outside the perf crate",
+        "panic-in-library" => "panic/unwrap/expect in library code of a typed-error crate",
+        "lossy-cycle-cast" => "truncating cast of a cycle/addr/tag quantity",
+        "float-accum-in-hot-loop" => "floating-point accumulation inside a per-cycle loop",
+        "missing-forbid-unsafe" => "crate root missing #![forbid(unsafe_code)]",
+        "bad-suppression" => "malformed or unjustified tcp-lint suppression comment",
+        "panic-reachability" => "public API transitively reaches a panic through the call graph",
+        "stat-conservation" => "a *Stats counter that is never mutated or never read",
+        "exhaustive-dispatch" => "wildcard match arm hiding variants of a closed workspace enum",
+        "discarded-result" => "workspace Result dropped as a bare statement",
+        "lock-discipline" => "guard held across a locking call, or a same-mutex re-lock",
+        "overflow-provenance" => "unchecked arithmetic on cycle/addr/tag/stat-tagged values",
+        "index-bounds" => "composite index expression without a dominating bound check",
+        "nondet-taint" => "worker/thread identity flowing into results or stats",
+        "alloc-in-hot-loop" => "allocation (direct or via callees) inside a cycle/chunk hot loop",
+        "swallowed-error" => "workspace Result discarded without the error reaching any sink",
+        "unbounded-growth-in-stream" => "streaming struct field grown in a loop and never drained",
+        "guard-across-blocking-call" => "mutex guard held across a summarized blocking call",
+        _ => "",
+    }
+}
 
 /// Crates exempt from the panic-in-library rule: the perf harness is a
 /// measurement binary with no typed-error API of its own. Every other
@@ -796,4 +845,24 @@ fn forbid_unsafe_pass(
          library crate must forbid unsafe code"
             .to_owned(),
     );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_lint_has_an_about_line() {
+        assert_eq!(ALL_LINTS.len(), 19, "the v4 lint set");
+        for l in ALL_LINTS {
+            assert!(
+                !lint_about(l).is_empty(),
+                "lint `{l}` is missing its one-line description"
+            );
+        }
+        assert!(
+            lint_about("not-a-lint").is_empty(),
+            "unknown names describe as empty, not panic"
+        );
+    }
 }

@@ -6,8 +6,8 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 use tcp_lint::{
-    analyze_workspace, find_workspace_root, lint_path, render_gh, render_human, render_json,
-    render_waivers, Finding, ALL_LINTS,
+    analyze_workspace, find_workspace_root, lint_about, lint_path, render_gh, render_human,
+    render_json, render_sarif, render_waivers, Finding, ALL_LINTS,
 };
 
 const USAGE: &str = "\
@@ -25,9 +25,10 @@ Usage:
                                                waivers that no longer fire)
   tcp-lint --list-lints                        print the lint names
 
-Output (lint modes): --format human (default) | json | gh
-  gh emits GitHub Actions ::error annotations; --json is shorthand
-  for --format json.
+Output (lint modes): --format human (default) | json | gh | sarif
+  gh emits GitHub Actions ::error annotations; sarif emits a SARIF
+  2.1.0 log for code-scanning upload; --json is shorthand for
+  --format json.
 
 Suppress a finding on the line below (or the same line) with a reason:
   // tcp-lint: allow(lint-name) -- reason it is sound here
@@ -60,9 +61,10 @@ fn run() -> std::io::Result<ExitCode> {
                 Some("human") => format = Format::Human,
                 Some("json") => format = Format::Json,
                 Some("gh") => format = Format::Gh,
+                Some("sarif") => format = Format::Sarif,
                 other => {
                     let got = other.unwrap_or("nothing");
-                    eprintln!("tcp-lint: --format needs human|json|gh, got {got}\n\n{USAGE}");
+                    eprintln!("tcp-lint: --format needs human|json|gh|sarif, got {got}\n\n{USAGE}");
                     return Ok(ExitCode::from(2));
                 }
             },
@@ -75,7 +77,7 @@ fn run() -> std::io::Result<ExitCode> {
             },
             "--list-lints" => {
                 for l in ALL_LINTS {
-                    println!("{l}");
+                    println!("{l}  {}", lint_about(l));
                 }
                 return Ok(ExitCode::SUCCESS);
             }
@@ -140,12 +142,14 @@ enum Format {
     Human,
     Json,
     Gh,
+    Sarif,
 }
 
 fn emit(findings: &[Finding], n_files: usize, format: Format) -> ExitCode {
     match format {
         Format::Json => print!("{}", render_json(findings)),
         Format::Gh => print!("{}", render_gh(findings)),
+        Format::Sarif => print!("{}", render_sarif(findings)),
         Format::Human => {
             print!("{}", render_human(findings));
             if findings.is_empty() {

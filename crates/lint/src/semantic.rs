@@ -20,19 +20,30 @@
 //! - **discarded-result** — a `Result` returned by a workspace function
 //!   must not be dropped as a bare statement.
 //!
-//! The v3 dataflow passes also live here, consuming the per-function
-//! abstract environments computed by [`crate::dataflow`]:
+//! The dataflow passes (v3) also live here, consuming the per-function
+//! abstract environments computed by [`crate::dataflow`] — now
+//! flow-sensitive through [`crate::cfg`] and interprocedural through
+//! [`crate::summaries`] (v4):
 //!
 //! - **lock-discipline** — a `let`-bound `Mutex` guard live across a
-//!   call into a workspace function that itself (transitively) locks is
-//!   the deadlock shape; a second `.lock()` of the same receiver inside
-//!   a live guard range is a self-deadlock on that path.
+//!   call into a workspace function whose summary says it locks is the
+//!   deadlock shape; a second `.lock()` of the same receiver inside a
+//!   live guard range is a self-deadlock on that path.
 //! - **overflow-provenance** — unchecked `+`/`*`/`<<` on values whose
-//!   provenance tags say cycle/addr/tag/stat counter.
-//! - **index-bounds** — composite index expressions with no dominating
-//!   bound evidence.
+//!   provenance tags say cycle/addr/tag/stat counter, with tags flowing
+//!   through workspace calls via the return-tag summaries.
+//! - **index-bounds** — composite index expressions with no bound
+//!   evidence in a *dominating* basic block.
 //! - **nondet-taint** — worker/thread-identity values reaching returns
-//!   or stats fields.
+//!   or stats fields, through calls.
+//! - **alloc-in-hot-loop** — allocation (direct or via a summarized
+//!   callee) inside a cycle-/chunk-iteration loop of the hot crates.
+//! - **swallowed-error** — a workspace `Result` discarded without the
+//!   error reaching any sink.
+//! - **unbounded-growth-in-stream** — streaming struct fields grown in
+//!   loops and never drained.
+//! - **guard-across-blocking-call** — a guard live across a call whose
+//!   summary blocks.
 //!
 //! Findings are produced unsuppressed; the caller filters them through
 //! each file's waivers exactly like the lexical passes. `run` also
@@ -42,14 +53,25 @@
 
 use crate::ast::{ArmHead, CallSite};
 use crate::dataflow::{self, FnFlow};
-use crate::lexer::Token;
+use crate::lexer::{TokKind, Token};
 use crate::lints::{
     is_ident, is_punct, matching, push, FileKind, FileSpec, Finding, Suppressions,
-    DISCARDED_RESULT, EXHAUSTIVE_DISPATCH, INDEX_BOUNDS, LOCK_DISCIPLINE, NONDET_TAINT,
-    OVERFLOW_PROVENANCE, PANIC_IN_LIBRARY, PANIC_REACHABILITY, STAT_CONSERVATION,
+    ALLOC_IN_HOT_LOOP, DISCARDED_RESULT, EXHAUSTIVE_DISPATCH, GUARD_ACROSS_BLOCKING_CALL,
+    INDEX_BOUNDS, LOCK_DISCIPLINE, NONDET_TAINT, OVERFLOW_PROVENANCE, PANIC_IN_LIBRARY,
+    PANIC_REACHABILITY, STAT_CONSERVATION, SWALLOWED_ERROR, UNBOUNDED_GROWTH_IN_STREAM,
 };
+use crate::summaries::{self, FnSummary};
 use crate::symbols::{FileInput, Workspace};
 use std::collections::{BTreeMap, BTreeSet};
+
+/// Crates whose cycle/chunk loops are allocation-free by contract.
+const HOT_CRATES: [&str; 4] = ["cache", "cpu", "sim", "analysis"];
+
+/// Any identifier token (the two-argument [`is_ident`] matches exact
+/// text; the allocation scans only care about token kind).
+fn any_ident(t: &Token) -> bool {
+    t.kind == TokKind::Ident
+}
 
 /// Crates whose public APIs must be transitively panic-free.
 const REACHABILITY_ROOTS: [&str; 3] = ["cache", "cpu", "sim"];
@@ -84,11 +106,30 @@ pub fn run(
     inputs: &[SemanticInput<'_>],
     used: &mut BTreeMap<String, BTreeSet<u32>>,
 ) -> Vec<Finding> {
+    let mut findings = run_core(ws, inputs, used);
+    findings.extend(run_dataflow(ws, inputs));
+    findings
+}
+
+/// The AST/call-graph passes alone (no dataflow) — the `lint_semantic`
+/// perf phase.
+pub fn run_core(
+    ws: &Workspace<'_>,
+    inputs: &[SemanticInput<'_>],
+    used: &mut BTreeMap<String, BTreeSet<u32>>,
+) -> Vec<Finding> {
     let mut findings = Vec::new();
     panic_reachability(ws, inputs, used, &mut findings);
     stat_conservation(ws, inputs, &mut findings);
     exhaustive_dispatch(ws, inputs, &mut findings);
     discarded_result(ws, inputs, &mut findings);
+    findings
+}
+
+/// The dataflow + interprocedural passes alone — the `lint_dataflow`
+/// perf phase.
+pub fn run_dataflow(ws: &Workspace<'_>, inputs: &[SemanticInput<'_>]) -> Vec<Finding> {
+    let mut findings = Vec::new();
     dataflow_passes(ws, inputs, &mut findings);
     findings
 }
@@ -460,52 +501,60 @@ fn discarded_result(ws: &Workspace<'_>, inputs: &[SemanticInput<'_>], findings: 
     }
 }
 
-/// The four v3 dataflow lints, driven by per-function [`FnFlow`]s.
+/// Is this function eligible for dataflow analysis? Tests are masked,
+/// and example programs are demo code outside the lint's
+/// determinism/robustness contract.
+fn analyzable(ws: &Workspace<'_>, inputs: &[SemanticInput<'_>], i: usize) -> bool {
+    let node = &ws.fns[i];
+    let input = &inputs[node.file];
+    !node.in_test && matches!(input.file.kind, FileKind::Lib | FileKind::Bin)
+}
+
+/// The v3/v4 dataflow lints, driven by per-function [`FnFlow`]s and the
+/// interprocedural [`FnSummary`] table.
 fn dataflow_passes(ws: &Workspace<'_>, inputs: &[SemanticInput<'_>], findings: &mut Vec<Finding>) {
-    // One abstract environment per analyzable function. Tests are
-    // masked, and example programs are demo code outside the lint's
-    // determinism/robustness contract.
-    let flows: Vec<Option<FnFlow>> = ws
-        .fns
-        .iter()
-        .map(|node| {
-            let input = &inputs[node.file];
-            if node.in_test || !matches!(input.file.kind, FileKind::Lib | FileKind::Bin) {
+    // Phase A: a cheap environment-only pass per function, enough for
+    // the summary computation (locks, guards, assignment tags).
+    let flows0: Vec<Option<FnFlow>> = (0..ws.fns.len())
+        .map(|i| {
+            if !analyzable(ws, inputs, i) {
                 return None;
             }
-            dataflow::analyze(input.file.toks, input.file.in_test, node.def)
+            let node = &ws.fns[i];
+            let input = &inputs[node.file];
+            dataflow::analyze_with(
+                input.file.toks,
+                input.file.in_test,
+                node.def,
+                &BTreeMap::new(),
+                false,
+            )
         })
         .collect();
 
-    // Which functions (transitively) acquire a lock: seed with direct
-    // `.lock()` callers, then propagate backwards over call edges to a
-    // fixpoint. Conservative in the under-matching direction — an
-    // unresolved call contributes no edge, hence no finding.
-    let mut locks_trans: Vec<bool> = flows
-        .iter()
-        .map(|f| f.as_ref().is_some_and(|f| !f.locks.is_empty()))
+    // Bottom-up interprocedural summaries over call-graph SCCs.
+    let files: Vec<FileInput<'_>> = inputs.iter().map(|i| i.file).collect();
+    let sums = summaries::summarize(ws, &files, &flows0);
+
+    // Phase B: the full flow-sensitive pass, seeding call-return tags
+    // from the summaries so provenance crosses function boundaries.
+    let flows: Vec<Option<FnFlow>> = (0..ws.fns.len())
+        .map(|i| {
+            if !analyzable(ws, inputs, i) {
+                return None;
+            }
+            let node = &ws.fns[i];
+            let input = &inputs[node.file];
+            let call_tags = summaries::call_return_tags(ws, &sums, i);
+            dataflow::analyze_with(
+                input.file.toks,
+                input.file.in_test,
+                node.def,
+                &call_tags,
+                true,
+            )
+        })
         .collect();
-    let direct_lock = locks_trans.clone();
-    loop {
-        let mut changed = false;
-        for (i, node) in ws.fns.iter().enumerate() {
-            if locks_trans[i] {
-                continue;
-            }
-            let calls_locker = node
-                .calls
-                .iter()
-                .flat_map(|e| e.targets.iter())
-                .any(|&t| locks_trans[t]);
-            if calls_locker {
-                locks_trans[i] = true;
-                changed = true;
-            }
-        }
-        if !changed {
-            break;
-        }
-    }
 
     for (i, node) in ws.fns.iter().enumerate() {
         let Some(flow) = &flows[i] else { continue };
@@ -513,38 +562,69 @@ fn dataflow_passes(ws: &Workspace<'_>, inputs: &[SemanticInput<'_>], findings: &
         let spec = spec_of(input);
 
         for g in &flow.guards {
-            // Deadlock shape: guard live across a call into a
-            // workspace function that itself acquires some lock.
             for edge in &node.calls {
                 let s = edge.site;
                 if s.paren_open <= g.start || s.paren_open >= g.end {
                     continue;
                 }
-                let Some(&t) = edge.targets.iter().find(|&&t| locks_trans[t]) else {
-                    continue;
-                };
-                let how = if direct_lock[t] {
-                    "itself acquires a lock"
-                } else {
-                    "acquires a lock further down its call graph"
-                };
-                push(
-                    findings,
-                    &spec,
-                    &input.lines,
-                    LOCK_DISCIPLINE,
-                    s.line,
-                    s.col,
-                    format!(
-                        "guard `{}` (locking `{}`, bound at line {}) is still live \
-                         across this call to `{}`, which {how} — the deadlock shape; \
-                         drop or scope the guard before the call",
-                        g.name,
-                        g.mutex,
-                        g.line,
-                        ws.fns[t].display_name(),
-                    ),
-                );
+                // Deadlock shape: guard live across a call into a
+                // workspace function whose summary says it locks.
+                if let Some(&t) = edge.targets.iter().find(|&&t| sums[t].locks) {
+                    let how = if sums[t].direct_lock {
+                        "itself acquires a lock"
+                    } else {
+                        "acquires a lock further down its call graph"
+                    };
+                    push(
+                        findings,
+                        &spec,
+                        &input.lines,
+                        LOCK_DISCIPLINE,
+                        s.line,
+                        s.col,
+                        format!(
+                            "guard `{}` (locking `{}`, bound at line {}) is still live \
+                             across this call to `{}`, which {how} — the deadlock shape; \
+                             drop or scope the guard before the call",
+                            g.name,
+                            g.mutex,
+                            g.line,
+                            ws.fns[t].display_name(),
+                        ),
+                    );
+                }
+                // Latency shape: guard held across a call whose summary
+                // says it blocks (channel recv, condvar wait, sleep, …).
+                if let Some(&t) = edge.targets.iter().find(|&&t| sums[t].blocks) {
+                    let what = sums[t]
+                        .block_what
+                        .clone()
+                        .unwrap_or_else(|| "a blocking call".to_string());
+                    let how = if sums[t].direct_block {
+                        format!("blocks on `{what}`")
+                    } else {
+                        format!("reaches `{what}` further down its call graph")
+                    };
+                    push(
+                        findings,
+                        &spec,
+                        &input.lines,
+                        GUARD_ACROSS_BLOCKING_CALL,
+                        s.line,
+                        s.col,
+                        format!(
+                            "guard `{}` (locking `{}`, bound at line {}) is held across \
+                             this call to `{}`, which {how} — every other thread \
+                             touching `{}` stalls for the full wait; drop the guard \
+                             before blocking",
+                            g.name,
+                            g.mutex,
+                            g.line,
+                            ws.fns[t].display_name(),
+                            g.mutex,
+                        ),
+                    );
+                }
             }
             // Double lock of one receiver on a single path.
             for l in &flow.locks {
@@ -599,6 +679,525 @@ fn dataflow_passes(ws: &Workspace<'_>, inputs: &[SemanticInput<'_>], findings: &
                 v.col,
                 v.what.clone(),
             );
+        }
+    }
+
+    alloc_in_hot_loop(ws, inputs, &flows, &sums, findings);
+    swallowed_error(ws, inputs, findings);
+    unbounded_growth_in_stream(ws, inputs, &flows, findings);
+}
+
+/// Idents in `toks[..]` that have *capacity evidence* somewhere in the
+/// file: `x: Vec::with_capacity(..)`, `let x = Vec::with_capacity(..)`
+/// (or `String::`/`Box::` forms), or an `x.reserve(..)` call. A push
+/// into such a vector is amortised-free by contract, so it is exempt
+/// from the allocation lints. Under-matches: evidence in *another* file
+/// (e.g. a constructor in a sibling module) is invisible, which errs
+/// toward reporting — callers pair this with a waiver escape hatch.
+fn capacity_evidenced(toks: &[Token]) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for i in 0..toks.len() {
+        if !any_ident(&toks[i]) {
+            continue;
+        }
+        // `x . reserve (`
+        if toks[i].text == "reserve"
+            && i >= 2
+            && is_punct(&toks[i - 1], ".")
+            && any_ident(&toks[i - 2])
+        {
+            out.insert(toks[i - 2].text.clone());
+            continue;
+        }
+        // `x :` or `x =` followed by `Type :: with_capacity`
+        if toks[i].text == "with_capacity"
+            && i >= 4
+            && is_punct(&toks[i - 1], "::")
+            && any_ident(&toks[i - 2])
+            && (is_punct(&toks[i - 3], ":") || is_punct(&toks[i - 3], "="))
+            && any_ident(&toks[i - 4])
+        {
+            out.insert(toks[i - 4].text.clone());
+        }
+    }
+    out
+}
+
+/// Does any ident in the loop header name a cycle- or chunk-indexed
+/// iteration? Exact snake_case components only, so `recycled` does not
+/// make a loop hot.
+fn is_hot_header(header_idents: &[String]) -> bool {
+    header_idents.iter().any(|id| {
+        id.split('_')
+            .any(|c| matches!(c, "cycle" | "cycles" | "chunk" | "chunks"))
+    })
+}
+
+/// **alloc-in-hot-loop** — allocation inside a cycle-indexed or
+/// chunk-iteration loop in the hot crates (`tcp-cache`, `tcp-cpu`,
+/// `tcp-sim`, `tcp-analysis`). Catches direct constructor/`.clone()`
+/// shapes, growth of vectors with no capacity evidence, and calls whose
+/// interprocedural summary says an allocation is reached — however many
+/// calls deep.
+fn alloc_in_hot_loop(
+    ws: &Workspace<'_>,
+    inputs: &[SemanticInput<'_>],
+    flows: &[Option<FnFlow>],
+    sums: &[FnSummary],
+    findings: &mut Vec<Finding>,
+) {
+    for (i, node) in ws.fns.iter().enumerate() {
+        let Some(flow) = &flows[i] else { continue };
+        let Some(cfg) = &flow.cfg else { continue };
+        let input = &inputs[node.file];
+        let crate_name = input
+            .file
+            .crate_dir
+            .rsplit('/')
+            .next()
+            .unwrap_or(input.file.crate_dir);
+        if !HOT_CRATES.contains(&crate_name) {
+            continue;
+        }
+        let spec = spec_of(input);
+        let toks = input.file.toks;
+        let reserved = capacity_evidenced(toks);
+        // `(`-positions of calls that resolve to workspace functions
+        // with *no* allocation in their summary — a `.push(..)` landing
+        // on, say, `BoundedRing::push` is a fixed-capacity write, not a
+        // `Vec` growth, and the callee-summary pass below covers any
+        // resolved callee that does allocate.
+        let nonalloc_calls: BTreeSet<usize> = node
+            .calls
+            .iter()
+            .filter(|e| !e.targets.is_empty() && e.targets.iter().all(|&t| sums[t].alloc.is_none()))
+            .map(|e| e.site.paren_open)
+            .collect();
+
+        for lp in &cfg.loops {
+            if !is_hot_header(&lp.header_idents) {
+                continue;
+            }
+            // Direct allocation shapes between the loop braces.
+            for t in lp.body_open + 1..lp.body_close {
+                if input.file.in_test[t] || !any_ident(&toks[t]) {
+                    continue;
+                }
+                let after_dot = t > 0 && is_punct(&toks[t - 1], ".");
+                let called = toks.get(t + 1).is_some_and(|n| is_punct(n, "("));
+                let bang = toks.get(t + 1).is_some_and(|n| is_punct(n, "!"));
+                let what: Option<String> =
+                    if bang && matches!(toks[t].text.as_str(), "vec" | "format") {
+                        Some(format!("`{}!` builds a fresh allocation", toks[t].text))
+                    } else if after_dot
+                        && called
+                        && matches!(
+                            toks[t].text.as_str(),
+                            "to_vec" | "to_owned" | "to_string" | "clone"
+                        )
+                    {
+                        Some(format!(
+                            "`.{}()` copies into a fresh allocation",
+                            toks[t].text
+                        ))
+                    } else if !after_dot
+                        && called
+                        && matches!(toks[t].text.as_str(), "new" | "with_capacity" | "from")
+                        && t >= 2
+                        && is_punct(&toks[t - 1], "::")
+                        && any_ident(&toks[t - 2])
+                        && matches!(
+                            toks[t - 2].text.as_str(),
+                            "Vec" | "Box" | "String" | "VecDeque"
+                        )
+                    {
+                        Some(format!(
+                            "`{}::{}` allocates",
+                            toks[t - 2].text,
+                            toks[t].text
+                        ))
+                    } else if after_dot
+                        && called
+                        && matches!(toks[t].text.as_str(), "push" | "extend")
+                        && t >= 2
+                        && any_ident(&toks[t - 2])
+                        && !reserved.contains(&toks[t - 2].text)
+                        && !nonalloc_calls.contains(&(t + 1))
+                    {
+                        Some(format!(
+                            "`{}.{}(..)` may reallocate — no `with_capacity`/`reserve` \
+                         evidence for `{}` in this file",
+                            toks[t - 2].text,
+                            toks[t].text,
+                            toks[t - 2].text
+                        ))
+                    } else {
+                        None
+                    };
+                if let Some(what) = what {
+                    push(
+                        findings,
+                        &spec,
+                        &input.lines,
+                        ALLOC_IN_HOT_LOOP,
+                        toks[t].line,
+                        toks[t].col,
+                        format!(
+                            "{what} inside this {}-loop over `{}` (line {}) — hot-path \
+                             loops in `{crate_name}` must reuse buffers \
+                             (TraceChunk/BoundedRing contract); hoist the allocation \
+                             out of the loop or pre-reserve",
+                            lp.keyword,
+                            lp.header_idents.join(" "),
+                            lp.line,
+                        ),
+                    );
+                }
+            }
+            // Calls whose summary reaches an allocation.
+            for edge in &node.calls {
+                let s = edge.site;
+                if s.paren_open <= lp.body_open || s.paren_open >= lp.body_close {
+                    continue;
+                }
+                let Some((t, a)) = edge
+                    .targets
+                    .iter()
+                    .filter(|&&t| !ws.fns[t].in_test)
+                    .find_map(|&t| sums[t].alloc.as_ref().map(|a| (t, a)))
+                else {
+                    continue;
+                };
+                let mut chain = vec![ws.fns[t].display_name().to_string()];
+                chain.extend(a.via.iter().cloned());
+                push(
+                    findings,
+                    &spec,
+                    &input.lines,
+                    ALLOC_IN_HOT_LOOP,
+                    s.line,
+                    s.col,
+                    format!(
+                        "this call allocates via {} — {} at line {} of its defining \
+                         file — inside this {}-loop (line {}); hot-path loops in \
+                         `{crate_name}` must reuse buffers; hoist the allocation or \
+                         restructure the callee",
+                        chain
+                            .iter()
+                            .map(|c| format!("`{c}`"))
+                            .collect::<Vec<_>>()
+                            .join(" → "),
+                        a.what,
+                        a.line,
+                        lp.keyword,
+                        lp.line,
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// **swallowed-error** — a `Result` from a workspace function discarded
+/// without the error value reaching any sink: `let _ = f();`,
+/// a bare `f().ok();` statement, or a `match` on the call with an empty
+/// `Err` arm.
+fn swallowed_error(ws: &Workspace<'_>, inputs: &[SemanticInput<'_>], findings: &mut Vec<Finding>) {
+    for (i, node) in ws.fns.iter().enumerate() {
+        if !analyzable(ws, inputs, i) {
+            continue;
+        }
+        let input = &inputs[node.file];
+        let spec = spec_of(input);
+        let toks = input.file.toks;
+        for edge in &node.calls {
+            if edge.targets.is_empty()
+                || !edge.targets.iter().all(|&t| ws.fns[t].def.returns_result)
+            {
+                continue;
+            }
+            let s = edge.site;
+            if input
+                .file
+                .in_test
+                .get(s.paren_open)
+                .copied()
+                .unwrap_or(false)
+            {
+                continue;
+            }
+            // `let _ = f(..);` — binding straight to the wildcard.
+            let discarded_to_wild = s.expr_start >= 3
+                && any_ident(&toks[s.expr_start - 3])
+                && toks[s.expr_start - 3].text == "let"
+                && toks[s.expr_start - 2].text == "_"
+                && is_punct(&toks[s.expr_start - 1], "=")
+                && toks
+                    .get(s.paren_close + 1)
+                    .is_some_and(|t| is_punct(t, ";"));
+            // `f(..).ok();` as a whole statement — converts the error
+            // to None and drops it on the floor.
+            let okd_away = toks
+                .get(s.paren_close + 1)
+                .is_some_and(|t| is_punct(t, "."))
+                && toks
+                    .get(s.paren_close + 2)
+                    .is_some_and(|t| is_ident(t, "ok"))
+                && toks
+                    .get(s.paren_close + 3)
+                    .is_some_and(|t| is_punct(t, "("))
+                && toks
+                    .get(s.paren_close + 4)
+                    .is_some_and(|t| is_punct(t, ")"))
+                && toks
+                    .get(s.paren_close + 5)
+                    .is_some_and(|t| is_punct(t, ";"))
+                && s.expr_start >= 1
+                && (is_punct(&toks[s.expr_start - 1], ";")
+                    || is_punct(&toks[s.expr_start - 1], "{")
+                    || is_punct(&toks[s.expr_start - 1], "}"));
+            if discarded_to_wild || okd_away {
+                let how = if discarded_to_wild {
+                    "is bound to `_`"
+                } else {
+                    "is `.ok()`d away as a statement"
+                };
+                push(
+                    findings,
+                    &spec,
+                    &input.lines,
+                    SWALLOWED_ERROR,
+                    s.line,
+                    s.col,
+                    format!(
+                        "the Result of `{}` {how} — the error never reaches a return, \
+                         a stat, or the quarantine log; propagate it with `?`, record \
+                         it, or waive with the reason the failure is benign",
+                        edge.name,
+                    ),
+                );
+            }
+        }
+        // `match f(..) { .. Err(_) => {} .. }` — an empty Err arm on a
+        // scrutinee containing a workspace Result call.
+        empty_err_arms(ws, node, input, &spec, findings);
+    }
+}
+
+/// Scan a function's `match` statements for empty `Err` arms whose
+/// scrutinee contains a call to a workspace function returning Result.
+/// Token-level: the AST's `MatchSite` records arm shapes but not token
+/// spans, and the empty-body test needs exact tokens.
+fn empty_err_arms(
+    ws: &Workspace<'_>,
+    node: &crate::symbols::FnNode<'_>,
+    input: &SemanticInput<'_>,
+    spec: &FileSpec<'_>,
+    findings: &mut Vec<Finding>,
+) {
+    let toks = input.file.toks;
+    let Some(body) = &node.def.body else {
+        return;
+    };
+    let mut t = body.open + 1;
+    while t < body.close {
+        if input.file.in_test.get(t).copied().unwrap_or(false)
+            || !(is_ident(&toks[t], "match"))
+            || (t > 0 && is_punct(&toks[t - 1], "."))
+        {
+            t += 1;
+            continue;
+        }
+        // Locate the match body `{`: first depth-0 brace after the
+        // scrutinee, skipping paren/bracket groups; bail at `;`.
+        let kw = t;
+        let mut u = t + 1;
+        let mut body_open = None;
+        while u < body.close {
+            if is_punct(&toks[u], "(") || is_punct(&toks[u], "[") {
+                let (o, c) = if toks[u].text == "(" {
+                    ("(", ")")
+                } else {
+                    ("[", "]")
+                };
+                match matching(toks, u, o, c) {
+                    Some(close) => u = close + 1,
+                    None => break,
+                }
+                continue;
+            }
+            if is_punct(&toks[u], ";") {
+                break;
+            }
+            if is_punct(&toks[u], "{") {
+                body_open = Some(u);
+                break;
+            }
+            u += 1;
+        }
+        let Some(mo) = body_open else {
+            t += 1;
+            continue;
+        };
+        let Some(mc) = matching(toks, mo, "{", "}") else {
+            t += 1;
+            continue;
+        };
+        let scrutinee_has_result = node.calls.iter().any(|edge| {
+            let p = edge.site.paren_open;
+            p > kw
+                && p < mo
+                && !edge.targets.is_empty()
+                && edge.targets.iter().all(|&x| ws.fns[x].def.returns_result)
+        });
+        if !scrutinee_has_result {
+            t = mo + 1;
+            continue;
+        }
+        // Find `Err(..)? => {}` / `Err(..)? => ()` arms in the body.
+        let mut a = mo + 1;
+        while a < mc {
+            if !input.file.in_test.get(a).copied().unwrap_or(false)
+                && any_ident(&toks[a])
+                && toks[a].text == "Err"
+            {
+                let mut after = a + 1;
+                if toks.get(after).is_some_and(|x| is_punct(x, "(")) {
+                    if let Some(close) = matching(toks, after, "(", ")") {
+                        after = close + 1;
+                    }
+                }
+                let is_arrow = toks.get(after).is_some_and(|x| is_punct(x, "=>"));
+                if is_arrow {
+                    let b = after + 1;
+                    let empty_braces = toks.get(b).is_some_and(|x| is_punct(x, "{"))
+                        && toks.get(b + 1).is_some_and(|x| is_punct(x, "}"));
+                    let unit_body = toks.get(b).is_some_and(|x| is_punct(x, "("))
+                        && toks.get(b + 1).is_some_and(|x| is_punct(x, ")"));
+                    if empty_braces || unit_body {
+                        push(
+                            findings,
+                            spec,
+                            &input.lines,
+                            SWALLOWED_ERROR,
+                            toks[a].line,
+                            toks[a].col,
+                            "this `Err` arm silently drops the error — it never \
+                             reaches a return, a stat, or the quarantine log; record \
+                             or propagate it, or waive with the reason it is benign"
+                                .to_string(),
+                        );
+                    }
+                }
+            }
+            a += 1;
+        }
+        t = mo + 1;
+    }
+}
+
+/// **unbounded-growth-in-stream** — a field of a struct defined in a
+/// `*stream.rs` file is `.push(..)`/`.extend(..)`-ed inside a loop, and
+/// no path in the file ever drains it (`pop`/`clear`/`truncate`/
+/// `drain`/`remove`) nor carries capacity evidence. That is the
+/// stays-resident-forever shape the bounded-memory streaming contract
+/// (BoundedRing) exists to prevent.
+fn unbounded_growth_in_stream(
+    ws: &Workspace<'_>,
+    inputs: &[SemanticInput<'_>],
+    flows: &[Option<FnFlow>],
+    findings: &mut Vec<Finding>,
+) {
+    // Fields of structs defined in each stream file.
+    let mut stream_fields: BTreeMap<usize, BTreeSet<String>> = BTreeMap::new();
+    for &(file, sd) in &ws.structs {
+        if !inputs[file].file.path.ends_with("stream.rs") {
+            continue;
+        }
+        stream_fields
+            .entry(file)
+            .or_default()
+            .extend(sd.fields.iter().map(|f| f.name.clone()));
+    }
+    if stream_fields.is_empty() {
+        return;
+    }
+
+    // Relief evidence per file: any `.field.pop()` style drain call, or
+    // capacity evidence, anywhere in the file (any path suffices — the
+    // lint under-matches by design).
+    let mut relieved: BTreeMap<usize, BTreeSet<String>> = BTreeMap::new();
+    for (&file, fields) in &stream_fields {
+        let toks = inputs[file].file.toks;
+        let mut set = capacity_evidenced(toks);
+        for t in 2..toks.len() {
+            if any_ident(&toks[t])
+                && matches!(
+                    toks[t].text.as_str(),
+                    "pop"
+                        | "pop_front"
+                        | "pop_back"
+                        | "clear"
+                        | "truncate"
+                        | "drain"
+                        | "remove"
+                        | "swap_remove"
+                )
+                && is_punct(&toks[t - 1], ".")
+                && any_ident(&toks[t - 2])
+                && fields.contains(&toks[t - 2].text)
+            {
+                set.insert(toks[t - 2].text.clone());
+            }
+        }
+        relieved.insert(file, set);
+    }
+
+    for (i, node) in ws.fns.iter().enumerate() {
+        let Some(flow) = &flows[i] else { continue };
+        let Some(cfg) = &flow.cfg else { continue };
+        let Some(fields) = stream_fields.get(&node.file) else {
+            continue;
+        };
+        let relief = &relieved[&node.file];
+        let input = &inputs[node.file];
+        let spec = spec_of(input);
+        let toks = input.file.toks;
+
+        for lp in &cfg.loops {
+            for t in lp.body_open + 1..lp.body_close {
+                if input.file.in_test.get(t).copied().unwrap_or(false) {
+                    continue;
+                }
+                if !(any_ident(&toks[t])
+                    && matches!(toks[t].text.as_str(), "push" | "extend" | "push_back")
+                    && toks.get(t + 1).is_some_and(|n| is_punct(n, "("))
+                    && t >= 2
+                    && is_punct(&toks[t - 1], ".")
+                    && any_ident(&toks[t - 2]))
+                {
+                    continue;
+                }
+                let field = &toks[t - 2].text;
+                if !fields.contains(field) || relief.contains(field) {
+                    continue;
+                }
+                push(
+                    findings,
+                    &spec,
+                    &input.lines,
+                    UNBOUNDED_GROWTH_IN_STREAM,
+                    toks[t].line,
+                    toks[t].col,
+                    format!(
+                        "streaming-struct field `{field}` grows inside this loop \
+                         (line {}) and nothing in this file ever pops, clears, \
+                         truncates, or drains it — memory stays resident for the \
+                         whole replay; bound it (BoundedRing) or add a drain path",
+                        lp.line,
+                    ),
+                );
+            }
         }
     }
 }

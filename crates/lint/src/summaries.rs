@@ -1,0 +1,522 @@
+//! Bottom-up interprocedural effect summaries over call-graph SCCs.
+//!
+//! PR 8's dataflow tier stopped at function boundaries: a tainted value
+//! returned from a helper lost its provenance at the call site, a lock
+//! acquired two calls down was invisible to the guard lints, and an
+//! allocation hidden in a callee never counted against a hot loop. This
+//! pass closes those holes with one `FnSummary` per workspace function:
+//!
+//! * **allocation effect** — does the function (transitively) allocate,
+//!   and through which call chain (for the finding message);
+//! * **lock effect** — does it (transitively) acquire a lock — the
+//!   generalization of the PR-8 `locks_trans` fixpoint;
+//! * **blocking effect** — does it (transitively) reach a blocking call
+//!   (`recv`/`wait`/`sleep`/blocking reads), feeding the
+//!   guard-across-blocking-call lint;
+//! * **provenance transfer** — the tag set of its returned values, so
+//!   `let x = current_cycle();` seeds `x` with `TAG_CYCLE` in the
+//!   caller's dataflow instead of dropping to ⊥.
+//!
+//! The pass condenses the call graph into strongly connected components
+//! (Tarjan), then walks components bottom-up — Tarjan emits an SCC only
+//! after everything it calls into — iterating the members of each SCC
+//! to a fixpoint (all effects are monotone: booleans only flip to true,
+//! tag sets only grow, and an allocation effect is set at most once).
+//!
+//! Conservatism contract: summaries under-match like everything else in
+//! this linter. An unresolved call contributes nothing (no edge ⇒ no
+//! effect), `.clone()` is deliberately *not* an allocation effect (too
+//! many cheap `Copy`-adjacent clones — hot-loop clones are still caught
+//! directly at the loop site), and a tail expression containing nested
+//! blocks contributes no return tags rather than over-tainting.
+
+use std::collections::BTreeMap;
+
+use crate::ast::Callee;
+use crate::dataflow::{self, FnFlow, Tags};
+use crate::lexer::{TokKind, Token};
+use crate::symbols::{FileInput, Workspace};
+
+/// Method calls that block the calling thread. Deliberately tight:
+/// `join` is excluded (slice/path `join` would swamp it with false
+/// positives) — an under-match, per the contract.
+const BLOCKING_METHODS: &[&str] = &[
+    "recv",
+    "recv_timeout",
+    "wait",
+    "wait_timeout",
+    "read_to_end",
+    "read_to_string",
+    "read_line",
+];
+
+/// Allocating constructor paths: `Type::ctor` (turbofish tolerated).
+const ALLOC_CTORS: &[(&str, &str)] = &[
+    ("Vec", "new"),
+    ("Vec", "with_capacity"),
+    ("Box", "new"),
+    ("String", "new"),
+    ("String", "from"),
+    ("String", "with_capacity"),
+];
+
+/// Allocating methods summarized through calls. `.clone(` is absent by
+/// design (see module docs).
+const ALLOC_METHODS: &[&str] = &["to_vec", "to_owned", "to_string"];
+
+/// An allocation reachable from a function, with the call chain that
+/// reaches it (empty for a direct allocation).
+#[derive(Clone, Debug)]
+pub struct AllocEffect {
+    /// The allocating shape, e.g. `Vec::new` or `format!`.
+    pub what: String,
+    /// 1-based line of the allocation site in its own file.
+    pub line: u32,
+    /// Display names of the callees between this function and the
+    /// site, outermost first.
+    pub via: Vec<String>,
+}
+
+/// The interprocedural effect summary of one function.
+#[derive(Clone, Debug, Default)]
+pub struct FnSummary {
+    /// Acquires a lock in its own body.
+    pub direct_lock: bool,
+    /// Acquires a lock transitively (includes `direct_lock`).
+    pub locks: bool,
+    /// Reaches a blocking call in its own body.
+    pub direct_block: bool,
+    /// Reaches a blocking call transitively (includes `direct_block`).
+    pub blocks: bool,
+    /// The blocking call's name, for messages.
+    pub block_what: Option<String>,
+    /// The first reachable allocation, if any.
+    pub alloc: Option<AllocEffect>,
+    /// Provenance tags of the function's returned values.
+    pub returns_tags: Tags,
+}
+
+/// Computes one summary per `ws.fns` entry (parallel indexing).
+/// `flows` are the phase-1 intra-procedural results, also parallel.
+pub fn summarize(
+    ws: &Workspace<'_>,
+    files: &[FileInput<'_>],
+    flows: &[Option<FnFlow>],
+) -> Vec<FnSummary> {
+    let n = ws.fns.len();
+    let mut sums: Vec<FnSummary> = Vec::with_capacity(n);
+    for (i, f) in ws.fns.iter().enumerate() {
+        let mut s = FnSummary::default();
+        if let Some(flow) = flows.get(i).and_then(Option::as_ref) {
+            s.direct_lock = !flow.locks.is_empty();
+            s.locks = s.direct_lock;
+        }
+        // Test-only functions keep an empty summary: they are never
+        // call-resolution targets, and their bodies (assert scaffolding,
+        // Vec-heavy setup) must not leak effects into product findings.
+        if !f.in_test {
+            if let Some(body) = f.def.body.as_ref() {
+                let toks = files[f.file].toks;
+                for c in &body.calls {
+                    if let Callee::Method { name, .. } = &c.callee {
+                        if BLOCKING_METHODS.contains(&name.as_str()) {
+                            s.direct_block = true;
+                            s.blocks = true;
+                            s.block_what.get_or_insert_with(|| format!(".{name}()"));
+                        }
+                    }
+                    if let Callee::Path(segs) = &c.callee {
+                        if segs.last().is_some_and(|l| l == "sleep") {
+                            s.direct_block = true;
+                            s.blocks = true;
+                            s.block_what.get_or_insert_with(|| segs.join("::") + "()");
+                        }
+                    }
+                }
+                s.alloc = direct_alloc(toks, body);
+            }
+        }
+        sums.push(s);
+    }
+
+    // Phase-1 return tags, from the intra-procedural environment only.
+    for (i, f) in ws.fns.iter().enumerate() {
+        if let (Some(flow), Some(body)) = (flows[i].as_ref(), f.def.body.as_ref()) {
+            let toks = files[f.file].toks;
+            sums[i].returns_tags = dataflow::return_tags(toks, body, flow, &BTreeMap::new());
+        }
+    }
+
+    // Bottom-up over the condensation. Tarjan emits each SCC after all
+    // SCCs it reaches, so a single pass in emission order sees callee
+    // summaries already settled; within an SCC, iterate to fixpoint.
+    for scc in tarjan(ws) {
+        loop {
+            let mut changed = false;
+            for &i in &scc {
+                let f = &ws.fns[i];
+                let mut locks = sums[i].locks;
+                let mut blocks = sums[i].blocks;
+                let mut block_what = sums[i].block_what.clone();
+                let mut alloc = sums[i].alloc.clone();
+                let mut call_rets: BTreeMap<usize, Tags> = BTreeMap::new();
+                for c in &f.calls {
+                    let mut ret: Tags = 0;
+                    for &t in &c.targets {
+                        locks |= sums[t].locks;
+                        if sums[t].blocks {
+                            blocks = true;
+                            block_what.get_or_insert_with(|| {
+                                format!(
+                                    "{} (reaching {})",
+                                    ws.fns[t].display_name(),
+                                    sums[t].block_what.as_deref().unwrap_or("a blocking call")
+                                )
+                            });
+                        }
+                        if alloc.is_none() && !f.in_test {
+                            if let Some(a) = &sums[t].alloc {
+                                let mut via = vec![ws.fns[t].display_name()];
+                                via.extend(a.via.iter().cloned());
+                                alloc = Some(AllocEffect {
+                                    what: a.what.clone(),
+                                    line: a.line,
+                                    via,
+                                });
+                            }
+                        }
+                        ret |= sums[t].returns_tags;
+                    }
+                    if ret != 0 {
+                        call_rets.insert(c.site.paren_open, ret);
+                    }
+                }
+                let mut returns_tags = sums[i].returns_tags;
+                if !call_rets.is_empty() {
+                    if let (Some(flow), Some(body)) = (flows[i].as_ref(), f.def.body.as_ref()) {
+                        let toks = files[f.file].toks;
+                        returns_tags |= dataflow::return_tags(toks, body, flow, &call_rets);
+                    }
+                }
+                let s = &mut sums[i];
+                changed |= locks != s.locks
+                    || blocks != s.blocks
+                    || returns_tags != s.returns_tags
+                    || alloc.is_some() != s.alloc.is_some();
+                s.locks = locks;
+                s.blocks = blocks;
+                s.block_what = block_what;
+                s.alloc = alloc;
+                s.returns_tags = returns_tags;
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+    sums
+}
+
+/// Per-caller map from call-site `paren_open` token to the union of the
+/// targets' return tags — the seed for the caller's phase-2 dataflow.
+pub fn call_return_tags(
+    ws: &Workspace<'_>,
+    sums: &[FnSummary],
+    fn_id: usize,
+) -> BTreeMap<usize, Tags> {
+    let mut map = BTreeMap::new();
+    for c in &ws.fns[fn_id].calls {
+        let mut ret: Tags = 0;
+        for &t in &c.targets {
+            ret |= sums[t].returns_tags;
+        }
+        if ret != 0 {
+            map.insert(c.site.paren_open, ret);
+        }
+    }
+    map
+}
+
+fn is_punct(t: &Token, s: &str) -> bool {
+    t.kind == TokKind::Punct && t.text == s
+}
+
+/// First allocating shape in a body's token range, if any.
+fn direct_alloc(toks: &[Token], body: &crate::ast::BodyFacts) -> Option<AllocEffect> {
+    let hit = |what: &str, line: u32| {
+        Some(AllocEffect {
+            what: what.to_owned(),
+            line,
+            via: Vec::new(),
+        })
+    };
+    let end = body.close.min(toks.len());
+    let mut i = body.open + 1;
+    while i < end {
+        let t = &toks[i];
+        if t.kind == TokKind::Ident {
+            // `vec![…]` / `format!(…)`.
+            if (t.text == "vec" || t.text == "format")
+                && toks.get(i + 1).is_some_and(|n| is_punct(n, "!"))
+            {
+                return hit(&format!("{}!", t.text), t.line);
+            }
+            // `Type::ctor(`, tolerating a `::<T>` turbofish.
+            if ALLOC_CTORS.iter().any(|(ty, _)| *ty == t.text)
+                && toks.get(i + 1).is_some_and(|n| is_punct(n, "::"))
+            {
+                let mut j = i + 2;
+                if toks.get(j).is_some_and(|n| is_punct(n, "<")) {
+                    let mut depth = 1u32;
+                    j += 1;
+                    while j < end && depth > 0 {
+                        if is_punct(&toks[j], "<") {
+                            depth += 1;
+                        } else if is_punct(&toks[j], ">") {
+                            depth -= 1;
+                        } else if is_punct(&toks[j], ">>") {
+                            depth = depth.saturating_sub(2);
+                        }
+                        j += 1;
+                    }
+                    if !toks.get(j).is_some_and(|n| is_punct(n, "::")) {
+                        i += 1;
+                        continue;
+                    }
+                    j += 1;
+                }
+                if let Some(m) = toks.get(j) {
+                    if m.kind == TokKind::Ident
+                        && ALLOC_CTORS
+                            .iter()
+                            .any(|(ty, c)| *ty == t.text && *c == m.text)
+                        && toks.get(j + 1).is_some_and(|n| is_punct(n, "("))
+                    {
+                        return hit(&format!("{}::{}", t.text, m.text), t.line);
+                    }
+                }
+            }
+            // `.to_vec(` and friends.
+            if i > 0
+                && is_punct(&toks[i - 1], ".")
+                && ALLOC_METHODS.contains(&t.text.as_str())
+                && toks.get(i + 1).is_some_and(|n| is_punct(n, "("))
+            {
+                return hit(&format!(".{}()", t.text), t.line);
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Tarjan's SCC algorithm over the call graph, iterative to keep deep
+/// call chains off the native stack. Emission order is bottom-up: every
+/// SCC is produced after all SCCs it has edges into.
+fn tarjan(ws: &Workspace<'_>) -> Vec<Vec<usize>> {
+    let n = ws.fns.len();
+    const UNSEEN: u32 = u32::MAX;
+    let mut index = vec![UNSEEN; n];
+    let mut low = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0u32;
+    let mut sccs: Vec<Vec<usize>> = Vec::new();
+    // Explicit DFS frames: (node, edge cursor over flattened targets).
+    let succs: Vec<Vec<usize>> = ws
+        .fns
+        .iter()
+        .map(|f| {
+            let mut out: Vec<usize> = f.calls.iter().flat_map(|c| c.targets.clone()).collect();
+            out.sort_unstable();
+            out.dedup();
+            out
+        })
+        .collect();
+    for root in 0..n {
+        if index[root] != UNSEEN {
+            continue;
+        }
+        let mut frames: Vec<(usize, usize)> = vec![(root, 0)];
+        index[root] = next_index;
+        low[root] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root] = true;
+        while let Some(&mut (v, ref mut cursor)) = frames.last_mut() {
+            if let Some(&w) = succs[v].get(*cursor) {
+                *cursor += 1;
+                if index[w] == UNSEEN {
+                    index[w] = next_index;
+                    low[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    frames.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+                continue;
+            }
+            frames.pop();
+            if let Some(&(parent, _)) = frames.last() {
+                low[parent] = low[parent].min(low[v]);
+            }
+            if low[v] == index[v] {
+                // `v` is on the stack by construction, so the pop loop
+                // terminates at `w == v`; an empty stack would be a
+                // Tarjan invariant violation and simply ends the SCC.
+                let mut scc = Vec::new();
+                while let Some(w) = stack.pop() {
+                    on_stack[w] = false;
+                    scc.push(w);
+                    if w == v {
+                        break;
+                    }
+                }
+                scc.sort_unstable();
+                sccs.push(scc);
+            }
+        }
+    }
+    sccs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::parse;
+    use crate::lexer::lex;
+    use crate::lints::{test_mask, FileKind};
+    use crate::symbols;
+
+    struct Built {
+        toks: Vec<crate::lexer::Token>,
+        mask: Vec<bool>,
+        ast: crate::ast::Ast,
+    }
+
+    fn build_one(src: &str) -> Built {
+        let lx = lex(src);
+        let mask = test_mask(&lx.tokens, FileKind::Lib);
+        let ast = parse(&lx.tokens, &mask);
+        Built {
+            toks: lx.tokens,
+            mask,
+            ast,
+        }
+    }
+
+    fn summaries_for(src: &str) -> (Vec<String>, Vec<FnSummary>) {
+        let b = build_one(src);
+        let files = vec![FileInput {
+            path: "crates/sim/src/lib.rs",
+            crate_dir: "sim",
+            kind: FileKind::Lib,
+            toks: &b.toks,
+            in_test: &b.mask,
+            ast: &b.ast,
+        }];
+        let ws = symbols::build(&files);
+        let flows: Vec<Option<FnFlow>> = ws
+            .fns
+            .iter()
+            .map(|f| dataflow::analyze(files[f.file].toks, files[f.file].in_test, f.def))
+            .collect();
+        let names = ws.fns.iter().map(|f| f.display_name()).collect();
+        let sums = summarize(&ws, &files, &flows);
+        (names, sums)
+    }
+
+    fn sum_of<'s>(names: &[String], sums: &'s [FnSummary], name: &str) -> &'s FnSummary {
+        let i = names
+            .iter()
+            .position(|n| n == name)
+            .unwrap_or_else(|| panic!("no fn {name}"));
+        &sums[i]
+    }
+
+    #[test]
+    fn alloc_effect_propagates_two_calls_deep_with_chain() {
+        let (names, sums) = summaries_for(
+            "pub fn deep() -> Vec<u64> { Vec::new() }\n\
+             pub fn mid() -> Vec<u64> { deep() }\n\
+             pub fn top() -> Vec<u64> { mid() }\n",
+        );
+        let deep = sum_of(&names, &sums, "deep");
+        assert_eq!(
+            deep.alloc.as_ref().map(|a| a.what.as_str()),
+            Some("Vec::new")
+        );
+        assert!(deep.alloc.as_ref().is_some_and(|a| a.via.is_empty()));
+        let top = sum_of(&names, &sums, "top");
+        let a = top.alloc.as_ref().expect("alloc reaches top");
+        assert_eq!(a.what, "Vec::new");
+        assert_eq!(a.via, vec!["mid".to_owned(), "deep".to_owned()]);
+    }
+
+    #[test]
+    fn clone_is_not_a_summarized_allocation() {
+        let (names, sums) = summaries_for(
+            "pub fn copies(xs: &[u64]) -> u64 { let ys = xs.first().cloned(); ys.unwrap_or(0) }\n\
+             pub fn cloner(s: &str) -> u64 { let t = s.clone(); t.len() as u64 }\n",
+        );
+        assert!(sum_of(&names, &sums, "cloner").alloc.is_none());
+        assert!(sum_of(&names, &sums, "copies").alloc.is_none());
+    }
+
+    #[test]
+    fn lock_and_blocking_effects_cross_function_boundaries() {
+        let (names, sums) = summaries_for(
+            "use std::sync::Mutex;\n\
+             pub struct P { inner: Mutex<u64> }\n\
+             impl P {\n\
+                 pub fn bump(&self) -> u64 { let g = self.inner.lock().unwrap(); *g + 1 }\n\
+                 pub fn outer(&self) -> u64 { self.bump() }\n\
+             }\n\
+             pub fn waits(rx: &std::sync::mpsc::Receiver<u64>) -> u64 { rx.recv().unwrap_or(0) }\n\
+             pub fn calls_waits(rx: &std::sync::mpsc::Receiver<u64>) -> u64 { waits(rx) }\n",
+        );
+        let bump = sum_of(&names, &sums, "P::bump");
+        assert!(bump.direct_lock && bump.locks);
+        let outer = sum_of(&names, &sums, "P::outer");
+        assert!(
+            !outer.direct_lock && outer.locks,
+            "lock effect is transitive"
+        );
+        let waits = sum_of(&names, &sums, "waits");
+        assert!(waits.direct_block && waits.blocks);
+        let cw = sum_of(&names, &sums, "calls_waits");
+        assert!(
+            !cw.direct_block && cw.blocks,
+            "blocking effect is transitive"
+        );
+        assert!(cw.block_what.as_deref().unwrap_or("").contains("waits"));
+    }
+
+    #[test]
+    fn return_tags_transfer_through_calls() {
+        let (names, sums) = summaries_for(
+            "pub fn current_cycle(cycle: u64) -> u64 { cycle }\n\
+             pub fn relayed(cycle: u64) -> u64 { let c = current_cycle(cycle); c }\n",
+        );
+        let direct = sum_of(&names, &sums, "current_cycle");
+        assert_ne!(direct.returns_tags & dataflow::TAG_CYCLE, 0);
+        let relayed = sum_of(&names, &sums, "relayed");
+        assert_ne!(
+            relayed.returns_tags & dataflow::TAG_CYCLE,
+            0,
+            "tags flow through the call and back out"
+        );
+    }
+
+    #[test]
+    fn recursive_scc_reaches_a_fixpoint() {
+        let (names, sums) = summaries_for(
+            "pub fn ping(n: u64) -> Vec<u64> { if n == 0 { Vec::new() } else { pong(n - 1) } }\n\
+             pub fn pong(n: u64) -> Vec<u64> { ping(n) }\n",
+        );
+        assert!(sum_of(&names, &sums, "ping").alloc.is_some());
+        assert!(sum_of(&names, &sums, "pong").alloc.is_some());
+    }
+}

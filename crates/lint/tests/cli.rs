@@ -202,3 +202,124 @@ fn injected_violation_fails_with_exit_code_one() {
         "json: {payload}"
     );
 }
+
+#[test]
+fn sarif_format_emits_a_sarif_2_1_0_log() {
+    let root = std::path::PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("lint-sarif-check");
+    let src_dir = root.join("crates").join("sim").join("src");
+    std::fs::create_dir_all(&src_dir).expect("mkdir temp workspace");
+    std::fs::write(root.join("Cargo.toml"), "[workspace]\n").expect("write manifest");
+    std::fs::write(
+        src_dir.join("lib.rs"),
+        "#![forbid(unsafe_code)]\n\
+         pub fn canary() -> std::time::Instant {\n    \
+         std::time::Instant::now()\n\
+         }\n",
+    )
+    .expect("write offending lib.rs");
+
+    let out = bin()
+        .args([
+            "--workspace",
+            "--format",
+            "sarif",
+            "--root",
+            root.to_str().expect("utf-8 path"),
+        ])
+        .output()
+        .expect("run tcp-lint --format sarif");
+    assert_eq!(out.status.code(), Some(1), "violations must still exit 1");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("\"version\":\"2.1.0\""),
+        "sarif log must carry the format version: {stdout}"
+    );
+    assert!(
+        stdout.contains("\"ruleId\":\"wall-clock-in-sim\""),
+        "sarif results must carry the lint as ruleId: {stdout}"
+    );
+    assert!(
+        stdout.contains("\"uri\":\"crates/sim/src/lib.rs\""),
+        "sarif locations must carry the path: {stdout}"
+    );
+    assert!(
+        stdout.contains("\"startLine\":3"),
+        "sarif regions must carry the line: {stdout}"
+    );
+    // Every lint is described as a rule, findings or not.
+    assert!(
+        stdout.contains("\"id\":\"alloc-in-hot-loop\""),
+        "sarif driver must list all rules: {stdout}"
+    );
+
+    // A clean tree still emits a well-formed log with zero results.
+    std::fs::write(
+        src_dir.join("lib.rs"),
+        "#![forbid(unsafe_code)]\npub fn fine() -> u64 {\n    7\n}\n",
+    )
+    .expect("write clean lib.rs");
+    let out = bin()
+        .args([
+            "--workspace",
+            "--format",
+            "sarif",
+            "--root",
+            root.to_str().expect("utf-8 path"),
+        ])
+        .output()
+        .expect("run tcp-lint --format sarif clean");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("\"results\":[]"),
+        "clean tree yields an empty results array: {stdout}"
+    );
+}
+
+#[test]
+fn stale_and_malformed_directives_on_one_line_count_once() {
+    // A line hosting both a well-formed (but stale) waiver and a
+    // malformed directive is ONE broken site: it trips bad-suppression
+    // and must NOT also be counted as a stale waiver (check-lint.sh
+    // weights stale double, so double-counting would triple the debt).
+    let root = std::path::PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("lint-dedupe-check");
+    let src_dir = root.join("crates").join("sim").join("src");
+    std::fs::create_dir_all(&src_dir).expect("mkdir temp workspace");
+    std::fs::write(root.join("Cargo.toml"), "[workspace]\n").expect("write manifest");
+    std::fs::write(
+        src_dir.join("lib.rs"),
+        "#![forbid(unsafe_code)]\n\
+         /* tcp-lint: allow(wall-clock-in-sim) — stale: nothing below reads the clock */ // tcp-lint: allow(bogus-lint)\n\
+         pub fn fine() -> u64 {\n    \
+         7\n\
+         }\n",
+    )
+    .expect("write lib.rs");
+
+    let out = bin()
+        .args(["--waivers", "--root", root.to_str().expect("utf-8 path")])
+        .output()
+        .expect("run tcp-lint --waivers");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("total: 1 waivers"),
+        "one well-formed waiver: {stdout}"
+    );
+    assert!(
+        stdout.contains("stale: 0 waivers"),
+        "the site already counts via bad-suppression; it must not also be stale: {stdout}"
+    );
+
+    let lint = bin()
+        .args(["--workspace", "--root", root.to_str().expect("utf-8 path")])
+        .output()
+        .expect("run tcp-lint --workspace");
+    assert_eq!(lint.status.code(), Some(1));
+    let lint_out = String::from_utf8_lossy(&lint.stdout);
+    assert_eq!(
+        lint_out.matches("[bad-suppression]").count(),
+        1,
+        "exactly one bad-suppression finding for the site: {lint_out}"
+    );
+}

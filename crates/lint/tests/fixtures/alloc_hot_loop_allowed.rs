@@ -1,0 +1,32 @@
+#![forbid(unsafe_code)]
+// The same replay shapes made clean: the scratch buffer is hoisted and
+// pre-sized, the output vector carries reserve() evidence, the callee
+// in the loop does not allocate, and one deliberate allocation carries
+// a justified waiver.
+
+pub struct Replay {
+    out: Vec<u64>,
+}
+
+impl Replay {
+    pub fn run(&mut self, cycles: u64) -> u64 {
+        let mut scratch = Vec::with_capacity(64);
+        self.out.reserve(cycles as usize);
+        let mut sum = 0u64;
+        for cycle in 0..cycles {
+            scratch.push(cycle);
+            self.out.push(cycle);
+            sum = sum.wrapping_add(bump(cycle));
+        }
+        for chunk in 0..cycles {
+            // tcp-lint: allow(alloc-in-hot-loop) — one label per chunk, amortized over the whole chunk replay
+            let label = format!("chunk{chunk}");
+            sum = sum.wrapping_add(label.len() as u64);
+        }
+        sum.wrapping_add(scratch.len() as u64)
+    }
+}
+
+fn bump(x: u64) -> u64 {
+    x.wrapping_mul(3)
+}

@@ -1,0 +1,30 @@
+#![forbid(unsafe_code)]
+// Allocations inside a cycle-indexed replay loop: a direct constructor,
+// an unreserved Vec push, and an allocation hidden two calls deep that
+// only the interprocedural summaries can see.
+
+pub struct Replay {
+    out: Vec<u64>,
+}
+
+impl Replay {
+    pub fn run(&mut self, cycles: u64) -> u64 {
+        let mut sum = 0u64;
+        for cycle in 0..cycles {
+            let scratch: Vec<u64> = Vec::new();
+            self.out.push(cycle);
+            sum = sum.wrapping_add(scratch.len() as u64);
+            sum = sum.wrapping_add(helper());
+        }
+        sum
+    }
+}
+
+fn helper() -> u64 {
+    mid()
+}
+
+fn mid() -> u64 {
+    let v: Vec<u64> = Vec::with_capacity(8);
+    v.len() as u64
+}

@@ -1,0 +1,25 @@
+#![forbid(unsafe_code)]
+// The blocking wait moved outside the guard's lifetime: the lock is
+// scoped to the bookkeeping read and released before `take` blocks.
+
+use std::sync::mpsc::Receiver;
+use std::sync::Mutex;
+
+pub struct Pool {
+    jobs: Mutex<Vec<u64>>,
+    rx: Receiver<u64>,
+}
+
+impl Pool {
+    fn take(&self) -> u64 {
+        self.rx.recv().unwrap_or(0)
+    }
+
+    pub fn drain_one(&self) -> u64 {
+        let guard = self.jobs.lock().unwrap_or_else(|p| p.into_inner());
+        let queued = guard.len() as u64;
+        drop(guard);
+        let next = self.take();
+        queued.wrapping_add(next)
+    }
+}

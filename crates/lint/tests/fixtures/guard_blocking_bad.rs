@@ -1,0 +1,24 @@
+#![forbid(unsafe_code)]
+// A mutex guard held across a call whose summary blocks: `drain_one`
+// keeps the jobs lock while `take` sits in a channel recv, so every
+// other thread touching the pool stalls for the full wait.
+
+use std::sync::mpsc::Receiver;
+use std::sync::Mutex;
+
+pub struct Pool {
+    jobs: Mutex<Vec<u64>>,
+    rx: Receiver<u64>,
+}
+
+impl Pool {
+    fn take(&self) -> u64 {
+        self.rx.recv().unwrap_or(0)
+    }
+
+    pub fn drain_one(&self) -> u64 {
+        let guard = self.jobs.lock().unwrap_or_else(|p| p.into_inner());
+        let next = self.take();
+        guard.len() as u64 + next
+    }
+}

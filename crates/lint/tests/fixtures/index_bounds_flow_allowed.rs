@@ -1,0 +1,12 @@
+#![forbid(unsafe_code)]
+// The same index expression under a dominating guard: the comparison is
+// the `if` condition itself, so every path to the indexing has passed
+// the bound check and the finding is killed.
+
+pub fn pick(xs: &[u64], set: usize, way: usize) -> u64 {
+    if set * 4 + way < xs.len() {
+        xs[set * 4 + way]
+    } else {
+        0
+    }
+}

@@ -1,0 +1,11 @@
+#![forbid(unsafe_code)]
+// Bound evidence that does NOT dominate the index: the debug_assert
+// sits in a sibling branch, so there are paths to the indexing that
+// never pass the check — the textual match must not count.
+
+pub fn pick(xs: &[u64], set: usize, way: usize) -> u64 {
+    if way == 0 {
+        debug_assert!(set * 4 + way < xs.len());
+    }
+    xs[set * 4 + way]
+}

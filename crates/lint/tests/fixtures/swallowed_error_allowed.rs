@@ -1,0 +1,23 @@
+#![forbid(unsafe_code)]
+// The same shapes with the error reaching a sink: propagated with `?`,
+// recorded in a counter before an early return, or carrying a justified
+// waiver where dropping it is deliberate.
+
+pub struct Health {
+    pub io_errors: u64,
+}
+
+pub fn step() -> Result<u64, String> {
+    Ok(1)
+}
+
+pub fn drive(h: &mut Health) -> Result<u64, String> {
+    let v = step()?;
+    if let Err(e) = step() {
+        h.io_errors = h.io_errors.saturating_add(1);
+        return Err(e);
+    }
+    // tcp-lint: allow(swallowed-error) — warm-up call; the demo path retries on the next quantum
+    let _ = step();
+    Ok(v)
+}

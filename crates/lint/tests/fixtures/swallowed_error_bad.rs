@@ -1,0 +1,26 @@
+#![forbid(unsafe_code)]
+// Three ways to drop a workspace Result on the floor: bind it to `_`,
+// `.ok()` it away as a statement, and match it with an empty Err arm.
+
+pub fn step() -> Result<u64, String> {
+    Ok(1)
+}
+
+pub fn drive() -> u64 {
+    let _ = step();
+    step().ok();
+    match step() {
+        Ok(v) => v,
+        Err(_) => 0,
+    }
+}
+
+pub fn observe() {
+    match step() {
+        Ok(v) => {
+            let kept = v;
+            drop(kept);
+        }
+        Err(_) => {}
+    }
+}

@@ -1,0 +1,26 @@
+#![forbid(unsafe_code)]
+// The same streaming shape made bounded: the staging buffer is drained
+// whenever it reaches a batch, and the audit buffer that deliberately
+// accumulates carries a justified waiver.
+
+pub struct GatedStream {
+    staged: Vec<u64>,
+    emitted: Vec<u64>,
+}
+
+impl GatedStream {
+    pub fn replay(&mut self, records: &[u64]) -> u64 {
+        let mut sum = 0u64;
+        for r in records {
+            self.staged.push(*r);
+            if self.staged.len() >= 8 {
+                for v in self.staged.drain(..) {
+                    sum = sum.wrapping_add(v);
+                }
+            }
+            // tcp-lint: allow(unbounded-growth-in-stream) — audit trail, bounded by the harness input size
+            self.emitted.push(*r);
+        }
+        sum
+    }
+}

@@ -1,0 +1,21 @@
+#![forbid(unsafe_code)]
+// A streaming struct whose staging buffer only ever grows: every record
+// replayed pushes into `staged` and no path in the file pops, clears,
+// truncates, or drains it — memory stays resident for the whole replay.
+
+pub struct ReplayStream {
+    staged: Vec<u64>,
+    cursor: usize,
+}
+
+impl ReplayStream {
+    pub fn replay(&mut self, records: &[u64]) -> u64 {
+        let mut sum = 0u64;
+        for r in records {
+            self.staged.push(*r);
+            sum = sum.wrapping_add(*r);
+        }
+        self.cursor = self.staged.len();
+        sum.wrapping_add(self.cursor as u64)
+    }
+}

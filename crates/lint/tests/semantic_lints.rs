@@ -273,3 +273,131 @@ fn dataflow_passes_skip_test_code() {
     let all = analyze_one("lock_discipline_bad.rs", "crates/sim/tests/pool_fixture.rs");
     assert!(all.is_empty(), "expected clean in test code, got: {all:?}");
 }
+
+#[test]
+fn alloc_in_hot_loop_fires_on_bad_fixture() {
+    let all = analyze_one("alloc_hot_loop_bad.rs", "crates/sim/src/alloc_fixture.rs");
+    assert_eq!(lines_for(&all, "alloc-in-hot-loop"), vec![14, 15, 17]);
+    // The call-site finding spells out the summary chain, proving the
+    // allocation was found two calls deep.
+    let via = all
+        .iter()
+        .find(|f| f.lint == "alloc-in-hot-loop" && f.line == 17)
+        .expect("summarized-callee finding");
+    assert!(
+        via.message.contains("`helper`") && via.message.contains("`mid`"),
+        "message should spell out the allocation chain: {}",
+        via.message
+    );
+}
+
+#[test]
+fn alloc_in_hot_loop_allowed_fixture_is_clean() {
+    let all = analyze_one(
+        "alloc_hot_loop_allowed.rs",
+        "crates/sim/src/alloc_fixture.rs",
+    );
+    assert!(all.is_empty(), "expected clean, got: {all:?}");
+}
+
+#[test]
+fn alloc_in_hot_loop_ignores_cold_crates() {
+    // The identical bad source in a non-hot crate (tcp-experiments) is
+    // outside the allocation contract.
+    let all = analyze_one(
+        "alloc_hot_loop_bad.rs",
+        "crates/experiments/src/alloc_fixture.rs",
+    );
+    assert_eq!(lines_for(&all, "alloc-in-hot-loop"), Vec::<u32>::new());
+}
+
+#[test]
+fn swallowed_error_fires_on_bad_fixture() {
+    let all = analyze_one(
+        "swallowed_error_bad.rs",
+        "crates/sim/src/swallow_fixture.rs",
+    );
+    assert_eq!(lines_for(&all, "swallowed-error"), vec![10, 11, 24]);
+}
+
+#[test]
+fn swallowed_error_allowed_fixture_is_clean() {
+    let all = analyze_one(
+        "swallowed_error_allowed.rs",
+        "crates/sim/src/swallow_fixture.rs",
+    );
+    assert!(all.is_empty(), "expected clean, got: {all:?}");
+}
+
+#[test]
+fn unbounded_growth_fires_on_bad_fixture() {
+    let all = analyze_one("unbounded_growth_bad.rs", "crates/sim/src/replay_stream.rs");
+    assert_eq!(lines_for(&all, "unbounded-growth-in-stream"), vec![15]);
+}
+
+#[test]
+fn unbounded_growth_allowed_fixture_is_clean() {
+    let all = analyze_one(
+        "unbounded_growth_allowed.rs",
+        "crates/sim/src/replay_stream.rs",
+    );
+    assert!(all.is_empty(), "expected clean, got: {all:?}");
+}
+
+#[test]
+fn unbounded_growth_only_watches_stream_files() {
+    // The same source outside a `*stream.rs` file is ordinary struct
+    // state, not a streaming residency contract.
+    let all = analyze_one("unbounded_growth_bad.rs", "crates/sim/src/replay.rs");
+    assert_eq!(
+        lines_for(&all, "unbounded-growth-in-stream"),
+        Vec::<u32>::new()
+    );
+}
+
+#[test]
+fn guard_across_blocking_call_fires_on_bad_fixture() {
+    let all = analyze_one("guard_blocking_bad.rs", "crates/sim/src/pool_fixture.rs");
+    assert_eq!(lines_for(&all, "guard-across-blocking-call"), vec![21]);
+    let f = all
+        .iter()
+        .find(|f| f.lint == "guard-across-blocking-call")
+        .expect("blocking finding");
+    assert!(
+        f.message.contains("recv"),
+        "message should name the blocking primitive: {}",
+        f.message
+    );
+}
+
+#[test]
+fn guard_across_blocking_call_allowed_fixture_is_clean() {
+    let all = analyze_one(
+        "guard_blocking_allowed.rs",
+        "crates/sim/src/pool_fixture.rs",
+    );
+    assert!(all.is_empty(), "expected clean, got: {all:?}");
+}
+
+#[test]
+fn index_bounds_guard_in_sibling_branch_does_not_count() {
+    // Flow sensitivity, pinned as a fixture pair: the same `xs[set * 4
+    // + way]` expression fires when its bound evidence sits in a
+    // non-dominating sibling branch…
+    let all = analyze_one(
+        "index_bounds_flow_bad.rs",
+        "crates/cache/src/flow_fixture.rs",
+    );
+    assert_eq!(lines_for(&all, "index-bounds"), vec![10]);
+}
+
+#[test]
+fn index_bounds_dominating_guard_kills_the_finding() {
+    // …and is clean when the comparison is the dominating `if`
+    // condition itself.
+    let all = analyze_one(
+        "index_bounds_flow_allowed.rs",
+        "crates/cache/src/flow_fixture.rs",
+    );
+    assert!(all.is_empty(), "expected clean, got: {all:?}");
+}

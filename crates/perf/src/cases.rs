@@ -13,7 +13,7 @@ use tcp_core::{Tcp, TcpConfig};
 use tcp_cpu::{MicroOp, OooCore};
 use tcp_experiments::store::{decode_record, encode_record};
 use tcp_experiments::sweep::{Job, PrefetcherSpec, SweepEngine};
-use tcp_lint::{analyze_files, find_workspace_root, workspace_sources, SourceFile};
+use tcp_lint::{find_workspace_root, workspace_sources, ParsedWorkspace, SourceFile};
 use tcp_mem::{Addr, MemAccess};
 use tcp_sim::stream::{StreamOpts, TenantMux};
 use tcp_sim::{run_suite_parallel, SystemConfig};
@@ -63,9 +63,16 @@ pub const CASES: &[CaseSpec] = &[
         about: "Cache access+fill+evict churn on a conflict-heavy 4-way set",
     },
     CaseSpec {
-        name: "lint_workspace",
-        about:
-            "tcp-lint full analysis (lex, parse, call graph, all lints) over the workspace sources",
+        name: "lint_parse",
+        about: "tcp-lint stage 1: lex, test-mask, parse, and directive scan of workspace sources",
+    },
+    CaseSpec {
+        name: "lint_semantic",
+        about: "tcp-lint stage 2: symbol table + AST/call-graph lint passes on a parsed workspace",
+    },
+    CaseSpec {
+        name: "lint_dataflow",
+        about: "tcp-lint stage 3: per-function CFG dataflow + interprocedural summary passes",
     },
     CaseSpec {
         name: "suite_parallel",
@@ -298,12 +305,10 @@ fn cache_fill_churn(smoke: bool, opts: MeasureOpts) -> CaseResult {
     r
 }
 
-fn lint_workspace(smoke: bool, opts: MeasureOpts) -> CaseResult {
-    // File I/O happens once out here; the measured region is the whole
-    // in-memory analysis — lexing, parsing, symbol table, call graph,
-    // and every lexical + semantic pass — exactly what `--workspace`
-    // runs per CI invocation. CI gates on this, so analysis regressions
-    // are build-time regressions.
+/// Workspace sources for the lint cases, loaded once per case outside
+/// the measured region. CI gates on these cases, so analysis
+/// regressions are build-time regressions.
+fn lint_sources(smoke: bool) -> Vec<SourceFile> {
     let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
         .expect("perf crate lives inside the workspace");
     let paths = workspace_sources(&root).expect("workspace sources are readable");
@@ -323,13 +328,59 @@ fn lint_workspace(smoke: bool, opts: MeasureOpts) -> CaseResult {
         // exercise cross-file resolution without the full-tree cost.
         files.truncate(40);
     }
-    let mut r = measure("lint_workspace", "files", files.len() as u64, opts, || {
-        let findings = analyze_files(&files);
-        // Checksum over positions so a nondeterministic pass ordering
-        // (not just a count change) trips the per-rep equality assert.
-        findings
-            .iter()
-            .map(|f| u64::from(f.line) ^ (u64::from(f.col) << 32))
+    files
+}
+
+/// Checksum over finding positions so a nondeterministic pass ordering
+/// (not just a count change) trips the per-rep equality assert.
+fn findings_checksum(findings: &[tcp_lint::Finding]) -> u64 {
+    findings
+        .iter()
+        .map(|f| u64::from(f.line) ^ (u64::from(f.col) << 32))
+        .sum()
+}
+
+/// Inner analysis passes per measured rep for the three lint stages: a
+/// single smoke-size stage finishes in single-digit milliseconds,
+/// where one scheduler preemption swings the median past the 10%
+/// regression threshold; a few passes put the rep near ~20 ms so the
+/// median measures the analyzer, not the scheduler.
+const LINT_PASSES: u32 = 4;
+
+fn lint_parse(smoke: bool, opts: MeasureOpts) -> CaseResult {
+    let files = lint_sources(smoke);
+    let units = files.len() as u64 * u64::from(LINT_PASSES);
+    // The per-pass clone of the source strings is a few MB of memcpy —
+    // noise next to lexing + parsing them.
+    let mut r = measure("lint_parse", "files", units, opts, || {
+        (0..LINT_PASSES)
+            .map(|_| ParsedWorkspace::parse(files.clone()).token_count())
+            .sum()
+    });
+    r.sim_cycles_per_rep = 0;
+    r
+}
+
+fn lint_semantic(smoke: bool, opts: MeasureOpts) -> CaseResult {
+    let files = lint_sources(smoke);
+    let units = files.len() as u64 * u64::from(LINT_PASSES);
+    let ws = ParsedWorkspace::parse(files);
+    let mut r = measure("lint_semantic", "files", units, opts, || {
+        (0..LINT_PASSES)
+            .map(|_| findings_checksum(&ws.semantic_core()))
+            .sum()
+    });
+    r.sim_cycles_per_rep = 0;
+    r
+}
+
+fn lint_dataflow(smoke: bool, opts: MeasureOpts) -> CaseResult {
+    let files = lint_sources(smoke);
+    let units = files.len() as u64 * u64::from(LINT_PASSES);
+    let ws = ParsedWorkspace::parse(files);
+    let mut r = measure("lint_dataflow", "files", units, opts, || {
+        (0..LINT_PASSES)
+            .map(|_| findings_checksum(&ws.dataflow()))
             .sum()
     });
     r.sim_cycles_per_rep = 0;
@@ -447,7 +498,9 @@ pub fn run_cases(
             "trace_stream_decode" => trace_stream_decode(smoke, opts),
             "multi_tenant_interleave" => multi_tenant_interleave(smoke, opts),
             "cache_fill_churn" => cache_fill_churn(smoke, opts),
-            "lint_workspace" => lint_workspace(smoke, opts),
+            "lint_parse" => lint_parse(smoke, opts),
+            "lint_semantic" => lint_semantic(smoke, opts),
+            "lint_dataflow" => lint_dataflow(smoke, opts),
             "suite_parallel" => suite_parallel(smoke, opts),
             "sweep_memoized" => sweep_memoized(smoke, opts),
             "memo_store_roundtrip" => memo_store_roundtrip(smoke, opts),

@@ -480,6 +480,7 @@ impl<R: Read> TenantMux<R> {
                     match reader.next_chunk() {
                         Ok(Some(chunk)) => {
                             for rec in chunk.records() {
+                                // tcp-lint: allow(alloc-in-hot-loop) — BoundedRing::push writes into a fixed-capacity buffer guarded by free() >= STREAM_CHUNK above
                                 lane.ring.push(rec);
                             }
                         }

@@ -1,0 +1,115 @@
+//! Property-based robustness tests for the tcp-lint analyzer: the lexer
+//! and parser are total functions — no input, however mangled, may make
+//! them panic. They run on every push over files a contributor just
+//! edited, so "malformed source" is the common case, not the corner
+//! case. Findings on garbage input are fine (and expected to be empty
+//! or nonsense); aborts are not.
+
+use proptest::prelude::*;
+use tcp_lint::{analyze_files, SourceFile};
+
+/// Runs the full analysis pipeline — lex, test-mask, parse, symbol
+/// table, call graph, CFG dataflow, interprocedural summaries — on one
+/// source under several path specs, so every FileKind's pass set sees
+/// the input. The property is simply "returns".
+fn full_pipeline_survives(src: &str) {
+    for path in [
+        "crates/sim/src/lib.rs",
+        "crates/cache/src/kernel.rs",
+        "crates/lint/src/main.rs",
+        "crates/sim/src/stream.rs",
+        "crates/cache/tests/spliced.rs",
+    ] {
+        let files = vec![SourceFile {
+            rel_path: path.to_string(),
+            src: src.to_string(),
+        }];
+        let _ = analyze_files(&files);
+    }
+}
+
+/// A delimiter-balanced token soup: leaves are idents, literals, puncts,
+/// comments, and keyword fragments the parser keys on (`fn`, `match`,
+/// `=>`); branches wrap sub-soups in matched `{}`/`()`/`[]`. Balanced
+/// nesting is what lets the input reach deep into the recursive-descent
+/// paths instead of bouncing off the first stray close-delimiter.
+fn balanced_soup() -> impl Strategy<Value = String> {
+    let fragments: Vec<&'static str> = vec![
+        "fn",
+        "match",
+        "if",
+        "let",
+        "loop",
+        "for",
+        "return",
+        "impl",
+        "=>",
+        "::",
+        ";",
+        ",",
+        "+",
+        "=",
+        ".",
+        "&",
+        "0xFF",
+        "42u64",
+        "\"a string\"",
+        "'c'",
+        "/* block */",
+        "// tcp-lint: allow(wall-clock-in-sim) — spliced",
+    ];
+    let leaf = prop_oneof![
+        "[a-zA-Z_][a-zA-Z0-9_]{0,8}",
+        prop::sample::select(fragments).prop_map(str::to_string),
+    ];
+    leaf.prop_recursive(4, 64, 8, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..6)
+                .prop_map(|v| format!("{{ {} }}", v.join(" "))),
+            prop::collection::vec(inner.clone(), 0..6).prop_map(|v| format!("( {} )", v.join(" "))),
+            prop::collection::vec(inner, 0..6).prop_map(|v| format!("[ {} ]", v.join(" "))),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Arbitrary bytes (lossily decoded, so invalid UTF-8 becomes
+    /// replacement characters) never panic the lexer, the parser, or
+    /// anything downstream of them.
+    #[test]
+    fn analyzer_never_panics_on_arbitrary_bytes(bytes in prop::collection::vec(any::<u8>(), 0..2048)) {
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        let lexed = tcp_lint::lexer::lex(&src);
+        let mask = vec![false; lexed.tokens.len()];
+        let _ = tcp_lint::ast::parse(&lexed.tokens, &mask);
+        full_pipeline_survives(&src);
+    }
+
+    /// Arbitrary unicode strings — printable chars, combining marks,
+    /// multi-byte code points — exercise the byte-vs-char offset
+    /// bookkeeping in the lexer's span arithmetic.
+    #[test]
+    fn analyzer_never_panics_on_arbitrary_unicode(src in "\\PC{0,512}") {
+        let lexed = tcp_lint::lexer::lex(&src);
+        let mask = vec![false; lexed.tokens.len()];
+        let _ = tcp_lint::ast::parse(&lexed.tokens, &mask);
+        full_pipeline_survives(&src);
+    }
+
+    /// Delimiter-balanced splices of keyword/punct soup into a
+    /// plausible workspace file shape: balanced nesting drives the
+    /// parser's recursive paths (fn bodies, match arms, call groups)
+    /// far deeper than flat garbage can, and the dataflow passes then
+    /// run over whatever AST came out.
+    #[test]
+    fn analyzer_never_panics_on_balanced_splices(soup in balanced_soup(), tail in balanced_soup()) {
+        let src = format!(
+            "#![forbid(unsafe_code)]\n\
+             pub fn spliced(cycle: u64) -> u64 {{\n{soup}\n}}\n\
+             impl Spliced {{ fn helper(&self) {{ {tail} }} }}\n"
+        );
+        full_pipeline_survives(&src);
+    }
+}

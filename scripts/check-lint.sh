@@ -33,10 +33,15 @@ for arg in "$@"; do
 done
 
 # Full-workspace analysis (lexing, parsing, symbol table, call graph,
-# and per-function dataflow fixpoints) must stay interactive: the lint
-# gate runs on every push, and a pass that creeps past this budget is a
-# perf regression in the analyzer itself, not a reason to wait longer.
-ANALYSIS_BUDGET_SECS=30
+# CFG construction, interprocedural summaries, and per-function dataflow
+# fixpoints) must stay interactive: the lint gate runs on every push,
+# and a pass that creeps past this budget is a perf regression in the
+# analyzer itself, not a reason to wait longer. The v4 summary pass
+# added whole-workspace work, and the measured run is still ~1s, so the
+# budget ratchets down 30s -> 20s; the per-stage tcp-perf cases
+# (lint_parse / lint_semantic / lint_dataflow) say which stage to blame
+# when this trips.
+ANALYSIS_BUDGET_SECS=20
 
 echo "== tcp-lint (workspace) =="
 cargo build --release -q -p tcp-lint
@@ -72,14 +77,18 @@ echo "waiver debt $EFFECTIVE/$MAX_WAIVERS ($TOTAL waivers, $STALE stale)"
 if [[ "$INJECT_CHECK" == 1 ]]; then
   SIM=crates/sim/src/lib.rs
   MEM=crates/mem/src/lib.rs
+  STREAM=crates/sim/src/stream.rs
   SIM_BACKUP=$(mktemp)
   MEM_BACKUP=$(mktemp)
+  STREAM_BACKUP=$(mktemp)
   cp "$SIM" "$SIM_BACKUP"
   cp "$MEM" "$MEM_BACKUP"
+  cp "$STREAM" "$STREAM_BACKUP"
   restore() {
     cp "$SIM_BACKUP" "$SIM"
     cp "$MEM_BACKUP" "$MEM"
-    rm -f "$SIM_BACKUP" "$MEM_BACKUP"
+    cp "$STREAM_BACKUP" "$STREAM"
+    rm -f "$SIM_BACKUP" "$MEM_BACKUP" "$STREAM_BACKUP"
   }
   trap restore EXIT
 
@@ -100,6 +109,7 @@ if [[ "$INJECT_CHECK" == 1 ]]; then
     fi
     cp "$SIM_BACKUP" "$SIM"
     cp "$MEM_BACKUP" "$MEM"
+    cp "$STREAM_BACKUP" "$STREAM"
     echo "injected $lint violation rejected, as it must be"
   }
 
@@ -238,6 +248,92 @@ pub fn lint_canary_taint(worker: usize) -> usize {
 }
 EOF
   expect_reject nondet-taint
+
+  # 10. Alloc in hot loop, hidden two calls deep: the allocation lives
+  #     in `mem`, behind a same-crate shim, and only the interprocedural
+  #     allocation summaries can carry it back to the cycle loop.
+  cat >>"$MEM" <<'EOF'
+
+/// Canary injected by scripts/check-lint.sh --inject-check.
+pub fn lint_canary_alloc_deep(seed: u64) -> u64 {
+    let scratch: Vec<u64> = Vec::with_capacity(4);
+    (scratch.capacity() as u64).wrapping_add(seed)
+}
+EOF
+  cat >>"$SIM" <<'EOF'
+
+/// Canary injected by scripts/check-lint.sh --inject-check.
+pub fn lint_canary_alloc_entry(cycles: u64) -> u64 {
+    let mut acc = 0u64;
+    for cycle in 0..cycles {
+        acc = acc.wrapping_add(lint_canary_alloc_mid(cycle));
+    }
+    acc
+}
+
+fn lint_canary_alloc_mid(seed: u64) -> u64 {
+    tcp_mem::lint_canary_alloc_deep(seed)
+}
+EOF
+  expect_reject alloc-in-hot-loop
+
+  # 11. Swallowed error: a workspace Result bound to `_`, so the Err
+  #     leg vanishes without a counter bump or a propagation.
+  cat >>"$SIM" <<'EOF'
+
+/// Canary injected by scripts/check-lint.sh --inject-check.
+fn lint_canary_swallow_src() -> Result<u64, u8> {
+    Ok(1)
+}
+
+pub fn lint_canary_swallow() {
+    let _ = lint_canary_swallow_src();
+}
+EOF
+  expect_reject swallowed-error
+
+  # 12. Unbounded growth in a stream file: a collection field pushed in
+  #     a loop with no pop/drain/truncate relief anywhere in the file.
+  cat >>"$STREAM" <<'EOF'
+
+/// Canary injected by scripts/check-lint.sh --inject-check.
+pub struct LintCanaryStream {
+    canary_backlog: Vec<u64>,
+}
+
+impl LintCanaryStream {
+    pub fn lint_canary_ingest(&mut self, chunk: &[u64]) {
+        for v in chunk {
+            self.canary_backlog.push(*v);
+        }
+    }
+}
+EOF
+  expect_reject unbounded-growth-in-stream
+
+  # 13. Guard across a blocking call: the lock is held while the callee
+  #     summary says the callee parks in a channel recv.
+  cat >>"$SIM" <<'EOF'
+
+/// Canary injected by scripts/check-lint.sh --inject-check.
+pub struct LintCanaryBlockPool {
+    jobs: std::sync::Mutex<Vec<u64>>,
+    rx: std::sync::mpsc::Receiver<u64>,
+}
+
+impl LintCanaryBlockPool {
+    fn lint_canary_take(&self) -> u64 {
+        self.rx.recv().unwrap_or(0)
+    }
+
+    pub fn lint_canary_wait(&self) -> u64 {
+        let guard = self.jobs.lock().unwrap_or_else(|p| p.into_inner());
+        let next = self.lint_canary_take();
+        guard.len().wrapping_add(next as usize) as u64
+    }
+}
+EOF
+  expect_reject guard-across-blocking-call
 fi
 
 echo
